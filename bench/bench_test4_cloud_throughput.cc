@@ -1,0 +1,99 @@
+// Table 1, Test 4: 5-stream throughput (queries/hour) on identical
+// hardware, dashDB vs "a popular cloud data warehouse" — reproduced as a
+// columnar MPP store WITHOUT dashDB's levers: decode-then-filter
+// predicates, no data skipping, LRU caching (see DESIGN.md substitutions).
+// Paper: 3.2x Qph advantage.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "workloads/tpcds_mini.h"
+#include <vector>
+
+using namespace dashdb;
+using namespace dashdb::bench;
+
+namespace {
+
+/// Runs `streams` interleaved query streams; returns (queries run, secs).
+Result<std::pair<int, double>> RunStreams(Engine* engine,
+                                          const std::vector<std::string>& qs,
+                                          int streams, int rounds) {
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int s = 0; s < streams; ++s) sessions.push_back(engine->CreateSession());
+  (void)engine->TakeIoSeconds();
+  Stopwatch sw;
+  int done = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (size_t q = 0; q < qs.size(); ++q) {
+      for (int s = 0; s < streams; ++s) {
+        // Each stream visits the mix at a different offset (BD Insight-ish).
+        const std::string& sql = qs[(q + s) % qs.size()];
+        auto res = engine->Execute(sessions[s].get(), sql);
+        if (!res.ok()) {
+          return Status(res.status().code(),
+                        res.status().message() + " in: " + sql);
+        }
+        ++done;
+      }
+    }
+  }
+  // Stream time = measured CPU + modeled storage I/O (DESIGN.md).
+  return std::make_pair(done, sw.ElapsedSeconds() + engine->TakeIoSeconds());
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Table 1 / Test 4: 5-stream BD-Insight-style throughput "
+      "(dashDB vs competitor column store)");
+
+  TpcdsScale scale;
+  scale.store_sales_rows = 2000000;
+  Engine dashdb_engine(DashDbConfig(size_t{4} << 20));
+  Engine competitor(CompetitorConfig(size_t{4} << 20));
+  if (!LoadTpcds(&dashdb_engine, scale, false).ok() ||
+      !LoadTpcds(&competitor, scale, false).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  // BD-Insight-style interactive mix: scan-dominated reporting queries with
+  // recent-date windows and selective bands — the workload class where the
+  // paper attributes its advantage to in-memory columnar algorithms.
+  std::vector<std::string> queries = {
+      "SELECT COUNT(*), SUM(ss_sales_price) FROM store_sales "
+      "WHERE ss_sold_date_sk >= 17130",  // recent window (data skipping)
+      "SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 95 "
+      "AND 100 AND ss_sold_date_sk >= 16800",
+      "SELECT MAX(ss_sales_price), MIN(ss_sales_price) FROM store_sales "
+      "WHERE ss_item_sk = 1",            // hot frequency-partition code
+      "SELECT ss_store_sk, COUNT(*), AVG(ss_quantity) FROM store_sales "
+      "WHERE ss_sold_date_sk >= 17000 GROUP BY ss_store_sk",
+      "SELECT COUNT(*) FROM store_sales ss JOIN store s "
+      "ON ss.ss_store_sk = s.s_store_sk WHERE s.s_state = 'CA' "
+      "AND ss.ss_sold_date_sk >= 17100",
+      "SELECT ss_item_sk, ss_sales_price FROM store_sales "
+      "WHERE ss_sales_price > 198 AND ss_sold_date_sk >= 16900 "
+      "ORDER BY ss_sales_price DESC LIMIT 20",
+  };
+  const int kStreams = 5;
+
+  auto comp = RunStreams(&competitor, queries, kStreams, 1);
+  auto dash = RunStreams(&dashdb_engine, queries, kStreams, 1);
+  if (!comp.ok() || !dash.ok()) {
+    std::fprintf(stderr, "run failed: %s %s\n",
+                 comp.status().ToString().c_str(),
+                 dash.status().ToString().c_str());
+    return 1;
+  }
+  double qph_comp = comp->first / comp->second * 3600;
+  double qph_dash = dash->first / dash->second * 3600;
+  PrintRow("competitor Qph", qph_comp, "q/h");
+  PrintRow("dashDB Qph", qph_dash, "q/h");
+  PrintRow("throughput increase", qph_dash / qph_comp, "x");
+  PrintNote("paper reports: 3.2x Qph on identical AWS hardware");
+  PrintNote("competitor = columnar MPP minus operating-on-compressed, "
+            "data skipping, software SIMD, and scan-resistant caching");
+  return 0;
+}

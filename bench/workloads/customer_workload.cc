@@ -1,0 +1,313 @@
+#include "workloads/customer_workload.h"
+
+#include <algorithm>
+
+#include "common/datetime.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "storage/row_table.h"
+
+namespace dashdb {
+namespace bench {
+
+namespace {
+
+const char* kStatuses[] = {"OPEN", "SETTLED", "PENDING", "CANCELLED"};
+
+/// Paper statement counts (Test 1); used as mix weights.
+constexpr double kMix[] = {
+    86537,  // INSERT
+    55873,  // UPDATE
+    46383,  // DROP
+    44914,  // SELECT
+    25572,  // CREATE
+    2453,   // DELETE
+    12,     // WITH
+    12,     // EXPLAIN
+    5,      // TRUNCATE
+};
+
+}  // namespace
+
+std::string CustomerWorkload::TableName(int schema, int table) const {
+  return "FIN" + std::to_string(schema) + ".POSITIONS" + std::to_string(table);
+}
+
+Status CustomerWorkload::Setup(Engine* engine) {
+  Rng rng(scale_.seed);
+  const int32_t start = DaysFromCivil(2010, 1, 1);
+  const int32_t days = 7 * 365;  // paper: "data for seven years"
+  auto session = engine->CreateSession();
+  for (int s = 0; s < scale_.schemas; ++s) {
+    DASHDB_RETURN_IF_ERROR(
+        engine->catalog()->CreateSchema("FIN" + std::to_string(s)));
+    for (int t = 0; t < scale_.tables_per_schema; ++t) {
+      TableSchema schema(
+          "FIN" + std::to_string(s), "POSITIONS" + std::to_string(t),
+          {{"ID", TypeId::kInt64, false, 0, false},
+           {"TXN_DATE", TypeId::kDate, true, 0, false},
+           {"ACCOUNT", TypeId::kInt64, true, 0, false},
+           {"INSTRUMENT", TypeId::kInt64, true, 0, false},
+           {"AMOUNT", TypeId::kDouble, true, 0, false},
+           {"QUANTITY", TypeId::kInt64, true, 0, false},
+           {"STATUS", TypeId::kVarchar, true, 0, false},
+           {"BOOK", TypeId::kVarchar, true, 0, false}});
+      RowBatch rows;
+      for (int c = 0; c < schema.num_columns(); ++c) {
+        rows.columns.emplace_back(schema.column(c).type);
+      }
+      ZipfGenerator instr(500, 1.1, scale_.seed + s * 100 + t);
+      for (size_t i = 0; i < scale_.rows_per_table; ++i) {
+        rows.columns[0].AppendInt(static_cast<int64_t>(i));
+        // Time-ordered ingest (most queries hit recent months, II.B.4).
+        rows.columns[1].AppendInt(
+            start + static_cast<int32_t>(i * days / scale_.rows_per_table));
+        rows.columns[2].AppendInt(static_cast<int64_t>(rng.Uniform(2000)));
+        rows.columns[3].AppendInt(static_cast<int64_t>(instr.Next()));
+        rows.columns[4].AppendDouble(rng.Uniform(2000000) / 100.0 - 5000);
+        rows.columns[5].AppendInt(static_cast<int64_t>(rng.Uniform(10000)));
+        rows.columns[6].AppendString(kStatuses[rng.Uniform(4)]);
+        rows.columns[7].AppendString("BOOK" + std::to_string(rng.Uniform(20)));
+      }
+      if (engine->config().default_organization == TableOrganization::kRow) {
+        schema.set_organization(TableOrganization::kRow);
+        DASHDB_ASSIGN_OR_RETURN(auto table, engine->CreateRowTable(schema));
+        DASHDB_RETURN_IF_ERROR(table->Append(rows));
+        DASHDB_RETURN_IF_ERROR(table->CreateIndex(0));  // id
+        DASHDB_RETURN_IF_ERROR(table->CreateIndex(1));  // txn_date
+      } else {
+        DASHDB_ASSIGN_OR_RETURN(auto table, engine->CreateColumnTable(schema));
+        DASHDB_RETURN_IF_ERROR(table->Load(rows));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<WorkloadStatement> CustomerWorkload::MakeStatements() {
+  Rng rng(scale_.seed + 99);
+  double total_weight = 0;
+  for (double w : kMix) total_weight += w;
+  const int32_t start = DaysFromCivil(2010, 1, 1);
+  const int32_t end = start + 7 * 365;
+
+  auto base_table = [&]() {
+    return TableName(static_cast<int>(rng.Uniform(scale_.schemas)),
+                     static_cast<int>(rng.Uniform(scale_.tables_per_schema)));
+  };
+  auto recent_date = [&]() {
+    // "most queries ask questions over the most recent few months."
+    return end - static_cast<int32_t>(rng.Uniform(120));
+  };
+
+  std::vector<std::string> staging;  // live CREATEd tables awaiting DROP
+  int staging_seq = 0;
+  std::vector<WorkloadStatement> out;
+  out.reserve(scale_.num_statements);
+  size_t next_insert_id = scale_.rows_per_table;
+
+  for (size_t i = 0; i < scale_.num_statements; ++i) {
+    double pick = rng.NextDouble() * total_weight;
+    int cls = 0;
+    for (; cls < 8; ++cls) {
+      if (pick < kMix[cls]) break;
+      pick -= kMix[cls];
+    }
+    switch (static_cast<StmtClass>(cls)) {
+      case StmtClass::kInsert: {
+        std::string t = base_table();
+        int64_t id = static_cast<int64_t>(next_insert_id++);
+        out.push_back(
+            {"INSERT INTO " + t + " VALUES (" + std::to_string(id) + ", DATE '" +
+                 FormatDate(recent_date()) + "', " +
+                 std::to_string(rng.Uniform(2000)) + ", " +
+                 std::to_string(rng.Uniform(500)) + ", " +
+                 std::to_string(rng.Uniform(10000)) + ".25, " +
+                 std::to_string(rng.Uniform(100)) + ", 'OPEN', 'BOOK1')",
+             StmtClass::kInsert});
+        break;
+      }
+      case StmtClass::kUpdate: {
+        // Point update by id (OLTP-ish maintenance traffic).
+        out.push_back(
+            {"UPDATE " + base_table() + " SET STATUS = 'SETTLED', AMOUNT = "
+                 "AMOUNT * 1.01 WHERE ID = " +
+                 std::to_string(rng.Uniform(scale_.rows_per_table)),
+             StmtClass::kUpdate});
+        break;
+      }
+      case StmtClass::kDrop: {
+        if (staging.empty()) {
+          // Nothing to drop yet: emit a CREATE instead (keeps mix close).
+          std::string name =
+              "FIN0.STAGING" + std::to_string(staging_seq++);
+          staging.push_back(name);
+          out.push_back({"CREATE TABLE " + name +
+                             " (K BIGINT, V DOUBLE, NOTE VARCHAR(20))",
+                         StmtClass::kCreate});
+        } else {
+          std::string name = staging.back();
+          staging.pop_back();
+          out.push_back({"DROP TABLE " + name, StmtClass::kDrop});
+        }
+        break;
+      }
+      case StmtClass::kSelect: {
+        std::string t = base_table();
+        int kind = static_cast<int>(rng.Uniform(4));
+        if (kind == 0) {
+          // Analytic rollup over a recent window — the long-running class.
+          out.push_back(
+              {"SELECT STATUS, COUNT(*), SUM(AMOUNT), AVG(QUANTITY) FROM " +
+                   t + " WHERE TXN_DATE >= DATE '" +
+                   FormatDate(recent_date() - 90) +
+                   "' GROUP BY STATUS ORDER BY STATUS",
+               StmtClass::kSelect});
+        } else if (kind == 1) {
+          out.push_back(
+              {"SELECT ACCOUNT, SUM(AMOUNT) total FROM " + t +
+                   " WHERE INSTRUMENT < 50 GROUP BY ACCOUNT "
+                   "ORDER BY total DESC LIMIT 10",
+               StmtClass::kSelect});
+        } else if (kind == 2) {
+          // Point lookup by id (index-friendly on the appliance).
+          out.push_back(
+              {"SELECT * FROM " + t + " WHERE ID = " +
+                   std::to_string(rng.Uniform(scale_.rows_per_table)),
+               StmtClass::kSelect});
+        } else {
+          out.push_back(
+              {"SELECT COUNT(*) FROM " + t + " WHERE AMOUNT BETWEEN 0 AND "
+                   "500 AND STATUS = 'OPEN'",
+               StmtClass::kSelect});
+        }
+        break;
+      }
+      case StmtClass::kCreate: {
+        std::string name = "FIN0.STAGING" + std::to_string(staging_seq++);
+        staging.push_back(name);
+        out.push_back({"CREATE TABLE " + name +
+                           " (K BIGINT, V DOUBLE, NOTE VARCHAR(20))",
+                       StmtClass::kCreate});
+        break;
+      }
+      case StmtClass::kDelete: {
+        out.push_back(
+            {"DELETE FROM " + base_table() + " WHERE ID = " +
+                 std::to_string(rng.Uniform(scale_.rows_per_table)),
+             StmtClass::kDelete});
+        break;
+      }
+      case StmtClass::kWith: {
+        out.push_back(
+            {"WITH recent AS (SELECT ACCOUNT, AMOUNT FROM " + base_table() +
+                 " WHERE TXN_DATE >= DATE '" + FormatDate(recent_date() - 30) +
+                 "') SELECT COUNT(*), SUM(AMOUNT) FROM recent",
+             StmtClass::kWith});
+        break;
+      }
+      case StmtClass::kExplain: {
+        out.push_back(
+            {"EXPLAIN SELECT STATUS, COUNT(*) FROM " + base_table() +
+                 " GROUP BY STATUS",
+             StmtClass::kExplain});
+        break;
+      }
+      case StmtClass::kTruncate: {
+        if (staging.empty()) {
+          std::string name = "FIN0.STAGING" + std::to_string(staging_seq++);
+          staging.push_back(name);
+          out.push_back({"CREATE TABLE " + name +
+                             " (K BIGINT, V DOUBLE, NOTE VARCHAR(20))",
+                         StmtClass::kCreate});
+        } else {
+          out.push_back(
+              {"TRUNCATE TABLE " + staging.back(), StmtClass::kTruncate});
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> CustomerWorkload::RunSerial(
+    Engine* engine, const std::vector<WorkloadStatement>& stmts) {
+  auto session = engine->CreateSession();
+  std::vector<double> seconds;
+  seconds.reserve(stmts.size());
+  (void)engine->TakeIoSeconds();
+  for (const auto& s : stmts) {
+    Stopwatch sw;
+    auto r = engine->Execute(session.get(), s.sql);
+    if (!r.ok()) {
+      return Status(r.status().code(),
+                    r.status().message() + " in: " + s.sql);
+    }
+    // Per-statement time = measured CPU + modeled storage I/O.
+    seconds.push_back(sw.ElapsedSeconds() + engine->TakeIoSeconds());
+  }
+  return seconds;
+}
+
+Result<double> CustomerWorkload::RunConcurrent(
+    Engine* engine, const std::vector<WorkloadStatement>& stmts,
+    int streams) {
+  // Deal statements round-robin into streams, then interleave execution
+  // (WLM admits one at a time; see header).
+  std::vector<std::vector<const WorkloadStatement*>> queues(streams);
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    queues[i % streams].push_back(&stmts[i]);
+  }
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int s = 0; s < streams; ++s) sessions.push_back(engine->CreateSession());
+  (void)engine->TakeIoSeconds();
+  Stopwatch sw;
+  bool more = true;
+  size_t pos = 0;
+  while (more) {
+    more = false;
+    for (int s = 0; s < streams; ++s) {
+      if (pos < queues[s].size()) {
+        more = true;
+        auto r = engine->Execute(sessions[s].get(), queues[s][pos]->sql);
+        if (!r.ok()) {
+          return Status(r.status().code(),
+                        r.status().message() + " in: " + queues[s][pos]->sql);
+        }
+      }
+    }
+    ++pos;
+  }
+  return sw.ElapsedSeconds() + engine->TakeIoSeconds();
+}
+
+SpeedupReport CompareLongest(const std::vector<double>& baseline_seconds,
+                             const std::vector<double>& dashdb_seconds,
+                             double fraction) {
+  SpeedupReport rep;
+  const size_t n = std::min(baseline_seconds.size(), dashdb_seconds.size());
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return baseline_seconds[a] > baseline_seconds[b];
+  });
+  size_t take = std::max<size_t>(1, static_cast<size_t>(n * fraction));
+  std::vector<double> ratios;
+  for (size_t k = 0; k < take; ++k) {
+    size_t i = order[k];
+    double d = dashdb_seconds[i];
+    if (d <= 0) d = 1e-9;
+    ratios.push_back(baseline_seconds[i] / d);
+  }
+  double sum = 0;
+  for (double r : ratios) sum += r;
+  rep.avg_speedup = sum / ratios.size();
+  std::sort(ratios.begin(), ratios.end());
+  rep.median_speedup = ratios[ratios.size() / 2];
+  rep.statements_compared = take;
+  return rep;
+}
+
+}  // namespace bench
+}  // namespace dashdb

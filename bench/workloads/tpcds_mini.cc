@@ -1,0 +1,258 @@
+#include "workloads/tpcds_mini.h"
+
+#include "common/datetime.h"
+#include "common/rng.h"
+#include "storage/row_table.h"
+
+namespace dashdb {
+namespace bench {
+
+namespace {
+
+const char* kCategories[] = {"Books", "Electronics", "Home",  "Jewelry",
+                             "Men",   "Music",       "Shoes", "Sports",
+                             "Toys",  "Women"};
+const char* kStates[] = {"TN", "CA", "TX", "NY", "GA", "OH", "IL", "WA",
+                         "MI", "FL"};
+const char* kDayNames[] = {"Sunday",   "Monday", "Tuesday", "Wednesday",
+                           "Thursday", "Friday", "Saturday"};
+
+Status CreateAndLoad(Engine* engine, TableSchema schema, const RowBatch& rows,
+                     const std::vector<int>& index_cols) {
+  if (engine->config().default_organization == TableOrganization::kRow) {
+    schema.set_organization(TableOrganization::kRow);
+    DASHDB_ASSIGN_OR_RETURN(auto t, engine->CreateRowTable(schema));
+    DASHDB_RETURN_IF_ERROR(t->Append(rows));
+    for (int c : index_cols) {
+      DASHDB_RETURN_IF_ERROR(t->CreateIndex(c));
+    }
+    return Status::OK();
+  }
+  DASHDB_ASSIGN_OR_RETURN(auto t, engine->CreateColumnTable(schema));
+  return t->Load(rows);
+}
+
+}  // namespace
+
+Status LoadTpcds(Engine* engine, const TpcdsScale& scale, bool index_keys) {
+  Rng rng(scale.seed);
+  const int32_t start_day = DaysFromCivil(2012, 1, 1);
+  const int32_t num_days = scale.years * 365;
+
+  // ---- date_dim ----
+  {
+    RowBatch b;
+    for (TypeId t : {TypeId::kInt64, TypeId::kDate, TypeId::kInt64,
+                     TypeId::kInt64, TypeId::kInt64, TypeId::kInt64}) {
+      b.columns.emplace_back(t);
+    }
+    ColumnVector day_names(TypeId::kVarchar);
+    for (int32_t d = 0; d < num_days; ++d) {
+      int32_t days = start_day + d;
+      CivilDate c = CivilFromDays(days);
+      b.columns[0].AppendInt(days);                      // d_date_sk
+      b.columns[1].AppendInt(days);                      // d_date
+      b.columns[2].AppendInt(c.year);                    // d_year
+      b.columns[3].AppendInt(c.month);                   // d_moy
+      b.columns[4].AppendInt(c.day);                     // d_dom
+      b.columns[5].AppendInt((c.month - 1) / 3 + 1);     // d_qoy
+      day_names.AppendString(kDayNames[DayOfWeek(days)]);
+    }
+    b.columns.push_back(std::move(day_names));
+    TableSchema s("PUBLIC", "DATE_DIM",
+                  {{"D_DATE_SK", TypeId::kInt64, false, 0, false},
+                   {"D_DATE", TypeId::kDate, true, 0, false},
+                   {"D_YEAR", TypeId::kInt64, true, 0, false},
+                   {"D_MOY", TypeId::kInt64, true, 0, false},
+                   {"D_DOM", TypeId::kInt64, true, 0, false},
+                   {"D_QOY", TypeId::kInt64, true, 0, false},
+                   {"D_DAY_NAME", TypeId::kVarchar, true, 0, false}});
+    DASHDB_RETURN_IF_ERROR(CreateAndLoad(engine, s, b,
+                                         index_keys ? std::vector<int>{0}
+                                                    : std::vector<int>{}));
+  }
+
+  // ---- item ----
+  {
+    RowBatch b;
+    b.columns.emplace_back(TypeId::kInt64);
+    b.columns.emplace_back(TypeId::kVarchar);
+    b.columns.emplace_back(TypeId::kInt64);
+    b.columns.emplace_back(TypeId::kDouble);
+    for (int i = 0; i < scale.items; ++i) {
+      b.columns[0].AppendInt(i);                          // i_item_sk
+      b.columns[1].AppendString(kCategories[i % 10]);     // i_category
+      b.columns[2].AppendInt(i % 50);                     // i_brand_id
+      b.columns[3].AppendDouble(1 + rng.Uniform(9900) / 100.0);
+    }
+    TableSchema s("PUBLIC", "ITEM",
+                  {{"I_ITEM_SK", TypeId::kInt64, false, 0, false},
+                   {"I_CATEGORY", TypeId::kVarchar, true, 0, false},
+                   {"I_BRAND_ID", TypeId::kInt64, true, 0, false},
+                   {"I_CURRENT_PRICE", TypeId::kDouble, true, 0, false}});
+    DASHDB_RETURN_IF_ERROR(CreateAndLoad(engine, s, b,
+                                         index_keys ? std::vector<int>{0}
+                                                    : std::vector<int>{}));
+  }
+
+  // ---- customer ----
+  {
+    RowBatch b;
+    b.columns.emplace_back(TypeId::kInt64);
+    b.columns.emplace_back(TypeId::kInt64);
+    b.columns.emplace_back(TypeId::kVarchar);
+    for (int i = 0; i < scale.customers; ++i) {
+      b.columns[0].AppendInt(i);
+      b.columns[1].AppendInt(1940 + rng.Uniform(60));
+      b.columns[2].AppendString(rng.Bernoulli(0.3) ? "Y" : "N");
+    }
+    TableSchema s("PUBLIC", "CUSTOMER",
+                  {{"C_CUSTOMER_SK", TypeId::kInt64, false, 0, false},
+                   {"C_BIRTH_YEAR", TypeId::kInt64, true, 0, false},
+                   {"C_PREFERRED_CUST_FLAG", TypeId::kVarchar, true, 0,
+                    false}});
+    DASHDB_RETURN_IF_ERROR(CreateAndLoad(engine, s, b,
+                                         index_keys ? std::vector<int>{0}
+                                                    : std::vector<int>{}));
+  }
+
+  // ---- store ----
+  {
+    RowBatch b;
+    b.columns.emplace_back(TypeId::kInt64);
+    b.columns.emplace_back(TypeId::kVarchar);
+    for (int i = 0; i < scale.stores; ++i) {
+      b.columns[0].AppendInt(i);
+      b.columns[1].AppendString(kStates[i % 10]);
+    }
+    TableSchema s("PUBLIC", "STORE",
+                  {{"S_STORE_SK", TypeId::kInt64, false, 0, false},
+                   {"S_STATE", TypeId::kVarchar, true, 0, false}});
+    DASHDB_RETURN_IF_ERROR(CreateAndLoad(engine, s, b, {}));
+  }
+
+  // ---- promotion ----
+  {
+    RowBatch b;
+    b.columns.emplace_back(TypeId::kInt64);
+    b.columns.emplace_back(TypeId::kVarchar);
+    for (int i = 0; i < scale.promotions; ++i) {
+      b.columns[0].AppendInt(i);
+      b.columns[1].AppendString(i % 2 ? "Y" : "N");
+    }
+    TableSchema s("PUBLIC", "PROMOTION",
+                  {{"P_PROMO_SK", TypeId::kInt64, false, 0, false},
+                   {"P_CHANNEL_EMAIL", TypeId::kVarchar, true, 0, false}});
+    DASHDB_RETURN_IF_ERROR(CreateAndLoad(engine, s, b, {}));
+  }
+
+  // ---- store_sales (the fact; rows arrive in date order, as ingested) ----
+  {
+    RowBatch b;
+    for (TypeId t : {TypeId::kInt64, TypeId::kInt64, TypeId::kInt64,
+                     TypeId::kInt64, TypeId::kInt64, TypeId::kInt64,
+                     TypeId::kDouble, TypeId::kDouble}) {
+      b.columns.emplace_back(t);
+    }
+    ZipfGenerator item_zipf(scale.items, 1.05, scale.seed + 1);
+    for (size_t i = 0; i < scale.store_sales_rows; ++i) {
+      int32_t day = start_day + static_cast<int32_t>(
+                                    i * num_days / scale.store_sales_rows);
+      int64_t qty = 1 + rng.Uniform(100);
+      double price = 1 + rng.Uniform(19900) / 100.0;
+      b.columns[0].AppendInt(day);                                // date_sk
+      b.columns[1].AppendInt(static_cast<int64_t>(item_zipf.Next()));
+      b.columns[2].AppendInt(static_cast<int64_t>(rng.Uniform(scale.customers)));
+      b.columns[3].AppendInt(static_cast<int64_t>(rng.Uniform(scale.stores)));
+      b.columns[4].AppendInt(static_cast<int64_t>(rng.Uniform(scale.promotions)));
+      b.columns[5].AppendInt(qty);
+      b.columns[6].AppendDouble(price);
+      b.columns[7].AppendDouble(price * qty * (rng.NextDouble() - 0.3));
+    }
+    TableSchema s("PUBLIC", "STORE_SALES",
+                  {{"SS_SOLD_DATE_SK", TypeId::kInt64, false, 0, false},
+                   {"SS_ITEM_SK", TypeId::kInt64, true, 0, false},
+                   {"SS_CUSTOMER_SK", TypeId::kInt64, true, 0, false},
+                   {"SS_STORE_SK", TypeId::kInt64, true, 0, false},
+                   {"SS_PROMO_SK", TypeId::kInt64, true, 0, false},
+                   {"SS_QUANTITY", TypeId::kInt64, true, 0, false},
+                   {"SS_SALES_PRICE", TypeId::kDouble, true, 0, false},
+                   {"SS_NET_PROFIT", TypeId::kDouble, true, 0, false}});
+    DASHDB_RETURN_IF_ERROR(CreateAndLoad(engine, s, b,
+                                         index_keys ? std::vector<int>{0}
+                                                    : std::vector<int>{}));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> TpcdsQueries() {
+  const int32_t y2015 = DaysFromCivil(2015, 1, 1);
+  const int32_t y2015_feb = DaysFromCivil(2015, 2, 1);
+  const int32_t y2016 = DaysFromCivil(2016, 1, 1);
+  auto n = [](int32_t d) { return std::to_string(d); };
+  return {
+      // Q3-like: brand revenue for one month.
+      "SELECT i.i_brand_id, SUM(ss.ss_sales_price) rev "
+      "FROM store_sales ss JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "WHERE d.d_moy = 11 AND d.d_year = 2015 "
+      "GROUP BY i.i_brand_id ORDER BY rev DESC LIMIT 10",
+      // Q42-like: category revenue for one quarter of one year.
+      "SELECT i.i_category, SUM(ss.ss_net_profit) p FROM store_sales ss "
+      "JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "WHERE d.d_year = 2015 AND d.d_qoy = 1 "
+      "GROUP BY i.i_category ORDER BY p DESC",
+      // Q52-like: daily brand revenue, narrow date band.
+      "SELECT d.d_date, i.i_brand_id, SUM(ss.ss_sales_price) s "
+      "FROM store_sales ss JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "WHERE ss.ss_sold_date_sk BETWEEN " + n(y2015) + " AND " +
+          n(y2015_feb) + " "
+      "GROUP BY d.d_date, i.i_brand_id ORDER BY s DESC LIMIT 20",
+      // Q55-like: one brand's monthly performance.
+      "SELECT SUM(ss.ss_sales_price) FROM store_sales ss "
+      "JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+      "WHERE i.i_brand_id = 7 AND ss.ss_sold_date_sk >= " + n(y2015) +
+          " AND ss.ss_sold_date_sk < " + n(y2016),
+      // Q7-like: demographic average over promotions.
+      "SELECT i.i_category, AVG(ss.ss_quantity) q, AVG(ss.ss_sales_price) p "
+      "FROM store_sales ss JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+      "JOIN promotion pr ON ss.ss_promo_sk = pr.p_promo_sk "
+      "WHERE pr.p_channel_email = 'N' "
+      "GROUP BY i.i_category ORDER BY i.i_category",
+      // Q96-like: selective count.
+      "SELECT COUNT(*) FROM store_sales ss "
+      "JOIN store s ON ss.ss_store_sk = s.s_store_sk "
+      "WHERE s.s_state = 'CA' AND ss.ss_quantity BETWEEN 90 AND 100",
+      // Recent-window scan (the paper's data-skipping motivation).
+      "SELECT COUNT(*), SUM(ss_sales_price) FROM store_sales "
+      "WHERE ss_sold_date_sk >= " + n(DaysFromCivil(2016, 10, 1)),
+      // Store-state rollup.
+      "SELECT s.s_state, COUNT(*) n, SUM(ss.ss_net_profit) profit "
+      "FROM store_sales ss JOIN store s ON ss.ss_store_sk = s.s_store_sk "
+      "GROUP BY s.s_state ORDER BY profit DESC",
+      // Preferred-customer revenue by year.
+      "SELECT d.d_year, SUM(ss.ss_sales_price) rev FROM store_sales ss "
+      "JOIN customer c ON ss.ss_customer_sk = c.c_customer_sk "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "WHERE c.c_preferred_cust_flag = 'Y' "
+      "GROUP BY d.d_year ORDER BY d.d_year",
+      // High-value transactions, TOP-N.
+      "SELECT ss_item_sk, ss_sales_price FROM store_sales "
+      "WHERE ss_sales_price > 195 ORDER BY ss_sales_price DESC LIMIT 25",
+      // Weekend vs weekday quantity.
+      "SELECT d.d_day_name, AVG(ss.ss_quantity) FROM store_sales ss "
+      "JOIN date_dim d ON ss.ss_sold_date_sk = d.d_date_sk "
+      "WHERE d.d_year = 2014 GROUP BY d.d_day_name ORDER BY d.d_day_name",
+      // Category price statistics (dialect aggregate spellings).
+      "SELECT i.i_category, STDDEV_POP(ss.ss_sales_price), "
+      "MEDIAN(ss.ss_sales_price) FROM store_sales ss "
+      "JOIN item i ON ss.ss_item_sk = i.i_item_sk "
+      "WHERE ss.ss_sold_date_sk < " + n(DaysFromCivil(2012, 7, 1)) + " "
+      "GROUP BY i.i_category ORDER BY i.i_category",
+  };
+}
+
+}  // namespace bench
+}  // namespace dashdb

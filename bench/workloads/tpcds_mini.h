@@ -1,0 +1,38 @@
+// Mini TPC-DS (substitute for the TPC-DS kit used in Table 1 Test 3; see
+// DESIGN.md substitutions). A star schema with the same workload shape:
+// a large fact (store_sales) with selective date-dimension predicates,
+// star joins, grouped aggregation, and TOP-N ordering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+namespace bench {
+
+/// Scale: rows in store_sales. Dimensions scale sub-linearly, as in TPC-DS.
+struct TpcdsScale {
+  size_t store_sales_rows = 500000;
+  int years = 5;           ///< date_dim coverage
+  int items = 2000;
+  int customers = 20000;
+  int stores = 20;
+  int promotions = 50;
+  uint64_t seed = 42;
+};
+
+/// Creates the six tables in `engine` (organization follows the engine's
+/// default: columnar for dashDB, row for the appliance baseline) and loads
+/// generated data. When `index_keys` is true, B+Tree indexes are built on
+/// the fact's date key and the dimension keys (the appliance access paths).
+Status LoadTpcds(Engine* engine, const TpcdsScale& scale, bool index_keys);
+
+/// The 12 benchmark queries (shaped after TPC-DS Q3/Q7/Q42/Q52/Q55/Q96...).
+/// All run unmodified on both engines.
+std::vector<std::string> TpcdsQueries();
+
+}  // namespace bench
+}  // namespace dashdb

@@ -1,0 +1,108 @@
+// Polyglot SQL (paper II.C): one database, four dialects. Each session
+// picks its dialect ("a session variable ... allowing individual sessions
+// to decide the dialect to use when compiling SQL"), and dialect-specific
+// syntax/functions/semantics work side by side over shared tables.
+#include <cstdio>
+
+#include "core/dashdb.h"
+
+int main() {
+  using namespace dashdb;
+  auto db = std::move(*DashDbLocal::Deploy());
+
+  auto show = [](const char* label, const Result<QueryResult>& r) {
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s FAILED: %s\n", label,
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("%-52s => ", label);
+    if (r->rows.num_rows() > 0) {
+      for (size_t c = 0; c < r->rows.columns.size(); ++c) {
+        std::printf("%s%s", c ? " | " : "",
+                    r->rows.columns[c].GetValue(0).ToString().c_str());
+      }
+    } else {
+      std::printf("%s", r->message.c_str());
+    }
+    std::printf("\n");
+  };
+
+  // Shared table, created once.
+  auto setup = db->Connect("dba");
+  (void)setup->Execute(
+      "CREATE TABLE accounts (id INT, owner VARCHAR(20), balance DOUBLE, "
+      "opened DATE)");
+  (void)setup->Execute(
+      "INSERT INTO accounts VALUES "
+      "(1, 'ada', 1000.0, DATE '2015-02-14'), "
+      "(2, 'grace', 250.5, DATE '2016-07-04'), "
+      "(3, '', 75.0, DATE '2016-11-11')");
+
+  // --- Oracle session -----------------------------------------------------
+  auto oracle = db->Connect("oracle_app");
+  oracle->SetDialect(Dialect::kOracle);
+  std::printf("--- ORACLE dialect ---\n");
+  show("SELECT 6*7 FROM DUAL", oracle->Execute("SELECT 6*7 FROM DUAL"));
+  show("NVL / DECODE / SUBSTR",
+       oracle->Execute(
+           "SELECT NVL(NULL, 'fallback'), DECODE(2, 1, 'a', 2, 'b'), "
+           "SUBSTR('dashDB Local', 1, 6) FROM DUAL"));
+  show("ROWNUM <= 2",
+       oracle->Execute("SELECT COUNT(*) FROM (SELECT owner FROM accounts "
+                       "WHERE ROWNUM <= 2) t"));
+  show("VARCHAR2: '' IS NULL",
+       oracle->Execute(
+           "SELECT COUNT(*) FROM accounts WHERE owner IS NULL"));
+  (void)oracle->Execute("CREATE SEQUENCE txn_seq");
+  show("txn_seq.NEXTVAL", oracle->Execute("SELECT txn_seq.NEXTVAL FROM DUAL"));
+
+  // --- Netezza / PostgreSQL session ---------------------------------------
+  auto netezza = db->Connect("nz_app");
+  netezza->SetDialect(Dialect::kNetezza);
+  std::printf("--- NETEZZA/POSTGRES dialect ---\n");
+  show("'123'::INT4 + 1, DATE_PART",
+       netezza->Execute("SELECT '123'::INT4 + 1, "
+                        "DATE_PART('year', opened) FROM accounts LIMIT 1"));
+  show("ISNULL / NOTNULL / LIMIT",
+       netezza->Execute("SELECT COUNT(*) FROM accounts WHERE owner NOTNULL "
+                        "LIMIT 1"));
+  show("ORDER BY ordinal",
+       netezza->Execute(
+           "SELECT owner, balance FROM accounts ORDER BY 2 DESC LIMIT 1"));
+  show("OVERLAPS",
+       netezza->Execute(
+           "SELECT (DATE '2016-01-01', DATE '2016-12-31') OVERLAPS "
+           "(opened, opened + 1) FROM accounts WHERE id = 2"));
+
+  // --- DB2 session ---------------------------------------------------------
+  auto db2 = db->Connect("db2_app");
+  db2->SetDialect(Dialect::kDb2);
+  std::printf("--- DB2 dialect ---\n");
+  show("VALUES clause", db2->Execute("VALUES 40 + 2"));
+  show("FETCH FIRST 1 ROWS ONLY",
+       db2->Execute("SELECT owner FROM accounts ORDER BY balance DESC "
+                    "FETCH FIRST 1 ROWS ONLY"));
+  show("VARIANCE / STDDEV (DB2 spellings)",
+       db2->Execute("SELECT VARIANCE(balance), STDDEV(balance) "
+                    "FROM accounts"));
+  (void)db2->Execute(
+      "DECLARE GLOBAL TEMPORARY TABLE work1 (x INT) ON COMMIT PRESERVE ROWS");
+  (void)db2->Execute("INSERT INTO session.work1 VALUES (9)");
+  show("DECLARE GLOBAL TEMPORARY TABLE",
+       db2->Execute("SELECT x FROM session.work1"));
+  (void)db2->Execute("CREATE ALIAS acct FOR accounts");
+  show("CREATE ALIAS", db2->Execute("SELECT COUNT(*) FROM acct"));
+
+  // --- SET SQL_DIALECT at runtime ------------------------------------------
+  auto flexible = db->Connect("mixed_app");
+  std::printf("--- switching dialects within one session ---\n");
+  show("SET SQL_DIALECT = ORACLE",
+       flexible->Execute("SET SQL_DIALECT = ORACLE"));
+  show("SELECT SYSDATE FROM DUAL",
+       flexible->Execute("SELECT SYSDATE FROM DUAL"));
+  show("SET SQL_DIALECT = NETEZZA",
+       flexible->Execute("SET SQL_DIALECT = NETEZZA"));
+  show("SELECT NOW()::DATE", flexible->Execute("SELECT NOW()::DATE"));
+  return 0;
+}

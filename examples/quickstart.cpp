@@ -1,0 +1,60 @@
+// Quickstart: deploy a dashDB Local instance (hardware detection +
+// automatic configuration, paper II.A), create a table, load data, query.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/dashdb.h"
+
+int main() {
+  using namespace dashdb;
+  // One call boots the full stack, adapted to this machine.
+  auto deployed = DashDbLocal::Deploy();
+  if (!deployed.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 deployed.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(*deployed);
+  std::printf("deployed on %d cores / %zu GB RAM\n", db->hardware().cores,
+              db->hardware().ram_gb());
+  std::printf("auto-configuration: %s\n", db->config().Describe().c_str());
+
+  auto conn = db->Connect("quickstart");
+  auto run = [&](const std::string& sql) {
+    auto r = conn->Execute(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "SQL error: %s\n  in: %s\n",
+                   r.status().ToString().c_str(), sql.c_str());
+      std::exit(1);
+    }
+    return *std::move(r);
+  };
+
+  run("CREATE TABLE sales (region VARCHAR(10), sale_date DATE, "
+      "amount DOUBLE)");
+  run("INSERT INTO sales VALUES "
+      "('NORTH', DATE '2017-01-05', 120.50), "
+      "('SOUTH', DATE '2017-01-06', 220.00), "
+      "('NORTH', DATE '2017-02-07', 80.25), "
+      "('EAST',  DATE '2017-02-08', 310.10), "
+      "('SOUTH', DATE '2017-03-09', 150.75)");
+
+  QueryResult r = run(
+      "SELECT region, COUNT(*) n, SUM(amount) total FROM sales "
+      "GROUP BY region ORDER BY total DESC");
+  std::printf("\n%-8s %4s %10s\n", "REGION", "N", "TOTAL");
+  for (size_t i = 0; i < r.rows.num_rows(); ++i) {
+    std::printf("%-8s %4lld %10.2f\n",
+                r.rows.columns[0].GetString(i).c_str(),
+                static_cast<long long>(r.rows.columns[1].GetInt(i)),
+                r.rows.columns[2].GetDouble(i));
+  }
+
+  // Peek at the columnar plan.
+  QueryResult plan = run(
+      "EXPLAIN SELECT region, SUM(amount) FROM sales "
+      "WHERE sale_date >= DATE '2017-02-01' GROUP BY region");
+  std::printf("\nplan:\n%s", plan.message.c_str());
+  return 0;
+}

@@ -1,0 +1,215 @@
+#include "bufferpool/bufferpool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+
+namespace dashdb {
+
+const char* PolicyName(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kLru: return "LRU";
+    case ReplacementPolicy::kClock: return "CLOCK";
+    case ReplacementPolicy::kRandomWeight: return "RandomWeight";
+  }
+  return "?";
+}
+
+BufferPool::BufferPool(size_t capacity_bytes, ReplacementPolicy policy,
+                       uint64_t seed)
+    : capacity_(capacity_bytes), policy_(policy), rng_(seed) {}
+
+bool BufferPool::Access(const PageId& id, size_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.accesses;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Frame& f = it->second;
+    switch (policy_) {
+      case ReplacementPolicy::kLru:
+        lru_.erase(f.lru_pos);
+        lru_.push_front(id);
+        f.lru_pos = lru_.begin();
+        break;
+      case ReplacementPolicy::kClock:
+        f.ref = true;
+        break;
+      case ReplacementPolicy::kRandomWeight:
+        // Access frequency accumulates; position in the table is irrelevant.
+        f.weight += 1.0;
+        break;
+    }
+    return true;
+  }
+  ++stats_.misses;
+  if (bytes > capacity_) return false;  // page can never be cached
+  while (used_ + bytes > capacity_ && !frames_.empty()) EvictOneLocked();
+  Frame f;
+  f.id = id;
+  f.bytes = bytes;
+  // Probationary admission weight: newcomers must earn residency through
+  // hits, so cyclic scans victimize fresh pages and a stable hot subset
+  // survives — the scan-resistance mechanism of [13].
+  f.weight = 0.25;
+  f.ref = true;
+  if (policy_ == ReplacementPolicy::kLru) {
+    lru_.push_front(id);
+    f.lru_pos = lru_.begin();
+  } else {
+    resident_pos_[id] = resident_.size();
+    resident_.push_back(id);
+  }
+  used_ += bytes;
+  frames_.emplace(id, std::move(f));
+  return false;
+}
+
+void BufferPool::EvictOneLocked() {
+  assert(!frames_.empty());
+  PageId victim;
+  switch (policy_) {
+    case ReplacementPolicy::kLru: {
+      victim = lru_.back();
+      lru_.pop_back();
+      break;
+    }
+    case ReplacementPolicy::kClock: {
+      // Second chance sweep over the resident vector.
+      for (;;) {
+        if (clock_hand_ >= resident_.size()) clock_hand_ = 0;
+        Frame& f = frames_[resident_[clock_hand_]];
+        if (f.ref) {
+          f.ref = false;
+          ++clock_hand_;
+        } else {
+          victim = resident_[clock_hand_];
+          break;
+        }
+      }
+      break;
+    }
+    case ReplacementPolicy::kRandomWeight: {
+      // Randomized page weights [13]: sample K resident pages, perturb each
+      // weight with a uniform factor, evict the smallest. The perturbation
+      // keeps scans from victimizing deterministically, and sampled pages
+      // decay so stale frequency fades.
+      constexpr int kCandidates = 8;
+      double best = 0;
+      bool first = true;
+      size_t best_idx = 0;
+      for (int i = 0; i < kCandidates; ++i) {
+        size_t idx = rng_.Uniform(resident_.size());
+        Frame& f = frames_[resident_[idx]];
+        double perturbed = f.weight * rng_.NextDouble();
+        if (first || perturbed < best) {
+          best = perturbed;
+          best_idx = idx;
+          first = false;
+        }
+        f.weight *= 0.98;  // gentle decay so old heat fades
+      }
+      victim = resident_[best_idx];
+      break;
+    }
+  }
+  auto it = frames_.find(victim);
+  used_ -= it->second.bytes;
+  frames_.erase(it);
+  if (policy_ != ReplacementPolicy::kLru) {
+    // Swap-remove from the sampling vector.
+    size_t pos = resident_pos_[victim];
+    resident_pos_.erase(victim);
+    if (pos != resident_.size() - 1) {
+      resident_[pos] = resident_.back();
+      resident_pos_[resident_[pos]] = pos;
+    }
+    resident_.pop_back();
+  }
+  ++stats_.evictions;
+}
+
+void BufferPool::EvictTable(uint64_t table_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->first.table_id == table_id) {
+      used_ -= it->second.bytes;
+      if (policy_ == ReplacementPolicy::kLru) {
+        lru_.erase(it->second.lru_pos);
+      } else {
+        size_t pos = resident_pos_[it->first];
+        resident_pos_.erase(it->first);
+        if (pos != resident_.size() - 1) {
+          resident_[pos] = resident_.back();
+          resident_pos_[resident_[pos]] = pos;
+        }
+        resident_.pop_back();
+      }
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_ = BufferPoolStats{};
+}
+
+size_t BufferPool::used_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return used_;
+}
+
+double SimulateOptimalHitRatio(const std::vector<uint32_t>& trace,
+                               size_t capacity_pages) {
+  if (trace.empty() || capacity_pages == 0) return 0.0;
+  const size_t n = trace.size();
+  // next_use[i] = next position after i where trace[i] recurs (or n).
+  std::vector<size_t> next_use(n);
+  std::unordered_map<uint32_t, size_t> last_seen;
+  for (size_t i = n; i-- > 0;) {
+    auto it = last_seen.find(trace[i]);
+    next_use[i] = it == last_seen.end() ? n : it->second;
+    last_seen[trace[i]] = i;
+  }
+  // Cache = set of pages; victim = resident page with farthest next use.
+  // Keep a max-heap of (next_use, page) with lazy invalidation.
+  std::unordered_map<uint32_t, size_t> resident;  // page -> its current next use
+  std::priority_queue<std::pair<size_t, uint32_t>> heap;
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t p = trace[i];
+    auto it = resident.find(p);
+    if (it != resident.end()) {
+      ++hits;
+      it->second = next_use[i];
+      heap.emplace(next_use[i], p);
+      continue;
+    }
+    if (resident.size() >= capacity_pages) {
+      // Pop until a live entry (entry matches the page's recorded next use).
+      for (;;) {
+        auto [nu, q] = heap.top();
+        heap.pop();
+        auto rit = resident.find(q);
+        if (rit != resident.end() && rit->second == nu) {
+          resident.erase(rit);
+          break;
+        }
+      }
+    }
+    resident[p] = next_use[i];
+    heap.emplace(next_use[i], p);
+  }
+  return static_cast<double>(hits) / n;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,108 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+namespace dashdb {
+
+Catalog::Catalog() { schemas_[NormalizeIdent("PUBLIC")] = true; }
+
+std::string Catalog::Key(const std::string& schema, const std::string& table) {
+  return NormalizeIdent(schema) + "." + NormalizeIdent(table);
+}
+
+Status Catalog::CreateSchema(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string n = NormalizeIdent(name);
+  if (schemas_.count(n)) return Status::AlreadyExists("schema " + name);
+  schemas_[n] = true;
+  return Status::OK();
+}
+
+Status Catalog::DropSchema(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string n = NormalizeIdent(name);
+  auto it = schemas_.find(n);
+  if (it == schemas_.end()) return Status::NotFound("schema " + name);
+  // Drop contained entries.
+  std::string prefix = n + ".";
+  for (auto e = entries_.begin(); e != entries_.end();) {
+    if (e->first.rfind(prefix, 0) == 0) {
+      e = entries_.erase(e);
+    } else {
+      ++e;
+    }
+  }
+  schemas_.erase(it);
+  return Status::OK();
+}
+
+bool Catalog::HasSchema(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return schemas_.count(NormalizeIdent(name)) > 0;
+}
+
+Status Catalog::CreateEntry(CatalogEntry entry) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string sn = NormalizeIdent(entry.schema.schema_name());
+  if (!schemas_.count(sn)) {
+    return Status::NotFound("schema " + entry.schema.schema_name());
+  }
+  std::string key = Key(entry.schema.schema_name(), entry.schema.table_name());
+  if (entries_.count(key)) {
+    return Status::AlreadyExists("table " + entry.schema.QualifiedName());
+  }
+  entries_[key] = std::make_shared<CatalogEntry>(std::move(entry));
+  return Status::OK();
+}
+
+Status Catalog::DropEntry(const std::string& schema, const std::string& table) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(Key(schema, table));
+  if (it == entries_.end()) {
+    return Status::NotFound("table " + schema + "." + table);
+  }
+  entries_.erase(it);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<CatalogEntry>> Catalog::Lookup(
+    const std::string& schema, const std::string& table) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(Key(schema, table));
+  if (it == entries_.end()) {
+    return Status::NotFound("table " + schema + "." + table);
+  }
+  return it->second;
+}
+
+bool Catalog::HasEntry(const std::string& schema,
+                       const std::string& table) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.count(Key(schema, table)) > 0;
+}
+
+std::vector<std::shared_ptr<CatalogEntry>> Catalog::ListEntries(
+    const std::string& schema) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::shared_ptr<CatalogEntry>> out;
+  std::string prefix = NormalizeIdent(schema) + ".";
+  for (const auto& [k, v] : entries_) {
+    if (k.rfind(prefix, 0) == 0) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::ListSchemas() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(schemas_.size());
+  for (const auto& [k, v] : schemas_) out.push_back(k);
+  return out;
+}
+
+size_t Catalog::TableCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+}  // namespace dashdb

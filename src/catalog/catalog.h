@@ -1,0 +1,79 @@
+// The database catalog: schemas, base tables, views, and Fluid Query
+// nicknames (paper II.C.6). Storage objects attach through the
+// StorageObject anchor so the catalog stays independent of the storage
+// implementation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace dashdb {
+
+/// Polymorphic anchor for the physical object behind a catalog entry
+/// (ColumnTable, RowTable, remote nickname handle, ...).
+class StorageObject {
+ public:
+  virtual ~StorageObject() = default;
+};
+
+enum class EntryKind : uint8_t { kBaseTable = 0, kView, kNickname };
+
+struct CatalogEntry {
+  EntryKind kind = EntryKind::kBaseTable;
+  TableSchema schema;
+  std::shared_ptr<StorageObject> storage;
+  /// For views: the defining SQL text and the dialect it was created under
+  /// (paper II.C.2: objects remember their creation-time dialect).
+  std::string view_sql;
+  std::string view_dialect;
+};
+
+/// Thread-safe name -> entry map with schema support.
+class Catalog {
+ public:
+  Catalog();
+
+  /// Creates a schema; AlreadyExists if present.
+  Status CreateSchema(const std::string& name);
+  Status DropSchema(const std::string& name);
+  bool HasSchema(const std::string& name) const;
+
+  /// Registers a table/view/nickname. AlreadyExists on duplicate names.
+  Status CreateEntry(CatalogEntry entry);
+
+  /// Drops an entry; NotFound if absent.
+  Status DropEntry(const std::string& schema, const std::string& table);
+
+  /// Looks up an entry; NotFound if absent. The returned pointer stays valid
+  /// until the entry is dropped.
+  Result<std::shared_ptr<CatalogEntry>> Lookup(const std::string& schema,
+                                               const std::string& table) const;
+
+  bool HasEntry(const std::string& schema, const std::string& table) const;
+
+  /// All entries of a schema (snapshot), sorted by name.
+  std::vector<std::shared_ptr<CatalogEntry>> ListEntries(
+      const std::string& schema) const;
+
+  /// Every schema name (snapshot), sorted.
+  std::vector<std::string> ListSchemas() const;
+
+  /// Total table count across schemas (catalog-size telemetry used by the
+  /// customer-workload bench, which builds paper-scale catalogs).
+  size_t TableCount() const;
+
+ private:
+  static std::string Key(const std::string& schema, const std::string& table);
+
+  mutable std::mutex mu_;
+  std::map<std::string, bool> schemas_;
+  std::map<std::string, std::shared_ptr<CatalogEntry>> entries_;
+};
+
+}  // namespace dashdb

@@ -1,0 +1,23 @@
+#include "catalog/schema.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dashdb {
+
+std::string NormalizeIdent(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+int TableSchema::FindColumn(const std::string& name) const {
+  std::string n = NormalizeIdent(name);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (NormalizeIdent(columns_[i].name) == n) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,77 @@
+// Table schema metadata: column definitions, table organization
+// (column-organized vs row-organized, paper II.B), and MPP distribution keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace dashdb {
+
+/// How the table's pages are organized (paper II.B.3 / II.B.7): dashDB's
+/// engine is column-organized; the row organization exists as the appliance
+/// baseline for the 10-50x comparison.
+enum class TableOrganization : uint8_t { kColumn = 0, kRow };
+
+/// One column of a table.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+  bool nullable = true;
+  /// Decimal scale (digits right of the point) when type == kDecimal.
+  int decimal_scale = 0;
+  /// Unique constraint — the only kind of index the columnar engine allows
+  /// ("no indexes other than those enforcing uniqueness", paper II.B.7).
+  bool unique = false;
+};
+
+/// Full logical schema of a table.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string schema_name, std::string table_name,
+              std::vector<ColumnDef> columns,
+              TableOrganization org = TableOrganization::kColumn)
+      : schema_name_(std::move(schema_name)),
+        table_name_(std::move(table_name)),
+        columns_(std::move(columns)),
+        organization_(org) {}
+
+  const std::string& schema_name() const { return schema_name_; }
+  const std::string& table_name() const { return table_name_; }
+  std::string QualifiedName() const { return schema_name_ + "." + table_name_; }
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[i]; }
+
+  /// Index of column `name` (case-insensitive), or -1.
+  int FindColumn(const std::string& name) const;
+
+  TableOrganization organization() const { return organization_; }
+  void set_organization(TableOrganization o) { organization_ = o; }
+
+  /// Column index used for MPP hash distribution; -1 = round-robin.
+  int distribution_key() const { return distribution_key_; }
+  void set_distribution_key(int idx) { distribution_key_ = idx; }
+
+  bool is_temporary() const { return temporary_; }
+  void set_temporary(bool t) { temporary_ = t; }
+
+ private:
+  std::string schema_name_ = "PUBLIC";
+  std::string table_name_;
+  std::vector<ColumnDef> columns_;
+  TableOrganization organization_ = TableOrganization::kColumn;
+  int distribution_key_ = -1;
+  bool temporary_ = false;
+};
+
+/// Case-insensitive identifier normalization (SQL identifiers fold to upper
+/// case unless quoted; quoting is handled by the lexer).
+std::string NormalizeIdent(const std::string& s);
+
+}  // namespace dashdb

@@ -1,0 +1,171 @@
+// ColumnVector / RowBatch: the typed columnar batches that flow between
+// storage, the vectorized executor, MPP exchange, and sparklite.
+//
+// All integer-backed SQL types (BOOLEAN/INT/DATE/TIMESTAMP/DECIMAL) share
+// the int64 payload; DOUBLE and VARCHAR have their own payloads.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace dashdb {
+
+/// A typed, nullable column of values.
+class ColumnVector {
+ public:
+  ColumnVector() : type_(TypeId::kInt64) {}
+  explicit ColumnVector(TypeId t) : type_(t) {}
+
+  TypeId type() const { return type_; }
+  void set_type(TypeId t) { type_ = t; }
+
+  size_t size() const { return size_; }
+  bool has_nulls() const { return null_count_ > 0; }
+  size_t null_count() const { return null_count_; }
+
+  bool IsNull(size_t i) const {
+    return null_count_ > 0 && nulls_.size() > i && nulls_.Get(i);
+  }
+
+  int64_t GetInt(size_t i) const { return ints_[i]; }
+  double GetDouble(size_t i) const {
+    return type_ == TypeId::kDouble ? doubles_[i]
+                                    : static_cast<double>(ints_[i]);
+  }
+  const std::string& GetString(size_t i) const { return strings_[i]; }
+
+  void Reserve(size_t n) {
+    if (type_ == TypeId::kDouble) {
+      doubles_.reserve(n);
+    } else if (type_ == TypeId::kVarchar) {
+      strings_.reserve(n);
+    } else {
+      ints_.reserve(n);
+    }
+  }
+
+  void AppendInt(int64_t v) {
+    assert(type_ != TypeId::kDouble && type_ != TypeId::kVarchar);
+    ints_.push_back(v);
+    BumpSize(false);
+  }
+  void AppendDouble(double v) {
+    assert(type_ == TypeId::kDouble);
+    doubles_.push_back(v);
+    BumpSize(false);
+  }
+  void AppendString(std::string v) {
+    assert(type_ == TypeId::kVarchar);
+    strings_.push_back(std::move(v));
+    BumpSize(false);
+  }
+  void AppendNull() {
+    if (type_ == TypeId::kDouble) {
+      doubles_.push_back(0);
+    } else if (type_ == TypeId::kVarchar) {
+      strings_.emplace_back();
+    } else {
+      ints_.push_back(0);
+    }
+    BumpSize(true);
+  }
+
+  /// Appends a Value (must already match this vector's type or be NULL).
+  void AppendValue(const Value& v) {
+    if (v.is_null()) {
+      AppendNull();
+    } else if (type_ == TypeId::kDouble) {
+      AppendDouble(v.AsDouble());
+    } else if (type_ == TypeId::kVarchar) {
+      AppendString(v.AsString());
+    } else {
+      AppendInt(v.AsInt());
+    }
+  }
+
+  Value GetValue(size_t i) const {
+    if (IsNull(i)) return Value::Null(type_);
+    switch (type_) {
+      case TypeId::kBoolean: return Value::Boolean(ints_[i] != 0);
+      case TypeId::kInt32: return Value::Int32(static_cast<int32_t>(ints_[i]));
+      case TypeId::kInt64: return Value::Int64(ints_[i]);
+      case TypeId::kDouble: return Value::Double(doubles_[i]);
+      case TypeId::kVarchar: return Value::String(strings_[i]);
+      case TypeId::kDate: return Value::Date(static_cast<int32_t>(ints_[i]));
+      case TypeId::kTimestamp: return Value::Timestamp(ints_[i]);
+      case TypeId::kDecimal: return Value::Decimal(ints_[i]);
+    }
+    return Value::Null(type_);
+  }
+
+  /// Appends row i of `other` (same type).
+  void AppendFrom(const ColumnVector& other, size_t i) {
+    if (other.IsNull(i)) {
+      AppendNull();
+    } else if (type_ == TypeId::kDouble) {
+      AppendDouble(other.doubles_[i]);
+    } else if (type_ == TypeId::kVarchar) {
+      AppendString(other.strings_[i]);
+    } else {
+      AppendInt(other.ints_[i]);
+    }
+  }
+
+  void Clear() {
+    ints_.clear();
+    doubles_.clear();
+    strings_.clear();
+    nulls_.Resize(0);
+    size_ = 0;
+    null_count_ = 0;
+  }
+
+  /// Direct access to the integer payload (integer-backed types only).
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const BitVector& nulls() const { return nulls_; }
+
+ private:
+  void BumpSize(bool is_null) {
+    if (is_null) {
+      if (nulls_.size() < size_ + 1) nulls_.GrowTo(size_ + 1);
+      nulls_.Set(size_);
+      ++null_count_;
+    } else if (null_count_ > 0 && nulls_.size() < size_ + 1) {
+      nulls_.GrowTo(size_ + 1);
+    }
+    ++size_;
+  }
+
+  TypeId type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  BitVector nulls_;
+  size_t size_ = 0;
+  size_t null_count_ = 0;
+};
+
+/// A batch of rows in columnar form.
+struct RowBatch {
+  std::vector<ColumnVector> columns;
+
+  size_t num_rows() const { return columns.empty() ? 0 : columns[0].size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  std::vector<Value> Row(size_t i) const {
+    std::vector<Value> out;
+    out.reserve(columns.size());
+    for (const auto& c : columns) out.push_back(c.GetValue(i));
+    return out;
+  }
+};
+
+}  // namespace dashdb

@@ -1,0 +1,89 @@
+#include "common/datetime.h"
+
+#include <cstdio>
+
+namespace dashdb {
+
+int32_t DaysFromCivil(int32_t y, int32_t m, int32_t d) {
+  y -= m <= 2;
+  const int32_t era = (y >= 0 ? y : y - 399) / 400;
+  const uint32_t yoe = static_cast<uint32_t>(y - era * 400);           // [0, 399]
+  const uint32_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const uint32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<int32_t>(doe) - 719468;
+}
+
+CivilDate CivilFromDays(int32_t z) {
+  z += 719468;
+  const int32_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const uint32_t doe = static_cast<uint32_t>(z - era * 146097);  // [0, 146096]
+  const uint32_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int32_t y = static_cast<int32_t>(yoe) + era * 400;
+  const uint32_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const uint32_t mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const uint32_t d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const uint32_t m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  return CivilDate{y + (m <= 2), static_cast<int32_t>(m), static_cast<int32_t>(d)};
+}
+
+Result<int32_t> ParseDate(const std::string& s) {
+  int y, m, d;
+  if (std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    return Status::ParseError("bad date literal: '" + s + "'");
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::OutOfRange("date out of range: '" + s + "'");
+  }
+  return DaysFromCivil(y, m, d);
+}
+
+Result<int64_t> ParseTimestamp(const std::string& s) {
+  int y, m, d, hh = 0, mm = 0, ss = 0;
+  int n = std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d", &y, &m, &d, &hh, &mm, &ss);
+  if (n != 3 && n != 6) {
+    return Status::ParseError("bad timestamp literal: '" + s + "'");
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31 || hh < 0 || hh > 23 || mm < 0 ||
+      mm > 59 || ss < 0 || ss > 60) {
+    return Status::OutOfRange("timestamp out of range: '" + s + "'");
+  }
+  int64_t days = DaysFromCivil(y, m, d);
+  int64_t secs = days * 86400 + hh * 3600 + mm * 60 + ss;
+  return secs * 1000000;
+}
+
+std::string FormatDate(int32_t days) {
+  CivilDate c = CivilFromDays(days);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+std::string FormatTimestamp(int64_t micros) {
+  int64_t secs = micros / 1000000;
+  int64_t days = secs / 86400;
+  int64_t rem = secs % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  CivilDate c = CivilFromDays(static_cast<int32_t>(days));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", c.year,
+                c.month, c.day, static_cast<int>(rem / 3600),
+                static_cast<int>((rem % 3600) / 60), static_cast<int>(rem % 60));
+  return buf;
+}
+
+int DayOfWeek(int32_t days) {
+  // 1970-01-01 was a Thursday (dow 4 with Sunday = 0).
+  int dow = (days + 4) % 7;
+  return dow < 0 ? dow + 7 : dow;
+}
+
+int DayOfYear(int32_t days) {
+  CivilDate c = CivilFromDays(days);
+  return days - DaysFromCivil(c.year, 1, 1) + 1;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,42 @@
+// Proleptic-Gregorian date arithmetic (days since 1970-01-01) and
+// 'YYYY-MM-DD' / 'YYYY-MM-DD HH:MM:SS' parsing & formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dashdb {
+
+struct CivilDate {
+  int32_t year;
+  int32_t month;  ///< 1..12
+  int32_t day;    ///< 1..31
+};
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+int32_t DaysFromCivil(int32_t y, int32_t m, int32_t d);
+
+/// Inverse of DaysFromCivil.
+CivilDate CivilFromDays(int32_t days);
+
+/// Parses 'YYYY-MM-DD' into days since epoch.
+Result<int32_t> ParseDate(const std::string& s);
+
+/// Parses 'YYYY-MM-DD[ HH:MM:SS]' into microseconds since epoch.
+Result<int64_t> ParseTimestamp(const std::string& s);
+
+/// Formats days since epoch as 'YYYY-MM-DD'.
+std::string FormatDate(int32_t days);
+
+/// Formats micros since epoch as 'YYYY-MM-DD HH:MM:SS'.
+std::string FormatTimestamp(int64_t micros);
+
+/// Day of week, 0 = Sunday (for DATE_PART('dow', ...)).
+int DayOfWeek(int32_t days);
+
+/// Day of year, 1-based.
+int DayOfYear(int32_t days);
+
+}  // namespace dashdb

@@ -1,0 +1,40 @@
+// SQL dialect identifiers (paper II.C): dashDB compiles ANSI SQL plus
+// Oracle, Netezza, PostgreSQL, and DB2 language variants, selected per
+// session ("a session variable is leveraged allowing individual sessions to
+// decide the dialect to use when compiling SQL").
+#pragma once
+
+#include <string>
+
+namespace dashdb {
+
+enum class Dialect : uint8_t {
+  kAnsi = 0,
+  kOracle,
+  kNetezza,
+  kPostgres,
+  kDb2,
+};
+
+inline const char* DialectName(Dialect d) {
+  switch (d) {
+    case Dialect::kAnsi: return "ANSI";
+    case Dialect::kOracle: return "ORACLE";
+    case Dialect::kNetezza: return "NETEZZA";
+    case Dialect::kPostgres: return "POSTGRES";
+    case Dialect::kDb2: return "DB2";
+  }
+  return "?";
+}
+
+inline bool DialectFromName(const std::string& s, Dialect* out) {
+  if (s == "ANSI") *out = Dialect::kAnsi;
+  else if (s == "ORACLE") *out = Dialect::kOracle;
+  else if (s == "NETEZZA" || s == "NZPLSQL") *out = Dialect::kNetezza;
+  else if (s == "POSTGRES" || s == "POSTGRESQL") *out = Dialect::kPostgres;
+  else if (s == "DB2") *out = Dialect::kDb2;
+  else return false;
+  return true;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,42 @@
+// Hash functions shared by the executor (hash join/group-by), the MPP
+// sharding layer (hash partitioning), and the Netezza-compat HASH/HASH4/
+// HASH8 scalar functions.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace dashdb {
+
+/// 64-bit integer finalizer (Murmur3 fmix64). Good avalanche, cheap.
+inline uint64_t HashInt64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDull;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// FNV-1a over bytes; used for string keys.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ull + (a << 12) + (a >> 4));
+}
+
+}  // namespace dashdb

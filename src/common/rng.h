@@ -1,0 +1,104 @@
+// Deterministic pseudo-random generators used by workload generators and
+// the probabilistic buffer-pool policy. Fixed algorithms (not std::mt19937
+// behind an unspecified distribution) so results are reproducible across
+// platforms.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dashdb {
+
+/// xorshift128+ generator; fast, deterministic, seedable.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 to spread the seed into two non-zero state words.
+    auto mix = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      return z ^ (z >> 31);
+    };
+    s0_ = mix();
+    s1_ = mix();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    assert(hi >= lo);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box–Muller.
+  double Gaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+/// Zipf(s) sampler over {0, .., n-1} with precomputed CDF — models the
+/// skewed value frequencies that make frequency encoding effective and the
+/// hot-page access patterns the buffer pool benches need.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double s, uint64_t seed = 42)
+      : rng_(seed), cdf_(n) {
+    double sum = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    // Binary search for first cdf >= u.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace dashdb

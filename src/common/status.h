@@ -1,0 +1,158 @@
+// Status / Result error-handling primitives, in the style of Arrow / RocksDB.
+//
+// All fallible operations across module boundaries return Status (or
+// Result<T> when they produce a value). Exceptions are not thrown across
+// public APIs.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dashdb {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+  kAborted,
+  kIOError,
+  kParseError,       ///< SQL text could not be parsed.
+  kSemanticError,    ///< SQL parsed but is semantically invalid.
+  kUnavailable,      ///< A node/container/shard is currently down.
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<Rep> rep_;  // null == OK
+};
+
+/// A value-or-Status. Access to the value on an error Result aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(var_).ok() && "Result built from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+#define DASHDB_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::dashdb::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+#define DASHDB_CONCAT_IMPL(a, b) a##b
+#define DASHDB_CONCAT(a, b) DASHDB_CONCAT_IMPL(a, b)
+
+#define DASHDB_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto DASHDB_CONCAT(_res_, __LINE__) = (rexpr);                    \
+  if (!DASHDB_CONCAT(_res_, __LINE__).ok())                         \
+    return DASHDB_CONCAT(_res_, __LINE__).status();                 \
+  lhs = std::move(DASHDB_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace dashdb

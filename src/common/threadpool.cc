@@ -1,0 +1,64 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace dashdb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  int shards = num_threads();
+  if (n < static_cast<size_t>(shards) * 4) {
+    // Small job: run inline to avoid scheduling overhead.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  std::vector<std::future<void>> futs;
+  futs.reserve(shards);
+  const size_t chunk = std::max<size_t>(1, n / (shards * 8));
+  for (int t = 0; t < shards; ++t) {
+    futs.push_back(Submit([next, n, chunk, &fn] {
+      for (;;) {
+        size_t begin = next->fetch_add(chunk);
+        if (begin >= n) return;
+        size_t end = std::min(n, begin + chunk);
+        for (size_t i = begin; i < end; ++i) fn(i);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace dashdb

@@ -1,0 +1,64 @@
+#include "common/types.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dashdb {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kBoolean: return "BOOLEAN";
+    case TypeId::kInt32: return "INTEGER";
+    case TypeId::kInt64: return "BIGINT";
+    case TypeId::kDouble: return "DOUBLE";
+    case TypeId::kVarchar: return "VARCHAR";
+    case TypeId::kDate: return "DATE";
+    case TypeId::kTimestamp: return "TIMESTAMP";
+    case TypeId::kDecimal: return "DECIMAL";
+  }
+  return "UNKNOWN";
+}
+
+int FixedWidth(TypeId t) {
+  switch (t) {
+    case TypeId::kBoolean: return 1;
+    case TypeId::kInt32: return 4;
+    case TypeId::kInt64: return 8;
+    case TypeId::kDouble: return 8;
+    case TypeId::kDate: return 4;
+    case TypeId::kTimestamp: return 8;
+    case TypeId::kDecimal: return 8;
+    case TypeId::kVarchar: return -1;
+  }
+  return -1;
+}
+
+Result<TypeId> TypeFromName(const std::string& name) {
+  std::string u = name;
+  std::transform(u.begin(), u.end(), u.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  // ANSI names.
+  if (u == "BOOLEAN" || u == "BOOL") return TypeId::kBoolean;
+  if (u == "INTEGER" || u == "INT") return TypeId::kInt32;
+  if (u == "SMALLINT") return TypeId::kInt32;
+  if (u == "BIGINT") return TypeId::kInt64;
+  if (u == "DOUBLE" || u == "FLOAT" || u == "REAL") return TypeId::kDouble;
+  if (u == "VARCHAR" || u == "CHAR" || u == "TEXT" || u == "CHARACTER")
+    return TypeId::kVarchar;
+  if (u == "DATE") return TypeId::kDate;
+  if (u == "TIMESTAMP") return TypeId::kTimestamp;
+  if (u == "DECIMAL" || u == "NUMERIC") return TypeId::kDecimal;
+  // Netezza / PostgreSQL dialect names (paper II.C.1.b).
+  if (u == "INT2") return TypeId::kInt32;
+  if (u == "INT4") return TypeId::kInt32;
+  if (u == "INT8") return TypeId::kInt64;
+  if (u == "FLOAT4") return TypeId::kDouble;
+  if (u == "FLOAT8") return TypeId::kDouble;
+  if (u == "BPCHAR") return TypeId::kVarchar;
+  // Oracle dialect names (paper II.C.1.a).
+  if (u == "VARCHAR2") return TypeId::kVarchar;
+  if (u == "NUMBER") return TypeId::kDecimal;
+  return Status::SemanticError("unknown type name: " + name);
+}
+
+}  // namespace dashdb

@@ -1,0 +1,58 @@
+// SQL type system shared by catalog, storage, execution, and SQL layers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace dashdb {
+
+/// Physical/logical SQL column types supported by the engine.
+///
+/// DECIMAL is represented as a scaled int64 (scale carried by the column
+/// definition); DATE is int32 days since 1970-01-01; TIMESTAMP is int64
+/// microseconds since the epoch.
+enum class TypeId : uint8_t {
+  kBoolean = 0,
+  kInt32,
+  kInt64,
+  kDouble,
+  kVarchar,
+  kDate,
+  kTimestamp,
+  kDecimal,
+};
+
+/// Returns the SQL-ish display name ("INTEGER", "VARCHAR", ...).
+const char* TypeName(TypeId t);
+
+/// True for types whose values are stored as integers (and are therefore
+/// eligible for minus/frequency encoding on the integer domain).
+inline bool IsIntegerBacked(TypeId t) {
+  switch (t) {
+    case TypeId::kBoolean:
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+    case TypeId::kTimestamp:
+    case TypeId::kDecimal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool IsNumeric(TypeId t) {
+  return t == TypeId::kInt32 || t == TypeId::kInt64 || t == TypeId::kDouble ||
+         t == TypeId::kDecimal;
+}
+
+/// Width in bytes of the in-memory fixed representation (VARCHAR excluded).
+int FixedWidth(TypeId t);
+
+/// Parses a SQL type name (dialect-inclusive: INT4, FLOAT8, VARCHAR2,
+/// NUMBER, BPCHAR, ...) into a TypeId.
+Result<TypeId> TypeFromName(const std::string& name);
+
+}  // namespace dashdb

@@ -1,0 +1,137 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/datetime.h"
+
+namespace dashdb {
+
+int Value::Compare(const Value& other) const {
+  // NULLs sort high and equal to each other.
+  if (null_ && other.null_) return 0;
+  if (null_) return 1;
+  if (other.null_) return -1;
+  if (type_ == TypeId::kVarchar && other.type_ == TypeId::kVarchar) {
+    const std::string& a = AsString();
+    const std::string& b = other.AsString();
+    return a < b ? -1 : (a == b ? 0 : 1);
+  }
+  if (type_ == TypeId::kVarchar || other.type_ == TypeId::kVarchar) {
+    // Cross-family comparison: compare display strings for determinism.
+    std::string a = ToString();
+    std::string b = other.ToString();
+    return a < b ? -1 : (a == b ? 0 : 1);
+  }
+  if (type_ == TypeId::kDouble || other.type_ == TypeId::kDouble) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    return a < b ? -1 : (a == b ? 0 : 1);
+  }
+  int64_t a = AsInt();
+  int64_t b = other.AsInt();
+  return a < b ? -1 : (a == b ? 0 : 1);
+}
+
+Result<Value> Value::CastTo(TypeId target) const {
+  if (null_) return Value::Null(target);
+  if (target == type_) return *this;
+  switch (target) {
+    case TypeId::kBoolean: {
+      if (type_ == TypeId::kVarchar) {
+        const std::string& s = AsString();
+        if (s == "t" || s == "true" || s == "TRUE" || s == "1")
+          return Value::Boolean(true);
+        if (s == "f" || s == "false" || s == "FALSE" || s == "0")
+          return Value::Boolean(false);
+        return Status::InvalidArgument("cannot cast '" + s + "' to BOOLEAN");
+      }
+      return Value::Boolean(AsDouble() != 0.0);
+    }
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDecimal: {
+      if (type_ == TypeId::kVarchar) {
+        char* end = nullptr;
+        const std::string& s = AsString();
+        long long v = std::strtoll(s.c_str(), &end, 10);
+        if (end == s.c_str() || (end && *end != '\0' && *end != '.')) {
+          return Status::InvalidArgument("cannot cast '" + s + "' to integer");
+        }
+        if (*end == '.') {
+          double d = std::strtod(s.c_str(), nullptr);
+          v = static_cast<long long>(std::llround(d));
+        }
+        return Value(target, static_cast<int64_t>(v));
+      }
+      if (type_ == TypeId::kDouble) {
+        return Value(target, static_cast<int64_t>(std::llround(AsDouble())));
+      }
+      return Value(target, AsInt());
+    }
+    case TypeId::kDouble: {
+      if (type_ == TypeId::kVarchar) {
+        char* end = nullptr;
+        const std::string& s = AsString();
+        double v = std::strtod(s.c_str(), &end);
+        if (end == s.c_str()) {
+          return Status::InvalidArgument("cannot cast '" + s + "' to DOUBLE");
+        }
+        return Value::Double(v);
+      }
+      return Value::Double(AsDouble());
+    }
+    case TypeId::kVarchar:
+      return Value::String(ToString());
+    case TypeId::kDate: {
+      if (type_ == TypeId::kVarchar) {
+        DASHDB_ASSIGN_OR_RETURN(int32_t days, ParseDate(AsString()));
+        return Value::Date(days);
+      }
+      if (type_ == TypeId::kTimestamp) {
+        int64_t secs = AsInt() / 1000000;
+        int64_t days = secs / 86400;
+        if (secs % 86400 < 0) days -= 1;
+        return Value::Date(static_cast<int32_t>(days));
+      }
+      return Value::Date(static_cast<int32_t>(AsInt()));
+    }
+    case TypeId::kTimestamp: {
+      if (type_ == TypeId::kVarchar) {
+        DASHDB_ASSIGN_OR_RETURN(int64_t us, ParseTimestamp(AsString()));
+        return Value::Timestamp(us);
+      }
+      if (type_ == TypeId::kDate) {
+        return Value::Timestamp(AsInt() * int64_t{86400} * 1000000);
+      }
+      return Value::Timestamp(AsInt());
+    }
+  }
+  return Status::Internal("unhandled cast target");
+}
+
+std::string Value::ToString() const {
+  if (null_) return "NULL";
+  switch (type_) {
+    case TypeId::kBoolean:
+      return AsBool() ? "true" : "false";
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDecimal:
+      return std::to_string(AsInt());
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case TypeId::kVarchar:
+      return AsString();
+    case TypeId::kDate:
+      return FormatDate(static_cast<int32_t>(AsInt()));
+    case TypeId::kTimestamp:
+      return FormatTimestamp(AsInt());
+  }
+  return "?";
+}
+
+}  // namespace dashdb

@@ -1,0 +1,81 @@
+// Scalar runtime value: a typed, nullable variant used at API boundaries
+// (SQL literals, result sets, expression constants). Vectorized execution
+// uses ColumnVector instead; Value is the per-cell escape hatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace dashdb {
+
+/// A typed, nullable scalar.
+class Value {
+ public:
+  /// Constructs a NULL of unspecified type (kVarchar carrier).
+  Value() : type_(TypeId::kVarchar), null_(true) {}
+
+  static Value Null(TypeId t) {
+    Value v;
+    v.type_ = t;
+    v.null_ = true;
+    return v;
+  }
+  static Value Boolean(bool b) { return Value(TypeId::kBoolean, int64_t{b}); }
+  static Value Int32(int32_t i) { return Value(TypeId::kInt32, int64_t{i}); }
+  static Value Int64(int64_t i) { return Value(TypeId::kInt64, i); }
+  static Value Double(double d) { return Value(TypeId::kDouble, d); }
+  static Value String(std::string s) {
+    return Value(TypeId::kVarchar, std::move(s));
+  }
+  /// `days` since 1970-01-01.
+  static Value Date(int32_t days) { return Value(TypeId::kDate, int64_t{days}); }
+  /// `micros` since the epoch.
+  static Value Timestamp(int64_t micros) {
+    return Value(TypeId::kTimestamp, micros);
+  }
+  /// Scaled integer decimal; scale is tracked by the column/expression type.
+  static Value Decimal(int64_t scaled) {
+    return Value(TypeId::kDecimal, scaled);
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return null_; }
+
+  bool AsBool() const { return std::get<int64_t>(payload_) != 0; }
+  int64_t AsInt() const { return std::get<int64_t>(payload_); }
+  double AsDouble() const {
+    if (std::holds_alternative<double>(payload_)) {
+      return std::get<double>(payload_);
+    }
+    return static_cast<double>(std::get<int64_t>(payload_));
+  }
+  const std::string& AsString() const { return std::get<std::string>(payload_); }
+
+  /// Total order used by ORDER BY / MIN / MAX; NULLs sort high. Comparing
+  /// across incompatible type families compares on the numeric promotion.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  /// Best-effort cast; Status on impossible conversions (e.g. 'abc' -> INT).
+  Result<Value> CastTo(TypeId target) const;
+
+  /// Display form ("NULL", "42", "2017-04-01", "'s'"-less raw text).
+  std::string ToString() const;
+
+ private:
+  Value(TypeId t, int64_t i) : type_(t), null_(false), payload_(i) {}
+  Value(TypeId t, double d) : type_(t), null_(false), payload_(d) {}
+  Value(TypeId t, std::string s) : type_(t), null_(false), payload_(std::move(s)) {}
+
+  TypeId type_;
+  bool null_;
+  std::variant<int64_t, double, std::string> payload_;
+};
+
+}  // namespace dashdb

@@ -1,0 +1,73 @@
+#include "compression/for_encoding.h"
+
+#include <algorithm>
+
+namespace dashdb {
+
+ForEncoded ForEncode(const int64_t* values, size_t n, const BitVector* nulls) {
+  ForEncoded e;
+  // Find min/max over non-null values.
+  bool first = true;
+  int64_t mn = 0, mx = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (nulls && nulls->Get(i)) continue;
+    if (first) {
+      mn = mx = values[i];
+      first = false;
+    } else {
+      mn = std::min(mn, values[i]);
+      mx = std::max(mx, values[i]);
+    }
+  }
+  e.base = first ? 0 : mn;
+  uint64_t range = first ? 0 : static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn);
+  e.bit_width = BitWidthFor(range);
+  e.codes.ResetWidth(e.bit_width);
+  e.codes.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (nulls && nulls->Get(i)) {
+      e.codes.Append(0);
+    } else {
+      e.codes.Append(static_cast<uint64_t>(values[i]) -
+                     static_cast<uint64_t>(e.base));
+    }
+  }
+  return e;
+}
+
+std::optional<ForCodeRange> ForRangeFor(const ForEncoded& e,
+                                        const int64_t* lo_bound, bool lo_incl,
+                                        const int64_t* hi_bound, bool hi_incl) {
+  // Max representable code on this page.
+  uint64_t code_max =
+      e.bit_width >= 64 ? ~uint64_t{0} : (uint64_t{1} << e.bit_width) - 1;
+  // Work in the value domain first, then subtract base with saturation.
+  int64_t lo_code = 0;
+  uint64_t hi_code = code_max;
+  if (lo_bound) {
+    int64_t lb = *lo_bound;
+    if (!lo_incl) {
+      if (lb == INT64_MAX) return std::nullopt;
+      lb += 1;
+    }
+    if (lb > e.base) {
+      uint64_t delta = static_cast<uint64_t>(lb) - static_cast<uint64_t>(e.base);
+      if (delta > code_max) return std::nullopt;  // everything on page < lb
+      lo_code = static_cast<int64_t>(delta);
+    }
+  }
+  if (hi_bound) {
+    int64_t hb = *hi_bound;
+    if (!hi_incl) {
+      if (hb == INT64_MIN) return std::nullopt;
+      hb -= 1;
+    }
+    if (hb < e.base) return std::nullopt;  // everything on page > hb
+    uint64_t delta = static_cast<uint64_t>(hb) - static_cast<uint64_t>(e.base);
+    hi_code = std::min(hi_code, delta);
+  }
+  if (static_cast<uint64_t>(lo_code) > hi_code) return std::nullopt;
+  return ForCodeRange{static_cast<uint64_t>(lo_code), hi_code};
+}
+
+}  // namespace dashdb

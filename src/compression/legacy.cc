@@ -1,0 +1,51 @@
+#include "compression/legacy.h"
+
+#include <unordered_set>
+
+namespace dashdb {
+
+namespace {
+constexpr size_t kMaxLegacyDict = 65536;  // 2-byte codes at most
+}
+
+LegacyCompressedPage LegacyCompressInts(const int64_t* values, size_t n) {
+  LegacyCompressedPage out;
+  out.raw_bytes = n * sizeof(int64_t);
+  std::unordered_set<int64_t> distinct;
+  for (size_t i = 0; i < n; ++i) {
+    distinct.insert(values[i]);
+    if (distinct.size() > kMaxLegacyDict) break;
+  }
+  if (distinct.size() > kMaxLegacyDict) {
+    out.encoded_bytes = out.raw_bytes;  // dictionary overflow -> store raw
+    return out;
+  }
+  out.dictionary_used = true;
+  size_t code_bytes = distinct.size() <= 256 ? 1 : 2;
+  out.encoded_bytes = n * code_bytes + distinct.size() * sizeof(int64_t);
+  return out;
+}
+
+LegacyCompressedPage LegacyCompressStrings(const std::string* values,
+                                           size_t n) {
+  LegacyCompressedPage out;
+  size_t raw = 0;
+  std::unordered_set<std::string> distinct;
+  for (size_t i = 0; i < n; ++i) {
+    raw += values[i].size() + 2;  // 2-byte length prefix
+    if (distinct.size() <= kMaxLegacyDict) distinct.insert(values[i]);
+  }
+  out.raw_bytes = raw;
+  if (distinct.size() > kMaxLegacyDict) {
+    out.encoded_bytes = raw;
+    return out;
+  }
+  out.dictionary_used = true;
+  size_t dict_payload = 0;
+  for (const auto& s : distinct) dict_payload += s.size() + 2;
+  size_t code_bytes = distinct.size() <= 256 ? 1 : 2;
+  out.encoded_bytes = n * code_bytes + dict_payload;
+  return out;
+}
+
+}  // namespace dashdb

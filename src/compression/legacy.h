@@ -1,0 +1,31 @@
+// "Previous generation" compression baseline for the paper's 2-3x claim
+// (II.B.1: "compress data 2-3x smaller than previous generations of
+// compression techniques used in IBM products").
+//
+// Models classic value-level dictionary compression: a per-page dictionary
+// of whole values with BYTE-aligned codes (1 or 2 bytes), no frequency
+// partitioning, no bit packing, no global/column-level optimization, raw
+// byte-aligned storage when the page dictionary overflows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dashdb {
+
+/// Result of compressing one page with the legacy scheme.
+struct LegacyCompressedPage {
+  size_t encoded_bytes = 0;  ///< codes + dictionary payload
+  size_t raw_bytes = 0;      ///< uncompressed footprint of the same page
+  bool dictionary_used = false;
+};
+
+/// Compresses a page of int64 values (legacy value dictionary, byte codes).
+LegacyCompressedPage LegacyCompressInts(const int64_t* values, size_t n);
+
+/// Compresses a page of strings (legacy value dictionary, byte codes, no
+/// prefix compression inside the dictionary).
+LegacyCompressedPage LegacyCompressStrings(const std::string* values, size_t n);
+
+}  // namespace dashdb

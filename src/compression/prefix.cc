@@ -1,0 +1,60 @@
+#include "compression/prefix.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dashdb {
+
+PrefixCodedBlock PrefixCodedBlock::Encode(
+    const std::vector<std::string>& sorted, int restart_interval) {
+  PrefixCodedBlock b;
+  b.count_ = sorted.size();
+  b.restart_interval_ = restart_interval;
+  b.entries_.reserve(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    uint32_t shared = 0;
+    if (i % restart_interval != 0 && i > 0) {
+      const std::string& prev = sorted[i - 1];
+      const std::string& cur = sorted[i];
+      size_t lim = std::min(prev.size(), cur.size());
+      while (shared < lim && prev[shared] == cur[shared]) ++shared;
+    } else {
+      b.restarts_.push_back(static_cast<uint32_t>(i));
+    }
+    Entry e;
+    e.shared = shared;
+    e.suffix_len = static_cast<uint32_t>(sorted[i].size() - shared);
+    e.offset = static_cast<uint32_t>(b.bytes_.size());
+    b.bytes_.insert(b.bytes_.end(), sorted[i].begin() + shared, sorted[i].end());
+    b.entries_.push_back(e);
+  }
+  return b;
+}
+
+std::string PrefixCodedBlock::Get(size_t i) const {
+  assert(i < count_);
+  // Walk back to the nearest restart point, then roll forward.
+  size_t start = (i / restart_interval_) * restart_interval_;
+  std::string out;
+  for (size_t j = start; j <= i; ++j) {
+    const Entry& e = entries_[j];
+    out.resize(e.shared);
+    out.append(bytes_.data() + e.offset, e.suffix_len);
+  }
+  return out;
+}
+
+std::vector<std::string> PrefixCodedBlock::DecodeAll() const {
+  std::vector<std::string> out;
+  out.reserve(count_);
+  std::string cur;
+  for (size_t i = 0; i < count_; ++i) {
+    const Entry& e = entries_[i];
+    cur.resize(e.shared);
+    cur.append(bytes_.data() + e.offset, e.suffix_len);
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace dashdb

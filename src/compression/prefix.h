@@ -1,0 +1,50 @@
+// Prefix (front) compression for sorted string runs (paper II.B.1:
+// "Prefix compression methods are also used to eliminate storage for
+// commonly occurring string prefixes"). Used to store the sorted value list
+// of each string frequency partition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dashdb {
+
+/// A front-coded block of strings. Input must be sorted ascending; each
+/// entry stores the byte length shared with its predecessor plus the suffix.
+class PrefixCodedBlock {
+ public:
+  /// Encodes `sorted` (must be ascending). Keeps every `restart_interval`-th
+  /// string uncompressed so random access costs at most one short run.
+  static PrefixCodedBlock Encode(const std::vector<std::string>& sorted,
+                                 int restart_interval = 16);
+
+  size_t size() const { return count_; }
+
+  /// Decodes entry i (0-based).
+  std::string Get(size_t i) const;
+
+  /// Decodes the whole block back to the original vector.
+  std::vector<std::string> DecodeAll() const;
+
+  /// Encoded byte footprint (what the compression bench measures).
+  size_t ByteSize() const {
+    return bytes_.size() + restarts_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  struct Entry {
+    uint32_t shared;
+    uint32_t suffix_len;
+    uint32_t offset;  ///< into bytes_
+  };
+  size_t count_ = 0;
+  int restart_interval_ = 16;
+  std::vector<Entry> entries_;
+  std::vector<char> bytes_;
+  std::vector<uint32_t> restarts_;  ///< entry indices with shared == 0
+};
+
+}  // namespace dashdb

@@ -1,0 +1,85 @@
+#include "compression/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dashdb {
+
+IntColumnStats ComputeIntStats(const int64_t* values, size_t n,
+                               const BitVector* nulls, size_t ndv_limit) {
+  IntColumnStats s;
+  s.count = n;
+  std::unordered_map<int64_t, size_t> freq;
+  bool first = true;
+  for (size_t i = 0; i < n; ++i) {
+    if (nulls && nulls->Get(i)) {
+      ++s.null_count;
+      continue;
+    }
+    int64_t v = values[i];
+    if (first) {
+      s.min = s.max = v;
+      first = false;
+    } else {
+      s.min = std::min(s.min, v);
+      s.max = std::max(s.max, v);
+    }
+    if (s.ndv_exact) {
+      auto [it, inserted] = freq.try_emplace(v, 0);
+      ++it->second;
+      if (inserted && freq.size() > ndv_limit) {
+        s.ndv_exact = false;
+        freq.clear();
+      }
+    }
+  }
+  if (s.ndv_exact) {
+    s.ndv = freq.size();
+    s.freq_desc.assign(freq.begin(), freq.end());
+    std::sort(s.freq_desc.begin(), s.freq_desc.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;  // deterministic tie-break
+              });
+  } else {
+    s.ndv = ndv_limit + 1;
+  }
+  return s;
+}
+
+StringColumnStats ComputeStringStats(const std::string* values, size_t n,
+                                     const BitVector* nulls,
+                                     size_t ndv_limit) {
+  StringColumnStats s;
+  s.count = n;
+  std::unordered_map<std::string, size_t> freq;
+  for (size_t i = 0; i < n; ++i) {
+    if (nulls && nulls->Get(i)) {
+      ++s.null_count;
+      continue;
+    }
+    if (s.ndv_exact) {
+      auto [it, inserted] = freq.try_emplace(values[i], 0);
+      ++it->second;
+      if (inserted && freq.size() > ndv_limit) {
+        s.ndv_exact = false;
+        freq.clear();
+      }
+    }
+  }
+  if (s.ndv_exact) {
+    s.ndv = freq.size();
+    s.freq_desc.reserve(freq.size());
+    for (auto& [k, v] : freq) s.freq_desc.emplace_back(k, v);
+    std::sort(s.freq_desc.begin(), s.freq_desc.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+  } else {
+    s.ndv = ndv_limit + 1;
+  }
+  return s;
+}
+
+}  // namespace dashdb

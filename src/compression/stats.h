@@ -1,0 +1,48 @@
+// Column statistics driving compression-scheme selection (paper II.B.1:
+// "Compression is then optimized globally per column as well as locally per
+// storage page").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bitutil.h"
+
+namespace dashdb {
+
+/// Statistics over the integer domain (INT/DATE/TIMESTAMP/DECIMAL/BOOLEAN
+/// columns all map to int64 for encoding purposes).
+struct IntColumnStats {
+  size_t count = 0;
+  size_t null_count = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  /// Number of distinct non-null values (exact up to ndv_limit, then capped).
+  size_t ndv = 0;
+  bool ndv_exact = true;
+  /// Distinct values with occurrence counts, most frequent first. Present
+  /// only when ndv_exact (the frequency-dictionary build input).
+  std::vector<std::pair<int64_t, size_t>> freq_desc;
+};
+
+/// Computes stats; tracks exact distinct values up to `ndv_limit`.
+IntColumnStats ComputeIntStats(const int64_t* values, size_t n,
+                               const BitVector* nulls,
+                               size_t ndv_limit = size_t{1} << 20);
+
+/// Same over strings.
+struct StringColumnStats {
+  size_t count = 0;
+  size_t null_count = 0;
+  size_t ndv = 0;
+  bool ndv_exact = true;
+  std::vector<std::pair<std::string, size_t>> freq_desc;
+};
+
+StringColumnStats ComputeStringStats(const std::string* values, size_t n,
+                                     const BitVector* nulls,
+                                     size_t ndv_limit = size_t{1} << 20);
+
+}  // namespace dashdb

@@ -1,0 +1,30 @@
+#include "core/dashdb.h"
+
+namespace dashdb {
+
+Result<std::unique_ptr<DashDbLocal>> DashDbLocal::Deploy(DashDbOptions opts) {
+  HardwareProfile hw =
+      opts.detect_hardware ? DetectLocalHardware() : opts.hardware;
+  // Local dev machines may be below the paper's server minimums; clamp up
+  // so Deploy() works everywhere (the deployment *simulation* in
+  // src/deploy enforces the strict minimums).
+  if (hw.ram_bytes < (size_t{8} << 30)) hw.ram_bytes = size_t{8} << 30;
+  if (hw.storage_bytes < (size_t{20} << 30)) {
+    hw.storage_bytes = size_t{20} << 30;
+  }
+  DASHDB_ASSIGN_OR_RETURN(AutoConfig cfg, ComputeAutoConfig(hw));
+  DASHDB_RETURN_IF_ERROR(ValidateConfig(hw, cfg));
+  if (opts.buffer_pool_override > 0) {
+    cfg.bufferpool_bytes = opts.buffer_pool_override;
+  }
+  auto db = std::unique_ptr<DashDbLocal>(
+      new DashDbLocal(std::move(hw), cfg));
+  spark::RegisterGlmProcedure(&db->engine_, &db->spark_);
+  return db;
+}
+
+std::shared_ptr<Connection> DashDbLocal::Connect(const std::string& user) {
+  return std::make_shared<Connection>(&engine_, user);
+}
+
+}  // namespace dashdb

@@ -1,0 +1,100 @@
+// dashdb.h — the public API of the dashDB Local reproduction.
+//
+// One include gives a downstream user the whole system:
+//
+//   #include "core/dashdb.h"
+//
+//   auto db = dashdb::DashDbLocal::Deploy();          // detect + autoconfig
+//   auto conn = db->Connect("analyst");
+//   conn->Execute("CREATE TABLE t (x INT)");
+//   conn->Execute("INSERT INTO t VALUES (1), (2)");
+//   auto r = conn->Execute("SELECT SUM(x) FROM t");
+//
+// Deploy() mirrors the paper's container boot (II.A): detect hardware,
+// derive the automatic configuration, start the engine sized to it, and
+// stand up the integrated Spark dispatcher sharing the node's memory
+// (II.D). For multi-node shared-nothing clusters use mpp/mpp.h directly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "deploy/autoconfig.h"
+#include "deploy/container.h"
+#include "spark/dispatcher.h"
+#include "spark/glm.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+
+/// A connected SQL session.
+class Connection {
+ public:
+  Connection(Engine* engine, std::string user)
+      : engine_(engine), user_(std::move(user)),
+        session_(engine->CreateSession()) {}
+
+  /// Executes one statement.
+  Result<QueryResult> Execute(const std::string& sql) {
+    return engine_->Execute(session_.get(), sql);
+  }
+
+  /// Executes a ';'-separated script; returns the last result.
+  Result<QueryResult> ExecuteScript(const std::string& sql) {
+    return engine_->ExecuteScript(session_.get(), sql);
+  }
+
+  /// The session dialect variable (paper II.C.2); also settable via
+  /// `SET SQL_DIALECT = ORACLE` etc.
+  void SetDialect(Dialect d) { session_->set_dialect(d); }
+  Dialect dialect() const { return session_->dialect(); }
+
+  const std::string& user() const { return user_; }
+  Session* session() { return session_.get(); }
+
+ private:
+  Engine* engine_;
+  std::string user_;
+  std::shared_ptr<Session> session_;
+};
+
+/// Options for Deploy().
+struct DashDbOptions {
+  /// Hardware to adapt to; default = detect the local machine.
+  HardwareProfile hardware;
+  bool detect_hardware = true;
+  /// Cap the buffer pool (useful for tests); 0 = use the autoconfig value.
+  size_t buffer_pool_override = 0;
+};
+
+/// A single-node dashDB Local instance (one container's worth).
+class DashDbLocal {
+ public:
+  /// Boots an instance: hardware detection, automatic configuration,
+  /// engine + integrated Spark startup, GLM procedure registration.
+  static Result<std::unique_ptr<DashDbLocal>> Deploy(DashDbOptions opts = {});
+
+  /// Opens a SQL session for `user`. Spark jobs submitted on behalf of the
+  /// user are isolated per user (paper II.D.1).
+  std::shared_ptr<Connection> Connect(const std::string& user);
+
+  Engine* engine() { return &engine_; }
+  spark::SparkDispatcher* spark() { return &spark_; }
+  const AutoConfig& config() const { return config_; }
+  const HardwareProfile& hardware() const { return hardware_; }
+
+ private:
+  DashDbLocal(HardwareProfile hw, AutoConfig cfg)
+      : hardware_(std::move(hw)),
+        config_(cfg),
+        engine_(ToEngineConfig(cfg)),
+        spark_(/*workers_per_user=*/std::max(1, cfg.query_parallelism / 2),
+               cfg.spark_bytes) {}
+
+  HardwareProfile hardware_;
+  AutoConfig config_;
+  Engine engine_;
+  spark::SparkDispatcher spark_;
+};
+
+}  // namespace dashdb

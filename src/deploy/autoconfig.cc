@@ -1,0 +1,76 @@
+#include "deploy/autoconfig.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dashdb {
+
+Result<AutoConfig> ComputeAutoConfig(const HardwareProfile& hw) {
+  DASHDB_RETURN_IF_ERROR(CheckMinimumRequirements(hw));
+  AutoConfig cfg;
+  const size_t ram = hw.ram_bytes;
+  // Memory split: the analytics cache dominates; Spark shares the node
+  // memory with the database (paper II.D.1: "a scalable analytic engine
+  // that shares the available memory with the database").
+  cfg.os_reserved_bytes = std::max<size_t>(ram / 10, size_t{1} << 30);
+  cfg.bufferpool_bytes = ram * 40 / 100;
+  cfg.spark_bytes = ram * 20 / 100;
+  cfg.sort_bytes = ram * 10 / 100;
+  cfg.hash_join_bytes = ram * 10 / 100;
+  cfg.lock_bytes = ram * 2 / 100;
+  cfg.log_bytes = ram * 3 / 100;
+  // Keep the total within RAM after the OS floor.
+  while (cfg.TotalAllocated() > ram && cfg.bufferpool_bytes > (ram / 10)) {
+    cfg.bufferpool_bytes -= ram / 100;
+  }
+  cfg.query_parallelism = hw.cores;
+  cfg.wlm_concurrency = std::max(2, hw.cores / 2);
+  // Shards per node: enough for elasticity headroom, bounded by cores
+  // (paper II.E: shard count "not larger than the cumulative cores").
+  cfg.shards_per_node = std::clamp(hw.cores / 2, 1, 24);
+  cfg.buffer_policy = ReplacementPolicy::kRandomWeight;
+  return cfg;
+}
+
+Status ValidateConfig(const HardwareProfile& hw, const AutoConfig& cfg) {
+  if (cfg.TotalAllocated() > hw.ram_bytes) {
+    return Status::Internal("config over-allocates RAM");
+  }
+  if (cfg.bufferpool_bytes < (size_t{512} << 20)) {
+    return Status::Internal("buffer pool below minimum");
+  }
+  if (cfg.query_parallelism < 1 || cfg.query_parallelism > hw.cores) {
+    return Status::Internal("parallelism out of range");
+  }
+  if (cfg.shards_per_node < 1 || cfg.shards_per_node > hw.cores) {
+    return Status::Internal("shards out of range");
+  }
+  if (cfg.wlm_concurrency < 1) {
+    return Status::Internal("WLM concurrency out of range");
+  }
+  return Status::OK();
+}
+
+EngineConfig ToEngineConfig(const AutoConfig& cfg) {
+  EngineConfig e;
+  e.buffer_pool_bytes = cfg.bufferpool_bytes;
+  e.buffer_policy = cfg.buffer_policy;
+  e.default_organization = TableOrganization::kColumn;
+  return e;
+}
+
+std::string AutoConfig::Describe() const {
+  std::ostringstream os;
+  auto gb = [](size_t b) { return static_cast<double>(b) / (1 << 30); };
+  os << "bufferpool=" << gb(bufferpool_bytes) << "GB"
+     << " sort=" << gb(sort_bytes) << "GB"
+     << " hash=" << gb(hash_join_bytes) << "GB"
+     << " lock=" << gb(lock_bytes) << "GB"
+     << " log=" << gb(log_bytes) << "GB"
+     << " spark=" << gb(spark_bytes) << "GB"
+     << " parallelism=" << query_parallelism
+     << " wlm=" << wlm_concurrency << " shards=" << shards_per_node;
+  return os.str();
+}
+
+}  // namespace dashdb

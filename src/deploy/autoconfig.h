@@ -1,0 +1,52 @@
+// Automatic configuration (paper II.A): "dashDB Local includes an automatic
+// configuration component that detects several characteristics of the
+// hardware environment, and adapts its configuration to optimize for the
+// resources available" — memory split across functional purposes (caching,
+// sorting, hashing, locking, logging), query parallelism degree, and
+// workload-management admission, in the rules-based style of [16].
+#pragma once
+
+#include <string>
+
+#include "bufferpool/bufferpool.h"
+#include "deploy/hardware.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+
+/// The full derived configuration for one node.
+struct AutoConfig {
+  // Memory split (bytes).
+  size_t bufferpool_bytes = 0;  ///< columnar page cache
+  size_t sort_bytes = 0;
+  size_t hash_join_bytes = 0;
+  size_t lock_bytes = 0;
+  size_t log_bytes = 0;
+  size_t spark_bytes = 0;       ///< shared with the integrated Spark (II.D)
+  size_t os_reserved_bytes = 0;
+
+  int query_parallelism = 1;    ///< intra-query degree (cores)
+  int wlm_concurrency = 1;      ///< concurrent admitted queries
+  int shards_per_node = 1;      ///< MPP shards hosted per node
+  ReplacementPolicy buffer_policy = ReplacementPolicy::kRandomWeight;
+
+  size_t TotalAllocated() const {
+    return bufferpool_bytes + sort_bytes + hash_join_bytes + lock_bytes +
+           log_bytes + spark_bytes + os_reserved_bytes;
+  }
+
+  std::string Describe() const;
+};
+
+/// Derives the configuration for a hardware profile. Fails only when the
+/// profile misses the paper's entry-level minimums.
+Result<AutoConfig> ComputeAutoConfig(const HardwareProfile& hw);
+
+/// Invariants every derived config must satisfy (tested property-style):
+/// allocations fit in RAM, parallelism matches cores, shards within cores.
+Status ValidateConfig(const HardwareProfile& hw, const AutoConfig& cfg);
+
+/// Projects the node config onto the SQL engine's knobs.
+EngineConfig ToEngineConfig(const AutoConfig& cfg);
+
+}  // namespace dashdb

@@ -1,0 +1,124 @@
+#include "deploy/container.h"
+
+#include <map>
+#include <sstream>
+
+namespace dashdb {
+
+double DeploymentReport::TotalSeconds() const {
+  // Host-scoped steps run in parallel per host; cluster steps serialize
+  // after all hosts finish.
+  std::map<std::string, double> per_host;
+  double cluster = 0;
+  for (const auto& s : steps) {
+    if (s.host.empty()) {
+      cluster += s.seconds;
+    } else {
+      per_host[s.host] += s.seconds;
+    }
+  }
+  double slowest_host = 0;
+  for (const auto& [h, t] : per_host) slowest_host = std::max(slowest_host, t);
+  return slowest_host + cluster;
+}
+
+std::string DeploymentReport::Describe() const {
+  std::ostringstream os;
+  for (const auto& s : steps) {
+    os << (s.host.empty() ? "[cluster]" : "[" + s.host + "]") << " " << s.name
+       << ": " << s.seconds << "s\n";
+  }
+  os << "total (hosts parallel): " << TotalSeconds() << "s\n";
+  return os.str();
+}
+
+double Deployer::EngineStartSeconds(const HardwareProfile& hw) const {
+  double tb = static_cast<double>(hw.ram_bytes) / (size_t{1} << 40);
+  return model_.engine_start_base_s + tb * model_.engine_start_per_tb_ram_s;
+}
+
+Result<DeploymentReport> Deployer::DeployCluster(std::vector<Host>* hosts,
+                                                 const std::string& image) {
+  DeploymentReport report;
+  for (Host& host : *hosts) {
+    // Prerequisites (paper II.A): customer-managed Docker engine and a
+    // POSIX-compliant clustered filesystem mount, plus minimum hardware.
+    if (!host.docker_installed()) {
+      return Status::Unavailable("host " + host.name() + ": Docker missing");
+    }
+    if (!host.clusterfs_mounted()) {
+      return Status::Unavailable("host " + host.name() +
+                                 ": /mnt/clusterfs not mounted");
+    }
+    DASHDB_RETURN_IF_ERROR(CheckMinimumRequirements(host.hardware()));
+    if (host.container().state == ContainerState::kRunning) {
+      return Status::AlreadyExists(
+          "host " + host.name() +
+          ": only one dashDB Local container per Docker host");
+    }
+    // Pull.
+    if (!host.HasImage(image)) {
+      report.steps.push_back(
+          {host.name(), "docker pull " + image,
+           model_.image_size_gb / model_.pull_bandwidth_gbps});
+      host.AddImage(image);
+    }
+    // docker run = create + start.
+    report.steps.push_back(
+        {host.name(), "docker run (create)", model_.container_create_s});
+    report.steps.push_back(
+        {host.name(), "container start", model_.container_start_s});
+    host.container().image = image;
+    host.container().state = ContainerState::kRunning;
+    // In-container boot: hardware detection + automatic configuration.
+    DASHDB_ASSIGN_OR_RETURN(AutoConfig cfg,
+                            ComputeAutoConfig(host.hardware()));
+    DASHDB_RETURN_IF_ERROR(ValidateConfig(host.hardware(), cfg));
+    report.steps.push_back({host.name(), "detect hardware + autoconfig", 1.0});
+    report.steps.push_back(
+        {host.name(), "start dashDB engine",
+         EngineStartSeconds(host.hardware())});
+    report.steps.push_back(
+        {host.name(), "initialize shards",
+         cfg.shards_per_node * model_.shard_init_s});
+    report.node_configs.push_back(cfg);
+  }
+  report.steps.push_back(
+      {"", "cluster handshake + topology commit", model_.cluster_handshake_s});
+  return report;
+}
+
+Result<DeploymentReport> Deployer::UpdateStack(std::vector<Host>* hosts,
+                                               const std::string& new_image) {
+  DeploymentReport report;
+  for (Host& host : *hosts) {
+    if (host.container().state != ContainerState::kRunning) {
+      return Status::Unavailable("host " + host.name() +
+                                 ": no running container to update");
+    }
+    // Stop-and-rename the old container; data stays in clusterfs.
+    report.steps.push_back({host.name(), "stop container", 5.0});
+    report.steps.push_back({host.name(), "rename old container", 1.0});
+    if (!host.HasImage(new_image)) {
+      report.steps.push_back(
+          {host.name(), "docker pull " + new_image,
+           model_.image_size_gb / model_.pull_bandwidth_gbps});
+      host.AddImage(new_image);
+    }
+    report.steps.push_back(
+        {host.name(), "docker run new image", model_.container_create_s +
+                                                  model_.container_start_s});
+    host.container().image = new_image;
+    host.container().state = ContainerState::kRunning;
+    DASHDB_ASSIGN_OR_RETURN(AutoConfig cfg,
+                            ComputeAutoConfig(host.hardware()));
+    report.steps.push_back(
+        {host.name(), "start dashDB engine",
+         EngineStartSeconds(host.hardware())});
+    report.node_configs.push_back(cfg);
+  }
+  report.steps.push_back({"", "cluster rejoin", model_.cluster_handshake_s});
+  return report;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,52 @@
+#include "deploy/hardware.h"
+
+#include <thread>
+#include <unistd.h>
+
+namespace dashdb {
+
+HardwareProfile DetectLocalHardware() {
+  HardwareProfile hw;
+  hw.name = "local";
+  unsigned n = std::thread::hardware_concurrency();
+  hw.cores = n == 0 ? 1 : static_cast<int>(n);
+#if defined(_SC_PHYS_PAGES) && defined(_SC_PAGESIZE)
+  long pages = sysconf(_SC_PHYS_PAGES);
+  long page = sysconf(_SC_PAGESIZE);
+  if (pages > 0 && page > 0) {
+    hw.ram_bytes = static_cast<size_t>(pages) * static_cast<size_t>(page);
+  }
+#endif
+  hw.storage_bytes = size_t{100} << 30;  // not probed; irrelevant to config
+  return hw;
+}
+
+std::vector<HardwareProfile> StandardProfiles() {
+  return {
+      // Paper: laptop dev/test entry point.
+      {"laptop-dev", 4, size_t{8} << 30, size_t{20} << 30, true},
+      {"small-server", 16, size_t{64} << 30, size_t{2} << 40, true},
+      {"mid-server", 24, size_t{512} << 30, size_t{6} << 40, true},
+      // Paper: "Xeon e7 4 x 18 core 72 way machines with 6 TB RAM".
+      {"xeon-e7-72way", 72, size_t{6} << 40, size_t{28} << 40, true},
+      // The Table 1 Test 1/2 dashDB nodes: 20 cores, 256 GB, SSD.
+      {"table1-dashdb-node", 20, size_t{256} << 30, size_t{7} << 40, true},
+      // The Table 1 appliance nodes: 16 cores, 132 GB, HDD.
+      {"table1-appliance-node", 16, size_t{132} << 30, size_t{6} << 40,
+       false},
+  };
+}
+
+Status CheckMinimumRequirements(const HardwareProfile& hw) {
+  if (hw.ram_bytes < (size_t{8} << 30)) {
+    return Status::ResourceExhausted(
+        "dashDB Local requires at least 8GB RAM (" + hw.name + ")");
+  }
+  if (hw.storage_bytes < (size_t{20} << 30)) {
+    return Status::ResourceExhausted(
+        "dashDB Local requires at least 20GB storage (" + hw.name + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace dashdb

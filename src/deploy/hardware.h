@@ -1,0 +1,39 @@
+// Hardware detection (paper II.A): dashDB Local "automatically adapts to
+// hardware platforms", detecting CPU/core counts and RAM at container start.
+//
+// In this reproduction, detection reads the real host when possible and
+// otherwise falls back to canned profiles spanning the paper's stated range
+// ("entry-level hardware requirements start at 8GB RAM and 20GB of storage
+// ... larger servers such as Xeon e7 4 x 18 core 72 way machines with 6 TB
+// RAM").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dashdb {
+
+struct HardwareProfile {
+  std::string name;
+  int cores = 4;
+  size_t ram_bytes = size_t{8} << 30;
+  size_t storage_bytes = size_t{100} << 30;
+  bool ssd = true;
+
+  size_t ram_gb() const { return ram_bytes >> 30; }
+};
+
+/// Detects the actual machine this process runs on (cores via the OS; RAM
+/// via sysconf). Always succeeds; used for true auto-adaptation.
+HardwareProfile DetectLocalHardware();
+
+/// The paper's reference hardware range, used by benches and tests.
+std::vector<HardwareProfile> StandardProfiles();
+
+/// Validates the paper's entry-level minimums (8 GB RAM, 20 GB storage).
+Status CheckMinimumRequirements(const HardwareProfile& hw);
+
+}  // namespace dashdb

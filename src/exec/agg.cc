@@ -1,0 +1,225 @@
+#include "exec/agg.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dashdb {
+
+bool AggKindFromName(const std::string& u, AggKind* out) {
+  if (u == "COUNT") *out = AggKind::kCount;
+  else if (u == "SUM") *out = AggKind::kSum;
+  else if (u == "AVG" || u == "MEAN") *out = AggKind::kAvg;
+  else if (u == "MIN") *out = AggKind::kMin;
+  else if (u == "MAX") *out = AggKind::kMax;
+  else if (u == "VAR_POP" || u == "VARIANCE_POP") *out = AggKind::kVarPop;
+  else if (u == "VAR_SAMP" || u == "VARIANCE" || u == "VARIANCE_SAMP")
+    *out = AggKind::kVarSamp;  // DB2 VARIANCE is sample variance
+  else if (u == "STDDEV_POP") *out = AggKind::kStddevPop;
+  else if (u == "STDDEV" || u == "STDDEV_SAMP") *out = AggKind::kStddevSamp;
+  else if (u == "COVAR_POP" || u == "COVARIANCE") *out = AggKind::kCovarPop;
+  else if (u == "COVAR_SAMP" || u == "COVARIANCE_SAMP")
+    *out = AggKind::kCovarSamp;
+  else if (u == "MEDIAN") *out = AggKind::kMedian;
+  else if (u == "PERCENTILE_CONT") *out = AggKind::kPercentileCont;
+  else if (u == "PERCENTILE_DISC") *out = AggKind::kPercentileDisc;
+  else return false;
+  return true;
+}
+
+TypeId AggResultType(AggKind kind, TypeId input) {
+  switch (kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return TypeId::kInt64;
+    case AggKind::kSum:
+      return input == TypeId::kDouble ? TypeId::kDouble : TypeId::kInt64;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return input;
+    default:
+      return TypeId::kDouble;
+  }
+}
+
+void AggState::Add(const Value& v, const Value& v2) {
+  if (spec_->kind == AggKind::kCountStar) {
+    ++count_;
+    return;
+  }
+  if (v.is_null()) return;
+  if (spec_->distinct) {
+    std::string key = TypeName(v.type()) + std::string(":") + v.ToString();
+    if (!seen_.insert(key).second) return;
+  }
+  switch (spec_->kind) {
+    case AggKind::kCount:
+      ++count_;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg: {
+      ++count_;
+      if (v.type() == TypeId::kDouble) int_domain_ = false;
+      sum_ += v.AsDouble();
+      if (int_domain_) isum_ += v.AsInt();
+      break;
+    }
+    case AggKind::kMin:
+      if (!min_ || v.Compare(*min_) < 0) min_ = v;
+      break;
+    case AggKind::kMax:
+      if (!max_ || v.Compare(*max_) > 0) max_ = v;
+      break;
+    case AggKind::kVarPop:
+    case AggKind::kVarSamp:
+    case AggKind::kStddevPop:
+    case AggKind::kStddevSamp: {
+      ++count_;
+      double x = v.AsDouble();
+      double d = x - mean_;
+      mean_ += d / count_;
+      m2_ += d * (x - mean_);
+      break;
+    }
+    case AggKind::kCovarPop:
+    case AggKind::kCovarSamp: {
+      if (v2.is_null()) return;
+      ++count_;
+      double x = v.AsDouble(), y = v2.AsDouble();
+      double dx = x - mean_x_;
+      mean_x_ += dx / count_;
+      mean_y_ += (y - mean_y_) / count_;
+      cxy_ += dx * (y - mean_y_);
+      break;
+    }
+    case AggKind::kMedian:
+    case AggKind::kPercentileCont:
+    case AggKind::kPercentileDisc:
+      ++count_;
+      values_.push_back(v.AsDouble());
+      break;
+    case AggKind::kCountStar:
+      break;
+  }
+}
+
+void AggState::AddNumericFast(double x, int64_t ix, bool int_domain) {
+  switch (spec_->kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      ++count_;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      ++count_;
+      if (!int_domain) int_domain_ = false;
+      sum_ += x;
+      if (int_domain_) isum_ += ix;
+      break;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (!fast_minmax_) {
+        fast_minmax_ = true;
+        fast_int_domain_ = int_domain;
+        dmin_ = dmax_ = x;
+        imin_ = imax_ = ix;
+      } else {
+        if (!int_domain) fast_int_domain_ = false;
+        dmin_ = std::min(dmin_, x);
+        dmax_ = std::max(dmax_, x);
+        imin_ = std::min(imin_, ix);
+        imax_ = std::max(imax_, ix);
+      }
+      break;
+    case AggKind::kVarPop:
+    case AggKind::kVarSamp:
+    case AggKind::kStddevPop:
+    case AggKind::kStddevSamp: {
+      ++count_;
+      double d = x - mean_;
+      mean_ += d / count_;
+      m2_ += d * (x - mean_);
+      break;
+    }
+    case AggKind::kMedian:
+    case AggKind::kPercentileCont:
+    case AggKind::kPercentileDisc:
+      ++count_;
+      values_.push_back(x);
+      break;
+    case AggKind::kCovarPop:
+    case AggKind::kCovarSamp:
+      // Two-argument aggregates stay on the boxed path.
+      break;
+  }
+}
+
+Value AggState::Finish() const {
+  switch (spec_->kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      return Value::Int64(count_);
+    case AggKind::kSum:
+      if (count_ == 0) return Value::Null(spec_->out_type);
+      return int_domain_ && spec_->out_type != TypeId::kDouble
+                 ? Value::Int64(isum_)
+                 : Value::Double(sum_);
+    case AggKind::kAvg:
+      if (count_ == 0) return Value::Null(TypeId::kDouble);
+      return Value::Double(sum_ / count_);
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      if (fast_minmax_) {
+        bool want_min = spec_->kind == AggKind::kMin;
+        if (fast_int_domain_ && spec_->out_type != TypeId::kDouble) {
+          auto cast = Value::Int64(want_min ? imin_ : imax_)
+                          .CastTo(spec_->out_type);
+          return cast.ok() ? *cast : Value::Int64(want_min ? imin_ : imax_);
+        }
+        return Value::Double(want_min ? dmin_ : dmax_);
+      }
+      if (spec_->kind == AggKind::kMin) {
+        return min_ ? *min_ : Value::Null(spec_->out_type);
+      }
+      return max_ ? *max_ : Value::Null(spec_->out_type);
+    }
+    case AggKind::kVarPop:
+      if (count_ == 0) return Value::Null(TypeId::kDouble);
+      return Value::Double(m2_ / count_);
+    case AggKind::kVarSamp:
+      if (count_ < 2) return Value::Null(TypeId::kDouble);
+      return Value::Double(m2_ / (count_ - 1));
+    case AggKind::kStddevPop:
+      if (count_ == 0) return Value::Null(TypeId::kDouble);
+      return Value::Double(std::sqrt(m2_ / count_));
+    case AggKind::kStddevSamp:
+      if (count_ < 2) return Value::Null(TypeId::kDouble);
+      return Value::Double(std::sqrt(m2_ / (count_ - 1)));
+    case AggKind::kCovarPop:
+      if (count_ == 0) return Value::Null(TypeId::kDouble);
+      return Value::Double(cxy_ / count_);
+    case AggKind::kCovarSamp:
+      if (count_ < 2) return Value::Null(TypeId::kDouble);
+      return Value::Double(cxy_ / (count_ - 1));
+    case AggKind::kMedian:
+    case AggKind::kPercentileCont:
+    case AggKind::kPercentileDisc: {
+      if (values_.empty()) return Value::Null(TypeId::kDouble);
+      std::sort(values_.begin(), values_.end());
+      double f = spec_->kind == AggKind::kMedian ? 0.5 : spec_->param;
+      double idx = f * (values_.size() - 1);
+      if (spec_->kind == AggKind::kPercentileDisc) {
+        // Smallest value whose cumulative distribution >= f.
+        size_t k = static_cast<size_t>(std::ceil(f * values_.size()));
+        if (k > 0) --k;
+        return Value::Double(values_[k]);
+      }
+      size_t lo = static_cast<size_t>(std::floor(idx));
+      size_t hi = static_cast<size_t>(std::ceil(idx));
+      double frac = idx - lo;
+      return Value::Double(values_[lo] * (1 - frac) + values_[hi] * frac);
+    }
+  }
+  return Value::Null(TypeId::kDouble);
+}
+
+}  // namespace dashdb

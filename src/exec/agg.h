@@ -1,0 +1,92 @@
+// Aggregate function machinery: the union of aggregation functions from the
+// paper's dialect lists (II.C.1) — COUNT/SUM/AVG/MIN/MAX plus Oracle
+// PERCENTILE_DISC/PERCENTILE_CONT/MEDIAN/CUME_DIST/VAR_POP/COVAR_POP/
+// STDDEV_POP, Netezza COVAR_SAMP/STDDEV_SAMP, DB2 VARIANCE/STDDEV/
+// COVARIANCE/COVARIANCE_SAMP.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/expr.h"
+
+namespace dashdb {
+
+enum class AggKind : uint8_t {
+  kCountStar = 0,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kVarPop,
+  kVarSamp,
+  kStddevPop,
+  kStddevSamp,
+  kCovarPop,
+  kCovarSamp,
+  kMedian,
+  kPercentileCont,  ///< param = fraction in [0,1]
+  kPercentileDisc,
+};
+
+/// Maps a SQL aggregate name (any dialect spelling) to a kind; false when
+/// the name is not an aggregate.
+bool AggKindFromName(const std::string& upper, AggKind* out);
+
+/// Result type of an aggregate given its input type.
+TypeId AggResultType(AggKind kind, TypeId input);
+
+/// One aggregate in a GROUP BY: kind + argument expression(s).
+struct AggSpec {
+  AggKind kind = AggKind::kCountStar;
+  ExprPtr arg;        ///< null for COUNT(*)
+  ExprPtr arg2;       ///< second argument (COVAR_*)
+  double param = 0.5; ///< percentile fraction
+  bool distinct = false;
+  TypeId out_type = TypeId::kInt64;
+};
+
+/// Streaming accumulator for one (group, aggregate) pair.
+class AggState {
+ public:
+  explicit AggState(const AggSpec* spec) : spec_(spec) {}
+
+  void Add(const Value& v, const Value& v2);
+
+  /// Typed fast-path entries (no Value boxing). The caller guarantees the
+  /// input is non-null and that the spec is not DISTINCT and not COVAR.
+  void AddCountStarFast() { ++count_; }
+  void AddNumericFast(double x, int64_t ix, bool int_domain);
+
+  Value Finish() const;
+
+ private:
+  const AggSpec* spec_;
+  int64_t count_ = 0;          // non-null inputs (or all rows for COUNT(*))
+  double sum_ = 0;
+  int64_t isum_ = 0;
+  bool int_domain_ = true;
+  std::optional<Value> min_, max_;
+  // Welford.
+  double mean_ = 0, m2_ = 0;
+  // Covariance.
+  double mean_x_ = 0, mean_y_ = 0, cxy_ = 0;
+  // Typed fast-path min/max mirror (used instead of min_/max_ when the
+  // fast entries fed this state).
+  bool fast_minmax_ = false;
+  bool fast_int_domain_ = true;
+  double dmin_ = 0, dmax_ = 0;
+  int64_t imin_ = 0, imax_ = 0;
+  // Order statistics (median / percentiles).
+  mutable std::vector<double> values_;
+  // DISTINCT support.
+  std::set<std::string> seen_;
+};
+
+}  // namespace dashdb

@@ -1,0 +1,281 @@
+#include "exec/expr.h"
+
+#include <cmath>
+
+namespace dashdb {
+
+Result<ColumnVector> Expr::Evaluate(const RowBatch& batch,
+                                    const ExecContext& ctx) const {
+  ColumnVector out(out_type_);
+  const size_t n = batch.num_rows();
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    DASHDB_ASSIGN_OR_RETURN(Value v, EvaluateRow(batch, i, ctx));
+    if (!v.is_null() && v.type() != out_type_) {
+      DASHDB_ASSIGN_OR_RETURN(v, v.CastTo(out_type_));
+    }
+    out.AppendValue(v);
+  }
+  return out;
+}
+
+Result<Value> ColumnRefExpr::EvaluateRow(const RowBatch& b, size_t row,
+                                         const ExecContext&) const {
+  if (index_ < 0 || static_cast<size_t>(index_) >= b.columns.size()) {
+    return Status::Internal("column ref out of range");
+  }
+  return b.columns[index_].GetValue(row);
+}
+
+Result<ColumnVector> ColumnRefExpr::Evaluate(const RowBatch& b,
+                                             const ExecContext&) const {
+  if (index_ < 0 || static_cast<size_t>(index_) >= b.columns.size()) {
+    return Status::Internal("column ref out of range");
+  }
+  return b.columns[index_];
+}
+
+Value ApplyDialectStringSemantics(Value v, const ExecContext& ctx) {
+  if (ctx.EmptyStringIsNull() && !v.is_null() &&
+      v.type() == TypeId::kVarchar && v.AsString().empty()) {
+    return Value::Null(TypeId::kVarchar);
+  }
+  return v;
+}
+
+Result<Value> ArithExpr::EvaluateRow(const RowBatch& b, size_t row,
+                                     const ExecContext& ctx) const {
+  DASHDB_ASSIGN_OR_RETURN(Value l, l_->EvaluateRow(b, row, ctx));
+  DASHDB_ASSIGN_OR_RETURN(Value r, r_->EvaluateRow(b, row, ctx));
+  if (l.is_null() || r.is_null()) return Value::Null(out_type_);
+  if (op_ == ArithOp::kConcat) {
+    DASHDB_ASSIGN_OR_RETURN(Value ls, l.CastTo(TypeId::kVarchar));
+    DASHDB_ASSIGN_OR_RETURN(Value rs, r.CastTo(TypeId::kVarchar));
+    return ApplyDialectStringSemantics(
+        Value::String(ls.AsString() + rs.AsString()), ctx);
+  }
+  // DATE +/- integer day arithmetic.
+  if (l.type() == TypeId::kDate && r.type() != TypeId::kDate &&
+      (op_ == ArithOp::kAdd || op_ == ArithOp::kSub)) {
+    int64_t days = op_ == ArithOp::kAdd ? l.AsInt() + r.AsInt()
+                                        : l.AsInt() - r.AsInt();
+    return Value::Date(static_cast<int32_t>(days));
+  }
+  if (l.type() == TypeId::kDate && r.type() == TypeId::kDate &&
+      op_ == ArithOp::kSub) {
+    return Value::Int64(l.AsInt() - r.AsInt());
+  }
+  bool use_double = l.type() == TypeId::kDouble ||
+                    r.type() == TypeId::kDouble || op_ == ArithOp::kDiv;
+  if (use_double) {
+    double a = l.AsDouble(), c = r.AsDouble();
+    switch (op_) {
+      case ArithOp::kAdd: return Value::Double(a + c);
+      case ArithOp::kSub: return Value::Double(a - c);
+      case ArithOp::kMul: return Value::Double(a * c);
+      case ArithOp::kDiv:
+        if (c == 0) return Status::InvalidArgument("division by zero");
+        return Value::Double(a / c);
+      case ArithOp::kMod:
+        if (c == 0) return Status::InvalidArgument("division by zero");
+        return Value::Double(std::fmod(a, c));
+      default: break;
+    }
+  }
+  int64_t a = l.AsInt(), c = r.AsInt();
+  switch (op_) {
+    case ArithOp::kAdd: return Value::Int64(a + c);
+    case ArithOp::kSub: return Value::Int64(a - c);
+    case ArithOp::kMul: return Value::Int64(a * c);
+    case ArithOp::kMod:
+      if (c == 0) return Status::InvalidArgument("division by zero");
+      return Value::Int64(a % c);
+    default: break;
+  }
+  return Status::Internal("unhandled arith op");
+}
+
+std::string ArithExpr::ToString() const {
+  const char* ops[] = {"+", "-", "*", "/", "%", "||"};
+  return "(" + l_->ToString() + " " + ops[static_cast<int>(op_)] + " " +
+         r_->ToString() + ")";
+}
+
+Result<Value> CompareExpr::EvaluateRow(const RowBatch& b, size_t row,
+                                       const ExecContext& ctx) const {
+  DASHDB_ASSIGN_OR_RETURN(Value l, l_->EvaluateRow(b, row, ctx));
+  DASHDB_ASSIGN_OR_RETURN(Value r, r_->EvaluateRow(b, row, ctx));
+  l = ApplyDialectStringSemantics(std::move(l), ctx);
+  r = ApplyDialectStringSemantics(std::move(r), ctx);
+  if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBoolean);
+  int c = l.Compare(r);
+  bool res = false;
+  switch (op_) {
+    case CmpOp::kEq: res = c == 0; break;
+    case CmpOp::kNe: res = c != 0; break;
+    case CmpOp::kLt: res = c < 0; break;
+    case CmpOp::kLe: res = c <= 0; break;
+    case CmpOp::kGt: res = c > 0; break;
+    case CmpOp::kGe: res = c >= 0; break;
+  }
+  return Value::Boolean(res);
+}
+
+std::string CompareExpr::ToString() const {
+  const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+  return "(" + l_->ToString() + " " + ops[static_cast<int>(op_)] + " " +
+         r_->ToString() + ")";
+}
+
+Result<Value> LogicExpr::EvaluateRow(const RowBatch& b, size_t row,
+                                     const ExecContext& ctx) const {
+  DASHDB_ASSIGN_OR_RETURN(Value l, l_->EvaluateRow(b, row, ctx));
+  if (op_ == LogicOp::kNot) {
+    if (l.is_null()) return Value::Null(TypeId::kBoolean);
+    return Value::Boolean(!l.AsBool());
+  }
+  // Three-valued logic with short circuit.
+  bool l_null = l.is_null();
+  bool l_true = !l_null && l.AsBool();
+  if (op_ == LogicOp::kAnd && !l_null && !l_true) return Value::Boolean(false);
+  if (op_ == LogicOp::kOr && l_true) return Value::Boolean(true);
+  DASHDB_ASSIGN_OR_RETURN(Value r, r_->EvaluateRow(b, row, ctx));
+  bool r_null = r.is_null();
+  bool r_true = !r_null && r.AsBool();
+  if (op_ == LogicOp::kAnd) {
+    if (!r_null && !r_true) return Value::Boolean(false);
+    if (l_null || r_null) return Value::Null(TypeId::kBoolean);
+    return Value::Boolean(true);
+  }
+  if (r_true) return Value::Boolean(true);
+  if (l_null || r_null) return Value::Null(TypeId::kBoolean);
+  return Value::Boolean(false);
+}
+
+std::string LogicExpr::ToString() const {
+  if (op_ == LogicOp::kNot) return "NOT " + l_->ToString();
+  return "(" + l_->ToString() +
+         (op_ == LogicOp::kAnd ? " AND " : " OR ") + r_->ToString() + ")";
+}
+
+Result<Value> IsNullExpr::EvaluateRow(const RowBatch& b, size_t row,
+                                      const ExecContext& ctx) const {
+  DASHDB_ASSIGN_OR_RETURN(Value v, child_->EvaluateRow(b, row, ctx));
+  v = ApplyDialectStringSemantics(std::move(v), ctx);
+  return Value::Boolean(negate_ ? !v.is_null() : v.is_null());
+}
+
+Result<Value> CastExpr::EvaluateRow(const RowBatch& b, size_t row,
+                                    const ExecContext& ctx) const {
+  DASHDB_ASSIGN_OR_RETURN(Value v, child_->EvaluateRow(b, row, ctx));
+  return v.CastTo(out_type_);
+}
+
+bool LikeExpr::Match(const std::string& s, const std::string& p) {
+  // Iterative wildcard match with backtracking on '%'.
+  size_t si = 0, pi = 0, star_p = std::string::npos, star_s = 0;
+  while (si < s.size()) {
+    if (pi < p.size() && (p[pi] == '_' || p[pi] == s[si])) {
+      ++si;
+      ++pi;
+    } else if (pi < p.size() && p[pi] == '%') {
+      star_p = pi++;
+      star_s = si;
+    } else if (star_p != std::string::npos) {
+      pi = star_p + 1;
+      si = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (pi < p.size() && p[pi] == '%') ++pi;
+  return pi == p.size();
+}
+
+Result<Value> LikeExpr::EvaluateRow(const RowBatch& b, size_t row,
+                                    const ExecContext& ctx) const {
+  DASHDB_ASSIGN_OR_RETURN(Value v, child_->EvaluateRow(b, row, ctx));
+  v = ApplyDialectStringSemantics(std::move(v), ctx);
+  if (v.is_null()) return Value::Null(TypeId::kBoolean);
+  DASHDB_ASSIGN_OR_RETURN(Value s, v.CastTo(TypeId::kVarchar));
+  bool m = Match(s.AsString(), pattern_);
+  return Value::Boolean(negate_ ? !m : m);
+}
+
+Result<Value> InExpr::EvaluateRow(const RowBatch& b, size_t row,
+                                  const ExecContext& ctx) const {
+  DASHDB_ASSIGN_OR_RETURN(Value v, child_->EvaluateRow(b, row, ctx));
+  if (v.is_null()) return Value::Null(TypeId::kBoolean);
+  bool saw_null = false;
+  for (const Value& item : list_) {
+    if (item.is_null()) {
+      saw_null = true;
+      continue;
+    }
+    if (v.Compare(item) == 0) return Value::Boolean(!negate_);
+  }
+  if (saw_null) return Value::Null(TypeId::kBoolean);
+  return Value::Boolean(negate_);
+}
+
+std::string InExpr::ToString() const {
+  std::string out = child_->ToString() + (negate_ ? " NOT IN (" : " IN (");
+  for (size_t i = 0; i < list_.size(); ++i) {
+    if (i) out += ", ";
+    out += list_[i].ToString();
+  }
+  return out + ")";
+}
+
+Result<Value> CaseExpr::EvaluateRow(const RowBatch& b, size_t row,
+                                    const ExecContext& ctx) const {
+  for (const auto& [cond, then] : whens_) {
+    DASHDB_ASSIGN_OR_RETURN(Value c, cond->EvaluateRow(b, row, ctx));
+    if (!c.is_null() && c.AsBool()) {
+      DASHDB_ASSIGN_OR_RETURN(Value v, then->EvaluateRow(b, row, ctx));
+      if (v.is_null()) return Value::Null(out_type_);
+      return v.CastTo(out_type_);
+    }
+  }
+  if (else_) {
+    DASHDB_ASSIGN_OR_RETURN(Value v, else_->EvaluateRow(b, row, ctx));
+    if (v.is_null()) return Value::Null(out_type_);
+    return v.CastTo(out_type_);
+  }
+  return Value::Null(out_type_);
+}
+
+Result<Value> FuncExpr::EvaluateRow(const RowBatch& b, size_t row,
+                                    const ExecContext& ctx) const {
+  std::vector<Value> args;
+  args.reserve(args_.size());
+  for (const auto& a : args_) {
+    DASHDB_ASSIGN_OR_RETURN(Value v, a->EvaluateRow(b, row, ctx));
+    args.push_back(ApplyDialectStringSemantics(std::move(v), ctx));
+  }
+  DASHDB_ASSIGN_OR_RETURN(Value out, fn_(args, ctx));
+  return ApplyDialectStringSemantics(std::move(out), ctx);
+}
+
+std::string FuncExpr::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i) out += ", ";
+    out += args_[i]->ToString();
+  }
+  return out + ")";
+}
+
+Result<std::vector<uint32_t>> EvalFilter(const Expr& expr,
+                                         const RowBatch& batch,
+                                         const ExecContext& ctx) {
+  std::vector<uint32_t> out;
+  const size_t n = batch.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    DASHDB_ASSIGN_OR_RETURN(Value v, expr.EvaluateRow(batch, i, ctx));
+    if (!v.is_null() && v.AsBool()) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+}  // namespace dashdb

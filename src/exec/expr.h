@@ -1,0 +1,256 @@
+// Expression trees evaluated over RowBatch columns.
+//
+// The planner pushes sargable conjuncts (col OP literal) down into the
+// storage scan where they run on compressed codes; everything else —
+// arithmetic, scalar functions, CASE, residual predicates — evaluates here
+// with full SQL NULL semantics (three-valued logic).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/column_vector.h"
+#include "common/dialect.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "simd/swar.h"  // CmpOp
+
+namespace dashdb {
+
+/// Per-query evaluation context.
+struct ExecContext {
+  Dialect dialect = Dialect::kAnsi;
+  int64_t current_date_days = 17000;     ///< fixed for determinism
+  int64_t now_micros = 17000LL * 86400 * 1000000;
+  /// Oracle VARCHAR2 semantics: empty string IS NULL (paper II.C.2).
+  bool EmptyStringIsNull() const { return dialect == Dialect::kOracle; }
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Base expression node.
+class Expr {
+ public:
+  explicit Expr(TypeId out_type) : out_type_(out_type) {}
+  virtual ~Expr() = default;
+
+  TypeId out_type() const { return out_type_; }
+
+  /// Evaluates one row. The default Evaluate() loops over this.
+  virtual Result<Value> EvaluateRow(const RowBatch& batch, size_t row,
+                                    const ExecContext& ctx) const = 0;
+
+  /// Evaluates the whole batch into a ColumnVector.
+  virtual Result<ColumnVector> Evaluate(const RowBatch& batch,
+                                        const ExecContext& ctx) const;
+
+  /// Display form for EXPLAIN.
+  virtual std::string ToString() const = 0;
+
+ protected:
+  TypeId out_type_;
+};
+
+/// Reference to an input column by position.
+class ColumnRefExpr : public Expr {
+ public:
+  ColumnRefExpr(int index, TypeId type, std::string name = "")
+      : Expr(type), index_(index), name_(std::move(name)) {}
+  int index() const { return index_; }
+  Result<Value> EvaluateRow(const RowBatch& b, size_t row,
+                            const ExecContext&) const override;
+  Result<ColumnVector> Evaluate(const RowBatch& b,
+                                const ExecContext&) const override;
+  std::string ToString() const override {
+    return name_.empty() ? "$" + std::to_string(index_) : name_;
+  }
+
+ private:
+  int index_;
+  std::string name_;
+};
+
+/// Constant.
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value v) : Expr(v.type()), value_(std::move(v)) {}
+  const Value& value() const { return value_; }
+  Result<Value> EvaluateRow(const RowBatch&, size_t,
+                            const ExecContext&) const override {
+    return value_;
+  }
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Value value_;
+};
+
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv, kMod, kConcat };
+
+/// Binary arithmetic / string concatenation with numeric promotion.
+class ArithExpr : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr l, ExprPtr r, TypeId out)
+      : Expr(out), op_(op), l_(std::move(l)), r_(std::move(r)) {}
+  Result<Value> EvaluateRow(const RowBatch& b, size_t row,
+                            const ExecContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  ArithOp op_;
+  ExprPtr l_, r_;
+};
+
+/// Comparison producing BOOLEAN (NULL when either side is NULL).
+class CompareExpr : public Expr {
+ public:
+  CompareExpr(CmpOp op, ExprPtr l, ExprPtr r)
+      : Expr(TypeId::kBoolean), op_(op), l_(std::move(l)), r_(std::move(r)) {}
+  Result<Value> EvaluateRow(const RowBatch& b, size_t row,
+                            const ExecContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  CmpOp op_;
+  ExprPtr l_, r_;
+};
+
+enum class LogicOp : uint8_t { kAnd, kOr, kNot };
+
+/// Three-valued AND/OR/NOT.
+class LogicExpr : public Expr {
+ public:
+  LogicExpr(LogicOp op, ExprPtr l, ExprPtr r = nullptr)
+      : Expr(TypeId::kBoolean), op_(op), l_(std::move(l)), r_(std::move(r)) {}
+  Result<Value> EvaluateRow(const RowBatch& b, size_t row,
+                            const ExecContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  LogicOp op_;
+  ExprPtr l_, r_;
+};
+
+/// IS [NOT] NULL / Netezza ISNULL-NOTNULL operators, and Netezza
+/// ISTRUE/ISFALSE when `truth_` is set.
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprPtr child, bool negate)
+      : Expr(TypeId::kBoolean), child_(std::move(child)), negate_(negate) {}
+  Result<Value> EvaluateRow(const RowBatch& b, size_t row,
+                            const ExecContext& ctx) const override;
+  std::string ToString() const override {
+    return child_->ToString() + (negate_ ? " IS NOT NULL" : " IS NULL");
+  }
+
+ private:
+  ExprPtr child_;
+  bool negate_;
+};
+
+/// CAST(child AS type) / Netezza ::type.
+class CastExpr : public Expr {
+ public:
+  CastExpr(ExprPtr child, TypeId target)
+      : Expr(target), child_(std::move(child)) {}
+  Result<Value> EvaluateRow(const RowBatch& b, size_t row,
+                            const ExecContext& ctx) const override;
+  std::string ToString() const override {
+    return "CAST(" + child_->ToString() + " AS " + TypeName(out_type_) + ")";
+  }
+
+ private:
+  ExprPtr child_;
+};
+
+/// LIKE with % and _ wildcards.
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(ExprPtr child, std::string pattern, bool negate)
+      : Expr(TypeId::kBoolean),
+        child_(std::move(child)),
+        pattern_(std::move(pattern)),
+        negate_(negate) {}
+  Result<Value> EvaluateRow(const RowBatch& b, size_t row,
+                            const ExecContext& ctx) const override;
+  std::string ToString() const override {
+    return child_->ToString() + (negate_ ? " NOT LIKE '" : " LIKE '") +
+           pattern_ + "'";
+  }
+  /// Exposed for tests: SQL LIKE matching.
+  static bool Match(const std::string& s, const std::string& pattern);
+
+ private:
+  ExprPtr child_;
+  std::string pattern_;
+  bool negate_;
+};
+
+/// expr IN (v1, v2, ...) over literal lists.
+class InExpr : public Expr {
+ public:
+  InExpr(ExprPtr child, std::vector<Value> list, bool negate)
+      : Expr(TypeId::kBoolean),
+        child_(std::move(child)),
+        list_(std::move(list)),
+        negate_(negate) {}
+  Result<Value> EvaluateRow(const RowBatch& b, size_t row,
+                            const ExecContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  ExprPtr child_;
+  std::vector<Value> list_;
+  bool negate_;
+};
+
+/// CASE WHEN ... THEN ... [ELSE ...] END (searched form; the simple form is
+/// rewritten to this by the analyzer).
+class CaseExpr : public Expr {
+ public:
+  CaseExpr(std::vector<std::pair<ExprPtr, ExprPtr>> whens, ExprPtr else_expr,
+           TypeId out)
+      : Expr(out), whens_(std::move(whens)), else_(std::move(else_expr)) {}
+  Result<Value> EvaluateRow(const RowBatch& b, size_t row,
+                            const ExecContext& ctx) const override;
+  std::string ToString() const override { return "CASE ... END"; }
+
+ private:
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens_;
+  ExprPtr else_;
+};
+
+/// Scalar function call bound to an implementation (exec/functions.h).
+using ScalarFnImpl =
+    std::function<Result<Value>(const std::vector<Value>&, const ExecContext&)>;
+
+class FuncExpr : public Expr {
+ public:
+  FuncExpr(std::string name, ScalarFnImpl fn, std::vector<ExprPtr> args,
+           TypeId out)
+      : Expr(out), name_(std::move(name)), fn_(std::move(fn)),
+        args_(std::move(args)) {}
+  Result<Value> EvaluateRow(const RowBatch& b, size_t row,
+                            const ExecContext& ctx) const override;
+  std::string ToString() const override;
+
+ private:
+  std::string name_;
+  ScalarFnImpl fn_;
+  std::vector<ExprPtr> args_;
+};
+
+/// Applies Oracle VARCHAR2 semantics to a just-produced value: an empty
+/// string becomes NULL under the Oracle dialect.
+Value ApplyDialectStringSemantics(Value v, const ExecContext& ctx);
+
+/// Evaluates `expr` as a filter over `batch`: returns row indices where the
+/// predicate is TRUE (NULL and FALSE are both rejected).
+Result<std::vector<uint32_t>> EvalFilter(const Expr& expr,
+                                         const RowBatch& batch,
+                                         const ExecContext& ctx);
+
+}  // namespace dashdb

@@ -1,0 +1,55 @@
+// Scalar function registry: the polyglot surface of paper II.C.1.
+//
+// dashDB's approach is "creating a superset of the language elements (for
+// example, the union of popular scalar functions used across products)".
+// Every function is registered once with its origin dialect recorded as
+// metadata; the union is visible to every session, while colliding
+// semantics are handled at the expression layer (e.g. Oracle VARCHAR2
+// empty-string-is-NULL in ExecContext).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/dialect.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/expr.h"
+
+namespace dashdb {
+
+/// One registered scalar function.
+struct FunctionDef {
+  std::string name;
+  int min_args = 0;
+  int max_args = 0;  ///< -1 = variadic
+  /// Dialect the function originates from (documentation/metadata; all
+  /// functions are exposed as a union per the paper).
+  Dialect origin = Dialect::kAnsi;
+  /// Infers the result type from argument types.
+  std::function<TypeId(const std::vector<TypeId>&)> ret_type;
+  ScalarFnImpl fn;
+};
+
+/// Global immutable registry built at startup.
+class FunctionRegistry {
+ public:
+  static const FunctionRegistry& Global();
+
+  /// Looks up by (upper-cased) name; nullptr when unknown.
+  const FunctionDef* Lookup(const std::string& upper_name) const;
+
+  /// All function names originating from `d` (for docs / tests).
+  std::vector<std::string> NamesByOrigin(Dialect d) const;
+
+  size_t size() const { return fns_.size(); }
+
+ private:
+  FunctionRegistry();
+  void Register(FunctionDef def);
+  std::map<std::string, FunctionDef> fns_;
+};
+
+}  // namespace dashdb

@@ -1,0 +1,191 @@
+#include "exec/geo.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace dashdb {
+namespace geo {
+
+namespace {
+
+/// Parses "x y, x y, ..." into points.
+Result<std::vector<Point>> ParseCoords(const std::string& s) {
+  std::vector<Point> out;
+  std::stringstream ss(s);
+  std::string pair;
+  while (std::getline(ss, pair, ',')) {
+    Point p;
+    if (std::sscanf(pair.c_str(), "%lf %lf", &p.x, &p.y) != 2) {
+      return Status::ParseError("bad coordinate pair: '" + pair + "'");
+    }
+    out.push_back(p);
+  }
+  if (out.empty()) return Status::ParseError("empty coordinate list");
+  return out;
+}
+
+double SegmentDistance(const Point& p, const Point& a, const Point& b) {
+  double dx = b.x - a.x, dy = b.y - a.y;
+  double len2 = dx * dx + dy * dy;
+  double t = len2 == 0 ? 0
+                       : ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  double cx = a.x + t * dx, cy = a.y + t * dy;
+  return std::hypot(p.x - cx, p.y - cy);
+}
+
+double PointToGeometry(const Point& p, const Geometry& g) {
+  if (g.kind == GeomKind::kPoint) {
+    return std::hypot(p.x - g.points[0].x, p.y - g.points[0].y);
+  }
+  if (g.kind == GeomKind::kPolygon && Contains(g, p)) return 0;
+  double best = std::numeric_limits<double>::infinity();
+  size_t n = g.points.size();
+  size_t segs = g.kind == GeomKind::kPolygon ? n : n - 1;
+  for (size_t i = 0; i < segs; ++i) {
+    best = std::min(best,
+                    SegmentDistance(p, g.points[i], g.points[(i + 1) % n]));
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string Geometry::ToWkt() const {
+  std::ostringstream os;
+  auto coords = [&](bool wrap) {
+    if (wrap) os << "(";
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (i) os << ", ";
+      os << points[i].x << " " << points[i].y;
+    }
+    if (wrap) os << ")";
+  };
+  switch (kind) {
+    case GeomKind::kPoint:
+      os << "POINT(";
+      coords(false);
+      os << ")";
+      break;
+    case GeomKind::kLineString:
+      os << "LINESTRING(";
+      coords(false);
+      os << ")";
+      break;
+    case GeomKind::kPolygon:
+      os << "POLYGON(";
+      coords(true);
+      os << ")";
+      break;
+  }
+  return os.str();
+}
+
+Result<Geometry> ParseWkt(const std::string& wkt) {
+  std::string u;
+  for (char c : wkt) u.push_back(std::toupper(static_cast<unsigned char>(c)));
+  Geometry g;
+  size_t open = u.find('(');
+  if (open == std::string::npos || u.back() != ')') {
+    return Status::ParseError("bad WKT: '" + wkt + "'");
+  }
+  std::string head = u.substr(0, open);
+  // Trim trailing whitespace from the tag.
+  while (!head.empty() && head.back() == ' ') head.pop_back();
+  std::string body = u.substr(open + 1, u.size() - open - 2);
+  if (head == "POINT") {
+    g.kind = GeomKind::kPoint;
+  } else if (head == "LINESTRING") {
+    g.kind = GeomKind::kLineString;
+  } else if (head == "POLYGON") {
+    g.kind = GeomKind::kPolygon;
+    // Strip one ring's parentheses; reject multi-ring (holes unsupported).
+    size_t b = body.find('(');
+    size_t e = body.rfind(')');
+    if (b == std::string::npos || e == std::string::npos || e <= b) {
+      return Status::ParseError("bad POLYGON body");
+    }
+    if (body.find('(', b + 1) != std::string::npos) {
+      return Status::Unimplemented("polygons with holes are not supported");
+    }
+    body = body.substr(b + 1, e - b - 1);
+  } else {
+    return Status::Unimplemented("geometry type " + head);
+  }
+  DASHDB_ASSIGN_OR_RETURN(g.points, ParseCoords(body));
+  if (g.kind == GeomKind::kPoint && g.points.size() != 1) {
+    return Status::ParseError("POINT needs exactly one coordinate");
+  }
+  if (g.kind == GeomKind::kLineString && g.points.size() < 2) {
+    return Status::ParseError("LINESTRING needs at least two points");
+  }
+  if (g.kind == GeomKind::kPolygon) {
+    if (g.points.size() < 4) {
+      return Status::ParseError("POLYGON ring needs at least four points");
+    }
+    // Drop the closing duplicate vertex.
+    const Point& f = g.points.front();
+    const Point& l = g.points.back();
+    if (f.x == l.x && f.y == l.y) g.points.pop_back();
+  }
+  return g;
+}
+
+bool Contains(const Geometry& polygon, const Point& p) {
+  const auto& v = polygon.points;
+  const size_t n = v.size();
+  // Boundary counts as contained.
+  for (size_t i = 0; i < n; ++i) {
+    if (SegmentDistance(p, v[i], v[(i + 1) % n]) < 1e-12) return true;
+  }
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    if ((v[i].y > p.y) != (v[j].y > p.y) &&
+        p.x < (v[j].x - v[i].x) * (p.y - v[i].y) / (v[j].y - v[i].y) +
+                  v[i].x) {
+      inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Distance(const Geometry& a, const Geometry& b) {
+  if (a.kind == GeomKind::kPoint) return PointToGeometry(a.points[0], b);
+  if (b.kind == GeomKind::kPoint) return PointToGeometry(b.points[0], a);
+  // Geometry-to-geometry: min over vertices of each against the other
+  // (adequate for the convex shapes the examples/benches use).
+  double best = std::numeric_limits<double>::infinity();
+  for (const Point& p : a.points) best = std::min(best, PointToGeometry(p, b));
+  for (const Point& p : b.points) best = std::min(best, PointToGeometry(p, a));
+  return best;
+}
+
+double Area(const Geometry& g) {
+  if (g.kind != GeomKind::kPolygon) return 0;
+  double sum = 0;
+  const auto& v = g.points;
+  for (size_t i = 0, j = v.size() - 1; i < v.size(); j = i++) {
+    sum += (v[j].x + v[i].x) * (v[j].y - v[i].y);
+  }
+  return std::fabs(sum) / 2;
+}
+
+double Length(const Geometry& g) {
+  if (g.kind == GeomKind::kPoint) return 0;
+  double total = 0;
+  size_t n = g.points.size();
+  size_t segs = g.kind == GeomKind::kPolygon ? n : n - 1;
+  for (size_t i = 0; i < segs; ++i) {
+    const Point& a = g.points[i];
+    const Point& b = g.points[(i + 1) % n];
+    total += std::hypot(b.x - a.x, b.y - a.y);
+  }
+  return total;
+}
+
+}  // namespace geo
+}  // namespace dashdb

@@ -1,0 +1,53 @@
+// Geospatial types and functions in the SQL/MM style (paper II.C.5):
+// "complete coverage of location data types such as points, line strings
+// and polygons along with ... geospatial computation and analytic
+// functions". This reproduction implements the core planar subset over WKT
+// text values (POINT / LINESTRING / POLYGON): constructors, accessors,
+// ST_Distance, ST_Contains/ST_Within (ray casting), ST_Area (shoelace),
+// ST_Length. Registered into the scalar function registry so they are
+// usable from any dialect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dashdb {
+namespace geo {
+
+struct Point {
+  double x = 0, y = 0;
+};
+
+enum class GeomKind : uint8_t { kPoint, kLineString, kPolygon };
+
+/// A parsed planar geometry. Polygons store the outer ring only (holes are
+/// out of scope; documented in DESIGN.md).
+struct Geometry {
+  GeomKind kind = GeomKind::kPoint;
+  std::vector<Point> points;
+
+  std::string ToWkt() const;
+};
+
+/// Parses "POINT(x y)", "LINESTRING(x y, x y, ...)",
+/// "POLYGON((x y, x y, ...))".
+Result<Geometry> ParseWkt(const std::string& wkt);
+
+/// Minimum planar distance between two geometries.
+double Distance(const Geometry& a, const Geometry& b);
+
+/// Point-in-polygon via ray casting (boundary counts as contained).
+bool Contains(const Geometry& polygon, const Point& p);
+
+/// Shoelace area of a polygon (0 for other kinds).
+double Area(const Geometry& g);
+
+/// Sum of segment lengths of a linestring (0 for points).
+double Length(const Geometry& g);
+
+class FunctionRegistryBuilderHook;  // fwd (registration happens in functions.cc)
+
+}  // namespace geo
+}  // namespace dashdb

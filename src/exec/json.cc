@@ -1,0 +1,283 @@
+#include "exec/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace dashdb {
+namespace json {
+
+namespace {
+
+/// A lightweight cursor over JSON text: navigates without building a DOM.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= s_.size(); }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void Advance() { ++pos_; }
+  size_t pos() const { return pos_; }
+  void set_pos(size_t p) { pos_ = p; }
+
+  /// Skips one complete JSON value; returns [start, end) of its text.
+  Result<std::pair<size_t, size_t>> SkipValue() {
+    SkipWs();
+    size_t start = pos_;
+    if (AtEnd()) return Status::ParseError("unexpected end of JSON");
+    char c = Peek();
+    if (c == '"') {
+      DASHDB_RETURN_IF_ERROR(SkipString());
+    } else if (c == '{') {
+      DASHDB_RETURN_IF_ERROR(SkipContainer('{', '}'));
+    } else if (c == '[') {
+      DASHDB_RETURN_IF_ERROR(SkipContainer('[', ']'));
+    } else {
+      // number / true / false / null
+      while (!AtEnd() && std::string(",}] \t\r\n").find(Peek()) ==
+                             std::string::npos) {
+        Advance();
+      }
+    }
+    return std::make_pair(start, pos_);
+  }
+
+  /// Parses the string at the cursor into *out (handles escapes).
+  Result<std::string> ParseString() {
+    SkipWs();
+    if (Peek() != '"') return Status::ParseError("expected JSON string");
+    Advance();
+    std::string out;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Peek();
+      if (c == '\\') {
+        Advance();
+        if (AtEnd()) return Status::ParseError("bad escape");
+        char e = Peek();
+        switch (e) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            // \uXXXX: keep ASCII, replace others with '?'.
+            if (pos_ + 4 >= s_.size()) return Status::ParseError("bad \\u");
+            std::string hex = s_.substr(pos_ + 1, 4);
+            long cp = std::strtol(hex.c_str(), nullptr, 16);
+            out.push_back(cp < 128 ? static_cast<char>(cp) : '?');
+            pos_ += 4;
+            break;
+          }
+          default: out.push_back(e);
+        }
+      } else {
+        out.push_back(c);
+      }
+      Advance();
+    }
+    if (AtEnd()) return Status::ParseError("unterminated JSON string");
+    Advance();  // closing quote
+    return out;
+  }
+
+ private:
+  Status SkipString() {
+    Advance();  // opening quote
+    while (!AtEnd() && Peek() != '"') {
+      if (Peek() == '\\') Advance();
+      if (!AtEnd()) Advance();
+    }
+    if (AtEnd()) return Status::ParseError("unterminated JSON string");
+    Advance();
+    return Status::OK();
+  }
+
+  Status SkipContainer(char open, char close) {
+    int depth = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '"') {
+        DASHDB_RETURN_IF_ERROR(SkipString());
+        continue;
+      }
+      if (c == open) ++depth;
+      if (c == close) {
+        --depth;
+        Advance();
+        if (depth == 0) return Status::OK();
+        continue;
+      }
+      Advance();
+    }
+    return Status::ParseError("unterminated JSON container");
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+struct PathStep {
+  bool is_index = false;
+  std::string key;
+  size_t index = 0;
+};
+
+Result<std::vector<PathStep>> ParsePath(const std::string& path) {
+  if (path.empty() || path[0] != '$') {
+    return Status::InvalidArgument("JSON path must start with '$'");
+  }
+  std::vector<PathStep> steps;
+  size_t i = 1;
+  while (i < path.size()) {
+    if (path[i] == '.') {
+      ++i;
+      std::string key;
+      while (i < path.size() && path[i] != '.' && path[i] != '[') {
+        key.push_back(path[i++]);
+      }
+      if (key.empty()) return Status::InvalidArgument("empty JSON path key");
+      steps.push_back({false, key, 0});
+    } else if (path[i] == '[') {
+      ++i;
+      std::string num;
+      while (i < path.size() && path[i] != ']') num.push_back(path[i++]);
+      if (i >= path.size()) return Status::InvalidArgument("missing ']'");
+      ++i;
+      steps.push_back({true, "", static_cast<size_t>(std::strtoull(
+                                    num.c_str(), nullptr, 10))});
+    } else {
+      return Status::InvalidArgument("bad JSON path near '" +
+                                     path.substr(i) + "'");
+    }
+  }
+  return steps;
+}
+
+/// Navigates to the text span of the value at `path`. found=false (with OK
+/// status) when the path is absent.
+Result<std::pair<bool, std::string>> Navigate(const std::string& doc,
+                                              const std::string& path) {
+  DASHDB_ASSIGN_OR_RETURN(std::vector<PathStep> steps, ParsePath(path));
+  std::string current = doc;
+  for (const PathStep& step : steps) {
+    Cursor c(current);
+    c.SkipWs();
+    if (step.is_index) {
+      if (c.Peek() != '[') return std::make_pair(false, std::string());
+      c.Advance();
+      size_t idx = 0;
+      for (;;) {
+        c.SkipWs();
+        if (c.Peek() == ']') return std::make_pair(false, std::string());
+        DASHDB_ASSIGN_OR_RETURN(auto span, c.SkipValue());
+        if (idx == step.index) {
+          current = current.substr(span.first, span.second - span.first);
+          break;
+        }
+        c.SkipWs();
+        if (c.Peek() == ',') {
+          c.Advance();
+          ++idx;
+          continue;
+        }
+        return std::make_pair(false, std::string());
+      }
+    } else {
+      if (c.Peek() != '{') return std::make_pair(false, std::string());
+      c.Advance();
+      bool found = false;
+      for (;;) {
+        c.SkipWs();
+        if (c.Peek() == '}') break;
+        DASHDB_ASSIGN_OR_RETURN(std::string key, c.ParseString());
+        c.SkipWs();
+        if (c.Peek() != ':') return Status::ParseError("expected ':'");
+        c.Advance();
+        DASHDB_ASSIGN_OR_RETURN(auto span, c.SkipValue());
+        if (key == step.key) {
+          current = current.substr(span.first, span.second - span.first);
+          found = true;
+          break;
+        }
+        c.SkipWs();
+        if (c.Peek() == ',') {
+          c.Advance();
+          continue;
+        }
+        break;
+      }
+      if (!found) return std::make_pair(false, std::string());
+    }
+  }
+  return std::make_pair(true, current);
+}
+
+}  // namespace
+
+Result<Value> Extract(const std::string& doc, const std::string& path) {
+  DASHDB_ASSIGN_OR_RETURN(auto nav, Navigate(doc, path));
+  if (!nav.first) return Value::Null(TypeId::kVarchar);
+  std::string text = nav.second;
+  // Trim.
+  size_t b = text.find_first_not_of(" \t\r\n");
+  size_t e = text.find_last_not_of(" \t\r\n");
+  if (b == std::string::npos) return Value::Null(TypeId::kVarchar);
+  text = text.substr(b, e - b + 1);
+  if (text == "null") return Value::Null(TypeId::kVarchar);
+  if (text == "true") return Value::Boolean(true);
+  if (text == "false") return Value::Boolean(false);
+  if (text[0] == '"') {
+    Cursor c(text);
+    DASHDB_ASSIGN_OR_RETURN(std::string s, c.ParseString());
+    return Value::String(s);
+  }
+  if (text[0] == '{' || text[0] == '[') return Value::String(text);
+  // Number.
+  char* end = nullptr;
+  double d = std::strtod(text.c_str(), &end);
+  if (end && *end == '\0') return Value::Double(d);
+  return Value::String(text);
+}
+
+Result<Value> ArrayLength(const std::string& doc, const std::string& path) {
+  Result<std::pair<bool, std::string>> nav =
+      path == "$" ? Result<std::pair<bool, std::string>>(
+                        std::make_pair(true, doc))
+                  : Navigate(doc, path);
+  DASHDB_RETURN_IF_ERROR(nav.status());
+  if (!nav->first) return Value::Null(TypeId::kInt64);
+  Cursor c(nav->second);
+  c.SkipWs();
+  if (c.Peek() != '[') return Value::Null(TypeId::kInt64);
+  c.Advance();
+  c.SkipWs();
+  if (c.Peek() == ']') return Value::Int64(0);
+  int64_t count = 1;
+  for (;;) {
+    DASHDB_RETURN_IF_ERROR(c.SkipValue().status());
+    c.SkipWs();
+    if (c.Peek() == ',') {
+      c.Advance();
+      ++count;
+      continue;
+    }
+    break;
+  }
+  return Value::Int64(count);
+}
+
+Result<Value> Exists(const std::string& doc, const std::string& path) {
+  DASHDB_ASSIGN_OR_RETURN(auto nav, Navigate(doc, path));
+  return Value::Boolean(nav.first);
+}
+
+}  // namespace json
+}  // namespace dashdb

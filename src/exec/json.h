@@ -1,0 +1,31 @@
+// Minimal JSON path extraction — the paper's Future Work item "Support for
+// Big Data Analytics on JSON data" (Section VI). JSON documents live in
+// VARCHAR columns; JSON_VALUE(doc, '$.a.b[2]') extracts scalars, and
+// JSON_ARRAY_LENGTH / JSON_EXISTS support filtering. The parser covers
+// objects, arrays, strings (with escapes), numbers, booleans and null —
+// enough for analytics over event/log payloads.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dashdb {
+namespace json {
+
+/// Extracts the value at `path` (syntax: $.key.key2[idx]...) from a JSON
+/// document. Returns NULL (not an error) when the path does not exist.
+/// Scalars map to VARCHAR/DOUBLE/BOOLEAN values; objects/arrays are
+/// returned as their JSON text.
+Result<Value> Extract(const std::string& doc, const std::string& path);
+
+/// Number of elements in the array at `path` ("$" = the document root);
+/// NULL when the path is absent or not an array.
+Result<Value> ArrayLength(const std::string& doc, const std::string& path);
+
+/// TRUE/FALSE: does `path` exist in the document?
+Result<Value> Exists(const std::string& doc, const std::string& path);
+
+}  // namespace json
+}  // namespace dashdb

@@ -1,0 +1,802 @@
+#include "exec/operator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace dashdb {
+
+uint64_t HashValue(const Value& v) {
+  if (v.is_null()) return 0x9E3779B97F4A7C15ull;
+  switch (v.type()) {
+    case TypeId::kVarchar:
+      return HashString(v.AsString());
+    case TypeId::kDouble: {
+      double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      return HashInt64(bits);
+    }
+    default:
+      return HashInt64(static_cast<uint64_t>(v.AsInt()));
+  }
+}
+
+namespace {
+
+void InitBatchFor(const std::vector<OutputCol>& cols, RowBatch* out) {
+  out->columns.clear();
+  out->columns.reserve(cols.size());
+  for (const auto& c : cols) out->columns.emplace_back(c.type);
+}
+
+void AppendRowFrom(const RowBatch& src, size_t row, RowBatch* dst,
+                   size_t dst_col_offset = 0) {
+  for (size_t c = 0; c < src.columns.size(); ++c) {
+    dst->columns[dst_col_offset + c].AppendFrom(src.columns[c], row);
+  }
+}
+
+}  // namespace
+
+std::string Operator::PlanString(int indent) const {
+  std::string out(indent * 2, ' ');
+  out += label();
+  out += "\n";
+  for (const Operator* c : children()) out += c->PlanString(indent + 1);
+  return out;
+}
+
+Result<RowBatch> DrainOperator(Operator* op) {
+  DASHDB_RETURN_IF_ERROR(op->Open());
+  RowBatch all;
+  InitBatchFor(op->output(), &all);
+  RowBatch batch;
+  for (;;) {
+    DASHDB_ASSIGN_OR_RETURN(bool more, op->Next(&batch));
+    if (!more) break;
+    for (size_t i = 0; i < batch.num_rows(); ++i) AppendRowFrom(batch, i, &all);
+  }
+  return all;
+}
+
+// ------------------------------------------------------------ ColumnScan --
+
+ColumnScanOp::ColumnScanOp(std::shared_ptr<const ColumnTable> table,
+                           std::vector<ColumnPredicate> preds,
+                           std::vector<int> projection, ScanOptions opts)
+    : table_(std::move(table)),
+      preds_(std::move(preds)),
+      projection_(std::move(projection)),
+      opts_(opts) {
+  for (int c : projection_) {
+    output_.push_back(
+        {table_->schema().column(c).name, table_->schema().column(c).type});
+  }
+}
+
+Status ColumnScanOp::Open() {
+  next_page_ = 0;
+  stats_ = ScanStats{};
+  return Status::OK();
+}
+
+Result<bool> ColumnScanOp::Next(RowBatch* out) {
+  while (next_page_ <= table_->num_pages()) {
+    InitBatchFor(output_, out);
+    DASHDB_RETURN_IF_ERROR(table_->ScanPage(next_page_, preds_, projection_,
+                                            opts_, out, nullptr, &stats_));
+    ++next_page_;
+    if (out->num_rows() > 0) return true;
+  }
+  return false;
+}
+
+// --------------------------------------------------------------- RowScan --
+
+RowScanOp::RowScanOp(std::shared_ptr<const RowTable> table,
+                     std::vector<ColumnPredicate> preds,
+                     std::vector<int> projection)
+    : table_(std::move(table)),
+      preds_(std::move(preds)),
+      projection_(std::move(projection)) {
+  for (int c : projection_) {
+    output_.push_back(
+        {table_->schema().column(c).name, table_->schema().column(c).type});
+  }
+}
+
+Status RowScanOp::Open() {
+  next_row_ = 0;
+  return Status::OK();
+}
+
+Result<bool> RowScanOp::Next(RowBatch* out) {
+  while (next_row_ < table_->row_count()) {
+    InitBatchFor(output_, out);
+    uint64_t end = std::min<uint64_t>(next_row_ + kChunk, table_->row_count());
+    DASHDB_RETURN_IF_ERROR(
+        table_->ScanRange(next_row_, end, preds_, projection_, out, nullptr));
+    next_row_ = end;
+    if (out->num_rows() > 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------- RowIndexScan --
+
+RowIndexScanOp::RowIndexScanOp(std::shared_ptr<const RowTable> table,
+                               int index_col, int64_t lo, int64_t hi,
+                               std::vector<ColumnPredicate> residual,
+                               std::vector<int> projection)
+    : table_(std::move(table)),
+      index_col_(index_col),
+      lo_(lo),
+      hi_(hi),
+      residual_(std::move(residual)),
+      projection_(std::move(projection)) {
+  for (int c : projection_) {
+    output_.push_back(
+        {table_->schema().column(c).name, table_->schema().column(c).type});
+  }
+}
+
+Status RowIndexScanOp::Open() {
+  drained_ = false;
+  InitBatchFor(output_, &buffer_);
+  return table_->IndexScan(
+      index_col_, lo_, hi_, residual_, projection_,
+      [&](RowBatch& b, const std::vector<uint64_t>&) {
+        for (size_t i = 0; i < b.num_rows(); ++i) {
+          AppendRowFrom(b, i, &buffer_);
+        }
+      });
+}
+
+Result<bool> RowIndexScanOp::Next(RowBatch* out) {
+  if (drained_ || buffer_.num_rows() == 0) return false;
+  *out = std::move(buffer_);
+  InitBatchFor(output_, &buffer_);
+  drained_ = true;
+  return true;
+}
+
+// ---------------------------------------------------------------- Filter --
+
+FilterOp::FilterOp(OperatorPtr child, ExprPtr pred, const ExecContext* ctx)
+    : child_(std::move(child)), pred_(std::move(pred)), ctx_(ctx) {
+  output_ = child_->output();
+}
+
+Status FilterOp::Open() { return child_->Open(); }
+
+Result<bool> FilterOp::Next(RowBatch* out) {
+  RowBatch in;
+  for (;;) {
+    DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) return false;
+    DASHDB_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
+                            EvalFilter(*pred_, in, *ctx_));
+    if (sel.empty()) continue;
+    InitBatchFor(output_, out);
+    for (uint32_t r : sel) AppendRowFrom(in, r, out);
+    return true;
+  }
+}
+
+// --------------------------------------------------------------- Project --
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
+                     std::vector<std::string> names, const ExecContext* ctx)
+    : child_(std::move(child)), exprs_(std::move(exprs)), ctx_(ctx) {
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    output_.push_back({names[i], exprs_[i]->out_type()});
+  }
+}
+
+Status ProjectOp::Open() { return child_->Open(); }
+
+Result<bool> ProjectOp::Next(RowBatch* out) {
+  RowBatch in;
+  DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  out->columns.clear();
+  out->columns.reserve(exprs_.size());
+  for (const auto& e : exprs_) {
+    DASHDB_ASSIGN_OR_RETURN(ColumnVector cv, e->Evaluate(in, *ctx_));
+    out->columns.push_back(std::move(cv));
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- HashJoin --
+
+HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build,
+                       std::vector<ExprPtr> probe_keys,
+                       std::vector<ExprPtr> build_keys, JoinType type,
+                       const ExecContext* ctx, bool partitioned)
+    : probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_keys_(std::move(probe_keys)),
+      build_keys_(std::move(build_keys)),
+      type_(type),
+      ctx_(ctx),
+      partitioned_(partitioned) {
+  output_ = probe_->output();
+  for (const auto& c : build_->output()) output_.push_back(c);
+}
+
+Status HashJoinOp::Open() {
+  built_ = false;
+  build_data_.columns.clear();
+  build_key_vals_.clear();
+  partitions_.clear();
+  DASHDB_RETURN_IF_ERROR(probe_->Open());
+  return build_->Open();
+}
+
+Status HashJoinOp::BuildSide() {
+  InitBatchFor(build_->output(), &build_data_);
+  const int nparts = partitioned_ ? (1 << kPartitionBits) : 1;
+  partitions_.resize(nparts);
+  // Fast path detection: one integer-backed column-ref key on both sides.
+  if (probe_keys_.size() == 1) {
+    auto* pk = dynamic_cast<ColumnRefExpr*>(probe_keys_[0].get());
+    auto* bk = dynamic_cast<ColumnRefExpr*>(build_keys_[0].get());
+    if (pk && bk && IsIntegerBacked(pk->out_type()) &&
+        IsIntegerBacked(bk->out_type())) {
+      fast_int_ = true;
+      probe_key_col_ = pk->index();
+      build_key_col_ = bk->index();
+      int_partitions_.resize(nparts);
+    }
+  }
+  RowBatch in;
+  for (;;) {
+    DASHDB_ASSIGN_OR_RETURN(bool more, build_->Next(&in));
+    if (!more) break;
+    if (fast_int_) {
+      const ColumnVector& kc = in.columns[build_key_col_];
+      for (size_t r = 0; r < in.num_rows(); ++r) {
+        uint32_t row = static_cast<uint32_t>(build_data_.num_rows());
+        AppendRowFrom(in, r, &build_data_);
+        if (kc.IsNull(r)) continue;  // NULL keys never join
+        int64_t k = kc.GetInt(r);
+        int part = partitioned_
+                       ? static_cast<int>((HashInt64(static_cast<uint64_t>(k))
+                                           >> 32) & (nparts - 1))
+                       : 0;
+        int_partitions_[part].table.emplace(k, row);
+      }
+      continue;
+    }
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      std::vector<Value> keys;
+      keys.reserve(build_keys_.size());
+      uint64_t h = 0;
+      bool has_null = false;
+      for (const auto& k : build_keys_) {
+        DASHDB_ASSIGN_OR_RETURN(Value v, k->EvaluateRow(in, r, *ctx_));
+        has_null |= v.is_null();
+        h = HashCombine(h, HashValue(v));
+        keys.push_back(std::move(v));
+      }
+      uint32_t row = static_cast<uint32_t>(build_data_.num_rows());
+      AppendRowFrom(in, r, &build_data_);
+      build_key_vals_.push_back(std::move(keys));
+      if (has_null) continue;  // NULL keys never join
+      partitions_[partitioned_ ? (h >> 32) & (nparts - 1) : 0].table.emplace(
+          h, row);
+    }
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+bool HashJoinOp::KeysEqual(const RowBatch&, size_t, uint32_t build_row,
+                           const std::vector<Value>& probe_key_vals) const {
+  const std::vector<Value>& bk = build_key_vals_[build_row];
+  for (size_t i = 0; i < bk.size(); ++i) {
+    if (bk[i].is_null() || probe_key_vals[i].is_null()) return false;
+    if (bk[i].Compare(probe_key_vals[i]) != 0) return false;
+  }
+  return true;
+}
+
+Result<bool> HashJoinOp::Next(RowBatch* out) {
+  if (!built_) DASHDB_RETURN_IF_ERROR(BuildSide());
+  const int nparts = partitioned_ ? (1 << kPartitionBits) : 1;
+  RowBatch in;
+  for (;;) {
+    DASHDB_ASSIGN_OR_RETURN(bool more, probe_->Next(&in));
+    if (!more) return false;
+    InitBatchFor(output_, out);
+    const size_t probe_cols = in.columns.size();
+    if (fast_int_) {
+      const ColumnVector& kc = in.columns[probe_key_col_];
+      for (size_t r = 0; r < in.num_rows(); ++r) {
+        bool matched = false;
+        if (!kc.IsNull(r)) {
+          int64_t k = kc.GetInt(r);
+          int part =
+              partitioned_
+                  ? static_cast<int>((HashInt64(static_cast<uint64_t>(k))
+                                      >> 32) & (nparts - 1))
+                  : 0;
+          auto [b, e] = int_partitions_[part].table.equal_range(k);
+          for (auto it = b; it != e; ++it) {
+            matched = true;
+            AppendRowFrom(in, r, out);
+            for (size_t c = 0; c < build_data_.columns.size(); ++c) {
+              out->columns[probe_cols + c].AppendFrom(build_data_.columns[c],
+                                                      it->second);
+            }
+          }
+        }
+        if (!matched && type_ == JoinType::kLeft) {
+          AppendRowFrom(in, r, out);
+          for (size_t c = 0; c < build_data_.columns.size(); ++c) {
+            out->columns[probe_cols + c].AppendNull();
+          }
+        }
+      }
+      if (out->num_rows() > 0) return true;
+      continue;
+    }
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      std::vector<Value> keys;
+      keys.reserve(probe_keys_.size());
+      uint64_t h = 0;
+      bool has_null = false;
+      for (const auto& k : probe_keys_) {
+        DASHDB_ASSIGN_OR_RETURN(Value v, k->EvaluateRow(in, r, *ctx_));
+        has_null |= v.is_null();
+        h = HashCombine(h, HashValue(v));
+        keys.push_back(std::move(v));
+      }
+      bool matched = false;
+      if (!has_null) {
+        const Partition& part =
+            partitions_[partitioned_ ? (h >> 32) & (nparts - 1) : 0];
+        auto [b, e] = part.table.equal_range(h);
+        for (auto it = b; it != e; ++it) {
+          if (!KeysEqual(in, r, it->second, keys)) continue;
+          matched = true;
+          AppendRowFrom(in, r, out);
+          for (size_t c = 0; c < build_data_.columns.size(); ++c) {
+            out->columns[probe_cols + c].AppendFrom(build_data_.columns[c],
+                                                    it->second);
+          }
+        }
+      }
+      if (!matched && type_ == JoinType::kLeft) {
+        AppendRowFrom(in, r, out);
+        for (size_t c = 0; c < build_data_.columns.size(); ++c) {
+          out->columns[probe_cols + c].AppendNull();
+        }
+      }
+    }
+    if (out->num_rows() > 0) return true;
+  }
+}
+
+// -------------------------------------------------------- NestedLoopJoin --
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                                   ExprPtr condition, JoinType type,
+                                   const ExecContext* ctx)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      condition_(std::move(condition)),
+      type_(type),
+      ctx_(ctx) {
+  output_ = left_->output();
+  for (const auto& c : right_->output()) output_.push_back(c);
+}
+
+Status NestedLoopJoinOp::Open() {
+  built_ = false;
+  DASHDB_RETURN_IF_ERROR(left_->Open());
+  return right_->Open();
+}
+
+Result<bool> NestedLoopJoinOp::Next(RowBatch* out) {
+  if (!built_) {
+    DASHDB_ASSIGN_OR_RETURN(right_data_, DrainOperator(right_.get()));
+    built_ = true;
+  }
+  RowBatch in;
+  const size_t left_cols = left_->output().size();
+  for (;;) {
+    DASHDB_ASSIGN_OR_RETURN(bool more, left_->Next(&in));
+    if (!more) return false;
+    InitBatchFor(output_, out);
+    for (size_t l = 0; l < in.num_rows(); ++l) {
+      bool matched = false;
+      for (size_t r = 0; r < right_data_.num_rows(); ++r) {
+        bool ok = true;
+        if (condition_) {
+          // Evaluate condition on the (l, r) pair via a tiny assembled batch.
+          RowBatch one;
+          InitBatchFor(output_, &one);
+          AppendRowFrom(in, l, &one);
+          for (size_t c = 0; c < right_data_.columns.size(); ++c) {
+            one.columns[left_cols + c].AppendFrom(right_data_.columns[c], r);
+          }
+          DASHDB_ASSIGN_OR_RETURN(Value v,
+                                  condition_->EvaluateRow(one, 0, *ctx_));
+          ok = !v.is_null() && v.AsBool();
+        }
+        if (!ok) continue;
+        matched = true;
+        AppendRowFrom(in, l, out);
+        for (size_t c = 0; c < right_data_.columns.size(); ++c) {
+          out->columns[left_cols + c].AppendFrom(right_data_.columns[c], r);
+        }
+      }
+      if (!matched && type_ == JoinType::kLeft) {
+        AppendRowFrom(in, l, out);
+        for (size_t c = 0; c < right_data_.columns.size(); ++c) {
+          out->columns[left_cols + c].AppendNull();
+        }
+      }
+    }
+    if (out->num_rows() > 0) return true;
+  }
+}
+
+// --------------------------------------------------------------- HashAgg --
+
+namespace {
+struct GroupKey {
+  std::vector<Value> vals;
+  uint64_t hash = 0;
+  bool operator==(const GroupKey& o) const {
+    if (vals.size() != o.vals.size()) return false;
+    for (size_t i = 0; i < vals.size(); ++i) {
+      bool n1 = vals[i].is_null(), n2 = o.vals[i].is_null();
+      if (n1 != n2) return false;
+      if (!n1 && vals[i].Compare(o.vals[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const { return k.hash; }
+};
+}  // namespace
+
+HashAggOp::HashAggOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                     std::vector<std::string> group_names,
+                     std::vector<AggSpec> aggs,
+                     std::vector<std::string> agg_names,
+                     const ExecContext* ctx)
+    : child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)),
+      ctx_(ctx) {
+  for (size_t i = 0; i < group_exprs_.size(); ++i) {
+    output_.push_back({group_names[i], group_exprs_[i]->out_type()});
+  }
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    output_.push_back({agg_names[i], aggs_[i].out_type});
+  }
+}
+
+Status HashAggOp::Open() {
+  done_ = false;
+  materialized_ = false;
+  return child_->Open();
+}
+
+Status HashAggOp::Materialize() {
+  std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHash> groups;
+  // Fast path: when every group key and aggregate argument is a plain
+  // column reference, rows are consumed straight from the typed column
+  // vectors — no per-row expression evaluation, no per-row Value vectors.
+  // With a single integer-backed group column the hash table keys directly
+  // on the int64 value.
+  bool fast = true;
+  std::vector<int> group_cols, arg_cols, arg2_cols;
+  for (const auto& g : group_exprs_) {
+    auto* ref = dynamic_cast<ColumnRefExpr*>(g.get());
+    if (!ref) {
+      fast = false;
+      break;
+    }
+    group_cols.push_back(ref->index());
+  }
+  for (const auto& a : aggs_) {
+    auto get_col = [&](const ExprPtr& e, std::vector<int>* out) {
+      if (!e) {
+        out->push_back(-1);
+        return true;
+      }
+      auto* ref = dynamic_cast<ColumnRefExpr*>(e.get());
+      if (!ref) return false;
+      out->push_back(ref->index());
+      return true;
+    };
+    if (!get_col(a.arg, &arg_cols) || !get_col(a.arg2, &arg2_cols)) {
+      fast = false;
+      break;
+    }
+  }
+  bool single_int_key =
+      fast && group_exprs_.size() == 1 &&
+      group_exprs_[0]->out_type() != TypeId::kVarchar &&
+      group_exprs_[0]->out_type() != TypeId::kDouble;
+  std::unordered_map<int64_t, std::vector<AggState>> int_groups;
+  std::unordered_map<int64_t, bool> int_group_null;  // NULL key sentinel
+
+  RowBatch in;
+  for (;;) {
+    DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) break;
+    const size_t n = in.num_rows();
+    if (fast) {
+      auto feed = [&](std::vector<AggState>& states, size_t r) {
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          const AggSpec& spec = aggs_[a];
+          int c1 = arg_cols[a], c2 = arg2_cols[a];
+          // Typed hot path: single-arg non-DISTINCT numeric aggregates
+          // consume raw column payloads without boxing.
+          if (spec.kind == AggKind::kCountStar) {
+            states[a].AddCountStarFast();
+            continue;
+          }
+          if (!spec.distinct && c2 < 0 && c1 >= 0 &&
+              spec.kind != AggKind::kCovarPop &&
+              spec.kind != AggKind::kCovarSamp) {
+            const ColumnVector& cv = in.columns[c1];
+            if (cv.IsNull(r)) continue;
+            if (cv.type() == TypeId::kDouble) {
+              double x = cv.GetDouble(r);
+              states[a].AddNumericFast(x, static_cast<int64_t>(x), false);
+              continue;
+            }
+            if (cv.type() != TypeId::kVarchar) {
+              int64_t x = cv.GetInt(r);
+              states[a].AddNumericFast(static_cast<double>(x), x, true);
+              continue;
+            }
+          }
+          Value v1 = c1 < 0 ? Value::Null(TypeId::kInt64)
+                            : in.columns[c1].GetValue(r);
+          Value v2 = c2 < 0 ? Value::Null(TypeId::kInt64)
+                            : in.columns[c2].GetValue(r);
+          states[a].Add(v1, v2);
+        }
+      };
+      if (single_int_key) {
+        const ColumnVector& kc = in.columns[group_cols[0]];
+        for (size_t r = 0; r < n; ++r) {
+          // NULL group keys collapse into one group, keyed by a sentinel
+          // tracked separately from the value domain.
+          bool is_null = kc.IsNull(r);
+          int64_t k = is_null ? INT64_MIN + 1 : kc.GetInt(r);
+          auto it = int_groups.find(k);
+          if (it == int_groups.end()) {
+            std::vector<AggState> states;
+            states.reserve(aggs_.size());
+            for (const auto& a : aggs_) states.emplace_back(&a);
+            it = int_groups.emplace(k, std::move(states)).first;
+            int_group_null[k] = is_null;
+          }
+          feed(it->second, r);
+        }
+      } else {
+        for (size_t r = 0; r < n; ++r) {
+          GroupKey key;
+          key.vals.reserve(group_cols.size());
+          for (int c : group_cols) {
+            Value v = in.columns[c].GetValue(r);
+            key.hash = HashCombine(key.hash, HashValue(v));
+            key.vals.push_back(std::move(v));
+          }
+          auto it = groups.find(key);
+          if (it == groups.end()) {
+            std::vector<AggState> states;
+            states.reserve(aggs_.size());
+            for (const auto& a : aggs_) states.emplace_back(&a);
+            it = groups.emplace(std::move(key), std::move(states)).first;
+          }
+          feed(it->second, r);
+        }
+      }
+      continue;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      GroupKey key;
+      key.vals.reserve(group_exprs_.size());
+      for (const auto& g : group_exprs_) {
+        DASHDB_ASSIGN_OR_RETURN(Value v, g->EvaluateRow(in, r, *ctx_));
+        key.hash = HashCombine(key.hash, HashValue(v));
+        key.vals.push_back(std::move(v));
+      }
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        std::vector<AggState> states;
+        states.reserve(aggs_.size());
+        for (const auto& a : aggs_) states.emplace_back(&a);
+        it = groups.emplace(std::move(key), std::move(states)).first;
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        Value v1 = Value::Null(TypeId::kInt64);
+        Value v2 = Value::Null(TypeId::kInt64);
+        if (aggs_[a].arg) {
+          DASHDB_ASSIGN_OR_RETURN(v1, aggs_[a].arg->EvaluateRow(in, r, *ctx_));
+        }
+        if (aggs_[a].arg2) {
+          DASHDB_ASSIGN_OR_RETURN(v2, aggs_[a].arg2->EvaluateRow(in, r, *ctx_));
+        }
+        it->second[a].Add(v1, v2);
+      }
+    }
+  }
+  // Move single-int-key groups into the generic map for output.
+  if (single_int_key) {
+    TypeId kt = group_exprs_[0]->out_type();
+    for (auto& [k, states] : int_groups) {
+      GroupKey key;
+      Value v = int_group_null[k]
+                    ? Value::Null(kt)
+                    : *Value::Int64(k).CastTo(kt);
+      key.hash = HashCombine(0, HashValue(v));
+      key.vals.push_back(std::move(v));
+      groups.emplace(std::move(key), std::move(states));
+    }
+  }
+  // Global aggregation with no groups must yield one row even on empty input.
+  InitBatchFor(output_, &result_);
+  if (groups.empty() && group_exprs_.empty()) {
+    std::vector<AggState> states;
+    for (const auto& a : aggs_) states.emplace_back(&a);
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      result_.columns[a].AppendValue(states[a].Finish());
+    }
+  } else {
+    for (const auto& [key, states] : groups) {
+      for (size_t g = 0; g < key.vals.size(); ++g) {
+        result_.columns[g].AppendValue(key.vals[g]);
+      }
+      for (size_t a = 0; a < states.size(); ++a) {
+        result_.columns[key.vals.size() + a].AppendValue(states[a].Finish());
+      }
+    }
+  }
+  materialized_ = true;
+  return Status::OK();
+}
+
+Result<bool> HashAggOp::Next(RowBatch* out) {
+  if (!materialized_) DASHDB_RETURN_IF_ERROR(Materialize());
+  if (done_) return false;
+  *out = std::move(result_);
+  done_ = true;
+  return out->num_rows() > 0 || !out->columns.empty();
+}
+
+// ------------------------------------------------------------------ Sort --
+
+SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys,
+               const ExecContext* ctx)
+    : child_(std::move(child)), keys_(std::move(keys)), ctx_(ctx) {
+  output_ = child_->output();
+}
+
+Status SortOp::Open() {
+  done_ = false;
+  materialized_ = false;
+  return child_->Open();
+}
+
+Result<bool> SortOp::Next(RowBatch* out) {
+  if (!materialized_) {
+    DASHDB_ASSIGN_OR_RETURN(RowBatch all, DrainOperator(child_.get()));
+    const size_t n = all.num_rows();
+    // Evaluate sort keys once.
+    std::vector<ColumnVector> key_cols;
+    for (const auto& k : keys_) {
+      DASHDB_ASSIGN_OR_RETURN(ColumnVector cv, k.expr->Evaluate(all, *ctx_));
+      key_cols.push_back(std::move(cv));
+    }
+    std::vector<uint32_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       for (size_t k = 0; k < keys_.size(); ++k) {
+                         Value va = key_cols[k].GetValue(a);
+                         Value vb = key_cols[k].GetValue(b);
+                         int c = va.Compare(vb);
+                         if (c != 0) return keys_[k].desc ? c > 0 : c < 0;
+                       }
+                       return false;
+                     });
+    InitBatchFor(output_, &result_);
+    for (uint32_t r : order) AppendRowFrom(all, r, &result_);
+    materialized_ = true;
+  }
+  if (done_) return false;
+  *out = std::move(result_);
+  done_ = true;
+  return out->num_rows() > 0;
+}
+
+// ----------------------------------------------------------------- Limit --
+
+LimitOp::LimitOp(OperatorPtr child, int64_t limit, int64_t offset)
+    : child_(std::move(child)), limit_(limit), offset_(offset) {
+  output_ = child_->output();
+}
+
+Status LimitOp::Open() {
+  skipped_ = 0;
+  emitted_ = 0;
+  return child_->Open();
+}
+
+Result<bool> LimitOp::Next(RowBatch* out) {
+  if (limit_ >= 0 && emitted_ >= limit_) return false;
+  RowBatch in;
+  for (;;) {
+    DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) return false;
+    InitBatchFor(output_, out);
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      if (skipped_ < offset_) {
+        ++skipped_;
+        continue;
+      }
+      if (limit_ >= 0 && emitted_ >= limit_) break;
+      AppendRowFrom(in, r, out);
+      ++emitted_;
+    }
+    if (out->num_rows() > 0) return true;
+    if (limit_ >= 0 && emitted_ >= limit_) return false;
+  }
+}
+
+// ---------------------------------------------------------------- Values --
+
+ValuesOp::ValuesOp(RowBatch batch, std::vector<OutputCol> cols)
+    : batch_(std::move(batch)) {
+  output_ = std::move(cols);
+}
+
+Status ValuesOp::Open() {
+  done_ = false;
+  return Status::OK();
+}
+
+Result<bool> ValuesOp::Next(RowBatch* out) {
+  if (done_) return false;
+  *out = batch_;
+  done_ = true;
+  return true;
+}
+
+// -------------------------------------------------------------- UnionAll --
+
+UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
+    : children_(std::move(children)) {
+  output_ = children_.front()->output();
+}
+
+Status UnionAllOp::Open() {
+  current_ = 0;
+  for (auto& c : children_) DASHDB_RETURN_IF_ERROR(c->Open());
+  return Status::OK();
+}
+
+Result<bool> UnionAllOp::Next(RowBatch* out) {
+  while (current_ < children_.size()) {
+    DASHDB_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(out));
+    if (more) return true;
+    ++current_;
+  }
+  return false;
+}
+
+}  // namespace dashdb

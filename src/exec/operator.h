@@ -1,0 +1,338 @@
+// Pull-based vectorized operators (paper II.B.7): scans over both table
+// organizations, filter/project, cache-partitioned hash join, partitioned
+// hash aggregation, sort, limit, values, union.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/column_vector.h"
+#include "common/status.h"
+#include "exec/agg.h"
+#include "exec/expr.h"
+#include "storage/column_table.h"
+#include "storage/row_table.h"
+
+namespace dashdb {
+
+/// One column of an operator's output.
+struct OutputCol {
+  std::string name;
+  TypeId type;
+};
+
+/// Base pull operator: Open() once, then Next() until it returns false.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open() = 0;
+  /// Replaces *out with the next batch; returns false at end of stream.
+  virtual Result<bool> Next(RowBatch* out) = 0;
+  const std::vector<OutputCol>& output() const { return output_; }
+
+  /// EXPLAIN support.
+  virtual std::string label() const { return "Operator"; }
+  virtual std::vector<const Operator*> children() const { return {}; }
+  std::string PlanString(int indent = 0) const;
+
+ protected:
+  std::vector<OutputCol> output_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Storage objects that can produce their own scan operator. The binder
+/// uses this for catalog entries that are neither column nor row tables —
+/// e.g. Fluid Query nicknames over remote stores (paper II.C.6). The
+/// contract: the returned operator applies EVERY given predicate (whether
+/// by remote pushdown or local post-filtering is the source's business).
+class ScannableStorage : public StorageObject {
+ public:
+  virtual Result<OperatorPtr> CreateScan(
+      const std::vector<ColumnPredicate>& preds,
+      const std::vector<int>& projection) const = 0;
+};
+
+/// Hash of a Value for join/aggregation keys.
+uint64_t HashValue(const Value& v);
+
+/// Scan over a column-organized table with pushed-down predicates.
+class ColumnScanOp : public Operator {
+ public:
+  ColumnScanOp(std::shared_ptr<const ColumnTable> table,
+               std::vector<ColumnPredicate> preds, std::vector<int> projection,
+               ScanOptions opts);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+  const ScanStats& stats() const { return stats_; }
+
+  std::string label() const override { return "ColumnScan(" + table_->schema().QualifiedName() + " preds=" + std::to_string(preds_.size()) + ")"; }
+
+ private:
+  std::shared_ptr<const ColumnTable> table_;
+  std::vector<ColumnPredicate> preds_;
+  std::vector<int> projection_;
+  ScanOptions opts_;
+  size_t next_page_ = 0;
+  ScanStats stats_;
+};
+
+/// Full scan over the row-organized baseline table.
+class RowScanOp : public Operator {
+ public:
+  RowScanOp(std::shared_ptr<const RowTable> table,
+            std::vector<ColumnPredicate> preds, std::vector<int> projection);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+
+  std::string label() const override { return "RowScan(" + table_->schema().QualifiedName() + ")"; }
+
+ private:
+  std::shared_ptr<const RowTable> table_;
+  std::vector<ColumnPredicate> preds_;
+  std::vector<int> projection_;
+  uint64_t next_row_ = 0;
+  static constexpr uint64_t kChunk = 4096;
+};
+
+/// B+Tree index range scan over the row table (appliance access path).
+class RowIndexScanOp : public Operator {
+ public:
+  RowIndexScanOp(std::shared_ptr<const RowTable> table, int index_col,
+                 int64_t lo, int64_t hi, std::vector<ColumnPredicate> residual,
+                 std::vector<int> projection);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+
+  std::string label() const override { return "RowIndexScan(" + table_->schema().QualifiedName() + ")"; }
+
+ private:
+  std::shared_ptr<const RowTable> table_;
+  int index_col_;
+  int64_t lo_, hi_;
+  std::vector<ColumnPredicate> residual_;
+  std::vector<int> projection_;
+  RowBatch buffer_;
+  bool drained_ = false;
+};
+
+/// Residual predicate filter.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr pred, const ExecContext* ctx);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+
+  std::string label() const override { return "Filter(" + pred_->ToString() + ")"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr pred_;
+  const ExecContext* ctx_;
+};
+
+/// Expression projection.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
+            std::vector<std::string> names, const ExecContext* ctx);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+
+  std::string label() const override { return "Project(" + std::to_string(exprs_.size()) + " exprs)"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+  const ExecContext* ctx_;
+};
+
+enum class JoinType : uint8_t { kInner = 0, kLeft, kCross };
+
+/// Hash join; the build side (right child) is radix-partitioned into
+/// cache-sized partitions, each with its own hash table — the Hybrid Hash
+/// Join / BLU-style "partition into L2/L3 chunks" strategy of paper II.B.7.
+/// `partitioned=false` degrades to one global table (ablation baseline).
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr probe, OperatorPtr build,
+             std::vector<ExprPtr> probe_keys, std::vector<ExprPtr> build_keys,
+             JoinType type, const ExecContext* ctx, bool partitioned = true);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+
+  std::string label() const override { return std::string(type_ == JoinType::kLeft ? "HashLeftJoin" : "HashJoin") + "(keys=" + std::to_string(probe_keys_.size()) + (partitioned_ ? ", cache-partitioned)" : ")"); }
+  std::vector<const Operator*> children() const override {
+    return {probe_.get(), build_.get()};
+  }
+
+ private:
+  static constexpr int kPartitionBits = 6;  // 64 cache-sized partitions
+  struct Partition {
+    std::unordered_multimap<uint64_t, uint32_t> table;  // hash -> build row
+  };
+
+  Status BuildSide();
+  bool KeysEqual(const RowBatch& probe_batch, size_t probe_row,
+                 uint32_t build_row, const std::vector<Value>& probe_key_vals)
+      const;
+
+  OperatorPtr probe_, build_;
+  std::vector<ExprPtr> probe_keys_, build_keys_;
+  JoinType type_;
+  const ExecContext* ctx_;
+  bool partitioned_;
+  RowBatch build_data_;
+  std::vector<std::vector<Value>> build_key_vals_;
+  std::vector<Partition> partitions_;
+  bool built_ = false;
+  /// Fast path: single integer-backed column-ref key on both sides keys
+  /// the partition tables directly on the int64 value.
+  bool fast_int_ = false;
+  int probe_key_col_ = -1, build_key_col_ = -1;
+  struct IntPartition {
+    std::unordered_multimap<int64_t, uint32_t> table;
+  };
+  std::vector<IntPartition> int_partitions_;
+};
+
+/// Cross / non-equi nested-loop join (small inputs: DUAL, dimension
+/// cross-products, Oracle (+) conditions that are not equi-joins).
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr condition,
+                   JoinType type, const ExecContext* ctx);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+
+  std::string label() const override { return "NestedLoopJoin"; }
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  OperatorPtr left_, right_;
+  ExprPtr condition_;  ///< may be null (pure cross join)
+  JoinType type_;
+  const ExecContext* ctx_;
+  RowBatch right_data_;
+  bool built_ = false;
+};
+
+/// Hash GROUP BY with the aggregate library. Materializes on first Next.
+class HashAggOp : public Operator {
+ public:
+  HashAggOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+            std::vector<std::string> group_names, std::vector<AggSpec> aggs,
+            std::vector<std::string> agg_names, const ExecContext* ctx);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+
+  std::string label() const override { return "HashAggregate(groups=" + std::to_string(group_exprs_.size()) + ", aggs=" + std::to_string(aggs_.size()) + ")"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  Status Materialize();
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+  const ExecContext* ctx_;
+  RowBatch result_;
+  bool done_ = false;
+  bool materialized_ = false;
+};
+
+/// One sort key.
+struct SortKey {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+/// Full sort (materializing).
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<SortKey> keys, const ExecContext* ctx);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+
+  std::string label() const override { return "Sort(keys=" + std::to_string(keys_.size()) + ")"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  std::vector<SortKey> keys_;
+  const ExecContext* ctx_;
+  RowBatch result_;
+  bool done_ = false;
+  bool materialized_ = false;
+};
+
+/// LIMIT n OFFSET m (also implements FETCH FIRST and Oracle ROWNUM caps).
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit, int64_t offset);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+
+  std::string label() const override { return "Limit(" + std::to_string(limit_) + " offset " + std::to_string(offset_) + ")"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_, offset_;
+  int64_t skipped_ = 0, emitted_ = 0;
+};
+
+/// Emits a constant batch (VALUES clause, DUAL, INSERT source).
+class ValuesOp : public Operator {
+ public:
+  ValuesOp(RowBatch batch, std::vector<OutputCol> cols);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+
+  std::string label() const override { return "Values(" + std::to_string(batch_.num_rows()) + " rows)"; }
+
+ private:
+  RowBatch batch_;
+  bool done_ = false;
+};
+
+/// Concatenation of child streams (UNION ALL, CTE fan-in).
+class UnionAllOp : public Operator {
+ public:
+  explicit UnionAllOp(std::vector<OperatorPtr> children);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+
+  std::string label() const override { return "UnionAll"; }
+  std::vector<const Operator*> children() const override {
+    std::vector<const Operator*> out;
+    for (const auto& c : children_) out.push_back(c.get());
+    return out;
+  }
+
+ private:
+  std::vector<OperatorPtr> children_;
+  size_t current_ = 0;
+};
+
+/// Drains an operator into a single batch (used by the SQL engine, MPP
+/// gather, and tests).
+Result<RowBatch> DrainOperator(Operator* op);
+
+}  // namespace dashdb

@@ -1,0 +1,72 @@
+#include "fluid/nickname.h"
+
+namespace dashdb {
+namespace fluid {
+
+namespace {
+
+/// Pull operator that drains a remote store scan (materialized at Open:
+/// remote cursors are a transfer, not a page iterator).
+class RemoteScanOp : public Operator {
+ public:
+  RemoteScanOp(std::shared_ptr<RemoteStore> store,
+               std::vector<ColumnPredicate> preds, std::vector<int> projection)
+      : store_(std::move(store)),
+        preds_(std::move(preds)),
+        projection_(std::move(projection)) {
+    for (int c : projection_) {
+      const auto& col = store_->table_schema().column(c);
+      output_.push_back({col.name, col.type});
+    }
+  }
+
+  Status Open() override {
+    batches_.clear();
+    next_ = 0;
+    return store_->Scan(preds_, projection_,
+                        [&](RowBatch& b) { batches_.push_back(b); });
+  }
+
+  Result<bool> Next(RowBatch* out) override {
+    if (next_ >= batches_.size()) return false;
+    *out = std::move(batches_[next_++]);
+    return true;
+  }
+
+  std::string label() const override {
+    return "RemoteScan(" + store_->kind() + "." +
+           store_->table_schema().table_name() + ", preds=" +
+           std::to_string(preds_.size()) +
+           (store_->SupportsPushdown() ? ", pushdown)" : ", full-transfer)");
+  }
+
+ private:
+  std::shared_ptr<RemoteStore> store_;
+  std::vector<ColumnPredicate> preds_;
+  std::vector<int> projection_;
+  std::vector<RowBatch> batches_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+Result<OperatorPtr> NicknameTable::CreateScan(
+    const std::vector<ColumnPredicate>& preds,
+    const std::vector<int>& projection) const {
+  return OperatorPtr(
+      std::make_unique<RemoteScanOp>(store_, preds, projection));
+}
+
+Status CreateNickname(Engine* engine, const std::string& schema,
+                      const std::string& name,
+                      std::shared_ptr<RemoteStore> store) {
+  CatalogEntry entry;
+  entry.kind = EntryKind::kNickname;
+  TableSchema remote = store->table_schema();
+  entry.schema = TableSchema(schema, name, remote.columns());
+  entry.storage = std::make_shared<NicknameTable>(std::move(store));
+  return engine->catalog()->CreateEntry(std::move(entry));
+}
+
+}  // namespace fluid
+}  // namespace dashdb

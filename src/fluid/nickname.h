@@ -1,0 +1,42 @@
+// Table nicknames (paper II.C.6, Figure 5): catalog entries whose storage
+// is a remote store. Once registered, "this practical use of different data
+// stores can be accessed with existing SQL skills from dashDB" — the binder
+// plans nickname scans exactly like base tables, pushing sargable
+// predicates through the connector when the remote supports it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "exec/operator.h"
+#include "fluid/remote_store.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+namespace fluid {
+
+/// The storage object behind a nickname: adapts a RemoteStore to the
+/// executor's ScannableStorage contract.
+class NicknameTable : public ScannableStorage {
+ public:
+  explicit NicknameTable(std::shared_ptr<RemoteStore> store)
+      : store_(std::move(store)) {}
+
+  RemoteStore* store() const { return store_.get(); }
+
+  Result<OperatorPtr> CreateScan(
+      const std::vector<ColumnPredicate>& preds,
+      const std::vector<int>& projection) const override;
+
+ private:
+  std::shared_ptr<RemoteStore> store_;
+};
+
+/// Registers a nickname `schema.name` in `engine`'s catalog pointing at the
+/// remote store (the "Add Nickname" flow of Figure 5).
+Status CreateNickname(Engine* engine, const std::string& schema,
+                      const std::string& name,
+                      std::shared_ptr<RemoteStore> store);
+
+}  // namespace fluid
+}  // namespace dashdb

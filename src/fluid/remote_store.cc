@@ -1,0 +1,134 @@
+#include "fluid/remote_store.h"
+
+#include <sstream>
+
+namespace dashdb {
+namespace fluid {
+
+namespace {
+
+size_t BatchBytes(const RowBatch& b) {
+  size_t bytes = 0;
+  for (const auto& c : b.columns) {
+    if (c.type() == TypeId::kVarchar) {
+      for (const auto& s : c.strings()) bytes += s.size() + 2;
+    } else {
+      bytes += 8 * c.size();
+    }
+  }
+  return bytes;
+}
+
+/// Value-domain check of one predicate against one row value.
+bool MatchPred(const ColumnPredicate& p, TypeId t, const Value& v) {
+  if (v.is_null()) return false;
+  if (t == TypeId::kVarchar) {
+    const std::string& s = v.AsString();
+    if (p.str_range.lo &&
+        (p.str_range.lo_incl ? s < *p.str_range.lo : s <= *p.str_range.lo)) {
+      return false;
+    }
+    if (p.str_range.hi &&
+        (p.str_range.hi_incl ? s > *p.str_range.hi : s >= *p.str_range.hi)) {
+      return false;
+    }
+    return true;
+  }
+  if (t == TypeId::kDouble) {
+    double d = v.AsDouble();
+    if (p.dlo && (p.dlo_incl ? d < *p.dlo : d <= *p.dlo)) return false;
+    if (p.dhi && (p.dhi_incl ? d > *p.dhi : d >= *p.dhi)) return false;
+    return true;
+  }
+  int64_t i = v.AsInt();
+  if (p.int_range.lo &&
+      (p.int_range.lo_incl ? i < *p.int_range.lo : i <= *p.int_range.lo)) {
+    return false;
+  }
+  if (p.int_range.hi &&
+      (p.int_range.hi_incl ? i > *p.int_range.hi : i >= *p.int_range.hi)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SimRdbmsStore::SimRdbmsStore(std::string kind, TableSchema schema)
+    : kind_(std::move(kind)), schema_(schema), table_(schema, 0) {}
+
+Status SimRdbmsStore::Scan(const std::vector<ColumnPredicate>& preds,
+                           const std::vector<int>& projection,
+                           const std::function<void(RowBatch&)>& emit) {
+  // Pushdown-capable: the remote filters, only matches transfer.
+  rows_scanned_ += table_.live_row_count();
+  return table_.Scan(preds, projection,
+                     [&](RowBatch& b, const std::vector<uint64_t>&) {
+                       rows_transferred_ += b.num_rows();
+                       bytes_transferred_ += BatchBytes(b);
+                       emit(b);
+                     });
+}
+
+SimHadoopStore::SimHadoopStore(TableSchema schema) : schema_(schema) {}
+
+Status SimHadoopStore::Load(const RowBatch& rows) {
+  for (size_t i = 0; i < rows.num_rows(); ++i) {
+    std::ostringstream line;
+    for (int c = 0; c < schema_.num_columns(); ++c) {
+      if (c) line << '|';
+      Value v = rows.columns[c].GetValue(i);
+      line << (v.is_null() ? "\\N" : v.ToString());
+    }
+    lines_.push_back(line.str());
+  }
+  return Status::OK();
+}
+
+Status SimHadoopStore::Scan(const std::vector<ColumnPredicate>& preds,
+                            const std::vector<int>& projection,
+                            const std::function<void(RowBatch&)>& emit) {
+  // No pushdown: every line is read, transferred, parsed (schema on read),
+  // THEN filtered — the HDFS performance profile the paper contrasts.
+  RowBatch out;
+  for (int c : projection) out.columns.emplace_back(schema_.column(c).type);
+  for (const std::string& line : lines_) {
+    ++rows_scanned_;
+    ++rows_transferred_;
+    bytes_transferred_ += line.size() + 1;
+    // Schema-on-read parse.
+    std::vector<Value> row;
+    std::stringstream ss(line);
+    std::string field;
+    for (int c = 0; c < schema_.num_columns(); ++c) {
+      if (!std::getline(ss, field, '|')) field = "\\N";
+      if (field == "\\N") {
+        row.push_back(Value::Null(schema_.column(c).type));
+      } else {
+        DASHDB_ASSIGN_OR_RETURN(
+            Value v, Value::String(field).CastTo(schema_.column(c).type));
+        row.push_back(std::move(v));
+      }
+    }
+    bool ok = true;
+    for (const auto& p : preds) {
+      if (!MatchPred(p, schema_.column(p.column).type, row[p.column])) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    for (size_t k = 0; k < projection.size(); ++k) {
+      out.columns[k].AppendValue(row[projection[k]]);
+    }
+    if (out.num_rows() >= 4096) {
+      emit(out);
+      for (auto& c : out.columns) c.Clear();
+    }
+  }
+  if (out.num_rows() > 0) emit(out);
+  return Status::OK();
+}
+
+}  // namespace fluid
+}  // namespace dashdb

@@ -1,0 +1,562 @@
+#include "mpp/mpp.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/stopwatch.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace dashdb {
+
+using ast::ExprKind;
+
+MppDatabase::MppDatabase(int nodes, int shards_per_node, int cores_per_node,
+                         size_t ram_per_node, EngineConfig shard_config)
+    : topo_(nodes, shards_per_node, cores_per_node, ram_per_node) {
+  for (int s = 0; s < topo_.num_shards(); ++s) {
+    shards_.push_back(std::make_unique<Engine>(shard_config));
+    sessions_.push_back(shards_.back()->CreateSession());
+  }
+}
+
+Status MppDatabase::CreateTable(const TableSchema& schema, bool replicated) {
+  for (auto& shard : shards_) {
+    if (schema.organization() == TableOrganization::kRow) {
+      DASHDB_ASSIGN_OR_RETURN(auto t, shard->CreateRowTable(schema));
+      (void)t;
+    } else {
+      DASHDB_ASSIGN_OR_RETURN(auto t, shard->CreateColumnTable(schema));
+      (void)t;
+    }
+  }
+  replicated_[NormalizeIdent(schema.schema_name()) + "." +
+              NormalizeIdent(schema.table_name())] = replicated;
+  return Status::OK();
+}
+
+int MppDatabase::RouteRow(const TableSchema& schema,
+                          const std::vector<Value>& row) {
+  int key = schema.distribution_key();
+  if (key < 0) {
+    return static_cast<int>(round_robin_++ % shards_.size());
+  }
+  const Value& v = row[key];
+  uint64_t h = v.is_null() ? 0
+               : v.type() == TypeId::kVarchar
+                   ? HashString(v.AsString())
+                   : HashInt64(static_cast<uint64_t>(v.AsInt()));
+  return static_cast<int>(h % shards_.size());
+}
+
+Status MppDatabase::Load(const std::string& schema, const std::string& table,
+                         const RowBatch& rows) {
+  std::string key = NormalizeIdent(schema) + "." + NormalizeIdent(table);
+  auto rep = replicated_.find(key);
+  bool replicate = rep != replicated_.end() && rep->second;
+  DASHDB_ASSIGN_OR_RETURN(auto entry, shards_[0]->GetTable(schema, table));
+  const TableSchema& ts = entry->schema;
+
+  auto append_to = [&](int shard, const RowBatch& batch) -> Status {
+    DASHDB_ASSIGN_OR_RETURN(auto e, shards_[shard]->GetTable(schema, table));
+    auto col = std::dynamic_pointer_cast<ColumnTable>(e->storage);
+    auto row = std::dynamic_pointer_cast<RowTable>(e->storage);
+    if (col) return col->Append(batch);
+    if (row) return row->Append(batch);
+    return Status::Internal("shard table without storage");
+  };
+
+  if (replicate) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      DASHDB_RETURN_IF_ERROR(append_to(static_cast<int>(s), rows));
+    }
+    return Status::OK();
+  }
+  // Partition rows per shard, then bulk-append.
+  std::vector<RowBatch> parts(shards_.size());
+  for (auto& p : parts) {
+    for (int c = 0; c < ts.num_columns(); ++c) {
+      p.columns.emplace_back(ts.column(c).type);
+    }
+  }
+  const size_t n = rows.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<Value> row = rows.Row(i);
+    int shard = RouteRow(ts, row);
+    for (int c = 0; c < ts.num_columns(); ++c) {
+      parts[shard].columns[c].AppendFrom(rows.columns[c], i);
+    }
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (parts[s].num_rows() > 0) {
+      DASHDB_RETURN_IF_ERROR(append_to(static_cast<int>(s), parts[s]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<MppQueryResult> MppDatabase::Broadcast(const std::string& sql) {
+  MppQueryResult out;
+  out.shard_seconds.resize(shards_.size(), 0);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Stopwatch sw;
+    DASHDB_ASSIGN_OR_RETURN(out.result,
+                            shards_[s]->Execute(sessions_[s].get(), sql));
+    out.shard_seconds[s] = sw.ElapsedSeconds();
+  }
+  return out;
+}
+
+Result<MppQueryResult> MppDatabase::RoutedInsert(const ast::Statement& st,
+                                                 const std::string& sql) {
+  std::string schema = st.target_schema.empty() ? "PUBLIC" : st.target_schema;
+  std::string key =
+      NormalizeIdent(schema) + "." + NormalizeIdent(st.target_table);
+  auto rep = replicated_.find(key);
+  if ((rep != replicated_.end() && rep->second) || st.select ||
+      !st.insert_columns.empty()) {
+    // Replicated targets, INSERT..SELECT, and column-subset inserts run on
+    // every shard (the engine resolves shard-local sources); distributed
+    // correctness for INSERT..SELECT relies on shard-local source data.
+    return Broadcast(sql);
+  }
+  DASHDB_ASSIGN_OR_RETURN(auto entry,
+                          shards_[0]->GetTable(schema, st.target_table));
+  const TableSchema& ts = entry->schema;
+  // Evaluate literal rows and route each to its shard.
+  MppQueryResult out;
+  out.shard_seconds.resize(shards_.size(), 0);
+  int64_t affected = 0;
+  for (const auto& ast_row : st.insert_rows) {
+    if (static_cast<int>(ast_row.size()) != ts.num_columns()) {
+      return Status::SemanticError("INSERT row width mismatch");
+    }
+    std::vector<Value> row;
+    Binder binder(shards_[0]->catalog(), sessions_[0].get());
+    for (size_t c = 0; c < ast_row.size(); ++c) {
+      DASHDB_ASSIGN_OR_RETURN(ExprPtr bound,
+                              binder.BindScalar(ast_row[c], {}));
+      RowBatch empty;
+      DASHDB_ASSIGN_OR_RETURN(
+          Value v, bound->EvaluateRow(empty, 0, sessions_[0]->exec_ctx()));
+      DASHDB_ASSIGN_OR_RETURN(v, v.CastTo(ts.column(c).type));
+      row.push_back(std::move(v));
+    }
+    int shard = RouteRow(ts, row);
+    DASHDB_ASSIGN_OR_RETURN(auto e,
+                            shards_[shard]->GetTable(schema, st.target_table));
+    auto col = std::dynamic_pointer_cast<ColumnTable>(e->storage);
+    auto rtab = std::dynamic_pointer_cast<RowTable>(e->storage);
+    Stopwatch sw;
+    if (col) {
+      DASHDB_RETURN_IF_ERROR(col->AppendRow(row));
+    } else if (rtab) {
+      DASHDB_RETURN_IF_ERROR(rtab->AppendRow(row));
+    }
+    out.shard_seconds[shard] += sw.ElapsedSeconds();
+    ++affected;
+  }
+  out.result.affected_rows = affected;
+  out.result.message = "INSERTED " + std::to_string(affected);
+  return out;
+}
+
+namespace {
+
+/// Merge operation for one partial-aggregate column.
+enum class MergeOp : uint8_t { kSum, kMin, kMax };
+
+/// One original select item in an aggregate query.
+struct FinalItem {
+  enum Kind { kGroup, kAggDirect, kAvg } kind = kGroup;
+  int group_idx = 0;     // kGroup: which group column
+  int partial_idx = 0;   // kAggDirect: merged partial column
+  int sum_idx = 0, count_idx = 0;  // kAvg
+};
+
+bool IsSimpleAgg(const ast::ExprP& e) {
+  if (e->kind != ExprKind::kFuncCall) return false;
+  AggKind k;
+  if (!AggKindFromName(e->name, &k)) return false;
+  switch (k) {
+    case AggKind::kCount:
+    case AggKind::kCountStar:
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kAvg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
+  // Detect aggregation.
+  bool has_agg = !sel.group_by.empty();
+  for (const auto& item : sel.items) {
+    if (item.expr->kind == ExprKind::kFuncCall) {
+      AggKind k;
+      if (AggKindFromName(item.expr->name, &k)) has_agg = true;
+    }
+  }
+  MppQueryResult out;
+  out.shard_seconds.resize(shards_.size(), 0);
+
+  if (!has_agg) {
+    // Run shard-local plans without ORDER BY/LIMIT; merge; finish globally.
+    ast::SelectStmt shard_sel = sel;
+    shard_sel.order_by.clear();
+    shard_sel.limit = -1;
+    shard_sel.offset = 0;
+    RowBatch merged;
+    std::vector<OutputCol> cols;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Stopwatch sw;
+      BindOptions bopts;
+      bopts.scan = shards_[s]->MakeScanOptions();
+      Binder binder(shards_[s]->catalog(), sessions_[s].get(), bopts);
+      DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(shard_sel));
+      DASHDB_ASSIGN_OR_RETURN(RowBatch batch, DrainOperator(root.get()));
+      out.shard_seconds[s] = sw.ElapsedSeconds();
+      if (cols.empty()) {
+        cols = root->output();
+        for (const auto& c : cols) merged.columns.emplace_back(c.type);
+      }
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        for (size_t c = 0; c < batch.columns.size(); ++c) {
+          merged.columns[c].AppendFrom(batch.columns[c], i);
+        }
+      }
+    }
+    // Coordinator-side ORDER BY / LIMIT.
+    out.result.columns = cols;
+    out.result.rows = std::move(merged);
+    if (!sel.order_by.empty()) {
+      std::vector<uint32_t> order(out.result.rows.num_rows());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::vector<std::pair<int, bool>> keys;  // col idx, desc
+      for (const auto& oi : sel.order_by) {
+        int idx = -1;
+        if (oi.ordinal > 0) {
+          idx = oi.ordinal - 1;
+        } else if (oi.expr && oi.expr->kind == ExprKind::kColumnRef) {
+          for (size_t c = 0; c < cols.size(); ++c) {
+            if (NormalizeIdent(cols[c].name) == oi.expr->name) {
+              idx = static_cast<int>(c);
+            }
+          }
+        }
+        if (idx < 0) {
+          return Status::Unimplemented(
+              "MPP ORDER BY supports output columns/ordinals");
+        }
+        keys.emplace_back(idx, oi.desc);
+      }
+      const RowBatch& rb = out.result.rows;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         for (auto [c, desc] : keys) {
+                           int cmp = rb.columns[c].GetValue(a).Compare(
+                               rb.columns[c].GetValue(b));
+                           if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+                         }
+                         return false;
+                       });
+      RowBatch sorted;
+      for (const auto& c : cols) sorted.columns.emplace_back(c.type);
+      int64_t limit = sel.limit < 0
+                          ? static_cast<int64_t>(order.size())
+                          : sel.limit;
+      for (size_t i = sel.offset;
+           i < order.size() &&
+           static_cast<int64_t>(sorted.num_rows()) < limit;
+           ++i) {
+        for (size_t c = 0; c < cols.size(); ++c) {
+          sorted.columns[c].AppendFrom(out.result.rows.columns[c], order[i]);
+        }
+      }
+      out.result.rows = std::move(sorted);
+    } else if (sel.limit >= 0 || sel.offset > 0) {
+      RowBatch limited;
+      for (const auto& c : cols) limited.columns.emplace_back(c.type);
+      int64_t limit = sel.limit < 0
+                          ? static_cast<int64_t>(out.result.rows.num_rows())
+                          : sel.limit;
+      for (size_t i = sel.offset;
+           i < out.result.rows.num_rows() &&
+           static_cast<int64_t>(limited.num_rows()) < limit;
+           ++i) {
+        for (size_t c = 0; c < cols.size(); ++c) {
+          limited.columns[c].AppendFrom(out.result.rows.columns[c], i);
+        }
+      }
+      out.result.rows = std::move(limited);
+    }
+    out.result.affected_rows =
+        static_cast<int64_t>(out.result.rows.num_rows());
+    return out;
+  }
+
+  // ---- two-phase aggregation ----
+  // Build the partial (shard) statement: group exprs + decomposed partials.
+  if (sel.having) {
+    return Status::Unimplemented("MPP HAVING not supported");
+  }
+  ast::SelectStmt partial = sel;
+  partial.order_by.clear();
+  partial.limit = -1;
+  partial.offset = 0;
+  partial.items.clear();
+  // Group columns first.
+  for (size_t g = 0; g < sel.group_by.size(); ++g) {
+    ast::SelectItem it;
+    it.expr = sel.group_by[g];
+    it.alias = "G" + std::to_string(g);
+    partial.items.push_back(std::move(it));
+  }
+  std::vector<FinalItem> finals;
+  std::vector<MergeOp> merges;  // per partial agg column
+  auto add_partial = [&](ast::ExprP call, MergeOp m) -> int {
+    ast::SelectItem it;
+    it.expr = std::move(call);
+    it.alias = "P" + std::to_string(partial.items.size());
+    partial.items.push_back(std::move(it));
+    merges.push_back(m);
+    return static_cast<int>(merges.size()) - 1;
+  };
+  for (const auto& item : sel.items) {
+    const ast::ExprP& e = item.expr;
+    if (IsSimpleAgg(e)) {
+      AggKind k;
+      AggKindFromName(e->name, &k);
+      FinalItem f;
+      if (e->name == "AVG" || e->name == "MEAN") {
+        auto sum = std::make_shared<ast::Expr>(*e);
+        sum->name = "SUM";
+        auto cnt = std::make_shared<ast::Expr>(*e);
+        cnt->name = "COUNT";
+        f.kind = FinalItem::kAvg;
+        f.sum_idx = add_partial(sum, MergeOp::kSum);
+        f.count_idx = add_partial(cnt, MergeOp::kSum);
+      } else {
+        f.kind = FinalItem::kAggDirect;
+        MergeOp m = MergeOp::kSum;
+        if (e->name == "MIN") m = MergeOp::kMin;
+        if (e->name == "MAX") m = MergeOp::kMax;
+        f.partial_idx = add_partial(std::make_shared<ast::Expr>(*e), m);
+      }
+      finals.push_back(f);
+      continue;
+    }
+    // Must be a group expression.
+    bool found = false;
+    for (size_t g = 0; g < sel.group_by.size(); ++g) {
+      if (AstToString(sel.group_by[g]) == AstToString(e)) {
+        FinalItem f;
+        f.kind = FinalItem::kGroup;
+        f.group_idx = static_cast<int>(g);
+        finals.push_back(f);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::Unimplemented(
+          "MPP SELECT items must be group expressions or simple aggregates "
+          "(COUNT/SUM/MIN/MAX/AVG)");
+    }
+  }
+  const size_t n_groups = sel.group_by.size();
+  // Run partials on every shard and merge by group key.
+  struct GroupAccum {
+    std::vector<Value> groups;
+    std::vector<Value> partials;
+  };
+  std::unordered_map<std::string, GroupAccum> table;
+  std::vector<OutputCol> partial_cols;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Stopwatch sw;
+    BindOptions bopts;
+    bopts.scan = shards_[s]->MakeScanOptions();
+    Binder binder(shards_[s]->catalog(), sessions_[s].get(), bopts);
+    DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(partial));
+    DASHDB_ASSIGN_OR_RETURN(RowBatch batch, DrainOperator(root.get()));
+    out.shard_seconds[s] = sw.ElapsedSeconds();
+    if (partial_cols.empty()) partial_cols = root->output();
+    for (size_t i = 0; i < batch.num_rows(); ++i) {
+      std::string key;
+      for (size_t g = 0; g < n_groups; ++g) {
+        key += batch.columns[g].GetValue(i).ToString();
+        key += '\x1f';
+      }
+      auto it = table.find(key);
+      if (it == table.end()) {
+        GroupAccum acc;
+        for (size_t g = 0; g < n_groups; ++g) {
+          acc.groups.push_back(batch.columns[g].GetValue(i));
+        }
+        for (size_t p = 0; p < merges.size(); ++p) {
+          acc.partials.push_back(batch.columns[n_groups + p].GetValue(i));
+        }
+        table.emplace(std::move(key), std::move(acc));
+        continue;
+      }
+      for (size_t p = 0; p < merges.size(); ++p) {
+        Value incoming = batch.columns[n_groups + p].GetValue(i);
+        Value& cur = it->second.partials[p];
+        if (incoming.is_null()) continue;
+        if (cur.is_null()) {
+          cur = incoming;
+          continue;
+        }
+        switch (merges[p]) {
+          case MergeOp::kSum:
+            cur = cur.type() == TypeId::kDouble ||
+                          incoming.type() == TypeId::kDouble
+                      ? Value::Double(cur.AsDouble() + incoming.AsDouble())
+                      : Value::Int64(cur.AsInt() + incoming.AsInt());
+            break;
+          case MergeOp::kMin:
+            if (incoming.Compare(cur) < 0) cur = incoming;
+            break;
+          case MergeOp::kMax:
+            if (incoming.Compare(cur) > 0) cur = incoming;
+            break;
+        }
+      }
+    }
+  }
+  // Final projection.
+  std::vector<OutputCol> final_cols;
+  for (size_t i = 0; i < sel.items.size(); ++i) {
+    const FinalItem& f = finals[i];
+    std::string name = !sel.items[i].alias.empty()
+                           ? sel.items[i].alias
+                           : (sel.items[i].expr->kind == ExprKind::kColumnRef
+                                  ? sel.items[i].expr->name
+                                  : sel.items[i].expr->name);
+    TypeId t;
+    if (f.kind == FinalItem::kGroup) {
+      t = partial_cols[f.group_idx].type;
+    } else if (f.kind == FinalItem::kAvg) {
+      t = TypeId::kDouble;
+    } else {
+      t = partial_cols[n_groups + f.partial_idx].type;
+    }
+    final_cols.push_back({name, t});
+  }
+  out.result.columns = final_cols;
+  for (const auto& c : final_cols) {
+    out.result.rows.columns.emplace_back(c.type);
+  }
+  // Global aggregate with no groups and no rows still yields one row.
+  if (table.empty() && n_groups == 0) {
+    GroupAccum acc;
+    for (size_t p = 0; p < merges.size(); ++p) {
+      acc.partials.push_back(Value::Null(TypeId::kInt64));
+    }
+    table.emplace("", std::move(acc));
+  }
+  for (auto& [key, acc] : table) {
+    for (size_t i = 0; i < finals.size(); ++i) {
+      const FinalItem& f = finals[i];
+      Value v = Value::Null(final_cols[i].type);
+      if (f.kind == FinalItem::kGroup) {
+        v = acc.groups[f.group_idx];
+      } else if (f.kind == FinalItem::kAggDirect) {
+        v = acc.partials[f.partial_idx];
+        if (v.is_null() && merges[f.partial_idx] == MergeOp::kSum &&
+            partial_cols[n_groups + f.partial_idx].type == TypeId::kInt64 &&
+            n_groups == 0) {
+          // COUNT over zero rows is 0, not NULL.
+          const ast::ExprP& e = sel.items[i].expr;
+          if (e->name == "COUNT") v = Value::Int64(0);
+        }
+      } else {  // AVG
+        Value sum = acc.partials[f.sum_idx];
+        Value cnt = acc.partials[f.count_idx];
+        if (!sum.is_null() && !cnt.is_null() && cnt.AsInt() > 0) {
+          v = Value::Double(sum.AsDouble() / cnt.AsDouble());
+        }
+      }
+      out.result.rows.columns[i].AppendValue(v);
+    }
+  }
+  // Coordinator ORDER BY / LIMIT over the merged result.
+  if (!sel.order_by.empty() || sel.limit >= 0) {
+    std::vector<uint32_t> order(out.result.rows.num_rows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::vector<std::pair<int, bool>> keys;
+    for (const auto& oi : sel.order_by) {
+      int idx = -1;
+      if (oi.ordinal > 0) {
+        idx = oi.ordinal - 1;
+      } else if (oi.expr && oi.expr->kind == ExprKind::kColumnRef) {
+        for (size_t c = 0; c < final_cols.size(); ++c) {
+          if (NormalizeIdent(final_cols[c].name) == oi.expr->name) {
+            idx = static_cast<int>(c);
+          }
+        }
+      }
+      if (idx < 0) {
+        return Status::Unimplemented(
+            "MPP ORDER BY supports output columns/ordinals");
+      }
+      keys.emplace_back(idx, oi.desc);
+    }
+    const RowBatch& rb = out.result.rows;
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      for (auto [c, desc] : keys) {
+        int cmp =
+            rb.columns[c].GetValue(a).Compare(rb.columns[c].GetValue(b));
+        if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+      }
+      return false;
+    });
+    RowBatch sorted;
+    for (const auto& c : final_cols) sorted.columns.emplace_back(c.type);
+    int64_t limit =
+        sel.limit < 0 ? static_cast<int64_t>(order.size()) : sel.limit;
+    for (size_t i = sel.offset;
+         i < order.size() && static_cast<int64_t>(sorted.num_rows()) < limit;
+         ++i) {
+      for (size_t c = 0; c < final_cols.size(); ++c) {
+        sorted.columns[c].AppendFrom(out.result.rows.columns[c], order[i]);
+      }
+    }
+    out.result.rows = std::move(sorted);
+  }
+  out.result.affected_rows = static_cast<int64_t>(out.result.rows.num_rows());
+  return out;
+}
+
+Result<MppQueryResult> MppDatabase::Execute(const std::string& sql) {
+  DASHDB_ASSIGN_OR_RETURN(ast::StatementP stmt, ParseStatement(sql));
+  switch (stmt->kind) {
+    case ast::StmtKind::kSelect:
+      return ExecSelect(*stmt->select);
+    case ast::StmtKind::kInsert:
+      return RoutedInsert(*stmt, sql);
+    default:
+      return Broadcast(sql);
+  }
+}
+
+Result<std::vector<size_t>> MppDatabase::ShardRowCounts(
+    const std::string& schema, const std::string& table) {
+  std::vector<size_t> out;
+  for (auto& shard : shards_) {
+    DASHDB_ASSIGN_OR_RETURN(auto entry, shard->GetTable(schema, table));
+    auto col = std::dynamic_pointer_cast<ColumnTable>(entry->storage);
+    auto row = std::dynamic_pointer_cast<RowTable>(entry->storage);
+    out.push_back(col ? col->live_row_count()
+                      : (row ? row->live_row_count() : 0));
+  }
+  return out;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,135 @@
+#include "mpp/portability.h"
+
+#include <sstream>
+
+namespace dashdb {
+
+std::string SchemaToManifest(const TableSchema& schema, bool replicated) {
+  std::ostringstream os;
+  os << schema.schema_name() << "|" << schema.table_name() << "|"
+     << (schema.organization() == TableOrganization::kRow ? "ROW" : "COLUMN")
+     << "|" << schema.distribution_key() << "|"
+     << (replicated ? "R" : "D") << "\n";
+  for (const auto& c : schema.columns()) {
+    os << c.name << "|" << TypeName(c.type) << "|" << (c.nullable ? 1 : 0)
+       << "|" << (c.unique ? 1 : 0) << "\n";
+  }
+  return os.str();
+}
+
+Result<std::pair<TableSchema, bool>> ManifestToSchema(
+    const std::string& manifest) {
+  std::istringstream is(manifest);
+  std::string line;
+  if (!std::getline(is, line)) return Status::IOError("empty manifest");
+  auto split = [](const std::string& s) {
+    std::vector<std::string> parts;
+    std::stringstream ss(s);
+    std::string p;
+    while (std::getline(ss, p, '|')) parts.push_back(p);
+    return parts;
+  };
+  auto head = split(line);
+  if (head.size() != 5) return Status::IOError("bad manifest header");
+  std::vector<ColumnDef> cols;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    auto f = split(line);
+    if (f.size() != 4) return Status::IOError("bad manifest column line");
+    ColumnDef c;
+    c.name = f[0];
+    DASHDB_ASSIGN_OR_RETURN(c.type, TypeFromName(f[1]));
+    c.nullable = f[2] == "1";
+    c.unique = f[3] == "1";
+    cols.push_back(std::move(c));
+  }
+  TableSchema schema(head[0], head[1], cols,
+                     head[2] == "ROW" ? TableOrganization::kRow
+                                      : TableOrganization::kColumn);
+  schema.set_distribution_key(std::stoi(head[3]));
+  return std::make_pair(std::move(schema), head[4] == "R");
+}
+
+Status SaveCluster(MppDatabase* db, ClusterFileSystem* fs,
+                   const std::string& prefix) {
+  for (const auto& [qualified, replicated] : db->ListDistributedTables()) {
+    size_t dot = qualified.find('.');
+    std::string schema_name = qualified.substr(0, dot);
+    std::string table_name = qualified.substr(dot + 1);
+    DASHDB_ASSIGN_OR_RETURN(auto entry,
+                            db->shard_engine(0)->GetTable(schema_name,
+                                                          table_name));
+    const TableSchema& schema = entry->schema;
+    // Manifest.
+    std::string manifest = SchemaToManifest(schema, replicated);
+    DASHDB_RETURN_IF_ERROR(fs->WriteFile(
+        prefix + "/tables/" + qualified + "/manifest",
+        std::vector<uint8_t>(manifest.begin(), manifest.end())));
+    // Logical rows: replicated tables live fully on every shard (take
+    // shard 0); distributed tables concatenate across shards.
+    RowBatch all;
+    for (const auto& c : schema.columns()) all.columns.emplace_back(c.type);
+    int shard_limit = replicated ? 1 : db->num_shards();
+    for (int s = 0; s < shard_limit; ++s) {
+      DASHDB_ASSIGN_OR_RETURN(
+          auto e, db->shard_engine(s)->GetTable(schema_name, table_name));
+      auto col = std::dynamic_pointer_cast<ColumnTable>(e->storage);
+      auto row = std::dynamic_pointer_cast<RowTable>(e->storage);
+      auto gather = [&](RowBatch& b, const std::vector<uint64_t>&) {
+        for (size_t i = 0; i < b.num_rows(); ++i) {
+          for (size_t c = 0; c < b.columns.size(); ++c) {
+            all.columns[c].AppendFrom(b.columns[c], i);
+          }
+        }
+      };
+      std::vector<int> proj;
+      for (int c = 0; c < schema.num_columns(); ++c) proj.push_back(c);
+      if (col) {
+        DASHDB_RETURN_IF_ERROR(col->Scan({}, proj, ScanOptions{}, gather));
+      } else if (row) {
+        DASHDB_RETURN_IF_ERROR(row->Scan({}, proj, gather));
+      }
+    }
+    std::vector<uint8_t> bytes;
+    SerializeBatch(schema, all, &bytes);
+    DASHDB_RETURN_IF_ERROR(fs->WriteFile(
+        prefix + "/tables/" + qualified + "/data.bin", std::move(bytes)));
+  }
+  return Status::OK();
+}
+
+Status RestoreCluster(MppDatabase* db, const ClusterFileSystem& fs,
+                      const std::string& prefix) {
+  for (const std::string& path : fs.List(prefix + "/tables/")) {
+    if (path.size() < 9 || path.substr(path.size() - 9) != "/manifest") {
+      continue;
+    }
+    DASHDB_ASSIGN_OR_RETURN(const std::vector<uint8_t>* mbytes,
+                            fs.ReadFile(path));
+    DASHDB_ASSIGN_OR_RETURN(
+        auto parsed,
+        ManifestToSchema(std::string(mbytes->begin(), mbytes->end())));
+    const TableSchema& schema = parsed.first;
+    bool replicated = parsed.second;
+    if (!db->shard_engine(0)->catalog()->HasSchema(schema.schema_name())) {
+      for (int s = 0; s < db->num_shards(); ++s) {
+        (void)db->shard_engine(s)->catalog()->CreateSchema(
+            schema.schema_name());
+      }
+    }
+    DASHDB_RETURN_IF_ERROR(db->CreateTable(schema, replicated));
+    std::string data_path =
+        path.substr(0, path.size() - 9) + "/data.bin";
+    DASHDB_ASSIGN_OR_RETURN(const std::vector<uint8_t>* dbytes,
+                            fs.ReadFile(data_path));
+    DASHDB_ASSIGN_OR_RETURN(RowBatch rows,
+                            DeserializeBatch(schema, dbytes->data(),
+                                             dbytes->size()));
+    // Load() re-hashes over THIS cluster's shard count — the new topology.
+    DASHDB_RETURN_IF_ERROR(
+        db->Load(schema.schema_name(), schema.table_name(), rows));
+  }
+  return Status::OK();
+}
+
+}  // namespace dashdb

@@ -1,0 +1,33 @@
+// Full-cluster portability (paper II.E): "By copying/moving the clustered
+// file system by any method available to your infrastructure you can now
+// docker run and deploy quick and easily against an entirely new set of
+// hardware with a different physical cluster topology of your choice."
+//
+// Save writes every distributed table's schema manifest and logical rows
+// into the shared filesystem; Restore stands the database up on a NEW
+// topology, re-hashing rows across however many shards the new cluster has.
+#pragma once
+
+#include <string>
+
+#include "mpp/mpp.h"
+#include "storage/clusterfs.h"
+
+namespace dashdb {
+
+/// Persists all of `db`'s tables (schemas + data) under `prefix`.
+Status SaveCluster(MppDatabase* db, ClusterFileSystem* fs,
+                   const std::string& prefix);
+
+/// Recreates every saved table inside `db` (a freshly constructed cluster,
+/// possibly with a completely different node/shard topology) and reloads +
+/// redistributes the data.
+Status RestoreCluster(MppDatabase* db, const ClusterFileSystem& fs,
+                      const std::string& prefix);
+
+/// Serializes a table schema to a one-line-per-field manifest (and back).
+std::string SchemaToManifest(const TableSchema& schema, bool replicated);
+Result<std::pair<TableSchema, bool>> ManifestToSchema(
+    const std::string& manifest);
+
+}  // namespace dashdb

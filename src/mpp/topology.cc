@@ -1,0 +1,169 @@
+#include "mpp/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace dashdb {
+
+ClusterTopology::ClusterTopology(int nodes, int shards_per_node,
+                                 int cores_per_node, size_t ram_per_node) {
+  assert(nodes >= 1);
+  // Paper constraint: shards <= cumulative cores.
+  shards_per_node = std::min(shards_per_node, cores_per_node);
+  for (int n = 0; n < nodes; ++n) {
+    nodes_.push_back(NodeInfo{n, true, cores_per_node, ram_per_node});
+  }
+  for (int n = 0; n < nodes; ++n) {
+    for (int s = 0; s < shards_per_node; ++s) {
+      shard_owner_.push_back(n);
+    }
+  }
+}
+
+int ClusterTopology::num_alive_nodes() const {
+  int n = 0;
+  for (const auto& node : nodes_) n += node.alive ? 1 : 0;
+  return n;
+}
+
+std::vector<int> ClusterTopology::ShardsOnNode(int node_id) const {
+  std::vector<int> out;
+  for (size_t s = 0; s < shard_owner_.size(); ++s) {
+    if (shard_owner_[s] == node_id) out.push_back(static_cast<int>(s));
+  }
+  return out;
+}
+
+size_t ClusterTopology::RamPerShard(int node_id) const {
+  size_t n = ShardsOnNode(node_id).size();
+  return n == 0 ? nodes_[node_id].ram_bytes : nodes_[node_id].ram_bytes / n;
+}
+
+int ClusterTopology::CoresPerShard(int node_id) const {
+  size_t n = ShardsOnNode(node_id).size();
+  if (n == 0) return nodes_[node_id].cores;
+  return std::max<int>(1, nodes_[node_id].cores / static_cast<int>(n));
+}
+
+RebalanceStats ClusterTopology::Rebalance() {
+  RebalanceStats stats;
+  std::vector<int> alive;
+  for (const auto& n : nodes_) {
+    if (n.alive) alive.push_back(n.node_id);
+  }
+  stats.surviving_nodes = static_cast<int>(alive.size());
+  if (alive.empty()) return stats;
+  // Target: floor/ceil of shards per alive node. Move as few as possible:
+  // first orphaned shards (dead owners), then trim overfull nodes.
+  size_t total = shard_owner_.size();
+  size_t base = total / alive.size();
+  size_t extra = total % alive.size();
+  std::map<int, size_t> target;
+  for (size_t i = 0; i < alive.size(); ++i) {
+    target[alive[i]] = base + (i < extra ? 1 : 0);
+  }
+  std::map<int, size_t> have;
+  for (int owner : shard_owner_) {
+    if (nodes_[owner].alive) ++have[owner];
+  }
+  // Receivers with free capacity, most room first.
+  auto next_receiver = [&]() -> int {
+    int best = -1;
+    size_t best_room = 0;
+    for (int n : alive) {
+      size_t cur = have.count(n) ? have[n] : 0;
+      size_t room = target[n] > cur ? target[n] - cur : 0;
+      if (room > best_room) {
+        best_room = room;
+        best = n;
+      }
+    }
+    return best;
+  };
+  for (size_t s = 0; s < shard_owner_.size(); ++s) {
+    int owner = shard_owner_[s];
+    bool must_move = !nodes_[owner].alive;
+    if (!must_move && have[owner] > target[owner]) must_move = true;
+    if (!must_move) continue;
+    int to = next_receiver();
+    if (to < 0 || to == owner) continue;
+    if (nodes_[owner].alive) --have[owner];
+    shard_owner_[s] = to;
+    ++have[to];
+    ++stats.shards_moved;
+  }
+  stats.max_shards_per_node = 0;
+  stats.min_shards_per_node = total;
+  for (int n : alive) {
+    size_t c = have.count(n) ? have[n] : 0;
+    stats.max_shards_per_node = std::max(stats.max_shards_per_node, c);
+    stats.min_shards_per_node = std::min(stats.min_shards_per_node, c);
+  }
+  return stats;
+}
+
+Result<RebalanceStats> ClusterTopology::FailNode(int node_id) {
+  if (node_id < 0 || node_id >= num_nodes()) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (!nodes_[node_id].alive) return Status::Unavailable("node already down");
+  if (num_alive_nodes() == 1) {
+    return Status::Unavailable("cannot fail the last node");
+  }
+  nodes_[node_id].alive = false;
+  return Rebalance();
+}
+
+Result<RebalanceStats> ClusterTopology::RepairNode(int node_id) {
+  if (node_id < 0 || node_id >= num_nodes()) {
+    return Status::InvalidArgument("no such node");
+  }
+  if (nodes_[node_id].alive) return Status::InvalidArgument("node is up");
+  nodes_[node_id].alive = true;
+  return Rebalance();
+}
+
+Result<RebalanceStats> ClusterTopology::AddNode(int cores, size_t ram_bytes) {
+  nodes_.push_back(
+      NodeInfo{num_nodes(), true, cores, ram_bytes});
+  return Rebalance();
+}
+
+Result<RebalanceStats> ClusterTopology::RemoveNode(int node_id) {
+  return FailNode(node_id);  // same mechanics, deliberate trigger (II.E)
+}
+
+double ClusterTopology::Makespan(
+    const std::vector<double>& shard_seconds) const {
+  assert(shard_seconds.size() == shard_owner_.size());
+  // Work-conserving model: dashDB rescales per-shard query parallelism to
+  // whatever cores the node has (paper II.E: "the number of cores
+  // associated with each shard can be adjusted along with a concomitant
+  // modification in the query parallelism per shard"), so a node finishes
+  // its shards in (total shard work) / cores. Cluster wall-clock is the
+  // slowest node.
+  double worst = 0;
+  for (const auto& n : nodes_) {
+    if (!n.alive) continue;
+    double total = 0;
+    for (size_t s = 0; s < shard_owner_.size(); ++s) {
+      if (shard_owner_[s] == n.node_id) total += shard_seconds[s];
+    }
+    worst = std::max(worst, total / n.cores);
+  }
+  return worst;
+}
+
+std::string ClusterTopology::Describe() const {
+  std::ostringstream os;
+  for (const auto& n : nodes_) {
+    os << "node " << n.node_id << (n.alive ? " [up]  " : " [DOWN]")
+       << " shards:";
+    for (int s : ShardsOnNode(n.node_id)) os << " " << s;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dashdb

@@ -1,0 +1,90 @@
+// Shared-nothing cluster topology (paper II.E, Figures 2 and 9).
+//
+// Data is hash-partitioned into a number of shards "several factors larger
+// than the number of servers, though not larger than the cumulative number
+// of cores". The shard -> node association is fixed during steady state but
+// freely adjustable: node failure reassociates the victim's shards across
+// the survivors (HA); deliberate removal/addition does the same for elastic
+// shrink/grow; since every shard's file set lives on the shared clustered
+// filesystem, all of this is metadata-only. Per-shard memory and query
+// parallelism are rescaled on every change ("the query parallelism per
+// shard is reduced accordingly, as is the memory allocation per shard").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dashdb {
+
+struct NodeInfo {
+  int node_id = 0;
+  bool alive = true;
+  int cores = 16;
+  size_t ram_bytes = size_t{64} << 30;
+};
+
+/// Outcome of one reassociation (HA failover / elastic resize).
+struct RebalanceStats {
+  size_t shards_moved = 0;
+  int surviving_nodes = 0;
+  size_t max_shards_per_node = 0;
+  size_t min_shards_per_node = 0;
+};
+
+class ClusterTopology {
+ public:
+  /// Creates `nodes` identical nodes with `shards_per_node` shards each
+  /// (constraint-checked against core counts).
+  ClusterTopology(int nodes, int shards_per_node, int cores_per_node,
+                  size_t ram_per_node);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_alive_nodes() const;
+  int num_shards() const { return static_cast<int>(shard_owner_.size()); }
+
+  const NodeInfo& node(int id) const { return nodes_[id]; }
+  bool IsAlive(int node_id) const { return nodes_[node_id].alive; }
+
+  /// Node currently serving a shard.
+  int OwnerOf(int shard_id) const { return shard_owner_[shard_id]; }
+  std::vector<int> ShardsOnNode(int node_id) const;
+
+  /// Memory available to each shard on `node_id` (ram / resident shards).
+  size_t RamPerShard(int node_id) const;
+  /// Query parallelism (cores) available per shard on `node_id`; at least 1.
+  int CoresPerShard(int node_id) const;
+
+  /// HA: marks the node failed and reassociates its shards round-robin to
+  /// the survivors, keeping the cluster "a well-balanced unit" (Figure 9).
+  Result<RebalanceStats> FailNode(int node_id);
+
+  /// Reinstates a repaired node and rebalances shards back onto it.
+  Result<RebalanceStats> RepairNode(int node_id);
+
+  /// Elastic growth: adds a node and rebalances.
+  Result<RebalanceStats> AddNode(int cores, size_t ram_bytes);
+
+  /// Elastic contraction: deliberate removal, same path as failover.
+  Result<RebalanceStats> RemoveNode(int node_id);
+
+  /// Longest-processing-time makespan of per-shard work on this topology:
+  /// each alive node runs its shards on `cores_per_node` workers. Used by
+  /// the scaling and failover benches to model cluster wall-clock from
+  /// measured single-shard times.
+  double Makespan(const std::vector<double>& shard_seconds) const;
+
+  /// A human-readable shard map (Figure 9-style).
+  std::string Describe() const;
+
+ private:
+  RebalanceStats Rebalance();
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<int> shard_owner_;  ///< shard id -> node id
+};
+
+}  // namespace dashdb

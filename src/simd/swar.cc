@@ -1,0 +1,176 @@
+#include "simd/swar.h"
+
+#include <bit>
+#include <cassert>
+
+namespace dashdb {
+
+namespace {
+
+/// Per-width constant masks for SWAR arithmetic.
+struct LaneMasks {
+  uint64_t lsb;  ///< bit (i*w) set for each lane i
+  uint64_t msb;  ///< bit (i*w + w-1) set for each lane i
+  int width;
+  int lanes;
+};
+
+LaneMasks MakeMasks(int width, int lanes) {
+  LaneMasks m;
+  m.width = width;
+  m.lanes = lanes;
+  m.lsb = 0;
+  for (int i = 0; i < lanes; ++i) m.lsb |= uint64_t{1} << (i * width);
+  m.msb = width == 1 ? m.lsb : m.lsb << (width - 1);
+  return m;
+}
+
+/// Per-lane MSB set iff lane of x >= lane of y (unsigned), for all lanes at
+/// once. Standard SWAR comparison: split each lane into MSB + low bits; the
+/// borrow-free subtraction (x|H) - (y&~H) answers the low-bits comparison.
+inline uint64_t LaneGe(uint64_t x, uint64_t y, const LaneMasks& m) {
+  uint64_t t = (x | m.msb) - (y & ~m.msb);  // MSB lane bit = (xl >= yl)
+  uint64_t gt = x & ~y & m.msb;             // xh=1, yh=0  ->  x > y
+  uint64_t eq = ~(x ^ y) & m.msb;           // xh == yh
+  return gt | (eq & t);
+}
+
+/// Per-lane MSB set iff lane of v is all-zero.
+inline uint64_t LaneZero(uint64_t v, const LaneMasks& m) {
+  uint64_t low_nonzero = ((v & ~m.msb) + ~m.msb) & m.msb;  // MSB=1 iff low!=0
+  uint64_t nonzero = (low_nonzero | v) & m.msb;
+  return ~nonzero & m.msb;
+}
+
+/// Match-mask (MSB bits) for `x OP c_bcast` over one packed word.
+inline uint64_t MatchWord(uint64_t x, CmpOp op, uint64_t c_bcast,
+                          const LaneMasks& m) {
+  switch (op) {
+    case CmpOp::kEq:
+      return LaneZero(x ^ c_bcast, m);
+    case CmpOp::kNe:
+      return ~LaneZero(x ^ c_bcast, m) & m.msb;
+    case CmpOp::kGe:
+      return LaneGe(x, c_bcast, m);
+    case CmpOp::kLe:
+      return LaneGe(c_bcast, x, m);
+    case CmpOp::kGt:
+      return ~LaneGe(c_bcast, x, m) & m.msb;
+    case CmpOp::kLt:
+      return ~LaneGe(x, c_bcast, m) & m.msb;
+  }
+  return 0;
+}
+
+/// MSB-mask covering only the first `valid` lanes (tail-word clamp).
+inline uint64_t ValidMask(const LaneMasks& m, int valid) {
+  if (valid >= m.lanes) return m.msb;
+  uint64_t out = 0;
+  for (int i = 0; i < valid; ++i) {
+    out |= uint64_t{1} << (i * m.width + m.width - 1);
+  }
+  return out;
+}
+
+/// Scatters match-mask MSB bits into row positions of `out`.
+inline void EmitMatches(uint64_t match, size_t base_row, int width,
+                        BitVector* out) {
+  while (match) {
+    int p = std::countr_zero(match);
+    size_t lane = static_cast<size_t>(p) / width;
+    out->Set(base_row + lane);
+    match &= match - 1;
+  }
+}
+
+}  // namespace
+
+uint64_t SwarBroadcast(uint64_t c, int width, int lanes) {
+  uint64_t out = 0;
+  for (int i = 0; i < lanes; ++i) out |= c << (i * width);
+  return out;
+}
+
+void SwarCompare(const BitPackedArray& arr, size_t n, CmpOp op, uint64_t c,
+                 BitVector* out) {
+  assert(out->size() >= n);
+  const int w = arr.bit_width();
+  const int k = arr.codes_per_word();
+  const LaneMasks m = MakeMasks(w, k);
+  const uint64_t cb = SwarBroadcast(c, w, k);
+  const uint64_t* words = arr.words();
+  const size_t num_words = arr.word_count();
+  for (size_t wi = 0; wi < num_words; ++wi) {
+    uint64_t match = MatchWord(words[wi], op, cb, m);
+    size_t base = wi * static_cast<size_t>(k);
+    if (base + k > n) match &= ValidMask(m, static_cast<int>(n - base));
+    EmitMatches(match, base, w, out);
+  }
+}
+
+void SwarBetween(const BitPackedArray& arr, size_t n, uint64_t lo, uint64_t hi,
+                 BitVector* out) {
+  assert(out->size() >= n);
+  const int w = arr.bit_width();
+  const int k = arr.codes_per_word();
+  const LaneMasks m = MakeMasks(w, k);
+  const uint64_t lob = SwarBroadcast(lo, w, k);
+  const uint64_t hib = SwarBroadcast(hi, w, k);
+  const uint64_t* words = arr.words();
+  const size_t num_words = arr.word_count();
+  for (size_t wi = 0; wi < num_words; ++wi) {
+    uint64_t x = words[wi];
+    uint64_t match = LaneGe(x, lob, m) & LaneGe(hib, x, m);
+    size_t base = wi * static_cast<size_t>(k);
+    if (base + k > n) match &= ValidMask(m, static_cast<int>(n - base));
+    EmitMatches(match, base, w, out);
+  }
+}
+
+size_t SwarCount(const BitPackedArray& arr, size_t n, CmpOp op, uint64_t c) {
+  const int w = arr.bit_width();
+  const int k = arr.codes_per_word();
+  const LaneMasks m = MakeMasks(w, k);
+  const uint64_t cb = SwarBroadcast(c, w, k);
+  const uint64_t* words = arr.words();
+  const size_t num_words = arr.word_count();
+  size_t count = 0;
+  for (size_t wi = 0; wi < num_words; ++wi) {
+    uint64_t match = MatchWord(words[wi], op, cb, m);
+    size_t base = wi * static_cast<size_t>(k);
+    if (base + k > n) match &= ValidMask(m, static_cast<int>(n - base));
+    count += std::popcount(match);
+  }
+  return count;
+}
+
+namespace {
+inline bool ScalarMatch(uint64_t v, CmpOp op, uint64_t c) {
+  switch (op) {
+    case CmpOp::kEq: return v == c;
+    case CmpOp::kNe: return v != c;
+    case CmpOp::kLt: return v < c;
+    case CmpOp::kLe: return v <= c;
+    case CmpOp::kGt: return v > c;
+    case CmpOp::kGe: return v >= c;
+  }
+  return false;
+}
+}  // namespace
+
+void ScalarCompare(const BitPackedArray& arr, size_t n, CmpOp op, uint64_t c,
+                   BitVector* out) {
+  for (size_t i = 0; i < n; ++i) {
+    if (ScalarMatch(arr.Get(i), op, c)) out->Set(i);
+  }
+}
+
+void ScalarBetween(const BitPackedArray& arr, size_t n, uint64_t lo,
+                   uint64_t hi, BitVector* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = arr.Get(i);
+    if (v >= lo && v <= hi) out->Set(i);
+  }
+}
+
+}  // namespace dashdb

@@ -1,0 +1,46 @@
+// Software-SIMD predicate kernels (paper II.B.6).
+//
+// dashDB packs many bit-width-w codes into each 64-bit word; hardware SIMD
+// only supports power-of-2 byte lanes, so BLU evaluates predicates with
+// SWAR ("SIMD within a register") arithmetic that works for ANY code width
+// 1..64: a comparison against a broadcast constant is answered for all
+// lanes of a word in a handful of ALU ops, independent of the lane count.
+//
+// Kernels produce per-row match bits in a BitVector. Scalar reference
+// kernels are provided for correctness tests and as the "no software SIMD"
+// ablation baseline.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitutil.h"
+
+namespace dashdb {
+
+/// SQL comparison operators shared by simd, exec, and sql layers.
+enum class CmpOp : uint8_t { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+
+/// Returns `c` replicated into every lane of a (width, lanes)-packed word.
+uint64_t SwarBroadcast(uint64_t c, int width, int lanes);
+
+/// Evaluates `code OP c` over codes[0..n) of `arr`, setting bit i of *out
+/// for every matching row. *out must be presized to n; bits are OR-set
+/// (callers start from a cleared vector).
+void SwarCompare(const BitPackedArray& arr, size_t n, CmpOp op, uint64_t c,
+                 BitVector* out);
+
+/// Evaluates `lo <= code <= hi` (inclusive band, the compiled form of
+/// BETWEEN and of range predicates translated into the code domain).
+void SwarBetween(const BitPackedArray& arr, size_t n, uint64_t lo, uint64_t hi,
+                 BitVector* out);
+
+/// Counts matches without materializing a bitmap (fast COUNT(*) path).
+size_t SwarCount(const BitPackedArray& arr, size_t n, CmpOp op, uint64_t c);
+
+/// Scalar (decode-then-compare) reference implementations.
+void ScalarCompare(const BitPackedArray& arr, size_t n, CmpOp op, uint64_t c,
+                   BitVector* out);
+void ScalarBetween(const BitPackedArray& arr, size_t n, uint64_t lo,
+                   uint64_t hi, BitVector* out);
+
+}  // namespace dashdb

@@ -1,0 +1,87 @@
+#include "spark/connector.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace dashdb {
+namespace spark {
+
+namespace {
+
+size_t RowBytes(const Row& r) {
+  size_t b = 0;
+  for (const Value& v : r) {
+    if (v.is_null()) {
+      b += 1;
+    } else if (v.type() == TypeId::kVarchar) {
+      b += v.AsString().size() + 2;
+    } else {
+      b += 8;
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+Result<Dataset> TableToDataset(MppDatabase* db, const std::string& schema,
+                               const std::string& table,
+                               const TransferOptions& opts,
+                               TransferReport* report) {
+  std::string sql = "SELECT * FROM " + schema + "." + table;
+  if (!opts.pushdown_where.empty()) {
+    sql += " WHERE " + opts.pushdown_where;
+  }
+  std::vector<Partition> parts(db->num_shards());
+  std::vector<size_t> shard_bytes(db->num_shards(), 0);
+  double scan_seconds = 0;
+  for (int s = 0; s < db->num_shards(); ++s) {
+    Engine* engine = db->shard_engine(s);
+    auto session = engine->CreateSession();
+    Stopwatch sw;
+    DASHDB_ASSIGN_OR_RETURN(QueryResult qr,
+                            engine->Execute(session.get(), sql));
+    scan_seconds += sw.ElapsedSeconds();
+    Partition& part = parts[s];
+    part.reserve(qr.rows.num_rows());
+    for (size_t i = 0; i < qr.rows.num_rows(); ++i) {
+      Row row = qr.rows.Row(i);
+      shard_bytes[s] += RowBytes(row);
+      part.push_back(std::move(row));
+    }
+  }
+  if (report) {
+    report->rows = 0;
+    report->bytes = 0;
+    for (int s = 0; s < db->num_shards(); ++s) {
+      report->rows += parts[s].size();
+      report->bytes += shard_bytes[s];
+    }
+    report->scan_seconds = scan_seconds;
+    const double bytes_per_sec = opts.socket_bandwidth_mbps * 1e6 / 8;
+    const double overhead_s = report->rows * opts.per_row_overhead_us * 1e-6;
+    if (opts.collocated) {
+      // Per-node links drain in parallel: makespan = slowest node.
+      const ClusterTopology* topo =
+          const_cast<MppDatabase*>(db)->topology();
+      std::vector<double> per_node(topo->num_nodes(), 0);
+      for (int s = 0; s < db->num_shards(); ++s) {
+        per_node[topo->OwnerOf(s)] +=
+            shard_bytes[s] / bytes_per_sec;
+      }
+      double slowest = 0;
+      for (double t : per_node) slowest = std::max(slowest, t);
+      report->modeled_seconds =
+          slowest + overhead_s / std::max(1, topo->num_alive_nodes());
+    } else {
+      // Remote JDBC: every byte serializes through a single coordinator
+      // connection.
+      report->modeled_seconds = report->bytes / bytes_per_sec + overhead_s;
+    }
+  }
+  return Dataset::FromPartitions(std::move(parts));
+}
+
+}  // namespace spark
+}  // namespace dashdb

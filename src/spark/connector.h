@@ -1,0 +1,47 @@
+// Database <-> Spark data transfer (paper II.D.2, Figure 7).
+//
+// "Each Spark Worker fetches the data collocated to a local shard" over a
+// socket channel, "to optimize the transfer an additional where clause
+// could be pushed to the database to transfer only the data really needed".
+// This connector implements both levers and models the resulting transfer
+// time so their effect can be measured (bench_spark_transfer):
+//   - collocated: one worker per node drains that node's shards in
+//     parallel; remote (plain JDBC) funnels every row through one link.
+//   - pushdown: the WHERE runs inside the columnar engine (on compressed
+//     data, with data skipping) before a single byte moves.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mpp/mpp.h"
+#include "spark/dataset.h"
+
+namespace dashdb {
+namespace spark {
+
+struct TransferOptions {
+  bool collocated = true;
+  /// SQL text appended as "WHERE <pushdown_where>" to the shard-side scan.
+  std::string pushdown_where;
+  double socket_bandwidth_mbps = 800.0;  ///< per node<->worker link
+  double per_row_overhead_us = 2.0;      ///< serialization per row
+};
+
+struct TransferReport {
+  size_t rows = 0;
+  size_t bytes = 0;
+  /// Modeled wall-clock of the transfer under the chosen mode.
+  double modeled_seconds = 0;
+  /// Measured database-side scan seconds (sum over shards).
+  double scan_seconds = 0;
+};
+
+/// Materializes a table into a Dataset with one partition per shard.
+Result<Dataset> TableToDataset(MppDatabase* db, const std::string& schema,
+                               const std::string& table,
+                               const TransferOptions& opts,
+                               TransferReport* report);
+
+}  // namespace spark
+}  // namespace dashdb

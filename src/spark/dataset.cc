@@ -1,0 +1,89 @@
+#include "spark/dataset.h"
+
+namespace dashdb {
+namespace spark {
+
+Dataset Dataset::FromPartitions(std::vector<Partition> parts) {
+  Dataset d;
+  auto state = std::make_shared<State>();
+  state->source = std::move(parts);
+  d.state_ = std::move(state);
+  return d;
+}
+
+Dataset Dataset::Map(MapFn fn) const {
+  Dataset d;
+  auto state = std::make_shared<State>(*state_);
+  Stage s;
+  s.map = std::move(fn);
+  state->stages.push_back(std::move(s));
+  d.state_ = std::move(state);
+  return d;
+}
+
+Dataset Dataset::Filter(FilterFn fn) const {
+  Dataset d;
+  auto state = std::make_shared<State>(*state_);
+  Stage s;
+  s.filter = std::move(fn);
+  state->stages.push_back(std::move(s));
+  d.state_ = std::move(state);
+  return d;
+}
+
+size_t Dataset::num_partitions() const {
+  return state_ ? state_->source.size() : 0;
+}
+
+Status Dataset::ForEachPartition(
+    ThreadPool* pool,
+    const std::function<void(size_t, const Partition&)>& fn) const {
+  if (!state_) return Status::Internal("empty dataset");
+  const State& st = *state_;
+  auto run_one = [&st, &fn](size_t p) {
+    Partition cur = st.source[p];
+    for (const Stage& stage : st.stages) {
+      Partition next;
+      next.reserve(cur.size());
+      for (Row& r : cur) {
+        if (stage.filter) {
+          if (stage.filter(r)) next.push_back(std::move(r));
+        } else {
+          next.push_back(stage.map(r));
+        }
+      }
+      cur = std::move(next);
+    }
+    fn(p, cur);
+  };
+  if (pool) {
+    pool->ParallelFor(st.source.size(), run_one);
+  } else {
+    for (size_t p = 0; p < st.source.size(); ++p) run_one(p);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> Dataset::Collect(ThreadPool* pool) const {
+  std::vector<std::vector<Row>> per_part(num_partitions());
+  DASHDB_RETURN_IF_ERROR(ForEachPartition(
+      pool, [&](size_t p, const Partition& rows) { per_part[p] = rows; }));
+  std::vector<Row> out;
+  for (auto& part : per_part) {
+    for (auto& r : part) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<size_t> Dataset::Count(ThreadPool* pool) const {
+  std::vector<size_t> per_part(num_partitions(), 0);
+  DASHDB_RETURN_IF_ERROR(ForEachPartition(
+      pool,
+      [&](size_t p, const Partition& rows) { per_part[p] = rows.size(); }));
+  size_t total = 0;
+  for (size_t c : per_part) total += c;
+  return total;
+}
+
+}  // namespace spark
+}  // namespace dashdb

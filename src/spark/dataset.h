@@ -1,0 +1,80 @@
+// sparklite: a from-scratch mini dataflow engine standing in for Apache
+// Spark (paper II.D). Same execution concepts: an immutable, lazily
+// evaluated Dataset of rows split into partitions; narrow transformations
+// (map/filter) compose into stages that run partition-parallel on workers;
+// actions (collect/count/reduce/aggregate) trigger execution.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "common/value.h"
+
+namespace dashdb {
+namespace spark {
+
+using Row = std::vector<Value>;
+using Partition = std::vector<Row>;
+
+using MapFn = std::function<Row(const Row&)>;
+using FilterFn = std::function<bool(const Row&)>;
+
+/// Lazily evaluated distributed dataset.
+class Dataset {
+ public:
+  /// Source dataset from materialized partitions.
+  static Dataset FromPartitions(std::vector<Partition> parts);
+
+  /// Narrow transformations (lazy).
+  Dataset Map(MapFn fn) const;
+  Dataset Filter(FilterFn fn) const;
+
+  size_t num_partitions() const;
+
+  /// Actions. `pool` supplies the worker threads (one partition per task).
+  Result<std::vector<Row>> Collect(ThreadPool* pool) const;
+  Result<size_t> Count(ThreadPool* pool) const;
+
+  /// Per-partition aggregation followed by a serial merge — the shape of
+  /// Spark's treeAggregate used by MLlib-style algorithms (and by the GLM).
+  ///
+  /// `seq` folds one row into the partition-local accumulator; `comb`
+  /// merges two accumulators.
+  template <typename Acc>
+  Result<Acc> Aggregate(ThreadPool* pool, Acc zero,
+                        std::function<void(Acc&, const Row&)> seq,
+                        std::function<void(Acc&, const Acc&)> comb) const {
+    std::vector<Acc> partials(num_partitions(), zero);
+    Status status = ForEachPartition(
+        pool, [&](size_t p, const Partition& rows) {
+          for (const Row& r : rows) seq(partials[p], r);
+        });
+    DASHDB_RETURN_IF_ERROR(status);
+    Acc out = zero;
+    for (const Acc& p : partials) comb(out, p);
+    return out;
+  }
+
+  /// Runs the transformation pipeline and hands each materialized partition
+  /// to `fn`, partition-parallel on `pool`.
+  Status ForEachPartition(
+      ThreadPool* pool,
+      const std::function<void(size_t, const Partition&)>& fn) const;
+
+ private:
+  struct Stage {
+    MapFn map;        // one of the two set
+    FilterFn filter;
+  };
+  struct State {
+    std::vector<Partition> source;
+    std::vector<Stage> stages;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace spark
+}  // namespace dashdb

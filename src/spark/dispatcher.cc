@@ -1,0 +1,103 @@
+#include "spark/dispatcher.h"
+
+namespace dashdb {
+namespace spark {
+
+const char* JobStateName(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "QUEUED";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kFinished: return "FINISHED";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kCancelled: return "CANCELLED";
+  }
+  return "?";
+}
+
+ClusterManager* SparkDispatcher::ManagerFor(const std::string& user) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = managers_.find(user);
+  if (it == managers_.end()) {
+    it = managers_
+             .emplace(user, std::make_unique<ClusterManager>(
+                                user, workers_per_user_, memory_per_user_))
+             .first;
+  }
+  return it->second.get();
+}
+
+Result<int64_t> SparkDispatcher::Submit(const std::string& user,
+                                        const std::string& name,
+                                        const JobFn& fn) {
+  ClusterManager* mgr = ManagerFor(user);
+  int64_t id = next_job_id_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    JobInfo info;
+    info.id = id;
+    info.user = user;
+    info.name = name;
+    info.state = JobState::kRunning;
+    jobs_[id] = info;
+  }
+  Stopwatch sw;
+  Result<std::string> result = fn(mgr);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    JobInfo& info = jobs_[id];
+    info.seconds = sw.ElapsedSeconds();
+    if (info.state == JobState::kCancelled) {
+      // Cancelled mid-flight; keep the cancellation visible.
+    } else if (result.ok()) {
+      info.state = JobState::kFinished;
+      info.result = *result;
+    } else {
+      info.state = JobState::kFailed;
+      info.error = result.status().ToString();
+    }
+  }
+  if (!result.ok()) return result.status();
+  return id;
+}
+
+Result<JobInfo> SparkDispatcher::GetStatus(const std::string& user,
+                                           int64_t job_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = jobs_.find(job_id);
+  // User isolation: other users' jobs are indistinguishable from absent.
+  if (it == jobs_.end() || it->second.user != user) {
+    return Status::NotFound("job " + std::to_string(job_id));
+  }
+  return it->second;
+}
+
+Status SparkDispatcher::Cancel(const std::string& user, int64_t job_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end() || it->second.user != user) {
+    return Status::NotFound("job " + std::to_string(job_id));
+  }
+  if (it->second.state == JobState::kFinished ||
+      it->second.state == JobState::kFailed) {
+    return Status::InvalidArgument("job already completed");
+  }
+  it->second.state = JobState::kCancelled;
+  return Status::OK();
+}
+
+std::vector<JobInfo> SparkDispatcher::ListJobs(const std::string& user) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<JobInfo> out;
+  for (const auto& [id, info] : jobs_) {
+    if (info.user == user) out.push_back(info);
+  }
+  return out;
+}
+
+size_t SparkDispatcher::num_managers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return managers_.size();
+}
+
+}  // namespace spark
+}  // namespace dashdb

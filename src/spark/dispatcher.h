@@ -1,0 +1,109 @@
+// The Spark Dispatcher and per-user Cluster Managers (paper II.D, Figure 6):
+// "The Dispatcher takes care that for each user a different Spark Cluster
+// Manager gets created and that Spark only gets the memory configured" —
+// user isolation means a user can only see and cancel their own jobs.
+//
+// The job surface mirrors the paper's integration points: a REST-like API
+// (submit / status / cancel / list) and, via Engine::RegisterProcedure, the
+// SQL stored-procedure interface.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/threadpool.h"
+
+namespace dashdb {
+namespace spark {
+
+/// One per-user Spark cluster: worker threads sized to the node layout and
+/// a memory budget carved out by the autoconfigurator.
+class ClusterManager {
+ public:
+  ClusterManager(std::string user, int workers, size_t memory_bytes)
+      : user_(std::move(user)),
+        memory_bytes_(memory_bytes),
+        pool_(workers) {}
+
+  const std::string& user() const { return user_; }
+  size_t memory_bytes() const { return memory_bytes_; }
+  ThreadPool* pool() { return &pool_; }
+
+ private:
+  std::string user_;
+  size_t memory_bytes_;
+  ThreadPool pool_;
+};
+
+enum class JobState : uint8_t {
+  kQueued = 0,
+  kRunning,
+  kFinished,
+  kFailed,
+  kCancelled,
+};
+
+const char* JobStateName(JobState s);
+
+struct JobInfo {
+  int64_t id = 0;
+  std::string user;
+  std::string name;
+  JobState state = JobState::kQueued;
+  double seconds = 0;
+  std::string result;   ///< final text of the job
+  std::string error;
+};
+
+/// The Dispatcher + job registry. Jobs run synchronously on the owning
+/// user's cluster manager (batch mode); the REST-ish handle API is
+/// preserved so monitoring/cancellation semantics can be exercised.
+class SparkDispatcher {
+ public:
+  /// `workers_per_user` models one worker per database node (data locality,
+  /// Figure 6); `memory_per_user` comes from AutoConfig::spark_bytes.
+  SparkDispatcher(int workers_per_user, size_t memory_per_user)
+      : workers_per_user_(workers_per_user),
+        memory_per_user_(memory_per_user) {}
+
+  /// Per-user manager, created on first use (paper: "for each user Apache
+  /// Spark starts an own Spark Cluster Manager").
+  ClusterManager* ManagerFor(const std::string& user);
+
+  /// Submits and runs a job; returns its id. The job body receives the
+  /// user's cluster manager.
+  using JobFn = std::function<Result<std::string>(ClusterManager*)>;
+  Result<int64_t> Submit(const std::string& user, const std::string& name,
+                         const JobFn& fn);
+
+  /// Job status; NotFound when the job belongs to a different user
+  /// (isolation: "different users could not see what other users are
+  /// doing").
+  Result<JobInfo> GetStatus(const std::string& user, int64_t job_id) const;
+
+  /// Cancels a queued job (running/finished jobs are past cancellation).
+  Status Cancel(const std::string& user, int64_t job_id);
+
+  /// This user's jobs only.
+  std::vector<JobInfo> ListJobs(const std::string& user) const;
+
+  size_t num_managers() const;
+
+ private:
+  int workers_per_user_;
+  size_t memory_per_user_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ClusterManager>> managers_;
+  std::map<int64_t, JobInfo> jobs_;
+  std::atomic<int64_t> next_job_id_{1};
+};
+
+}  // namespace spark
+}  // namespace dashdb

@@ -1,0 +1,183 @@
+#include "spark/glm.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace dashdb {
+namespace spark {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+/// Gradient + loss accumulator for one pass.
+struct GradAcc {
+  std::vector<double> grad;
+  double loss = 0;
+  size_t n = 0;
+};
+
+}  // namespace
+
+double GlmModel::Predict(const std::vector<double>& x) const {
+  double z = weights[0];
+  for (size_t i = 0; i < x.size(); ++i) z += weights[i + 1] * x[i];
+  return logistic ? Sigmoid(z) : z;
+}
+
+std::string GlmModel::Describe() const {
+  std::ostringstream os;
+  os << (logistic ? "logistic" : "linear") << " glm, loss=" << final_loss
+     << ", iters=" << iterations_run << ", w=[";
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (i) os << ", ";
+    os << weights[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Result<GlmModel> TrainGlm(const Dataset& data,
+                          const std::vector<int>& feature_cols, int label_col,
+                          const GlmConfig& config, ThreadPool* pool) {
+  const size_t d = feature_cols.size() + 1;  // + intercept
+  GlmModel model;
+  model.logistic = config.logistic;
+  model.weights.assign(d, 0.0);
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    GradAcc zero;
+    zero.grad.assign(d, 0.0);
+    // Per-partition gradient (map) + serial combine (reduce): the
+    // treeAggregate shape.
+    auto seq = [&](GradAcc& acc, const Row& row) {
+      std::vector<double> x(feature_cols.size());
+      for (size_t f = 0; f < feature_cols.size(); ++f) {
+        const Value& v = row[feature_cols[f]];
+        if (v.is_null()) return;
+        x[f] = v.AsDouble();
+      }
+      const Value& lv = row[label_col];
+      if (lv.is_null()) return;
+      double y = lv.AsDouble();
+      double z = model.weights[0];
+      for (size_t f = 0; f < x.size(); ++f) z += model.weights[f + 1] * x[f];
+      double pred = config.logistic ? Sigmoid(z) : z;
+      double err = pred - y;
+      acc.grad[0] += err;
+      for (size_t f = 0; f < x.size(); ++f) acc.grad[f + 1] += err * x[f];
+      if (config.logistic) {
+        double p = std::min(std::max(pred, 1e-12), 1.0 - 1e-12);
+        acc.loss += -(y * std::log(p) + (1 - y) * std::log(1 - p));
+      } else {
+        acc.loss += 0.5 * err * err;
+      }
+      ++acc.n;
+    };
+    auto comb = [](GradAcc& a, const GradAcc& b) {
+      if (a.grad.size() != b.grad.size()) a.grad.assign(b.grad.size(), 0.0);
+      for (size_t i = 0; i < b.grad.size(); ++i) a.grad[i] += b.grad[i];
+      a.loss += b.loss;
+      a.n += b.n;
+    };
+    DASHDB_ASSIGN_OR_RETURN(
+        GradAcc total,
+        data.Aggregate<GradAcc>(pool, zero, seq, comb));
+    if (total.n == 0) {
+      return Status::InvalidArgument("GLM: no complete training rows");
+    }
+    for (size_t i = 0; i < d; ++i) {
+      double g = total.grad[i] / total.n;
+      if (i > 0) g += config.l2 * model.weights[i];
+      model.weights[i] -= config.learning_rate * g;
+    }
+    model.final_loss = total.loss / total.n;
+    model.iterations_run = iter + 1;
+  }
+  return model;
+}
+
+void RegisterGlmProcedure(Engine* engine, SparkDispatcher* dispatcher) {
+  engine->RegisterProcedure(
+      "IDAX.GLM",
+      [dispatcher](const std::vector<Value>& args, Session* session,
+                   Engine* eng) -> Result<QueryResult> {
+        if (args.size() < 3) {
+          return Status::InvalidArgument(
+              "IDAX.GLM(table, label, features[, iterations[, kind]])");
+        }
+        std::string table = args[0].AsString();
+        std::string label = args[1].AsString();
+        std::string features_csv = args[2].AsString();
+        GlmConfig config;
+        if (args.size() >= 4 && !args[3].is_null()) {
+          config.iterations = static_cast<int>(args[3].AsInt());
+        }
+        if (args.size() >= 5 && !args[4].is_null()) {
+          config.logistic = NormalizeIdent(args[4].AsString()) != "LINEAR";
+        }
+        // Resolve the table.
+        std::string schema = session->default_schema();
+        std::string name = table;
+        size_t dot = table.find('.');
+        if (dot != std::string::npos) {
+          schema = table.substr(0, dot);
+          name = table.substr(dot + 1);
+        }
+        DASHDB_ASSIGN_OR_RETURN(auto entry, eng->GetTable(schema, name));
+        const TableSchema& ts = entry->schema;
+        int label_idx = ts.FindColumn(label);
+        if (label_idx < 0) {
+          return Status::SemanticError("GLM: label column not found");
+        }
+        std::vector<int> features;
+        std::stringstream ss(features_csv);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+          int idx = ts.FindColumn(item);
+          if (idx < 0) {
+            return Status::SemanticError("GLM: feature " + item +
+                                         " not found");
+          }
+          features.push_back(idx);
+        }
+        // Fetch the table into partitions (shard-free single-node path:
+        // partition by scan batches).
+        auto sql_session = eng->CreateSession();
+        DASHDB_ASSIGN_OR_RETURN(
+            QueryResult qr,
+            eng->Execute(sql_session.get(),
+                         "SELECT * FROM " + schema + "." + name));
+        std::vector<Partition> parts(4);
+        for (size_t i = 0; i < qr.rows.num_rows(); ++i) {
+          parts[i % parts.size()].push_back(qr.rows.Row(i));
+        }
+        Dataset data = Dataset::FromPartitions(std::move(parts));
+        // Run as a dispatcher job under the session user.
+        GlmModel model;
+        auto job = dispatcher->Submit(
+            "sql-user", "IDAX.GLM " + table,
+            [&](ClusterManager* mgr) -> Result<std::string> {
+              DASHDB_ASSIGN_OR_RETURN(
+                  model,
+                  TrainGlm(data, features, label_idx, config, mgr->pool()));
+              return model.Describe();
+            });
+        DASHDB_RETURN_IF_ERROR(job.status());
+        QueryResult out;
+        out.message = model.Describe();
+        // Also expose the coefficients as a result row set.
+        out.columns = {{"COEFF_INDEX", TypeId::kInt64},
+                       {"COEFF", TypeId::kDouble}};
+        out.rows.columns.emplace_back(TypeId::kInt64);
+        out.rows.columns.emplace_back(TypeId::kDouble);
+        for (size_t i = 0; i < model.weights.size(); ++i) {
+          out.rows.columns[0].AppendInt(static_cast<int64_t>(i));
+          out.rows.columns[1].AppendDouble(model.weights[i]);
+        }
+        return out;
+      });
+}
+
+}  // namespace spark
+}  // namespace dashdb

@@ -1,0 +1,51 @@
+// Prepackaged GLM analytics (paper II.D.1: "prepackaged Stored Procedures
+// which allows to run ready to use analytic algorithms like GLM from within
+// SQL"). Linear and logistic regression trained by full-batch gradient
+// descent, with per-partition gradient computation and a tree-style merge —
+// the MLlib execution shape on the sparklite engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spark/dataset.h"
+#include "spark/dispatcher.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+namespace spark {
+
+struct GlmConfig {
+  bool logistic = true;       ///< false = linear (identity link)
+  int iterations = 100;
+  double learning_rate = 0.1;
+  double l2 = 0.0;            ///< ridge penalty
+};
+
+struct GlmModel {
+  std::vector<double> weights;  ///< weights[0] = intercept
+  bool logistic = true;
+  double final_loss = 0;
+  int iterations_run = 0;
+
+  /// Linear predictor for a feature vector (without intercept slot).
+  double Predict(const std::vector<double>& x) const;
+  std::string Describe() const;
+};
+
+/// Trains on `data`: feature columns + label column are positions in each
+/// Row. NULL-bearing rows are skipped. Executes partition-parallel on
+/// `pool` (the user's ClusterManager pool).
+Result<GlmModel> TrainGlm(const Dataset& data,
+                          const std::vector<int>& feature_cols, int label_col,
+                          const GlmConfig& config, ThreadPool* pool);
+
+/// Registers the SQL stored procedure
+///   CALL IDAX.GLM('<schema.table>', '<label_col>', '<f1,f2,..>',
+///                 <iterations>, '<LOGISTIC|LINEAR>')
+/// on `engine`, running the training as a dispatcher job for the session
+/// user (the SQL-level Spark integration surface of paper II.D.1).
+void RegisterGlmProcedure(Engine* engine, SparkDispatcher* dispatcher);
+
+}  // namespace spark
+}  // namespace dashdb

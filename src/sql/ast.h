@@ -1,0 +1,189 @@
+// Parse-time abstract syntax tree. The parser produces these unbound nodes;
+// the binder (sql/binder.*) resolves names against the catalog and lowers
+// them to executable expression/operator trees. Views keep their AST source
+// text and re-bind under the dialect recorded at creation (paper II.C.2).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+#include "simd/swar.h"  // CmpOp
+
+namespace dashdb {
+namespace ast {
+
+// ------------------------------------------------------------ expressions --
+
+struct Expr;
+using ExprP = std::shared_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kLiteral,
+  kColumnRef,      ///< [qualifier.]name; also ROWNUM / LEVEL pseudocolumns
+  kStar,           ///< * or qualifier.*
+  kBinary,         ///< arithmetic / comparison / logic / concat
+  kUnary,          ///< NOT, unary minus
+  kFuncCall,       ///< name(args) — scalar or aggregate, resolved by binder
+  kCase,
+  kCast,           ///< CAST(x AS t) and x::t
+  kIsNull,         ///< IS [NOT] NULL, postfix ISNULL/NOTNULL
+  kIsTrue,         ///< ISTRUE / ISFALSE (Netezza)
+  kLike,
+  kInList,
+  kBetween,
+  kSequenceRef,    ///< seq.NEXTVAL / seq.CURRVAL / NEXT VALUE FOR seq
+  kOverlaps,       ///< (s1, e1) OVERLAPS (s2, e2)
+};
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod, kConcat,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  Value literal;                       // kLiteral
+  std::string qualifier, name;         // kColumnRef / kStar / kFuncCall / kSequenceRef
+  BinOp bin_op = BinOp::kEq;           // kBinary
+  bool negate = false;                 // NOT LIKE / NOT IN / IS NOT NULL / ISFALSE / NOT BETWEEN
+  bool unary_minus = false;            // kUnary: minus vs NOT
+  bool distinct_arg = false;           // COUNT(DISTINCT x)
+  bool seq_nextval = true;             // kSequenceRef
+  /// Oracle (+) outer-join marker attached to a column ref in a predicate.
+  bool oracle_outer = false;
+  TypeId cast_type = TypeId::kVarchar; // kCast
+  std::string like_pattern;            // kLike
+  std::vector<ExprP> children;         // operands / args / IN list / CASE parts
+  /// CASE: children = [operand?] + pairs (when, then); else_branch separate.
+  ExprP else_branch;
+  bool has_case_operand = false;
+};
+
+ExprP MakeLiteral(Value v);
+ExprP MakeColumnRef(std::string qualifier, std::string name);
+ExprP MakeBinary(BinOp op, ExprP l, ExprP r);
+
+// ------------------------------------------------------------- statements --
+
+struct SelectStmt;
+using SelectP = std::shared_ptr<SelectStmt>;
+
+/// One FROM item: base table, derived table (subquery), or VALUES.
+struct TableRef {
+  std::string schema;        // empty = session default
+  std::string table;
+  std::string alias;
+  SelectP subquery;          // derived table
+  /// JOIN chain: this ref joined to the previous one.
+  enum class JoinKind : uint8_t { kNone, kInner, kLeft, kRight, kCross } join =
+      JoinKind::kNone;
+  ExprP join_condition;              // ON ...
+  std::vector<std::string> using_cols;  // JOIN USING (...)
+};
+
+struct OrderItem {
+  ExprP expr;          // null when ordinal/name used
+  int ordinal = -1;    // 1-based ORDER BY position
+  std::string output_name;
+  bool desc = false;
+};
+
+struct SelectItem {
+  ExprP expr;
+  std::string alias;
+};
+
+struct CteDef {
+  std::string name;
+  SelectP query;
+};
+
+struct SelectStmt {
+  std::vector<CteDef> ctes;
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprP where;
+  std::vector<ExprP> group_by;       // exprs; output names resolved by binder
+  ExprP having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;
+  int64_t offset = 0;
+  /// Oracle hierarchical query (CONNECT BY), paper II.C.1.a.
+  ExprP start_with;
+  ExprP connect_by;      // PRIOR refs marked via FuncCall "PRIOR"
+  /// Plain VALUES query (DB2 VALUES clause).
+  std::vector<std::vector<ExprP>> values_rows;
+};
+
+struct ColumnDefAst {
+  std::string name;
+  std::string type_name;
+  bool not_null = false;
+  bool unique = false;   // UNIQUE / PRIMARY KEY
+};
+
+struct Statement;
+using StatementP = std::shared_ptr<Statement>;
+
+enum class StmtKind : uint8_t {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kDropTable,
+  kTruncate,
+  kCreateView,
+  kCreateSchema,
+  kCreateSequence,
+  kCreateAlias,
+  kExplain,
+  kSet,          ///< SET <var> = <value> (e.g. SQL_DIALECT)
+  kCall,         ///< CALL proc(args) — stored procedures (Spark GLM etc.)
+};
+
+struct Statement {
+  StmtKind kind = StmtKind::kSelect;
+
+  SelectP select;                    // kSelect / kExplain / view body / INSERT..SELECT
+
+  // INSERT
+  std::string target_schema, target_table;
+  std::vector<std::string> insert_columns;
+  std::vector<std::vector<ExprP>> insert_rows;
+
+  // UPDATE
+  std::vector<std::pair<std::string, ExprP>> set_clauses;
+  ExprP where;
+
+  // CREATE TABLE
+  std::vector<ColumnDefAst> columns;
+  bool temporary = false;
+  bool organize_by_row = false;
+  std::string distribute_by;         // hash distribution column
+
+  // CREATE VIEW / ALIAS
+  std::string view_sql;              // original text (re-parsed on use)
+  std::string alias_target_schema, alias_target_table;
+
+  // SET
+  std::string set_name, set_value;
+
+  // CALL
+  std::string call_name;
+  std::vector<ExprP> call_args;
+
+  // DROP
+  bool if_exists = false;
+  bool drop_is_view = false;
+};
+
+}  // namespace ast
+}  // namespace dashdb

@@ -1,0 +1,523 @@
+#include "sql/engine.h"
+
+#include <atomic>
+
+namespace dashdb {
+
+Engine::Engine(EngineConfig config)
+    : config_(config),
+      pool_(config.buffer_pool_bytes, config.buffer_policy) {}
+
+std::shared_ptr<Session> Engine::CreateSession() {
+  return std::make_shared<Session>();
+}
+
+ScanOptions Engine::MakeScanOptions() {
+  ScanOptions o;
+  o.use_synopsis = config_.use_synopsis;
+  o.use_swar = config_.use_swar;
+  o.operate_on_compressed = config_.operate_on_compressed;
+  o.pool = config_.charge_buffer_pool ? &pool_ : nullptr;
+  return o;
+}
+
+void Engine::RegisterProcedure(const std::string& name, Procedure proc) {
+  std::lock_guard<std::mutex> lk(proc_mu_);
+  procedures_[NormalizeIdent(name)] = std::move(proc);
+}
+
+Result<std::shared_ptr<ColumnTable>> Engine::CreateColumnTable(
+    TableSchema schema) {
+  auto table = std::make_shared<ColumnTable>(schema, NextTableId());
+  table->ConfigureIo(config_.io_model, &io_nanos_, &pool_);
+  CatalogEntry entry;
+  entry.kind = EntryKind::kBaseTable;
+  entry.schema = std::move(schema);
+  entry.storage = table;
+  DASHDB_RETURN_IF_ERROR(catalog_.CreateEntry(std::move(entry)));
+  return table;
+}
+
+Result<std::shared_ptr<RowTable>> Engine::CreateRowTable(TableSchema schema) {
+  auto table = std::make_shared<RowTable>(schema, NextTableId());
+  table->ConfigureIo(config_.io_model, &io_nanos_, &pool_);
+  CatalogEntry entry;
+  entry.kind = EntryKind::kBaseTable;
+  entry.schema = std::move(schema);
+  entry.storage = table;
+  DASHDB_RETURN_IF_ERROR(catalog_.CreateEntry(std::move(entry)));
+  return table;
+}
+
+Result<std::shared_ptr<CatalogEntry>> Engine::GetTable(
+    const std::string& schema, const std::string& table) {
+  return catalog_.Lookup(schema, table);
+}
+
+Result<QueryResult> Engine::Execute(Session* session, const std::string& sql) {
+  DASHDB_ASSIGN_OR_RETURN(ast::StatementP stmt, ParseStatement(sql));
+  return ExecuteStmt(session, stmt);
+}
+
+Result<QueryResult> Engine::ExecuteScript(Session* session,
+                                          const std::string& sql) {
+  DASHDB_ASSIGN_OR_RETURN(auto stmts, ParseScript(sql));
+  QueryResult last;
+  for (const auto& s : stmts) {
+    DASHDB_ASSIGN_OR_RETURN(last, ExecuteStmt(session, s));
+  }
+  return last;
+}
+
+Result<QueryResult> Engine::ExecuteStmt(Session* session,
+                                        const ast::StatementP& stmt) {
+  switch (stmt->kind) {
+    case ast::StmtKind::kSelect:
+      return ExecSelect(session, *stmt->select, /*explain_only=*/false);
+    case ast::StmtKind::kExplain:
+      return ExecSelect(session, *stmt->select, /*explain_only=*/true);
+    case ast::StmtKind::kInsert:
+      return ExecInsert(session, *stmt);
+    case ast::StmtKind::kUpdate:
+      return ExecUpdate(session, *stmt);
+    case ast::StmtKind::kDelete:
+      return ExecDelete(session, *stmt);
+    case ast::StmtKind::kCreateTable:
+      return ExecCreateTable(session, *stmt);
+    case ast::StmtKind::kDropTable: {
+      std::string schema = stmt->target_schema.empty()
+                               ? session->default_schema()
+                               : stmt->target_schema;
+      auto entry = catalog_.Lookup(schema, stmt->target_table);
+      if (!entry.ok()) {
+        if (stmt->if_exists) {
+          QueryResult r;
+          r.message = "DROP: no such table (IF EXISTS)";
+          return r;
+        }
+        return entry.status();
+      }
+      // Release cached pages for dropped base tables.
+      auto col = std::dynamic_pointer_cast<ColumnTable>((*entry)->storage);
+      if (col) pool_.EvictTable(col->table_id());
+      DASHDB_RETURN_IF_ERROR(catalog_.DropEntry(schema, stmt->target_table));
+      QueryResult r;
+      r.message = "DROPPED";
+      return r;
+    }
+    case ast::StmtKind::kTruncate: {
+      std::string schema = stmt->target_schema.empty()
+                               ? session->default_schema()
+                               : stmt->target_schema;
+      DASHDB_ASSIGN_OR_RETURN(auto entry,
+                              catalog_.Lookup(schema, stmt->target_table));
+      auto col = std::dynamic_pointer_cast<ColumnTable>(entry->storage);
+      auto row = std::dynamic_pointer_cast<RowTable>(entry->storage);
+      if (col) {
+        pool_.EvictTable(col->table_id());
+        col->Truncate();
+      } else if (row) {
+        row->Truncate();
+      } else {
+        return Status::SemanticError("TRUNCATE target is not a base table");
+      }
+      QueryResult r;
+      r.message = "TRUNCATED";
+      return r;
+    }
+    case ast::StmtKind::kCreateView: {
+      std::string schema = stmt->target_schema.empty()
+                               ? session->default_schema()
+                               : stmt->target_schema;
+      CatalogEntry entry;
+      entry.kind = EntryKind::kView;
+      entry.schema = TableSchema(schema, stmt->target_table, {});
+      entry.view_sql = stmt->view_sql;
+      entry.view_dialect = DialectName(session->dialect());
+      DASHDB_RETURN_IF_ERROR(catalog_.CreateEntry(std::move(entry)));
+      QueryResult r;
+      r.message = "VIEW CREATED";
+      return r;
+    }
+    case ast::StmtKind::kCreateSchema: {
+      DASHDB_RETURN_IF_ERROR(catalog_.CreateSchema(stmt->target_table));
+      QueryResult r;
+      r.message = "SCHEMA CREATED";
+      return r;
+    }
+    case ast::StmtKind::kCreateSequence: {
+      DASHDB_RETURN_IF_ERROR(session->CreateSequence(stmt->target_table));
+      QueryResult r;
+      r.message = "SEQUENCE CREATED";
+      return r;
+    }
+    case ast::StmtKind::kCreateAlias: {
+      std::string tgt_schema = stmt->alias_target_schema.empty()
+                                   ? session->default_schema()
+                                   : stmt->alias_target_schema;
+      DASHDB_ASSIGN_OR_RETURN(
+          auto target, catalog_.Lookup(tgt_schema, stmt->alias_target_table));
+      std::string schema = stmt->target_schema.empty()
+                               ? session->default_schema()
+                               : stmt->target_schema;
+      CatalogEntry entry = *target;  // share storage, new name
+      entry.schema = TableSchema(schema, stmt->target_table,
+                                 target->schema.columns(),
+                                 target->schema.organization());
+      DASHDB_RETURN_IF_ERROR(catalog_.CreateEntry(std::move(entry)));
+      QueryResult r;
+      r.message = "ALIAS CREATED";
+      return r;
+    }
+    case ast::StmtKind::kSet:
+      return ExecSet(session, *stmt);
+    case ast::StmtKind::kCall: {
+      Procedure proc;
+      {
+        std::lock_guard<std::mutex> lk(proc_mu_);
+        auto it = procedures_.find(NormalizeIdent(stmt->call_name));
+        if (it == procedures_.end()) {
+          return Status::NotFound("procedure " + stmt->call_name);
+        }
+        proc = it->second;
+      }
+      Binder binder(&catalog_, session);
+      std::vector<Value> args;
+      for (const auto& a : stmt->call_args) {
+        DASHDB_ASSIGN_OR_RETURN(ExprPtr bound, binder.BindScalar(a, {}));
+        RowBatch empty;
+        DASHDB_ASSIGN_OR_RETURN(Value v,
+                                bound->EvaluateRow(empty, 0,
+                                                   session->exec_ctx()));
+        args.push_back(std::move(v));
+      }
+      return proc(args, session, this);
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<QueryResult> Engine::ExecSelect(Session* session,
+                                       const ast::SelectStmt& sel,
+                                       bool explain_only) {
+  BindOptions bopts;
+  bopts.scan = MakeScanOptions();
+  Binder binder(&catalog_, session, bopts);
+  DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(sel));
+  QueryResult r;
+  if (explain_only) {
+    r.message = root->PlanString();
+    return r;
+  }
+  r.columns = root->output();
+  DASHDB_ASSIGN_OR_RETURN(r.rows, DrainOperator(root.get()));
+  r.affected_rows = static_cast<int64_t>(r.rows.num_rows());
+  return r;
+}
+
+namespace {
+
+/// Casts one value to a column's declared type, with NOT NULL checking.
+Result<Value> CoerceForColumn(const Value& v, const ColumnDef& col) {
+  if (v.is_null()) {
+    if (!col.nullable) {
+      return Status::SemanticError("NULL not allowed in column " + col.name);
+    }
+    return Value::Null(col.type);
+  }
+  return v.CastTo(col.type);
+}
+
+}  // namespace
+
+Result<QueryResult> Engine::ExecInsert(Session* session,
+                                       const ast::Statement& st) {
+  std::string schema =
+      st.target_schema.empty() ? session->default_schema() : st.target_schema;
+  DASHDB_ASSIGN_OR_RETURN(auto entry,
+                          catalog_.Lookup(schema, st.target_table));
+  const TableSchema& ts = entry->schema;
+  // Column mapping.
+  std::vector<int> targets;
+  if (st.insert_columns.empty()) {
+    for (int c = 0; c < ts.num_columns(); ++c) targets.push_back(c);
+  } else {
+    for (const auto& name : st.insert_columns) {
+      int idx = ts.FindColumn(name);
+      if (idx < 0) return Status::SemanticError("unknown column " + name);
+      targets.push_back(idx);
+    }
+  }
+  // Source rows.
+  RowBatch incoming;
+  if (st.select) {
+    BindOptions bopts;
+    bopts.scan = MakeScanOptions();
+    Binder binder(&catalog_, session, bopts);
+    DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(*st.select));
+    if (static_cast<int>(root->output().size()) !=
+        static_cast<int>(targets.size())) {
+      return Status::SemanticError("INSERT column count mismatch");
+    }
+    DASHDB_ASSIGN_OR_RETURN(incoming, DrainOperator(root.get()));
+  } else {
+    Binder binder(&catalog_, session);
+    for (size_t c = 0; c < targets.size(); ++c) {
+      incoming.columns.emplace_back(ts.column(targets[c]).type);
+    }
+    for (const auto& row : st.insert_rows) {
+      if (row.size() != targets.size()) {
+        return Status::SemanticError("INSERT row width mismatch");
+      }
+      for (size_t c = 0; c < row.size(); ++c) {
+        DASHDB_ASSIGN_OR_RETURN(ExprPtr bound, binder.BindScalar(row[c], {}));
+        RowBatch empty;
+        DASHDB_ASSIGN_OR_RETURN(
+            Value v, bound->EvaluateRow(empty, 0, session->exec_ctx()));
+        DASHDB_ASSIGN_OR_RETURN(v, CoerceForColumn(v, ts.column(targets[c])));
+        incoming.columns[c].AppendValue(v);
+      }
+    }
+  }
+  // Assemble full-width batch.
+  RowBatch full;
+  for (int c = 0; c < ts.num_columns(); ++c) {
+    full.columns.emplace_back(ts.column(c).type);
+  }
+  const size_t n = incoming.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<bool> set(ts.num_columns(), false);
+    for (size_t k = 0; k < targets.size(); ++k) {
+      Value v = incoming.columns[k].GetValue(i);
+      DASHDB_ASSIGN_OR_RETURN(v, CoerceForColumn(v, ts.column(targets[k])));
+      full.columns[targets[k]].AppendValue(v);
+      set[targets[k]] = true;
+    }
+    for (int c = 0; c < ts.num_columns(); ++c) {
+      if (!set[c]) {
+        if (!ts.column(c).nullable) {
+          return Status::SemanticError("column " + ts.column(c).name +
+                                       " requires a value");
+        }
+        full.columns[c].AppendNull();
+      }
+    }
+  }
+  auto col = std::dynamic_pointer_cast<ColumnTable>(entry->storage);
+  auto row = std::dynamic_pointer_cast<RowTable>(entry->storage);
+  if (col) {
+    DASHDB_RETURN_IF_ERROR(col->Append(full));
+  } else if (row) {
+    DASHDB_RETURN_IF_ERROR(row->Append(full));
+  } else {
+    return Status::SemanticError("INSERT target is not a base table");
+  }
+  QueryResult r;
+  r.affected_rows = static_cast<int64_t>(n);
+  r.message = "INSERTED " + std::to_string(n);
+  return r;
+}
+
+Result<Engine::MatchedRows> Engine::CollectMatches(Session* session,
+                                                   const CatalogEntry& entry,
+                                                   const ast::ExprP& where) {
+  const TableSchema& ts = entry.schema;
+  BindOptions bopts;
+  bopts.scan = MakeScanOptions();
+  Binder binder(&catalog_, session, bopts);
+  DASHDB_ASSIGN_OR_RETURN(TablePredicates preds,
+                          binder.SplitTablePredicates(ts, where));
+  MatchedRows out;
+  for (int c = 0; c < ts.num_columns(); ++c) {
+    out.rows.columns.emplace_back(ts.column(c).type);
+  }
+  std::vector<int> proj;
+  for (int c = 0; c < ts.num_columns(); ++c) proj.push_back(c);
+
+  auto handle = [&](RowBatch& batch,
+                    const std::vector<uint64_t>& ids) -> Status {
+    std::vector<uint32_t> sel;
+    if (preds.residual) {
+      DASHDB_ASSIGN_OR_RETURN(
+          sel, EvalFilter(*preds.residual, batch, session->exec_ctx()));
+    } else {
+      sel.resize(batch.num_rows());
+      for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
+    }
+    for (uint32_t i : sel) {
+      out.ids.push_back(ids[i]);
+      for (size_t c = 0; c < batch.columns.size(); ++c) {
+        out.rows.columns[c].AppendFrom(batch.columns[c], i);
+      }
+    }
+    return Status::OK();
+  };
+
+  auto col = std::dynamic_pointer_cast<ColumnTable>(entry.storage);
+  auto row = std::dynamic_pointer_cast<RowTable>(entry.storage);
+  Status inner_status;
+  if (col) {
+    DASHDB_RETURN_IF_ERROR(col->Scan(
+        preds.pushdown, proj, bopts.scan,
+        [&](RowBatch& b, const std::vector<uint64_t>& ids) {
+          if (inner_status.ok()) inner_status = handle(b, ids);
+        }));
+  } else if (row) {
+    DASHDB_RETURN_IF_ERROR(row->Scan(
+        preds.pushdown, proj,
+        [&](RowBatch& b, const std::vector<uint64_t>& ids) {
+          if (inner_status.ok()) inner_status = handle(b, ids);
+        }));
+  } else {
+    return Status::SemanticError("DML target is not a base table");
+  }
+  DASHDB_RETURN_IF_ERROR(inner_status);
+  return out;
+}
+
+Result<QueryResult> Engine::ExecUpdate(Session* session,
+                                       const ast::Statement& st) {
+  std::string schema =
+      st.target_schema.empty() ? session->default_schema() : st.target_schema;
+  DASHDB_ASSIGN_OR_RETURN(auto entry,
+                          catalog_.Lookup(schema, st.target_table));
+  const TableSchema& ts = entry->schema;
+  DASHDB_ASSIGN_OR_RETURN(MatchedRows matched,
+                          CollectMatches(session, *entry, st.where));
+  // Bind SET expressions over the table scope.
+  Binder binder(&catalog_, session);
+  std::vector<OutputCol> scope;
+  for (int c = 0; c < ts.num_columns(); ++c) {
+    scope.push_back({ts.column(c).name, ts.column(c).type});
+  }
+  std::vector<std::pair<int, ExprPtr>> sets;
+  for (const auto& [name, expr] : st.set_clauses) {
+    int idx = ts.FindColumn(name);
+    if (idx < 0) return Status::SemanticError("unknown column " + name);
+    DASHDB_ASSIGN_OR_RETURN(ExprPtr bound, binder.BindScalar(expr, scope));
+    sets.emplace_back(idx, std::move(bound));
+  }
+  auto col = std::dynamic_pointer_cast<ColumnTable>(entry->storage);
+  auto row = std::dynamic_pointer_cast<RowTable>(entry->storage);
+  const size_t n = matched.ids.size();
+  if (n == 0) {
+    QueryResult r;
+    r.message = "UPDATED 0";
+    return r;
+  }
+  // Compute new rows.
+  RowBatch updated = matched.rows;
+  for (const auto& [idx, expr] : sets) {
+    ColumnVector nv(ts.column(idx).type);
+    for (size_t i = 0; i < n; ++i) {
+      DASHDB_ASSIGN_OR_RETURN(Value v,
+                              expr->EvaluateRow(matched.rows, i,
+                                                session->exec_ctx()));
+      DASHDB_ASSIGN_OR_RETURN(v, CoerceForColumn(v, ts.column(idx)));
+      nv.AppendValue(v);
+    }
+    updated.columns[idx] = std::move(nv);
+  }
+  if (col) {
+    // Column store: UPDATE = delete + re-insert (paper engines do the same;
+    // the row-store baseline updates in place below).
+    DASHDB_RETURN_IF_ERROR(col->DeleteRows(matched.ids));
+    DASHDB_RETURN_IF_ERROR(col->Append(updated));
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      DASHDB_RETURN_IF_ERROR(row->UpdateRow(matched.ids[i], updated.Row(i)));
+    }
+  }
+  QueryResult r;
+  r.affected_rows = static_cast<int64_t>(n);
+  r.message = "UPDATED " + std::to_string(n);
+  return r;
+}
+
+Result<QueryResult> Engine::ExecDelete(Session* session,
+                                       const ast::Statement& st) {
+  std::string schema =
+      st.target_schema.empty() ? session->default_schema() : st.target_schema;
+  DASHDB_ASSIGN_OR_RETURN(auto entry,
+                          catalog_.Lookup(schema, st.target_table));
+  DASHDB_ASSIGN_OR_RETURN(MatchedRows matched,
+                          CollectMatches(session, *entry, st.where));
+  auto col = std::dynamic_pointer_cast<ColumnTable>(entry->storage);
+  auto row = std::dynamic_pointer_cast<RowTable>(entry->storage);
+  if (col) {
+    DASHDB_RETURN_IF_ERROR(col->DeleteRows(matched.ids));
+  } else {
+    DASHDB_RETURN_IF_ERROR(row->DeleteRows(matched.ids));
+  }
+  QueryResult r;
+  r.affected_rows = static_cast<int64_t>(matched.ids.size());
+  r.message = "DELETED " + std::to_string(matched.ids.size());
+  return r;
+}
+
+Result<QueryResult> Engine::ExecCreateTable(Session* session,
+                                            const ast::Statement& st) {
+  std::string schema =
+      st.target_schema.empty() ? session->default_schema() : st.target_schema;
+  if (st.temporary) schema = "SESSION";
+  if (!catalog_.HasSchema(schema)) {
+    DASHDB_RETURN_IF_ERROR(catalog_.CreateSchema(schema));
+  }
+  std::vector<ColumnDef> cols;
+  for (const auto& cd : st.columns) {
+    ColumnDef col;
+    col.name = NormalizeIdent(cd.name);
+    DASHDB_ASSIGN_OR_RETURN(col.type, TypeFromName(cd.type_name));
+    col.nullable = !cd.not_null;
+    col.unique = cd.unique;
+    cols.push_back(std::move(col));
+  }
+  TableOrganization org = st.organize_by_row
+                              ? TableOrganization::kRow
+                              : config_.default_organization;
+  TableSchema ts(schema, NormalizeIdent(st.target_table), cols, org);
+  ts.set_temporary(st.temporary);
+  if (!st.distribute_by.empty()) {
+    int idx = ts.FindColumn(st.distribute_by);
+    if (idx < 0) {
+      return Status::SemanticError("DISTRIBUTE BY column not found");
+    }
+    ts.set_distribution_key(idx);
+  }
+  if (org == TableOrganization::kRow) {
+    DASHDB_ASSIGN_OR_RETURN(auto table, CreateRowTable(ts));
+    (void)table;
+  } else {
+    DASHDB_ASSIGN_OR_RETURN(auto table, CreateColumnTable(ts));
+    (void)table;
+  }
+  (void)session;
+  QueryResult r;
+  r.message = "TABLE CREATED";
+  return r;
+}
+
+Result<QueryResult> Engine::ExecSet(Session* session,
+                                    const ast::Statement& st) {
+  QueryResult r;
+  std::string name = NormalizeIdent(st.set_name);
+  if (name == "SQL_DIALECT" || name == "SQL_COMPAT" || name == "DIALECT") {
+    Dialect d;
+    if (!DialectFromName(NormalizeIdent(st.set_value), &d)) {
+      return Status::InvalidArgument("unknown dialect " + st.set_value);
+    }
+    session->set_dialect(d);
+    r.message = "DIALECT " + std::string(DialectName(d));
+    return r;
+  }
+  if (name == "SCHEMA" || name == "CURRENT_SCHEMA") {
+    session->set_default_schema(NormalizeIdent(st.set_value));
+    r.message = "SCHEMA " + session->default_schema();
+    return r;
+  }
+  // Unknown session variables are accepted and ignored (compatibility).
+  r.message = "SET " + name;
+  return r;
+}
+
+}  // namespace dashdb

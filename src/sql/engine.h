@@ -1,0 +1,123 @@
+// The single-node SQL engine: parse -> bind -> execute, DDL/DML handling,
+// session management, and the stored-procedure registry (the SQL surface
+// through which Spark jobs are launched, paper II.D.1). The MPP layer
+// (src/mpp) composes one Engine per data shard.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "bufferpool/bufferpool.h"
+#include "catalog/catalog.h"
+#include "exec/operator.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "sql/session.h"
+#include "storage/column_table.h"
+#include "storage/io_model.h"
+#include "storage/row_table.h"
+
+namespace dashdb {
+
+/// Result of one statement.
+struct QueryResult {
+  std::vector<OutputCol> columns;  ///< empty for DDL/DML
+  RowBatch rows;
+  int64_t affected_rows = 0;
+  std::string message;             ///< DDL ack / EXPLAIN plan text
+
+  bool has_rows() const { return !columns.empty(); }
+};
+
+/// Engine-wide configuration (set once; the autoconfigurator in src/deploy
+/// produces these from detected hardware).
+struct EngineConfig {
+  size_t buffer_pool_bytes = size_t{256} << 20;
+  ReplacementPolicy buffer_policy = ReplacementPolicy::kRandomWeight;
+  /// Default organization for CREATE TABLE (the appliance baseline engine
+  /// runs with kRow).
+  TableOrganization default_organization = TableOrganization::kColumn;
+  /// Scan feature toggles (II.B levers; the Test-4 competitor disables
+  /// operate_on_compressed + synopsis).
+  bool use_synopsis = true;
+  bool use_swar = true;
+  bool operate_on_compressed = true;
+  /// Charge scans to the buffer pool.
+  bool charge_buffer_pool = false;
+  /// Storage I/O cost model (DESIGN.md substitutions): buffer-pool misses
+  /// charge modeled read time, accumulated per engine.
+  IoModel io_model;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+
+  Catalog* catalog() { return &catalog_; }
+  BufferPool* buffer_pool() { return &pool_; }
+  const EngineConfig& config() const { return config_; }
+
+  std::shared_ptr<Session> CreateSession();
+
+  /// Parses and executes one statement.
+  Result<QueryResult> Execute(Session* session, const std::string& sql);
+
+  /// Executes a ';'-separated script; returns the last statement's result.
+  Result<QueryResult> ExecuteScript(Session* session, const std::string& sql);
+
+  /// Stored procedures (CALL name(args)): the integration point used by the
+  /// Spark layer's SQL interface.
+  using Procedure = std::function<Result<QueryResult>(
+      const std::vector<Value>& args, Session* session, Engine* engine)>;
+  void RegisterProcedure(const std::string& name, Procedure proc);
+
+  /// Programmatic table management (benches/examples/MPP loaders).
+  Result<std::shared_ptr<ColumnTable>> CreateColumnTable(TableSchema schema);
+  Result<std::shared_ptr<RowTable>> CreateRowTable(TableSchema schema);
+  Result<std::shared_ptr<CatalogEntry>> GetTable(const std::string& schema,
+                                                 const std::string& table);
+
+  ScanOptions MakeScanOptions();
+  uint64_t NextTableId() { return next_table_id_.fetch_add(1); }
+
+  /// Modeled storage I/O accumulated since the last call (seconds). Benches
+  /// add this to measured CPU time per statement.
+  double TakeIoSeconds() {
+    return io_nanos_.exchange(0) * 1e-9;
+  }
+
+ private:
+  Result<QueryResult> ExecuteStmt(Session* session,
+                                  const ast::StatementP& stmt);
+  Result<QueryResult> ExecSelect(Session* session, const ast::SelectStmt& sel,
+                                 bool explain_only);
+  Result<QueryResult> ExecInsert(Session* session, const ast::Statement& st);
+  Result<QueryResult> ExecUpdate(Session* session, const ast::Statement& st);
+  Result<QueryResult> ExecDelete(Session* session, const ast::Statement& st);
+  Result<QueryResult> ExecCreateTable(Session* session,
+                                      const ast::Statement& st);
+  Result<QueryResult> ExecSet(Session* session, const ast::Statement& st);
+
+  /// Collects (row id, full row) pairs matching a WHERE for DML.
+  struct MatchedRows {
+    std::vector<uint64_t> ids;
+    RowBatch rows;  ///< full-width rows in id order
+  };
+  Result<MatchedRows> CollectMatches(Session* session,
+                                     const CatalogEntry& entry,
+                                     const ast::ExprP& where);
+
+  EngineConfig config_;
+  Catalog catalog_;
+  BufferPool pool_;
+  std::atomic<uint64_t> next_table_id_{1};
+  IoSink io_nanos_{0};
+  std::map<std::string, Procedure> procedures_;
+  std::mutex proc_mu_;
+};
+
+}  // namespace dashdb

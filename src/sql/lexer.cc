@@ -1,0 +1,147 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace dashdb {
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t end = sql.find("*/", i + 2);
+      if (end == std::string::npos) {
+        return Status::ParseError("unterminated block comment");
+      }
+      i = end + 2;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    // String literal.
+    if (c == '\'') {
+      t.kind = TokKind::kString;
+      ++i;
+      std::string s;
+      for (;;) {
+        if (i >= n) return Status::ParseError("unterminated string literal");
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            s.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        s.push_back(sql[i++]);
+      }
+      t.text = std::move(s);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Quoted identifier.
+    if (c == '"') {
+      t.kind = TokKind::kIdent;
+      t.quoted = true;
+      ++i;
+      std::string s;
+      while (i < n && sql[i] != '"') s.push_back(sql[i++]);
+      if (i >= n) return Status::ParseError("unterminated quoted identifier");
+      ++i;
+      t.text = std::move(s);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      t.kind = TokKind::kNumber;
+      std::string s;
+      bool dot = false, exp = false;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          s.push_back(d);
+          ++i;
+        } else if (d == '.' && !dot && !exp) {
+          dot = true;
+          s.push_back(d);
+          ++i;
+        } else if ((d == 'e' || d == 'E') && !exp &&
+                   i + 1 < n &&
+                   (std::isdigit(static_cast<unsigned char>(sql[i + 1])) ||
+                    sql[i + 1] == '-' || sql[i + 1] == '+')) {
+          exp = true;
+          s.push_back(d);
+          ++i;
+          if (sql[i] == '-' || sql[i] == '+') s.push_back(sql[i++]);
+        } else {
+          break;
+        }
+      }
+      t.text = std::move(s);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      t.kind = TokKind::kIdent;
+      std::string s;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_' || sql[i] == '$' || sql[i] == '#')) {
+        s.push_back(
+            static_cast<char>(std::toupper(static_cast<unsigned char>(sql[i]))));
+        ++i;
+      }
+      t.text = std::move(s);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Oracle outer-join marker (+).
+    if (c == '(' && i + 2 < n && sql[i + 1] == '+' && sql[i + 2] == ')') {
+      t.kind = TokKind::kOp;
+      t.text = "(+)";
+      i += 3;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Multi-char operators.
+    t.kind = TokKind::kOp;
+    auto two = [&](const char* op) {
+      return i + 1 < n && sql[i] == op[0] && sql[i + 1] == op[1];
+    };
+    if (two("<=") || two(">=") || two("<>") || two("!=") || two("||") ||
+        two("::")) {
+      t.text = sql.substr(i, 2);
+      if (t.text == "!=") t.text = "<>";
+      i += 2;
+    } else if (std::string("+-*/%(),.;=<>").find(c) != std::string::npos) {
+      t.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(i));
+    }
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.pos = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace dashdb

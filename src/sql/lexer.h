@@ -1,0 +1,31 @@
+// SQL lexer shared by all dialects.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dashdb {
+
+enum class TokKind : uint8_t {
+  kIdent,        ///< unquoted (upper-cased) or "quoted" identifier
+  kString,       ///< 'literal' (doubled '' unescaped)
+  kNumber,       ///< integer or decimal literal text
+  kOp,           ///< operator / punctuation
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   ///< upper-cased for unquoted idents; verbatim otherwise
+  size_t pos = 0;     ///< byte offset for error messages
+  bool quoted = false;
+};
+
+/// Tokenizes `sql`. Understands: identifiers, quoted identifiers, string
+/// literals, numbers, line (--) and block comments, multi-char operators
+/// (<=, >=, <>, !=, ||, ::) and the Oracle outer-join marker `(+)`.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace dashdb

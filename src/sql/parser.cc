@@ -1,0 +1,1010 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/datetime.h"
+
+namespace dashdb {
+
+using namespace ast;
+
+namespace {
+
+ExprP MakeLit(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprP MakeCol(std::string q, std::string n) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(q);
+  e->name = std::move(n);
+  return e;
+}
+
+ExprP MakeBin(BinOp op, ExprP l, ExprP r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<StatementP> ParseOne() {
+    DASHDB_ASSIGN_OR_RETURN(StatementP s, ParseStmt());
+    if (Is(";")) Advance();
+    if (!AtEnd()) return Err("unexpected trailing input");
+    return s;
+  }
+
+  Result<std::vector<StatementP>> ParseAll() {
+    std::vector<StatementP> out;
+    while (!AtEnd()) {
+      DASHDB_ASSIGN_OR_RETURN(StatementP s, ParseStmt());
+      out.push_back(std::move(s));
+      if (Is(";")) {
+        Advance();
+      } else if (!AtEnd()) {
+        return Err("expected ';' between statements");
+      }
+    }
+    return out;
+  }
+
+ private:
+  // ------------------------------------------------------------- helpers --
+  const Token& Cur() const { return toks_[pos_]; }
+  const Token& Peek(int k = 1) const {
+    size_t p = pos_ + k;
+    return p < toks_.size() ? toks_[p] : toks_.back();
+  }
+  bool AtEnd() const { return Cur().kind == TokKind::kEnd; }
+  void Advance() { if (!AtEnd()) ++pos_; }
+
+  bool Is(const std::string& text) const { return Cur().text == text; }
+  bool IsKw(const std::string& kw) const {
+    return Cur().kind == TokKind::kIdent && !Cur().quoted && Cur().text == kw;
+  }
+  bool Accept(const std::string& text) {
+    if (Is(text)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKw(const std::string& kw) {
+    if (IsKw(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const std::string& text) {
+    if (!Accept(text)) {
+      return Status::ParseError("expected '" + text + "' near '" + Cur().text +
+                                "' (offset " + std::to_string(Cur().pos) + ")");
+    }
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " near '" + Cur().text + "' (offset " +
+                              std::to_string(Cur().pos) + ")");
+  }
+  Result<std::string> ExpectIdent() {
+    if (Cur().kind != TokKind::kIdent) {
+      return Status::ParseError("expected identifier near '" + Cur().text + "'");
+    }
+    std::string s = Cur().text;
+    Advance();
+    return s;
+  }
+
+  // ----------------------------------------------------------- statements --
+  Result<StatementP> ParseStmt() {
+    if (IsKw("SELECT") || IsKw("WITH")) {
+      auto st = std::make_shared<Statement>();
+      st->kind = StmtKind::kSelect;
+      DASHDB_ASSIGN_OR_RETURN(st->select, ParseSelect());
+      return st;
+    }
+    if (IsKw("VALUES")) {  // DB2 VALUES clause as a query
+      auto st = std::make_shared<Statement>();
+      st->kind = StmtKind::kSelect;
+      auto sel = std::make_shared<SelectStmt>();
+      DASHDB_ASSIGN_OR_RETURN(sel->values_rows, ParseValuesRows());
+      st->select = std::move(sel);
+      return st;
+    }
+    if (IsKw("INSERT")) return ParseInsert();
+    if (IsKw("UPDATE")) return ParseUpdate();
+    if (IsKw("DELETE")) return ParseDelete();
+    if (IsKw("CREATE") || IsKw("DECLARE")) return ParseCreate();
+    if (IsKw("DROP")) return ParseDrop();
+    if (IsKw("TRUNCATE")) return ParseTruncate();
+    if (IsKw("EXPLAIN")) {
+      Advance();
+      auto st = std::make_shared<Statement>();
+      st->kind = StmtKind::kExplain;
+      DASHDB_ASSIGN_OR_RETURN(st->select, ParseSelect());
+      return st;
+    }
+    if (IsKw("SET")) return ParseSet();
+    if (IsKw("CALL")) return ParseCall();
+    return Err("unrecognized statement");
+  }
+
+  Result<std::vector<std::vector<ExprP>>> ParseValuesRows() {
+    DASHDB_RETURN_IF_ERROR(Expect("VALUES"));
+    std::vector<std::vector<ExprP>> rows;
+    do {
+      std::vector<ExprP> row;
+      if (Accept("(")) {
+        do {
+          DASHDB_ASSIGN_OR_RETURN(ExprP e, ParseExpr());
+          row.push_back(std::move(e));
+        } while (Accept(","));
+        DASHDB_RETURN_IF_ERROR(Expect(")"));
+      } else {
+        DASHDB_ASSIGN_OR_RETURN(ExprP e, ParseExpr());
+        row.push_back(std::move(e));
+      }
+      rows.push_back(std::move(row));
+    } while (Accept(","));
+    return rows;
+  }
+
+  Result<StatementP> ParseInsert() {
+    Advance();  // INSERT
+    DASHDB_RETURN_IF_ERROR(Expect("INTO"));
+    auto st = std::make_shared<Statement>();
+    st->kind = StmtKind::kInsert;
+    DASHDB_RETURN_IF_ERROR(ParseQualifiedName(&st->target_schema,
+                                              &st->target_table));
+    if (Accept("(")) {
+      do {
+        DASHDB_ASSIGN_OR_RETURN(std::string c, ExpectIdent());
+        st->insert_columns.push_back(std::move(c));
+      } while (Accept(","));
+      DASHDB_RETURN_IF_ERROR(Expect(")"));
+    }
+    if (IsKw("VALUES")) {
+      DASHDB_ASSIGN_OR_RETURN(st->insert_rows, ParseValuesRows());
+    } else if (IsKw("SELECT") || IsKw("WITH")) {
+      DASHDB_ASSIGN_OR_RETURN(st->select, ParseSelect());
+    } else {
+      return Err("expected VALUES or SELECT in INSERT");
+    }
+    return st;
+  }
+
+  Result<StatementP> ParseUpdate() {
+    Advance();
+    auto st = std::make_shared<Statement>();
+    st->kind = StmtKind::kUpdate;
+    DASHDB_RETURN_IF_ERROR(ParseQualifiedName(&st->target_schema,
+                                              &st->target_table));
+    DASHDB_RETURN_IF_ERROR(Expect("SET"));
+    do {
+      DASHDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      DASHDB_RETURN_IF_ERROR(Expect("="));
+      DASHDB_ASSIGN_OR_RETURN(ExprP e, ParseExpr());
+      st->set_clauses.emplace_back(std::move(col), std::move(e));
+    } while (Accept(","));
+    if (AcceptKw("WHERE")) {
+      DASHDB_ASSIGN_OR_RETURN(st->where, ParseExpr());
+    }
+    return st;
+  }
+
+  Result<StatementP> ParseDelete() {
+    Advance();
+    DASHDB_RETURN_IF_ERROR(Expect("FROM"));
+    auto st = std::make_shared<Statement>();
+    st->kind = StmtKind::kDelete;
+    DASHDB_RETURN_IF_ERROR(ParseQualifiedName(&st->target_schema,
+                                              &st->target_table));
+    if (AcceptKw("WHERE")) {
+      DASHDB_ASSIGN_OR_RETURN(st->where, ParseExpr());
+    }
+    return st;
+  }
+
+  Result<StatementP> ParseCreate() {
+    bool declare = IsKw("DECLARE");
+    Advance();  // CREATE / DECLARE
+    auto st = std::make_shared<Statement>();
+    bool temp = declare;
+    if (AcceptKw("GLOBAL")) {
+      if (!AcceptKw("TEMPORARY") && !AcceptKw("TEMP")) {
+        return Err("expected TEMPORARY after GLOBAL");
+      }
+      temp = true;
+    } else if (AcceptKw("TEMP") || AcceptKw("TEMPORARY")) {
+      temp = true;
+    }
+    if (AcceptKw("TABLE")) {
+      st->kind = StmtKind::kCreateTable;
+      st->temporary = temp;
+      DASHDB_RETURN_IF_ERROR(ParseQualifiedName(&st->target_schema,
+                                                &st->target_table));
+      DASHDB_RETURN_IF_ERROR(Expect("("));
+      do {
+        ColumnDefAst col;
+        DASHDB_ASSIGN_OR_RETURN(col.name, ExpectIdent());
+        DASHDB_ASSIGN_OR_RETURN(col.type_name, ExpectIdent());
+        if (Accept("(")) {  // length / precision — accepted and ignored
+          while (!Is(")") && !AtEnd()) Advance();
+          DASHDB_RETURN_IF_ERROR(Expect(")"));
+        }
+        for (;;) {
+          if (AcceptKw("NOT")) {
+            DASHDB_RETURN_IF_ERROR(Expect("NULL"));
+            col.not_null = true;
+          } else if (AcceptKw("UNIQUE")) {
+            col.unique = true;
+          } else if (AcceptKw("PRIMARY")) {
+            DASHDB_RETURN_IF_ERROR(Expect("KEY"));
+            col.unique = true;
+            col.not_null = true;
+          } else {
+            break;
+          }
+        }
+        st->columns.push_back(std::move(col));
+      } while (Accept(","));
+      DASHDB_RETURN_IF_ERROR(Expect(")"));
+      for (;;) {
+        if (AcceptKw("ORGANIZE")) {
+          DASHDB_RETURN_IF_ERROR(Expect("BY"));
+          if (AcceptKw("ROW")) {
+            st->organize_by_row = true;
+          } else if (AcceptKw("COLUMN")) {
+            st->organize_by_row = false;
+          } else {
+            return Err("expected ROW or COLUMN");
+          }
+        } else if (AcceptKw("DISTRIBUTE")) {
+          DASHDB_RETURN_IF_ERROR(Expect("BY"));
+          DASHDB_RETURN_IF_ERROR(Expect("HASH"));
+          DASHDB_RETURN_IF_ERROR(Expect("("));
+          DASHDB_ASSIGN_OR_RETURN(st->distribute_by, ExpectIdent());
+          DASHDB_RETURN_IF_ERROR(Expect(")"));
+        } else if (AcceptKw("ON")) {
+          // DB2 "ON COMMIT ..." temp-table clauses — accepted and ignored.
+          while (!Is(";") && !AtEnd()) Advance();
+        } else {
+          break;
+        }
+      }
+      return st;
+    }
+    if (AcceptKw("VIEW")) {
+      st->kind = StmtKind::kCreateView;
+      DASHDB_RETURN_IF_ERROR(ParseQualifiedName(&st->target_schema,
+                                                &st->target_table));
+      DASHDB_RETURN_IF_ERROR(Expect("AS"));
+      size_t body_start = Cur().pos;
+      DASHDB_ASSIGN_OR_RETURN(st->select, ParseSelect());
+      size_t body_end = Cur().pos;  // start of the token after the body
+      st->view_sql = source_.substr(body_start, body_end - body_start);
+      while (!st->view_sql.empty() &&
+             (st->view_sql.back() == ';' || st->view_sql.back() == ' ' ||
+              st->view_sql.back() == '\n')) {
+        st->view_sql.pop_back();
+      }
+      return st;
+    }
+    if (AcceptKw("SCHEMA")) {
+      st->kind = StmtKind::kCreateSchema;
+      DASHDB_ASSIGN_OR_RETURN(st->target_table, ExpectIdent());
+      return st;
+    }
+    if (AcceptKw("SEQUENCE")) {
+      st->kind = StmtKind::kCreateSequence;
+      DASHDB_RETURN_IF_ERROR(ParseQualifiedName(&st->target_schema,
+                                                &st->target_table));
+      return st;
+    }
+    if (AcceptKw("ALIAS")) {
+      st->kind = StmtKind::kCreateAlias;
+      DASHDB_RETURN_IF_ERROR(ParseQualifiedName(&st->target_schema,
+                                                &st->target_table));
+      DASHDB_RETURN_IF_ERROR(Expect("FOR"));
+      DASHDB_RETURN_IF_ERROR(ParseQualifiedName(&st->alias_target_schema,
+                                                &st->alias_target_table));
+      return st;
+    }
+    return Err("unsupported CREATE");
+  }
+
+  Result<StatementP> ParseDrop() {
+    Advance();
+    auto st = std::make_shared<Statement>();
+    st->kind = StmtKind::kDropTable;
+    if (AcceptKw("VIEW")) {
+      st->drop_is_view = true;
+    } else if (!AcceptKw("TABLE")) {
+      return Err("expected TABLE or VIEW after DROP");
+    }
+    if (AcceptKw("IF")) {
+      DASHDB_RETURN_IF_ERROR(Expect("EXISTS"));
+      st->if_exists = true;
+    }
+    DASHDB_RETURN_IF_ERROR(ParseQualifiedName(&st->target_schema,
+                                              &st->target_table));
+    return st;
+  }
+
+  Result<StatementP> ParseTruncate() {
+    Advance();
+    AcceptKw("TABLE");
+    auto st = std::make_shared<Statement>();
+    st->kind = StmtKind::kTruncate;
+    DASHDB_RETURN_IF_ERROR(ParseQualifiedName(&st->target_schema,
+                                              &st->target_table));
+    // Oracle/DB2 trailing options (IMMEDIATE, DROP STORAGE, ...) ignored.
+    while (!Is(";") && !AtEnd()) Advance();
+    return st;
+  }
+
+  Result<StatementP> ParseSet() {
+    Advance();
+    auto st = std::make_shared<Statement>();
+    st->kind = StmtKind::kSet;
+    DASHDB_ASSIGN_OR_RETURN(st->set_name, ExpectIdent());
+    Accept("=");
+    if (Cur().kind == TokKind::kIdent || Cur().kind == TokKind::kString ||
+        Cur().kind == TokKind::kNumber) {
+      st->set_value = Cur().text;
+      Advance();
+    }
+    return st;
+  }
+
+  Result<StatementP> ParseCall() {
+    Advance();
+    auto st = std::make_shared<Statement>();
+    st->kind = StmtKind::kCall;
+    DASHDB_ASSIGN_OR_RETURN(st->call_name, ExpectIdent());
+    while (Accept(".")) {
+      DASHDB_ASSIGN_OR_RETURN(std::string part, ExpectIdent());
+      st->call_name += "." + part;
+    }
+    if (Accept("(")) {
+      if (!Is(")")) {
+        do {
+          DASHDB_ASSIGN_OR_RETURN(ExprP e, ParseExpr());
+          st->call_args.push_back(std::move(e));
+        } while (Accept(","));
+      }
+      DASHDB_RETURN_IF_ERROR(Expect(")"));
+    }
+    return st;
+  }
+
+  Status ParseQualifiedName(std::string* schema, std::string* table) {
+    DASHDB_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+    if (Accept(".")) {
+      DASHDB_ASSIGN_OR_RETURN(std::string second, ExpectIdent());
+      *schema = first;
+      *table = second;
+    } else {
+      *table = first;
+    }
+    return Status::OK();
+  }
+
+  // --------------------------------------------------------------- SELECT --
+  Result<SelectP> ParseSelect() {
+    auto sel = std::make_shared<SelectStmt>();
+    if (AcceptKw("WITH")) {
+      do {
+        CteDef cte;
+        DASHDB_ASSIGN_OR_RETURN(cte.name, ExpectIdent());
+        DASHDB_RETURN_IF_ERROR(Expect("AS"));
+        DASHDB_RETURN_IF_ERROR(Expect("("));
+        DASHDB_ASSIGN_OR_RETURN(cte.query, ParseSelect());
+        DASHDB_RETURN_IF_ERROR(Expect(")"));
+        sel->ctes.push_back(std::move(cte));
+      } while (Accept(","));
+    }
+    DASHDB_RETURN_IF_ERROR(Expect("SELECT"));
+    if (AcceptKw("DISTINCT")) sel->distinct = true;
+    else AcceptKw("ALL");
+    do {
+      SelectItem item;
+      DASHDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKw("AS")) {
+        DASHDB_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      } else if (Cur().kind == TokKind::kIdent && !IsClauseKeyword()) {
+        item.alias = Cur().text;
+        Advance();
+      }
+      sel->items.push_back(std::move(item));
+    } while (Accept(","));
+    if (AcceptKw("FROM")) {
+      DASHDB_RETURN_IF_ERROR(ParseFrom(sel.get()));
+    }
+    if (AcceptKw("WHERE")) {
+      DASHDB_ASSIGN_OR_RETURN(sel->where, ParseExpr());
+    }
+    // Oracle hierarchical clauses, in either order.
+    for (;;) {
+      if (AcceptKw("START")) {
+        DASHDB_RETURN_IF_ERROR(Expect("WITH"));
+        DASHDB_ASSIGN_OR_RETURN(sel->start_with, ParseExpr());
+      } else if (AcceptKw("CONNECT")) {
+        DASHDB_RETURN_IF_ERROR(Expect("BY"));
+        DASHDB_ASSIGN_OR_RETURN(sel->connect_by, ParseExpr());
+      } else {
+        break;
+      }
+    }
+    if (AcceptKw("GROUP")) {
+      DASHDB_RETURN_IF_ERROR(Expect("BY"));
+      do {
+        DASHDB_ASSIGN_OR_RETURN(ExprP e, ParseExpr());
+        sel->group_by.push_back(std::move(e));
+      } while (Accept(","));
+    }
+    if (AcceptKw("HAVING")) {
+      DASHDB_ASSIGN_OR_RETURN(sel->having, ParseExpr());
+    }
+    if (AcceptKw("ORDER")) {
+      DASHDB_RETURN_IF_ERROR(Expect("BY"));
+      do {
+        OrderItem oi;
+        if (Cur().kind == TokKind::kNumber) {
+          oi.ordinal = std::atoi(Cur().text.c_str());
+          Advance();
+        } else {
+          DASHDB_ASSIGN_OR_RETURN(oi.expr, ParseExpr());
+          // A bare column ref may name an output column; binder decides.
+          if (oi.expr->kind == ExprKind::kColumnRef &&
+              oi.expr->qualifier.empty()) {
+            oi.output_name = oi.expr->name;
+          }
+        }
+        if (AcceptKw("DESC")) oi.desc = true;
+        else AcceptKw("ASC");
+        if (AcceptKw("NULLS")) {  // NULLS FIRST/LAST accepted; NULLs sort high
+          if (!AcceptKw("FIRST") && !AcceptKw("LAST")) {
+            return Err("expected FIRST or LAST");
+          }
+        }
+        sel->order_by.push_back(std::move(oi));
+      } while (Accept(","));
+    }
+    // LIMIT / OFFSET (Netezza/PG) in either order.
+    for (;;) {
+      if (AcceptKw("LIMIT")) {
+        if (Cur().kind != TokKind::kNumber) return Err("expected LIMIT count");
+        sel->limit = std::atoll(Cur().text.c_str());
+        Advance();
+      } else if (AcceptKw("OFFSET")) {
+        if (Cur().kind != TokKind::kNumber) return Err("expected OFFSET count");
+        sel->offset = std::atoll(Cur().text.c_str());
+        Advance();
+        AcceptKw("ROWS");
+        AcceptKw("ROW");
+      } else {
+        break;
+      }
+    }
+    // DB2 FETCH FIRST n ROWS ONLY.
+    if (AcceptKw("FETCH")) {
+      if (!AcceptKw("FIRST") && !AcceptKw("NEXT")) {
+        return Err("expected FIRST after FETCH");
+      }
+      int64_t n = 1;
+      if (Cur().kind == TokKind::kNumber) {
+        n = std::atoll(Cur().text.c_str());
+        Advance();
+      }
+      if (!AcceptKw("ROWS")) AcceptKw("ROW");
+      DASHDB_RETURN_IF_ERROR(Expect("ONLY"));
+      sel->limit = sel->limit < 0 ? n : std::min(sel->limit, n);
+    }
+    return sel;
+  }
+
+  bool IsClauseKeyword() const {
+    static const char* kw[] = {"FROM",  "WHERE", "GROUP",  "HAVING", "ORDER",
+                               "LIMIT", "OFFSET", "FETCH",  "UNION",  "START",
+                               "CONNECT", "AS",   "ON",     "JOIN",   "INNER",
+                               "LEFT",  "RIGHT", "CROSS",  "USING",  "INTO"};
+    for (const char* k : kw) {
+      if (Cur().text == k && !Cur().quoted) return true;
+    }
+    return false;
+  }
+
+  Status ParseFrom(SelectStmt* sel) {
+    DASHDB_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    sel->from.push_back(std::move(first));
+    for (;;) {
+      if (Accept(",")) {
+        DASHDB_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+        t.join = TableRef::JoinKind::kCross;  // comma join; WHERE holds conds
+        sel->from.push_back(std::move(t));
+        continue;
+      }
+      TableRef::JoinKind kind = TableRef::JoinKind::kNone;
+      if (AcceptKw("INNER")) {
+        kind = TableRef::JoinKind::kInner;
+      } else if (AcceptKw("LEFT")) {
+        AcceptKw("OUTER");
+        kind = TableRef::JoinKind::kLeft;
+      } else if (AcceptKw("RIGHT")) {
+        AcceptKw("OUTER");
+        kind = TableRef::JoinKind::kRight;
+      } else if (AcceptKw("CROSS")) {
+        kind = TableRef::JoinKind::kCross;
+      } else if (IsKw("JOIN")) {
+        kind = TableRef::JoinKind::kInner;
+      } else {
+        break;
+      }
+      if (kind != TableRef::JoinKind::kNone) {
+        DASHDB_RETURN_IF_ERROR(Expect("JOIN"));
+      }
+      DASHDB_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+      t.join = kind;
+      if (AcceptKw("ON")) {
+        DASHDB_ASSIGN_OR_RETURN(t.join_condition, ParseExpr());
+      } else if (AcceptKw("USING")) {
+        DASHDB_RETURN_IF_ERROR(Expect("("));
+        do {
+          DASHDB_ASSIGN_OR_RETURN(std::string c, ExpectIdent());
+          t.using_cols.push_back(std::move(c));
+        } while (Accept(","));
+        DASHDB_RETURN_IF_ERROR(Expect(")"));
+      } else if (kind != TableRef::JoinKind::kCross) {
+        return Err("expected ON or USING");
+      }
+      sel->from.push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef t;
+    if (Accept("(")) {
+      DASHDB_ASSIGN_OR_RETURN(t.subquery, ParseSelect());
+      DASHDB_RETURN_IF_ERROR(Expect(")"));
+    } else {
+      DASHDB_RETURN_IF_ERROR(ParseQualifiedName(&t.schema, &t.table));
+    }
+    if (AcceptKw("AS")) {
+      DASHDB_ASSIGN_OR_RETURN(t.alias, ExpectIdent());
+    } else if (Cur().kind == TokKind::kIdent && !IsClauseKeyword() &&
+               !IsKw("JOIN") && !IsKw("WHERE") && !IsKw("GROUP") &&
+               !IsKw("SET")) {
+      t.alias = Cur().text;
+      Advance();
+    }
+    return t;
+  }
+
+  // ---------------------------------------------------------- expressions --
+  Result<ExprP> ParseExpr() { return ParseOr(); }
+
+  Result<ExprP> ParseOr() {
+    DASHDB_ASSIGN_OR_RETURN(ExprP l, ParseAnd());
+    while (AcceptKw("OR")) {
+      DASHDB_ASSIGN_OR_RETURN(ExprP r, ParseAnd());
+      l = MakeBin(BinOp::kOr, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<ExprP> ParseAnd() {
+    DASHDB_ASSIGN_OR_RETURN(ExprP l, ParseNot());
+    while (AcceptKw("AND")) {
+      DASHDB_ASSIGN_OR_RETURN(ExprP r, ParseNot());
+      l = MakeBin(BinOp::kAnd, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<ExprP> ParseNot() {
+    if (AcceptKw("NOT")) {
+      DASHDB_ASSIGN_OR_RETURN(ExprP c, ParseNot());
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_minus = false;  // logical NOT
+      e->children = {std::move(c)};
+      return e;
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprP> ParsePredicate() {
+    DASHDB_ASSIGN_OR_RETURN(ExprP l, ParseAdditive());
+    for (;;) {
+      // Comparison operators.
+      BinOp op;
+      if (Is("=")) op = BinOp::kEq;
+      else if (Is("<>")) op = BinOp::kNe;
+      else if (Is("<=")) op = BinOp::kLe;
+      else if (Is(">=")) op = BinOp::kGe;
+      else if (Is("<")) op = BinOp::kLt;
+      else if (Is(">")) op = BinOp::kGt;
+      else break;
+      Advance();
+      DASHDB_ASSIGN_OR_RETURN(ExprP r, ParseAdditive());
+      // Oracle (+) marker after either side.
+      if (Accept("(+)")) r->oracle_outer = true;
+      l = MakeBin(op, std::move(l), std::move(r));
+    }
+    // Postfix predicates.
+    for (;;) {
+      if (AcceptKw("IS")) {
+        bool negate = AcceptKw("NOT");
+        DASHDB_RETURN_IF_ERROR(Expect("NULL"));
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kIsNull;
+        e->negate = negate;
+        e->children = {std::move(l)};
+        l = std::move(e);
+        continue;
+      }
+      if (AcceptKw("ISNULL") || AcceptKw("NOTNULL")) {
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kIsNull;
+        e->negate = toks_[pos_ - 1].text == "NOTNULL";
+        e->children = {std::move(l)};
+        l = std::move(e);
+        continue;
+      }
+      if (AcceptKw("ISTRUE") || AcceptKw("ISFALSE")) {
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kIsTrue;
+        e->negate = toks_[pos_ - 1].text == "ISFALSE";
+        e->children = {std::move(l)};
+        l = std::move(e);
+        continue;
+      }
+      bool negate = false;
+      size_t save = pos_;
+      if (AcceptKw("NOT")) negate = true;
+      if (AcceptKw("LIKE")) {
+        if (Cur().kind != TokKind::kString) return Err("expected LIKE pattern");
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kLike;
+        e->negate = negate;
+        e->like_pattern = Cur().text;
+        Advance();
+        e->children = {std::move(l)};
+        l = std::move(e);
+        continue;
+      }
+      if (AcceptKw("IN")) {
+        DASHDB_RETURN_IF_ERROR(Expect("("));
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kInList;
+        e->negate = negate;
+        e->children.push_back(std::move(l));
+        do {
+          DASHDB_ASSIGN_OR_RETURN(ExprP item, ParseExpr());
+          e->children.push_back(std::move(item));
+        } while (Accept(","));
+        DASHDB_RETURN_IF_ERROR(Expect(")"));
+        l = std::move(e);
+        continue;
+      }
+      if (AcceptKw("BETWEEN")) {
+        DASHDB_ASSIGN_OR_RETURN(ExprP lo, ParseAdditive());
+        DASHDB_RETURN_IF_ERROR(Expect("AND"));
+        DASHDB_ASSIGN_OR_RETURN(ExprP hi, ParseAdditive());
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kBetween;
+        e->negate = negate;
+        e->children = {std::move(l), std::move(lo), std::move(hi)};
+        l = std::move(e);
+        continue;
+      }
+      if (AcceptKw("OVERLAPS")) {
+        DASHDB_ASSIGN_OR_RETURN(ExprP r, ParseAdditive());
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kOverlaps;
+        e->children = {std::move(l), std::move(r)};
+        l = std::move(e);
+        continue;
+      }
+      pos_ = save;  // NOT belonged to something else
+      break;
+    }
+    return l;
+  }
+
+  Result<ExprP> ParseAdditive() {
+    DASHDB_ASSIGN_OR_RETURN(ExprP l, ParseMultiplicative());
+    for (;;) {
+      BinOp op;
+      if (Is("+")) op = BinOp::kAdd;
+      else if (Is("-")) op = BinOp::kSub;
+      else if (Is("||")) op = BinOp::kConcat;
+      else break;
+      Advance();
+      DASHDB_ASSIGN_OR_RETURN(ExprP r, ParseMultiplicative());
+      l = MakeBin(op, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<ExprP> ParseMultiplicative() {
+    DASHDB_ASSIGN_OR_RETURN(ExprP l, ParseUnary());
+    for (;;) {
+      BinOp op;
+      if (Is("*")) op = BinOp::kMul;
+      else if (Is("/")) op = BinOp::kDiv;
+      else if (Is("%")) op = BinOp::kMod;
+      else break;
+      Advance();
+      DASHDB_ASSIGN_OR_RETURN(ExprP r, ParseUnary());
+      l = MakeBin(op, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  Result<ExprP> ParseUnary() {
+    if (Accept("-")) {
+      DASHDB_ASSIGN_OR_RETURN(ExprP c, ParseUnary());
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_minus = true;
+      e->children = {std::move(c)};
+      return ParsePostfix(std::move(e));
+    }
+    Accept("+");
+    // DB2: NEXT VALUE FOR seq / PREVIOUS VALUE FOR seq.
+    if ((IsKw("NEXT") || IsKw("PREVIOUS")) && Peek().text == "VALUE") {
+      bool next = IsKw("NEXT");
+      Advance();  // NEXT/PREVIOUS
+      Advance();  // VALUE
+      DASHDB_RETURN_IF_ERROR(Expect("FOR"));
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kSequenceRef;
+      e->seq_nextval = next;
+      DASHDB_ASSIGN_OR_RETURN(e->name, ExpectIdent());
+      return ParsePostfix(std::move(e));
+    }
+    DASHDB_ASSIGN_OR_RETURN(ExprP p, ParsePrimary());
+    return ParsePostfix(std::move(p));
+  }
+
+  /// Postfix '::' casts (Netezza/PG expression::type).
+  Result<ExprP> ParsePostfix(ExprP e) {
+    while (Accept("::")) {
+      DASHDB_ASSIGN_OR_RETURN(std::string tname, ExpectIdent());
+      DASHDB_ASSIGN_OR_RETURN(TypeId t, TypeFromName(tname));
+      auto cast = std::make_shared<Expr>();
+      cast->kind = ExprKind::kCast;
+      cast->cast_type = t;
+      cast->children = {std::move(e)};
+      e = std::move(cast);
+    }
+    return e;
+  }
+
+  Result<ExprP> ParsePrimary() {
+    // Literals.
+    if (Cur().kind == TokKind::kString) {
+      Value v = Value::String(Cur().text);
+      Advance();
+      return MakeLit(std::move(v));
+    }
+    if (Cur().kind == TokKind::kNumber) {
+      std::string s = Cur().text;
+      Advance();
+      if (s.find('.') != std::string::npos ||
+          s.find('E') != std::string::npos ||
+          s.find('e') != std::string::npos) {
+        return MakeLit(Value::Double(std::strtod(s.c_str(), nullptr)));
+      }
+      return MakeLit(Value::Int64(std::strtoll(s.c_str(), nullptr, 10)));
+    }
+    if (Accept("(")) {
+      DASHDB_ASSIGN_OR_RETURN(ExprP e, ParseExpr());
+      if (Accept(",")) {
+        // Row pair "(a, b)" — the operand form of OVERLAPS.
+        auto pair = std::make_shared<Expr>();
+        pair->kind = ExprKind::kFuncCall;
+        pair->name = "$ROW";
+        pair->children.push_back(std::move(e));
+        do {
+          DASHDB_ASSIGN_OR_RETURN(ExprP item, ParseExpr());
+          pair->children.push_back(std::move(item));
+        } while (Accept(","));
+        DASHDB_RETURN_IF_ERROR(Expect(")"));
+        return pair;
+      }
+      DASHDB_RETURN_IF_ERROR(Expect(")"));
+      return e;
+    }
+    if (Is("*")) {
+      Advance();
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kStar;
+      return e;
+    }
+    if (Cur().kind != TokKind::kIdent) return Err("expected expression");
+
+    // Keyword-led forms.
+    if (IsKw("NULL")) {
+      Advance();
+      return MakeLit(Value::Null(TypeId::kVarchar));
+    }
+    if (IsKw("TRUE")) {
+      Advance();
+      return MakeLit(Value::Boolean(true));
+    }
+    if (IsKw("FALSE")) {
+      Advance();
+      return MakeLit(Value::Boolean(false));
+    }
+    if (IsKw("DATE") && Peek().kind == TokKind::kString) {
+      Advance();
+      DASHDB_ASSIGN_OR_RETURN(int32_t days, ParseDate(Cur().text));
+      Advance();
+      return MakeLit(Value::Date(days));
+    }
+    if (IsKw("TIMESTAMP") && Peek().kind == TokKind::kString) {
+      Advance();
+      DASHDB_ASSIGN_OR_RETURN(int64_t us, ParseTimestamp(Cur().text));
+      Advance();
+      return MakeLit(Value::Timestamp(us));
+    }
+    if (IsKw("CASE")) return ParseCase();
+    if (IsKw("CAST")) {
+      Advance();
+      DASHDB_RETURN_IF_ERROR(Expect("("));
+      DASHDB_ASSIGN_OR_RETURN(ExprP inner, ParseExpr());
+      DASHDB_RETURN_IF_ERROR(Expect("AS"));
+      DASHDB_ASSIGN_OR_RETURN(std::string tname, ExpectIdent());
+      if (Accept("(")) {  // length — ignored
+        while (!Is(")") && !AtEnd()) Advance();
+        DASHDB_RETURN_IF_ERROR(Expect(")"));
+      }
+      DASHDB_RETURN_IF_ERROR(Expect(")"));
+      DASHDB_ASSIGN_OR_RETURN(TypeId t, TypeFromName(tname));
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kCast;
+      e->cast_type = t;
+      e->children = {std::move(inner)};
+      return e;
+    }
+    if (IsKw("PRIOR")) {
+      // CONNECT BY PRIOR col — represented as FuncCall "PRIOR"(colref).
+      Advance();
+      DASHDB_ASSIGN_OR_RETURN(ExprP inner, ParsePrimary());
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kFuncCall;
+      e->name = "PRIOR";
+      e->children = {std::move(inner)};
+      return e;
+    }
+
+    // Identifier: column ref, function call, or sequence pseudo-column.
+    DASHDB_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+    if (Is("(")) return ParseFuncCall(std::move(first));
+    if (Accept(".")) {
+      if (Is("*")) {
+        Advance();
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kStar;
+        e->qualifier = first;
+        return e;
+      }
+      DASHDB_ASSIGN_OR_RETURN(std::string second, ExpectIdent());
+      if (second == "NEXTVAL" || second == "CURRVAL") {
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kSequenceRef;
+        e->name = first;
+        e->seq_nextval = second == "NEXTVAL";
+        return e;
+      }
+      ExprP col = MakeCol(first, second);
+      if (Accept("(+)")) col->oracle_outer = true;
+      return col;
+    }
+    ExprP col = MakeCol("", first);
+    if (Accept("(+)")) col->oracle_outer = true;
+    return col;
+  }
+
+  Result<ExprP> ParseFuncCall(std::string name) {
+    DASHDB_RETURN_IF_ERROR(Expect("("));
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kFuncCall;
+    e->name = std::move(name);
+    if (AcceptKw("DISTINCT")) e->distinct_arg = true;
+    if (!Is(")")) {
+      do {
+        DASHDB_ASSIGN_OR_RETURN(ExprP a, ParseExpr());
+        e->children.push_back(std::move(a));
+      } while (Accept(","));
+    }
+    DASHDB_RETURN_IF_ERROR(Expect(")"));
+    // Oracle PERCENTILE_CONT(f) WITHIN GROUP (ORDER BY x).
+    if (AcceptKw("WITHIN")) {
+      DASHDB_RETURN_IF_ERROR(Expect("GROUP"));
+      DASHDB_RETURN_IF_ERROR(Expect("("));
+      DASHDB_RETURN_IF_ERROR(Expect("ORDER"));
+      DASHDB_RETURN_IF_ERROR(Expect("BY"));
+      DASHDB_ASSIGN_OR_RETURN(ExprP x, ParseExpr());
+      AcceptKw("DESC");
+      AcceptKw("ASC");
+      DASHDB_RETURN_IF_ERROR(Expect(")"));
+      e->children.push_back(std::move(x));  // fraction first, then target
+    }
+    return e;
+  }
+
+  Result<ExprP> ParseCase() {
+    Advance();  // CASE
+    auto e = std::make_shared<Expr>();
+    e->kind = ExprKind::kCase;
+    if (!IsKw("WHEN")) {
+      e->has_case_operand = true;
+      DASHDB_ASSIGN_OR_RETURN(ExprP operand, ParseExpr());
+      e->children.push_back(std::move(operand));
+    }
+    while (AcceptKw("WHEN")) {
+      DASHDB_ASSIGN_OR_RETURN(ExprP cond, ParseExpr());
+      DASHDB_RETURN_IF_ERROR(Expect("THEN"));
+      DASHDB_ASSIGN_OR_RETURN(ExprP then, ParseExpr());
+      e->children.push_back(std::move(cond));
+      e->children.push_back(std::move(then));
+    }
+    if (AcceptKw("ELSE")) {
+      DASHDB_ASSIGN_OR_RETURN(e->else_branch, ParseExpr());
+    }
+    DASHDB_RETURN_IF_ERROR(Expect("END"));
+    return e;
+  }
+
+ public:
+  void set_source(std::string s) { source_ = std::move(s); }
+
+ private:
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  std::string source_;
+};
+
+}  // namespace
+
+Result<ast::StatementP> ParseStatement(const std::string& sql) {
+  DASHDB_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(sql));
+  Parser p(std::move(toks));
+  p.set_source(sql);
+  return p.ParseOne();
+}
+
+Result<std::vector<ast::StatementP>> ParseScript(const std::string& sql) {
+  DASHDB_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(sql));
+  Parser p(std::move(toks));
+  p.set_source(sql);
+  return p.ParseAll();
+}
+
+namespace ast {
+ExprP MakeLiteral(Value v) { return MakeLit(std::move(v)); }
+ExprP MakeColumnRef(std::string q, std::string n) {
+  return MakeCol(std::move(q), std::move(n));
+}
+ExprP MakeBinary(BinOp op, ExprP l, ExprP r) {
+  return MakeBin(op, std::move(l), std::move(r));
+}
+}  // namespace ast
+
+}  // namespace dashdb

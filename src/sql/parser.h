@@ -1,0 +1,21 @@
+// Recursive-descent SQL parser covering ANSI SQL plus the dialect surfaces
+// of paper II.C.1: Oracle (DUAL, ROWNUM, (+) outer joins, CONNECT BY,
+// seq.NEXTVAL/CURRVAL, DATE literals), Netezza/PostgreSQL (LIMIT/OFFSET,
+// ::casts, ISNULL/NOTNULL, ISTRUE/ISFALSE, JOIN USING, OVERLAPS, ORDER BY
+// ordinal, CREATE TEMP TABLE), and DB2 (VALUES clause, NEXT VALUE FOR,
+// DECLARE GLOBAL TEMPORARY TABLE, FETCH FIRST n ROWS ONLY).
+#pragma once
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+
+namespace dashdb {
+
+/// Parses one statement (trailing ';' optional).
+Result<ast::StatementP> ParseStatement(const std::string& sql);
+
+/// Splits a script on top-level ';' and parses each statement.
+Result<std::vector<ast::StatementP>> ParseScript(const std::string& sql);
+
+}  // namespace dashdb

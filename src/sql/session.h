@@ -1,0 +1,75 @@
+// SQL session state: the dialect variable (paper II.C.2 — "a session
+// variable is leveraged allowing individual sessions to decide the dialect
+// to use when compiling SQL"), default schema, sequences, and the execution
+// context handed to expressions.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/dialect.h"
+#include "exec/expr.h"
+
+namespace dashdb {
+
+/// One sequence's state (Oracle seq.NEXTVAL/CURRVAL, DB2 NEXT VALUE FOR).
+struct SequenceState {
+  int64_t next = 1;
+  int64_t current = 0;
+  bool has_current = false;
+};
+
+class Session {
+ public:
+  Dialect dialect() const { return dialect_; }
+  void set_dialect(Dialect d) {
+    dialect_ = d;
+    exec_ctx_.dialect = d;
+  }
+
+  const std::string& default_schema() const { return default_schema_; }
+  void set_default_schema(std::string s) { default_schema_ = std::move(s); }
+
+  ExecContext& exec_ctx() { return exec_ctx_; }
+  const ExecContext& exec_ctx() const { return exec_ctx_; }
+
+  /// Sequences are session-scoped in this engine (CURRVAL is per session in
+  /// real systems; NEXTVAL sharing across sessions is out of scope).
+  Status CreateSequence(const std::string& name) {
+    if (sequences_.count(name)) {
+      return Status::AlreadyExists("sequence " + name);
+    }
+    sequences_[name] = SequenceState{};
+    return Status::OK();
+  }
+
+  Result<int64_t> SequenceNext(const std::string& name) {
+    auto it = sequences_.find(name);
+    if (it == sequences_.end()) return Status::NotFound("sequence " + name);
+    it->second.current = it->second.next++;
+    it->second.has_current = true;
+    return it->second.current;
+  }
+
+  Result<int64_t> SequenceCurrent(const std::string& name) const {
+    auto it = sequences_.find(name);
+    if (it == sequences_.end()) return Status::NotFound("sequence " + name);
+    if (!it->second.has_current) {
+      return Status::SemanticError("CURRVAL before NEXTVAL for " + name);
+    }
+    return it->second.current;
+  }
+
+  bool HasSequence(const std::string& name) const {
+    return sequences_.count(name) > 0;
+  }
+
+ private:
+  Dialect dialect_ = Dialect::kAnsi;
+  std::string default_schema_ = "PUBLIC";
+  ExecContext exec_ctx_;
+  std::map<std::string, SequenceState> sequences_;
+};
+
+}  // namespace dashdb

@@ -1,0 +1,126 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dashdb {
+
+namespace {
+constexpr size_t kMaxKeys = 64;  // fanout
+}
+
+struct BPlusTree::Node {
+  bool leaf = true;
+  std::vector<int64_t> keys;
+  // Leaf payload.
+  std::vector<uint64_t> vals;
+  Node* next = nullptr;  // leaf chain for range scans
+  // Internal payload: children.size() == keys.size() + 1.
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+struct BPlusTree::SplitResult {
+  bool split = false;
+  int64_t sep_key = 0;
+  std::unique_ptr<Node> right;
+};
+
+BPlusTree::BPlusTree() : root_(std::make_unique<Node>()) {}
+BPlusTree::~BPlusTree() = default;
+
+BPlusTree::SplitResult BPlusTree::InsertRec(Node* node, int64_t key,
+                                            uint64_t row_id) {
+  if (node->leaf) {
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    size_t pos = it - node->keys.begin();
+    node->keys.insert(it, key);
+    node->vals.insert(node->vals.begin() + pos, row_id);
+    if (node->keys.size() <= kMaxKeys) return {};
+    // Split leaf in half; separator = first key of right node.
+    auto right = std::make_unique<Node>();
+    right->leaf = true;
+    size_t mid = node->keys.size() / 2;
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    right->vals.assign(node->vals.begin() + mid, node->vals.end());
+    node->keys.resize(mid);
+    node->vals.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    SplitResult r;
+    r.split = true;
+    r.sep_key = right->keys.front();
+    r.right = std::move(right);
+    return r;
+  }
+  // Internal: descend into child i where key < keys[i] picks children[i].
+  size_t i = std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+             node->keys.begin();
+  SplitResult child_split = InsertRec(node->children[i].get(), key, row_id);
+  if (!child_split.split) return {};
+  node->keys.insert(node->keys.begin() + i, child_split.sep_key);
+  node->children.insert(node->children.begin() + i + 1,
+                        std::move(child_split.right));
+  if (node->keys.size() <= kMaxKeys) return {};
+  // Split internal: middle key moves up.
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  size_t mid = node->keys.size() / 2;
+  int64_t up = node->keys[mid];
+  right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+  for (size_t k = mid + 1; k < node->children.size(); ++k) {
+    right->children.push_back(std::move(node->children[k]));
+  }
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  SplitResult r;
+  r.split = true;
+  r.sep_key = up;
+  r.right = std::move(right);
+  return r;
+}
+
+void BPlusTree::Insert(int64_t key, uint64_t row_id) {
+  SplitResult r = InsertRec(root_.get(), key, row_id);
+  if (r.split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(r.sep_key);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(r.right));
+    root_ = std::move(new_root);
+    ++height_;
+  }
+  ++size_;
+}
+
+void BPlusTree::SeekRange(
+    int64_t lo, int64_t hi,
+    const std::function<void(int64_t, uint64_t)>& fn) const {
+  if (lo > hi) return;
+  // Descend to the leftmost leaf that could contain lo. lower_bound (not
+  // upper_bound) so that a separator equal to lo sends us LEFT — duplicates
+  // of lo may span the split point.
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t i = std::lower_bound(node->keys.begin(), node->keys.end(), lo) -
+               node->keys.begin();
+    node = node->children[i].get();
+  }
+  // Walk the leaf chain.
+  while (node) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), lo);
+    for (size_t i = it - node->keys.begin(); i < node->keys.size(); ++i) {
+      if (node->keys[i] > hi) return;
+      fn(node->keys[i], node->vals[i]);
+    }
+    node = node->next;
+  }
+}
+
+std::vector<uint64_t> BPlusTree::Lookup(int64_t key) const {
+  std::vector<uint64_t> out;
+  SeekRange(key, key, [&](int64_t, uint64_t v) { out.push_back(v); });
+  return out;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,200 @@
+#include "storage/clusterfs.h"
+
+#include <cstring>
+
+namespace dashdb {
+
+Status ClusterFileSystem::WriteFile(const std::string& path,
+                                    std::vector<uint8_t> bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  files_[path] = std::move(bytes);
+  return Status::OK();
+}
+
+Result<const std::vector<uint8_t>*> ClusterFileSystem::ReadFile(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("file " + path);
+  return &it->second;
+}
+
+bool ClusterFileSystem::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return files_.count(path) > 0;
+}
+
+Status ClusterFileSystem::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (files_.erase(path) == 0) return Status::NotFound("file " + path);
+  return Status::OK();
+}
+
+std::vector<std::string> ClusterFileSystem::List(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && it->first.rfind(prefix, 0) == 0; ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+size_t ClusterFileSystem::TotalBytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t total = 0;
+  for (const auto& [p, b] : files_) total += b.size();
+  return total;
+}
+
+size_t ClusterFileSystem::FileCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return files_.size();
+}
+
+namespace {
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (i * 8)) & 0xFF);
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t{p[i]} << (i * 8);
+  return v;
+}
+
+}  // namespace
+
+void SerializeBatch(const TableSchema& schema, const RowBatch& batch,
+                    std::vector<uint8_t>* out) {
+  const size_t n = batch.num_rows();
+  PutU64(out, n);
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    const ColumnVector& cv = batch.columns[c];
+    TypeId t = schema.column(c).type;
+    // Null bitmap.
+    for (size_t i = 0; i < n; ++i) out->push_back(cv.IsNull(i) ? 1 : 0);
+    if (t == TypeId::kVarchar) {
+      for (size_t i = 0; i < n; ++i) {
+        const std::string& s = cv.IsNull(i) ? std::string() : cv.GetString(i);
+        PutU64(out, s.size());
+        out->insert(out->end(), s.begin(), s.end());
+      }
+    } else if (t == TypeId::kDouble) {
+      for (size_t i = 0; i < n; ++i) {
+        double d = cv.IsNull(i) ? 0 : cv.GetDouble(i);
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        PutU64(out, bits);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        PutU64(out, static_cast<uint64_t>(cv.IsNull(i) ? 0 : cv.GetInt(i)));
+      }
+    }
+  }
+}
+
+Result<RowBatch> DeserializeBatch(const TableSchema& schema,
+                                  const uint8_t* data, size_t len) {
+  size_t pos = 0;
+  auto need = [&](size_t k) -> Status {
+    if (pos + k > len) return Status::IOError("truncated batch file");
+    return Status::OK();
+  };
+  DASHDB_RETURN_IF_ERROR(need(8));
+  const size_t n = GetU64(data + pos);
+  pos += 8;
+  RowBatch batch;
+  batch.columns.reserve(schema.num_columns());
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    TypeId t = schema.column(c).type;
+    ColumnVector cv(t);
+    cv.Reserve(n);
+    DASHDB_RETURN_IF_ERROR(need(n));
+    const uint8_t* nulls = data + pos;
+    pos += n;
+    if (t == TypeId::kVarchar) {
+      for (size_t i = 0; i < n; ++i) {
+        DASHDB_RETURN_IF_ERROR(need(8));
+        size_t sl = GetU64(data + pos);
+        pos += 8;
+        DASHDB_RETURN_IF_ERROR(need(sl));
+        if (nulls[i]) {
+          cv.AppendNull();
+        } else {
+          cv.AppendString(
+              std::string(reinterpret_cast<const char*>(data + pos), sl));
+        }
+        pos += sl;
+      }
+    } else if (t == TypeId::kDouble) {
+      DASHDB_RETURN_IF_ERROR(need(8 * n));
+      for (size_t i = 0; i < n; ++i) {
+        if (nulls[i]) {
+          cv.AppendNull();
+        } else {
+          uint64_t bits = GetU64(data + pos + i * 8);
+          double d;
+          std::memcpy(&d, &bits, 8);
+          cv.AppendDouble(d);
+        }
+      }
+      pos += 8 * n;
+    } else {
+      DASHDB_RETURN_IF_ERROR(need(8 * n));
+      for (size_t i = 0; i < n; ++i) {
+        if (nulls[i]) {
+          cv.AppendNull();
+        } else {
+          cv.AppendInt(static_cast<int64_t>(GetU64(data + pos + i * 8)));
+        }
+      }
+      pos += 8 * n;
+    }
+    batch.columns.push_back(std::move(cv));
+  }
+  return batch;
+}
+
+Status SaveColumnTable(const ColumnTable& table, ClusterFileSystem* fs,
+                       const std::string& prefix) {
+  // Gather live rows in one batch (file sets at our scales are modest).
+  RowBatch all;
+  const TableSchema& schema = table.schema();
+  all.columns.reserve(schema.num_columns());
+  std::vector<int> projection;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    all.columns.emplace_back(schema.column(c).type);
+    projection.push_back(c);
+  }
+  ScanOptions opts;
+  DASHDB_RETURN_IF_ERROR(table.Scan(
+      {}, projection, opts,
+      [&](RowBatch& b, const std::vector<uint64_t>&) {
+        for (int c = 0; c < schema.num_columns(); ++c) {
+          for (size_t i = 0; i < b.num_rows(); ++i) {
+            all.columns[c].AppendFrom(b.columns[c], i);
+          }
+        }
+      }));
+  std::vector<uint8_t> bytes;
+  SerializeBatch(schema, all, &bytes);
+  return fs->WriteFile(prefix + "/data.bin", std::move(bytes));
+}
+
+Result<std::shared_ptr<ColumnTable>> LoadColumnTable(
+    const TableSchema& schema, uint64_t table_id, const ClusterFileSystem& fs,
+    const std::string& prefix) {
+  DASHDB_ASSIGN_OR_RETURN(const std::vector<uint8_t>* bytes,
+                          fs.ReadFile(prefix + "/data.bin"));
+  DASHDB_ASSIGN_OR_RETURN(RowBatch batch,
+                          DeserializeBatch(schema, bytes->data(), bytes->size()));
+  auto table = std::make_shared<ColumnTable>(schema, table_id);
+  DASHDB_RETURN_IF_ERROR(table->Load(batch));
+  return table;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,57 @@
+// Simulated POSIX-compliant clustered filesystem (paper II.A/II.E): the
+// user-provided shared storage mounted at /mnt/clusterfs that every node
+// sees. Shard file sets live here, which is what makes shard reassociation
+// (HA, elasticity, full-cluster portability) a pure metadata operation.
+//
+// In-memory path->blob store with prefix listing; all nodes of the
+// simulated cluster share one instance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/column_vector.h"
+#include "common/status.h"
+#include "storage/column_table.h"
+
+namespace dashdb {
+
+class ClusterFileSystem {
+ public:
+  Status WriteFile(const std::string& path, std::vector<uint8_t> bytes);
+  /// Pointer valid until the file is removed/overwritten.
+  Result<const std::vector<uint8_t>*> ReadFile(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  Status Remove(const std::string& path);
+  /// Paths beginning with `prefix`, sorted.
+  std::vector<std::string> List(const std::string& prefix) const;
+  size_t TotalBytes() const;
+  size_t FileCount() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<uint8_t>> files_;
+};
+
+/// Binary row-batch serialization (shard file-set payload format).
+void SerializeBatch(const TableSchema& schema, const RowBatch& batch,
+                    std::vector<uint8_t>* out);
+Result<RowBatch> DeserializeBatch(const TableSchema& schema,
+                                  const uint8_t* data, size_t len);
+
+/// Persists a column table's live rows as one file set under `prefix`.
+Status SaveColumnTable(const ColumnTable& table, ClusterFileSystem* fs,
+                       const std::string& prefix);
+
+/// Rebuilds a column table (re-analyzing and re-encoding) from a file set.
+Result<std::shared_ptr<ColumnTable>> LoadColumnTable(const TableSchema& schema,
+                                                     uint64_t table_id,
+                                                     const ClusterFileSystem& fs,
+                                                     const std::string& prefix);
+
+}  // namespace dashdb

@@ -1,0 +1,531 @@
+#include "storage/column_page.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "simd/swar.h"
+
+namespace dashdb {
+
+namespace {
+
+/// Copies nulls[null_offset .. null_offset+n) into a page-local bitmap.
+/// Returns true when any bit is set.
+bool SliceNulls(const BitVector* nulls, size_t null_offset, size_t n,
+                BitVector* out) {
+  if (!nulls || nulls->size() == 0) return false;
+  out->Resize(n);
+  bool any = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (null_offset + i < nulls->size() && nulls->Get(null_offset + i)) {
+      out->Set(i);
+      any = true;
+    }
+  }
+  return any;
+}
+
+int OffsetWidth(size_t n) { return BitWidthFor(n > 1 ? n - 1 : 1); }
+
+/// Value-domain range check shared by exception cells and naive paths.
+inline bool InIntRange(int64_t v, const IntRangePred& p) {
+  if (p.lo) {
+    if (p.lo_incl ? v < *p.lo : v <= *p.lo) return false;
+  }
+  if (p.hi) {
+    if (p.hi_incl ? v > *p.hi : v >= *p.hi) return false;
+  }
+  return true;
+}
+
+inline bool InStrRange(const std::string& v, const StrRangePred& p) {
+  if (p.lo) {
+    if (p.lo_incl ? v < *p.lo : v <= *p.lo) return false;
+  }
+  if (p.hi) {
+    if (p.hi_incl ? v > *p.hi : v >= *p.hi) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t ColumnPage::ByteSize() const {
+  size_t b = sizeof(uint32_t) + 2;  // header
+  if (has_nulls) b += (num_rows + 7) / 8;
+  for (const auto& c : cells) {
+    b += c.codes.ByteSize() + c.offsets.ByteSize() + 2;
+  }
+  b += exc_ints.size() * sizeof(int64_t);
+  for (const auto& s : exc_strs) b += s.size() + 2;
+  b += exc_offsets.size() * sizeof(uint32_t);
+  if (encoding == PageEncoding::kFor) b += fo.ByteSize();
+  b += ordered_codes.ByteSize();
+  b += raw_ints.size() * sizeof(int64_t);
+  b += raw_doubles.size() * sizeof(double);
+  for (const auto& s : raw_strings) b += s.size() + 2;
+  return b;
+}
+
+std::unique_ptr<ColumnPage> BuildIntPage(const int64_t* values, size_t n,
+                                         const BitVector* nulls,
+                                         size_t null_offset,
+                                         const IntFrequencyDict* dict) {
+  auto page = std::make_unique<ColumnPage>();
+  page->num_rows = static_cast<uint32_t>(n);
+  page->has_nulls = SliceNulls(nulls, null_offset, n, &page->nulls);
+
+  if (!dict) {
+    page->encoding = PageEncoding::kFor;
+    page->fo = ForEncode(values, n,
+                         page->has_nulls ? &page->nulls : nullptr);
+    return page;
+  }
+
+  if (dict->is_single_partition()) {
+    // Row-order single-dictionary page: globally order-preserving codes,
+    // no tuple map needed.
+    page->encoding = PageEncoding::kDictInt;
+    page->ordered_codes.ResetWidth(dict->single_width());
+    page->ordered_codes.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (page->has_nulls && page->nulls.Get(i)) {
+        page->ordered_codes.Append(0);
+        continue;
+      }
+      auto pc = dict->Encode(values[i]);
+      if (pc) {
+        page->ordered_codes.Append(pc->code);
+      } else {
+        page->ordered_codes.Append(0);
+        page->exc_ints.push_back(values[i]);
+        page->exc_offsets.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return page;
+  }
+  page->encoding = PageEncoding::kFrequencyInt;
+  // Bucket rows into per-partition cells (the BLU "cell" layout).
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> buckets(
+      dict->num_partitions());  // (code, offset)
+  for (size_t i = 0; i < n; ++i) {
+    if (page->has_nulls && page->nulls.Get(i)) continue;
+    auto pc = dict->Encode(values[i]);
+    if (pc) {
+      buckets[pc->partition].emplace_back(pc->code, static_cast<uint32_t>(i));
+    } else {
+      page->exc_ints.push_back(values[i]);
+      page->exc_offsets.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  const int off_w = OffsetWidth(n);
+  for (int p = 0; p < dict->num_partitions(); ++p) {
+    if (buckets[p].empty()) continue;
+    ColumnPage::Cell cell;
+    cell.partition = static_cast<uint8_t>(p);
+    cell.codes.ResetWidth(dict->partition_width(p));
+    cell.offsets.ResetWidth(off_w);
+    cell.codes.Reserve(buckets[p].size());
+    cell.offsets.Reserve(buckets[p].size());
+    for (auto [code, off] : buckets[p]) {
+      cell.codes.Append(code);
+      cell.offsets.Append(off);
+    }
+    page->cells.push_back(std::move(cell));
+  }
+  return page;
+}
+
+std::unique_ptr<ColumnPage> BuildStringPage(const std::string* values,
+                                            size_t n, const BitVector* nulls,
+                                            size_t null_offset,
+                                            const StringFrequencyDict* dict) {
+  auto page = std::make_unique<ColumnPage>();
+  page->num_rows = static_cast<uint32_t>(n);
+  page->has_nulls = SliceNulls(nulls, null_offset, n, &page->nulls);
+
+  if (!dict) {
+    page->encoding = PageEncoding::kRawString;
+    page->raw_strings.assign(values, values + n);
+    return page;
+  }
+  if (dict->is_single_partition()) {
+    page->encoding = PageEncoding::kDictString;
+    page->ordered_codes.ResetWidth(dict->single_width());
+    page->ordered_codes.Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (page->has_nulls && page->nulls.Get(i)) {
+        page->ordered_codes.Append(0);
+        continue;
+      }
+      auto pc = dict->Encode(values[i]);
+      if (pc) {
+        page->ordered_codes.Append(pc->code);
+      } else {
+        page->ordered_codes.Append(0);
+        page->exc_strs.push_back(values[i]);
+        page->exc_offsets.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    return page;
+  }
+  page->encoding = PageEncoding::kFrequencyString;
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> buckets(
+      dict->num_partitions());
+  for (size_t i = 0; i < n; ++i) {
+    if (page->has_nulls && page->nulls.Get(i)) continue;
+    auto pc = dict->Encode(values[i]);
+    if (pc) {
+      buckets[pc->partition].emplace_back(pc->code, static_cast<uint32_t>(i));
+    } else {
+      page->exc_strs.push_back(values[i]);
+      page->exc_offsets.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  const int off_w = OffsetWidth(n);
+  for (int p = 0; p < dict->num_partitions(); ++p) {
+    if (buckets[p].empty()) continue;
+    ColumnPage::Cell cell;
+    cell.partition = static_cast<uint8_t>(p);
+    cell.codes.ResetWidth(dict->partition_width(p));
+    cell.offsets.ResetWidth(off_w);
+    for (auto [code, off] : buckets[p]) {
+      cell.codes.Append(code);
+      cell.offsets.Append(off);
+    }
+    page->cells.push_back(std::move(cell));
+  }
+  return page;
+}
+
+std::unique_ptr<ColumnPage> BuildDoublePage(const double* values, size_t n,
+                                            const BitVector* nulls,
+                                            size_t null_offset) {
+  auto page = std::make_unique<ColumnPage>();
+  page->encoding = PageEncoding::kRawDouble;
+  page->num_rows = static_cast<uint32_t>(n);
+  page->has_nulls = SliceNulls(nulls, null_offset, n, &page->nulls);
+  page->raw_doubles.assign(values, values + n);
+  return page;
+}
+
+namespace {
+
+/// Applies a code range over one cell, mapping matching cell positions back
+/// through the tuple map into page-row match bits.
+void ApplyCellRange(const ColumnPage::Cell& cell, const CodeRange& r,
+                    size_t partition_size, bool use_swar, BitVector* out) {
+  const size_t cn = cell.codes.size();
+  if (r.lo == 0 && r.hi + 1 >= partition_size) {
+    // Whole partition qualifies: every row of this cell matches without
+    // looking at a single code (pure metadata decision).
+    for (size_t i = 0; i < cn; ++i) {
+      out->Set(cell.offsets.Get(i));
+    }
+    return;
+  }
+  if (use_swar) {
+    BitVector cell_match(cn);
+    SwarBetween(cell.codes, cn, r.lo, r.hi, &cell_match);
+    cell_match.ForEachSet(
+        [&](size_t pos) { out->Set(cell.offsets.Get(pos)); });
+  } else {
+    for (size_t i = 0; i < cn; ++i) {
+      uint64_t c = cell.codes.Get(i);
+      if (c >= r.lo && c <= r.hi) out->Set(cell.offsets.Get(i));
+    }
+  }
+}
+
+}  // namespace
+
+void EvalIntRange(const ColumnPage& page, const IntFrequencyDict* dict,
+                  const IntRangePred& pred, bool use_swar, bool on_compressed,
+                  BitVector* out) {
+  assert(out->size() >= page.num_rows);
+  if (!on_compressed) {
+    // Naive competitor: decode everything, compare in the value domain.
+    ColumnVector tmp(TypeId::kInt64);
+    tmp.Reserve(page.num_rows);
+    DecodeIntPage(page, dict, nullptr, &tmp);
+    for (size_t i = 0; i < tmp.size(); ++i) {
+      if (!tmp.IsNull(i) && InIntRange(tmp.GetInt(i), pred)) out->Set(i);
+    }
+    return;
+  }
+  switch (page.encoding) {
+    case PageEncoding::kFrequencyInt: {
+      const int64_t* lo = pred.lo ? &*pred.lo : nullptr;
+      const int64_t* hi = pred.hi ? &*pred.hi : nullptr;
+      for (const auto& cell : page.cells) {
+        CodeRange r = dict->RangeFor(cell.partition, lo, pred.lo_incl, hi,
+                                     pred.hi_incl);
+        if (r.empty()) continue;  // cell skipped entirely
+        ApplyCellRange(cell, r, dict->partition_size(cell.partition), use_swar,
+                       out);
+      }
+      for (size_t i = 0; i < page.exc_ints.size(); ++i) {
+        if (InIntRange(page.exc_ints[i], pred)) out->Set(page.exc_offsets[i]);
+      }
+      break;
+    }
+    case PageEncoding::kDictInt: {
+      const int64_t* lo = pred.lo ? &*pred.lo : nullptr;
+      const int64_t* hi = pred.hi ? &*pred.hi : nullptr;
+      CodeRange r = dict->RangeFor(0, lo, pred.lo_incl, hi, pred.hi_incl);
+      if (!r.empty()) {
+        if (use_swar) {
+          SwarBetween(page.ordered_codes, page.num_rows, r.lo, r.hi, out);
+        } else {
+          for (size_t i = 0; i < page.num_rows; ++i) {
+            uint64_t c = page.ordered_codes.Get(i);
+            if (c >= r.lo && c <= r.hi) out->Set(i);
+          }
+        }
+        // NULLs and exceptions were stored as code 0 and may have matched.
+        if (page.has_nulls) {
+          page.nulls.ForEachSet([&](size_t i) { out->Clear(i); });
+        }
+        for (uint32_t off : page.exc_offsets) out->Clear(off);
+      }
+      for (size_t i = 0; i < page.exc_ints.size(); ++i) {
+        if (InIntRange(page.exc_ints[i], pred)) out->Set(page.exc_offsets[i]);
+      }
+      break;
+    }
+    case PageEncoding::kFor: {
+      const int64_t* lo = pred.lo ? &*pred.lo : nullptr;
+      const int64_t* hi = pred.hi ? &*pred.hi : nullptr;
+      auto r = ForRangeFor(page.fo, lo, pred.lo_incl, hi, pred.hi_incl);
+      if (!r) break;
+      if (use_swar) {
+        SwarBetween(page.fo.codes, page.num_rows, r->lo, r->hi, out);
+      } else {
+        for (size_t i = 0; i < page.num_rows; ++i) {
+          uint64_t c = page.fo.codes.Get(i);
+          if (c >= r->lo && c <= r->hi) out->Set(i);
+        }
+      }
+      if (page.has_nulls) {
+        // NULLs were stored as code 0 and may have matched.
+        page.nulls.ForEachSet([&](size_t i) { out->Clear(i); });
+      }
+      break;
+    }
+    case PageEncoding::kRawInt: {
+      for (size_t i = 0; i < page.num_rows; ++i) {
+        if (page.has_nulls && page.nulls.Get(i)) continue;
+        if (InIntRange(page.raw_ints[i], pred)) out->Set(i);
+      }
+      break;
+    }
+    default:
+      assert(false && "EvalIntRange on non-integer page");
+  }
+}
+
+void EvalStringRange(const ColumnPage& page, const StringFrequencyDict* dict,
+                     const StrRangePred& pred, bool use_swar,
+                     bool on_compressed, BitVector* out) {
+  assert(out->size() >= page.num_rows);
+  if (page.encoding == PageEncoding::kRawString || !on_compressed) {
+    if (page.encoding == PageEncoding::kRawString) {
+      for (size_t i = 0; i < page.num_rows; ++i) {
+        if (page.has_nulls && page.nulls.Get(i)) continue;
+        if (InStrRange(page.raw_strings[i], pred)) out->Set(i);
+      }
+    } else {
+      ColumnVector tmp(TypeId::kVarchar);
+      DecodeStringPage(page, dict, nullptr, &tmp);
+      for (size_t i = 0; i < tmp.size(); ++i) {
+        if (!tmp.IsNull(i) && InStrRange(tmp.GetString(i), pred)) out->Set(i);
+      }
+    }
+    return;
+  }
+  if (page.encoding == PageEncoding::kDictString) {
+    const std::string* lo = pred.lo ? &*pred.lo : nullptr;
+    const std::string* hi = pred.hi ? &*pred.hi : nullptr;
+    CodeRange r = dict->RangeFor(0, lo, pred.lo_incl, hi, pred.hi_incl);
+    if (!r.empty()) {
+      if (use_swar) {
+        SwarBetween(page.ordered_codes, page.num_rows, r.lo, r.hi, out);
+      } else {
+        for (size_t i = 0; i < page.num_rows; ++i) {
+          uint64_t c = page.ordered_codes.Get(i);
+          if (c >= r.lo && c <= r.hi) out->Set(i);
+        }
+      }
+      if (page.has_nulls) {
+        page.nulls.ForEachSet([&](size_t i) { out->Clear(i); });
+      }
+      for (uint32_t off : page.exc_offsets) out->Clear(off);
+    }
+    for (size_t i = 0; i < page.exc_strs.size(); ++i) {
+      if (InStrRange(page.exc_strs[i], pred)) out->Set(page.exc_offsets[i]);
+    }
+    return;
+  }
+  assert(page.encoding == PageEncoding::kFrequencyString);
+  const std::string* lo = pred.lo ? &*pred.lo : nullptr;
+  const std::string* hi = pred.hi ? &*pred.hi : nullptr;
+  for (const auto& cell : page.cells) {
+    CodeRange r =
+        dict->RangeFor(cell.partition, lo, pred.lo_incl, hi, pred.hi_incl);
+    if (r.empty()) continue;
+    ApplyCellRange(cell, r, dict->partition_size(cell.partition), use_swar,
+                   out);
+  }
+  for (size_t i = 0; i < page.exc_strs.size(); ++i) {
+    if (InStrRange(page.exc_strs[i], pred)) out->Set(page.exc_offsets[i]);
+  }
+}
+
+void EvalDoubleRange(const ColumnPage& page, double lo, bool has_lo,
+                     bool lo_incl, double hi, bool has_hi, bool hi_incl,
+                     BitVector* out) {
+  assert(page.encoding == PageEncoding::kRawDouble);
+  for (size_t i = 0; i < page.num_rows; ++i) {
+    if (page.has_nulls && page.nulls.Get(i)) continue;
+    double v = page.raw_doubles[i];
+    if (has_lo && (lo_incl ? v < lo : v <= lo)) continue;
+    if (has_hi && (hi_incl ? v > hi : v >= hi)) continue;
+    out->Set(i);
+  }
+}
+
+void DecodeIntPage(const ColumnPage& page, const IntFrequencyDict* dict,
+                   const BitVector* sel, ColumnVector* out) {
+  const size_t n = page.num_rows;
+  auto emit = [&](auto value_at) {
+    for (size_t i = 0; i < n; ++i) {
+      if (sel && !sel->Get(i)) continue;
+      if (page.has_nulls && page.nulls.Get(i)) {
+        out->AppendNull();
+      } else {
+        out->AppendInt(value_at(i));
+      }
+    }
+  };
+  switch (page.encoding) {
+    case PageEncoding::kFrequencyInt: {
+      std::vector<int64_t> vals(n, 0);
+      for (const auto& cell : page.cells) {
+        const size_t cn = cell.codes.size();
+        for (size_t i = 0; i < cn; ++i) {
+          vals[cell.offsets.Get(i)] =
+              dict->Decode(cell.partition,
+                           static_cast<uint32_t>(cell.codes.Get(i)));
+        }
+      }
+      for (size_t i = 0; i < page.exc_ints.size(); ++i) {
+        vals[page.exc_offsets[i]] = page.exc_ints[i];
+      }
+      emit([&](size_t i) { return vals[i]; });
+      break;
+    }
+    case PageEncoding::kDictInt: {
+      // Exception overrides first (rows with code 0 that are not NULL).
+      std::vector<std::pair<uint32_t, int64_t>> exc;
+      exc.reserve(page.exc_ints.size());
+      for (size_t i = 0; i < page.exc_ints.size(); ++i) {
+        exc.emplace_back(page.exc_offsets[i], page.exc_ints[i]);
+      }
+      size_t next_exc = 0;
+      emit([&](size_t i) {
+        while (next_exc < exc.size() && exc[next_exc].first < i) ++next_exc;
+        if (next_exc < exc.size() && exc[next_exc].first == i) {
+          return exc[next_exc].second;
+        }
+        return dict->Decode(
+            0, static_cast<uint32_t>(page.ordered_codes.Get(i)));
+      });
+      break;
+    }
+    case PageEncoding::kFor:
+      emit([&](size_t i) { return page.fo.Get(i); });
+      break;
+    case PageEncoding::kRawInt:
+      emit([&](size_t i) { return page.raw_ints[i]; });
+      break;
+    default:
+      assert(false && "DecodeIntPage on non-integer page");
+  }
+}
+
+void DecodeStringPage(const ColumnPage& page, const StringFrequencyDict* dict,
+                      const BitVector* sel, ColumnVector* out) {
+  const size_t n = page.num_rows;
+  if (page.encoding == PageEncoding::kRawString) {
+    for (size_t i = 0; i < n; ++i) {
+      if (sel && !sel->Get(i)) continue;
+      if (page.has_nulls && page.nulls.Get(i)) {
+        out->AppendNull();
+      } else {
+        out->AppendString(page.raw_strings[i]);
+      }
+    }
+    return;
+  }
+  if (page.encoding == PageEncoding::kDictString) {
+    std::vector<std::pair<uint32_t, uint32_t>> exc;  // offset -> exc index
+    exc.reserve(page.exc_strs.size());
+    for (size_t i = 0; i < page.exc_strs.size(); ++i) {
+      exc.emplace_back(page.exc_offsets[i], static_cast<uint32_t>(i));
+    }
+    size_t next_exc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (sel && !sel->Get(i)) continue;
+      while (next_exc < exc.size() && exc[next_exc].first < i) ++next_exc;
+      if (page.has_nulls && page.nulls.Get(i)) {
+        out->AppendNull();
+      } else if (next_exc < exc.size() && exc[next_exc].first == i) {
+        out->AppendString(page.exc_strs[exc[next_exc].second]);
+      } else {
+        out->AppendString(dict->Decode(
+            0, static_cast<uint32_t>(page.ordered_codes.Get(i))));
+      }
+    }
+    return;
+  }
+  assert(page.encoding == PageEncoding::kFrequencyString);
+  // Decode codes to a temp map, then materialize strings only for selected
+  // rows (string construction is the expensive part).
+  std::vector<PartitionCode> pcs(n, {kExceptionPartition, 0});
+  for (const auto& cell : page.cells) {
+    const size_t cn = cell.codes.size();
+    for (size_t i = 0; i < cn; ++i) {
+      pcs[cell.offsets.Get(i)] = {cell.partition,
+                                  static_cast<uint32_t>(cell.codes.Get(i))};
+    }
+  }
+  std::vector<uint32_t> exc_index(n, 0);
+  for (size_t i = 0; i < page.exc_strs.size(); ++i) {
+    exc_index[page.exc_offsets[i]] = static_cast<uint32_t>(i);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (sel && !sel->Get(i)) continue;
+    if (page.has_nulls && page.nulls.Get(i)) {
+      out->AppendNull();
+    } else if (pcs[i].partition == kExceptionPartition) {
+      out->AppendString(page.exc_strs[exc_index[i]]);
+    } else {
+      out->AppendString(dict->Decode(pcs[i].partition, pcs[i].code));
+    }
+  }
+}
+
+void DecodeDoublePage(const ColumnPage& page, const BitVector* sel,
+                      ColumnVector* out) {
+  assert(page.encoding == PageEncoding::kRawDouble);
+  for (size_t i = 0; i < page.num_rows; ++i) {
+    if (sel && !sel->Get(i)) continue;
+    if (page.has_nulls && page.nulls.Get(i)) {
+      out->AppendNull();
+    } else {
+      out->AppendDouble(page.raw_doubles[i]);
+    }
+  }
+}
+
+}  // namespace dashdb

@@ -1,0 +1,146 @@
+// Column-organized storage pages (paper II.B.3).
+//
+// Each page holds kPageRows values of ONE column. Frequency-encoded pages
+// group tuples into per-partition *cells*: all values belonging to
+// frequency partition p are bit-packed together at p's code width, along
+// with a bit-packed tuple map (original row offsets), so predicates run on
+// whole packed words per cell (SWAR) and entire cells are skipped when the
+// partition's dictionary slice cannot satisfy the predicate. High-cardinality
+// numeric pages use minus/FOR encoding in row order. Exceptions (values
+// absent from the column dictionary, e.g. post-load inserts) live in a raw
+// exception cell.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/column_vector.h"
+#include "compression/for_encoding.h"
+#include "compression/frequency_dict.h"
+
+namespace dashdb {
+
+/// Rows per column page (4 synopsis strides of 1024).
+inline constexpr size_t kPageRows = 4096;
+
+enum class PageEncoding : uint8_t {
+  kFrequencyInt = 0,   ///< per-partition cells + tuple map
+  kFrequencyString,
+  kDictInt,            ///< single-partition dict codes in row order
+  kDictString,
+  kFor,
+  kRawInt,
+  kRawDouble,
+  kRawString,
+};
+
+/// Inclusive/exclusive range predicate over the integer domain; either
+/// bound optional. Equality is lo == hi (both inclusive).
+struct IntRangePred {
+  std::optional<int64_t> lo;
+  bool lo_incl = true;
+  std::optional<int64_t> hi;
+  bool hi_incl = true;
+};
+
+/// Same over strings.
+struct StrRangePred {
+  std::optional<std::string> lo;
+  bool lo_incl = true;
+  std::optional<std::string> hi;
+  bool hi_incl = true;
+};
+
+/// One column page. A tagged struct rather than a class hierarchy: pages
+/// are bulk data, and the executor switches on the encoding once per page.
+struct ColumnPage {
+  PageEncoding encoding = PageEncoding::kRawInt;
+  uint32_t num_rows = 0;
+
+  bool has_nulls = false;
+  BitVector nulls;  ///< sized num_rows when has_nulls
+
+  /// Frequency encoding: one cell per populated partition.
+  struct Cell {
+    uint8_t partition = 0;
+    BitPackedArray codes;    ///< partition-width codes, cell order
+    BitPackedArray offsets;  ///< original row offsets, width log2(num_rows)
+  };
+  std::vector<Cell> cells;
+
+  /// Exception cell: values not in the column dictionary.
+  std::vector<int64_t> exc_ints;
+  std::vector<std::string> exc_strs;
+  std::vector<uint32_t> exc_offsets;
+
+  /// kDict* payload: single-partition dictionary codes in row order
+  /// (NULL and exception rows hold code 0, masked on eval/decode).
+  BitPackedArray ordered_codes;
+
+  /// kFor payload.
+  ForEncoded fo;
+
+  /// Raw payloads.
+  std::vector<int64_t> raw_ints;
+  std::vector<double> raw_doubles;
+  std::vector<std::string> raw_strings;
+
+  /// Compressed footprint in bytes (buffer-pool charge and compression
+  /// accounting). Excludes the column-level dictionary, which is shared.
+  size_t ByteSize() const;
+};
+
+/// Builds a page over integer-domain values[0..n). When `dict` is non-null
+/// the page is frequency-encoded (values missing from the dictionary go to
+/// the exception cell); otherwise FOR-encoded. `nulls`/`null_offset`
+/// describe which of these rows are NULL (may be null).
+std::unique_ptr<ColumnPage> BuildIntPage(const int64_t* values, size_t n,
+                                         const BitVector* nulls,
+                                         size_t null_offset,
+                                         const IntFrequencyDict* dict);
+
+/// Builds a VARCHAR page: frequency-encoded when `dict` given, else raw.
+std::unique_ptr<ColumnPage> BuildStringPage(const std::string* values,
+                                            size_t n, const BitVector* nulls,
+                                            size_t null_offset,
+                                            const StringFrequencyDict* dict);
+
+/// Builds a raw DOUBLE page.
+std::unique_ptr<ColumnPage> BuildDoublePage(const double* values, size_t n,
+                                            const BitVector* nulls,
+                                            size_t null_offset);
+
+/// Evaluates an integer range predicate over a page, OR-setting match bits
+/// (rows are page-local). NULL rows never match. `use_swar` selects the
+/// SWAR kernels vs scalar code comparison; `on_compressed` false forces the
+/// naive-competitor path (decode every value, compare in the value domain).
+void EvalIntRange(const ColumnPage& page, const IntFrequencyDict* dict,
+                  const IntRangePred& pred, bool use_swar, bool on_compressed,
+                  BitVector* out);
+
+/// Same for VARCHAR pages.
+void EvalStringRange(const ColumnPage& page, const StringFrequencyDict* dict,
+                     const StrRangePred& pred, bool use_swar,
+                     bool on_compressed, BitVector* out);
+
+/// Evaluates a DOUBLE range (raw pages only).
+void EvalDoubleRange(const ColumnPage& page, double lo, bool has_lo,
+                     bool lo_incl, double hi, bool has_hi, bool hi_incl,
+                     BitVector* out);
+
+/// Decodes rows of an integer-domain page into *out (appending). When `sel`
+/// given, only selected rows are appended, in row order.
+void DecodeIntPage(const ColumnPage& page, const IntFrequencyDict* dict,
+                   const BitVector* sel, ColumnVector* out);
+
+void DecodeStringPage(const ColumnPage& page, const StringFrequencyDict* dict,
+                      const BitVector* sel, ColumnVector* out);
+
+void DecodeDoublePage(const ColumnPage& page, const BitVector* sel,
+                      ColumnVector* out);
+
+}  // namespace dashdb

@@ -1,0 +1,205 @@
+// Column-organized table: the dashDB storage engine's primary object.
+//
+// A table holds, per column: a global compression decision (frequency
+// dictionary or minus/FOR), the encoded pages, and the data-skipping
+// synopsis. Bulk loads analyze the data and build dictionaries; trickle
+// INSERTs land in an uncompressed tail region that is encoded page-by-page
+// as it fills (unseen values become page exceptions). DELETE marks a
+// per-table deleted bitmap; UPDATE is delete + re-insert (executor-driven).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bufferpool/bufferpool.h"
+#include "storage/io_model.h"
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "common/column_vector.h"
+#include "common/status.h"
+#include "storage/column_page.h"
+#include "synopsis/synopsis.h"
+
+namespace dashdb {
+
+/// A conjunctive range predicate on one column, already translated to the
+/// storage domain by the planner.
+struct ColumnPredicate {
+  int column = 0;
+  /// Integer-domain range (integer-backed columns).
+  IntRangePred int_range;
+  /// String-domain range (VARCHAR columns).
+  StrRangePred str_range;
+  /// Double-domain range (DOUBLE columns).
+  std::optional<double> dlo, dhi;
+  bool dlo_incl = true, dhi_incl = true;
+};
+
+/// Feature switches for a scan — the paper's architectural levers, each
+/// independently toggleable for the ablation bench and the Test-4
+/// "naive column store competitor" mode.
+struct ScanOptions {
+  bool use_synopsis = true;       ///< data skipping (II.B.4)
+  bool use_swar = true;           ///< software SIMD (II.B.6)
+  bool operate_on_compressed = true;  ///< predicates on codes (II.B.2)
+  BufferPool* pool = nullptr;     ///< charge page accesses when set
+};
+
+/// Per-scan observability counters.
+struct ScanStats {
+  size_t pages_visited = 0;
+  size_t pages_skipped = 0;     ///< all strides of the page were skippable
+  size_t strides_skipped = 0;
+  size_t rows_matched = 0;
+};
+
+/// Column-organized table.
+class ColumnTable : public StorageObject {
+ public:
+  ColumnTable(TableSchema schema, uint64_t table_id);
+
+  const TableSchema& schema() const { return schema_; }
+  uint64_t table_id() const { return table_id_; }
+
+  /// Total rows ever stored (including deleted); live = minus deletions.
+  size_t row_count() const { return row_count_; }
+  size_t live_row_count() const { return row_count_ - deleted_count_; }
+
+  /// Bulk load: replaces the table content, analyzes `data`, builds the
+  /// per-column dictionaries, encodes pages and synopsis.
+  Status Load(const RowBatch& data);
+
+  /// Appends rows through the tail region (dictionary exceptions allowed).
+  Status Append(const RowBatch& data);
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Marks rows deleted (row ids are the scan-reported global ids).
+  Status DeleteRows(const std::vector<uint64_t>& row_ids);
+  bool IsDeleted(uint64_t row_id) const;
+
+  /// Removes all rows (TRUNCATE TABLE).
+  void Truncate();
+
+  /// Random access to one cell (decodes the owning page run). Used by
+  /// UPDATE's key-release path and by tests.
+  Value GetCell(uint64_t row_id, int col) const;
+
+  /// Streaming scan: evaluates the conjunction of `preds`, emits one
+  /// RowBatch per page (plus one for the tail) containing `projection`
+  /// columns and, if `row_ids` non-null per batch, the global row ids.
+  /// Thread-compatible (no mutation during scan).
+  Status Scan(const std::vector<ColumnPredicate>& preds,
+              const std::vector<int>& projection, const ScanOptions& opts,
+              const std::function<void(RowBatch&, const std::vector<uint64_t>&)>&
+                  emit,
+              ScanStats* stats = nullptr) const;
+
+  /// Page-at-a-time scan step for pull-based executors: evaluates `preds`
+  /// on page `page_no` (pass num_pages() for the tail region) and appends
+  /// matching rows to *out / *ids. *out must carry one ColumnVector per
+  /// projected column.
+  Status ScanPage(size_t page_no, const std::vector<ColumnPredicate>& preds,
+                  const std::vector<int>& projection, const ScanOptions& opts,
+                  RowBatch* out, std::vector<uint64_t>* ids,
+                  ScanStats* stats = nullptr) const;
+
+  /// Fast COUNT(*) with predicates (no materialization).
+  Result<size_t> CountRows(const std::vector<ColumnPredicate>& preds,
+                           const ScanOptions& opts) const;
+
+  /// Compressed footprint of all pages + dictionaries (bytes).
+  size_t CompressedBytes() const;
+  /// Uncompressed footprint of the same data (bytes).
+  size_t RawBytes() const;
+  /// Synopsis footprint in the compressed representation (bytes).
+  size_t SynopsisBytes() const;
+
+  size_t num_pages() const { return num_pages_; }
+
+  /// Encoding chosen for a column (after Load).
+  PageEncoding column_encoding(int col) const;
+
+  /// Attaches the storage I/O model: buffer-pool misses on this table's
+  /// pages charge modeled read time into *sink (see storage/io_model.h).
+  void ConfigureIo(IoModel model, IoSink* sink, BufferPool* pool) {
+    io_model_ = model;
+    io_sink_ = sink;
+    io_pool_ = pool;
+  }
+
+ private:
+  struct ColumnData {
+    std::shared_ptr<IntFrequencyDict> int_dict;
+    std::shared_ptr<StringFrequencyDict> str_dict;
+    PageEncoding encoding = PageEncoding::kRawInt;
+    std::vector<std::unique_ptr<ColumnPage>> pages;
+    IntSynopsis int_synopsis;
+    StringSynopsis str_synopsis;
+  };
+
+  /// Chooses the encoding for a column from its stats and builds dicts.
+  void ChooseEncoding(int col, const RowBatch& data);
+
+  /// Encodes rows [begin, begin+n) of `data` into one page per column and
+  /// appends synopsis strides.
+  void EncodePageRun(const RowBatch& data, size_t begin, size_t n);
+
+  /// Flushes full pages out of the tail region.
+  void MaybeFlushTail();
+
+  Status CheckUnique(const RowBatch& data) const;
+  void IndexUnique(const RowBatch& data);
+
+  /// Page-level predicate evaluation; returns match bitmap over page rows.
+  void EvalPredsOnPage(const std::vector<ColumnPredicate>& preds,
+                       size_t page_no, const ScanOptions& opts,
+                       BitVector* match) const;
+
+  /// Applies synopsis skipping for one page; returns false when the whole
+  /// page is skippable.
+  bool ApplySynopsis(const std::vector<ColumnPredicate>& preds, size_t page_no,
+                     BitVector* match, ScanStats* stats) const;
+
+  void DecodeProjection(const std::vector<int>& projection, size_t page_no,
+                        const BitVector& sel, RowBatch* out) const;
+
+  void ChargePool(BufferPool* pool, int col, size_t page_no) const;
+
+  Value GetCellLocked(uint64_t row_id, int col) const;
+
+  TableSchema schema_;
+  uint64_t table_id_;
+  std::vector<ColumnData> columns_;
+  size_t num_pages_ = 0;
+  size_t row_count_ = 0;
+  size_t deleted_count_ = 0;
+  BitVector deleted_;  ///< sized row_count_ (grown on append)
+
+  /// Global row id of each page's first row / page row counts / first
+  /// synopsis-stride index of each page.
+  std::vector<size_t> page_start_;
+  std::vector<uint32_t> page_rows_;
+  std::vector<size_t> page_first_stride_;
+  size_t num_strides_ = 0;
+  size_t raw_bytes_ = 0;  ///< uncompressed footprint of stored data
+
+  IoModel io_model_;
+  IoSink* io_sink_ = nullptr;
+  BufferPool* io_pool_ = nullptr;
+
+  /// Uncompressed tail region awaiting encoding.
+  RowBatch tail_;
+
+  /// Unique-constraint enforcement sets (column -> value set).
+  std::vector<std::unordered_set<int64_t>> unique_ints_;
+  std::vector<std::unordered_set<std::string>> unique_strs_;
+
+  mutable std::mutex mu_;  ///< guards mutation paths
+};
+
+}  // namespace dashdb

@@ -1,0 +1,109 @@
+#include "synopsis/synopsis.h"
+
+#include <algorithm>
+
+namespace dashdb {
+
+void IntSynopsis::AddStride(const int64_t* values, size_t n,
+                            const BitVector* nulls, size_t null_offset) {
+  StrideSummary s;
+  for (size_t i = 0; i < n; ++i) {
+    if (nulls && nulls->Get(null_offset + i)) continue;
+    if (!s.has_non_null) {
+      s.min = s.max = values[i];
+      s.has_non_null = true;
+    } else {
+      s.min = std::min(s.min, values[i]);
+      s.max = std::max(s.max, values[i]);
+    }
+  }
+  strides_.push_back(s);
+}
+
+bool IntSynopsis::MayContain(size_t i, const int64_t* lo, bool lo_incl,
+                             const int64_t* hi, bool hi_incl) const {
+  const StrideSummary& s = strides_[i];
+  if (!s.has_non_null) return false;
+  if (lo) {
+    if (lo_incl ? (s.max < *lo) : (s.max <= *lo)) return false;
+  }
+  if (hi) {
+    if (hi_incl ? (s.min > *hi) : (s.min >= *hi)) return false;
+  }
+  return true;
+}
+
+size_t IntSynopsis::SkipStrides(const int64_t* lo, bool lo_incl,
+                                const int64_t* hi, bool hi_incl,
+                                BitVector* mask) const {
+  size_t skipped = 0;
+  size_t n = std::min(mask->size(), strides_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!mask->Get(i)) continue;
+    if (!MayContain(i, lo, lo_incl, hi, hi_incl)) {
+      mask->Clear(i);
+      ++skipped;
+    }
+  }
+  return skipped;
+}
+
+size_t IntSynopsis::CompressedByteSize() const {
+  if (strides_.empty()) return 0;
+  std::vector<int64_t> mins, maxs;
+  mins.reserve(strides_.size());
+  maxs.reserve(strides_.size());
+  for (const auto& s : strides_) {
+    mins.push_back(s.has_non_null ? s.min : 0);
+    maxs.push_back(s.has_non_null ? s.max : 0);
+  }
+  ForEncoded emin = ForEncode(mins.data(), mins.size(), nullptr);
+  ForEncoded emax = ForEncode(maxs.data(), maxs.size(), nullptr);
+  return emin.ByteSize() + emax.ByteSize() + (strides_.size() + 7) / 8;
+}
+
+void StringSynopsis::AddStride(const std::string* values, size_t n,
+                               const BitVector* nulls, size_t null_offset) {
+  Entry e;
+  for (size_t i = 0; i < n; ++i) {
+    if (nulls && nulls->Get(null_offset + i)) continue;
+    if (!e.has_non_null) {
+      e.min = e.max = values[i];
+      e.has_non_null = true;
+    } else {
+      if (values[i] < e.min) e.min = values[i];
+      if (values[i] > e.max) e.max = values[i];
+    }
+  }
+  strides_.push_back(std::move(e));
+}
+
+bool StringSynopsis::MayContain(size_t i, const std::string* lo, bool lo_incl,
+                                const std::string* hi, bool hi_incl) const {
+  const Entry& s = strides_[i];
+  if (!s.has_non_null) return false;
+  if (lo) {
+    if (lo_incl ? (s.max < *lo) : (s.max <= *lo)) return false;
+  }
+  if (hi) {
+    if (hi_incl ? (s.min > *hi) : (s.min >= *hi)) return false;
+  }
+  return true;
+}
+
+size_t StringSynopsis::SkipStrides(const std::string* lo, bool lo_incl,
+                                   const std::string* hi, bool hi_incl,
+                                   BitVector* mask) const {
+  size_t skipped = 0;
+  size_t n = std::min(mask->size(), strides_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (!mask->Get(i)) continue;
+    if (!MayContain(i, lo, lo_incl, hi, hi_incl)) {
+      mask->Clear(i);
+      ++skipped;
+    }
+  }
+  return skipped;
+}
+
+}  // namespace dashdb

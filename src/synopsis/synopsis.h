@@ -1,0 +1,84 @@
+// Data skipping synopsis (paper II.B.4): per ~1K-tuple stride, min/max
+// metadata is kept for every column. The synopsis is itself stored in the
+// same compressed columnar representation as user data (FOR-encoded min and
+// max columns), which is why it is ~3 orders of magnitude smaller and
+// proportionally faster to scan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "compression/for_encoding.h"
+
+namespace dashdb {
+
+/// Rows summarized per synopsis entry ("metadata is collected and stored on
+/// every column for (approximately) 1K tuples").
+inline constexpr size_t kStrideRows = 1024;
+
+/// Min/max summary of one stride of one integer-backed column.
+struct StrideSummary {
+  int64_t min = 0;
+  int64_t max = 0;
+  bool has_non_null = false;
+};
+
+/// Synopsis over one integer-backed column.
+class IntSynopsis {
+ public:
+  /// Appends the summary for the next stride.
+  void AddStride(const int64_t* values, size_t n, const BitVector* nulls,
+                 size_t null_offset = 0);
+
+  /// Appends a precomputed summary (used when merging shard loads).
+  void AddSummary(const StrideSummary& s) { strides_.push_back(s); }
+
+  size_t num_strides() const { return strides_.size(); }
+  const StrideSummary& stride(size_t i) const { return strides_[i]; }
+
+  /// True when stride `i` MAY contain a value in [lo, hi] (either bound
+  /// optional). False means the stride is provably skippable.
+  bool MayContain(size_t i, const int64_t* lo, bool lo_incl, const int64_t* hi,
+                  bool hi_incl) const;
+
+  /// Marks skippable strides: clears bit i of *mask for every stride that
+  /// provably contains no row in [lo, hi]. Returns number skipped.
+  size_t SkipStrides(const int64_t* lo, bool lo_incl, const int64_t* hi,
+                     bool hi_incl, BitVector* mask) const;
+
+  /// Byte footprint when the synopsis is stored in the user-data
+  /// representation (FOR-encoded min/max columns) — the quantity the paper
+  /// compares against user data size.
+  size_t CompressedByteSize() const;
+
+ private:
+  std::vector<StrideSummary> strides_;
+};
+
+/// Synopsis over a VARCHAR column (min/max strings per stride).
+class StringSynopsis {
+ public:
+  void AddStride(const std::string* values, size_t n, const BitVector* nulls,
+                 size_t null_offset = 0);
+
+  size_t num_strides() const { return strides_.size(); }
+
+  bool MayContain(size_t i, const std::string* lo, bool lo_incl,
+                  const std::string* hi, bool hi_incl) const;
+
+  size_t SkipStrides(const std::string* lo, bool lo_incl,
+                     const std::string* hi, bool hi_incl,
+                     BitVector* mask) const;
+
+ private:
+  struct Entry {
+    std::string min, max;
+    bool has_non_null = false;
+  };
+  std::vector<Entry> strides_;
+};
+
+}  // namespace dashdb

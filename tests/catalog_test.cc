@@ -1,0 +1,97 @@
+// Tests for schemas and the catalog.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace dashdb {
+namespace {
+
+TableSchema MakeSchema(const std::string& schema, const std::string& name) {
+  return TableSchema(schema, name,
+                     {{"ID", TypeId::kInt64, false, 0, true},
+                      {"AMOUNT", TypeId::kDecimal, true, 2, false},
+                      {"NOTE", TypeId::kVarchar, true, 0, false}});
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  TableSchema s = MakeSchema("PUBLIC", "T");
+  EXPECT_EQ(s.FindColumn("id"), 0);
+  EXPECT_EQ(s.FindColumn("Amount"), 1);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+}
+
+TEST(SchemaTest, QualifiedName) {
+  TableSchema s = MakeSchema("SALES", "ORDERS");
+  EXPECT_EQ(s.QualifiedName(), "SALES.ORDERS");
+  EXPECT_EQ(s.organization(), TableOrganization::kColumn);
+}
+
+TEST(CatalogTest, CreateLookupDrop) {
+  Catalog cat;
+  CatalogEntry e;
+  e.schema = MakeSchema("PUBLIC", "T1");
+  ASSERT_TRUE(cat.CreateEntry(e).ok());
+  EXPECT_TRUE(cat.HasEntry("public", "t1"));  // case-insensitive
+  auto r = cat.Lookup("PUBLIC", "T1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->schema.table_name(), "T1");
+  ASSERT_TRUE(cat.DropEntry("PUBLIC", "T1").ok());
+  EXPECT_FALSE(cat.HasEntry("PUBLIC", "T1"));
+  EXPECT_EQ(cat.DropEntry("PUBLIC", "T1").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DuplicateRejected) {
+  Catalog cat;
+  CatalogEntry e;
+  e.schema = MakeSchema("PUBLIC", "T1");
+  ASSERT_TRUE(cat.CreateEntry(e).ok());
+  EXPECT_EQ(cat.CreateEntry(e).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, SchemasIsolateTables) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateSchema("FINANCE").ok());
+  CatalogEntry a, b;
+  a.schema = MakeSchema("PUBLIC", "T");
+  b.schema = MakeSchema("FINANCE", "T");
+  ASSERT_TRUE(cat.CreateEntry(a).ok());
+  ASSERT_TRUE(cat.CreateEntry(b).ok());
+  EXPECT_EQ(cat.TableCount(), 2u);
+  EXPECT_EQ(cat.ListEntries("FINANCE").size(), 1u);
+}
+
+TEST(CatalogTest, UnknownSchemaRejected) {
+  Catalog cat;
+  CatalogEntry e;
+  e.schema = MakeSchema("NOSUCH", "T");
+  EXPECT_EQ(cat.CreateEntry(e).code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, DropSchemaDropsTables) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateSchema("S1").ok());
+  CatalogEntry e;
+  e.schema = MakeSchema("S1", "T");
+  ASSERT_TRUE(cat.CreateEntry(e).ok());
+  ASSERT_TRUE(cat.DropSchema("S1").ok());
+  EXPECT_FALSE(cat.HasEntry("S1", "T"));
+  EXPECT_FALSE(cat.HasSchema("S1"));
+}
+
+TEST(CatalogTest, ViewEntryKeepsDialect) {
+  // Paper II.C.2: view objects remember the dialect they were created under.
+  Catalog cat;
+  CatalogEntry v;
+  v.kind = EntryKind::kView;
+  v.schema = TableSchema("PUBLIC", "V1", {});
+  v.view_sql = "SELECT 1 FROM DUAL";
+  v.view_dialect = "ORACLE";
+  ASSERT_TRUE(cat.CreateEntry(v).ok());
+  auto r = cat.Lookup("PUBLIC", "V1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind, EntryKind::kView);
+  EXPECT_EQ((*r)->view_dialect, "ORACLE");
+}
+
+}  // namespace
+}  // namespace dashdb

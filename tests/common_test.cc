@@ -1,0 +1,267 @@
+// Unit tests for the foundation module: Status/Result, Value semantics,
+// date arithmetic, bitmaps, bit-packed arrays, thread pool, RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitutil.h"
+#include "common/datetime.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace dashdb {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table T");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table T");
+  EXPECT_EQ(s.ToString(), "NotFound: table T");
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::Internal("x");
+  Status b = a;
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+  EXPECT_EQ(b.message(), "x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  DASHDB_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*UseAssignOrReturn(21), 42);
+  EXPECT_FALSE(UseAssignOrReturn(-1).ok());
+}
+
+TEST(TypesTest, NamesRoundTrip) {
+  EXPECT_STREQ(TypeName(TypeId::kInt64), "BIGINT");
+  EXPECT_EQ(*TypeFromName("bigint"), TypeId::kInt64);
+  EXPECT_EQ(*TypeFromName("VARCHAR2"), TypeId::kVarchar);  // Oracle
+  EXPECT_EQ(*TypeFromName("INT8"), TypeId::kInt64);        // Netezza/PG
+  EXPECT_EQ(*TypeFromName("FLOAT4"), TypeId::kDouble);
+  EXPECT_EQ(*TypeFromName("NUMBER"), TypeId::kDecimal);    // Oracle
+  EXPECT_EQ(*TypeFromName("BPCHAR"), TypeId::kVarchar);
+  EXPECT_FALSE(TypeFromName("BLOB").ok());
+}
+
+TEST(ValueTest, NullOrderingSortsHigh) {
+  Value n = Value::Null(TypeId::kInt64);
+  Value v = Value::Int64(5);
+  EXPECT_GT(n.Compare(v), 0);
+  EXPECT_LT(v.Compare(n), 0);
+  EXPECT_EQ(n.Compare(Value::Null(TypeId::kInt32)), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeCompare) {
+  EXPECT_EQ(Value::Int32(3).Compare(Value::Int64(3)), 0);
+  EXPECT_LT(Value::Int64(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.0).Compare(Value::Int32(3)), 0);
+}
+
+TEST(ValueTest, CastStringToNumbers) {
+  EXPECT_EQ(Value::String("123").CastTo(TypeId::kInt64)->AsInt(), 123);
+  EXPECT_DOUBLE_EQ(Value::String("1.5").CastTo(TypeId::kDouble)->AsDouble(),
+                   1.5);
+  EXPECT_FALSE(Value::String("abc").CastTo(TypeId::kInt64).ok());
+}
+
+TEST(ValueTest, CastDateString) {
+  Value d = *Value::String("2017-04-01").CastTo(TypeId::kDate);
+  EXPECT_EQ(d.ToString(), "2017-04-01");
+}
+
+TEST(ValueTest, NullCastStaysNull) {
+  Value v = *Value::Null(TypeId::kInt64).CastTo(TypeId::kVarchar);
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), TypeId::kVarchar);
+}
+
+TEST(DatetimeTest, EpochIsZero) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  CivilDate c = CivilFromDays(0);
+  EXPECT_EQ(c.year, 1970);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 1);
+}
+
+TEST(DatetimeTest, RoundTripSweep) {
+  // Property: CivilFromDays(DaysFromCivil(d)) == d across 60 years,
+  // including leap years and century boundaries.
+  for (int32_t days = DaysFromCivil(1980, 1, 1);
+       days <= DaysFromCivil(2040, 1, 1); days += 17) {
+    CivilDate c = CivilFromDays(days);
+    EXPECT_EQ(DaysFromCivil(c.year, c.month, c.day), days);
+  }
+}
+
+TEST(DatetimeTest, LeapYearFeb29) {
+  int32_t d = DaysFromCivil(2016, 2, 29);
+  CivilDate c = CivilFromDays(d);
+  EXPECT_EQ(c.month, 2);
+  EXPECT_EQ(c.day, 29);
+  EXPECT_EQ(CivilFromDays(d + 1).month, 3);
+}
+
+TEST(DatetimeTest, ParseAndFormat) {
+  EXPECT_EQ(FormatDate(*ParseDate("2017-04-17")), "2017-04-17");
+  EXPECT_FALSE(ParseDate("17 Apr").ok());
+  EXPECT_FALSE(ParseDate("2017-13-01").ok());
+  EXPECT_EQ(FormatTimestamp(*ParseTimestamp("2017-04-17 13:45:01")),
+            "2017-04-17 13:45:01");
+}
+
+TEST(DatetimeTest, DayOfWeek) {
+  EXPECT_EQ(DayOfWeek(DaysFromCivil(1970, 1, 1)), 4);  // Thursday
+  EXPECT_EQ(DayOfWeek(DaysFromCivil(2017, 4, 16)), 0);  // Sunday
+}
+
+TEST(BitVectorTest, SetClearGet) {
+  BitVector b(130);
+  EXPECT_EQ(b.CountSet(), 0u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Get(0));
+  EXPECT_TRUE(b.Get(64));
+  EXPECT_TRUE(b.Get(129));
+  EXPECT_FALSE(b.Get(1));
+  EXPECT_EQ(b.CountSet(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Get(64));
+}
+
+TEST(BitVectorTest, LogicOpsAndTailMasking) {
+  BitVector a(70, true);
+  EXPECT_EQ(a.CountSet(), 70u);  // initial=true must not set tail bits
+  BitVector b(70);
+  b.Set(3);
+  b.Set(69);
+  a.And(b);
+  EXPECT_EQ(a.CountSet(), 2u);
+  a.Not();
+  EXPECT_EQ(a.CountSet(), 68u);
+  EXPECT_FALSE(a.Get(3));
+}
+
+TEST(BitVectorTest, ForEachSetAscending) {
+  BitVector b(200);
+  std::vector<size_t> want = {0, 63, 64, 65, 127, 199};
+  for (size_t i : want) b.Set(i);
+  std::vector<size_t> got;
+  b.ForEachSet([&](size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+class BitPackedWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPackedWidthTest, AppendGetRoundTrip) {
+  // Property: Get(i) returns exactly what was appended, for every width.
+  const int w = GetParam();
+  BitPackedArray a(w);
+  Rng rng(w);
+  const uint64_t mask = w == 64 ? ~uint64_t{0} : (uint64_t{1} << w) - 1;
+  std::vector<uint64_t> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back(rng.Next() & mask);
+  for (uint64_t v : vals) a.Append(v);
+  ASSERT_EQ(a.size(), vals.size());
+  for (size_t i = 0; i < vals.size(); ++i) EXPECT_EQ(a.Get(i), vals[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackedWidthTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 11, 13, 16, 17,
+                                           23, 31, 32, 33, 63, 64));
+
+TEST(BitUtilTest, BitWidthFor) {
+  EXPECT_EQ(BitWidthFor(0), 1);
+  EXPECT_EQ(BitWidthFor(1), 1);
+  EXPECT_EQ(BitWidthFor(2), 2);
+  EXPECT_EQ(BitWidthFor(255), 8);
+  EXPECT_EQ(BitWidthFor(256), 9);
+  EXPECT_EQ(BitWidthFor(~uint64_t{0}), 64);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(4);
+  auto f1 = pool.Submit([] { return 7; });
+  auto f2 = pool.Submit([] { return std::string("hi"); });
+  EXPECT_EQ(f1.get(), 7);
+  EXPECT_EQ(f2.get(), "hi");
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  ZipfGenerator z(1000, 1.2, 9);
+  size_t low = 0, n = 20000;
+  for (size_t i = 0; i < n; ++i) {
+    if (z.Next() < 10) ++low;
+  }
+  // With s=1.2 the top-10 ranks should dominate heavily.
+  EXPECT_GT(low, n / 3);
+}
+
+TEST(HashTest, IntAvalanche) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(HashInt64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HashTest, StringStability) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+}
+
+}  // namespace
+}  // namespace dashdb

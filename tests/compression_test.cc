@@ -1,0 +1,262 @@
+// Tests for the compression module: stats, frequency-partitioned
+// order-preserving dictionaries, minus (FOR) encoding, prefix compression,
+// and the legacy baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "compression/for_encoding.h"
+#include "compression/frequency_dict.h"
+#include "compression/legacy.h"
+#include "compression/prefix.h"
+#include "compression/stats.h"
+
+namespace dashdb {
+namespace {
+
+TEST(StatsTest, BasicIntStats) {
+  std::vector<int64_t> v = {5, 1, 5, 9, 5, 1};
+  IntColumnStats s = ComputeIntStats(v.data(), v.size(), nullptr);
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 9);
+  EXPECT_EQ(s.ndv, 3u);
+  ASSERT_TRUE(s.ndv_exact);
+  EXPECT_EQ(s.freq_desc[0].first, 5);  // most frequent first
+  EXPECT_EQ(s.freq_desc[0].second, 3u);
+}
+
+TEST(StatsTest, NullsExcluded) {
+  std::vector<int64_t> v = {1, 0, 3};
+  BitVector nulls(3);
+  nulls.Set(1);
+  IntColumnStats s = ComputeIntStats(v.data(), v.size(), &nulls);
+  EXPECT_EQ(s.null_count, 1u);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.ndv, 2u);
+}
+
+TEST(StatsTest, NdvLimitCapsTracking) {
+  std::vector<int64_t> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  IntColumnStats s = ComputeIntStats(v.data(), v.size(), nullptr, 10);
+  EXPECT_FALSE(s.ndv_exact);
+}
+
+TEST(FrequencyDictTest, MostFrequentValuesGetShortestCodes) {
+  // 'A' dominates -> must land in partition 0 (1-bit codes).
+  std::vector<std::pair<int64_t, size_t>> freq = {
+      {100, 1000}, {200, 900}, {7, 10}, {8, 9}, {9, 8}, {10, 7}};
+  auto d = IntFrequencyDict::Build(freq);
+  ASSERT_GE(d.num_partitions(), 2);
+  EXPECT_EQ(d.partition_width(0), 1);
+  EXPECT_EQ(d.partition_size(0), 2u);
+  auto pc = d.Encode(100);
+  ASSERT_TRUE(pc.has_value());
+  EXPECT_EQ(pc->partition, 0);
+  auto pc2 = d.Encode(9);
+  ASSERT_TRUE(pc2.has_value());
+  EXPECT_EQ(pc2->partition, 1);
+}
+
+TEST(FrequencyDictTest, OrderPreservingWithinPartition) {
+  // Property: within any partition, code order == value order (paper II.B.2).
+  Rng rng(11);
+  std::vector<std::pair<int64_t, size_t>> freq;
+  for (int i = 0; i < 500; ++i) {
+    freq.emplace_back(rng.Range(-100000, 100000), 500 - i);
+  }
+  std::sort(freq.begin(), freq.end(),
+            [](auto& a, auto& b) { return a.second > b.second; });
+  // Dedup values keeping the highest frequency.
+  std::vector<std::pair<int64_t, size_t>> dedup;
+  std::set<int64_t> seen;
+  for (auto& [v, f] : freq) {
+    if (seen.insert(v).second) dedup.emplace_back(v, f);
+  }
+  auto d = IntFrequencyDict::Build(dedup);
+  for (int p = 0; p < d.num_partitions(); ++p) {
+    int64_t prev = INT64_MIN;
+    for (uint32_t c = 0; c < d.partition_size(p); ++c) {
+      int64_t v = d.Decode(p, c);
+      EXPECT_GT(v, prev) << "partition " << p << " code " << c;
+      prev = v;
+    }
+  }
+}
+
+TEST(FrequencyDictTest, EncodeDecodeRoundTrip) {
+  std::vector<std::pair<int64_t, size_t>> freq;
+  for (int i = 0; i < 300; ++i) freq.emplace_back(i * 3, 300 - i);
+  auto d = IntFrequencyDict::Build(freq);
+  for (int i = 0; i < 300; ++i) {
+    auto pc = d.Encode(i * 3);
+    ASSERT_TRUE(pc.has_value());
+    EXPECT_EQ(d.Decode(pc->partition, pc->code), i * 3);
+  }
+  EXPECT_FALSE(d.Encode(1).has_value());  // not in dictionary
+}
+
+TEST(FrequencyDictTest, RangeForTranslatesPredicates) {
+  std::vector<std::pair<int64_t, size_t>> freq;
+  for (int i = 0; i < 100; ++i) freq.emplace_back(i * 10, 100 - i);
+  auto d = IntFrequencyDict::Build(freq);
+  // Check: for every partition, RangeFor([250, 610]) selects exactly the
+  // codes whose values are in range.
+  int64_t lo = 250, hi = 610;
+  size_t selected = 0;
+  for (int p = 0; p < d.num_partitions(); ++p) {
+    CodeRange r = d.RangeFor(p, &lo, true, &hi, true);
+    if (r.empty()) continue;
+    for (uint32_t c = r.lo; c <= r.hi; ++c) {
+      int64_t v = d.Decode(p, c);
+      EXPECT_GE(v, lo);
+      EXPECT_LE(v, hi);
+      ++selected;
+    }
+  }
+  // Values 250..610 step 10 -> 37 values.
+  EXPECT_EQ(selected, 37u);
+}
+
+TEST(FrequencyDictTest, RangeForExclusiveBounds) {
+  std::vector<std::pair<int64_t, size_t>> freq = {{10, 5}, {20, 4}, {30, 3}};
+  auto d = IntFrequencyDict::Build(freq);
+  int64_t lo = 10, hi = 30;
+  size_t n = 0;
+  for (int p = 0; p < d.num_partitions(); ++p) {
+    CodeRange r = d.RangeFor(p, &lo, false, &hi, false);
+    if (!r.empty()) n += r.hi - r.lo + 1;
+  }
+  EXPECT_EQ(n, 1u);  // only 20
+}
+
+TEST(FrequencyDictTest, StringDictionary) {
+  std::vector<std::pair<std::string, size_t>> freq = {
+      {"frequent", 100}, {"common", 50}, {"rare1", 2}, {"rare2", 1}};
+  auto d = StringFrequencyDict::Build(freq);
+  auto pc = d.Encode("frequent");
+  ASSERT_TRUE(pc.has_value());
+  EXPECT_EQ(pc->partition, 0);
+  EXPECT_EQ(d.Decode(pc->partition, pc->code), "frequent");
+  EXPECT_GT(d.ByteSize(), 0u);
+}
+
+TEST(ForEncodingTest, RoundTrip) {
+  std::vector<int64_t> v = {1000000, 1000005, 999999, 1000100};
+  ForEncoded e = ForEncode(v.data(), v.size(), nullptr);
+  EXPECT_EQ(e.base, 999999);
+  EXPECT_LE(e.bit_width, 8);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_EQ(e.Get(i), v[i]);
+}
+
+TEST(ForEncodingTest, CompressionOnClusteredValues) {
+  // 1M-magnitude values in a narrow band should compress far below 8 bytes.
+  std::vector<int64_t> v;
+  Rng rng(3);
+  for (int i = 0; i < 4096; ++i) v.push_back(5000000 + rng.Range(0, 255));
+  ForEncoded e = ForEncode(v.data(), v.size(), nullptr);
+  EXPECT_LE(e.bit_width, 8);
+  EXPECT_LT(e.ByteSize(), v.size() * 2);
+}
+
+TEST(ForEncodingTest, RangeTranslation) {
+  std::vector<int64_t> v = {100, 110, 120, 130};
+  ForEncoded e = ForEncode(v.data(), v.size(), nullptr);
+  int64_t lo = 105, hi = 125;
+  auto r = ForRangeFor(e, &lo, true, &hi, true);
+  ASSERT_TRUE(r.has_value());
+  // Codes 10 and 20 (values 110, 120) qualify.
+  EXPECT_EQ(r->lo, 5u);
+  EXPECT_EQ(r->hi, 25u);
+}
+
+TEST(ForEncodingTest, RangeMissesPage) {
+  std::vector<int64_t> v = {100, 110};
+  ForEncoded e = ForEncode(v.data(), v.size(), nullptr);
+  int64_t lo = 500;
+  EXPECT_FALSE(ForRangeFor(e, &lo, true, nullptr, true).has_value());
+  int64_t hi = 50;
+  EXPECT_FALSE(ForRangeFor(e, nullptr, true, &hi, true).has_value());
+}
+
+TEST(ForEncodingTest, NegativeValues) {
+  std::vector<int64_t> v = {-50, -10, -30};
+  ForEncoded e = ForEncode(v.data(), v.size(), nullptr);
+  for (size_t i = 0; i < v.size(); ++i) EXPECT_EQ(e.Get(i), v[i]);
+}
+
+TEST(PrefixTest, RoundTripSortedStrings) {
+  std::vector<std::string> sorted = {"app", "apple", "apples", "banana",
+                                     "band", "bandit", "bank"};
+  auto blk = PrefixCodedBlock::Encode(sorted);
+  EXPECT_EQ(blk.DecodeAll(), sorted);
+  for (size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(blk.Get(i), sorted[i]);
+}
+
+TEST(PrefixTest, SavesSpaceOnSharedPrefixes) {
+  std::vector<std::string> sorted;
+  for (int i = 0; i < 1000; ++i) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "customer_account_number_%06d", i);
+    sorted.emplace_back(buf);
+  }
+  auto blk = PrefixCodedBlock::Encode(sorted);
+  size_t raw = 0;
+  for (auto& s : sorted) raw += s.size();
+  EXPECT_LT(blk.ByteSize(), raw / 2);
+  EXPECT_EQ(blk.DecodeAll(), sorted);
+}
+
+TEST(PrefixTest, RestartsBoundRandomAccessCost) {
+  std::vector<std::string> sorted;
+  for (int i = 0; i < 100; ++i) sorted.push_back("k" + std::to_string(1000 + i));
+  auto blk = PrefixCodedBlock::Encode(sorted, /*restart_interval=*/4);
+  EXPECT_EQ(blk.Get(99), sorted[99]);
+  EXPECT_EQ(blk.Get(0), sorted[0]);
+}
+
+TEST(LegacyTest, DictUsedForLowCardinality) {
+  std::vector<int64_t> v(4096);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = i % 16;
+  auto c = LegacyCompressInts(v.data(), v.size());
+  EXPECT_TRUE(c.dictionary_used);
+  EXPECT_LT(c.encoded_bytes, c.raw_bytes);
+  // Legacy uses byte codes: 1 byte/value minimum + dict.
+  EXPECT_GE(c.encoded_bytes, v.size());
+}
+
+TEST(LegacyTest, FallsBackToRawOnHighCardinality) {
+  std::vector<int64_t> v(100000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int64_t>(i) * 7;
+  auto c = LegacyCompressInts(v.data(), v.size());
+  EXPECT_FALSE(c.dictionary_used);
+  EXPECT_EQ(c.encoded_bytes, c.raw_bytes);
+}
+
+TEST(LegacyTest, NewGenerationBeatsLegacyByPaperFactor) {
+  // The architectural point behind the 2-3x claim: bit-packed frequency
+  // codes beat byte-aligned legacy dictionary codes on skewed data.
+  ZipfGenerator z(64, 1.1, 5);
+  std::vector<int64_t> v(65536);
+  for (auto& x : v) x = static_cast<int64_t>(z.Next());
+  auto legacy = LegacyCompressInts(v.data(), v.size());
+
+  IntColumnStats s = ComputeIntStats(v.data(), v.size(), nullptr);
+  auto dict = IntFrequencyDict::Build(s.freq_desc);
+  // Compute the frequency-encoded footprint: each value costs its
+  // partition's width.
+  size_t bits = 0;
+  for (int64_t x : v) {
+    auto pc = dict.Encode(x);
+    ASSERT_TRUE(pc.has_value());
+    bits += dict.partition_width(pc->partition);
+  }
+  size_t freq_bytes = bits / 8 + dict.ByteSize();
+  EXPECT_LT(freq_bytes * 2, legacy.encoded_bytes)
+      << "expected >=2x improvement over legacy compression";
+}
+
+}  // namespace
+}  // namespace dashdb

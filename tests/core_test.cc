@@ -1,0 +1,81 @@
+// Tests for the public facade: Deploy -> Connect -> Execute, and the
+// hybrid-compatibility story (same API shape for local and "cloud"
+// instances, paper II.F).
+#include <gtest/gtest.h>
+
+#include "core/dashdb.h"
+
+namespace dashdb {
+namespace {
+
+TEST(DashDbLocalTest, DeployDetectsAndConfigures) {
+  auto db = DashDbLocal::Deploy();
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_GE((*db)->hardware().cores, 1);
+  EXPECT_GT((*db)->config().bufferpool_bytes, 0u);
+  EXPECT_EQ((*db)->engine()->config().buffer_pool_bytes,
+            (*db)->config().bufferpool_bytes);
+}
+
+TEST(DashDbLocalTest, QuickstartFlow) {
+  auto db = std::move(*DashDbLocal::Deploy());
+  auto conn = db->Connect("analyst");
+  ASSERT_TRUE(conn->Execute("CREATE TABLE t (x INT, y VARCHAR(10))").ok());
+  ASSERT_TRUE(conn->Execute("INSERT INTO t VALUES (1,'a'), (2,'b')").ok());
+  auto r = conn->Execute("SELECT SUM(x) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.columns[0].GetInt(0), 3);
+}
+
+TEST(DashDbLocalTest, PerConnectionDialects) {
+  auto db = std::move(*DashDbLocal::Deploy());
+  auto oracle_conn = db->Connect("a");
+  auto ansi_conn = db->Connect("b");
+  oracle_conn->SetDialect(Dialect::kOracle);
+  // DUAL resolves for the Oracle session; both sessions share the catalog.
+  ASSERT_TRUE(oracle_conn->Execute("SELECT 1 FROM DUAL").ok());
+  ASSERT_TRUE(oracle_conn->Execute("CREATE TABLE shared (x INT)").ok());
+  ASSERT_TRUE(ansi_conn->Execute("INSERT INTO shared VALUES (5)").ok());
+  auto r = oracle_conn->Execute("SELECT x FROM shared");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.columns[0].GetInt(0), 5);
+}
+
+TEST(DashDbLocalTest, GlmProcedureRegisteredOnDeploy) {
+  auto db = std::move(*DashDbLocal::Deploy());
+  auto conn = db->Connect("ds");
+  ASSERT_TRUE(conn->Execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").ok());
+  for (int i = 0; i < 30; ++i) {
+    double x = i / 30.0;
+    ASSERT_TRUE(conn->Execute("INSERT INTO pts VALUES (" + std::to_string(x) +
+                              ", " + std::to_string(2 * x) + ")")
+                    .ok());
+  }
+  auto r = conn->Execute("CALL IDAX.GLM('pts', 'y', 'x', 300, 'LINEAR')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.num_rows(), 2u);
+}
+
+TEST(DashDbLocalTest, CloudCompatibility) {
+  // Paper II.F: the cloud service runs "a common query engine" — code
+  // written against one instance executes unchanged on another.
+  DashDbOptions cloud;
+  cloud.detect_hardware = false;
+  cloud.hardware = {"aws-32vcpu", 32, size_t{244} << 30, size_t{3} << 40,
+                    true};
+  auto onprem = std::move(*DashDbLocal::Deploy());
+  auto aws = std::move(*DashDbLocal::Deploy(cloud));
+  const std::string app =
+      "CREATE TABLE app (k INT, v DOUBLE); "
+      "INSERT INTO app VALUES (1, 1.5), (2, 2.5); "
+      "SELECT AVG(v) FROM app;";
+  auto r1 = onprem->Connect("u")->ExecuteScript(app);
+  auto r2 = aws->Connect("u")->ExecuteScript(app);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1->rows.columns[0].GetDouble(0),
+                   r2->rows.columns[0].GetDouble(0));
+}
+
+}  // namespace
+}  // namespace dashdb

@@ -1,0 +1,166 @@
+// Tests for deployment simulation: hardware detection, automatic
+// configuration, container lifecycle, and the <30-minute claim (paper II.A).
+#include <gtest/gtest.h>
+
+#include "deploy/container.h"
+
+namespace dashdb {
+namespace {
+
+TEST(HardwareTest, DetectLocalIsSane) {
+  HardwareProfile hw = DetectLocalHardware();
+  EXPECT_GE(hw.cores, 1);
+  EXPECT_GT(hw.ram_bytes, size_t{256} << 20);
+}
+
+TEST(HardwareTest, MinimumRequirements) {
+  HardwareProfile tiny{"tiny", 2, size_t{4} << 30, size_t{10} << 30, false};
+  EXPECT_EQ(CheckMinimumRequirements(tiny).code(),
+            StatusCode::kResourceExhausted);
+  HardwareProfile ok{"ok", 4, size_t{8} << 30, size_t{20} << 30, true};
+  EXPECT_TRUE(CheckMinimumRequirements(ok).ok());
+}
+
+class AutoConfigProfileTest
+    : public ::testing::TestWithParam<HardwareProfile> {};
+
+TEST_P(AutoConfigProfileTest, InvariantsHoldOnEveryProfile) {
+  // Property: for every reference profile (laptop .. 72-way/6TB), the
+  // derived config passes all invariants and fits in RAM.
+  const HardwareProfile& hw = GetParam();
+  auto cfg = ComputeAutoConfig(hw);
+  ASSERT_TRUE(cfg.ok()) << hw.name;
+  EXPECT_TRUE(ValidateConfig(hw, *cfg).ok()) << hw.name;
+  EXPECT_LE(cfg->TotalAllocated(), hw.ram_bytes);
+  EXPECT_EQ(cfg->query_parallelism, hw.cores);
+  EXPECT_GE(cfg->bufferpool_bytes, hw.ram_bytes * 30 / 100);
+  EXPECT_GT(cfg->spark_bytes, 0u) << "Spark shares node memory (II.D)";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardProfiles, AutoConfigProfileTest,
+    ::testing::ValuesIn(StandardProfiles()),
+    [](const ::testing::TestParamInfo<HardwareProfile>& info) {
+      std::string n = info.param.name;
+      for (char& c : n) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST(AutoConfigTest, ScalesWithHardware) {
+  auto small = *ComputeAutoConfig(StandardProfiles()[0]);   // laptop
+  auto large = *ComputeAutoConfig(StandardProfiles()[3]);   // 72-way 6TB
+  EXPECT_GT(large.bufferpool_bytes, small.bufferpool_bytes * 100);
+  EXPECT_GT(large.query_parallelism, small.query_parallelism);
+  EXPECT_GT(large.shards_per_node, small.shards_per_node);
+}
+
+TEST(AutoConfigTest, EngineConfigProjection) {
+  auto cfg = *ComputeAutoConfig(StandardProfiles()[1]);
+  EngineConfig e = ToEngineConfig(cfg);
+  EXPECT_EQ(e.buffer_pool_bytes, cfg.bufferpool_bytes);
+  EXPECT_EQ(e.buffer_policy, ReplacementPolicy::kRandomWeight);
+}
+
+std::vector<Host> MakeHosts(int n, const HardwareProfile& hw,
+                            std::shared_ptr<ClusterFileSystem> fs) {
+  std::vector<Host> hosts;
+  for (int i = 0; i < n; ++i) {
+    Host h("node" + std::to_string(i), hw);
+    h.InstallDocker();
+    h.MountClusterFs(fs);
+    hosts.push_back(std::move(h));
+  }
+  return hosts;
+}
+
+TEST(DeployTest, PrerequisitesEnforced) {
+  Deployer d;
+  auto fs = std::make_shared<ClusterFileSystem>();
+  // Missing Docker.
+  std::vector<Host> h1 = {Host("n0", StandardProfiles()[1])};
+  h1[0].MountClusterFs(fs);
+  EXPECT_EQ(d.DeployCluster(&h1, "ibmdashdb/local:1.0").status().code(),
+            StatusCode::kUnavailable);
+  // Missing clusterfs mount.
+  std::vector<Host> h2 = {Host("n0", StandardProfiles()[1])};
+  h2[0].InstallDocker();
+  EXPECT_EQ(d.DeployCluster(&h2, "ibmdashdb/local:1.0").status().code(),
+            StatusCode::kUnavailable);
+  // Below minimum hardware.
+  HardwareProfile tiny{"tiny", 2, size_t{4} << 30, size_t{10} << 30, false};
+  auto h3 = MakeHosts(1, tiny, fs);
+  EXPECT_EQ(d.DeployCluster(&h3, "ibmdashdb/local:1.0").status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(DeployTest, SingleNodeDeploymentUnderFiveMinutes) {
+  Deployer d;
+  auto fs = std::make_shared<ClusterFileSystem>();
+  auto hosts = MakeHosts(1, StandardProfiles()[0], fs);
+  auto r = d.DeployCluster(&hosts, "ibmdashdb/local:1.0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->TotalSeconds(), 5 * 60.0);
+  EXPECT_EQ(hosts[0].container().state, ContainerState::kRunning);
+  ASSERT_EQ(r->node_configs.size(), 1u);
+}
+
+TEST(DeployTest, LargeClusterUnderThirtyMinutes) {
+  // The paper's headline: "consistently able to deploy to large clusters in
+  // under 30 minutes, fully configured".
+  Deployer d;
+  auto fs = std::make_shared<ClusterFileSystem>();
+  auto hosts = MakeHosts(24, StandardProfiles()[3], fs);  // 24 x 6TB nodes
+  auto r = d.DeployCluster(&hosts, "ibmdashdb/local:1.0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->TotalSeconds(), 30 * 60.0) << r->Describe();
+  EXPECT_EQ(r->node_configs.size(), 24u);
+}
+
+TEST(DeployTest, OnlyOneContainerPerHost) {
+  Deployer d;
+  auto fs = std::make_shared<ClusterFileSystem>();
+  auto hosts = MakeHosts(1, StandardProfiles()[1], fs);
+  ASSERT_TRUE(d.DeployCluster(&hosts, "ibmdashdb/local:1.0").ok());
+  EXPECT_EQ(d.DeployCluster(&hosts, "ibmdashdb/local:1.0").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DeployTest, StackUpdatePreservesDataAndIsFasterThanDeploy) {
+  Deployer d;
+  auto fs = std::make_shared<ClusterFileSystem>();
+  ASSERT_TRUE(fs->WriteFile("/mnt/clusterfs/db/data.bin", {1, 2, 3}).ok());
+  auto hosts = MakeHosts(4, StandardProfiles()[1], fs);
+  auto deploy = d.DeployCluster(&hosts, "ibmdashdb/local:1.0");
+  ASSERT_TRUE(deploy.ok());
+  auto update = d.UpdateStack(&hosts, "ibmdashdb/local:1.1");
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(hosts[0].container().image, "ibmdashdb/local:1.1");
+  // The data written before the update is untouched.
+  EXPECT_TRUE(fs->Exists("/mnt/clusterfs/db/data.bin"));
+  EXPECT_LT(update->TotalSeconds(), 30 * 60.0);
+}
+
+TEST(DeployTest, UpdateRequiresRunningContainer) {
+  Deployer d;
+  auto fs = std::make_shared<ClusterFileSystem>();
+  auto hosts = MakeHosts(1, StandardProfiles()[1], fs);
+  EXPECT_EQ(d.UpdateStack(&hosts, "ibmdashdb/local:2.0").status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(DeployTest, ParallelHostModel) {
+  // Host steps overlap across hosts: a 24-node deploy is not 24x slower
+  // than 1 node.
+  Deployer d;
+  auto fs = std::make_shared<ClusterFileSystem>();
+  auto one = MakeHosts(1, StandardProfiles()[1], fs);
+  auto many = MakeHosts(24, StandardProfiles()[1], fs);
+  double t1 = d.DeployCluster(&one, "img:1")->TotalSeconds();
+  double t24 = d.DeployCluster(&many, "img:1")->TotalSeconds();
+  EXPECT_LT(t24, t1 * 2);
+}
+
+}  // namespace
+}  // namespace dashdb

@@ -1,0 +1,152 @@
+// Tests for Fluid Query: nicknames over simulated remote stores, federated
+// SQL, pushdown vs full-transfer capability profiles (paper II.C.6).
+#include <gtest/gtest.h>
+
+#include "fluid/nickname.h"
+
+namespace dashdb {
+namespace fluid {
+namespace {
+
+TableSchema RemoteSchema(const char* name) {
+  return TableSchema("REMOTE", name,
+                     {{"ID", TypeId::kInt64, false, 0, false},
+                      {"CATEGORY", TypeId::kVarchar, true, 0, false},
+                      {"QTY", TypeId::kInt64, true, 0, false}});
+}
+
+RowBatch RemoteRows(int n) {
+  RowBatch b;
+  b.columns.emplace_back(TypeId::kInt64);
+  b.columns.emplace_back(TypeId::kVarchar);
+  b.columns.emplace_back(TypeId::kInt64);
+  for (int i = 0; i < n; ++i) {
+    b.columns[0].AppendInt(i);
+    b.columns[1].AppendString(i % 2 ? "widgets" : "gears");
+    b.columns[2].AppendInt(i * 3);
+  }
+  return b;
+}
+
+TEST(RemoteStoreTest, RdbmsPushdownTransfersOnlyMatches) {
+  auto store = std::make_shared<SimRdbmsStore>("ORACLE", RemoteSchema("T"));
+  ASSERT_TRUE(store->Load(RemoteRows(1000)).ok());
+  ColumnPredicate p;
+  p.column = 0;
+  p.int_range.hi = 9;
+  size_t rows = 0;
+  ASSERT_TRUE(store->Scan({p}, {0, 2}, [&](RowBatch& b) {
+                     rows += b.num_rows();
+                   }).ok());
+  EXPECT_EQ(rows, 10u);
+  TransferStats s = store->stats();
+  EXPECT_EQ(s.rows_transferred, 10u) << "pushdown ships only matches";
+  EXPECT_EQ(s.rows_scanned, 1000u);
+}
+
+TEST(RemoteStoreTest, HadoopTransfersEverythingThenFilters) {
+  auto store = std::make_shared<SimHadoopStore>(RemoteSchema("LOGS"));
+  ASSERT_TRUE(store->Load(RemoteRows(1000)).ok());
+  ColumnPredicate p;
+  p.column = 0;
+  p.int_range.hi = 9;
+  size_t rows = 0;
+  ASSERT_TRUE(store->Scan({p}, {0}, [&](RowBatch& b) {
+                     rows += b.num_rows();
+                   }).ok());
+  EXPECT_EQ(rows, 10u) << "results still correct";
+  TransferStats s = store->stats();
+  EXPECT_EQ(s.rows_transferred, 1000u) << "no pushdown: full transfer";
+}
+
+TEST(RemoteStoreTest, HadoopSchemaOnReadHandlesNulls) {
+  auto store = std::make_shared<SimHadoopStore>(RemoteSchema("LOGS"));
+  store->AppendLine("1|gears|30");
+  store->AppendLine("2|\\N|\\N");
+  size_t nulls = 0, rows = 0;
+  ASSERT_TRUE(store->Scan({}, {1, 2}, [&](RowBatch& b) {
+                     rows += b.num_rows();
+                     for (size_t i = 0; i < b.num_rows(); ++i) {
+                       if (b.columns[0].IsNull(i)) ++nulls;
+                     }
+                   }).ok());
+  EXPECT_EQ(rows, 2u);
+  EXPECT_EQ(nulls, 1u);
+}
+
+class FederationTest : public ::testing::Test {
+ protected:
+  FederationTest() : session_(engine_.CreateSession()) {
+    EXPECT_TRUE(engine_.catalog()->CreateSchema("REMOTE").ok());
+    oracle_ = std::make_shared<SimRdbmsStore>("ORACLE",
+                                              RemoteSchema("ORDERS"));
+    EXPECT_TRUE(oracle_->Load(RemoteRows(500)).ok());
+    EXPECT_TRUE(CreateNickname(&engine_, "REMOTE", "ORDERS", oracle_).ok());
+    hadoop_ = std::make_shared<SimHadoopStore>(RemoteSchema("CLICKS"));
+    EXPECT_TRUE(hadoop_->Load(RemoteRows(500)).ok());
+    EXPECT_TRUE(CreateNickname(&engine_, "REMOTE", "CLICKS", hadoop_).ok());
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto r = engine_.Execute(session_.get(), sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  Engine engine_;
+  std::shared_ptr<Session> session_;
+  std::shared_ptr<SimRdbmsStore> oracle_;
+  std::shared_ptr<SimHadoopStore> hadoop_;
+};
+
+TEST_F(FederationTest, QueryNicknameWithExistingSqlSkills) {
+  QueryResult r = Exec("SELECT COUNT(*) FROM remote.orders WHERE id < 100");
+  EXPECT_EQ(r.rows.columns[0].GetInt(0), 100);
+  // The sargable predicate was pushed into the remote scan.
+  EXPECT_EQ(oracle_->stats().rows_transferred, 100u);
+}
+
+TEST_F(FederationTest, HadoopNicknameCorrectWithoutPushdown) {
+  QueryResult r = Exec("SELECT COUNT(*) FROM remote.clicks WHERE id < 100");
+  EXPECT_EQ(r.rows.columns[0].GetInt(0), 100);
+  EXPECT_EQ(hadoop_->stats().rows_transferred, 500u);
+}
+
+TEST_F(FederationTest, JoinLocalTableWithNickname) {
+  // "bridges to RDBMS islands": local dashDB table joined with the remote.
+  Exec("CREATE TABLE local_cat (name VARCHAR(20), score INT)");
+  Exec("INSERT INTO local_cat VALUES ('gears', 1), ('widgets', 2)");
+  QueryResult r = Exec(
+      "SELECT l.score, COUNT(*) FROM remote.orders o "
+      "JOIN local_cat l ON o.category = l.name "
+      "GROUP BY l.score ORDER BY l.score");
+  ASSERT_EQ(r.rows.num_rows(), 2u);
+  EXPECT_EQ(r.rows.columns[1].GetInt(0), 250);
+}
+
+TEST_F(FederationTest, UnifyHadoopAndRdbmsInOneQuery) {
+  // "unification of Hadoop and structured data stores."
+  QueryResult r = Exec(
+      "SELECT COUNT(*) FROM remote.orders o JOIN remote.clicks c "
+      "ON o.id = c.id WHERE o.id < 50");
+  EXPECT_EQ(r.rows.columns[0].GetInt(0), 50);
+}
+
+TEST_F(FederationTest, ExplainShowsRemoteScan) {
+  QueryResult r = Exec("EXPLAIN SELECT * FROM remote.orders WHERE id = 1");
+  EXPECT_NE(r.message.find("RemoteScan(ORACLE"), std::string::npos)
+      << r.message;
+  EXPECT_NE(r.message.find("pushdown"), std::string::npos);
+}
+
+TEST_F(FederationTest, AggregateOverNickname) {
+  QueryResult r = Exec(
+      "SELECT category, SUM(qty) FROM remote.orders GROUP BY category "
+      "ORDER BY category");
+  ASSERT_EQ(r.rows.num_rows(), 2u);
+  EXPECT_EQ(r.rows.columns[0].GetString(0), "gears");
+}
+
+}  // namespace
+}  // namespace fluid
+}  // namespace dashdb

@@ -1,0 +1,101 @@
+// Tests for the SQL/MM geospatial surface (paper II.C.5).
+#include <gtest/gtest.h>
+
+#include "exec/geo.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+namespace {
+
+TEST(GeoTest, WktRoundTrip) {
+  auto p = geo::ParseWkt("POINT(1.5 -2)");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->kind, geo::GeomKind::kPoint);
+  EXPECT_DOUBLE_EQ(p->points[0].x, 1.5);
+  auto l = geo::ParseWkt("LINESTRING(0 0, 3 4)");
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l->points.size(), 2u);
+  auto poly = geo::ParseWkt("POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))");
+  ASSERT_TRUE(poly.ok());
+  EXPECT_EQ(poly->points.size(), 4u);  // closing vertex dropped
+  EXPECT_FALSE(geo::ParseWkt("CIRCLE(0 0, 5)").ok());
+  EXPECT_FALSE(geo::ParseWkt("POINT(1)").ok());
+}
+
+TEST(GeoTest, DistanceAndLength) {
+  auto a = *geo::ParseWkt("POINT(0 0)");
+  auto b = *geo::ParseWkt("POINT(3 4)");
+  EXPECT_DOUBLE_EQ(geo::Distance(a, b), 5.0);
+  auto line = *geo::ParseWkt("LINESTRING(0 0, 3 4, 3 10)");
+  EXPECT_DOUBLE_EQ(geo::Length(line), 11.0);
+  // Point-to-segment distance.
+  auto seg = *geo::ParseWkt("LINESTRING(0 0, 10 0)");
+  auto p = *geo::ParseWkt("POINT(5 2)");
+  EXPECT_DOUBLE_EQ(geo::Distance(p, seg), 2.0);
+}
+
+TEST(GeoTest, ContainsAndArea) {
+  auto square = *geo::ParseWkt("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0))");
+  EXPECT_TRUE(geo::Contains(square, {5, 5}));
+  EXPECT_FALSE(geo::Contains(square, {15, 5}));
+  EXPECT_TRUE(geo::Contains(square, {0, 5})) << "boundary counts";
+  EXPECT_DOUBLE_EQ(geo::Area(square), 100.0);
+  // Point inside a polygon has distance 0.
+  auto p = *geo::ParseWkt("POINT(5 5)");
+  EXPECT_DOUBLE_EQ(geo::Distance(p, square), 0.0);
+}
+
+TEST(GeoTest, SqlSurface) {
+  Engine engine;
+  auto session = engine.CreateSession();
+  auto exec = [&](const std::string& sql) {
+    auto r = engine.Execute(session.get(), sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? r->rows.columns[0].GetValue(0) : Value();
+  };
+  EXPECT_EQ(exec("SELECT ST_POINT(1, 2) FROM dual").AsString(), "POINT(1 2)");
+  EXPECT_DOUBLE_EQ(
+      exec("SELECT ST_DISTANCE(ST_POINT(0,0), ST_POINT(3,4)) FROM dual")
+          .AsDouble(),
+      5.0);
+  EXPECT_TRUE(exec("SELECT ST_CONTAINS('POLYGON((0 0, 2 0, 2 2, 0 2, 0 0))', "
+                   "ST_POINT(1, 1)) FROM dual")
+                  .AsBool());
+  EXPECT_TRUE(exec("SELECT ST_WITHIN(ST_POINT(1, 1), "
+                   "'POLYGON((0 0, 2 0, 2 2, 0 2, 0 0))') FROM dual")
+                  .AsBool());
+  EXPECT_DOUBLE_EQ(
+      exec("SELECT ST_AREA('POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))') FROM dual")
+          .AsDouble(),
+      16.0);
+  EXPECT_DOUBLE_EQ(exec("SELECT ST_X(ST_POINT(7, 9)) FROM dual").AsDouble(),
+                   7.0);
+}
+
+TEST(GeoTest, SpatialFilterOverTable) {
+  // A geofencing query: which stores fall inside a region.
+  Engine engine;
+  auto session = engine.CreateSession();
+  ASSERT_TRUE(engine
+                  .Execute(session.get(),
+                           "CREATE TABLE stores (id INT, loc VARCHAR(60))")
+                  .ok());
+  for (int i = 0; i < 20; ++i) {
+    std::string wkt = "POINT(" + std::to_string(i) + " " + std::to_string(i) +
+                      ")";
+    ASSERT_TRUE(engine
+                    .Execute(session.get(),
+                             "INSERT INTO stores VALUES (" +
+                                 std::to_string(i) + ", '" + wkt + "')")
+                    .ok());
+  }
+  auto r = engine.Execute(
+      session.get(),
+      "SELECT COUNT(*) FROM stores WHERE "
+      "ST_CONTAINS('POLYGON((0 0, 5 0, 5 5, 0 5, 0 0))', loc)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.columns[0].GetInt(0), 6);  // points (0,0)..(5,5)
+}
+
+}  // namespace
+}  // namespace dashdb

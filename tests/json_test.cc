@@ -1,0 +1,84 @@
+// Tests for the JSON analytics surface (paper Section VI future work).
+#include <gtest/gtest.h>
+
+#include "exec/json.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+namespace {
+
+const char* kDoc = R"({
+  "user": {"id": 42, "name": "ada", "vip": true, "score": 9.5},
+  "tags": ["db", "ml", "hpc"],
+  "events": [{"t": 1, "kind": "open"}, {"t": 2, "kind": "close"}],
+  "note": "line1\nline2",
+  "missing_value": null
+})";
+
+TEST(JsonTest, ScalarExtraction) {
+  EXPECT_EQ(json::Extract(kDoc, "$.user.name")->AsString(), "ada");
+  EXPECT_DOUBLE_EQ(json::Extract(kDoc, "$.user.id")->AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(json::Extract(kDoc, "$.user.score")->AsDouble(), 9.5);
+  EXPECT_TRUE(json::Extract(kDoc, "$.user.vip")->AsBool());
+  EXPECT_EQ(json::Extract(kDoc, "$.note")->AsString(), "line1\nline2");
+}
+
+TEST(JsonTest, NestedAndArrayPaths) {
+  EXPECT_EQ(json::Extract(kDoc, "$.tags[1]")->AsString(), "ml");
+  EXPECT_EQ(json::Extract(kDoc, "$.events[1].kind")->AsString(), "close");
+  // Objects/arrays come back as JSON text.
+  Value obj = *json::Extract(kDoc, "$.user");
+  EXPECT_NE(obj.AsString().find("\"name\""), std::string::npos);
+}
+
+TEST(JsonTest, MissingPathsAreNullNotErrors) {
+  EXPECT_TRUE(json::Extract(kDoc, "$.nope")->is_null());
+  EXPECT_TRUE(json::Extract(kDoc, "$.user.nope")->is_null());
+  EXPECT_TRUE(json::Extract(kDoc, "$.tags[9]")->is_null());
+  EXPECT_TRUE(json::Extract(kDoc, "$.missing_value")->is_null());
+  EXPECT_TRUE(json::Exists(kDoc, "$.user.name")->AsBool());
+  EXPECT_FALSE(json::Exists(kDoc, "$.user.nope")->AsBool());
+}
+
+TEST(JsonTest, ArrayLength) {
+  EXPECT_EQ(json::ArrayLength(kDoc, "$.tags")->AsInt(), 3);
+  EXPECT_EQ(json::ArrayLength(kDoc, "$.events")->AsInt(), 2);
+  EXPECT_TRUE(json::ArrayLength(kDoc, "$.user")->is_null());  // not an array
+  EXPECT_EQ(json::ArrayLength("[1, 2, 3, 4]", "$")->AsInt(), 4);
+  EXPECT_EQ(json::ArrayLength("[]", "$")->AsInt(), 0);
+}
+
+TEST(JsonTest, BadPathsError) {
+  EXPECT_FALSE(json::Extract(kDoc, "user.name").ok());   // no leading $
+  EXPECT_FALSE(json::Extract(kDoc, "$.tags[1").ok());    // missing ]
+}
+
+TEST(JsonTest, SqlSurface) {
+  // Analytics over JSON event payloads, straight from SQL.
+  Engine engine;
+  auto session = engine.CreateSession();
+  auto exec = [&](const std::string& sql) {
+    auto r = engine.Execute(session.get(), sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *std::move(r) : QueryResult{};
+  };
+  exec("CREATE TABLE events (id INT, payload VARCHAR(200))");
+  exec("INSERT INTO events VALUES "
+       "(1, '{\"kind\": \"click\", \"ms\": 120, \"tags\": [1,2]}'), "
+       "(2, '{\"kind\": \"view\",  \"ms\": 40}'), "
+       "(3, '{\"kind\": \"click\", \"ms\": 80}')");
+  QueryResult r = exec(
+      "SELECT COUNT(*), AVG(TO_NUMBER(JSON_VALUE(payload, '$.ms'))) "
+      "FROM events WHERE JSON_VALUE(payload, '$.kind') = 'click'");
+  EXPECT_EQ(r.rows.columns[0].GetInt(0), 2);
+  EXPECT_DOUBLE_EQ(r.rows.columns[1].GetDouble(0), 100.0);
+  QueryResult l = exec(
+      "SELECT JSON_ARRAY_LENGTH(payload, '$.tags') FROM events WHERE id = 1");
+  EXPECT_EQ(l.rows.columns[0].GetInt(0), 2);
+  QueryResult e = exec(
+      "SELECT COUNT(*) FROM events WHERE JSON_EXISTS(payload, '$.tags')");
+  EXPECT_EQ(e.rows.columns[0].GetInt(0), 1);
+}
+
+}  // namespace
+}  // namespace dashdb

@@ -1,0 +1,255 @@
+// Tests for the MPP layer: topology/HA/elasticity (paper II.E, Figure 9)
+// and distributed query execution (Figure 2).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mpp/mpp.h"
+
+namespace dashdb {
+namespace {
+
+// ---------------------------------------------------------------- topology --
+
+TEST(TopologyTest, InitialBalancedLayout) {
+  ClusterTopology t(4, 6, 16, size_t{64} << 30);
+  EXPECT_EQ(t.num_nodes(), 4);
+  EXPECT_EQ(t.num_shards(), 24);
+  for (int n = 0; n < 4; ++n) EXPECT_EQ(t.ShardsOnNode(n).size(), 6u);
+}
+
+TEST(TopologyTest, ShardsCappedByCores) {
+  // Paper: shard count "not larger than the cumulative number of cores".
+  ClusterTopology t(2, 100, 8, size_t{1} << 30);
+  EXPECT_EQ(t.num_shards(), 16);
+}
+
+TEST(TopologyTest, Figure9Failover) {
+  // The paper's example: 4 servers x 6 shards; server D fails; survivors
+  // serve 8 shards each.
+  ClusterTopology t(4, 6, 16, size_t{64} << 30);
+  auto stats = t.FailNode(3);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->shards_moved, 6u);
+  EXPECT_EQ(stats->surviving_nodes, 3);
+  EXPECT_EQ(stats->max_shards_per_node, 8u);
+  EXPECT_EQ(stats->min_shards_per_node, 8u);
+  for (int n = 0; n < 3; ++n) EXPECT_EQ(t.ShardsOnNode(n).size(), 8u);
+  EXPECT_EQ(t.ShardsOnNode(3).size(), 0u);
+  // Per-shard resources shrink accordingly (II.E).
+  EXPECT_EQ(t.CoresPerShard(0), 2);  // 16 cores / 8 shards
+}
+
+TEST(TopologyTest, RepairRebalancesBack) {
+  ClusterTopology t(4, 6, 16, size_t{64} << 30);
+  ASSERT_TRUE(t.FailNode(3).ok());
+  auto stats = t.RepairNode(3);
+  ASSERT_TRUE(stats.ok());
+  for (int n = 0; n < 4; ++n) EXPECT_EQ(t.ShardsOnNode(n).size(), 6u);
+}
+
+TEST(TopologyTest, ElasticGrowAndShrink) {
+  ClusterTopology t(3, 8, 16, size_t{64} << 30);  // 24 shards
+  auto grow = t.AddNode(16, size_t{64} << 30);
+  ASSERT_TRUE(grow.ok());
+  EXPECT_EQ(t.num_alive_nodes(), 4);
+  EXPECT_EQ(grow->max_shards_per_node, 6u);
+  auto shrink = t.RemoveNode(0);
+  ASSERT_TRUE(shrink.ok());
+  EXPECT_EQ(t.num_alive_nodes(), 3);
+  EXPECT_EQ(shrink->max_shards_per_node, 8u);
+}
+
+TEST(TopologyTest, CannotFailLastNode) {
+  ClusterTopology t(2, 4, 8, size_t{1} << 30);
+  ASSERT_TRUE(t.FailNode(0).ok());
+  EXPECT_EQ(t.FailNode(1).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(t.FailNode(0).status().code(),
+            StatusCode::kUnavailable);  // already down
+}
+
+TEST(TopologyTest, MakespanModelsScaling) {
+  // Equal work per shard: doubling the node count halves the makespan.
+  ClusterTopology t4(4, 4, 4, size_t{1} << 30);
+  ClusterTopology t8(8, 4, 4, size_t{1} << 30);
+  std::vector<double> work4(t4.num_shards(), 1.0);
+  std::vector<double> work8(t8.num_shards(), 1.0);
+  // Same total data spread over more shards means each shard holds less:
+  // model by scaling per-shard time with shard count.
+  for (auto& w : work8) w = 0.5;
+  double m4 = t4.Makespan(work4);
+  double m8 = t8.Makespan(work8);
+  EXPECT_NEAR(m8, m4 / 2, 1e-9);
+}
+
+TEST(TopologyTest, FailoverSlowsByExpectedFactor) {
+  // Figure 9 arithmetic: losing 1 of 4 nodes leaves 3/4 of the compute;
+  // with per-shard parallelism rescaled (work-conserving model), uniform
+  // work slows by exactly 4/3.
+  ClusterTopology t(4, 6, 6, size_t{1} << 30);
+  std::vector<double> work(t.num_shards(), 1.0);
+  double before = t.Makespan(work);
+  ASSERT_TRUE(t.FailNode(3).ok());
+  double after = t.Makespan(work);
+  EXPECT_NEAR(after / before, 4.0 / 3.0, 1e-9);
+}
+
+// --------------------------------------------------------------- database --
+
+class MppTest : public ::testing::Test {
+ protected:
+  MppTest() : db_(4, 4, 8, size_t{8} << 30) {
+    TableSchema sales(
+        "PUBLIC", "SALES",
+        {{"ID", TypeId::kInt64, false, 0, false},
+         {"CUST", TypeId::kInt64, true, 0, false},
+         {"AMT", TypeId::kDouble, true, 0, false}});
+    sales.set_distribution_key(0);
+    EXPECT_TRUE(db_.CreateTable(sales).ok());
+    TableSchema cust("PUBLIC", "CUST",
+                     {{"C_ID", TypeId::kInt64, false, 0, false},
+                      {"NAME", TypeId::kVarchar, true, 0, false}});
+    EXPECT_TRUE(db_.CreateTable(cust, /*replicated=*/true).ok());
+
+    RowBatch rows;
+    rows.columns.emplace_back(TypeId::kInt64);
+    rows.columns.emplace_back(TypeId::kInt64);
+    rows.columns.emplace_back(TypeId::kDouble);
+    for (int i = 0; i < 10000; ++i) {
+      rows.columns[0].AppendInt(i);
+      rows.columns[1].AppendInt(i % 50);
+      rows.columns[2].AppendDouble(i % 100);
+    }
+    EXPECT_TRUE(db_.Load("PUBLIC", "SALES", rows).ok());
+    RowBatch custs;
+    custs.columns.emplace_back(TypeId::kInt64);
+    custs.columns.emplace_back(TypeId::kVarchar);
+    for (int i = 0; i < 50; ++i) {
+      custs.columns[0].AppendInt(i);
+      custs.columns[1].AppendString("c" + std::to_string(i));
+    }
+    EXPECT_TRUE(db_.Load("PUBLIC", "CUST", custs).ok());
+  }
+
+  MppDatabase db_;
+};
+
+TEST_F(MppTest, HashDistributionBalances) {
+  auto counts = db_.ShardRowCounts("PUBLIC", "SALES");
+  ASSERT_TRUE(counts.ok());
+  size_t total = 0;
+  for (size_t c : *counts) {
+    total += c;
+    EXPECT_GT(c, 10000u / 16 / 2) << "shard badly unbalanced";
+  }
+  EXPECT_EQ(total, 10000u);
+}
+
+TEST_F(MppTest, ReplicatedTableOnEveryShard) {
+  auto counts = db_.ShardRowCounts("PUBLIC", "CUST");
+  ASSERT_TRUE(counts.ok());
+  for (size_t c : *counts) EXPECT_EQ(c, 50u);
+}
+
+TEST_F(MppTest, GlobalCount) {
+  auto r = db_.Execute("SELECT COUNT(*) FROM sales");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->result.rows.columns[0].GetInt(0), 10000);
+}
+
+TEST_F(MppTest, GlobalAggregates) {
+  auto r = db_.Execute(
+      "SELECT COUNT(*), SUM(amt), MIN(amt), MAX(amt), AVG(amt) FROM sales");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const RowBatch& rb = r->result.rows;
+  EXPECT_EQ(rb.columns[0].GetInt(0), 10000);
+  EXPECT_DOUBLE_EQ(rb.columns[2].GetDouble(0), 0.0);
+  EXPECT_DOUBLE_EQ(rb.columns[3].GetDouble(0), 99.0);
+  EXPECT_NEAR(rb.columns[4].GetDouble(0), 49.5, 0.01);
+}
+
+TEST_F(MppTest, GroupByMergesAcrossShards) {
+  auto r = db_.Execute(
+      "SELECT cust, COUNT(*), SUM(amt) FROM sales GROUP BY cust "
+      "ORDER BY cust LIMIT 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->result.rows.num_rows(), 5u);
+  // Every customer has 200 rows regardless of sharding.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(r->result.rows.columns[1].GetInt(i), 200);
+  }
+}
+
+TEST_F(MppTest, WherePushdownAcrossShards) {
+  auto r = db_.Execute("SELECT COUNT(*) FROM sales WHERE id < 100");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.rows.columns[0].GetInt(0), 100);
+}
+
+TEST_F(MppTest, ShardLocalJoinWithReplicatedDim) {
+  auto r = db_.Execute(
+      "SELECT COUNT(*) FROM sales s JOIN cust c ON s.cust = c.c_id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->result.rows.columns[0].GetInt(0), 10000);
+}
+
+TEST_F(MppTest, NonAggSelectMergesAndSorts) {
+  auto r = db_.Execute(
+      "SELECT id, amt FROM sales WHERE id < 20 ORDER BY id DESC LIMIT 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->result.rows.num_rows(), 3u);
+  EXPECT_EQ(r->result.rows.columns[0].GetInt(0), 19);
+  EXPECT_EQ(r->result.rows.columns[0].GetInt(2), 17);
+}
+
+TEST_F(MppTest, RoutedInsertLandsOnOneShard) {
+  auto before = *db_.ShardRowCounts("PUBLIC", "SALES");
+  auto r = db_.Execute("INSERT INTO sales VALUES (990001, 1, 5.0)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto after = *db_.ShardRowCounts("PUBLIC", "SALES");
+  size_t changed = 0;
+  for (size_t s = 0; s < before.size(); ++s) {
+    if (after[s] != before[s]) ++changed;
+  }
+  EXPECT_EQ(changed, 1u);
+  auto c = db_.Execute("SELECT COUNT(*) FROM sales WHERE id = 990001");
+  EXPECT_EQ(c->result.rows.columns[0].GetInt(0), 1);
+}
+
+TEST_F(MppTest, BroadcastDeleteAndUpdate) {
+  auto d = db_.Execute("DELETE FROM sales WHERE cust = 7");
+  ASSERT_TRUE(d.ok());
+  auto c = db_.Execute("SELECT COUNT(*) FROM sales");
+  EXPECT_EQ(c->result.rows.columns[0].GetInt(0), 9800);
+  auto u = db_.Execute("UPDATE sales SET amt = 0 WHERE cust = 8");
+  ASSERT_TRUE(u.ok());
+  auto s = db_.Execute("SELECT SUM(amt) FROM sales WHERE cust = 8");
+  EXPECT_DOUBLE_EQ(s->result.rows.columns[1 - 1].GetDouble(0), 0.0);
+}
+
+TEST_F(MppTest, QueriesSurviveNodeFailure) {
+  // HA story: after failover the same queries return the same answers —
+  // shards moved, data did not.
+  ASSERT_TRUE(db_.topology()->FailNode(2).ok());
+  auto r = db_.Execute("SELECT COUNT(*) FROM sales");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.rows.columns[0].GetInt(0), 10000);
+  // The survivors absorbed the failed node's shards (Figure 9).
+  size_t max_shards = 0;
+  for (int n = 0; n < db_.topology()->num_nodes(); ++n) {
+    max_shards = std::max(max_shards, db_.topology()->ShardsOnNode(n).size());
+  }
+  EXPECT_GE(max_shards, 5u);  // 16 shards over 3 survivors
+  EXPECT_EQ(db_.topology()->ShardsOnNode(2).size(), 0u);
+}
+
+TEST_F(MppTest, ExplicitDdlBroadcast) {
+  auto r = db_.Execute("CREATE TABLE t2 (x INT)");
+  ASSERT_TRUE(r.ok());
+  auto i = db_.Execute("INSERT INTO t2 VALUES (1)");
+  ASSERT_TRUE(i.ok());
+  auto c = db_.Execute("SELECT COUNT(*) FROM t2");
+  EXPECT_EQ(c->result.rows.columns[0].GetInt(0), 1);
+}
+
+}  // namespace
+}  // namespace dashdb

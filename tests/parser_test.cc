@@ -1,0 +1,213 @@
+// Unit tests for the lexer and parser: token forms, operator precedence in
+// the AST, dialect syntax recognition, and error reporting.
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace dashdb {
+namespace {
+
+using ast::ExprKind;
+using ast::StmtKind;
+
+ast::StatementP Parse(const std::string& sql) {
+  auto r = ParseStatement(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+// ------------------------------------------------------------------ lexer --
+
+TEST(LexerTest, TokensAndComments) {
+  auto toks = Lex("SELECT x, 'it''s' -- comment\n FROM t /* block */ WHERE "
+                  "a<=1.5e2");
+  ASSERT_TRUE(toks.ok());
+  std::vector<std::string> texts;
+  for (const auto& t : *toks) texts.push_back(t.text);
+  // Comments vanish; the escaped quote is unescaped; <= is one token.
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "it's"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "<="), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "1.5e2"), texts.end());
+  EXPECT_EQ(std::find(texts.begin(), texts.end(), "comment"), texts.end());
+}
+
+TEST(LexerTest, QuotedIdentifiersKeepCase) {
+  auto toks = Lex("SELECT \"MixedCase\" FROM t");
+  ASSERT_TRUE(toks.ok());
+  bool found = false;
+  for (const auto& t : *toks) {
+    if (t.quoted && t.text == "MixedCase") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, OracleOuterJoinMarker) {
+  auto toks = Lex("a.x = b.y (+)");
+  ASSERT_TRUE(toks.ok());
+  bool found = false;
+  for (const auto& t : *toks) {
+    if (t.kind == TokKind::kOp && t.text == "(+)") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("SELECT 'oops").ok());
+  EXPECT_FALSE(Lex("SELECT \"oops").ok());
+  EXPECT_FALSE(Lex("SELECT /* oops").ok());
+  EXPECT_FALSE(Lex("SELECT @x").ok());
+}
+
+// ----------------------------------------------------------------- parser --
+
+TEST(ParserTest, PrecedenceInAst) {
+  auto st = Parse("SELECT 1 + 2 * 3");
+  const auto& e = st->select->items[0].expr;
+  // Root must be '+', with '*' nested on the right.
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->bin_op, ast::BinOp::kAdd);
+  EXPECT_EQ(e->children[1]->bin_op, ast::BinOp::kMul);
+  // AND binds tighter than OR.
+  auto st2 = Parse("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  EXPECT_EQ(st2->select->where->bin_op, ast::BinOp::kOr);
+}
+
+TEST(ParserTest, BetweenBindsAndCorrectly) {
+  auto st = Parse("SELECT 1 FROM t WHERE x BETWEEN 1 AND 2 AND y = 3");
+  // Top-level AND joins the BETWEEN and the equality.
+  ASSERT_EQ(st->select->where->bin_op, ast::BinOp::kAnd);
+  EXPECT_EQ(st->select->where->children[0]->kind, ExprKind::kBetween);
+}
+
+TEST(ParserTest, SelectClauses) {
+  auto st = Parse(
+      "SELECT a, COUNT(*) n FROM t WHERE a > 0 GROUP BY a HAVING COUNT(*) > 1 "
+      "ORDER BY n DESC LIMIT 10 OFFSET 5");
+  const auto& sel = *st->select;
+  EXPECT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.items[1].alias, "N");
+  EXPECT_EQ(sel.group_by.size(), 1u);
+  ASSERT_TRUE(sel.having != nullptr);
+  ASSERT_EQ(sel.order_by.size(), 1u);
+  EXPECT_TRUE(sel.order_by[0].desc);
+  EXPECT_EQ(sel.limit, 10);
+  EXPECT_EQ(sel.offset, 5);
+}
+
+TEST(ParserTest, JoinVariants) {
+  auto st = Parse(
+      "SELECT 1 FROM a JOIN b ON a.x = b.y LEFT OUTER JOIN c USING (k), d");
+  const auto& from = st->select->from;
+  ASSERT_EQ(from.size(), 4u);
+  EXPECT_EQ(from[1].join, ast::TableRef::JoinKind::kInner);
+  EXPECT_TRUE(from[1].join_condition != nullptr);
+  EXPECT_EQ(from[2].join, ast::TableRef::JoinKind::kLeft);
+  EXPECT_EQ(from[2].using_cols.size(), 1u);
+  EXPECT_EQ(from[3].join, ast::TableRef::JoinKind::kCross);  // comma join
+}
+
+TEST(ParserTest, SubqueryAndCte) {
+  auto st = Parse(
+      "WITH x AS (SELECT 1 a) SELECT * FROM (SELECT a FROM x) sub");
+  EXPECT_EQ(st->select->ctes.size(), 1u);
+  EXPECT_TRUE(st->select->from[0].subquery != nullptr);
+  EXPECT_EQ(st->select->from[0].alias, "SUB");
+}
+
+TEST(ParserTest, DdlForms) {
+  auto ct = Parse(
+      "CREATE TABLE s.t (id BIGINT NOT NULL PRIMARY KEY, v VARCHAR(20)) "
+      "ORGANIZE BY ROW DISTRIBUTE BY HASH(id)");
+  EXPECT_EQ(ct->kind, StmtKind::kCreateTable);
+  EXPECT_EQ(ct->target_schema, "S");
+  EXPECT_TRUE(ct->organize_by_row);
+  EXPECT_EQ(ct->distribute_by, "ID");
+  EXPECT_TRUE(ct->columns[0].unique);
+  EXPECT_TRUE(ct->columns[0].not_null);
+
+  EXPECT_EQ(Parse("DROP TABLE IF EXISTS t")->if_exists, true);
+  EXPECT_EQ(Parse("TRUNCATE TABLE t IMMEDIATE")->kind, StmtKind::kTruncate);
+  EXPECT_EQ(Parse("CREATE TEMP TABLE t (x INT)")->temporary, true);
+  EXPECT_EQ(Parse("DECLARE GLOBAL TEMPORARY TABLE t (x INT)")->temporary,
+            true);
+  EXPECT_EQ(Parse("CREATE ALIAS a FOR b")->kind, StmtKind::kCreateAlias);
+  EXPECT_EQ(Parse("CREATE SEQUENCE seq1")->kind, StmtKind::kCreateSequence);
+}
+
+TEST(ParserTest, DmlForms) {
+  auto ins = Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  EXPECT_EQ(ins->insert_columns.size(), 2u);
+  EXPECT_EQ(ins->insert_rows.size(), 2u);
+  auto ins2 = Parse("INSERT INTO t SELECT * FROM s");
+  EXPECT_TRUE(ins2->select != nullptr);
+  auto upd = Parse("UPDATE t SET a = a + 1, b = 'z' WHERE id = 3");
+  EXPECT_EQ(upd->set_clauses.size(), 2u);
+  EXPECT_TRUE(upd->where != nullptr);
+  auto del = Parse("DELETE FROM t WHERE a IN (1, 2)");
+  EXPECT_EQ(del->kind, StmtKind::kDelete);
+}
+
+TEST(ParserTest, DialectExpressionForms) {
+  // Netezza :: cast chain and postfix predicates.
+  auto st = Parse("SELECT '1'::INT4::FLOAT8 FROM t WHERE a ISNULL");
+  EXPECT_EQ(st->select->items[0].expr->kind, ExprKind::kCast);
+  EXPECT_EQ(st->select->where->kind, ExprKind::kIsNull);
+  // Oracle sequence refs + DB2 spelling.
+  EXPECT_EQ(Parse("SELECT s.NEXTVAL FROM DUAL")
+                ->select->items[0]
+                .expr->kind,
+            ExprKind::kSequenceRef);
+  EXPECT_EQ(Parse("SELECT NEXT VALUE FOR s FROM DUAL")
+                ->select->items[0]
+                .expr->kind,
+            ExprKind::kSequenceRef);
+  // CASE with operand; DATE literal; CAST(x AS t).
+  EXPECT_EQ(Parse("SELECT CASE a WHEN 1 THEN 'x' ELSE 'y' END FROM t")
+                ->select->items[0]
+                .expr->kind,
+            ExprKind::kCase);
+  EXPECT_EQ(Parse("SELECT DATE '2017-01-01'")->select->items[0].expr->kind,
+            ExprKind::kLiteral);
+  EXPECT_EQ(Parse("SELECT CAST(a AS VARCHAR(10)) FROM t")
+                ->select->items[0]
+                .expr->kind,
+            ExprKind::kCast);
+  // OVERLAPS with row pairs.
+  EXPECT_EQ(Parse("SELECT (a, b) OVERLAPS (c, d) FROM t")
+                ->select->items[0]
+                .expr->kind,
+            ExprKind::kOverlaps);
+}
+
+TEST(ParserTest, ConnectByClauses) {
+  auto st = Parse(
+      "SELECT name, LEVEL FROM org START WITH mgr IS NULL "
+      "CONNECT BY PRIOR id = mgr");
+  EXPECT_TRUE(st->select->start_with != nullptr);
+  EXPECT_TRUE(st->select->connect_by != nullptr);
+}
+
+TEST(ParserTest, ScriptSplitting) {
+  auto r = ParseScript("SELECT 1; SELECT 2; CREATE TABLE t (x INT);");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_FALSE(ParseScript("SELECT 1 SELECT 2").ok());
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto r = ParseStatement("SELECT a FROM t WHERE");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, AstToStringStable) {
+  auto a = Parse("SELECT a + b * 2 FROM t")->select->items[0].expr;
+  auto b = Parse("SELECT a + b * 2 FROM t")->select->items[0].expr;
+  EXPECT_EQ(AstToString(a), AstToString(b));
+  auto c = Parse("SELECT a + 2 * b FROM t")->select->items[0].expr;
+  EXPECT_NE(AstToString(a), AstToString(c));
+}
+
+}  // namespace
+}  // namespace dashdb

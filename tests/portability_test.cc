@@ -1,0 +1,111 @@
+// Tests for full-cluster portability (paper II.E): save a cluster's tables
+// to the shared filesystem, stand up a DIFFERENT topology, restore, and get
+// the same answers with correctly re-hashed shards.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mpp/portability.h"
+
+namespace dashdb {
+namespace {
+
+TEST(ManifestTest, SchemaRoundTrip) {
+  TableSchema s("SALES", "ORDERS",
+                {{"ID", TypeId::kInt64, false, 0, true},
+                 {"WHEN", TypeId::kDate, true, 0, false},
+                 {"NOTE", TypeId::kVarchar, true, 0, false}},
+                TableOrganization::kRow);
+  s.set_distribution_key(0);
+  auto parsed = ManifestToSchema(SchemaToManifest(s, true));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const TableSchema& r = parsed->first;
+  EXPECT_TRUE(parsed->second);  // replicated flag survives
+  EXPECT_EQ(r.QualifiedName(), "SALES.ORDERS");
+  EXPECT_EQ(r.organization(), TableOrganization::kRow);
+  EXPECT_EQ(r.distribution_key(), 0);
+  ASSERT_EQ(r.num_columns(), 3);
+  EXPECT_EQ(r.column(0).type, TypeId::kInt64);
+  EXPECT_FALSE(r.column(0).nullable);
+  EXPECT_TRUE(r.column(0).unique);
+  EXPECT_EQ(r.column(2).type, TypeId::kVarchar);
+}
+
+TEST(ManifestTest, RejectsGarbage) {
+  EXPECT_FALSE(ManifestToSchema("").ok());
+  EXPECT_FALSE(ManifestToSchema("just|three|fields\n").ok());
+}
+
+TEST(PortabilityTest, MoveClusterToDifferentTopology) {
+  // Source: 4 nodes x 3 shards. Destination: 2 nodes x 5 shards.
+  MppDatabase src(4, 3, 8, size_t{8} << 30);
+  TableSchema facts("PUBLIC", "FACTS",
+                    {{"ID", TypeId::kInt64, false, 0, false},
+                     {"G", TypeId::kInt64, true, 0, false},
+                     {"V", TypeId::kDouble, true, 0, false}});
+  facts.set_distribution_key(0);
+  ASSERT_TRUE(src.CreateTable(facts).ok());
+  TableSchema dim("PUBLIC", "DIM",
+                  {{"K", TypeId::kInt64, false, 0, false},
+                   {"NAME", TypeId::kVarchar, true, 0, false}});
+  ASSERT_TRUE(src.CreateTable(dim, /*replicated=*/true).ok());
+
+  RowBatch rows;
+  rows.columns.emplace_back(TypeId::kInt64);
+  rows.columns.emplace_back(TypeId::kInt64);
+  rows.columns.emplace_back(TypeId::kDouble);
+  Rng rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    rows.columns[0].AppendInt(i);
+    rows.columns[1].AppendInt(static_cast<int64_t>(rng.Uniform(7)));
+    rows.columns[2].AppendDouble(rng.Uniform(100));
+  }
+  ASSERT_TRUE(src.Load("PUBLIC", "FACTS", rows).ok());
+  RowBatch drows;
+  drows.columns.emplace_back(TypeId::kInt64);
+  drows.columns.emplace_back(TypeId::kVarchar);
+  for (int i = 0; i < 7; ++i) {
+    drows.columns[0].AppendInt(i);
+    drows.columns[1].AppendString("g" + std::to_string(i));
+  }
+  ASSERT_TRUE(src.Load("PUBLIC", "DIM", drows).ok());
+
+  auto src_sum = src.Execute("SELECT COUNT(*), SUM(v) FROM facts");
+  ASSERT_TRUE(src_sum.ok());
+
+  // "Copy the clustered filesystem" and deploy on new hardware.
+  ClusterFileSystem fs;
+  ASSERT_TRUE(SaveCluster(&src, &fs, "/mnt/clusterfs/db").ok());
+  EXPECT_GE(fs.FileCount(), 4u);  // 2 manifests + 2 data files
+
+  MppDatabase dst(2, 5, 4, size_t{4} << 30);
+  ASSERT_TRUE(RestoreCluster(&dst, fs, "/mnt/clusterfs/db").ok());
+
+  // Same answers on the new topology.
+  auto dst_sum = dst.Execute("SELECT COUNT(*), SUM(v) FROM facts");
+  ASSERT_TRUE(dst_sum.ok()) << dst_sum.status().ToString();
+  EXPECT_EQ(dst_sum->result.rows.columns[0].GetInt(0),
+            src_sum->result.rows.columns[0].GetInt(0));
+  EXPECT_NEAR(dst_sum->result.rows.columns[1].GetDouble(0),
+              src_sum->result.rows.columns[1].GetDouble(0), 1e-6);
+  // Data actually redistributed across the destination's 10 shards.
+  auto counts = dst.ShardRowCounts("PUBLIC", "FACTS");
+  ASSERT_TRUE(counts.ok());
+  size_t non_empty = 0, total = 0;
+  for (size_t c : *counts) {
+    total += c;
+    if (c > 0) ++non_empty;
+  }
+  EXPECT_EQ(total, 20000u);
+  EXPECT_EQ(non_empty, counts->size()) << "every destination shard holds data";
+  // Replicated dim is on every destination shard.
+  auto dim_counts = *dst.ShardRowCounts("PUBLIC", "DIM");
+  for (size_t c : dim_counts) EXPECT_EQ(c, 7u);
+  // Joins still work post-move.
+  auto joined = dst.Execute(
+      "SELECT COUNT(*) FROM facts f JOIN dim d ON f.g = d.k");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->result.rows.columns[0].GetInt(0), 20000);
+}
+
+}  // namespace
+}  // namespace dashdb

@@ -1,0 +1,254 @@
+// Tests for the sparklite integration (paper II.D): dataset DAG, per-user
+// dispatcher isolation, collocated transfer with pushdown, and GLM.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "spark/connector.h"
+#include "spark/glm.h"
+
+namespace dashdb {
+namespace spark {
+namespace {
+
+Dataset MakeNumbers(int n, int parts) {
+  std::vector<Partition> p(parts);
+  for (int i = 0; i < n; ++i) {
+    p[i % parts].push_back({Value::Int64(i)});
+  }
+  return Dataset::FromPartitions(std::move(p));
+}
+
+TEST(DatasetTest, MapFilterCollect) {
+  ThreadPool pool(2);
+  Dataset d = MakeNumbers(100, 4)
+                  .Filter([](const Row& r) { return r[0].AsInt() % 2 == 0; })
+                  .Map([](const Row& r) {
+                    return Row{Value::Int64(r[0].AsInt() * 10)};
+                  });
+  auto rows = d.Collect(&pool);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 50u);
+  int64_t sum = 0;
+  for (const Row& r : *rows) sum += r[0].AsInt();
+  EXPECT_EQ(sum, 24500);  // 10 * sum(evens < 100) = 10 * 2450
+}
+
+TEST(DatasetTest, LazinessSharesNoState) {
+  // Transformations produce new datasets; the base is unchanged.
+  ThreadPool pool(2);
+  Dataset base = MakeNumbers(10, 2);
+  Dataset filtered = base.Filter([](const Row& r) { return r[0].AsInt() < 3; });
+  EXPECT_EQ(*base.Count(&pool), 10u);
+  EXPECT_EQ(*filtered.Count(&pool), 3u);
+}
+
+TEST(DatasetTest, AggregateTreeShape) {
+  ThreadPool pool(2);
+  Dataset d = MakeNumbers(1000, 8);
+  auto sum = d.Aggregate<int64_t>(
+      &pool, 0,
+      [](int64_t& acc, const Row& r) { acc += r[0].AsInt(); },
+      [](int64_t& a, const int64_t& b) { a += b; });
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 999 * 1000 / 2);
+}
+
+TEST(DispatcherTest, PerUserClusterManagers) {
+  SparkDispatcher disp(2, size_t{1} << 30);
+  ClusterManager* a1 = disp.ManagerFor("alice");
+  ClusterManager* a2 = disp.ManagerFor("alice");
+  ClusterManager* b = disp.ManagerFor("bob");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(disp.num_managers(), 2u);
+  EXPECT_EQ(a1->memory_bytes(), size_t{1} << 30);
+}
+
+TEST(DispatcherTest, JobLifecycleAndIsolation) {
+  SparkDispatcher disp(2, size_t{1} << 30);
+  auto id = disp.Submit("alice", "job1", [](ClusterManager*) {
+    return Result<std::string>("done");
+  });
+  ASSERT_TRUE(id.ok());
+  auto status = disp.GetStatus("alice", *id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, JobState::kFinished);
+  EXPECT_EQ(status->result, "done");
+  // Isolation: bob cannot see alice's job (paper II.D.1).
+  EXPECT_EQ(disp.GetStatus("bob", *id).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(disp.ListJobs("alice").size(), 1u);
+  EXPECT_EQ(disp.ListJobs("bob").size(), 0u);
+}
+
+TEST(DispatcherTest, FailedJobReported) {
+  SparkDispatcher disp(2, 1 << 20);
+  auto id = disp.Submit("u", "bad", [](ClusterManager*) -> Result<std::string> {
+    return Status::Internal("boom");
+  });
+  EXPECT_FALSE(id.ok());
+  auto jobs = disp.ListJobs("u");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].state, JobState::kFailed);
+}
+
+TEST(DispatcherTest, CancelCompletedJobRejected) {
+  SparkDispatcher disp(2, 1 << 20);
+  auto id = disp.Submit("u", "ok", [](ClusterManager*) {
+    return Result<std::string>("x");
+  });
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(disp.Cancel("u", *id).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disp.Cancel("other", *id).code(), StatusCode::kNotFound);
+}
+
+class ConnectorTest : public ::testing::Test {
+ protected:
+  ConnectorTest() : db_(4, 2, 4, size_t{4} << 30) {
+    TableSchema t("PUBLIC", "EVENTS",
+                  {{"ID", TypeId::kInt64, false, 0, false},
+                   {"KIND", TypeId::kInt64, true, 0, false},
+                   {"PAYLOAD", TypeId::kVarchar, true, 0, false}});
+    t.set_distribution_key(0);
+    EXPECT_TRUE(db_.CreateTable(t).ok());
+    RowBatch rows;
+    rows.columns.emplace_back(TypeId::kInt64);
+    rows.columns.emplace_back(TypeId::kInt64);
+    rows.columns.emplace_back(TypeId::kVarchar);
+    for (int i = 0; i < 20000; ++i) {
+      rows.columns[0].AppendInt(i);
+      rows.columns[1].AppendInt(i % 10);
+      rows.columns[2].AppendString("payload-" + std::to_string(i % 100));
+    }
+    EXPECT_TRUE(db_.Load("PUBLIC", "EVENTS", rows).ok());
+  }
+  MppDatabase db_;
+};
+
+TEST_F(ConnectorTest, FullTransferHasOnePartitionPerShard) {
+  TransferOptions opts;
+  TransferReport report;
+  auto d = TableToDataset(&db_, "PUBLIC", "EVENTS", opts, &report);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->num_partitions(), static_cast<size_t>(db_.num_shards()));
+  EXPECT_EQ(report.rows, 20000u);
+  ThreadPool pool(2);
+  EXPECT_EQ(*d->Count(&pool), 20000u);
+}
+
+TEST_F(ConnectorTest, PushdownShrinksTransfer) {
+  TransferOptions all, pushed;
+  pushed.pushdown_where = "kind = 3";
+  TransferReport rep_all, rep_pushed;
+  ASSERT_TRUE(TableToDataset(&db_, "PUBLIC", "EVENTS", all, &rep_all).ok());
+  auto d = TableToDataset(&db_, "PUBLIC", "EVENTS", pushed, &rep_pushed);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(rep_pushed.rows, 2000u);
+  EXPECT_LT(rep_pushed.bytes * 5, rep_all.bytes);
+  EXPECT_LT(rep_pushed.modeled_seconds, rep_all.modeled_seconds);
+}
+
+TEST_F(ConnectorTest, CollocatedBeatsRemoteJdbc) {
+  // Figure 7's point: collocated per-node links beat one remote pipe.
+  TransferOptions coll, remote;
+  coll.collocated = true;
+  remote.collocated = false;
+  TransferReport rc, rr;
+  ASSERT_TRUE(TableToDataset(&db_, "PUBLIC", "EVENTS", coll, &rc).ok());
+  ASSERT_TRUE(TableToDataset(&db_, "PUBLIC", "EVENTS", remote, &rr).ok());
+  EXPECT_LT(rc.modeled_seconds * 2, rr.modeled_seconds)
+      << "4 parallel node links should be ~4x one remote link";
+}
+
+TEST(GlmTest, LearnsLinearRelation) {
+  // y = 3 + 2*x1 - x2 with small noise.
+  Rng rng(7);
+  std::vector<Partition> parts(4);
+  for (int i = 0; i < 4000; ++i) {
+    double x1 = rng.NextDouble() * 2 - 1;
+    double x2 = rng.NextDouble() * 2 - 1;
+    double y = 3 + 2 * x1 - x2 + rng.Gaussian() * 0.01;
+    parts[i % 4].push_back(
+        {Value::Double(x1), Value::Double(x2), Value::Double(y)});
+  }
+  GlmConfig cfg;
+  cfg.logistic = false;
+  cfg.iterations = 800;
+  cfg.learning_rate = 0.5;
+  ThreadPool pool(2);
+  auto model = TrainGlm(Dataset::FromPartitions(std::move(parts)), {0, 1}, 2,
+                        cfg, &pool);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_NEAR(model->weights[0], 3.0, 0.1);
+  EXPECT_NEAR(model->weights[1], 2.0, 0.1);
+  EXPECT_NEAR(model->weights[2], -1.0, 0.1);
+}
+
+TEST(GlmTest, LearnsLogisticSeparation) {
+  Rng rng(11);
+  std::vector<Partition> parts(4);
+  for (int i = 0; i < 4000; ++i) {
+    double x = rng.NextDouble() * 4 - 2;
+    double p = 1.0 / (1.0 + std::exp(-(2 * x)));
+    double y = rng.NextDouble() < p ? 1.0 : 0.0;
+    parts[i % 4].push_back({Value::Double(x), Value::Double(y)});
+  }
+  GlmConfig cfg;
+  cfg.logistic = true;
+  cfg.iterations = 600;
+  cfg.learning_rate = 0.5;
+  ThreadPool pool(2);
+  auto model = TrainGlm(Dataset::FromPartitions(std::move(parts)), {0}, 1,
+                        cfg, &pool);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->weights[1], 1.0) << "slope should be clearly positive";
+  // Predictions separate the classes.
+  EXPECT_GT(model->Predict({2.0}), 0.9);
+  EXPECT_LT(model->Predict({-2.0}), 0.1);
+}
+
+TEST(GlmTest, NullRowsSkippedAndEmptyRejected) {
+  std::vector<Partition> parts(1);
+  parts[0].push_back({Value::Null(TypeId::kDouble), Value::Double(1)});
+  GlmConfig cfg;
+  ThreadPool pool(1);
+  auto model = TrainGlm(Dataset::FromPartitions(std::move(parts)), {0}, 1,
+                        cfg, &pool);
+  EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GlmTest, SqlStoredProcedureSurface) {
+  // Paper II.D.1: run GLM "from within SQL".
+  Engine engine;
+  auto session = engine.CreateSession();
+  SparkDispatcher disp(2, size_t{1} << 30);
+  RegisterGlmProcedure(&engine, &disp);
+  ASSERT_TRUE(engine
+                  .Execute(session.get(),
+                           "CREATE TABLE train (x DOUBLE, y DOUBLE)")
+                  .ok());
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    double x = rng.NextDouble();
+    double y = 1 + 2 * x;
+    ASSERT_TRUE(engine
+                    .Execute(session.get(),
+                             "INSERT INTO train VALUES (" +
+                                 std::to_string(x) + ", " +
+                                 std::to_string(y) + ")")
+                    .ok());
+  }
+  auto r = engine.Execute(
+      session.get(), "CALL IDAX.GLM('train', 'y', 'x', 500, 'LINEAR')");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.num_rows(), 2u);
+  EXPECT_NEAR(r->rows.columns[1].GetDouble(0), 1.0, 0.3);  // intercept
+  EXPECT_NEAR(r->rows.columns[1].GetDouble(1), 2.0, 0.5);  // slope
+  // The training ran as a dispatcher job.
+  EXPECT_EQ(disp.ListJobs("sql-user").size(), 1u);
+}
+
+}  // namespace
+}  // namespace spark
+}  // namespace dashdb

@@ -1,0 +1,121 @@
+// Tests for the data-skipping synopsis (paper II.B.4).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "synopsis/synopsis.h"
+
+namespace dashdb {
+namespace {
+
+IntSynopsis BuildDateLikeSynopsis(size_t strides, int64_t days_per_stride) {
+  // Monotone "date" column: stride s covers [s*d, (s+1)*d).
+  IntSynopsis syn;
+  std::vector<int64_t> vals(kStrideRows);
+  for (size_t s = 0; s < strides; ++s) {
+    for (size_t i = 0; i < kStrideRows; ++i) {
+      vals[i] = static_cast<int64_t>(s) * days_per_stride +
+                static_cast<int64_t>(i) % days_per_stride;
+    }
+    syn.AddStride(vals.data(), vals.size(), nullptr);
+  }
+  return syn;
+}
+
+TEST(IntSynopsisTest, MinMaxPerStride) {
+  IntSynopsis syn;
+  std::vector<int64_t> v = {5, 2, 9, 7};
+  syn.AddStride(v.data(), v.size(), nullptr);
+  ASSERT_EQ(syn.num_strides(), 1u);
+  EXPECT_EQ(syn.stride(0).min, 2);
+  EXPECT_EQ(syn.stride(0).max, 9);
+  EXPECT_TRUE(syn.stride(0).has_non_null);
+}
+
+TEST(IntSynopsisTest, AllNullStrideAlwaysSkippable) {
+  IntSynopsis syn;
+  std::vector<int64_t> v = {0, 0};
+  BitVector nulls(2);
+  nulls.Set(0);
+  nulls.Set(1);
+  syn.AddStride(v.data(), v.size(), &nulls);
+  int64_t lo = -100, hi = 100;
+  EXPECT_FALSE(syn.MayContain(0, &lo, true, &hi, true));
+}
+
+TEST(IntSynopsisTest, SkipsDisjointStrides) {
+  IntSynopsis syn = BuildDateLikeSynopsis(100, 10);
+  // Predicate on the last 5% of the "time" range.
+  int64_t lo = 950;
+  BitVector mask(100, true);
+  size_t skipped = syn.SkipStrides(&lo, true, nullptr, true, &mask);
+  EXPECT_EQ(skipped, 95u);
+  for (size_t s = 0; s < 95; ++s) EXPECT_FALSE(mask.Get(s));
+  for (size_t s = 95; s < 100; ++s) EXPECT_TRUE(mask.Get(s));
+}
+
+TEST(IntSynopsisTest, InclusiveExclusiveBoundaries) {
+  IntSynopsis syn;
+  std::vector<int64_t> v(kStrideRows, 0);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = 10 + static_cast<int64_t>(i) % 11;
+  syn.AddStride(v.data(), v.size(), nullptr);  // [10, 20]
+  int64_t b = 20;
+  EXPECT_TRUE(syn.MayContain(0, &b, true, nullptr, true));    // >= 20
+  EXPECT_FALSE(syn.MayContain(0, &b, false, nullptr, true));  // > 20
+  b = 10;
+  EXPECT_TRUE(syn.MayContain(0, nullptr, true, &b, true));    // <= 10
+  EXPECT_FALSE(syn.MayContain(0, nullptr, true, &b, false));  // < 10
+}
+
+TEST(IntSynopsisTest, NeverSkipsStridesThatContainMatches) {
+  // Property: skipping is conservative — a stride containing a qualifying
+  // value is never skipped, for random data and random predicates.
+  Rng rng(77);
+  IntSynopsis syn;
+  std::vector<std::vector<int64_t>> strides;
+  for (int s = 0; s < 50; ++s) {
+    std::vector<int64_t> v(kStrideRows);
+    int64_t base = rng.Range(0, 100000);
+    for (auto& x : v) x = base + rng.Range(0, 500);
+    syn.AddStride(v.data(), v.size(), nullptr);
+    strides.push_back(std::move(v));
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t lo = rng.Range(0, 100500);
+    int64_t hi = lo + rng.Range(0, 1000);
+    BitVector mask(50, true);
+    syn.SkipStrides(&lo, true, &hi, true, &mask);
+    for (size_t s = 0; s < 50; ++s) {
+      if (mask.Get(s)) continue;
+      for (int64_t x : strides[s]) {
+        ASSERT_FALSE(x >= lo && x <= hi)
+            << "stride " << s << " skipped but contains " << x;
+      }
+    }
+  }
+}
+
+TEST(IntSynopsisTest, ThreeOrdersOfMagnitudeSmaller) {
+  // Paper II.B.4: synopsis ~1000x smaller than user data.
+  IntSynopsis syn = BuildDateLikeSynopsis(1000, 30);
+  size_t user_bytes = 1000 * kStrideRows * 8;  // raw int64 user data
+  size_t syn_bytes = syn.CompressedByteSize();
+  EXPECT_LT(syn_bytes * 500, user_bytes)
+      << "synopsis should be ~3 orders of magnitude smaller";
+}
+
+TEST(StringSynopsisTest, SkipsByRange) {
+  StringSynopsis syn;
+  std::vector<std::string> a = {"apple", "avocado"};
+  std::vector<std::string> b = {"melon", "nectarine"};
+  syn.AddStride(a.data(), a.size(), nullptr);
+  syn.AddStride(b.data(), b.size(), nullptr);
+  std::string lo = "m";
+  BitVector mask(2, true);
+  size_t skipped = syn.SkipStrides(&lo, true, nullptr, true, &mask);
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_FALSE(mask.Get(0));
+  EXPECT_TRUE(mask.Get(1));
+}
+
+}  // namespace
+}  // namespace dashdb

@@ -1,0 +1,165 @@
+// Tests for the benchmark workload generators: the customer workload's
+// statement mix matches the paper's proportions, streams are deterministic
+// and valid end-to-end on both engines, and mini TPC-DS loads + queries
+// agree across engine configurations.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workloads/customer_workload.h"
+#include "workloads/tpcds_mini.h"
+
+namespace dashdb {
+namespace bench {
+namespace {
+
+TEST(CustomerWorkloadTest, MixMatchesPaperProportions) {
+  CustomerScale scale;
+  scale.num_statements = 20000;
+  CustomerWorkload w(scale);
+  auto stmts = w.MakeStatements();
+  std::map<StmtClass, size_t> counts;
+  for (const auto& s : stmts) ++counts[s.cls];
+  const double total = static_cast<double>(stmts.size());
+  // Paper: INSERT 86537 / UPDATE 55873 / DROP 46383 / SELECT 44914 /
+  // CREATE 25572 / DELETE 2453 of 261749 total.
+  EXPECT_NEAR(counts[StmtClass::kInsert] / total, 86537.0 / 261761, 0.02);
+  EXPECT_NEAR(counts[StmtClass::kUpdate] / total, 55873.0 / 261761, 0.02);
+  EXPECT_NEAR(counts[StmtClass::kSelect] / total, 44914.0 / 261761, 0.02);
+  // DROP + CREATE together cover the staging-table lifecycle; their sum
+  // matches the paper's combined share (CREATEs may substitute for DROPs
+  // when no staging table is live yet).
+  EXPECT_NEAR((counts[StmtClass::kDrop] + counts[StmtClass::kCreate]) / total,
+              (46383.0 + 25572.0) / 261761, 0.02);
+  EXPECT_GT(counts[StmtClass::kDelete], 0u);
+}
+
+TEST(CustomerWorkloadTest, DeterministicStream) {
+  CustomerScale scale;
+  scale.num_statements = 200;
+  auto a = CustomerWorkload(scale).MakeStatements();
+  auto b = CustomerWorkload(scale).MakeStatements();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].sql, b[i].sql);
+}
+
+TEST(CustomerWorkloadTest, StreamRunsCleanOnBothEngines) {
+  CustomerScale scale;
+  scale.schemas = 1;
+  scale.tables_per_schema = 2;
+  scale.rows_per_table = 3000;
+  scale.num_statements = 150;
+  CustomerWorkload w(scale);
+  EngineConfig col_cfg;
+  Engine columnar(col_cfg);
+  EngineConfig row_cfg;
+  row_cfg.default_organization = TableOrganization::kRow;
+  Engine rowstore(row_cfg);
+  ASSERT_TRUE(w.Setup(&columnar).ok());
+  ASSERT_TRUE(w.Setup(&rowstore).ok());
+  auto stmts = w.MakeStatements();
+  auto t1 = CustomerWorkload::RunSerial(&columnar, stmts);
+  ASSERT_TRUE(t1.ok()) << t1.status().ToString();
+  auto t2 = CustomerWorkload::RunSerial(&rowstore, stmts);
+  ASSERT_TRUE(t2.ok()) << t2.status().ToString();
+  EXPECT_EQ(t1->size(), stmts.size());
+  // Both engines end in the same logical state: row counts agree.
+  auto s1 = columnar.CreateSession();
+  auto s2 = rowstore.CreateSession();
+  auto c1 = columnar.Execute(s1.get(), "SELECT COUNT(*) FROM fin0.positions0");
+  auto c2 = rowstore.Execute(s2.get(), "SELECT COUNT(*) FROM fin0.positions0");
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_EQ(c1->rows.columns[0].GetInt(0), c2->rows.columns[0].GetInt(0));
+}
+
+TEST(CustomerWorkloadTest, ConcurrentRunMatchesSerialState) {
+  CustomerScale scale;
+  scale.schemas = 1;
+  scale.tables_per_schema = 2;
+  scale.rows_per_table = 2000;
+  scale.num_statements = 120;
+  CustomerWorkload w(scale);
+  Engine serial_engine{EngineConfig{}};
+  Engine conc_engine{EngineConfig{}};
+  ASSERT_TRUE(w.Setup(&serial_engine).ok());
+  ASSERT_TRUE(w.Setup(&conc_engine).ok());
+  auto stmts = w.MakeStatements();
+  ASSERT_TRUE(CustomerWorkload::RunSerial(&serial_engine, stmts).ok());
+  ASSERT_TRUE(CustomerWorkload::RunConcurrent(&conc_engine, stmts, 10).ok());
+  // NOTE: streams reorder statements, so end states can differ where
+  // UPDATE ordering matters; COUNT-level invariants must still agree.
+  auto s1 = serial_engine.CreateSession();
+  auto s2 = conc_engine.CreateSession();
+  auto c1 =
+      serial_engine.Execute(s1.get(), "SELECT COUNT(*) FROM fin0.positions1");
+  auto c2 =
+      conc_engine.Execute(s2.get(), "SELECT COUNT(*) FROM fin0.positions1");
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_EQ(c1->rows.columns[0].GetInt(0), c2->rows.columns[0].GetInt(0));
+}
+
+TEST(TpcdsTest, LoadsAndAnswersConsistentlyAcrossConfigs) {
+  TpcdsScale scale;
+  scale.store_sales_rows = 20000;
+  scale.customers = 2000;
+  scale.items = 200;
+  // dashDB columnar vs the naive competitor config vs the row appliance:
+  // identical answers on every query.
+  EngineConfig dash_cfg;
+  EngineConfig naive_cfg;
+  naive_cfg.operate_on_compressed = false;
+  naive_cfg.use_synopsis = false;
+  naive_cfg.use_swar = false;
+  EngineConfig row_cfg;
+  row_cfg.default_organization = TableOrganization::kRow;
+  Engine dash(dash_cfg), naive(naive_cfg), rowstore(row_cfg);
+  ASSERT_TRUE(LoadTpcds(&dash, scale, false).ok());
+  ASSERT_TRUE(LoadTpcds(&naive, scale, false).ok());
+  ASSERT_TRUE(LoadTpcds(&rowstore, scale, true).ok());
+  auto queries = TpcdsQueries();
+  auto s1 = dash.CreateSession();
+  auto s2 = naive.CreateSession();
+  auto s3 = rowstore.CreateSession();
+  for (const auto& q : queries) {
+    auto r1 = dash.Execute(s1.get(), q);
+    auto r2 = naive.Execute(s2.get(), q);
+    auto r3 = rowstore.Execute(s3.get(), q);
+    ASSERT_TRUE(r1.ok()) << q << " -> " << r1.status().ToString();
+    ASSERT_TRUE(r2.ok()) << q;
+    ASSERT_TRUE(r3.ok()) << q;
+    ASSERT_EQ(r1->rows.num_rows(), r2->rows.num_rows()) << q;
+    ASSERT_EQ(r1->rows.num_rows(), r3->rows.num_rows()) << q;
+    // Compare first row cell-by-cell (ordered queries => deterministic).
+    if (r1->rows.num_rows() > 0) {
+      for (size_t c = 0; c < r1->rows.columns.size(); ++c) {
+        Value v1 = r1->rows.columns[c].GetValue(0);
+        Value v2 = r2->rows.columns[c].GetValue(0);
+        Value v3 = r3->rows.columns[c].GetValue(0);
+        if (v1.type() == TypeId::kDouble && !v1.is_null()) {
+          EXPECT_NEAR(v1.AsDouble(), v2.AsDouble(),
+                      std::abs(v1.AsDouble()) * 1e-9 + 1e-9)
+              << q;
+          EXPECT_NEAR(v1.AsDouble(), v3.AsDouble(),
+                      std::abs(v1.AsDouble()) * 1e-9 + 1e-9)
+              << q;
+        } else {
+          EXPECT_EQ(v1.ToString(), v2.ToString()) << q << " col " << c;
+          EXPECT_EQ(v1.ToString(), v3.ToString()) << q << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpeedupReportTest, CompareLongestPicksSlowBaselineStatements) {
+  std::vector<double> base = {0.001, 1.0, 0.002, 2.0, 0.003};
+  std::vector<double> mine = {0.001, 0.1, 0.002, 0.1, 0.003};
+  SpeedupReport rep = CompareLongest(base, mine, 0.4);
+  EXPECT_EQ(rep.statements_compared, 2u);  // the 2.0s and 1.0s statements
+  EXPECT_NEAR(rep.avg_speedup, (20.0 + 10.0) / 2, 1e-9);
+  EXPECT_NEAR(rep.median_speedup, 20.0, 1e-9);  // upper middle of {10, 20}
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dashdb
