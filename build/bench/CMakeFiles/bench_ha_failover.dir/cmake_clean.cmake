@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ha_failover.dir/bench_ha_failover.cc.o"
+  "CMakeFiles/bench_ha_failover.dir/bench_ha_failover.cc.o.d"
+  "bench_ha_failover"
+  "bench_ha_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ha_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

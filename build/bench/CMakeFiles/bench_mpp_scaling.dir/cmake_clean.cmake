@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpp_scaling.dir/bench_mpp_scaling.cc.o"
+  "CMakeFiles/bench_mpp_scaling.dir/bench_mpp_scaling.cc.o.d"
+  "bench_mpp_scaling"
+  "bench_mpp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

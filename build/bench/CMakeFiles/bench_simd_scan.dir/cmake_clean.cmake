@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simd_scan.dir/bench_simd_scan.cc.o"
+  "CMakeFiles/bench_simd_scan.dir/bench_simd_scan.cc.o.d"
+  "bench_simd_scan"
+  "bench_simd_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simd_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

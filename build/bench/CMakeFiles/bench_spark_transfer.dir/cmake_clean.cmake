@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spark_transfer.dir/bench_spark_transfer.cc.o"
+  "CMakeFiles/bench_spark_transfer.dir/bench_spark_transfer.cc.o.d"
+  "bench_spark_transfer"
+  "bench_spark_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spark_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_test1_customer_serial.dir/bench_test1_customer_serial.cc.o"
+  "CMakeFiles/bench_test1_customer_serial.dir/bench_test1_customer_serial.cc.o.d"
+  "bench_test1_customer_serial"
+  "bench_test1_customer_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test1_customer_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_test2_concurrent.dir/bench_test2_concurrent.cc.o"
+  "CMakeFiles/bench_test2_concurrent.dir/bench_test2_concurrent.cc.o.d"
+  "bench_test2_concurrent"
+  "bench_test2_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test2_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

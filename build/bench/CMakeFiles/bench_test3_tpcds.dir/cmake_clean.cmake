@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_test3_tpcds.dir/bench_test3_tpcds.cc.o"
+  "CMakeFiles/bench_test3_tpcds.dir/bench_test3_tpcds.cc.o.d"
+  "bench_test3_tpcds"
+  "bench_test3_tpcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test3_tpcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

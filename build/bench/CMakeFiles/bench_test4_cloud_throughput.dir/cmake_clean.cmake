@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_test4_cloud_throughput.dir/bench_test4_cloud_throughput.cc.o"
+  "CMakeFiles/bench_test4_cloud_throughput.dir/bench_test4_cloud_throughput.cc.o.d"
+  "bench_test4_cloud_throughput"
+  "bench_test4_cloud_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test4_cloud_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

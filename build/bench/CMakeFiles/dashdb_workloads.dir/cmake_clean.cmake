@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_workloads.dir/workloads/customer_workload.cc.o"
+  "CMakeFiles/dashdb_workloads.dir/workloads/customer_workload.cc.o.d"
+  "CMakeFiles/dashdb_workloads.dir/workloads/tpcds_mini.cc.o"
+  "CMakeFiles/dashdb_workloads.dir/workloads/tpcds_mini.cc.o.d"
+  "libdashdb_workloads.a"
+  "libdashdb_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_analytics.dir/financial_analytics.cpp.o"
+  "CMakeFiles/financial_analytics.dir/financial_analytics.cpp.o.d"
+  "financial_analytics"
+  "financial_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

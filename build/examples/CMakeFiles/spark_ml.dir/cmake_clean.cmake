@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_ml.dir/spark_ml.cpp.o"
+  "CMakeFiles/spark_ml.dir/spark_ml.cpp.o.d"
+  "spark_ml"
+  "spark_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

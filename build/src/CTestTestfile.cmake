@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("catalog")
+subdirs("compression")
+subdirs("storage")
+subdirs("synopsis")
+subdirs("bufferpool")
+subdirs("simd")
+subdirs("exec")
+subdirs("sql")
+subdirs("mpp")
+subdirs("deploy")
+subdirs("spark")
+subdirs("fluid")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_bufferpool.dir/bufferpool.cc.o"
+  "CMakeFiles/dashdb_bufferpool.dir/bufferpool.cc.o.d"
+  "libdashdb_bufferpool.a"
+  "libdashdb_bufferpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_bufferpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdashdb_bufferpool.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_catalog.dir/catalog.cc.o"
+  "CMakeFiles/dashdb_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/dashdb_catalog.dir/schema.cc.o"
+  "CMakeFiles/dashdb_catalog.dir/schema.cc.o.d"
+  "libdashdb_catalog.a"
+  "libdashdb_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_common.dir/datetime.cc.o"
+  "CMakeFiles/dashdb_common.dir/datetime.cc.o.d"
+  "CMakeFiles/dashdb_common.dir/status.cc.o"
+  "CMakeFiles/dashdb_common.dir/status.cc.o.d"
+  "CMakeFiles/dashdb_common.dir/threadpool.cc.o"
+  "CMakeFiles/dashdb_common.dir/threadpool.cc.o.d"
+  "CMakeFiles/dashdb_common.dir/types.cc.o"
+  "CMakeFiles/dashdb_common.dir/types.cc.o.d"
+  "CMakeFiles/dashdb_common.dir/value.cc.o"
+  "CMakeFiles/dashdb_common.dir/value.cc.o.d"
+  "libdashdb_common.a"
+  "libdashdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compression/for_encoding.cc" "src/compression/CMakeFiles/dashdb_compression.dir/for_encoding.cc.o" "gcc" "src/compression/CMakeFiles/dashdb_compression.dir/for_encoding.cc.o.d"
+  "/root/repo/src/compression/legacy.cc" "src/compression/CMakeFiles/dashdb_compression.dir/legacy.cc.o" "gcc" "src/compression/CMakeFiles/dashdb_compression.dir/legacy.cc.o.d"
+  "/root/repo/src/compression/prefix.cc" "src/compression/CMakeFiles/dashdb_compression.dir/prefix.cc.o" "gcc" "src/compression/CMakeFiles/dashdb_compression.dir/prefix.cc.o.d"
+  "/root/repo/src/compression/stats.cc" "src/compression/CMakeFiles/dashdb_compression.dir/stats.cc.o" "gcc" "src/compression/CMakeFiles/dashdb_compression.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dashdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_compression.dir/for_encoding.cc.o"
+  "CMakeFiles/dashdb_compression.dir/for_encoding.cc.o.d"
+  "CMakeFiles/dashdb_compression.dir/legacy.cc.o"
+  "CMakeFiles/dashdb_compression.dir/legacy.cc.o.d"
+  "CMakeFiles/dashdb_compression.dir/prefix.cc.o"
+  "CMakeFiles/dashdb_compression.dir/prefix.cc.o.d"
+  "CMakeFiles/dashdb_compression.dir/stats.cc.o"
+  "CMakeFiles/dashdb_compression.dir/stats.cc.o.d"
+  "libdashdb_compression.a"
+  "libdashdb_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_core.dir/dashdb.cc.o"
+  "CMakeFiles/dashdb_core.dir/dashdb.cc.o.d"
+  "libdashdb_core.a"
+  "libdashdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

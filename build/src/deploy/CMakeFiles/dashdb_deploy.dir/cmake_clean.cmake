@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_deploy.dir/autoconfig.cc.o"
+  "CMakeFiles/dashdb_deploy.dir/autoconfig.cc.o.d"
+  "CMakeFiles/dashdb_deploy.dir/container.cc.o"
+  "CMakeFiles/dashdb_deploy.dir/container.cc.o.d"
+  "CMakeFiles/dashdb_deploy.dir/hardware.cc.o"
+  "CMakeFiles/dashdb_deploy.dir/hardware.cc.o.d"
+  "libdashdb_deploy.a"
+  "libdashdb_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

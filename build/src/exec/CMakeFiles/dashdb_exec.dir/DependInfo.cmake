@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/agg.cc" "src/exec/CMakeFiles/dashdb_exec.dir/agg.cc.o" "gcc" "src/exec/CMakeFiles/dashdb_exec.dir/agg.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/dashdb_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/dashdb_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/functions.cc" "src/exec/CMakeFiles/dashdb_exec.dir/functions.cc.o" "gcc" "src/exec/CMakeFiles/dashdb_exec.dir/functions.cc.o.d"
+  "/root/repo/src/exec/geo.cc" "src/exec/CMakeFiles/dashdb_exec.dir/geo.cc.o" "gcc" "src/exec/CMakeFiles/dashdb_exec.dir/geo.cc.o.d"
+  "/root/repo/src/exec/json.cc" "src/exec/CMakeFiles/dashdb_exec.dir/json.cc.o" "gcc" "src/exec/CMakeFiles/dashdb_exec.dir/json.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/exec/CMakeFiles/dashdb_exec.dir/operator.cc.o" "gcc" "src/exec/CMakeFiles/dashdb_exec.dir/operator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dashdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/dashdb_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dashdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dashdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopsis/CMakeFiles/dashdb_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/dashdb_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/bufferpool/CMakeFiles/dashdb_bufferpool.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

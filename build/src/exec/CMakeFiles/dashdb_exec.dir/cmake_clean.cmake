@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_exec.dir/agg.cc.o"
+  "CMakeFiles/dashdb_exec.dir/agg.cc.o.d"
+  "CMakeFiles/dashdb_exec.dir/expr.cc.o"
+  "CMakeFiles/dashdb_exec.dir/expr.cc.o.d"
+  "CMakeFiles/dashdb_exec.dir/functions.cc.o"
+  "CMakeFiles/dashdb_exec.dir/functions.cc.o.d"
+  "CMakeFiles/dashdb_exec.dir/geo.cc.o"
+  "CMakeFiles/dashdb_exec.dir/geo.cc.o.d"
+  "CMakeFiles/dashdb_exec.dir/json.cc.o"
+  "CMakeFiles/dashdb_exec.dir/json.cc.o.d"
+  "CMakeFiles/dashdb_exec.dir/operator.cc.o"
+  "CMakeFiles/dashdb_exec.dir/operator.cc.o.d"
+  "libdashdb_exec.a"
+  "libdashdb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

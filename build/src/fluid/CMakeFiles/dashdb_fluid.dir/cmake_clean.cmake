@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_fluid.dir/nickname.cc.o"
+  "CMakeFiles/dashdb_fluid.dir/nickname.cc.o.d"
+  "CMakeFiles/dashdb_fluid.dir/remote_store.cc.o"
+  "CMakeFiles/dashdb_fluid.dir/remote_store.cc.o.d"
+  "libdashdb_fluid.a"
+  "libdashdb_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_mpp.dir/mpp.cc.o"
+  "CMakeFiles/dashdb_mpp.dir/mpp.cc.o.d"
+  "CMakeFiles/dashdb_mpp.dir/portability.cc.o"
+  "CMakeFiles/dashdb_mpp.dir/portability.cc.o.d"
+  "CMakeFiles/dashdb_mpp.dir/topology.cc.o"
+  "CMakeFiles/dashdb_mpp.dir/topology.cc.o.d"
+  "libdashdb_mpp.a"
+  "libdashdb_mpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_mpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_simd.dir/swar.cc.o"
+  "CMakeFiles/dashdb_simd.dir/swar.cc.o.d"
+  "libdashdb_simd.a"
+  "libdashdb_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

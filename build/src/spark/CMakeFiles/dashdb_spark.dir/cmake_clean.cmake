@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_spark.dir/connector.cc.o"
+  "CMakeFiles/dashdb_spark.dir/connector.cc.o.d"
+  "CMakeFiles/dashdb_spark.dir/dataset.cc.o"
+  "CMakeFiles/dashdb_spark.dir/dataset.cc.o.d"
+  "CMakeFiles/dashdb_spark.dir/dispatcher.cc.o"
+  "CMakeFiles/dashdb_spark.dir/dispatcher.cc.o.d"
+  "CMakeFiles/dashdb_spark.dir/glm.cc.o"
+  "CMakeFiles/dashdb_spark.dir/glm.cc.o.d"
+  "libdashdb_spark.a"
+  "libdashdb_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

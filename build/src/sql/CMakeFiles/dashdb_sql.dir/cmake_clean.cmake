@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_sql.dir/binder.cc.o"
+  "CMakeFiles/dashdb_sql.dir/binder.cc.o.d"
+  "CMakeFiles/dashdb_sql.dir/engine.cc.o"
+  "CMakeFiles/dashdb_sql.dir/engine.cc.o.d"
+  "CMakeFiles/dashdb_sql.dir/lexer.cc.o"
+  "CMakeFiles/dashdb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/dashdb_sql.dir/parser.cc.o"
+  "CMakeFiles/dashdb_sql.dir/parser.cc.o.d"
+  "libdashdb_sql.a"
+  "libdashdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

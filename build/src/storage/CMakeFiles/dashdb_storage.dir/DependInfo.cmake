@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree.cc" "src/storage/CMakeFiles/dashdb_storage.dir/btree.cc.o" "gcc" "src/storage/CMakeFiles/dashdb_storage.dir/btree.cc.o.d"
+  "/root/repo/src/storage/clusterfs.cc" "src/storage/CMakeFiles/dashdb_storage.dir/clusterfs.cc.o" "gcc" "src/storage/CMakeFiles/dashdb_storage.dir/clusterfs.cc.o.d"
+  "/root/repo/src/storage/column_page.cc" "src/storage/CMakeFiles/dashdb_storage.dir/column_page.cc.o" "gcc" "src/storage/CMakeFiles/dashdb_storage.dir/column_page.cc.o.d"
+  "/root/repo/src/storage/column_table.cc" "src/storage/CMakeFiles/dashdb_storage.dir/column_table.cc.o" "gcc" "src/storage/CMakeFiles/dashdb_storage.dir/column_table.cc.o.d"
+  "/root/repo/src/storage/row_table.cc" "src/storage/CMakeFiles/dashdb_storage.dir/row_table.cc.o" "gcc" "src/storage/CMakeFiles/dashdb_storage.dir/row_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dashdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dashdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/dashdb_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopsis/CMakeFiles/dashdb_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/dashdb_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/bufferpool/CMakeFiles/dashdb_bufferpool.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_storage.dir/btree.cc.o"
+  "CMakeFiles/dashdb_storage.dir/btree.cc.o.d"
+  "CMakeFiles/dashdb_storage.dir/clusterfs.cc.o"
+  "CMakeFiles/dashdb_storage.dir/clusterfs.cc.o.d"
+  "CMakeFiles/dashdb_storage.dir/column_page.cc.o"
+  "CMakeFiles/dashdb_storage.dir/column_page.cc.o.d"
+  "CMakeFiles/dashdb_storage.dir/column_table.cc.o"
+  "CMakeFiles/dashdb_storage.dir/column_table.cc.o.d"
+  "CMakeFiles/dashdb_storage.dir/row_table.cc.o"
+  "CMakeFiles/dashdb_storage.dir/row_table.cc.o.d"
+  "libdashdb_storage.a"
+  "libdashdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashdb_synopsis.dir/synopsis.cc.o"
+  "CMakeFiles/dashdb_synopsis.dir/synopsis.cc.o.d"
+  "libdashdb_synopsis.a"
+  "libdashdb_synopsis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashdb_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
