@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel_scaling.cc" "bench/CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cc.o" "gcc" "bench/CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dashdb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dashdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/dashdb_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/dashdb_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpp/CMakeFiles/dashdb_mpp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/dashdb_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dashdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dashdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dashdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dashdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopsis/CMakeFiles/dashdb_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/dashdb_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/bufferpool/CMakeFiles/dashdb_bufferpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/dashdb_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dashdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -262,4 +262,15 @@ src/exec/CMakeFiles/dashdb_exec.dir/operator.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/compression/prefix.h /root/repo/src/compression/stats.h \
  /root/repo/src/synopsis/synopsis.h /root/repo/src/storage/row_table.h \
- /root/repo/src/storage/btree.h
+ /root/repo/src/storage/btree.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/threadpool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/future \
+ /usr/include/c++/12/bits/atomic_futex.h

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_exec_test.cc" "tests/CMakeFiles/parallel_exec_test.dir/parallel_exec_test.cc.o" "gcc" "tests/CMakeFiles/parallel_exec_test.dir/parallel_exec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dashdb_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dashdb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dashdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dashdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/dashdb_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/synopsis/CMakeFiles/dashdb_synopsis.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/dashdb_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/simd/CMakeFiles/dashdb_simd.dir/DependInfo.cmake"
+  "/root/repo/build/src/bufferpool/CMakeFiles/dashdb_bufferpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dashdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

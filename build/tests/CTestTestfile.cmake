@@ -24,3 +24,5 @@ include("/root/repo/build/tests/workload_test[1]_include.cmake")
 include("/root/repo/build/tests/portability_test[1]_include.cmake")
 include("/root/repo/build/tests/parser_test[1]_include.cmake")
 include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/threadpool_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_exec_test[1]_include.cmake")

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace dashdb {
 
@@ -36,29 +37,87 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+namespace {
+
+/// Shared state of one ParallelFor call. Held by shared_ptr so helper tasks
+/// that start after the caller returned (all chunks already claimed) still
+/// have valid state to look at.
+struct ParallelForState {
+  std::function<void(size_t)> fn;
+  size_t n = 0;
+  size_t chunk = 1;
+  std::atomic<size_t> next{0};
+  std::atomic<int> active{0};  ///< threads currently inside the drain loop
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+
+  /// Claims and runs chunks until the range is exhausted. On exception,
+  /// records the first error and steals the remaining range so other
+  /// threads stop early.
+  void Drain() {
+    active.fetch_add(1, std::memory_order_acq_rel);
+    for (;;) {
+      size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      size_t end = std::min(n, begin + chunk);
+      try {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        next.store(n, std::memory_order_relaxed);  // abandon remaining chunks
+        break;
+      }
+    }
+    if (active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(mu);  // pair with the waiter's check
+      done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             int max_workers) {
   if (n == 0) return;
-  int shards = num_threads();
-  if (n < static_cast<size_t>(shards) * 4) {
-    // Small job: run inline to avoid scheduling overhead.
+  int workers = max_workers > 0 ? std::min(max_workers, num_threads() + 1)
+                                : num_threads() + 1;
+  if (workers <= 1 || n < static_cast<size_t>(workers)) {
+    // Degenerate job (fewer items than workers would strand helpers on
+    // sub-item work): run inline to avoid scheduling overhead. Callers with
+    // coarse units (partitions, merge shards) rely on n == workers fanning
+    // out, so the threshold must not exceed n == workers.
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  auto next = std::make_shared<std::atomic<size_t>>(0);
-  std::vector<std::future<void>> futs;
-  futs.reserve(shards);
-  const size_t chunk = std::max<size_t>(1, n / (shards * 8));
-  for (int t = 0; t < shards; ++t) {
-    futs.push_back(Submit([next, n, chunk, &fn] {
-      for (;;) {
-        size_t begin = next->fetch_add(chunk);
-        if (begin >= n) return;
-        size_t end = std::min(n, begin + chunk);
-        for (size_t i = begin; i < end; ++i) fn(i);
-      }
-    }));
+  auto st = std::make_shared<ParallelForState>();
+  st->fn = fn;
+  st->n = n;
+  // Coarse-grained calls (n comparable to workers — radix partitions,
+  // merge shards) get chunk 1 so every unit can land on its own thread;
+  // larger ranges use ~8 chunks per worker to amortize the atomic claim.
+  st->chunk = std::max<size_t>(1, n / (static_cast<size_t>(workers) * 8));
+  // The caller is one of the workers, so enqueue workers-1 helpers. A helper
+  // that only starts once the range is exhausted returns immediately.
+  for (int t = 0; t < workers - 1; ++t) {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.emplace_back([st] { st->Drain(); });
   }
-  for (auto& f : futs) f.get();
+  cv_.notify_all();
+  st->Drain();
+  {
+    // Wait for helpers that claimed chunks before the range ran dry; helpers
+    // still queued will see next >= n on arrival and never touch fn.
+    std::unique_lock<std::mutex> lk(st->mu);
+    st->done_cv.wait(lk, [&] {
+      return st->active.load(std::memory_order_acquire) == 0;
+    });
+    if (st->first_error) std::rethrow_exception(st->first_error);
+  }
 }
 
 }  // namespace dashdb

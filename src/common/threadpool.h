@@ -39,7 +39,19 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// Work is chunked so n can be large (e.g. one index per stride).
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  ///
+  /// The calling thread participates in draining chunks, so this is safe to
+  /// invoke from a pool worker (nested parallelism — e.g. an MPP node task
+  /// fanning out a morsel scan): even with every worker blocked inside a
+  /// ParallelFor, each call completes on its caller's thread. Helper tasks
+  /// that start after all chunks are claimed return without touching `fn`.
+  ///
+  /// `max_workers` caps the number of threads cooperating on this call
+  /// (caller included); 0 means caller + all pool workers. The first
+  /// exception thrown by `fn` on any thread is rethrown here after every
+  /// in-flight chunk has settled; remaining chunks are abandoned.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   int max_workers = 0);
 
  private:
   void WorkerLoop();

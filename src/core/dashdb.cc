@@ -17,6 +17,9 @@ Result<std::unique_ptr<DashDbLocal>> DashDbLocal::Deploy(DashDbOptions opts) {
   if (opts.buffer_pool_override > 0) {
     cfg.bufferpool_bytes = opts.buffer_pool_override;
   }
+  if (opts.parallelism_override > 0) {
+    cfg.query_parallelism = opts.parallelism_override;
+  }
   auto db = std::unique_ptr<DashDbLocal>(
       new DashDbLocal(std::move(hw), cfg));
   spark::RegisterGlmProcedure(&db->engine_, &db->spark_);

@@ -65,6 +65,9 @@ struct DashDbOptions {
   bool detect_hardware = true;
   /// Cap the buffer pool (useful for tests); 0 = use the autoconfig value.
   size_t buffer_pool_override = 0;
+  /// Override the intra-query parallelism degree (useful for tests and the
+  /// scaling bench); 0 = use the autoconfig value (detected cores).
+  int parallelism_override = 0;
 };
 
 /// A single-node dashDB Local instance (one container's worth).

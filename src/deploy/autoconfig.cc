@@ -56,6 +56,7 @@ EngineConfig ToEngineConfig(const AutoConfig& cfg) {
   e.buffer_pool_bytes = cfg.bufferpool_bytes;
   e.buffer_policy = cfg.buffer_policy;
   e.default_organization = TableOrganization::kColumn;
+  e.query_parallelism = cfg.query_parallelism;
   return e;
 }
 

@@ -153,6 +153,83 @@ void AggState::AddNumericFast(double x, int64_t ix, bool int_domain) {
   }
 }
 
+void AggState::Merge(const AggState& o) {
+  // Chan et al. parallel updates need the pre-merge counts.
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(o.count_);
+  switch (spec_->kind) {
+    case AggKind::kCountStar:
+    case AggKind::kCount:
+      break;  // count_ merged below
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      sum_ += o.sum_;
+      isum_ += o.isum_;
+      int_domain_ = int_domain_ && o.int_domain_;
+      break;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      if (o.fast_minmax_) {
+        if (!fast_minmax_) {
+          fast_minmax_ = true;
+          fast_int_domain_ = o.fast_int_domain_;
+          dmin_ = o.dmin_;
+          dmax_ = o.dmax_;
+          imin_ = o.imin_;
+          imax_ = o.imax_;
+        } else {
+          fast_int_domain_ = fast_int_domain_ && o.fast_int_domain_;
+          dmin_ = std::min(dmin_, o.dmin_);
+          dmax_ = std::max(dmax_, o.dmax_);
+          imin_ = std::min(imin_, o.imin_);
+          imax_ = std::max(imax_, o.imax_);
+        }
+      }
+      if (o.min_ && (!min_ || o.min_->Compare(*min_) < 0)) min_ = o.min_;
+      if (o.max_ && (!max_ || o.max_->Compare(*max_) > 0)) max_ = o.max_;
+      break;
+    case AggKind::kVarPop:
+    case AggKind::kVarSamp:
+    case AggKind::kStddevPop:
+    case AggKind::kStddevSamp:
+      if (o.count_ > 0) {
+        if (count_ == 0) {
+          mean_ = o.mean_;
+          m2_ = o.m2_;
+        } else {
+          double d = o.mean_ - mean_;
+          double tot = n1 + n2;
+          mean_ += d * n2 / tot;
+          m2_ += o.m2_ + d * d * n1 * n2 / tot;
+        }
+      }
+      break;
+    case AggKind::kCovarPop:
+    case AggKind::kCovarSamp:
+      if (o.count_ > 0) {
+        if (count_ == 0) {
+          mean_x_ = o.mean_x_;
+          mean_y_ = o.mean_y_;
+          cxy_ = o.cxy_;
+        } else {
+          double dx = o.mean_x_ - mean_x_;
+          double dy = o.mean_y_ - mean_y_;
+          double tot = n1 + n2;
+          mean_x_ += dx * n2 / tot;
+          mean_y_ += dy * n2 / tot;
+          cxy_ += o.cxy_ + dx * dy * n1 * n2 / tot;
+        }
+      }
+      break;
+    case AggKind::kMedian:
+    case AggKind::kPercentileCont:
+    case AggKind::kPercentileDisc:
+      values_.insert(values_.end(), o.values_.begin(), o.values_.end());
+      break;
+  }
+  count_ += o.count_;
+}
+
 Value AggState::Finish() const {
   switch (spec_->kind) {
     case AggKind::kCountStar:

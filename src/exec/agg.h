@@ -64,6 +64,16 @@ class AggState {
   void AddCountStarFast() { ++count_; }
   void AddNumericFast(double x, int64_t ix, bool int_domain);
 
+  /// Folds another partial accumulator for the same spec into this one
+  /// (parallel aggregation: thread-local partials merged per group). Welford
+  /// and covariance states merge via Chan's parallel update; order
+  /// statistics concatenate (Finish sorts). Not valid for DISTINCT specs —
+  /// per-partial dedup undercounts across partials (see CanMergeParallel).
+  void Merge(const AggState& other);
+
+  /// Whether partial states for `spec` can be combined with Merge().
+  static bool CanMergeParallel(const AggSpec& spec) { return !spec.distinct; }
+
   Value Finish() const;
 
  private:

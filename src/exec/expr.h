@@ -19,13 +19,22 @@
 
 namespace dashdb {
 
+class ThreadPool;
+
 /// Per-query evaluation context.
 struct ExecContext {
   Dialect dialect = Dialect::kAnsi;
   int64_t current_date_days = 17000;     ///< fixed for determinism
   int64_t now_micros = 17000LL * 86400 * 1000000;
+  /// Intra-query parallelism (paper II.B.6): the engine's worker pool and
+  /// the degree of parallelism granted to this query. Operators fall back
+  /// to their serial paths when pool is null or dop <= 1.
+  ThreadPool* pool = nullptr;
+  int dop = 1;
   /// Oracle VARCHAR2 semantics: empty string IS NULL (paper II.C.2).
   bool EmptyStringIsNull() const { return dialect == Dialect::kOracle; }
+
+  bool parallel() const { return pool != nullptr && dop > 1; }
 };
 
 class Expr;

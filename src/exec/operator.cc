@@ -1,9 +1,14 @@
 #include "exec/operator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
 
 #include "common/hash.h"
+#include "common/threadpool.h"
 
 namespace dashdb {
 
@@ -89,6 +94,80 @@ Result<bool> ColumnScanOp::Next(RowBatch* out) {
                                             opts_, out, nullptr, &stats_));
     ++next_page_;
     if (out->num_rows() > 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------- ParallelColumnScan --
+
+ParallelColumnScanOp::ParallelColumnScanOp(
+    std::shared_ptr<const ColumnTable> table,
+    std::vector<ColumnPredicate> preds, std::vector<int> projection,
+    ScanOptions opts)
+    : table_(std::move(table)),
+      preds_(std::move(preds)),
+      projection_(std::move(projection)),
+      opts_(opts) {
+  for (int c : projection_) {
+    output_.push_back(
+        {table_->schema().column(c).name, table_->schema().column(c).type});
+  }
+}
+
+Status ParallelColumnScanOp::Open() {
+  ran_ = false;
+  next_slot_ = 0;
+  results_.clear();
+  stats_ = ScanStats{};
+  return Status::OK();
+}
+
+Status ParallelColumnScanOp::RunMorsels() {
+  // One morsel per page plus the uncompressed tail; the pool chunks
+  // contiguous page ranges across workers, and per-page result slots keep
+  // the emitted batches in exact page order (identical to the serial scan).
+  const size_t n_units = table_->num_pages() + 1;
+  results_.resize(n_units);
+  std::vector<ScanStats> unit_stats(n_units);
+  Status first_error;
+  std::mutex err_mu;
+  auto scan_unit = [&](size_t p) {
+    RowBatch* out = &results_[p];
+    out->columns.clear();
+    out->columns.reserve(output_.size());
+    for (const auto& c : output_) out->columns.emplace_back(c.type);
+    Status s = table_->ScanPage(p, preds_, projection_, opts_, out, nullptr,
+                                &unit_stats[p]);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lk(err_mu);
+      if (first_error.ok()) first_error = s;
+    }
+  };
+  if (opts_.exec_pool != nullptr && opts_.dop > 1) {
+    opts_.exec_pool->ParallelFor(n_units, scan_unit, opts_.dop);
+  } else {
+    for (size_t p = 0; p < n_units; ++p) scan_unit(p);
+  }
+  DASHDB_RETURN_IF_ERROR(first_error);
+  for (const auto& s : unit_stats) {
+    stats_.pages_visited += s.pages_visited;
+    stats_.pages_skipped += s.pages_skipped;
+    stats_.strides_skipped += s.strides_skipped;
+    stats_.rows_matched += s.rows_matched;
+  }
+  ran_ = true;
+  return Status::OK();
+}
+
+Result<bool> ParallelColumnScanOp::Next(RowBatch* out) {
+  if (!ran_) DASHDB_RETURN_IF_ERROR(RunMorsels());
+  while (next_slot_ < results_.size()) {
+    RowBatch& slot = results_[next_slot_];
+    ++next_slot_;
+    if (slot.num_rows() > 0) {
+      *out = std::move(slot);
+      return true;
+    }
   }
   return false;
 }
@@ -232,8 +311,26 @@ Status HashJoinOp::Open() {
   build_data_.columns.clear();
   build_key_vals_.clear();
   partitions_.clear();
+  int_partitions_.clear();
+  fast_int_ = false;
   DASHDB_RETURN_IF_ERROR(probe_->Open());
   return build_->Open();
+}
+
+std::string HashJoinOp::label() const {
+  std::string s = type_ == JoinType::kLeft ? "HashLeftJoin" : "HashJoin";
+  s += "(keys=" + std::to_string(probe_keys_.size());
+  if (partitioned_) s += ", cache-partitioned";
+  if (ctx_->parallel() && partitioned_) {
+    s += ", build-dop=" + std::to_string(ctx_->dop);
+  }
+  s += ")";
+  return s;
+}
+
+bool HashJoinOp::ParallelBuildEligible(size_t build_rows) const {
+  return ctx_->parallel() && partitioned_ &&
+         build_rows >= kParallelBuildMinRows;
 }
 
 Status HashJoinOp::BuildSide() {
@@ -252,45 +349,116 @@ Status HashJoinOp::BuildSide() {
       int_partitions_.resize(nparts);
     }
   }
-  RowBatch in;
-  for (;;) {
-    DASHDB_ASSIGN_OR_RETURN(bool more, build_->Next(&in));
-    if (!more) break;
-    if (fast_int_) {
-      const ColumnVector& kc = in.columns[build_key_col_];
+  // Drain the build side first: cardinality is then known before any hash
+  // table is sized, and the appended build_data_ batch becomes the single
+  // input the (possibly parallel) partitioning phases read from.
+  {
+    RowBatch in;
+    for (;;) {
+      DASHDB_ASSIGN_OR_RETURN(bool more, build_->Next(&in));
+      if (!more) break;
       for (size_t r = 0; r < in.num_rows(); ++r) {
-        uint32_t row = static_cast<uint32_t>(build_data_.num_rows());
         AppendRowFrom(in, r, &build_data_);
-        if (kc.IsNull(r)) continue;  // NULL keys never join
-        int64_t k = kc.GetInt(r);
-        int part = partitioned_
-                       ? static_cast<int>((HashInt64(static_cast<uint64_t>(k))
-                                           >> 32) & (nparts - 1))
-                       : 0;
-        int_partitions_[part].table.emplace(k, row);
       }
-      continue;
     }
-    for (size_t r = 0; r < in.num_rows(); ++r) {
+  }
+  const size_t n = build_data_.num_rows();
+  const size_t per_part = n / static_cast<size_t>(nparts) + 1;
+  if (fast_int_) {
+    for (auto& p : int_partitions_) p.table.reserve(per_part);
+  } else {
+    for (auto& p : partitions_) p.table.reserve(per_part);
+    build_key_vals_.resize(n);
+  }
+  built_ = true;
+  if (n == 0) return Status::OK();
+
+  const bool parallel = ParallelBuildEligible(n);
+  auto run = [&](size_t count, const std::function<void(size_t)>& f) {
+    if (parallel) {
+      ctx_->pool->ParallelFor(count, f, ctx_->dop);
+    } else {
+      for (size_t i = 0; i < count; ++i) f(i);
+    }
+  };
+
+  // Phase 1 — per-row partition assignment (rows are independent): key
+  // evaluation, hashing, and the radix digit. -1 marks NULL keys, which
+  // never join and stay out of the tables.
+  std::vector<int32_t> part_of(n);
+  std::vector<uint64_t> hash_of;
+  const ColumnVector* key_col =
+      fast_int_ ? &build_data_.columns[build_key_col_] : nullptr;
+  if (fast_int_) {
+    run(n, [&](size_t r) {
+      if (key_col->IsNull(r)) {
+        part_of[r] = -1;
+        return;
+      }
+      uint64_t h = HashInt64(static_cast<uint64_t>(key_col->GetInt(r)));
+      part_of[r] =
+          partitioned_ ? static_cast<int32_t>((h >> 32) & (nparts - 1)) : 0;
+    });
+  } else {
+    hash_of.resize(n);
+    Status first_error;
+    std::mutex err_mu;
+    run(n, [&](size_t r) {
       std::vector<Value> keys;
       keys.reserve(build_keys_.size());
       uint64_t h = 0;
       bool has_null = false;
       for (const auto& k : build_keys_) {
-        DASHDB_ASSIGN_OR_RETURN(Value v, k->EvaluateRow(in, r, *ctx_));
-        has_null |= v.is_null();
-        h = HashCombine(h, HashValue(v));
-        keys.push_back(std::move(v));
+        Result<Value> v = k->EvaluateRow(build_data_, r, *ctx_);
+        if (!v.ok()) {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (first_error.ok()) first_error = v.status();
+          part_of[r] = -1;
+          return;
+        }
+        has_null |= v->is_null();
+        h = HashCombine(h, HashValue(*v));
+        keys.push_back(std::move(*v));
       }
-      uint32_t row = static_cast<uint32_t>(build_data_.num_rows());
-      AppendRowFrom(in, r, &build_data_);
-      build_key_vals_.push_back(std::move(keys));
-      if (has_null) continue;  // NULL keys never join
-      partitions_[partitioned_ ? (h >> 32) & (nparts - 1) : 0].table.emplace(
-          h, row);
+      build_key_vals_[r] = std::move(keys);
+      hash_of[r] = h;
+      part_of[r] =
+          has_null
+              ? -1
+              : (partitioned_ ? static_cast<int32_t>((h >> 32) & (nparts - 1))
+                              : 0);
+    });
+    DASHDB_RETURN_IF_ERROR(first_error);
+  }
+
+  // Phase 2 — counting sort of row ids by partition (serial, O(n)).
+  std::vector<uint32_t> offsets(nparts + 1, 0);
+  for (size_t r = 0; r < n; ++r) {
+    if (part_of[r] >= 0) ++offsets[part_of[r] + 1];
+  }
+  for (int p = 0; p < nparts; ++p) offsets[p + 1] += offsets[p];
+  std::vector<uint32_t> rows(offsets[nparts]);
+  {
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t r = 0; r < n; ++r) {
+      if (part_of[r] >= 0) rows[cursor[part_of[r]]++] = static_cast<uint32_t>(r);
     }
   }
-  built_ = true;
+
+  // Phase 3 — per-partition table construction: the radix partitions are
+  // independent, so they fan out across the pool. Rows insert in ascending
+  // row order within each partition — the same sequence the serial build
+  // used — so equal_range chains (and join output order) are unchanged.
+  run(static_cast<size_t>(nparts), [&](size_t p) {
+    for (uint32_t idx = offsets[p]; idx < offsets[p + 1]; ++idx) {
+      uint32_t r = rows[idx];
+      if (fast_int_) {
+        int_partitions_[p].table.emplace(key_col->GetInt(r), r);
+      } else {
+        partitions_[p].table.emplace(hash_of[r], r);
+      }
+    }
+  });
   return Status::OK();
 }
 
@@ -490,8 +658,25 @@ Status HashAggOp::Open() {
   return child_->Open();
 }
 
+std::string HashAggOp::label() const {
+  std::string s = "HashAggregate(groups=" + std::to_string(group_exprs_.size()) +
+                  ", aggs=" + std::to_string(aggs_.size());
+  if (ParallelEligible()) s += ", dop=" + std::to_string(ctx_->dop);
+  s += ")";
+  return s;
+}
+
+bool HashAggOp::ParallelEligible() const {
+  if (!ctx_->parallel()) return false;
+  for (const auto& a : aggs_) {
+    if (!AggState::CanMergeParallel(a)) return false;
+  }
+  return true;
+}
+
 Status HashAggOp::Materialize() {
-  std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHash> groups;
+  using GroupMap =
+      std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHash>;
   // Fast path: when every group key and aggregate argument is a plain
   // column reference, rows are consumed straight from the typed column
   // vectors — no per-row expression evaluation, no per-row Value vectors.
@@ -527,142 +712,232 @@ Status HashAggOp::Materialize() {
       fast && group_exprs_.size() == 1 &&
       group_exprs_[0]->out_type() != TypeId::kVarchar &&
       group_exprs_[0]->out_type() != TypeId::kDouble;
-  std::unordered_map<int64_t, std::vector<AggState>> int_groups;
-  std::unordered_map<int64_t, bool> int_group_null;  // NULL key sentinel
+  // A partial aggregation table. The serial path uses one; the parallel
+  // path gives each pool worker its own and merges them afterwards.
+  struct AggPartial {
+    GroupMap groups;
+    std::unordered_map<int64_t, std::vector<AggState>> int_groups;
+    std::unordered_map<int64_t, bool> int_group_null;  // NULL key sentinel
+  };
+  AggPartial root;
 
-  RowBatch in;
-  for (;;) {
-    DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
-    if (!more) break;
+  auto new_states = [&]() {
+    std::vector<AggState> states;
+    states.reserve(aggs_.size());
+    for (const auto& a : aggs_) states.emplace_back(&a);
+    return states;
+  };
+
+  // Consumes one batch into `P` on the column-ref fast path. No expression
+  // evaluation and no failure modes, so it is safe to run on pool workers
+  // against thread-local partials.
+  auto consume_fast = [&](const RowBatch& in, AggPartial& P) {
     const size_t n = in.num_rows();
-    if (fast) {
-      auto feed = [&](std::vector<AggState>& states, size_t r) {
-        for (size_t a = 0; a < aggs_.size(); ++a) {
-          const AggSpec& spec = aggs_[a];
-          int c1 = arg_cols[a], c2 = arg2_cols[a];
-          // Typed hot path: single-arg non-DISTINCT numeric aggregates
-          // consume raw column payloads without boxing.
-          if (spec.kind == AggKind::kCountStar) {
-            states[a].AddCountStarFast();
+    auto feed = [&](std::vector<AggState>& states, size_t r) {
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        const AggSpec& spec = aggs_[a];
+        int c1 = arg_cols[a], c2 = arg2_cols[a];
+        // Typed hot path: single-arg non-DISTINCT numeric aggregates
+        // consume raw column payloads without boxing.
+        if (spec.kind == AggKind::kCountStar) {
+          states[a].AddCountStarFast();
+          continue;
+        }
+        if (!spec.distinct && c2 < 0 && c1 >= 0 &&
+            spec.kind != AggKind::kCovarPop &&
+            spec.kind != AggKind::kCovarSamp) {
+          const ColumnVector& cv = in.columns[c1];
+          if (cv.IsNull(r)) continue;
+          if (cv.type() == TypeId::kDouble) {
+            double x = cv.GetDouble(r);
+            states[a].AddNumericFast(x, static_cast<int64_t>(x), false);
             continue;
           }
-          if (!spec.distinct && c2 < 0 && c1 >= 0 &&
-              spec.kind != AggKind::kCovarPop &&
-              spec.kind != AggKind::kCovarSamp) {
-            const ColumnVector& cv = in.columns[c1];
-            if (cv.IsNull(r)) continue;
-            if (cv.type() == TypeId::kDouble) {
-              double x = cv.GetDouble(r);
-              states[a].AddNumericFast(x, static_cast<int64_t>(x), false);
-              continue;
-            }
-            if (cv.type() != TypeId::kVarchar) {
-              int64_t x = cv.GetInt(r);
-              states[a].AddNumericFast(static_cast<double>(x), x, true);
-              continue;
-            }
+          if (cv.type() != TypeId::kVarchar) {
+            int64_t x = cv.GetInt(r);
+            states[a].AddNumericFast(static_cast<double>(x), x, true);
+            continue;
           }
-          Value v1 = c1 < 0 ? Value::Null(TypeId::kInt64)
-                            : in.columns[c1].GetValue(r);
-          Value v2 = c2 < 0 ? Value::Null(TypeId::kInt64)
-                            : in.columns[c2].GetValue(r);
-          states[a].Add(v1, v2);
         }
-      };
-      if (single_int_key) {
-        const ColumnVector& kc = in.columns[group_cols[0]];
-        for (size_t r = 0; r < n; ++r) {
-          // NULL group keys collapse into one group, keyed by a sentinel
-          // tracked separately from the value domain.
-          bool is_null = kc.IsNull(r);
-          int64_t k = is_null ? INT64_MIN + 1 : kc.GetInt(r);
-          auto it = int_groups.find(k);
-          if (it == int_groups.end()) {
-            std::vector<AggState> states;
-            states.reserve(aggs_.size());
-            for (const auto& a : aggs_) states.emplace_back(&a);
-            it = int_groups.emplace(k, std::move(states)).first;
-            int_group_null[k] = is_null;
-          }
-          feed(it->second, r);
-        }
-      } else {
-        for (size_t r = 0; r < n; ++r) {
-          GroupKey key;
-          key.vals.reserve(group_cols.size());
-          for (int c : group_cols) {
-            Value v = in.columns[c].GetValue(r);
-            key.hash = HashCombine(key.hash, HashValue(v));
-            key.vals.push_back(std::move(v));
-          }
-          auto it = groups.find(key);
-          if (it == groups.end()) {
-            std::vector<AggState> states;
-            states.reserve(aggs_.size());
-            for (const auto& a : aggs_) states.emplace_back(&a);
-            it = groups.emplace(std::move(key), std::move(states)).first;
-          }
-          feed(it->second, r);
-        }
+        Value v1 = c1 < 0 ? Value::Null(TypeId::kInt64)
+                          : in.columns[c1].GetValue(r);
+        Value v2 = c2 < 0 ? Value::Null(TypeId::kInt64)
+                          : in.columns[c2].GetValue(r);
+        states[a].Add(v1, v2);
       }
-      continue;
-    }
-    for (size_t r = 0; r < n; ++r) {
-      GroupKey key;
-      key.vals.reserve(group_exprs_.size());
-      for (const auto& g : group_exprs_) {
-        DASHDB_ASSIGN_OR_RETURN(Value v, g->EvaluateRow(in, r, *ctx_));
-        key.hash = HashCombine(key.hash, HashValue(v));
-        key.vals.push_back(std::move(v));
-      }
-      auto it = groups.find(key);
-      if (it == groups.end()) {
-        std::vector<AggState> states;
-        states.reserve(aggs_.size());
-        for (const auto& a : aggs_) states.emplace_back(&a);
-        it = groups.emplace(std::move(key), std::move(states)).first;
-      }
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        Value v1 = Value::Null(TypeId::kInt64);
-        Value v2 = Value::Null(TypeId::kInt64);
-        if (aggs_[a].arg) {
-          DASHDB_ASSIGN_OR_RETURN(v1, aggs_[a].arg->EvaluateRow(in, r, *ctx_));
+    };
+    if (single_int_key) {
+      const ColumnVector& kc = in.columns[group_cols[0]];
+      for (size_t r = 0; r < n; ++r) {
+        // NULL group keys collapse into one group, keyed by a sentinel
+        // tracked separately from the value domain.
+        bool is_null = kc.IsNull(r);
+        int64_t k = is_null ? INT64_MIN + 1 : kc.GetInt(r);
+        auto it = P.int_groups.find(k);
+        if (it == P.int_groups.end()) {
+          it = P.int_groups.emplace(k, new_states()).first;
+          P.int_group_null[k] = is_null;
         }
-        if (aggs_[a].arg2) {
-          DASHDB_ASSIGN_OR_RETURN(v2, aggs_[a].arg2->EvaluateRow(in, r, *ctx_));
+        feed(it->second, r);
+      }
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        GroupKey key;
+        key.vals.reserve(group_cols.size());
+        for (int c : group_cols) {
+          Value v = in.columns[c].GetValue(r);
+          key.hash = HashCombine(key.hash, HashValue(v));
+          key.vals.push_back(std::move(v));
         }
-        it->second[a].Add(v1, v2);
+        auto it = P.groups.find(key);
+        if (it == P.groups.end()) {
+          it = P.groups.emplace(std::move(key), new_states()).first;
+        }
+        feed(it->second, r);
       }
     }
-  }
-  // Move single-int-key groups into the generic map for output.
-  if (single_int_key) {
-    TypeId kt = group_exprs_[0]->out_type();
-    for (auto& [k, states] : int_groups) {
+  };
+
+  // Moves a partial's single-int-key groups into its generic map (the
+  // output and merge paths speak GroupKey).
+  TypeId key_type =
+      group_exprs_.empty() ? TypeId::kInt64 : group_exprs_[0]->out_type();
+  auto flatten_int_groups = [&](AggPartial& P) {
+    for (auto& [k, states] : P.int_groups) {
       GroupKey key;
-      Value v = int_group_null[k]
-                    ? Value::Null(kt)
-                    : *Value::Int64(k).CastTo(kt);
+      Value v = P.int_group_null[k] ? Value::Null(key_type)
+                                    : *Value::Int64(k).CastTo(key_type);
       key.hash = HashCombine(0, HashValue(v));
       key.vals.push_back(std::move(v));
-      groups.emplace(std::move(key), std::move(states));
+      P.groups.emplace(std::move(key), std::move(states));
     }
+    P.int_groups.clear();
+    P.int_group_null.clear();
+  };
+
+  // The parallel path additionally requires the fast path: slow-path rows
+  // go through expression evaluation, which can fail and is not guaranteed
+  // re-entrant across workers.
+  const bool parallel = fast && ParallelEligible();
+  std::vector<GroupMap> out_maps;
+  if (!parallel) {
+    RowBatch in;
+    for (;;) {
+      DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+      if (!more) break;
+      if (fast) {
+        consume_fast(in, root);
+        continue;
+      }
+      const size_t n = in.num_rows();
+      for (size_t r = 0; r < n; ++r) {
+        GroupKey key;
+        key.vals.reserve(group_exprs_.size());
+        for (const auto& g : group_exprs_) {
+          DASHDB_ASSIGN_OR_RETURN(Value v, g->EvaluateRow(in, r, *ctx_));
+          key.hash = HashCombine(key.hash, HashValue(v));
+          key.vals.push_back(std::move(v));
+        }
+        auto it = root.groups.find(key);
+        if (it == root.groups.end()) {
+          it = root.groups.emplace(std::move(key), new_states()).first;
+        }
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          Value v1 = Value::Null(TypeId::kInt64);
+          Value v2 = Value::Null(TypeId::kInt64);
+          if (aggs_[a].arg) {
+            DASHDB_ASSIGN_OR_RETURN(v1,
+                                    aggs_[a].arg->EvaluateRow(in, r, *ctx_));
+          }
+          if (aggs_[a].arg2) {
+            DASHDB_ASSIGN_OR_RETURN(v2,
+                                    aggs_[a].arg2->EvaluateRow(in, r, *ctx_));
+          }
+          it->second[a].Add(v1, v2);
+        }
+      }
+    }
+    flatten_int_groups(root);
+    out_maps.push_back(std::move(root.groups));
+  } else {
+    // Morsel-driven parallel aggregation (paper II.B.7): drain the child's
+    // batches as morsels, fan them out over the pool building thread-local
+    // partials, then merge partials in a hash-partitioned phase.
+    std::vector<RowBatch> morsels;
+    {
+      RowBatch in;
+      for (;;) {
+        DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+        if (!more) break;
+        morsels.push_back(std::move(in));
+        in = RowBatch();
+      }
+    }
+    std::deque<AggPartial> partials;  // deque: stable element addresses
+    std::unordered_map<std::thread::id, AggPartial*> slots;
+    std::mutex reg_mu;
+    ctx_->pool->ParallelFor(
+        morsels.size(),
+        [&](size_t i) {
+          AggPartial* P;
+          {
+            std::lock_guard<std::mutex> lk(reg_mu);
+            AggPartial*& slot = slots[std::this_thread::get_id()];
+            if (!slot) {
+              partials.emplace_back();
+              slot = &partials.back();
+            }
+            P = slot;
+          }
+          consume_fast(morsels[i], *P);
+        },
+        ctx_->dop);
+    for (auto& P : partials) flatten_int_groups(P);
+    // Hash-partitioned merge: shard m owns the keys with hash % M == m, so
+    // shards build concurrently without locks — each partial-map node is
+    // read (and its value moved) by exactly one shard.
+    const size_t M = std::max<size_t>(1, static_cast<size_t>(ctx_->dop));
+    std::vector<GroupMap> shards(M);
+    ctx_->pool->ParallelFor(
+        M,
+        [&](size_t m) {
+          GroupMap& shard = shards[m];
+          for (auto& P : partials) {
+            for (auto& kv : P.groups) {
+              if (kv.first.hash % M != m) continue;
+              auto it = shard.find(kv.first);
+              if (it == shard.end()) {
+                shard.emplace(kv.first, std::move(kv.second));
+              } else {
+                for (size_t a = 0; a < aggs_.size(); ++a) {
+                  it->second[a].Merge(kv.second[a]);
+                }
+              }
+            }
+          }
+        },
+        ctx_->dop);
+    out_maps = std::move(shards);
   }
+
   // Global aggregation with no groups must yield one row even on empty input.
   InitBatchFor(output_, &result_);
-  if (groups.empty() && group_exprs_.empty()) {
-    std::vector<AggState> states;
-    for (const auto& a : aggs_) states.emplace_back(&a);
+  size_t total_groups = 0;
+  for (const auto& m : out_maps) total_groups += m.size();
+  if (total_groups == 0 && group_exprs_.empty()) {
+    std::vector<AggState> states = new_states();
     for (size_t a = 0; a < aggs_.size(); ++a) {
       result_.columns[a].AppendValue(states[a].Finish());
     }
   } else {
-    for (const auto& [key, states] : groups) {
-      for (size_t g = 0; g < key.vals.size(); ++g) {
-        result_.columns[g].AppendValue(key.vals[g]);
-      }
-      for (size_t a = 0; a < states.size(); ++a) {
-        result_.columns[key.vals.size() + a].AppendValue(states[a].Finish());
+    for (const auto& m : out_maps) {
+      for (const auto& [key, states] : m) {
+        for (size_t g = 0; g < key.vals.size(); ++g) {
+          result_.columns[g].AppendValue(key.vals[g]);
+        }
+        for (size_t a = 0; a < states.size(); ++a) {
+          result_.columns[key.vals.size() + a].AppendValue(states[a].Finish());
+        }
       }
     }
   }

@@ -79,6 +79,42 @@ class ColumnScanOp : public Operator {
   ScanStats stats_;
 };
 
+/// Morsel-driven parallel scan over a column-organized table (paper II.B.6:
+/// strides scheduled across cores). The page range — one morsel per page,
+/// including the uncompressed tail — fans out over `opts.exec_pool` at
+/// degree `opts.dop`; each worker evaluates predicates and decodes the
+/// projection into a per-page slot, so emitted batches keep exact page
+/// order and results are identical to the serial ColumnScanOp. Per-worker
+/// ScanStats are merged when the fan-out completes.
+class ParallelColumnScanOp : public Operator {
+ public:
+  ParallelColumnScanOp(std::shared_ptr<const ColumnTable> table,
+                       std::vector<ColumnPredicate> preds,
+                       std::vector<int> projection, ScanOptions opts);
+  Status Open() override;
+  Result<bool> Next(RowBatch* out) override;
+  const ScanStats& stats() const { return stats_; }
+
+  std::string label() const override {
+    return "ParallelColumnScan(" + table_->schema().QualifiedName() +
+           " preds=" + std::to_string(preds_.size()) +
+           " dop=" + std::to_string(opts_.dop) + ")";
+  }
+
+ private:
+  /// Runs the whole page range across the pool, filling results_.
+  Status RunMorsels();
+
+  std::shared_ptr<const ColumnTable> table_;
+  std::vector<ColumnPredicate> preds_;
+  std::vector<int> projection_;
+  ScanOptions opts_;
+  std::vector<RowBatch> results_;  ///< one slot per page, page order
+  size_t next_slot_ = 0;
+  bool ran_ = false;
+  ScanStats stats_;
+};
+
 /// Full scan over the row-organized baseline table.
 class RowScanOp : public Operator {
  public:
@@ -169,16 +205,23 @@ class HashJoinOp : public Operator {
   Status Open() override;
   Result<bool> Next(RowBatch* out) override;
 
-  std::string label() const override { return std::string(type_ == JoinType::kLeft ? "HashLeftJoin" : "HashJoin") + "(keys=" + std::to_string(probe_keys_.size()) + (partitioned_ ? ", cache-partitioned)" : ")"); }
+  std::string label() const override;
   std::vector<const Operator*> children() const override {
     return {probe_.get(), build_.get()};
   }
 
  private:
   static constexpr int kPartitionBits = 6;  // 64 cache-sized partitions
+  /// Below this build cardinality the fan-out overhead beats the win.
+  static constexpr size_t kParallelBuildMinRows = 4096;
   struct Partition {
     std::unordered_multimap<uint64_t, uint32_t> table;  // hash -> build row
   };
+
+  /// Whether this build runs on the pool (needs the context's pool, a
+  /// partitioned build — the radix partitions are the independent units —
+  /// and enough rows to amortize the fan-out).
+  bool ParallelBuildEligible(size_t build_rows) const;
 
   Status BuildSide();
   bool KeysEqual(const RowBatch& probe_batch, size_t probe_row,
@@ -236,12 +279,16 @@ class HashAggOp : public Operator {
   Status Open() override;
   Result<bool> Next(RowBatch* out) override;
 
-  std::string label() const override { return "HashAggregate(groups=" + std::to_string(group_exprs_.size()) + ", aggs=" + std::to_string(aggs_.size()) + ")"; }
+  std::string label() const override;
   std::vector<const Operator*> children() const override {
     return {child_.get()};
   }
 
  private:
+  /// Whether materialization may use thread-local partials + parallel merge
+  /// (needs the context's pool and mergeable aggregate states).
+  bool ParallelEligible() const;
+
   Status Materialize();
 
   OperatorPtr child_;

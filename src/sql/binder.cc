@@ -761,8 +761,16 @@ class SelectBinder {
               scannables[i]->CreateScan(pushdown[i], pruned[i]));
           sources.push_back(std::move(scan));
         } else if (col_tables[i]) {
-          sources.push_back(std::make_unique<ColumnScanOp>(
-              col_tables[i], pushdown[i], pruned[i], b_->options().scan));
+          const ScanOptions& sopts = b_->options().scan;
+          // Morsel-driven parallel scan when the engine armed the options
+          // with a pool and a degree > 1 (paper II.B.6).
+          if (sopts.exec_pool != nullptr && sopts.dop > 1) {
+            sources.push_back(std::make_unique<ParallelColumnScanOp>(
+                col_tables[i], pushdown[i], pruned[i], sopts));
+          } else {
+            sources.push_back(std::make_unique<ColumnScanOp>(
+                col_tables[i], pushdown[i], pruned[i], sopts));
+          }
         } else {
           const std::vector<int>& proj = pruned[i];
           // Appliance-style access path selection: a sargable predicate on

@@ -1,12 +1,35 @@
 #include "sql/engine.h"
 
+#include <algorithm>
 #include <atomic>
+#include <thread>
+
+#include "common/threadpool.h"
 
 namespace dashdb {
 
 Engine::Engine(EngineConfig config)
     : config_(config),
-      pool_(config.buffer_pool_bytes, config.buffer_policy) {}
+      pool_(config.buffer_pool_bytes, config.buffer_policy) {
+  int qp = config.query_parallelism;
+  if (qp == 0) {
+    qp = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  query_parallelism_ = std::max(1, qp);
+  if (query_parallelism_ > 1) {
+    // The issuing thread participates in every ParallelFor, so the pool
+    // only needs dop-1 workers to reach the configured degree.
+    exec_pool_ = std::make_unique<ThreadPool>(query_parallelism_ - 1);
+  }
+}
+
+Engine::~Engine() = default;
+
+int Engine::EffectiveDop(const Session& session) const {
+  int dop = session.max_parallelism();
+  if (dop <= 0) return query_parallelism_;  // 0 = ANY: the engine degree
+  return std::min(dop, query_parallelism_);
+}
 
 std::shared_ptr<Session> Engine::CreateSession() {
   return std::make_shared<Session>();
@@ -200,8 +223,16 @@ Result<QueryResult> Engine::ExecuteStmt(Session* session,
 Result<QueryResult> Engine::ExecSelect(Session* session,
                                        const ast::SelectStmt& sel,
                                        bool explain_only) {
+  // Arm intra-query parallelism for this statement: the execution context
+  // drives the parallel join build / aggregation, the scan options drive
+  // the morsel scan. Both stay null/1 on serial engines.
+  const int dop = EffectiveDop(*session);
+  session->exec_ctx().pool = dop > 1 ? exec_pool_.get() : nullptr;
+  session->exec_ctx().dop = dop;
   BindOptions bopts;
   bopts.scan = MakeScanOptions();
+  bopts.scan.exec_pool = dop > 1 ? exec_pool_.get() : nullptr;
+  bopts.scan.dop = dop;
   Binder binder(&catalog_, session, bopts);
   DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(sel));
   QueryResult r;
@@ -251,8 +282,13 @@ Result<QueryResult> Engine::ExecInsert(Session* session,
   // Source rows.
   RowBatch incoming;
   if (st.select) {
+    const int dop = EffectiveDop(*session);
+    session->exec_ctx().pool = dop > 1 ? exec_pool_.get() : nullptr;
+    session->exec_ctx().dop = dop;
     BindOptions bopts;
     bopts.scan = MakeScanOptions();
+    bopts.scan.exec_pool = dop > 1 ? exec_pool_.get() : nullptr;
+    bopts.scan.dop = dop;
     Binder binder(&catalog_, session, bopts);
     DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(*st.select));
     if (static_cast<int>(root->output().size()) !=
@@ -513,6 +549,26 @@ Result<QueryResult> Engine::ExecSet(Session* session,
   if (name == "SCHEMA" || name == "CURRENT_SCHEMA") {
     session->set_default_schema(NormalizeIdent(st.set_value));
     r.message = "SCHEMA " + session->default_schema();
+    return r;
+  }
+  if (name == "DOP" || name == "QUERY_PARALLELISM" ||
+      name == "MAX_PARALLELISM" || name == "DEGREE") {
+    // DB2-style CURRENT DEGREE: an integer caps the session's intra-query
+    // parallelism; ANY (or DEFAULT) restores the engine-configured degree.
+    std::string v = NormalizeIdent(st.set_value);
+    int dop = 0;
+    if (v != "ANY" && v != "DEFAULT") {
+      try {
+        dop = std::stoi(v);
+      } catch (...) {
+        return Status::InvalidArgument("invalid degree " + st.set_value);
+      }
+      if (dop < 1) {
+        return Status::InvalidArgument("degree must be >= 1 or ANY");
+      }
+    }
+    session->set_max_parallelism(dop);
+    r.message = "DOP " + std::to_string(EffectiveDop(*session));
     return r;
   }
   // Unknown session variables are accepted and ignored (compatibility).

@@ -51,15 +51,35 @@ struct EngineConfig {
   /// Storage I/O cost model (DESIGN.md substitutions): buffer-pool misses
   /// charge modeled read time, accumulated per engine.
   IoModel io_model;
+  /// Intra-query degree of parallelism (paper II.A/II.B.6): the autoconfig
+  /// layer sets this to the detected core count. 1 = serial execution
+  /// (default, so hand-built engines behave exactly as before); 0 = detect
+  /// from std::thread::hardware_concurrency at engine startup. Sessions can
+  /// lower the effective degree with SET DOP.
+  int query_parallelism = 1;
 };
+
+class ThreadPool;
 
 class Engine {
  public:
   explicit Engine(EngineConfig config = {});
+  ~Engine();
 
   Catalog* catalog() { return &catalog_; }
   BufferPool* buffer_pool() { return &pool_; }
   const EngineConfig& config() const { return config_; }
+
+  /// Resolved intra-query parallelism (>= 1) and the worker pool backing it
+  /// (null when the engine runs serial). The pool is engine-owned and shared
+  /// by all sessions; ParallelFor's caller participation keeps nested use
+  /// deadlock-free.
+  int query_parallelism() const { return query_parallelism_; }
+  ThreadPool* exec_pool() { return exec_pool_.get(); }
+
+  /// Effective degree for one session: the engine degree, lowered (never
+  /// raised) by the session's SET DOP override.
+  int EffectiveDop(const Session& session) const;
 
   std::shared_ptr<Session> CreateSession();
 
@@ -114,6 +134,8 @@ class Engine {
   EngineConfig config_;
   Catalog catalog_;
   BufferPool pool_;
+  int query_parallelism_ = 1;
+  std::unique_ptr<ThreadPool> exec_pool_;
   std::atomic<uint64_t> next_table_id_{1};
   IoSink io_nanos_{0};
   std::map<std::string, Procedure> procedures_;

@@ -34,6 +34,12 @@ class Session {
   ExecContext& exec_ctx() { return exec_ctx_; }
   const ExecContext& exec_ctx() const { return exec_ctx_; }
 
+  /// Session cap on intra-query parallelism (SET DOP / CURRENT DEGREE).
+  /// 0 = ANY: use the engine-configured degree. The engine clamps the
+  /// effective degree to [1, engine parallelism].
+  int max_parallelism() const { return max_parallelism_; }
+  void set_max_parallelism(int dop) { max_parallelism_ = dop; }
+
   /// Sequences are session-scoped in this engine (CURRVAL is per session in
   /// real systems; NEXTVAL sharing across sessions is out of scope).
   Status CreateSequence(const std::string& name) {
@@ -68,6 +74,7 @@ class Session {
  private:
   Dialect dialect_ = Dialect::kAnsi;
   std::string default_schema_ = "PUBLIC";
+  int max_parallelism_ = 0;  ///< 0 = ANY
   ExecContext exec_ctx_;
   std::map<std::string, SequenceState> sequences_;
 };

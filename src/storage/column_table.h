@@ -40,6 +40,8 @@ struct ColumnPredicate {
   bool dlo_incl = true, dhi_incl = true;
 };
 
+class ThreadPool;
+
 /// Feature switches for a scan — the paper's architectural levers, each
 /// independently toggleable for the ablation bench and the Test-4
 /// "naive column store competitor" mode.
@@ -48,6 +50,11 @@ struct ScanOptions {
   bool use_swar = true;           ///< software SIMD (II.B.6)
   bool operate_on_compressed = true;  ///< predicates on codes (II.B.2)
   BufferPool* pool = nullptr;     ///< charge page accesses when set
+  /// Intra-query parallelism (II.B.6): pages fan out across `exec_pool`
+  /// workers at degree `dop`. Serial when exec_pool is null or dop <= 1;
+  /// both are independently settable for the ablation bench.
+  ThreadPool* exec_pool = nullptr;
+  int dop = 1;
 };
 
 /// Per-scan observability counters.
