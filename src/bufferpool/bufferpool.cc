@@ -5,7 +5,15 @@
 #include <map>
 #include <queue>
 
+#include "common/fault_injector.h"
+
 namespace dashdb {
+
+namespace {
+/// Armed by resilience tests: a resident frame is lost (clustered FS read
+/// error / node memory gone) and the access must recover by re-reading.
+constexpr const char* kFaultPageDrop = "bufferpool.page_drop";
+}  // namespace
 
 const char* PolicyName(ReplacementPolicy p) {
   switch (p) {
@@ -20,7 +28,33 @@ BufferPool::BufferPool(size_t capacity_bytes, ReplacementPolicy policy,
                        uint64_t seed)
     : capacity_(capacity_bytes), policy_(policy), rng_(seed) {}
 
+void BufferPool::RemoveFrameLocked(
+    std::unordered_map<PageId, Frame, PageIdHash>::iterator it) {
+  const PageId id = it->first;
+  used_ -= it->second.bytes;
+  if (policy_ == ReplacementPolicy::kLru) {
+    lru_.erase(it->second.lru_pos);
+  } else {
+    size_t pos = resident_pos_[id];
+    resident_pos_.erase(id);
+    if (pos != resident_.size() - 1) {
+      resident_[pos] = resident_.back();
+      resident_pos_[resident_[pos]] = pos;
+    }
+    resident_.pop_back();
+  }
+  frames_.erase(it);
+}
+
 bool BufferPool::Access(const PageId& id, size_t bytes) {
+  if (!FaultInjector::Global().Evaluate(kFaultPageDrop).ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = frames_.find(id);
+    if (it != frames_.end()) {
+      RemoveFrameLocked(it);
+      ++stats_.faulted_drops;
+    }
+  }
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.accesses;
   auto it = frames_.find(id);
@@ -72,7 +106,6 @@ void BufferPool::EvictOneLocked() {
   switch (policy_) {
     case ReplacementPolicy::kLru: {
       victim = lru_.back();
-      lru_.pop_back();
       break;
     }
     case ReplacementPolicy::kClock: {
@@ -114,42 +147,16 @@ void BufferPool::EvictOneLocked() {
       break;
     }
   }
-  auto it = frames_.find(victim);
-  used_ -= it->second.bytes;
-  frames_.erase(it);
-  if (policy_ != ReplacementPolicy::kLru) {
-    // Swap-remove from the sampling vector.
-    size_t pos = resident_pos_[victim];
-    resident_pos_.erase(victim);
-    if (pos != resident_.size() - 1) {
-      resident_[pos] = resident_.back();
-      resident_pos_[resident_[pos]] = pos;
-    }
-    resident_.pop_back();
-  }
+  RemoveFrameLocked(frames_.find(victim));
   ++stats_.evictions;
 }
 
 void BufferPool::EvictTable(uint64_t table_id) {
   std::lock_guard<std::mutex> lk(mu_);
   for (auto it = frames_.begin(); it != frames_.end();) {
-    if (it->first.table_id == table_id) {
-      used_ -= it->second.bytes;
-      if (policy_ == ReplacementPolicy::kLru) {
-        lru_.erase(it->second.lru_pos);
-      } else {
-        size_t pos = resident_pos_[it->first];
-        resident_pos_.erase(it->first);
-        if (pos != resident_.size() - 1) {
-          resident_[pos] = resident_.back();
-          resident_pos_[resident_[pos]] = pos;
-        }
-        resident_.pop_back();
-      }
-      it = frames_.erase(it);
-    } else {
-      ++it;
-    }
+    auto next = std::next(it);
+    if (it->first.table_id == table_id) RemoveFrameLocked(it);
+    it = next;
   }
 }
 

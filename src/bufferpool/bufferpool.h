@@ -58,6 +58,9 @@ struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// Frames dropped by the `bufferpool.page_drop` fault point (a clustered
+  /// FS read failing under a node's feet); the access then re-reads.
+  uint64_t faulted_drops = 0;
 
   double HitRatio() const {
     return accesses == 0 ? 0.0 : static_cast<double>(hits) / accesses;
@@ -71,7 +74,9 @@ class BufferPool {
 
   /// Records an access to `id` (`bytes` = page footprint). Returns true on
   /// a cache hit; on a miss the page is admitted, evicting victims until it
-  /// fits. Thread-safe.
+  /// fits. Thread-safe. When the `bufferpool.page_drop` fault point fires,
+  /// a resident frame is discarded first, so the access degrades to a miss
+  /// and the page is re-read — the recovery path a lost frame takes.
   bool Access(const PageId& id, size_t bytes);
 
   /// Drops a table's pages (DROP/TRUNCATE paths).
@@ -94,6 +99,9 @@ class BufferPool {
   };
 
   void EvictOneLocked();
+  /// Removes one frame from every residency structure (drop/evict paths).
+  void RemoveFrameLocked(
+      std::unordered_map<PageId, Frame, PageIdHash>::iterator it);
 
   const size_t capacity_;
   const ReplacementPolicy policy_;

@@ -1,0 +1,98 @@
+#include "common/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace dashdb {
+
+void FaultInjector::Reset(uint64_t seed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  seed_ = seed;
+  points_.clear();
+  log_.clear();
+  armed_points_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::seed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seed_;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = points_.insert_or_assign(point, Point{spec, 0, 0});
+  (void)it;
+  if (inserted) armed_points_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Status FaultInjector::Evaluate(const std::string& point) {
+  if (!enabled()) return Status::OK();
+  FaultSpec spec;
+  uint64_t hit = 0;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    Point& p = it->second;
+    hit = ++p.hits;
+    bool eligible =
+        hit > p.spec.skip_hits &&
+        (p.spec.max_fires < 0 ||
+         p.fires < static_cast<uint64_t>(p.spec.max_fires));
+    if (eligible) {
+      if (p.spec.probability >= 1.0) {
+        fire = true;
+      } else if (p.spec.probability > 0.0) {
+        // Pure function of (seed, point, hit): replayable from the seed
+        // no matter how threads interleave their hits.
+        Rng decide(seed_ ^ (HashString(point) * 0x9E3779B97F4A7C15ull) ^
+                   (hit * 0xBF58476D1CE4E5B9ull));
+        fire = decide.NextDouble() < p.spec.probability;
+      }
+    }
+    if (fire) {
+      ++p.fires;
+      log_.push_back({point, hit});
+    }
+    spec = p.spec;
+  }
+  if (!fire) return Status::OK();
+  if (spec.stall_seconds > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(spec.stall_seconds));
+  }
+  if (spec.code == StatusCode::kOk) return Status::OK();  // stall-only point
+  std::string msg = "injected(" + point + "#" + std::to_string(hit) + ")";
+  if (!spec.message.empty()) msg += ": " + spec.message;
+  return Status(spec.code, std::move(msg));
+}
+
+FaultPointStats FaultInjector::PointStats(const std::string& point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return {};
+  return {it->second.hits, it->second.fires};
+}
+
+std::vector<FaultFireEvent> FaultInjector::FireLog() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return log_;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+}  // namespace dashdb

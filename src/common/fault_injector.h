@@ -1,0 +1,100 @@
+// Deterministic fault injection (the exercised half of the paper's II.E HA
+// story). Production code declares named fault points at the places a real
+// deployment can break — a shard attempt on a failed node, a remote-store
+// request, a buffer-pool page read — and tests/benches arm those points
+// with triggers. Whether a given hit of a point fires is a pure function
+// of (injector seed, point name, hit index), computed with the repo's
+// fixed-algorithm Rng: a fault schedule is therefore byte-replayable from
+// its seed alone, regardless of thread interleaving, which is what makes
+// a failing schedule a bug report instead of a flake.
+//
+// Trigger model per armed point:
+//   probability    chance each eligible hit fires (1.0 = always)
+//   skip_hits      first N hits never fire (target "the Nth attempt")
+//   max_fires      total fires allowed (-1 unlimited, 1 = one-shot)
+//   stall_seconds  injected latency; with code == kOk the point only
+//                  stalls (straggler injection), otherwise the stall
+//                  precedes the injected error.
+//
+// Disarmed points cost one relaxed atomic load — fault points stay
+// compiled into release binaries, as they must to be trustworthy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dashdb {
+
+/// What an armed fault point injects and when it triggers.
+struct FaultSpec {
+  /// Injected error category; kOk means "stall only, then succeed".
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message;        ///< appended to the injected status text
+  double probability = 1.0;   ///< per-eligible-hit fire chance
+  uint64_t skip_hits = 0;     ///< hits 1..skip_hits never fire
+  int64_t max_fires = -1;     ///< total fires allowed; -1 = unlimited
+  double stall_seconds = 0;   ///< injected latency before returning
+};
+
+/// Counters for one point since it was armed.
+struct FaultPointStats {
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+/// One fired injection, for replay verification and failure logging.
+struct FaultFireEvent {
+  std::string point;
+  uint64_t hit_index = 0;  ///< 1-based hit at which the point fired
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : seed_(seed) {}
+
+  /// Clears every armed point and the fire log, and installs a new seed.
+  /// Tests log this seed; re-running with it reproduces the schedule.
+  void Reset(uint64_t seed);
+  uint64_t seed() const;
+
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+
+  /// True when at least one point is armed (lock-free fast path).
+  bool enabled() const {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Evaluates one hit of `point`. Returns OK unless the point is armed
+  /// and this hit fires, in which case the injected Status (annotated
+  /// with point name and hit index) comes back. Stalls, when configured,
+  /// happen outside the registry lock.
+  Status Evaluate(const std::string& point);
+
+  FaultPointStats PointStats(const std::string& point) const;
+  std::vector<FaultFireEvent> FireLog() const;
+
+  /// Process-wide instance used by the built-in fault points.
+  static FaultInjector& Global();
+
+ private:
+  struct Point {
+    FaultSpec spec;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  uint64_t seed_;
+  std::map<std::string, Point> points_;
+  std::vector<FaultFireEvent> log_;
+  std::atomic<int> armed_points_{0};
+};
+
+}  // namespace dashdb

@@ -17,8 +17,20 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kParseError: return "ParseError";
     case StatusCode::kSemanticError: return "SemanticError";
     case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kTimeout: return "Timeout";
   }
   return "Unknown";
+}
+
+bool StatusCodeIsTransient(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kTimeout:
+    case StatusCode::kAborted:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string Status::ToString() const {

@@ -28,10 +28,17 @@ enum class StatusCode {
   kParseError,       ///< SQL text could not be parsed.
   kSemanticError,    ///< SQL parsed but is semantically invalid.
   kUnavailable,      ///< A node/container/shard is currently down.
+  kTimeout,          ///< An attempt exceeded its time budget.
 };
 
 /// Returns a stable human-readable name for a StatusCode.
 const char* StatusCodeName(StatusCode code);
+
+/// Retryability taxonomy: transient failures describe a moment, not the
+/// request — re-executing the same deterministic work can succeed (a node
+/// went down and its shards reassociated, a remote hiccuped, an attempt
+/// ran past its budget). Everything else is fatal for the request.
+bool StatusCodeIsTransient(StatusCode code);
 
 /// A cheap, copyable success-or-error value. OK status carries no allocation.
 class Status {
@@ -82,12 +89,30 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
   const std::string& message() const {
     static const std::string kEmpty;
     return rep_ ? rep_->msg : kEmpty;
+  }
+
+  /// True when retrying the same deterministic work may succeed
+  /// (kUnavailable / kTimeout / kAborted). OK is not transient.
+  bool IsTransient() const { return !ok() && StatusCodeIsTransient(code()); }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+
+  /// Same code, message prefixed with `context` — lets layers annotate
+  /// (which shard, which statement) without laundering retryability
+  /// through a fresh string-typed Internal error.
+  Status WithContext(const std::string& context) const {
+    if (ok()) return *this;
+    return Status(code(), context + ": " + message());
   }
 
   /// "OK" or "<CodeName>: <message>".

@@ -1,11 +1,21 @@
 #include "fluid/remote_store.h"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
+
+#include "common/fault_injector.h"
+#include "common/rng.h"
 
 namespace dashdb {
 namespace fluid {
 
 namespace {
+
+/// Armed by resilience tests; models a flaky remote link (paper II.C.6
+/// federation crossing real networks).
+constexpr const char* kFaultRemoteScan = "fluid.remote_scan";
 
 size_t BatchBytes(const RowBatch& b) {
   size_t bytes = 0;
@@ -54,12 +64,48 @@ bool MatchPred(const ColumnPredicate& p, TypeId t, const Value& v) {
 
 }  // namespace
 
+Status RemoteStore::Scan(const std::vector<ColumnPredicate>& preds,
+                         const std::vector<int>& projection,
+                         const std::function<void(RowBatch&)>& emit) {
+  Status last;
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    // Stage batches so a failed attempt never leaks partial output: the
+    // downstream operator sees each row exactly once, whichever attempt
+    // finally succeeds.
+    std::vector<RowBatch> staged;
+    Status st = FaultInjector::Global().Evaluate(kFaultRemoteScan);
+    if (st.ok()) {
+      st = ScanOnce(preds, projection,
+                    [&](RowBatch& b) { staged.push_back(std::move(b)); });
+    }
+    if (st.ok()) {
+      for (auto& b : staged) emit(b);
+      return Status::OK();
+    }
+    ++failed_requests_;
+    last = st.WithContext(kind() + " scan attempt " +
+                          std::to_string(attempt));
+    if (!st.IsTransient() || attempt == retry_.max_attempts) return last;
+    ++retries_;
+    double delay = retry_.backoff_base_seconds *
+                   static_cast<double>(uint64_t{1} << (attempt - 1));
+    delay = std::min(delay, retry_.backoff_max_seconds);
+    // Jitter is a pure function of (seed, attempt): replayable schedules.
+    Rng jitter(retry_.jitter_seed ^ static_cast<uint64_t>(attempt));
+    delay *= 0.5 + 0.5 * jitter.NextDouble();
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+  return last;
+}
+
 SimRdbmsStore::SimRdbmsStore(std::string kind, TableSchema schema)
     : kind_(std::move(kind)), schema_(schema), table_(schema, 0) {}
 
-Status SimRdbmsStore::Scan(const std::vector<ColumnPredicate>& preds,
-                           const std::vector<int>& projection,
-                           const std::function<void(RowBatch&)>& emit) {
+Status SimRdbmsStore::ScanOnce(const std::vector<ColumnPredicate>& preds,
+                               const std::vector<int>& projection,
+                               const std::function<void(RowBatch&)>& emit) {
   // Pushdown-capable: the remote filters, only matches transfer.
   rows_scanned_ += table_.live_row_count();
   return table_.Scan(preds, projection,
@@ -85,9 +131,9 @@ Status SimHadoopStore::Load(const RowBatch& rows) {
   return Status::OK();
 }
 
-Status SimHadoopStore::Scan(const std::vector<ColumnPredicate>& preds,
-                            const std::vector<int>& projection,
-                            const std::function<void(RowBatch&)>& emit) {
+Status SimHadoopStore::ScanOnce(const std::vector<ColumnPredicate>& preds,
+                                const std::vector<int>& projection,
+                                const std::function<void(RowBatch&)>& emit) {
   // No pushdown: every line is read, transferred, parsed (schema on read),
   // THEN filtered — the HDFS performance profile the paper contrasts.
   RowBatch out;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,18 @@ struct TransferStats {
   uint64_t rows_scanned = 0;      ///< rows touched at the remote
   uint64_t rows_transferred = 0;  ///< rows shipped to dashDB
   uint64_t bytes_transferred = 0;
+  uint64_t failed_requests = 0;   ///< scan attempts that errored
+  uint64_t retries = 0;           ///< re-attempts after transient failures
+};
+
+/// Retry policy for one remote link: transient failures (kUnavailable /
+/// kTimeout / kAborted) re-attempt with bounded exponential backoff; the
+/// jitter is derived from the deterministic Rng so retry schedules replay.
+struct RetryPolicy {
+  int max_attempts = 4;  ///< first attempt included
+  double backoff_base_seconds = 0.0002;
+  double backoff_max_seconds = 0.005;
+  uint64_t jitter_seed = 0xF1D0;
 };
 
 /// Abstract remote system behind a nickname.
@@ -47,28 +60,50 @@ class RemoteStore {
   /// Scans the remote object. The result MUST satisfy all `preds`
   /// (pushdown-capable stores filter remotely; others filter after the
   /// full transfer). Emits projected batches.
-  virtual Status Scan(
-      const std::vector<ColumnPredicate>& preds,
-      const std::vector<int>& projection,
-      const std::function<void(RowBatch&)>& emit) = 0;
+  ///
+  /// Resilient wrapper over ScanOnce: batches are staged and only
+  /// forwarded to `emit` after the attempt succeeds end-to-end, so a
+  /// retried attempt can never duplicate rows downstream (exactly-once
+  /// emission); transient failures — including the `fluid.remote_scan`
+  /// fault point — back off and re-attempt per retry_policy().
+  Status Scan(const std::vector<ColumnPredicate>& preds,
+              const std::vector<int>& projection,
+              const std::function<void(RowBatch&)>& emit);
+
+  RetryPolicy& retry_policy() { return retry_; }
 
   TransferStats stats() const {
     TransferStats s;
     s.rows_scanned = rows_scanned_.load();
     s.rows_transferred = rows_transferred_.load();
     s.bytes_transferred = bytes_transferred_.load();
+    s.failed_requests = failed_requests_.load();
+    s.retries = retries_.load();
     return s;
   }
   void ResetStats() {
     rows_scanned_ = 0;
     rows_transferred_ = 0;
     bytes_transferred_ = 0;
+    failed_requests_ = 0;
+    retries_ = 0;
   }
 
  protected:
+  /// One scan attempt against the simulated remote.
+  virtual Status ScanOnce(
+      const std::vector<ColumnPredicate>& preds,
+      const std::vector<int>& projection,
+      const std::function<void(RowBatch&)>& emit) = 0;
+
   std::atomic<uint64_t> rows_scanned_{0};
   std::atomic<uint64_t> rows_transferred_{0};
   std::atomic<uint64_t> bytes_transferred_{0};
+  std::atomic<uint64_t> failed_requests_{0};
+  std::atomic<uint64_t> retries_{0};
+
+ private:
+  RetryPolicy retry_;
 };
 
 /// Simulated remote RDBMS (Oracle / SQL Server / Netezza flavor): a row
@@ -83,9 +118,10 @@ class SimRdbmsStore : public RemoteStore {
 
   Status Load(const RowBatch& rows) { return table_.Append(rows); }
 
-  Status Scan(const std::vector<ColumnPredicate>& preds,
-              const std::vector<int>& projection,
-              const std::function<void(RowBatch&)>& emit) override;
+ protected:
+  Status ScanOnce(const std::vector<ColumnPredicate>& preds,
+                  const std::vector<int>& projection,
+                  const std::function<void(RowBatch&)>& emit) override;
 
  private:
   std::string kind_;
@@ -107,9 +143,10 @@ class SimHadoopStore : public RemoteStore {
   void AppendLine(std::string line) { lines_.push_back(std::move(line)); }
   Status Load(const RowBatch& rows);
 
-  Status Scan(const std::vector<ColumnPredicate>& preds,
-              const std::vector<int>& projection,
-              const std::function<void(RowBatch&)>& emit) override;
+ protected:
+  Status ScanOnce(const std::vector<ColumnPredicate>& preds,
+                  const std::vector<int>& projection,
+                  const std::function<void(RowBatch&)>& emit) override;
 
  private:
   TableSchema schema_;

@@ -1,9 +1,13 @@
 #include "mpp/mpp.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <unordered_map>
 
+#include "common/fault_injector.h"
 #include "common/hash.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -11,6 +15,14 @@
 namespace dashdb {
 
 using ast::ExprKind;
+
+namespace {
+/// Fault points exercised by the resilience tests (tests/mpp_fault_test.cc)
+/// and the failover drill. Evaluated on every shard attempt; free when
+/// nothing is armed.
+constexpr const char* kFaultShardExec = "mpp.shard_exec";
+constexpr const char* kFaultShardStall = "mpp.shard_stall";
+}  // namespace
 
 MppDatabase::MppDatabase(int nodes, int shards_per_node, int cores_per_node,
                          size_t ram_per_node, EngineConfig shard_config)
@@ -64,7 +76,8 @@ Status MppDatabase::Load(const std::string& schema, const std::string& table,
     auto row = std::dynamic_pointer_cast<RowTable>(e->storage);
     if (col) return col->Append(batch);
     if (row) return row->Append(batch);
-    return Status::Internal("shard table without storage");
+    return Status::InvalidArgument("table has no local shard storage "
+                                   "(nickname or view?)");
   };
 
   if (replicate) {
@@ -96,14 +109,139 @@ Status MppDatabase::Load(const std::string& schema, const std::string& table,
   return Status::OK();
 }
 
+MppDatabase::~MppDatabase() { DrainAbandoned(); }
+
+void MppDatabase::DrainAbandoned() {
+  std::vector<std::future<AttemptResult>> take;
+  {
+    std::lock_guard<std::mutex> lk(abandoned_mu_);
+    take.swap(abandoned_);
+  }
+  for (auto& f : take) {
+    if (f.valid()) f.wait();
+  }
+}
+
+Status MppDatabase::AttemptWithSpeculation(int shard, const ShardFn& fn,
+                                           MppExecStats* stats,
+                                           ShardAttemptOut* out) {
+  ShardFn fn_copy = fn;  // the primary may outlive this call (abandoned)
+  auto primary = std::async(std::launch::async, [fn_copy, shard] {
+    AttemptResult r;
+    r.status = fn_copy(shard, /*speculative=*/false, &r.out);
+    return r;
+  });
+  auto window =
+      std::chrono::duration<double>(fail_policy_.straggler_after_seconds);
+  if (primary.wait_for(window) == std::future_status::ready) {
+    AttemptResult r = primary.get();
+    *out = std::move(r.out);
+    return r.status;
+  }
+  // Straggler: re-execute on the calling thread with a fresh session.
+  ++stats->speculative_launches;
+  ShardAttemptOut spec;
+  Status spec_st = fn(shard, /*speculative=*/true, &spec);
+  if (spec_st.ok()) {
+    // First result wins; the straggling primary finishes in the background
+    // and is joined before its session is reused (DrainAbandoned).
+    if (primary.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ++stats->speculative_wins;
+      std::lock_guard<std::mutex> lk(abandoned_mu_);
+      abandoned_.push_back(std::move(primary));
+    }
+    *out = std::move(spec);
+    return Status::OK();
+  }
+  // Speculation failed; fall back to whatever the primary produces.
+  AttemptResult r = primary.get();
+  *out = std::move(r.out);
+  return r.status;
+}
+
+Result<MppDatabase::ShardAttemptOut> MppDatabase::RunShardResilient(
+    int shard, bool idempotent, const ShardFn& fn, MppExecStats* stats,
+    double* seconds) {
+  FaultInjector& fault = FaultInjector::Global();
+  const FailoverPolicy& pol = fail_policy_;
+  Status last;
+  for (int attempt = 1; attempt <= pol.max_attempts_per_shard; ++attempt) {
+    Stopwatch sw;
+    // Gate: "the node just died under you". Fires before the attempt does
+    // anything, so a gate failure is retryable even for DML.
+    Status st = fault.Evaluate(kFaultShardExec);
+    const bool gate_failure = !st.ok();
+    ShardAttemptOut out;
+    if (st.ok()) {
+      if (idempotent && pol.straggler_after_seconds >= 0) {
+        st = AttemptWithSpeculation(shard, fn, stats, &out);
+      } else {
+        st = fn(shard, /*speculative=*/false, &out);
+      }
+    }
+    double elapsed = sw.ElapsedSeconds();
+    if (st.ok() && idempotent && elapsed > pol.shard_timeout_seconds) {
+      // Post-hoc budget check: the deterministic plan makes discarding a
+      // late result and re-executing safe (and byte-identical).
+      ++stats->timeouts;
+      st = Status::Timeout("shard attempt took " + std::to_string(elapsed) +
+                           "s (budget " +
+                           std::to_string(pol.shard_timeout_seconds) + "s)");
+    }
+    if (st.ok()) {
+      *seconds = elapsed;
+      return out;
+    }
+    last = st.WithContext("shard " + std::to_string(shard) + " (node " +
+                          std::to_string(topo_.OwnerOf(shard)) + ")");
+    bool retryable = st.IsTransient() && (gate_failure || idempotent);
+    if (!retryable || attempt == pol.max_attempts_per_shard) return last;
+    ++stats->shard_retries;
+    if (st.IsUnavailable() && pol.failover_on_unavailable) {
+      // Model the paper's II.E response: mark the owner dead, reassociate
+      // its shards across survivors, then re-execute only the victim. The
+      // shard's file set lives on the clustered FS, so the retry below IS
+      // the survivor running the reassociated shard.
+      int owner = topo_.OwnerOf(shard);
+      if (topo_.IsAlive(owner) && topo_.num_alive_nodes() > 1 &&
+          topo_.FailNode(owner).ok()) {
+        ++stats->failovers;
+      }
+    }
+    // Bounded exponential backoff; jitter is a pure function of
+    // (injector seed, shard, attempt) so schedules replay exactly.
+    double delay = pol.backoff_base_seconds *
+                   static_cast<double>(uint64_t{1} << (attempt - 1));
+    delay = std::min(delay, pol.backoff_max_seconds);
+    Rng jitter(fault.seed() ^ (static_cast<uint64_t>(shard) << 32) ^
+               static_cast<uint64_t>(attempt));
+    delay *= 0.5 + 0.5 * jitter.NextDouble();
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
+  return last;
+}
+
 Result<MppQueryResult> MppDatabase::Broadcast(const std::string& sql) {
   MppQueryResult out;
   out.shard_seconds.resize(shards_.size(), 0);
+  ShardFn fn = [this, sql](int shard, bool /*speculative*/,
+                           ShardAttemptOut* o) -> Status {
+    DASHDB_RETURN_IF_ERROR(FaultInjector::Global().Evaluate(kFaultShardStall));
+    DASHDB_ASSIGN_OR_RETURN(
+        o->qr, shards_[shard]->Execute(sessions_[shard].get(), sql));
+    return Status::OK();
+  };
   for (size_t s = 0; s < shards_.size(); ++s) {
-    Stopwatch sw;
-    DASHDB_ASSIGN_OR_RETURN(out.result,
-                            shards_[s]->Execute(sessions_[s].get(), sql));
-    out.shard_seconds[s] = sw.ElapsedSeconds();
+    double secs = 0;
+    DASHDB_ASSIGN_OR_RETURN(
+        ShardAttemptOut r,
+        RunShardResilient(static_cast<int>(s), /*idempotent=*/false, fn,
+                          &out.exec, &secs));
+    out.result = std::move(r.qr);
+    out.shard_seconds[s] = secs;
   }
   return out;
 }
@@ -208,24 +346,25 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
 
   if (!has_agg) {
     // Run shard-local plans without ORDER BY/LIMIT; merge; finish globally.
-    ast::SelectStmt shard_sel = sel;
-    shard_sel.order_by.clear();
-    shard_sel.limit = -1;
-    shard_sel.offset = 0;
+    auto shard_sel = std::make_shared<ast::SelectStmt>(sel);
+    shard_sel->order_by.clear();
+    shard_sel->limit = -1;
+    shard_sel->offset = 0;
+    ShardFn fn = MakeShardSelectFn(shard_sel);
     RowBatch merged;
     std::vector<OutputCol> cols;
     for (size_t s = 0; s < shards_.size(); ++s) {
-      Stopwatch sw;
-      BindOptions bopts;
-      bopts.scan = shards_[s]->MakeScanOptions();
-      Binder binder(shards_[s]->catalog(), sessions_[s].get(), bopts);
-      DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(shard_sel));
-      DASHDB_ASSIGN_OR_RETURN(RowBatch batch, DrainOperator(root.get()));
-      out.shard_seconds[s] = sw.ElapsedSeconds();
+      double secs = 0;
+      DASHDB_ASSIGN_OR_RETURN(
+          ShardAttemptOut r,
+          RunShardResilient(static_cast<int>(s), /*idempotent=*/true, fn,
+                            &out.exec, &secs));
+      out.shard_seconds[s] = secs;
       if (cols.empty()) {
-        cols = root->output();
+        cols = r.cols;
         for (const auto& c : cols) merged.columns.emplace_back(c.type);
       }
+      const RowBatch& batch = r.batch;
       for (size_t i = 0; i < batch.num_rows(); ++i) {
         for (size_t c = 0; c < batch.columns.size(); ++c) {
           merged.columns[c].AppendFrom(batch.columns[c], i);
@@ -306,7 +445,8 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
   if (sel.having) {
     return Status::Unimplemented("MPP HAVING not supported");
   }
-  ast::SelectStmt partial = sel;
+  auto partial_p = std::make_shared<ast::SelectStmt>(sel);
+  ast::SelectStmt& partial = *partial_p;
   partial.order_by.clear();
   partial.limit = -1;
   partial.offset = 0;
@@ -378,15 +518,16 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
   };
   std::unordered_map<std::string, GroupAccum> table;
   std::vector<OutputCol> partial_cols;
+  ShardFn fn = MakeShardSelectFn(partial_p);
   for (size_t s = 0; s < shards_.size(); ++s) {
-    Stopwatch sw;
-    BindOptions bopts;
-    bopts.scan = shards_[s]->MakeScanOptions();
-    Binder binder(shards_[s]->catalog(), sessions_[s].get(), bopts);
-    DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(partial));
-    DASHDB_ASSIGN_OR_RETURN(RowBatch batch, DrainOperator(root.get()));
-    out.shard_seconds[s] = sw.ElapsedSeconds();
-    if (partial_cols.empty()) partial_cols = root->output();
+    double secs = 0;
+    DASHDB_ASSIGN_OR_RETURN(
+        ShardAttemptOut r,
+        RunShardResilient(static_cast<int>(s), /*idempotent=*/true, fn,
+                          &out.exec, &secs));
+    out.shard_seconds[s] = secs;
+    const RowBatch& batch = r.batch;
+    if (partial_cols.empty()) partial_cols = r.cols;
     for (size_t i = 0; i < batch.num_rows(); ++i) {
       std::string key;
       for (size_t g = 0; g < n_groups; ++g) {
@@ -534,7 +675,27 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
   return out;
 }
 
+MppDatabase::ShardFn MppDatabase::MakeShardSelectFn(
+    std::shared_ptr<ast::SelectStmt> stmt) {
+  return [this, stmt](int shard, bool speculative,
+                      ShardAttemptOut* o) -> Status {
+    DASHDB_RETURN_IF_ERROR(FaultInjector::Global().Evaluate(kFaultShardStall));
+    std::shared_ptr<Session> session =
+        speculative ? shards_[shard]->CreateSession() : sessions_[shard];
+    BindOptions bopts;
+    bopts.scan = shards_[shard]->MakeScanOptions();
+    Binder binder(shards_[shard]->catalog(), session.get(), bopts);
+    DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(*stmt));
+    DASHDB_ASSIGN_OR_RETURN(o->batch, DrainOperator(root.get()));
+    o->cols = root->output();
+    return Status::OK();
+  };
+}
+
 Result<MppQueryResult> MppDatabase::Execute(const std::string& sql) {
+  // Any straggler abandoned by a previous query must be idle before its
+  // session is reused.
+  DrainAbandoned();
   DASHDB_ASSIGN_OR_RETURN(ast::StatementP stmt, ParseStatement(sql));
   switch (stmt->kind) {
     case ast::StmtKind::kSelect:

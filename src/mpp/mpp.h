@@ -9,7 +9,10 @@
 // modeled as the topology makespan over measured per-shard times.
 #pragma once
 
+#include <functional>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,10 +22,45 @@
 
 namespace dashdb {
 
+/// Per-query resilience policy. Shard plans are deterministic and
+/// side-effect-free for SELECT, so a failed or slow attempt can simply be
+/// re-executed — on a survivor after reassociation, or speculatively while
+/// the straggler is still running — and the merged result stays
+/// byte-identical to the fault-free run.
+struct FailoverPolicy {
+  /// Total attempts per shard task (first attempt included).
+  int max_attempts_per_shard = 3;
+  /// A SELECT attempt running longer than this is classified kTimeout and
+  /// re-executed. Generous default: only injected stalls trip it in tests.
+  double shard_timeout_seconds = 60.0;
+  /// Straggler handling: a shard attempt still running after this long gets
+  /// a speculative re-execution on a fresh session; first result wins.
+  /// Negative disables speculation (the default — it costs a thread).
+  double straggler_after_seconds = -1.0;
+  /// Treat kUnavailable from a shard as the owner node dying: FailNode()
+  /// reassociates its shards across survivors before the retry (II.E).
+  bool failover_on_unavailable = true;
+  /// Bounded exponential backoff between attempts, with deterministic
+  /// jitter derived from the fault-injector seed.
+  double backoff_base_seconds = 0.0002;
+  double backoff_max_seconds = 0.005;
+};
+
+/// What fault tolerance did during one Execute (observability for tests,
+/// benches, and the failover drill).
+struct MppExecStats {
+  uint64_t shard_retries = 0;        ///< re-executed shard attempts
+  uint64_t failovers = 0;            ///< nodes failed over mid-query
+  uint64_t timeouts = 0;             ///< attempts past the timeout budget
+  uint64_t speculative_launches = 0; ///< straggler re-executions started
+  uint64_t speculative_wins = 0;     ///< ... that beat the primary
+};
+
 /// A distributed query's result plus per-shard timing.
 struct MppQueryResult {
   QueryResult result;
   std::vector<double> shard_seconds;
+  MppExecStats exec;
 
   /// Modeled cluster wall-clock on `topo` (max over nodes of LPT schedule).
   double MakespanOn(const ClusterTopology& topo) const {
@@ -68,13 +106,59 @@ class MppDatabase {
     return out;
   }
 
+  /// Resilience knobs; adjust before Execute (not thread-safe mid-query).
+  FailoverPolicy& failover_policy() { return fail_policy_; }
+
+  ~MppDatabase();
+
  private:
+  /// One shard attempt's payload: SELECT paths fill batch/cols, the
+  /// broadcast path fills qr. Each attempt owns its payload so concurrent
+  /// (speculative) attempts never share output state.
+  struct ShardAttemptOut {
+    RowBatch batch;
+    std::vector<OutputCol> cols;
+    QueryResult qr;
+  };
+  struct AttemptResult {
+    Status status;
+    ShardAttemptOut out;
+  };
+  /// A re-executable shard task. MUST be safe to run twice concurrently
+  /// when `speculative` differs (fresh session on the speculative run) and
+  /// must capture its statement by shared_ptr/value: an abandoned straggler
+  /// outlives the Execute call that launched it.
+  using ShardFn =
+      std::function<Status(int shard, bool speculative, ShardAttemptOut* out)>;
+
+  /// A re-executable bind+drain of one shard-local SELECT. Captures the
+  /// statement by shared_ptr so abandoned stragglers stay valid; the
+  /// speculative run binds against a fresh session.
+  ShardFn MakeShardSelectFn(std::shared_ptr<ast::SelectStmt> stmt);
+
+  /// Runs one shard task under the failover policy: fault-point gate,
+  /// retry/backoff, timeout classification, node failover, speculation.
+  /// `idempotent` marks side-effect-free tasks (SELECT); non-idempotent
+  /// tasks only retry failures injected before the task ran.
+  Result<ShardAttemptOut> RunShardResilient(int shard, bool idempotent,
+                                            const ShardFn& fn,
+                                            MppExecStats* stats,
+                                            double* seconds);
+  Status AttemptWithSpeculation(int shard, const ShardFn& fn,
+                                MppExecStats* stats, ShardAttemptOut* out);
+  /// Joins stragglers abandoned by first-result-wins (their sessions must
+  /// be idle before the next query reuses them).
+  void DrainAbandoned();
+
   Result<MppQueryResult> ExecSelect(const ast::SelectStmt& sel);
   Result<MppQueryResult> Broadcast(const std::string& sql);
   Result<MppQueryResult> RoutedInsert(const ast::Statement& st,
                                       const std::string& sql);
   int RouteRow(const TableSchema& schema, const std::vector<Value>& row);
 
+  FailoverPolicy fail_policy_;
+  std::mutex abandoned_mu_;
+  std::vector<std::future<AttemptResult>> abandoned_;
   ClusterTopology topo_;
   std::vector<std::unique_ptr<Engine>> shards_;
   std::vector<std::shared_ptr<Session>> sessions_;

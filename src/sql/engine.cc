@@ -86,8 +86,15 @@ Result<QueryResult> Engine::ExecuteScript(Session* session,
                                           const std::string& sql) {
   DASHDB_ASSIGN_OR_RETURN(auto stmts, ParseScript(sql));
   QueryResult last;
-  for (const auto& s : stmts) {
-    DASHDB_ASSIGN_OR_RETURN(last, ExecuteStmt(session, s));
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    auto r = ExecuteStmt(session, stmts[i]);
+    if (!r.ok()) {
+      // Annotate which statement failed, preserving the code so callers
+      // can still classify retryability (Status taxonomy).
+      return r.status().WithContext("statement " + std::to_string(i + 1) +
+                                    "/" + std::to_string(stmts.size()));
+    }
+    last = std::move(r).value();
   }
   return last;
 }

@@ -2,6 +2,7 @@
 // SQL, pushdown vs full-transfer capability profiles (paper II.C.6).
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "fluid/nickname.h"
 
 namespace dashdb {
@@ -57,6 +58,67 @@ TEST(RemoteStoreTest, HadoopTransfersEverythingThenFilters) {
   EXPECT_EQ(rows, 10u) << "results still correct";
   TransferStats s = store->stats();
   EXPECT_EQ(s.rows_transferred, 1000u) << "no pushdown: full transfer";
+}
+
+TEST(RemoteStoreTest, TransientScanFaultRetriesExactlyOnce) {
+  FaultInjector::Global().Reset(0);
+  auto store = std::make_shared<SimRdbmsStore>("ORACLE", RemoteSchema("T"));
+  ASSERT_TRUE(store->Load(RemoteRows(100)).ok());
+  FaultSpec drop;
+  drop.code = StatusCode::kUnavailable;
+  drop.message = "connection reset";
+  drop.max_fires = 1;
+  FaultInjector::Global().Arm("fluid.remote_scan", drop);
+  size_t rows = 0;
+  Status st = store->Scan({}, {0, 1, 2},
+                          [&](RowBatch& b) { rows += b.num_rows(); });
+  FaultInjector::Global().Reset(0);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(rows, 100u) << "staged batches from the failed attempt are "
+                           "discarded, the retry emits exactly once";
+  TransferStats s = store->stats();
+  EXPECT_EQ(s.failed_requests, 1u);
+  EXPECT_EQ(s.retries, 1u);
+  EXPECT_EQ(s.rows_transferred, 100u)
+      << "only the successful attempt's transfer counts";
+}
+
+TEST(RemoteStoreTest, NonTransientScanFaultIsNotRetried) {
+  FaultInjector::Global().Reset(0);
+  auto store = std::make_shared<SimHadoopStore>(RemoteSchema("LOGS"));
+  ASSERT_TRUE(store->Load(RemoteRows(50)).ok());
+  FaultSpec fatal;
+  fatal.code = StatusCode::kInternal;
+  fatal.message = "corrupt split";
+  FaultInjector::Global().Arm("fluid.remote_scan", fatal);
+  size_t rows = 0;
+  Status st = store->Scan({}, {0},
+                          [&](RowBatch& b) { rows += b.num_rows(); });
+  FaultInjector::Global().Reset(0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal) << "code survives the wrapper";
+  EXPECT_EQ(rows, 0u) << "no partial emission from the failed attempt";
+  TransferStats s = store->stats();
+  EXPECT_EQ(s.failed_requests, 1u);
+  EXPECT_EQ(s.retries, 0u);
+}
+
+TEST(RemoteStoreTest, RetryBudgetExhaustionSurfacesTransientError) {
+  FaultInjector::Global().Reset(0);
+  auto store = std::make_shared<SimRdbmsStore>("DB2", RemoteSchema("T"));
+  ASSERT_TRUE(store->Load(RemoteRows(10)).ok());
+  FaultSpec always;
+  always.code = StatusCode::kTimeout;  // fires on every attempt
+  FaultInjector::Global().Arm("fluid.remote_scan", always);
+  Status st = store->Scan({}, {0}, [&](RowBatch&) {});
+  FaultInjector::Global().Reset(0);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsTransient());
+  TransferStats s = store->stats();
+  const auto attempts =
+      static_cast<uint64_t>(store->retry_policy().max_attempts);
+  EXPECT_EQ(s.failed_requests, attempts);
+  EXPECT_EQ(s.retries, attempts - 1) << "last failure has no retry after it";
 }
 
 TEST(RemoteStoreTest, HadoopSchemaOnReadHandlesNulls) {

@@ -47,6 +47,34 @@ TEST(TopologyTest, RepairRebalancesBack) {
   for (int n = 0; n < 4; ++n) EXPECT_EQ(t.ShardsOnNode(n).size(), 6u);
 }
 
+TEST(TopologyTest, CannotFailLastAliveNode) {
+  ClusterTopology t(2, 4, 8, size_t{8} << 30);
+  ASSERT_TRUE(t.FailNode(0).ok());
+  auto last = t.FailNode(1);
+  ASSERT_FALSE(last.ok()) << "losing the last node must be a clean error";
+  EXPECT_EQ(last.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(t.num_alive_nodes(), 1) << "survivor untouched by the refusal";
+  EXPECT_EQ(t.ShardsOnNode(1).size(), 8u) << "all shards still served";
+  // Deliberate removal shares the FailNode mechanics and the guard.
+  EXPECT_FALSE(t.RemoveNode(1).ok());
+}
+
+TEST(TopologyTest, DoubleFailAndDoubleRepairAreCleanErrors) {
+  ClusterTopology t(3, 4, 8, size_t{8} << 30);
+  ASSERT_TRUE(t.FailNode(2).ok());
+  auto twice = t.FailNode(2);
+  ASSERT_FALSE(twice.ok());
+  EXPECT_EQ(twice.status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(t.RepairNode(2).ok());
+  auto again = t.RepairNode(2);
+  ASSERT_FALSE(again.ok()) << "repairing an up node must not rebalance";
+  EXPECT_EQ(again.status().code(), StatusCode::kInvalidArgument);
+  for (int n = 0; n < 3; ++n) EXPECT_EQ(t.ShardsOnNode(n).size(), 4u);
+  // Out-of-range ids on both paths.
+  EXPECT_EQ(t.FailNode(-1).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.RepairNode(99).status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(TopologyTest, ElasticGrowAndShrink) {
   ClusterTopology t(3, 8, 16, size_t{64} << 30);  // 24 shards
   auto grow = t.AddNode(16, size_t{64} << 30);
