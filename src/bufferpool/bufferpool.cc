@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/fault_injector.h"
+#include "common/metrics.h"
 
 namespace dashdb {
 
@@ -13,6 +14,28 @@ namespace {
 /// Armed by resilience tests: a resident frame is lost (clustered FS read
 /// error / node memory gone) and the access must recover by re-reading.
 constexpr const char* kFaultPageDrop = "bufferpool.page_drop";
+
+/// Registry mirrors of BufferPoolStats (summed across all pools in the
+/// process — per-pool breakdowns stay on BufferPool::stats()).
+struct PoolInstruments {
+  Counter* accesses;
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Counter* page_drop_recovered;
+};
+
+PoolInstruments& GlobalPoolInstruments() {
+  auto& reg = MetricRegistry::Global();
+  static PoolInstruments in{
+      reg.GetCounter("bufferpool.accesses"),
+      reg.GetCounter("bufferpool.hits"),
+      reg.GetCounter("bufferpool.misses"),
+      reg.GetCounter("bufferpool.evictions"),
+      reg.GetCounter("bufferpool.page_drop_recovered"),
+  };
+  return in;
+}
 }  // namespace
 
 const char* PolicyName(ReplacementPolicy p) {
@@ -53,13 +76,16 @@ bool BufferPool::Access(const PageId& id, size_t bytes) {
     if (it != frames_.end()) {
       RemoveFrameLocked(it);
       ++stats_.faulted_drops;
+      GlobalPoolInstruments().page_drop_recovered->Add(1);
     }
   }
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.accesses;
+  GlobalPoolInstruments().accesses->Add(1);
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++stats_.hits;
+    GlobalPoolInstruments().hits->Add(1);
     Frame& f = it->second;
     switch (policy_) {
       case ReplacementPolicy::kLru:
@@ -78,6 +104,7 @@ bool BufferPool::Access(const PageId& id, size_t bytes) {
     return true;
   }
   ++stats_.misses;
+  GlobalPoolInstruments().misses->Add(1);
   if (bytes > capacity_) return false;  // page can never be cached
   while (used_ + bytes > capacity_ && !frames_.empty()) EvictOneLocked();
   Frame f;
@@ -149,6 +176,7 @@ void BufferPool::EvictOneLocked() {
   }
   RemoveFrameLocked(frames_.find(victim));
   ++stats_.evictions;
+  GlobalPoolInstruments().evictions->Add(1);
 }
 
 void BufferPool::EvictTable(uint64_t table_id) {

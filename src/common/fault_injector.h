@@ -63,6 +63,11 @@ class FaultInjector {
   void Reset(uint64_t seed);
   uint64_t seed() const;
 
+  /// Test-fixture hook: disarm everything and zero the seed so a test
+  /// running after a fault-armed one starts from the same state as one
+  /// running first (ctest -j ordering must not change outcomes).
+  void ResetForTest() { Reset(0); }
+
   void Arm(const std::string& point, FaultSpec spec);
   void Disarm(const std::string& point);
 

@@ -1,0 +1,189 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dashdb {
+
+Histogram::Histogram(std::vector<int64_t> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+    buckets_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+}
+
+void Histogram::Observe(int64_t v) {
+  // First bound >= v; bounds are few (<=16 in practice), linear scan beats
+  // branch-missing binary search at this size.
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i]->fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b->load(std::memory_order_relaxed));
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b->store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricSnapshot SnapshotDelta(const MetricSnapshot& before,
+                             const MetricSnapshot& after) {
+  MetricSnapshot out;
+  for (const auto& [name, v] : after) {
+    auto it = before.find(name);
+    int64_t d = v - (it == before.end() ? 0 : it->second);
+    if (d != 0 || it == before.end()) out[name] = d;
+  }
+  return out;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == Kind::kCounter ? it->second.counter.get()
+                                             : nullptr;
+  }
+  Entry e;
+  e.kind = Kind::kCounter;
+  e.counter = std::make_unique<Counter>();
+  Counter* out = e.counter.get();
+  entries_.emplace(name, std::move(e));
+  return out;
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == Kind::kGauge ? it->second.gauge.get() : nullptr;
+  }
+  Entry e;
+  e.kind = Kind::kGauge;
+  e.gauge = std::make_unique<Gauge>();
+  Gauge* out = e.gauge.get();
+  entries_.emplace(name, std::move(e));
+  return out;
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    return it->second.kind == Kind::kHistogram ? it->second.histogram.get()
+                                               : nullptr;
+  }
+  Entry e;
+  e.kind = Kind::kHistogram;
+  e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* out = e.histogram.get();
+  entries_.emplace(name, std::move(e));
+  return out;
+}
+
+MetricSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricSnapshot out;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out[name] = static_cast<int64_t>(e.counter->value());
+        break;
+      case Kind::kGauge:
+        out[name] = e.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        out[name + ".count"] = static_cast<int64_t>(e.histogram->count());
+        out[name + ".sum"] = e.histogram->sum();
+        auto counts = e.histogram->bucket_counts();
+        const auto& bounds = e.histogram->bounds();
+        for (size_t i = 0; i < bounds.size(); ++i) {
+          out[name + ".le_" + std::to_string(bounds[i])] =
+              static_cast<int64_t>(counts[i]);
+        }
+        out[name + ".le_inf"] = static_cast<int64_t>(counts.back());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  \"" << name << "\": ";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << e.counter->value();
+        break;
+      case Kind::kGauge:
+        os << e.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        os << "{\"count\": " << e.histogram->count()
+           << ", \"sum\": " << e.histogram->sum() << ", \"buckets\": [";
+        auto counts = e.histogram->bucket_counts();
+        const auto& bounds = e.histogram->bounds();
+        for (size_t i = 0; i < counts.size(); ++i) {
+          if (i) os << ", ";
+          os << "{\"le\": ";
+          if (i < bounds.size()) {
+            os << bounds[i];
+          } else {
+            os << "\"inf\"";
+          }
+          os << ", \"count\": " << counts[i] << "}";
+        }
+        os << "]}";
+        break;
+      }
+    }
+  }
+  os << "\n}";
+  return os.str();
+}
+
+void MetricRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    (void)name;
+    switch (e.kind) {
+      case Kind::kCounter:
+        e.counter->Reset();
+        break;
+      case Kind::kGauge:
+        e.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        e.histogram->Reset();
+        break;
+    }
+  }
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* r = new MetricRegistry();
+  return *r;
+}
+
+std::string SystemMetricsJson() { return MetricRegistry::Global().ToJson(); }
+
+}  // namespace dashdb

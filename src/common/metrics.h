@@ -1,0 +1,128 @@
+// Lock-cheap metrics registry (observability substrate for every perf PR).
+//
+// Three instrument kinds, all updatable with relaxed atomics on the hot
+// path: Counter (monotonic), Gauge (last-set signed value), Histogram
+// (fixed bucket bounds chosen at registration). Instruments are registered
+// once by name under a mutex and then live for the process lifetime, so
+// production code caches the returned pointer and pays one atomic add per
+// event afterwards — no map lookups, no locks, no allocation.
+//
+// Naming scheme (DESIGN.md "Observability"): dotted lowercase paths rooted
+// at the subsystem, e.g. `exec.rows`, `bufferpool.hits`,
+// `mpp.shard_retries`, `fluid.bytes_transferred`. Histograms expand in
+// snapshots to `<name>.count`, `<name>.sum`, and `<name>.le_<bound>`.
+//
+// Snapshots flatten every instrument to (name -> int64) so tests and
+// benches can diff two snapshots (SnapshotDelta) to get "what did this
+// query do" without resetting global state. ResetForTest() zeroes values
+// but keeps instrument objects alive: cached pointers stay valid across
+// tests, which is what makes ctest -j ordering harmless.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dashdb {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-written signed value (pool bytes in use, alive nodes, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Histogram with fixed, registration-time bucket upper bounds (inclusive);
+/// an implicit overflow bucket catches everything past the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<int64_t> bounds);
+
+  void Observe(int64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; last = overflow.
+  std::vector<uint64_t> bucket_counts() const;
+  void Reset();
+
+ private:
+  std::vector<int64_t> bounds_;  ///< ascending
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Flattened point-in-time view of a registry: name -> value (histograms
+/// expand to .count/.sum/.le_* entries).
+using MetricSnapshot = std::map<std::string, int64_t>;
+
+/// after - before, keeping only keys whose delta is non-zero (plus keys new
+/// in `after`).
+MetricSnapshot SnapshotDelta(const MetricSnapshot& before,
+                             const MetricSnapshot& after);
+
+class MetricRegistry {
+ public:
+  /// Returns the named instrument, registering it on first use. The pointer
+  /// is valid for the registry's lifetime (process lifetime for Global()).
+  /// Re-registering an existing name with a different kind returns nullptr
+  /// (a naming-scheme bug the caller should surface, not mask).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` are ascending inclusive upper bounds; only the first
+  /// registration's bounds apply.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<int64_t> bounds);
+
+  MetricSnapshot Snapshot() const;
+
+  /// JSON object keyed by metric name; histograms nest their buckets.
+  std::string ToJson() const;
+
+  /// Zeroes every instrument IN PLACE — registered pointers stay valid, so
+  /// code that cached a Counter* keeps working after a test reset.
+  void ResetForTest();
+
+  /// Process-wide registry used by the built-in instrumentation.
+  static MetricRegistry& Global();
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// The SystemMetrics() API: the global registry as JSON (bench_observability
+/// dumps this into BENCH_observability.json).
+std::string SystemMetricsJson();
+
+}  // namespace dashdb

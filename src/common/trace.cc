@@ -1,0 +1,68 @@
+#include "common/trace.h"
+
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+namespace dashdb {
+
+uint32_t Trace::AddSpan(const std::string& name, uint32_t parent) {
+  TraceSpan s;
+  s.id = static_cast<uint32_t>(spans_.size()) + 1;
+  s.parent = parent;
+  s.name = name;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void Trace::Graft(const Trace& sub, uint32_t parent) {
+  const uint32_t base = static_cast<uint32_t>(spans_.size());
+  for (const TraceSpan& s : sub.spans_) {
+    TraceSpan copy = s;
+    copy.id = s.id + base;
+    copy.parent = s.parent == kNoParent ? parent : s.parent + base;
+    spans_.push_back(std::move(copy));
+  }
+}
+
+std::string Trace::TreeString() const {
+  // Children in id order under each parent preserves creation order.
+  std::map<uint32_t, std::vector<const TraceSpan*>> children;
+  for (const TraceSpan& s : spans_) children[s.parent].push_back(&s);
+
+  std::ostringstream os;
+  std::function<void(uint32_t, int)> emit = [&](uint32_t parent, int depth) {
+    auto it = children.find(parent);
+    if (it == children.end()) return;
+    for (const TraceSpan* s : it->second) {
+      for (int i = 0; i < depth; ++i) os << "  ";
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f", s->wall_seconds * 1e3);
+      os << "#" << s->id << " " << s->name << " rows=" << s->rows
+         << " wall_ms=" << buf;
+      if (s->cpu_seconds > 0) {
+        std::snprintf(buf, sizeof(buf), "%.3f", s->cpu_seconds * 1e3);
+        os << " cpu_ms=" << buf;
+      }
+      for (const auto& [k, v] : s->attrs) os << " " << k << "=" << v;
+      os << "\n";
+      emit(s->id, depth + 1);
+    }
+  };
+  emit(kNoParent, 0);
+  return os.str();
+}
+
+std::string Trace::StructureDigest(bool include_attrs) const {
+  std::ostringstream os;
+  for (const TraceSpan& s : spans_) {
+    os << s.id << "<" << s.parent << ":" << s.name << ":" << s.rows;
+    if (include_attrs) {
+      for (const auto& [k, v] : s.attrs) os << ":" << k << "=" << v;
+    }
+    os << ";";
+  }
+  return os.str();
+}
+
+}  // namespace dashdb

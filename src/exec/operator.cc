@@ -1,13 +1,18 @@
 #include "exec/operator.h"
 
+#include <time.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <mutex>
 #include <thread>
 
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/threadpool.h"
 
 namespace dashdb {
@@ -53,6 +58,106 @@ std::string Operator::PlanString(int indent) const {
   return out;
 }
 
+namespace {
+
+double ThreadCpuSeconds() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) + ts.tv_nsec * 1e-9;
+}
+
+/// Registry instruments for the exec layer, resolved once per process;
+/// after that every event is one relaxed atomic add.
+struct ExecInstruments {
+  Counter* rows_out;
+  Counter* batches_out;
+  Counter* operator_opens;
+  Counter* morsels;
+  Histogram* batch_rows;
+};
+
+ExecInstruments& GlobalExecInstruments() {
+  auto& reg = MetricRegistry::Global();
+  static ExecInstruments in{
+      reg.GetCounter("exec.rows_out"),
+      reg.GetCounter("exec.batches_out"),
+      reg.GetCounter("exec.operator_opens"),
+      reg.GetCounter("exec.morsels"),
+      reg.GetHistogram("exec.batch_rows", {16, 64, 256, 1024, 4096}),
+  };
+  return in;
+}
+
+}  // namespace
+
+Status Operator::Open() {
+  ++metrics_.open_calls;
+  GlobalExecInstruments().operator_opens->Add(1);
+  const auto wall0 = std::chrono::steady_clock::now();
+  const double cpu0 = ThreadCpuSeconds();
+  Status s = OpenImpl();
+  metrics_.cpu_seconds += ThreadCpuSeconds() - cpu0;
+  metrics_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  return s;
+}
+
+Result<bool> Operator::Next(RowBatch* out) {
+  ++metrics_.next_calls;
+  const auto wall0 = std::chrono::steady_clock::now();
+  const double cpu0 = ThreadCpuSeconds();
+  Result<bool> r = NextImpl(out);
+  metrics_.cpu_seconds += ThreadCpuSeconds() - cpu0;
+  metrics_.wall_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  if (r.ok() && *r) {
+    const uint64_t n = out->num_rows();
+    ++metrics_.batches_out;
+    metrics_.rows_out += n;
+    auto& in = GlobalExecInstruments();
+    in.rows_out->Add(n);
+    in.batches_out->Add(1);
+    in.batch_rows->Observe(static_cast<int64_t>(n));
+  }
+  return r;
+}
+
+std::string Operator::kind() const {
+  std::string l = label();
+  size_t p = l.find('(');
+  return p == std::string::npos ? l : l.substr(0, p);
+}
+
+std::string Operator::AnalyzeString(int indent) const {
+  double child_wall = 0;
+  for (const Operator* c : children()) child_wall += c->metrics().wall_seconds;
+  const double self = std::max(0.0, metrics_.wall_seconds - child_wall);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                " [rows=%llu batches=%llu wall=%.3fms self=%.3fms]",
+                static_cast<unsigned long long>(metrics_.rows_out),
+                static_cast<unsigned long long>(metrics_.batches_out),
+                metrics_.wall_seconds * 1e3, self * 1e3);
+  std::string out(indent * 2, ' ');
+  out += label();
+  out += buf;
+  out += "\n";
+  for (const Operator* c : children()) out += c->AnalyzeString(indent + 1);
+  return out;
+}
+
+uint32_t Operator::AddTraceSpans(Trace* trace, uint32_t parent) const {
+  const uint32_t id = trace->AddSpan(kind(), parent);
+  TraceSpan& s = trace->span(id);
+  s.rows = metrics_.rows_out;
+  s.wall_seconds = metrics_.wall_seconds;
+  s.cpu_seconds = metrics_.cpu_seconds;
+  for (const Operator* c : children()) c->AddTraceSpans(trace, id);
+  return id;
+}
+
 Result<RowBatch> DrainOperator(Operator* op) {
   DASHDB_RETURN_IF_ERROR(op->Open());
   RowBatch all;
@@ -81,13 +186,13 @@ ColumnScanOp::ColumnScanOp(std::shared_ptr<const ColumnTable> table,
   }
 }
 
-Status ColumnScanOp::Open() {
+Status ColumnScanOp::OpenImpl() {
   next_page_ = 0;
   stats_ = ScanStats{};
   return Status::OK();
 }
 
-Result<bool> ColumnScanOp::Next(RowBatch* out) {
+Result<bool> ColumnScanOp::NextImpl(RowBatch* out) {
   while (next_page_ <= table_->num_pages()) {
     InitBatchFor(output_, out);
     DASHDB_RETURN_IF_ERROR(table_->ScanPage(next_page_, preds_, projection_,
@@ -114,7 +219,7 @@ ParallelColumnScanOp::ParallelColumnScanOp(
   }
 }
 
-Status ParallelColumnScanOp::Open() {
+Status ParallelColumnScanOp::OpenImpl() {
   ran_ = false;
   next_slot_ = 0;
   results_.clear();
@@ -132,6 +237,7 @@ Status ParallelColumnScanOp::RunMorsels() {
   Status first_error;
   std::mutex err_mu;
   auto scan_unit = [&](size_t p) {
+    GlobalExecInstruments().morsels->Add(1);
     RowBatch* out = &results_[p];
     out->columns.clear();
     out->columns.reserve(output_.size());
@@ -159,7 +265,7 @@ Status ParallelColumnScanOp::RunMorsels() {
   return Status::OK();
 }
 
-Result<bool> ParallelColumnScanOp::Next(RowBatch* out) {
+Result<bool> ParallelColumnScanOp::NextImpl(RowBatch* out) {
   if (!ran_) DASHDB_RETURN_IF_ERROR(RunMorsels());
   while (next_slot_ < results_.size()) {
     RowBatch& slot = results_[next_slot_];
@@ -186,12 +292,12 @@ RowScanOp::RowScanOp(std::shared_ptr<const RowTable> table,
   }
 }
 
-Status RowScanOp::Open() {
+Status RowScanOp::OpenImpl() {
   next_row_ = 0;
   return Status::OK();
 }
 
-Result<bool> RowScanOp::Next(RowBatch* out) {
+Result<bool> RowScanOp::NextImpl(RowBatch* out) {
   while (next_row_ < table_->row_count()) {
     InitBatchFor(output_, out);
     uint64_t end = std::min<uint64_t>(next_row_ + kChunk, table_->row_count());
@@ -221,7 +327,7 @@ RowIndexScanOp::RowIndexScanOp(std::shared_ptr<const RowTable> table,
   }
 }
 
-Status RowIndexScanOp::Open() {
+Status RowIndexScanOp::OpenImpl() {
   drained_ = false;
   InitBatchFor(output_, &buffer_);
   return table_->IndexScan(
@@ -233,7 +339,7 @@ Status RowIndexScanOp::Open() {
       });
 }
 
-Result<bool> RowIndexScanOp::Next(RowBatch* out) {
+Result<bool> RowIndexScanOp::NextImpl(RowBatch* out) {
   if (drained_ || buffer_.num_rows() == 0) return false;
   *out = std::move(buffer_);
   InitBatchFor(output_, &buffer_);
@@ -248,9 +354,9 @@ FilterOp::FilterOp(OperatorPtr child, ExprPtr pred, const ExecContext* ctx)
   output_ = child_->output();
 }
 
-Status FilterOp::Open() { return child_->Open(); }
+Status FilterOp::OpenImpl() { return child_->Open(); }
 
-Result<bool> FilterOp::Next(RowBatch* out) {
+Result<bool> FilterOp::NextImpl(RowBatch* out) {
   RowBatch in;
   for (;;) {
     DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
@@ -274,9 +380,9 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
   }
 }
 
-Status ProjectOp::Open() { return child_->Open(); }
+Status ProjectOp::OpenImpl() { return child_->Open(); }
 
-Result<bool> ProjectOp::Next(RowBatch* out) {
+Result<bool> ProjectOp::NextImpl(RowBatch* out) {
   RowBatch in;
   DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
   if (!more) return false;
@@ -306,7 +412,7 @@ HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build,
   for (const auto& c : build_->output()) output_.push_back(c);
 }
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   built_ = false;
   build_data_.columns.clear();
   build_key_vals_.clear();
@@ -472,7 +578,7 @@ bool HashJoinOp::KeysEqual(const RowBatch&, size_t, uint32_t build_row,
   return true;
 }
 
-Result<bool> HashJoinOp::Next(RowBatch* out) {
+Result<bool> HashJoinOp::NextImpl(RowBatch* out) {
   if (!built_) DASHDB_RETURN_IF_ERROR(BuildSide());
   const int nparts = partitioned_ ? (1 << kPartitionBits) : 1;
   RowBatch in;
@@ -563,13 +669,13 @@ NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
   for (const auto& c : right_->output()) output_.push_back(c);
 }
 
-Status NestedLoopJoinOp::Open() {
+Status NestedLoopJoinOp::OpenImpl() {
   built_ = false;
   DASHDB_RETURN_IF_ERROR(left_->Open());
   return right_->Open();
 }
 
-Result<bool> NestedLoopJoinOp::Next(RowBatch* out) {
+Result<bool> NestedLoopJoinOp::NextImpl(RowBatch* out) {
   if (!built_) {
     DASHDB_ASSIGN_OR_RETURN(right_data_, DrainOperator(right_.get()));
     built_ = true;
@@ -652,7 +758,7 @@ HashAggOp::HashAggOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
   }
 }
 
-Status HashAggOp::Open() {
+Status HashAggOp::OpenImpl() {
   done_ = false;
   materialized_ = false;
   return child_->Open();
@@ -945,7 +1051,7 @@ Status HashAggOp::Materialize() {
   return Status::OK();
 }
 
-Result<bool> HashAggOp::Next(RowBatch* out) {
+Result<bool> HashAggOp::NextImpl(RowBatch* out) {
   if (!materialized_) DASHDB_RETURN_IF_ERROR(Materialize());
   if (done_) return false;
   *out = std::move(result_);
@@ -961,13 +1067,13 @@ SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys,
   output_ = child_->output();
 }
 
-Status SortOp::Open() {
+Status SortOp::OpenImpl() {
   done_ = false;
   materialized_ = false;
   return child_->Open();
 }
 
-Result<bool> SortOp::Next(RowBatch* out) {
+Result<bool> SortOp::NextImpl(RowBatch* out) {
   if (!materialized_) {
     DASHDB_ASSIGN_OR_RETURN(RowBatch all, DrainOperator(child_.get()));
     const size_t n = all.num_rows();
@@ -1006,13 +1112,13 @@ LimitOp::LimitOp(OperatorPtr child, int64_t limit, int64_t offset)
   output_ = child_->output();
 }
 
-Status LimitOp::Open() {
+Status LimitOp::OpenImpl() {
   skipped_ = 0;
   emitted_ = 0;
   return child_->Open();
 }
 
-Result<bool> LimitOp::Next(RowBatch* out) {
+Result<bool> LimitOp::NextImpl(RowBatch* out) {
   if (limit_ >= 0 && emitted_ >= limit_) return false;
   RowBatch in;
   for (;;) {
@@ -1040,12 +1146,12 @@ ValuesOp::ValuesOp(RowBatch batch, std::vector<OutputCol> cols)
   output_ = std::move(cols);
 }
 
-Status ValuesOp::Open() {
+Status ValuesOp::OpenImpl() {
   done_ = false;
   return Status::OK();
 }
 
-Result<bool> ValuesOp::Next(RowBatch* out) {
+Result<bool> ValuesOp::NextImpl(RowBatch* out) {
   if (done_) return false;
   *out = batch_;
   done_ = true;
@@ -1059,13 +1165,13 @@ UnionAllOp::UnionAllOp(std::vector<OperatorPtr> children)
   output_ = children_.front()->output();
 }
 
-Status UnionAllOp::Open() {
+Status UnionAllOp::OpenImpl() {
   current_ = 0;
   for (auto& c : children_) DASHDB_RETURN_IF_ERROR(c->Open());
   return Status::OK();
 }
 
-Result<bool> UnionAllOp::Next(RowBatch* out) {
+Result<bool> UnionAllOp::NextImpl(RowBatch* out) {
   while (current_ < children_.size()) {
     DASHDB_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(out));
     if (more) return true;

@@ -10,6 +10,7 @@
 
 #include "common/column_vector.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "exec/agg.h"
 #include "exec/expr.h"
 #include "storage/column_table.h"
@@ -23,13 +24,34 @@ struct OutputCol {
   TypeId type;
 };
 
+/// Per-operator runtime metrics, accumulated by the Open()/Next() wrappers.
+/// Wall/CPU time is cumulative over the operator's subtree (a parent's
+/// Next() nests its children's), so "self" time is wall minus the sum of
+/// the children's wall; EXPLAIN ANALYZE renders both. CPU time is the
+/// calling thread's (CLOCK_THREAD_CPUTIME_ID) — pool workers spawned by
+/// parallel operators contribute wall time but not cpu_seconds.
+struct OperatorMetrics {
+  uint64_t open_calls = 0;
+  uint64_t next_calls = 0;
+  uint64_t batches_out = 0;
+  uint64_t rows_out = 0;
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+};
+
 /// Base pull operator: Open() once, then Next() until it returns false.
+///
+/// Open()/Next() are non-virtual instrumented wrappers: subclasses
+/// implement OpenImpl()/NextImpl(), and the wrappers time each call,
+/// count batches/rows, and feed the global metrics registry. Internal
+/// operator code pulls children through the public wrappers, so every
+/// node in a plan is measured without any per-operator effort.
 class Operator {
  public:
   virtual ~Operator() = default;
-  virtual Status Open() = 0;
+  Status Open();
   /// Replaces *out with the next batch; returns false at end of stream.
-  virtual Result<bool> Next(RowBatch* out) = 0;
+  Result<bool> Next(RowBatch* out);
   const std::vector<OutputCol>& output() const { return output_; }
 
   /// EXPLAIN support.
@@ -37,8 +59,31 @@ class Operator {
   virtual std::vector<const Operator*> children() const { return {}; }
   std::string PlanString(int indent = 0) const;
 
+  /// Stable operator-kind name used for trace spans: the label up to its
+  /// parameter list. Overridden where the class name is a DOP artifact
+  /// (ParallelColumnScan reports "ColumnScan") so span trees compare equal
+  /// across DOP settings when the logical plan is unchanged.
+  virtual std::string kind() const;
+
+  /// EXPLAIN ANALYZE rendering: the plan tree annotated with per-operator
+  /// rows, batches, cumulative and self wall time. Meaningful after the
+  /// plan has been drained.
+  std::string AnalyzeString(int indent = 0) const;
+
+  const OperatorMetrics& metrics() const { return metrics_; }
+
+  /// Appends one span per plan node (pre-order, children in children()
+  /// order — deterministic) under `parent`; returns this node's span id.
+  uint32_t AddTraceSpans(Trace* trace, uint32_t parent) const;
+
  protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(RowBatch* out) = 0;
+
   std::vector<OutputCol> output_;
+
+ private:
+  OperatorMetrics metrics_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -64,8 +109,8 @@ class ColumnScanOp : public Operator {
   ColumnScanOp(std::shared_ptr<const ColumnTable> table,
                std::vector<ColumnPredicate> preds, std::vector<int> projection,
                ScanOptions opts);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
   const ScanStats& stats() const { return stats_; }
 
   std::string label() const override { return "ColumnScan(" + table_->schema().QualifiedName() + " preds=" + std::to_string(preds_.size()) + ")"; }
@@ -91,8 +136,8 @@ class ParallelColumnScanOp : public Operator {
   ParallelColumnScanOp(std::shared_ptr<const ColumnTable> table,
                        std::vector<ColumnPredicate> preds,
                        std::vector<int> projection, ScanOptions opts);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
   const ScanStats& stats() const { return stats_; }
 
   std::string label() const override {
@@ -100,6 +145,8 @@ class ParallelColumnScanOp : public Operator {
            " preds=" + std::to_string(preds_.size()) +
            " dop=" + std::to_string(opts_.dop) + ")";
   }
+  /// Same logical operator as the serial scan; keeps spans DOP-invariant.
+  std::string kind() const override { return "ColumnScan"; }
 
  private:
   /// Runs the whole page range across the pool, filling results_.
@@ -120,8 +167,8 @@ class RowScanOp : public Operator {
  public:
   RowScanOp(std::shared_ptr<const RowTable> table,
             std::vector<ColumnPredicate> preds, std::vector<int> projection);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
 
   std::string label() const override { return "RowScan(" + table_->schema().QualifiedName() + ")"; }
 
@@ -139,8 +186,8 @@ class RowIndexScanOp : public Operator {
   RowIndexScanOp(std::shared_ptr<const RowTable> table, int index_col,
                  int64_t lo, int64_t hi, std::vector<ColumnPredicate> residual,
                  std::vector<int> projection);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
 
   std::string label() const override { return "RowIndexScan(" + table_->schema().QualifiedName() + ")"; }
 
@@ -158,8 +205,8 @@ class RowIndexScanOp : public Operator {
 class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, ExprPtr pred, const ExecContext* ctx);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
 
   std::string label() const override { return "Filter(" + pred_->ToString() + ")"; }
   std::vector<const Operator*> children() const override {
@@ -177,8 +224,8 @@ class ProjectOp : public Operator {
  public:
   ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
             std::vector<std::string> names, const ExecContext* ctx);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
 
   std::string label() const override { return "Project(" + std::to_string(exprs_.size()) + " exprs)"; }
   std::vector<const Operator*> children() const override {
@@ -202,8 +249,8 @@ class HashJoinOp : public Operator {
   HashJoinOp(OperatorPtr probe, OperatorPtr build,
              std::vector<ExprPtr> probe_keys, std::vector<ExprPtr> build_keys,
              JoinType type, const ExecContext* ctx, bool partitioned = true);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
 
   std::string label() const override;
   std::vector<const Operator*> children() const override {
@@ -253,8 +300,8 @@ class NestedLoopJoinOp : public Operator {
  public:
   NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr condition,
                    JoinType type, const ExecContext* ctx);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
 
   std::string label() const override { return "NestedLoopJoin"; }
   std::vector<const Operator*> children() const override {
@@ -276,8 +323,8 @@ class HashAggOp : public Operator {
   HashAggOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
             std::vector<std::string> group_names, std::vector<AggSpec> aggs,
             std::vector<std::string> agg_names, const ExecContext* ctx);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
 
   std::string label() const override;
   std::vector<const Operator*> children() const override {
@@ -310,8 +357,8 @@ struct SortKey {
 class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<SortKey> keys, const ExecContext* ctx);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
 
   std::string label() const override { return "Sort(keys=" + std::to_string(keys_.size()) + ")"; }
   std::vector<const Operator*> children() const override {
@@ -331,8 +378,8 @@ class SortOp : public Operator {
 class LimitOp : public Operator {
  public:
   LimitOp(OperatorPtr child, int64_t limit, int64_t offset);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
 
   std::string label() const override { return "Limit(" + std::to_string(limit_) + " offset " + std::to_string(offset_) + ")"; }
   std::vector<const Operator*> children() const override {
@@ -349,8 +396,8 @@ class LimitOp : public Operator {
 class ValuesOp : public Operator {
  public:
   ValuesOp(RowBatch batch, std::vector<OutputCol> cols);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
 
   std::string label() const override { return "Values(" + std::to_string(batch_.num_rows()) + " rows)"; }
 
@@ -363,8 +410,8 @@ class ValuesOp : public Operator {
 class UnionAllOp : public Operator {
  public:
   explicit UnionAllOp(std::vector<OperatorPtr> children);
-  Status Open() override;
-  Result<bool> Next(RowBatch* out) override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
 
   std::string label() const override { return "UnionAll"; }
   std::vector<const Operator*> children() const override {

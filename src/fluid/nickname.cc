@@ -20,14 +20,14 @@ class RemoteScanOp : public Operator {
     }
   }
 
-  Status Open() override {
+  Status OpenImpl() override {
     batches_.clear();
     next_ = 0;
     return store_->Scan(preds_, projection_,
                         [&](RowBatch& b) { batches_.push_back(b); });
   }
 
-  Result<bool> Next(RowBatch* out) override {
+  Result<bool> NextImpl(RowBatch* out) override {
     if (next_ >= batches_.size()) return false;
     *out = std::move(batches_[next_++]);
     return true;

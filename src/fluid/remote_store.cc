@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/fault_injector.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 
 namespace dashdb {
@@ -16,6 +17,28 @@ namespace {
 /// Armed by resilience tests; models a flaky remote link (paper II.C.6
 /// federation crossing real networks).
 constexpr const char* kFaultRemoteScan = "fluid.remote_scan";
+
+/// Registry mirrors of TransferStats, summed across every store in the
+/// process (per-store breakdowns stay on RemoteStore::stats()).
+struct FluidInstruments {
+  Counter* rows_scanned;
+  Counter* rows_transferred;
+  Counter* bytes_transferred;
+  Counter* failed_requests;
+  Counter* retries;
+};
+
+FluidInstruments& GlobalFluidInstruments() {
+  auto& reg = MetricRegistry::Global();
+  static FluidInstruments in{
+      reg.GetCounter("fluid.rows_scanned"),
+      reg.GetCounter("fluid.rows_transferred"),
+      reg.GetCounter("fluid.bytes_transferred"),
+      reg.GetCounter("fluid.failed_requests"),
+      reg.GetCounter("fluid.retries"),
+  };
+  return in;
+}
 
 size_t BatchBytes(const RowBatch& b) {
   size_t bytes = 0;
@@ -67,6 +90,25 @@ bool MatchPred(const ColumnPredicate& p, TypeId t, const Value& v) {
 Status RemoteStore::Scan(const std::vector<ColumnPredicate>& preds,
                          const std::vector<int>& projection,
                          const std::function<void(RowBatch&)>& emit) {
+  // Registry mirroring: fold this call's TransferStats delta into the
+  // process-wide fluid.* counters when the scan returns, whatever the
+  // store subtype counted during its attempts.
+  const TransferStats before = stats();
+  struct Fold {
+    const RemoteStore* store;
+    TransferStats before;
+    ~Fold() {
+      TransferStats after = store->stats();
+      auto& in = GlobalFluidInstruments();
+      in.rows_scanned->Add(after.rows_scanned - before.rows_scanned);
+      in.rows_transferred->Add(after.rows_transferred -
+                               before.rows_transferred);
+      in.bytes_transferred->Add(after.bytes_transferred -
+                                before.bytes_transferred);
+      in.failed_requests->Add(after.failed_requests - before.failed_requests);
+      in.retries->Add(after.retries - before.retries);
+    }
+  } fold{this, before};
   Status last;
   for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
     // Stage batches so a failed attempt never leaks partial output: the

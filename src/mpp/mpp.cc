@@ -7,6 +7,7 @@
 
 #include "common/fault_injector.h"
 #include "common/hash.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "sql/binder.h"
@@ -22,6 +23,51 @@ namespace {
 /// nothing is armed.
 constexpr const char* kFaultShardExec = "mpp.shard_exec";
 constexpr const char* kFaultShardStall = "mpp.shard_stall";
+
+/// Registry mirrors of MppExecStats, resolved once per process.
+struct MppInstruments {
+  Counter* shard_attempts;
+  Counter* shard_retries;
+  Counter* failovers;
+  Counter* timeouts;
+  Counter* speculative_launches;
+  Counter* speculative_wins;
+};
+
+MppInstruments& GlobalMppInstruments() {
+  auto& reg = MetricRegistry::Global();
+  static MppInstruments in{
+      reg.GetCounter("mpp.shard_attempts"),
+      reg.GetCounter("mpp.shard_retries"),
+      reg.GetCounter("mpp.failovers"),
+      reg.GetCounter("mpp.timeouts"),
+      reg.GetCounter("mpp.speculative_launches"),
+      reg.GetCounter("mpp.speculative_wins"),
+  };
+  return in;
+}
+
+void FoldExecStats(const MppExecStats& s, MppExecStats* into) {
+  into->shard_retries += s.shard_retries;
+  into->failovers += s.failovers;
+  into->timeouts += s.timeouts;
+  into->speculative_launches += s.speculative_launches;
+  into->speculative_wins += s.speculative_wins;
+}
+
+/// Indents a multi-line block (shard plans inside the combined report).
+std::string Indent(const std::string& text, int spaces) {
+  std::string pad(spaces, ' ');
+  std::string out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    if (nl > pos) out += pad + text.substr(pos, nl - pos) + "\n";
+    pos = nl + 1;
+  }
+  return out;
+}
 }  // namespace
 
 MppDatabase::MppDatabase(int nodes, int shards_per_node, int cores_per_node,
@@ -140,6 +186,7 @@ Status MppDatabase::AttemptWithSpeculation(int shard, const ShardFn& fn,
   }
   // Straggler: re-execute on the calling thread with a fresh session.
   ++stats->speculative_launches;
+  GlobalMppInstruments().speculative_launches->Add(1);
   ShardAttemptOut spec;
   Status spec_st = fn(shard, /*speculative=*/true, &spec);
   if (spec_st.ok()) {
@@ -148,6 +195,7 @@ Status MppDatabase::AttemptWithSpeculation(int shard, const ShardFn& fn,
     if (primary.wait_for(std::chrono::seconds(0)) !=
         std::future_status::ready) {
       ++stats->speculative_wins;
+      GlobalMppInstruments().speculative_wins->Add(1);
       std::lock_guard<std::mutex> lk(abandoned_mu_);
       abandoned_.push_back(std::move(primary));
     }
@@ -167,6 +215,7 @@ Result<MppDatabase::ShardAttemptOut> MppDatabase::RunShardResilient(
   const FailoverPolicy& pol = fail_policy_;
   Status last;
   for (int attempt = 1; attempt <= pol.max_attempts_per_shard; ++attempt) {
+    GlobalMppInstruments().shard_attempts->Add(1);
     Stopwatch sw;
     // Gate: "the node just died under you". Fires before the attempt does
     // anything, so a gate failure is retryable even for DML.
@@ -185,6 +234,7 @@ Result<MppDatabase::ShardAttemptOut> MppDatabase::RunShardResilient(
       // Post-hoc budget check: the deterministic plan makes discarding a
       // late result and re-executing safe (and byte-identical).
       ++stats->timeouts;
+      GlobalMppInstruments().timeouts->Add(1);
       st = Status::Timeout("shard attempt took " + std::to_string(elapsed) +
                            "s (budget " +
                            std::to_string(pol.shard_timeout_seconds) + "s)");
@@ -198,6 +248,7 @@ Result<MppDatabase::ShardAttemptOut> MppDatabase::RunShardResilient(
     bool retryable = st.IsTransient() && (gate_failure || idempotent);
     if (!retryable || attempt == pol.max_attempts_per_shard) return last;
     ++stats->shard_retries;
+    GlobalMppInstruments().shard_retries->Add(1);
     if (st.IsUnavailable() && pol.failover_on_unavailable) {
       // Model the paper's II.E response: mark the owner dead, reassociate
       // its shards across survivors, then re-execute only the victim. The
@@ -207,6 +258,7 @@ Result<MppDatabase::ShardAttemptOut> MppDatabase::RunShardResilient(
       if (topo_.IsAlive(owner) && topo_.num_alive_nodes() > 1 &&
           topo_.FailNode(owner).ok()) {
         ++stats->failovers;
+        GlobalMppInstruments().failovers->Add(1);
       }
     }
     // Bounded exponential backoff; jitter is a pure function of
@@ -332,7 +384,8 @@ bool IsSimpleAgg(const ast::ExprP& e) {
 
 }  // namespace
 
-Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
+Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
+                                               bool analyze) {
   // Detect aggregation.
   bool has_agg = !sel.group_by.empty();
   for (const auto& item : sel.items) {
@@ -343,6 +396,72 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
   }
   MppQueryResult out;
   out.shard_seconds.resize(shards_.size(), 0);
+  out.shard_exec.resize(shards_.size());
+  // EXPLAIN ANALYZE state: the coordinator's span tree (shards execute
+  // serially in shard order, so span ids are deterministic) plus the
+  // per-shard annotated plans for the combined report.
+  std::shared_ptr<Trace> trace;
+  uint32_t root_span = 0;
+  std::vector<std::string> shard_plans(shards_.size());
+  if (analyze) {
+    trace = std::make_shared<Trace>();
+    root_span = trace->AddSpan("MppQuery", Trace::kNoParent);
+  }
+  // Records one shard's attempt outcome into the trace and report state.
+  auto record_shard = [&](size_t s, const MppExecStats& sstats,
+                          ShardAttemptOut& r, double secs) {
+    out.shard_exec[s] = sstats;
+    FoldExecStats(sstats, &out.exec);
+    if (!analyze) return;
+    uint32_t sid = trace->AddSpan("Shard", root_span);
+    TraceSpan& ss = trace->span(sid);
+    ss.rows = r.batch.num_rows();
+    ss.wall_seconds = secs;
+    ss.attrs["shard"] = static_cast<int64_t>(s);
+    ss.attrs["attempts"] = static_cast<int64_t>(1 + sstats.shard_retries);
+    if (sstats.shard_retries) {
+      ss.attrs["retries"] = static_cast<int64_t>(sstats.shard_retries);
+    }
+    if (sstats.failovers) {
+      ss.attrs["failovers"] = static_cast<int64_t>(sstats.failovers);
+    }
+    if (sstats.speculative_launches) {
+      ss.attrs["spec_launches"] =
+          static_cast<int64_t>(sstats.speculative_launches);
+      ss.attrs["spec_wins"] = static_cast<int64_t>(sstats.speculative_wins);
+    }
+    if (r.shard_trace) trace->Graft(*r.shard_trace, sid);
+    shard_plans[s] = std::move(r.analyzed_plan);
+  };
+  // Assembles the combined report once the merged result cardinality is
+  // known: cluster header, per-shard counters, indented shard plans.
+  auto finish_analyze = [&]() {
+    if (!analyze) return;
+    uint64_t rows = out.result.rows.num_rows();
+    std::string msg =
+        "EXPLAIN ANALYZE (mpp shards=" + std::to_string(shards_.size()) +
+        ", alive_nodes=" + std::to_string(topo_.num_alive_nodes()) +
+        ", rows=" + std::to_string(rows) + ")\n";
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const MppExecStats& st = out.shard_exec[s];
+      msg += "Shard " + std::to_string(s) + " (node " +
+             std::to_string(topo_.OwnerOf(s)) +
+             "): attempts=" + std::to_string(1 + st.shard_retries);
+      if (st.shard_retries) {
+        msg += " retries=" + std::to_string(st.shard_retries);
+      }
+      if (st.failovers) msg += " failovers=" + std::to_string(st.failovers);
+      if (st.timeouts) msg += " timeouts=" + std::to_string(st.timeouts);
+      if (st.speculative_launches) {
+        msg += " spec_launches=" + std::to_string(st.speculative_launches) +
+               " spec_wins=" + std::to_string(st.speculative_wins);
+      }
+      msg += "\n" + Indent(shard_plans[s], 2);
+    }
+    out.result.message = std::move(msg);
+    trace->span(root_span).rows = rows;
+    out.trace = trace;
+  };
 
   if (!has_agg) {
     // Run shard-local plans without ORDER BY/LIMIT; merge; finish globally.
@@ -350,15 +469,16 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
     shard_sel->order_by.clear();
     shard_sel->limit = -1;
     shard_sel->offset = 0;
-    ShardFn fn = MakeShardSelectFn(shard_sel);
+    ShardFn fn = MakeShardSelectFn(shard_sel, analyze);
     RowBatch merged;
     std::vector<OutputCol> cols;
     for (size_t s = 0; s < shards_.size(); ++s) {
       double secs = 0;
+      MppExecStats sstats;
       DASHDB_ASSIGN_OR_RETURN(
           ShardAttemptOut r,
           RunShardResilient(static_cast<int>(s), /*idempotent=*/true, fn,
-                            &out.exec, &secs));
+                            &sstats, &secs));
       out.shard_seconds[s] = secs;
       if (cols.empty()) {
         cols = r.cols;
@@ -370,6 +490,7 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
           merged.columns[c].AppendFrom(batch.columns[c], i);
         }
       }
+      record_shard(s, sstats, r, secs);
     }
     // Coordinator-side ORDER BY / LIMIT.
     out.result.columns = cols;
@@ -437,6 +558,7 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
     }
     out.result.affected_rows =
         static_cast<int64_t>(out.result.rows.num_rows());
+    finish_analyze();
     return out;
   }
 
@@ -518,14 +640,16 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
   };
   std::unordered_map<std::string, GroupAccum> table;
   std::vector<OutputCol> partial_cols;
-  ShardFn fn = MakeShardSelectFn(partial_p);
+  ShardFn fn = MakeShardSelectFn(partial_p, analyze);
   for (size_t s = 0; s < shards_.size(); ++s) {
     double secs = 0;
+    MppExecStats sstats;
     DASHDB_ASSIGN_OR_RETURN(
         ShardAttemptOut r,
         RunShardResilient(static_cast<int>(s), /*idempotent=*/true, fn,
-                          &out.exec, &secs));
+                          &sstats, &secs));
     out.shard_seconds[s] = secs;
+    record_shard(s, sstats, r, secs);
     const RowBatch& batch = r.batch;
     if (partial_cols.empty()) partial_cols = r.cols;
     for (size_t i = 0; i < batch.num_rows(); ++i) {
@@ -672,13 +796,14 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel) {
     out.result.rows = std::move(sorted);
   }
   out.result.affected_rows = static_cast<int64_t>(out.result.rows.num_rows());
+  finish_analyze();
   return out;
 }
 
 MppDatabase::ShardFn MppDatabase::MakeShardSelectFn(
-    std::shared_ptr<ast::SelectStmt> stmt) {
-  return [this, stmt](int shard, bool speculative,
-                      ShardAttemptOut* o) -> Status {
+    std::shared_ptr<ast::SelectStmt> stmt, bool analyze) {
+  return [this, stmt, analyze](int shard, bool speculative,
+                               ShardAttemptOut* o) -> Status {
     DASHDB_RETURN_IF_ERROR(FaultInjector::Global().Evaluate(kFaultShardStall));
     std::shared_ptr<Session> session =
         speculative ? shards_[shard]->CreateSession() : sessions_[shard];
@@ -688,6 +813,12 @@ MppDatabase::ShardFn MppDatabase::MakeShardSelectFn(
     DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(*stmt));
     DASHDB_ASSIGN_OR_RETURN(o->batch, DrainOperator(root.get()));
     o->cols = root->output();
+    if (analyze) {
+      o->analyzed_plan = root->AnalyzeString();
+      auto t = std::make_shared<Trace>();
+      root->AddTraceSpans(t.get(), Trace::kNoParent);
+      o->shard_trace = std::move(t);
+    }
     return Status::OK();
   };
 }
@@ -700,6 +831,14 @@ Result<MppQueryResult> MppDatabase::Execute(const std::string& sql) {
   switch (stmt->kind) {
     case ast::StmtKind::kSelect:
       return ExecSelect(*stmt->select);
+    case ast::StmtKind::kExplain:
+      // EXPLAIN ANALYZE runs the query through the coordinator and reports
+      // per-shard plans + failover counters; plain EXPLAIN broadcasts so
+      // the message shows a shard-local plan.
+      if (stmt->explain_analyze && stmt->select) {
+        return ExecSelect(*stmt->select, /*analyze=*/true);
+      }
+      return Broadcast(sql);
     case ast::StmtKind::kInsert:
       return RoutedInsert(*stmt, sql);
     default:

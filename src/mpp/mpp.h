@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/threadpool.h"
+#include "common/trace.h"
 #include "mpp/topology.h"
 #include "sql/engine.h"
 
@@ -61,6 +62,13 @@ struct MppQueryResult {
   QueryResult result;
   std::vector<double> shard_seconds;
   MppExecStats exec;
+  /// Per-shard breakdown of `exec` for SELECT paths (empty for DDL/DML);
+  /// EXPLAIN ANALYZE renders these as per-shard attempt/retry counters.
+  std::vector<MppExecStats> shard_exec;
+  /// Span tree for EXPLAIN ANALYZE: MppQuery -> Shard -> operator spans.
+  /// Ids are deterministic (shards execute serially in shard order), so the
+  /// tree replays exactly under a fixed fault seed.
+  std::shared_ptr<const Trace> trace;
 
   /// Modeled cluster wall-clock on `topo` (max over nodes of LPT schedule).
   double MakespanOn(const ClusterTopology& topo) const {
@@ -119,6 +127,10 @@ class MppDatabase {
     RowBatch batch;
     std::vector<OutputCol> cols;
     QueryResult qr;
+    /// EXPLAIN ANALYZE payloads (filled when the shard fn runs analyzed):
+    /// the annotated shard plan and its operator span tree.
+    std::string analyzed_plan;
+    std::shared_ptr<Trace> shard_trace;
   };
   struct AttemptResult {
     Status status;
@@ -133,8 +145,11 @@ class MppDatabase {
 
   /// A re-executable bind+drain of one shard-local SELECT. Captures the
   /// statement by shared_ptr so abandoned stragglers stay valid; the
-  /// speculative run binds against a fresh session.
-  ShardFn MakeShardSelectFn(std::shared_ptr<ast::SelectStmt> stmt);
+  /// speculative run binds against a fresh session. With `analyze` the fn
+  /// also fills the attempt's analyzed_plan/shard_trace from the drained
+  /// plan's operator metrics.
+  ShardFn MakeShardSelectFn(std::shared_ptr<ast::SelectStmt> stmt,
+                            bool analyze = false);
 
   /// Runs one shard task under the failover policy: fault-point gate,
   /// retry/backoff, timeout classification, node failover, speculation.
@@ -150,7 +165,8 @@ class MppDatabase {
   /// be idle before the next query reuses them).
   void DrainAbandoned();
 
-  Result<MppQueryResult> ExecSelect(const ast::SelectStmt& sel);
+  Result<MppQueryResult> ExecSelect(const ast::SelectStmt& sel,
+                                    bool analyze = false);
   Result<MppQueryResult> Broadcast(const std::string& sql);
   Result<MppQueryResult> RoutedInsert(const ast::Statement& st,
                                       const std::string& sql);

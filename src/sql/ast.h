@@ -154,6 +154,9 @@ struct Statement {
 
   SelectP select;                    // kSelect / kExplain / view body / INSERT..SELECT
 
+  // EXPLAIN: ANALYZE variant executes the query and reports runtime metrics.
+  bool explain_analyze = false;
+
   // INSERT
   std::string target_schema, target_table;
   std::vector<std::string> insert_columns;

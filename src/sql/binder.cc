@@ -155,12 +155,12 @@ class ConnectByOp : public Operator {
     output_.push_back({"LEVEL", TypeId::kInt64});
   }
 
-  Status Open() override {
+  Status OpenImpl() override {
     done_ = false;
     return child_->Open();
   }
 
-  Result<bool> Next(RowBatch* out) override {
+  Result<bool> NextImpl(RowBatch* out) override {
     if (done_) return false;
     DASHDB_ASSIGN_OR_RETURN(RowBatch all, DrainOperator(child_.get()));
     const size_t n = all.num_rows();

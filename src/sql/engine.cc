@@ -105,7 +105,8 @@ Result<QueryResult> Engine::ExecuteStmt(Session* session,
     case ast::StmtKind::kSelect:
       return ExecSelect(session, *stmt->select, /*explain_only=*/false);
     case ast::StmtKind::kExplain:
-      return ExecSelect(session, *stmt->select, /*explain_only=*/true);
+      return ExecSelect(session, *stmt->select, /*explain_only=*/true,
+                        stmt->explain_analyze);
     case ast::StmtKind::kInsert:
       return ExecInsert(session, *stmt);
     case ast::StmtKind::kUpdate:
@@ -229,7 +230,7 @@ Result<QueryResult> Engine::ExecuteStmt(Session* session,
 
 Result<QueryResult> Engine::ExecSelect(Session* session,
                                        const ast::SelectStmt& sel,
-                                       bool explain_only) {
+                                       bool explain_only, bool analyze) {
   // Arm intra-query parallelism for this statement: the execution context
   // drives the parallel join build / aggregation, the scan options drive
   // the morsel scan. Both stay null/1 on serial engines.
@@ -243,8 +244,29 @@ Result<QueryResult> Engine::ExecSelect(Session* session,
   Binder binder(&catalog_, session, bopts);
   DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(sel));
   QueryResult r;
-  if (explain_only) {
+  if (explain_only && !analyze) {
     r.message = root->PlanString();
+    return r;
+  }
+  if (explain_only) {
+    // EXPLAIN ANALYZE: run the query, discard its rows, and report the plan
+    // annotated with the runtime metrics the instrumented operators
+    // accumulated. affected_rows carries the result cardinality so callers
+    // (differential tests) can check it against the plain query without
+    // parsing the report.
+    DASHDB_ASSIGN_OR_RETURN(RowBatch result, DrainOperator(root.get()));
+    r.affected_rows = static_cast<int64_t>(result.num_rows());
+    r.message = "EXPLAIN ANALYZE (dop=" + std::to_string(dop) +
+                ", rows=" + std::to_string(result.num_rows()) + ")\n" +
+                root->AnalyzeString();
+    auto trace = std::make_shared<Trace>();
+    uint32_t q = trace->AddSpan("Query", Trace::kNoParent);
+    root->AddTraceSpans(trace.get(), q);
+    TraceSpan& qs = trace->span(q);
+    qs.rows = result.num_rows();
+    qs.wall_seconds = root->metrics().wall_seconds;
+    qs.attrs["dop"] = dop;
+    session->set_last_trace(std::move(trace));
     return r;
   }
   r.columns = root->output();

@@ -114,7 +114,7 @@ class Engine {
   Result<QueryResult> ExecuteStmt(Session* session,
                                   const ast::StatementP& stmt);
   Result<QueryResult> ExecSelect(Session* session, const ast::SelectStmt& sel,
-                                 bool explain_only);
+                                 bool explain_only, bool analyze = false);
   Result<QueryResult> ExecInsert(Session* session, const ast::Statement& st);
   Result<QueryResult> ExecUpdate(Session* session, const ast::Statement& st);
   Result<QueryResult> ExecDelete(Session* session, const ast::Statement& st);

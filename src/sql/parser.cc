@@ -132,6 +132,10 @@ class Parser {
       Advance();
       auto st = std::make_shared<Statement>();
       st->kind = StmtKind::kExplain;
+      if (IsKw("ANALYZE")) {
+        Advance();
+        st->explain_analyze = true;
+      }
       DASHDB_ASSIGN_OR_RETURN(st->select, ParseSelect());
       return st;
     }

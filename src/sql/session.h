@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/dialect.h"
+#include "common/trace.h"
 #include "exec/expr.h"
 
 namespace dashdb {
@@ -39,6 +40,14 @@ class Session {
   /// effective degree to [1, engine parallelism].
   int max_parallelism() const { return max_parallelism_; }
   void set_max_parallelism(int dop) { max_parallelism_ = dop; }
+
+  /// Span tree recorded by the last EXPLAIN ANALYZE on this session (null
+  /// until one runs). Programmatic access for trace-stability tests and
+  /// tooling; the rendered form is in the statement's message.
+  std::shared_ptr<const Trace> last_trace() const { return last_trace_; }
+  void set_last_trace(std::shared_ptr<const Trace> t) {
+    last_trace_ = std::move(t);
+  }
 
   /// Sequences are session-scoped in this engine (CURRVAL is per session in
   /// real systems; NEXTVAL sharing across sessions is out of scope).
@@ -75,6 +84,7 @@ class Session {
   Dialect dialect_ = Dialect::kAnsi;
   std::string default_schema_ = "PUBLIC";
   int max_parallelism_ = 0;  ///< 0 = ANY
+  std::shared_ptr<const Trace> last_trace_;
   ExecContext exec_ctx_;
   std::map<std::string, SequenceState> sequences_;
 };

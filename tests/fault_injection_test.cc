@@ -8,16 +8,21 @@
 #include <vector>
 
 #include "common/fault_injector.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
 
 namespace dashdb {
 namespace {
 
-// The global injector is process-wide state; every test starts clean.
+// The global injector and metric registry are process-wide state; every
+// test starts clean so `ctest -j` ordering cannot leak state across tests.
 class FaultInjectionTest : public ::testing::Test {
  protected:
-  void SetUp() override { FaultInjector::Global().Reset(0); }
-  void TearDown() override { FaultInjector::Global().Reset(0); }
+  void SetUp() override {
+    FaultInjector::Global().ResetForTest();
+    MetricRegistry::Global().ResetForTest();
+  }
+  void TearDown() override { FaultInjector::Global().ResetForTest(); }
 };
 
 TEST_F(FaultInjectionTest, DisarmedPointsNeverFire) {

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "common/fault_injector.h"
+#include "common/metrics.h"
 #include "mpp/mpp.h"
 
 namespace dashdb {
@@ -62,8 +63,11 @@ const char* kQueries[] = {
 
 class MppFaultTest : public ::testing::Test {
  protected:
-  void SetUp() override { FaultInjector::Global().Reset(0); }
-  void TearDown() override { FaultInjector::Global().Reset(0); }
+  void SetUp() override {
+    FaultInjector::Global().ResetForTest();
+    MetricRegistry::Global().ResetForTest();
+  }
+  void TearDown() override { FaultInjector::Global().ResetForTest(); }
 };
 
 TEST_F(MppFaultTest, NodeKillAtEveryShardIndexPreservesResults) {

@@ -1,0 +1,211 @@
+// Observability layer: metrics registry semantics (register-once pointers,
+// relaxed counters, histogram buckets, snapshot/delta/JSON, test reset),
+// trace span trees (sequential ids, grafting, digests), and the EXPLAIN
+// ANALYZE surface on the single-node engine — annotated plans whose row
+// counts are the real cardinalities, plus registry deltas per query.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+namespace {
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().ResetForTest();
+    MetricRegistry::Global().ResetForTest();
+  }
+  void TearDown() override { FaultInjector::Global().ResetForTest(); }
+};
+
+TEST_F(ObservabilityTest, CounterGaugeBasics) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("t.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reg.GetCounter("t.counter"), c) << "register-once, same pointer";
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+
+  Gauge* g = reg.GetGauge("t.gauge");
+  g->Set(-7);
+  g->Add(10);
+  EXPECT_EQ(g->value(), 3);
+
+  // Re-registering a name as a different kind is a naming bug -> nullptr.
+  EXPECT_EQ(reg.GetGauge("t.counter"), nullptr);
+  EXPECT_EQ(reg.GetCounter("t.gauge"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("t.counter", {1, 2}), nullptr);
+}
+
+TEST_F(ObservabilityTest, HistogramBucketsAndOverflow) {
+  MetricRegistry reg;
+  Histogram* h = reg.GetHistogram("t.hist", {10, 100, 1000});
+  ASSERT_NE(h, nullptr);
+  h->Observe(5);      // le_10
+  h->Observe(10);     // le_10 (inclusive bound)
+  h->Observe(11);     // le_100
+  h->Observe(999);    // le_1000
+  h->Observe(5000);   // overflow
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->sum(), 5 + 10 + 11 + 999 + 5000);
+  auto buckets = h->bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u) << "overflow bucket";
+
+  MetricSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.at("t.hist.count"), 5);
+  EXPECT_EQ(snap.at("t.hist.le_10"), 2);
+  EXPECT_EQ(snap.at("t.hist.le_inf"), 1);
+}
+
+TEST_F(ObservabilityTest, SnapshotDeltaKeepsOnlyChanges) {
+  MetricRegistry reg;
+  Counter* a = reg.GetCounter("t.a");
+  Counter* b = reg.GetCounter("t.b");
+  a->Add(5);
+  MetricSnapshot before = reg.Snapshot();
+  a->Add(2);
+  b->Add(0);  // unchanged
+  reg.GetCounter("t.new")->Add(9);
+  MetricSnapshot delta = SnapshotDelta(before, reg.Snapshot());
+  EXPECT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta.at("t.a"), 2);
+  EXPECT_EQ(delta.at("t.new"), 9);
+  EXPECT_EQ(delta.count("t.b"), 0u);
+}
+
+TEST_F(ObservabilityTest, ResetForTestKeepsPointersValid) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("t.c");
+  Histogram* h = reg.GetHistogram("t.h", {8});
+  c->Add(100);
+  h->Observe(3);
+  reg.ResetForTest();
+  EXPECT_EQ(c->value(), 0u) << "zeroed in place";
+  EXPECT_EQ(h->count(), 0u);
+  c->Add(1);  // cached pointer still works after reset
+  EXPECT_EQ(reg.Snapshot().at("t.c"), 1);
+}
+
+TEST_F(ObservabilityTest, JsonExportContainsInstruments) {
+  MetricRegistry reg;
+  reg.GetCounter("t.json_counter")->Add(7);
+  reg.GetHistogram("t.json_hist", {4})->Observe(2);
+  std::string js = reg.ToJson();
+  EXPECT_NE(js.find("\"t.json_counter\": 7"), std::string::npos) << js;
+  EXPECT_NE(js.find("\"t.json_hist\""), std::string::npos) << js;
+  EXPECT_NE(js.find("\"le\""), std::string::npos) << js;
+
+  // The process-wide API serves the global registry.
+  MetricRegistry::Global().GetCounter("t.global_marker")->Add(1);
+  EXPECT_NE(SystemMetricsJson().find("t.global_marker"), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, TraceSpanIdsAndGraft) {
+  Trace t;
+  uint32_t root = t.AddSpan("Query", Trace::kNoParent);
+  uint32_t child = t.AddSpan("Scan", root);
+  EXPECT_EQ(root, 1u) << "ids start at 1";
+  EXPECT_EQ(child, 2u);
+  t.span(child).rows = 10;
+
+  Trace sub;
+  uint32_t s1 = sub.AddSpan("Agg", Trace::kNoParent);
+  sub.AddSpan("Filter", s1);
+  t.Graft(sub, child);
+  ASSERT_EQ(t.spans().size(), 4u);
+  EXPECT_EQ(t.spans()[2].name, "Agg");
+  EXPECT_EQ(t.spans()[2].parent, child) << "sub-root reparented";
+  EXPECT_EQ(t.spans()[3].parent, t.spans()[2].id) << "sub nesting preserved";
+
+  // Digest covers structure+rows+attrs, never timing.
+  t.span(root).wall_seconds = 123.0;
+  Trace t2;
+  uint32_t r2 = t2.AddSpan("Query", Trace::kNoParent);
+  uint32_t c2 = t2.AddSpan("Scan", r2);
+  t2.span(c2).rows = 10;
+  Trace sub2;
+  uint32_t s2 = sub2.AddSpan("Agg", Trace::kNoParent);
+  sub2.AddSpan("Filter", s2);
+  t2.Graft(sub2, c2);
+  EXPECT_EQ(t.StructureDigest(), t2.StructureDigest());
+  t2.span(c2).attrs["dop"] = 4;
+  EXPECT_NE(t.StructureDigest(), t2.StructureDigest());
+  EXPECT_EQ(t.StructureDigest(false), t2.StructureDigest(false))
+      << "attr-free digest ignores dop";
+}
+
+class ExplainAnalyzeTest : public ObservabilityTest {
+ protected:
+  ExplainAnalyzeTest() : engine_(EngineConfig{}), session_(engine_.CreateSession()) {
+    Exec("CREATE TABLE obs (id INT, grp INT, v INT)");
+    Exec("INSERT INTO obs VALUES (1, 1, 10), (2, 1, 20), (3, 2, 30), "
+         "(4, 2, 40), (5, 3, 50)");
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto r = engine_.Execute(session_.get(), sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  Engine engine_;
+  std::shared_ptr<Session> session_;
+};
+
+TEST_F(ExplainAnalyzeTest, AnnotatedPlanReportsActualCardinalities) {
+  QueryResult plain = Exec("SELECT grp, COUNT(*) FROM obs GROUP BY grp");
+  ASSERT_EQ(plain.rows.num_rows(), 3u);
+
+  QueryResult r = Exec("EXPLAIN ANALYZE SELECT grp, COUNT(*) FROM obs GROUP BY grp");
+  EXPECT_EQ(r.rows.num_rows(), 0u) << "report goes in message, not rows";
+  EXPECT_EQ(r.affected_rows, 3) << "cardinality of the analyzed query";
+  EXPECT_NE(r.message.find("EXPLAIN ANALYZE"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("rows=3"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("HashAgg"), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("wall="), std::string::npos) << r.message;
+  EXPECT_NE(r.message.find("self="), std::string::npos) << r.message;
+  // Scan cardinality annotated too: 5 base rows feed the aggregate.
+  EXPECT_NE(r.message.find("rows=5"), std::string::npos) << r.message;
+
+  // The span tree parks on the session for programmatic access.
+  auto trace = session_->last_trace();
+  ASSERT_NE(trace, nullptr);
+  ASSERT_FALSE(trace->empty());
+  EXPECT_EQ(trace->spans()[0].name, "Query");
+  EXPECT_EQ(trace->spans()[0].rows, 3u);
+}
+
+TEST_F(ExplainAnalyzeTest, PlainExplainStillStatic) {
+  QueryResult r = Exec("EXPLAIN SELECT * FROM obs");
+  EXPECT_EQ(r.message.find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_EQ(r.message.find("wall="), std::string::npos)
+      << "EXPLAIN without ANALYZE must not execute or time anything";
+  EXPECT_NE(r.message.find("Scan"), std::string::npos) << r.message;
+}
+
+TEST_F(ExplainAnalyzeTest, QueriesMoveRegistryCounters) {
+  MetricSnapshot before = MetricRegistry::Global().Snapshot();
+  QueryResult r = Exec("SELECT COUNT(*) FROM obs WHERE v >= 30");
+  ASSERT_EQ(r.rows.num_rows(), 1u);
+  MetricSnapshot delta =
+      SnapshotDelta(before, MetricRegistry::Global().Snapshot());
+  EXPECT_GE(delta["exec.rows_out"], 1) << "operators report rows";
+  EXPECT_GE(delta["exec.batches_out"], 1);
+  EXPECT_GE(delta["exec.operator_opens"], 2) << "scan + aggregate at least";
+  EXPECT_GE(delta["exec.batch_rows.count"], 1) << "batch-size histogram fed";
+}
+
+}  // namespace
+}  // namespace dashdb
