@@ -3,6 +3,7 @@
 // "pack many values into a single word" representation (paper II.B.6).
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -37,6 +38,9 @@ class BitVector {
     size_ = n;
     words_.resize((n + 63) / 64, 0);
   }
+
+  /// Reserves word storage for n bits without changing the size.
+  void Reserve(size_t n) { words_.reserve((n + 63) / 64); }
 
   size_t size() const { return size_; }
 
@@ -97,6 +101,23 @@ class BitVector {
   size_t CountSet() const {
     size_t n = 0;
     for (uint64_t w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  /// Set bits in [begin, end), word-at-a-time.
+  size_t CountSetRange(size_t begin, size_t end) const {
+    end = std::min(end, size_);
+    if (begin >= end) return 0;
+    size_t wb = begin >> 6, we = (end - 1) >> 6;
+    uint64_t first_mask = ~uint64_t{0} << (begin & 63);
+    uint64_t last_mask =
+        (end & 63) ? ((uint64_t{1} << (end & 63)) - 1) : ~uint64_t{0};
+    if (wb == we) {
+      return std::popcount(words_[wb] & first_mask & last_mask);
+    }
+    size_t n = std::popcount(words_[wb] & first_mask);
+    for (size_t w = wb + 1; w < we; ++w) n += std::popcount(words_[w]);
+    n += std::popcount(words_[we] & last_mask);
     return n;
   }
 

@@ -48,6 +48,9 @@ class ColumnVector {
     } else {
       ints_.reserve(n);
     }
+    // The null bitmap grows lazily with the payload; reserve its words too
+    // so a null mid-append doesn't trigger a separate reallocation chain.
+    nulls_.Reserve(n);
   }
 
   void AppendInt(int64_t v) {

@@ -1,0 +1,181 @@
+#include "common/flat_hash.h"
+
+namespace dashdb {
+
+using flat_internal::CapacityFor;
+using flat_internal::CtrlTag;
+
+// ---------------------------------------------------------- FlatJoinIndex --
+
+void FlatJoinIndex::Reserve(size_t n) {
+  size_t cap = CapacityFor(n);
+  if (cap > cap_) Grow(cap);
+}
+
+void FlatJoinIndex::Grow(size_t new_cap) {
+  std::vector<Slot> old_slots = std::move(slots_);
+  std::vector<uint64_t> old_hashes = std::move(hashes_);
+  std::vector<int32_t> old_tail = std::move(tail_);
+  const size_t old_cap = cap_;
+  cap_ = new_cap;
+  slots_.assign(cap_, Slot{0, 0, kEmptySlot});
+  hashes_.resize(cap_);
+  tail_.resize(cap_);
+  const size_t mask = cap_ - 1;
+  // Re-bucket from the stored hashes; keys are never re-hashed and chains
+  // are untouched.
+  for (size_t s = 0; s < old_cap; ++s) {
+    if (old_slots[s].next == kEmptySlot) continue;
+    size_t i = static_cast<size_t>(old_hashes[s]) & mask;
+    while (slots_[i].next != kEmptySlot) i = (i + 1) & mask;
+    slots_[i] = old_slots[s];
+    hashes_[i] = old_hashes[s];
+    tail_[i] = old_tail[s];
+  }
+}
+
+void FlatJoinIndex::Insert(uint64_t key, uint64_t hash, uint32_t row) {
+  if (cap_ == 0 || (used_ + 1) * 8 > cap_ * 7) {
+    Grow(cap_ == 0 ? 16 : cap_ * 2);
+  }
+  const size_t mask = cap_ - 1;
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (slots_[i].next != kEmptySlot) {
+    if (slots_[i].key == key) {
+      // Existing key: append to its chain, preserving insertion order.
+      const int32_t link = static_cast<int32_t>(chain_.size());
+      chain_.push_back({row, kNone});
+      if (tail_[i] == kNone) {
+        slots_[i].next = link;  // second row for this key
+      } else {
+        chain_[tail_[i]].next = link;
+      }
+      tail_[i] = link;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+  slots_[i] = {key, row, kNone};
+  hashes_[i] = hash;
+  tail_[i] = kNone;
+  ++used_;
+}
+
+// ----------------------------------------------------------- FlatKeyIndex --
+
+void FlatKeyIndex::Reserve(size_t n) {
+  entries_.reserve(n);
+  size_t cap = CapacityFor(n);
+  if (cap > cap_) Grow(cap);
+}
+
+void FlatKeyIndex::Grow(size_t new_cap) {
+  std::vector<uint8_t> old_ctrl = std::move(ctrl_);
+  std::vector<uint32_t> old_id = std::move(slot_id_);
+  const size_t old_cap = cap_;
+  cap_ = new_cap;
+  ctrl_.assign(cap_, 0);
+  slot_id_.resize(cap_);
+  const size_t mask = cap_ - 1;
+  for (size_t s = 0; s < old_cap; ++s) {
+    if (old_ctrl[s] == 0) continue;
+    size_t i = static_cast<size_t>(entries_[old_id[s]].hash) & mask;
+    while (ctrl_[i] != 0) i = (i + 1) & mask;
+    ctrl_[i] = old_ctrl[s];
+    slot_id_[i] = old_id[s];
+  }
+}
+
+uint32_t FlatKeyIndex::FindOrInsert(const uint8_t* key, size_t len,
+                                    uint64_t hash, bool* inserted) {
+  if (cap_ == 0 || (entries_.size() + 1) * 8 > cap_ * 7) {
+    Grow(cap_ == 0 ? 16 : cap_ * 2);
+  }
+  const size_t mask = cap_ - 1;
+  const uint8_t tag = CtrlTag(hash);
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (ctrl_[i] != 0) {
+    if (ctrl_[i] == tag && SlotMatches(i, key, len, hash)) {
+      *inserted = false;
+      return slot_id_[i];
+    }
+    i = (i + 1) & mask;
+  }
+  const uint32_t id = static_cast<uint32_t>(entries_.size());
+  entries_.push_back({hash, arena_.size(), static_cast<uint32_t>(len)});
+  arena_.insert(arena_.end(), key, key + len);
+  ctrl_[i] = tag;
+  slot_id_[i] = id;
+  *inserted = true;
+  return id;
+}
+
+int64_t FlatKeyIndex::Find(const uint8_t* key, size_t len,
+                           uint64_t hash) const {
+  if (entries_.empty() || cap_ == 0) return -1;
+  const size_t mask = cap_ - 1;
+  const uint8_t tag = CtrlTag(hash);
+  size_t i = static_cast<size_t>(hash) & mask;
+  while (ctrl_[i] != 0) {
+    if (ctrl_[i] == tag && SlotMatches(i, key, len, hash)) {
+      return slot_id_[i];
+    }
+    i = (i + 1) & mask;
+  }
+  return -1;
+}
+
+// ------------------------------------------------------------- FlatIntMap --
+
+void FlatIntMap::Reserve(size_t n) {
+  keys_dense_.reserve(n);
+  size_t cap = CapacityFor(n);
+  if (cap > cap_) Grow(cap);
+}
+
+void FlatIntMap::Grow(size_t new_cap) {
+  std::vector<uint8_t> old_ctrl = std::move(ctrl_);
+  std::vector<int64_t> old_keys = std::move(keys_);
+  std::vector<uint32_t> old_id = std::move(slot_id_);
+  const size_t old_cap = cap_;
+  cap_ = new_cap;
+  ctrl_.assign(cap_, 0);
+  keys_.resize(cap_);
+  slot_id_.resize(cap_);
+  const size_t mask = cap_ - 1;
+  for (size_t s = 0; s < old_cap; ++s) {
+    if (old_ctrl[s] == 0) continue;
+    uint64_t h = HashInt64(static_cast<uint64_t>(old_keys[s]));
+    size_t i = static_cast<size_t>(h) & mask;
+    while (ctrl_[i] != 0) i = (i + 1) & mask;
+    ctrl_[i] = old_ctrl[s];
+    keys_[i] = old_keys[s];
+    slot_id_[i] = old_id[s];
+  }
+}
+
+uint32_t FlatIntMap::FindOrInsert(int64_t key, bool* inserted) {
+  if (cap_ == 0 || (keys_dense_.size() + 1) * 8 > cap_ * 7) {
+    Grow(cap_ == 0 ? 16 : cap_ * 2);
+  }
+  const uint64_t h = HashInt64(static_cast<uint64_t>(key));
+  const size_t mask = cap_ - 1;
+  const uint8_t tag = CtrlTag(h);
+  size_t i = static_cast<size_t>(h) & mask;
+  while (ctrl_[i] != 0) {
+    if (ctrl_[i] == tag && keys_[i] == key) {
+      *inserted = false;
+      return slot_id_[i];
+    }
+    i = (i + 1) & mask;
+  }
+  const uint32_t id = static_cast<uint32_t>(keys_dense_.size());
+  keys_dense_.push_back(key);
+  ctrl_[i] = tag;
+  keys_[i] = key;
+  slot_id_[i] = id;
+  *inserted = true;
+  return id;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,269 @@
+// Cache-efficient compact hash tables for join and group-by (paper
+// II.B.4): open addressing with linear probing over contiguous arrays,
+// replacing the pointer-chasing node-based std maps in the executor's hot
+// paths.
+//
+// Shared layout decisions:
+//  - power-of-two capacity; the bucket index is `hash & (capacity - 1)`
+//    (low hash bits), so the radix-partition digit (bits 32..37), the
+//    Bloom prefilter bits (13.., 38..43, 51..56) and the control tag
+//    (top 7 bits) all draw from disjoint hash ranges;
+//  - the variable-length-key and int-map tables keep one control byte per
+//    slot: 0 = empty, else 0x80 | (hash >> 57), so a probe compares one
+//    byte before touching the slot's payload; the join index instead
+//    embeds occupancy in its 16-byte slot (the key compare already shares
+//    that cache line);
+//  - the full 64-bit hash is stored per slot, making growth a re-bucketing
+//    pass that never re-hashes keys;
+//  - growth doubles at 7/8 load factor. Linear probing keeps every probe
+//    sequence a contiguous memory walk.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace dashdb {
+
+namespace flat_internal {
+
+inline uint64_t NextPow2(uint64_t n) {
+  uint64_t c = 1;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+inline uint8_t CtrlTag(uint64_t hash) {
+  return static_cast<uint8_t>(0x80u | (hash >> 57));
+}
+
+/// Smallest power-of-two capacity (>= 16) holding n keys under 7/8 load.
+inline size_t CapacityFor(size_t n) {
+  uint64_t c = NextPow2(n * 8 / 7 + 1);
+  return static_cast<size_t>(c < 16 ? 16 : c);
+}
+
+inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace flat_internal
+
+/// Multimap from a 64-bit key to build-row indices, specialized for hash
+/// join builds. Each 16-byte slot holds the key, the key's FIRST build row
+/// inline, and the chain index of its second row (kNone when unique, the
+/// kEmptySlot sentinel when vacant — no separate control array, since at
+/// the post-Reserve load factor the key compare lives in the same cache
+/// line occupancy metadata would). A probe hit on a unique key — the
+/// common join shape — therefore touches exactly ONE table cache line.
+/// Only duplicate rows spill into the contiguous {row, next} chain array,
+/// appended in insertion order, so duplicates iterate in ascending
+/// build-row order. The full 64-bit hash and the chain tail live in cold
+/// build-only arrays that the probe path never reads; growth re-buckets
+/// slots from the stored hashes without touching chains.
+class FlatJoinIndex {
+ public:
+  static constexpr int32_t kNone = -1;
+
+  /// Pre-sizes the slot arrays for n distinct keys (no growth during build
+  /// when the estimate holds; chains grow on demand).
+  void Reserve(size_t n);
+
+  /// Adds (key, row); `hash` must be the caller's hash of `key` (the
+  /// generic join path uses key == hash, the int fast path hashes the raw
+  /// key). Rows of equal keys chain in insertion order.
+  void Insert(uint64_t key, uint64_t hash, uint32_t row);
+
+  /// Returns a cursor over the rows stored under `key` (kNone if absent).
+  /// Cursors <= -2 address a slot's inline first row (-2 - cursor), >= 0
+  /// the overflow chain; capacity is therefore bounded by 2^31 slots,
+  /// already implied by the int32 chain links.
+  int32_t Find(uint64_t key, uint64_t hash) const {
+    if (used_ == 0) return kNone;
+    const size_t mask = cap_ - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    while (slots_[i].next != kEmptySlot) {
+      if (slots_[i].key == key) return -static_cast<int32_t>(i) - 2;
+      i = (i + 1) & mask;
+    }
+    return kNone;
+  }
+
+  int32_t Next(int32_t cursor) const {
+    return cursor < kNone ? slots_[-2 - cursor].next : chain_[cursor].next;
+  }
+  uint32_t Row(int32_t cursor) const {
+    return cursor < kNone ? slots_[-2 - cursor].first_row
+                          : chain_[cursor].row;
+  }
+
+  /// Prefetches the home slot for `hash`. Every probe address is
+  /// computable from the hash alone (the point of the flat layout), so the
+  /// probe loop issues this a few rows ahead and the hit path's cache
+  /// misses overlap instead of serializing.
+  void Prefetch(uint64_t hash) const {
+    if (cap_ == 0) return;
+    flat_internal::PrefetchRead(slots_.data() +
+                                (static_cast<size_t>(hash) & (cap_ - 1)));
+  }
+
+  /// Distinct keys stored.
+  size_t size() const { return used_; }
+  /// Total rows stored (inline firsts + chain entries).
+  size_t rows() const { return used_ + chain_.size(); }
+  size_t capacity() const { return cap_; }
+
+ private:
+  /// `next` sentinel marking a vacant slot (chain indices are >= 0 and
+  /// kNone marks a unique key, so INT32_MIN can never be a live link).
+  static constexpr int32_t kEmptySlot = INT32_MIN;
+
+  struct Slot {
+    uint64_t key;
+    uint32_t first_row;
+    int32_t next;  ///< chain index of the second row; kNone when unique
+  };
+  struct Link {
+    uint32_t row;
+    int32_t next;
+  };
+
+  void Grow(size_t new_cap);
+
+  std::vector<Slot> slots_;
+  std::vector<uint64_t> hashes_;  ///< build/grow only, never probed
+  std::vector<int32_t> tail_;     ///< chain tail (kNone = inline row is last)
+  std::vector<Link> chain_;
+  size_t cap_ = 0;
+  size_t used_ = 0;
+};
+
+/// Per-partition Bloom-style prefilter for the probe side of a join:
+/// ~8 bits per build key, two bits set per key inside a single 64-bit
+/// word, so a probe miss costs one cache line and no table walk. The word
+/// index and the two bit positions come from hash ranges unused by the
+/// bucket index, the radix partition digit, and the control tag.
+class BloomPrefilter {
+ public:
+  /// Sizes the filter for `expected_keys` (~one byte per key, rounded up
+  /// to a power of two of words). Zero keys leaves the filter disabled
+  /// (MayContain is then trivially true).
+  void Init(size_t expected_keys) {
+    words_.clear();
+    mask_ = 0;
+    if (expected_keys == 0) return;
+    size_t n_words =
+        static_cast<size_t>(flat_internal::NextPow2(expected_keys / 8 + 1));
+    words_.assign(n_words, 0);
+    mask_ = n_words - 1;
+  }
+
+  void Add(uint64_t hash) {
+    if (words_.empty()) return;
+    words_[WordIndex(hash)] |= BitsFor(hash);
+  }
+
+  bool MayContain(uint64_t hash) const {
+    if (words_.empty()) return true;
+    const uint64_t bits = BitsFor(hash);
+    return (words_[WordIndex(hash)] & bits) == bits;
+  }
+
+  void Prefetch(uint64_t hash) const {
+    if (!words_.empty()) {
+      flat_internal::PrefetchRead(words_.data() + WordIndex(hash));
+    }
+  }
+
+  size_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t WordIndex(uint64_t hash) const {
+    return static_cast<size_t>((hash >> 13) & mask_);
+  }
+  static uint64_t BitsFor(uint64_t hash) {
+    return (uint64_t{1} << ((hash >> 38) & 63)) |
+           (uint64_t{1} << ((hash >> 51) & 63));
+  }
+
+  std::vector<uint64_t> words_;
+  uint64_t mask_ = 0;
+};
+
+/// Map from variable-length serialized group keys to dense insertion-order
+/// ids. The sparse side is the usual ctrl + slot arrays; the dense side is
+/// one entries array {hash, offset, len} plus a single byte arena holding
+/// every key back to back — group-by state lives in caller-side vectors
+/// indexed by the returned ids, and output walks ids 0..size) in first-seen
+/// order without touching the sparse arrays.
+class FlatKeyIndex {
+ public:
+  void Reserve(size_t n);
+
+  /// Returns the id of `key` (bytes of length len, hashed to `hash` by the
+  /// caller), inserting a copy into the arena when absent. Sets *inserted.
+  uint32_t FindOrInsert(const uint8_t* key, size_t len, uint64_t hash,
+                        bool* inserted);
+
+  /// Id of `key` or -1.
+  int64_t Find(const uint8_t* key, size_t len, uint64_t hash) const;
+
+  size_t size() const { return entries_.size(); }
+  const uint8_t* KeyData(uint32_t id) const {
+    return arena_.data() + entries_[id].offset;
+  }
+  uint32_t KeyLen(uint32_t id) const { return entries_[id].len; }
+  uint64_t HashOf(uint32_t id) const { return entries_[id].hash; }
+
+ private:
+  struct Entry {
+    uint64_t hash;
+    uint64_t offset;  ///< into arena_ (offsets stay valid across growth)
+    uint32_t len;
+  };
+
+  bool SlotMatches(size_t slot, const uint8_t* key, size_t len,
+                   uint64_t hash) const {
+    const Entry& e = entries_[slot_id_[slot]];
+    return e.hash == hash && e.len == len &&
+           std::memcmp(arena_.data() + e.offset, key, len) == 0;
+  }
+
+  void Grow(size_t new_cap);
+
+  std::vector<uint8_t> ctrl_;
+  std::vector<uint32_t> slot_id_;
+  std::vector<Entry> entries_;
+  std::vector<uint8_t> arena_;
+  size_t cap_ = 0;
+};
+
+/// Map from an int64 key to a dense insertion-order id — the single
+/// integer group-key fast path (NULL keys use a caller-chosen sentinel).
+class FlatIntMap {
+ public:
+  void Reserve(size_t n);
+
+  /// Returns the id of `key`, assigning the next dense id when absent.
+  uint32_t FindOrInsert(int64_t key, bool* inserted);
+
+  size_t size() const { return keys_dense_.size(); }
+  int64_t KeyOf(uint32_t id) const { return keys_dense_[id]; }
+
+ private:
+  void Grow(size_t new_cap);
+
+  std::vector<uint8_t> ctrl_;
+  std::vector<int64_t> keys_;
+  std::vector<uint32_t> slot_id_;
+  std::vector<int64_t> keys_dense_;
+  size_t cap_ = 0;
+};
+
+}  // namespace dashdb

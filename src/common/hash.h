@@ -34,6 +34,34 @@ inline uint64_t HashString(std::string_view s) {
   return HashBytes(s.data(), s.size());
 }
 
+/// Word-at-a-time 64-bit hash (Murmur3-style block mixing) for hot hash
+/// table paths over serialized keys. Roughly 4x faster than HashBytes on
+/// 16-byte keys; NOT interchangeable with it — the HASH()/HASH4() scalar
+/// functions and the fault-injection seeds keep the FNV definition, this
+/// one is for tables whose hashes never leave the process.
+inline uint64_t HashBytesFast(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const uint64_t c1 = 0x87C37B91114253D5ull;
+  const uint64_t c2 = 0x4CF5AD432745937Full;
+  uint64_t h = 0x9E3779B97F4A7C15ull ^ len;
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t k;
+    std::memcpy(&k, p + i, 8);
+    k *= c1;
+    k = (k << 31) | (k >> 33);
+    k *= c2;
+    h ^= k;
+    h = ((h << 27) | (h >> 37)) * 5 + 0x52DCE729u;
+  }
+  uint64_t k = 0;
+  for (size_t j = len; j > i; --j) k = (k << 8) | p[j - 1];
+  k *= c1;
+  k = (k << 31) | (k >> 33);
+  k *= c2;
+  return HashInt64(h ^ k);
+}
+
 /// Combines two hashes (boost::hash_combine style, 64-bit).
 inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9E3779B97F4A7C15ull + (a << 12) + (a >> 4));

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -46,6 +47,40 @@ void AppendRowFrom(const RowBatch& src, size_t row, RowBatch* dst,
   for (size_t c = 0; c < src.columns.size(); ++c) {
     dst->columns[dst_col_offset + c].AppendFrom(src.columns[c], row);
   }
+}
+
+/// HashValue without the Value boxing: hashes cell r of a typed column
+/// vector, producing the same hash HashValue(cv.GetValue(r)) would.
+uint64_t HashCell(const ColumnVector& cv, size_t r) {
+  if (cv.IsNull(r)) return 0x9E3779B97F4A7C15ull;
+  switch (cv.type()) {
+    case TypeId::kVarchar:
+      return HashString(cv.GetString(r));
+    case TypeId::kDouble: {
+      double d = cv.GetDouble(r);
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      return HashInt64(bits);
+    }
+    default:
+      return HashInt64(static_cast<uint64_t>(cv.GetInt(r)));
+  }
+}
+
+/// Typed non-null cell equality mirroring Value::Compare(..) == 0 without
+/// materializing Values. Mixed varchar/non-varchar cells (not producible
+/// by the binder's equi-join typing, but legal for Value) fall back to the
+/// boxed comparison.
+bool CellsEqual(const ColumnVector& a, size_t i, const ColumnVector& b,
+                size_t j) {
+  const bool av = a.type() == TypeId::kVarchar;
+  const bool bv = b.type() == TypeId::kVarchar;
+  if (av && bv) return a.GetString(i) == b.GetString(j);
+  if (av != bv) return a.GetValue(i).Compare(b.GetValue(j)) == 0;
+  if (a.type() == TypeId::kDouble || b.type() == TypeId::kDouble) {
+    return a.GetDouble(i) == b.GetDouble(j);
+  }
+  return a.GetInt(i) == b.GetInt(j);
 }
 
 }  // namespace
@@ -278,6 +313,31 @@ Result<bool> ParallelColumnScanOp::NextImpl(RowBatch* out) {
   return false;
 }
 
+// --------------------------------------------------------- CountStarScan --
+
+CountStarScanOp::CountStarScanOp(std::shared_ptr<const ColumnTable> table,
+                                 std::vector<ColumnPredicate> preds,
+                                 ScanOptions opts, const std::string& out_name)
+    : table_(std::move(table)), preds_(std::move(preds)), opts_(opts) {
+  output_.push_back({out_name, TypeId::kInt64});
+}
+
+Status CountStarScanOp::OpenImpl() {
+  done_ = false;
+  stats_ = ScanStats{};
+  return Status::OK();
+}
+
+Result<bool> CountStarScanOp::NextImpl(RowBatch* out) {
+  if (done_) return false;
+  DASHDB_ASSIGN_OR_RETURN(size_t count,
+                          table_->CountRows(preds_, opts_, &stats_));
+  InitBatchFor(output_, out);
+  out->columns[0].AppendInt(static_cast<int64_t>(count));
+  done_ = true;
+  return true;
+}
+
 // --------------------------------------------------------------- RowScan --
 
 RowScanOp::RowScanOp(std::shared_ptr<const RowTable> table,
@@ -415,9 +475,8 @@ HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build,
 Status HashJoinOp::OpenImpl() {
   built_ = false;
   build_data_.columns.clear();
-  build_key_vals_.clear();
+  build_key_cols_.clear();
   partitions_.clear();
-  int_partitions_.clear();
   fast_int_ = false;
   DASHDB_RETURN_IF_ERROR(probe_->Open());
   return build_->Open();
@@ -452,7 +511,6 @@ Status HashJoinOp::BuildSide() {
       fast_int_ = true;
       probe_key_col_ = pk->index();
       build_key_col_ = bk->index();
-      int_partitions_.resize(nparts);
     }
   }
   // Drain the build side first: cardinality is then known before any hash
@@ -469,15 +527,20 @@ Status HashJoinOp::BuildSide() {
     }
   }
   const size_t n = build_data_.num_rows();
-  const size_t per_part = n / static_cast<size_t>(nparts) + 1;
-  if (fast_int_) {
-    for (auto& p : int_partitions_) p.table.reserve(per_part);
-  } else {
-    for (auto& p : partitions_) p.table.reserve(per_part);
-    build_key_vals_.resize(n);
-  }
   built_ = true;
   if (n == 0) return Status::OK();
+
+  // Generic path: evaluate every build key column once over the drained
+  // batch. The per-row std::vector<Value> materialization the old table
+  // layout needed is gone — equality checks read the columns directly.
+  if (!fast_int_) {
+    build_key_cols_.reserve(build_keys_.size());
+    for (const auto& k : build_keys_) {
+      DASHDB_ASSIGN_OR_RETURN(ColumnVector cv,
+                              k->Evaluate(build_data_, *ctx_));
+      build_key_cols_.push_back(std::move(cv));
+    }
+  }
 
   const bool parallel = ParallelBuildEligible(n);
   auto run = [&](size_t count, const std::function<void(size_t)>& f) {
@@ -488,11 +551,11 @@ Status HashJoinOp::BuildSide() {
     }
   };
 
-  // Phase 1 — per-row partition assignment (rows are independent): key
-  // evaluation, hashing, and the radix digit. -1 marks NULL keys, which
-  // never join and stay out of the tables.
+  // Phase 1 — per-row partition assignment (rows are independent): hashing
+  // and the radix digit. -1 marks NULL keys, which never join and stay out
+  // of the tables. Hashes are kept for the flat tables and Bloom filters.
   std::vector<int32_t> part_of(n);
-  std::vector<uint64_t> hash_of;
+  std::vector<uint64_t> hash_of(n);
   const ColumnVector* key_col =
       fast_int_ ? &build_data_.columns[build_key_col_] : nullptr;
   if (fast_int_) {
@@ -502,31 +565,18 @@ Status HashJoinOp::BuildSide() {
         return;
       }
       uint64_t h = HashInt64(static_cast<uint64_t>(key_col->GetInt(r)));
+      hash_of[r] = h;
       part_of[r] =
           partitioned_ ? static_cast<int32_t>((h >> 32) & (nparts - 1)) : 0;
     });
   } else {
-    hash_of.resize(n);
-    Status first_error;
-    std::mutex err_mu;
     run(n, [&](size_t r) {
-      std::vector<Value> keys;
-      keys.reserve(build_keys_.size());
       uint64_t h = 0;
       bool has_null = false;
-      for (const auto& k : build_keys_) {
-        Result<Value> v = k->EvaluateRow(build_data_, r, *ctx_);
-        if (!v.ok()) {
-          std::lock_guard<std::mutex> lk(err_mu);
-          if (first_error.ok()) first_error = v.status();
-          part_of[r] = -1;
-          return;
-        }
-        has_null |= v->is_null();
-        h = HashCombine(h, HashValue(*v));
-        keys.push_back(std::move(*v));
+      for (const auto& kc : build_key_cols_) {
+        has_null |= kc.IsNull(r);
+        h = HashCombine(h, HashCell(kc, r));
       }
-      build_key_vals_[r] = std::move(keys);
       hash_of[r] = h;
       part_of[r] =
           has_null
@@ -534,7 +584,6 @@ Status HashJoinOp::BuildSide() {
               : (partitioned_ ? static_cast<int32_t>((h >> 32) & (nparts - 1))
                               : 0);
     });
-    DASHDB_RETURN_IF_ERROR(first_error);
   }
 
   // Phase 2 — counting sort of row ids by partition (serial, O(n)).
@@ -554,26 +603,31 @@ Status HashJoinOp::BuildSide() {
   // Phase 3 — per-partition table construction: the radix partitions are
   // independent, so they fan out across the pool. Rows insert in ascending
   // row order within each partition — the same sequence the serial build
-  // used — so equal_range chains (and join output order) are unchanged.
+  // used — so duplicate chains (and join output order) are unchanged.
   run(static_cast<size_t>(nparts), [&](size_t p) {
+    Partition& part = partitions_[p];
+    const size_t rows_in_p = offsets[p + 1] - offsets[p];
+    part.table.Reserve(rows_in_p);
+    part.bloom.Init(rows_in_p);
     for (uint32_t idx = offsets[p]; idx < offsets[p + 1]; ++idx) {
       uint32_t r = rows[idx];
-      if (fast_int_) {
-        int_partitions_[p].table.emplace(key_col->GetInt(r), r);
-      } else {
-        partitions_[p].table.emplace(hash_of[r], r);
-      }
+      uint64_t key = fast_int_
+                         ? static_cast<uint64_t>(key_col->GetInt(r))
+                         : hash_of[r];
+      part.table.Insert(key, hash_of[r], r);
+      part.bloom.Add(hash_of[r]);
     }
   });
   return Status::OK();
 }
 
-bool HashJoinOp::KeysEqual(const RowBatch&, size_t, uint32_t build_row,
-                           const std::vector<Value>& probe_key_vals) const {
-  const std::vector<Value>& bk = build_key_vals_[build_row];
-  for (size_t i = 0; i < bk.size(); ++i) {
-    if (bk[i].is_null() || probe_key_vals[i].is_null()) return false;
-    if (bk[i].Compare(probe_key_vals[i]) != 0) return false;
+bool HashJoinOp::KeysEqual(const std::vector<ColumnVector>& probe_key_cols,
+                           size_t probe_row, uint32_t build_row) const {
+  for (size_t i = 0; i < build_key_cols_.size(); ++i) {
+    const ColumnVector& pc = probe_key_cols[i];
+    const ColumnVector& bc = build_key_cols_[i];
+    if (pc.IsNull(probe_row) || bc.IsNull(build_row)) return false;
+    if (!CellsEqual(pc, probe_row, bc, build_row)) return false;
   }
   return true;
 }
@@ -582,65 +636,78 @@ Result<bool> HashJoinOp::NextImpl(RowBatch* out) {
   if (!built_) DASHDB_RETURN_IF_ERROR(BuildSide());
   const int nparts = partitioned_ ? (1 << kPartitionBits) : 1;
   RowBatch in;
+  std::vector<ColumnVector> probe_key_cols;
+  std::vector<uint64_t> probe_hash;
+  std::vector<uint8_t> probe_null;
   for (;;) {
     DASHDB_ASSIGN_OR_RETURN(bool more, probe_->Next(&in));
     if (!more) return false;
     InitBatchFor(output_, out);
     const size_t probe_cols = in.columns.size();
+    const size_t nrows = in.num_rows();
+
+    // Vectorized probe prologue: evaluate the key expressions once per
+    // batch and hash every key column in one column-major pass, instead of
+    // boxing a std::vector<Value> per probe row.
+    probe_hash.assign(nrows, 0);
+    probe_null.assign(nrows, 0);
     if (fast_int_) {
       const ColumnVector& kc = in.columns[probe_key_col_];
-      for (size_t r = 0; r < in.num_rows(); ++r) {
-        bool matched = false;
-        if (!kc.IsNull(r)) {
-          int64_t k = kc.GetInt(r);
-          int part =
-              partitioned_
-                  ? static_cast<int>((HashInt64(static_cast<uint64_t>(k))
-                                      >> 32) & (nparts - 1))
-                  : 0;
-          auto [b, e] = int_partitions_[part].table.equal_range(k);
-          for (auto it = b; it != e; ++it) {
+      for (size_t r = 0; r < nrows; ++r) {
+        if (kc.IsNull(r)) {
+          probe_null[r] = 1;
+        } else {
+          probe_hash[r] = HashInt64(static_cast<uint64_t>(kc.GetInt(r)));
+        }
+      }
+    } else {
+      probe_key_cols.clear();
+      probe_key_cols.reserve(probe_keys_.size());
+      for (const auto& k : probe_keys_) {
+        DASHDB_ASSIGN_OR_RETURN(ColumnVector cv, k->Evaluate(in, *ctx_));
+        probe_key_cols.push_back(std::move(cv));
+      }
+      for (const auto& kc : probe_key_cols) {
+        for (size_t r = 0; r < nrows; ++r) {
+          probe_null[r] |= kc.IsNull(r) ? 1 : 0;
+          probe_hash[r] = HashCombine(probe_hash[r], HashCell(kc, r));
+        }
+      }
+    }
+
+    const ColumnVector* fast_kc =
+        fast_int_ ? &in.columns[probe_key_col_] : nullptr;
+    constexpr size_t kPrefetchDist = 8;
+    for (size_t r = 0; r < nrows; ++r) {
+      // Overlap the next rows' filter-word and slot misses with this
+      // row's work; all addresses derive from the already-batched hashes.
+      if (r + kPrefetchDist < nrows && !probe_null[r + kPrefetchDist]) {
+        const uint64_t ph = probe_hash[r + kPrefetchDist];
+        const Partition& pp =
+            partitions_[partitioned_ ? (ph >> 32) & (nparts - 1) : 0];
+        pp.bloom.Prefetch(ph);
+        pp.table.Prefetch(ph);
+      }
+      bool matched = false;
+      if (!probe_null[r]) {
+        const uint64_t h = probe_hash[r];
+        const Partition& part =
+            partitions_[partitioned_ ? (h >> 32) & (nparts - 1) : 0];
+        // Bloom prefilter: most probe misses reject on one or two cache
+        // lines of filter words without ever touching the table.
+        if (part.bloom.MayContain(h)) {
+          const uint64_t key =
+              fast_int_ ? static_cast<uint64_t>(fast_kc->GetInt(r)) : h;
+          for (int32_t cur = part.table.Find(key, h);
+               cur != FlatJoinIndex::kNone; cur = part.table.Next(cur)) {
+            const uint32_t brow = part.table.Row(cur);
+            if (!fast_int_ && !KeysEqual(probe_key_cols, r, brow)) continue;
             matched = true;
             AppendRowFrom(in, r, out);
             for (size_t c = 0; c < build_data_.columns.size(); ++c) {
               out->columns[probe_cols + c].AppendFrom(build_data_.columns[c],
-                                                      it->second);
+                                                      brow);
             }
-          }
-        }
-        if (!matched && type_ == JoinType::kLeft) {
-          AppendRowFrom(in, r, out);
-          for (size_t c = 0; c < build_data_.columns.size(); ++c) {
-            out->columns[probe_cols + c].AppendNull();
-          }
-        }
-      }
-      if (out->num_rows() > 0) return true;
-      continue;
-    }
-    for (size_t r = 0; r < in.num_rows(); ++r) {
-      std::vector<Value> keys;
-      keys.reserve(probe_keys_.size());
-      uint64_t h = 0;
-      bool has_null = false;
-      for (const auto& k : probe_keys_) {
-        DASHDB_ASSIGN_OR_RETURN(Value v, k->EvaluateRow(in, r, *ctx_));
-        has_null |= v.is_null();
-        h = HashCombine(h, HashValue(v));
-        keys.push_back(std::move(v));
-      }
-      bool matched = false;
-      if (!has_null) {
-        const Partition& part =
-            partitions_[partitioned_ ? (h >> 32) & (nparts - 1) : 0];
-        auto [b, e] = part.table.equal_range(h);
-        for (auto it = b; it != e; ++it) {
-          if (!KeysEqual(in, r, it->second, keys)) continue;
-          matched = true;
-          AppendRowFrom(in, r, out);
-          for (size_t c = 0; c < build_data_.columns.size(); ++c) {
-            out->columns[probe_cols + c].AppendFrom(build_data_.columns[c],
-                                                    it->second);
           }
         }
       }
@@ -723,22 +790,93 @@ Result<bool> NestedLoopJoinOp::NextImpl(RowBatch* out) {
 // --------------------------------------------------------------- HashAgg --
 
 namespace {
-struct GroupKey {
-  std::vector<Value> vals;
-  uint64_t hash = 0;
-  bool operator==(const GroupKey& o) const {
-    if (vals.size() != o.vals.size()) return false;
-    for (size_t i = 0; i < vals.size(); ++i) {
-      bool n1 = vals[i].is_null(), n2 = o.vals[i].is_null();
-      if (n1 != n2) return false;
-      if (!n1 && vals[i].Compare(o.vals[i]) != 0) return false;
-    }
-    return true;
+// Group keys are serialized to a canonical byte string and interned in a
+// FlatKeyIndex (arena-backed), replacing the per-group std::vector<Value>
+// boxing. The encoding is one tagged cell per group column:
+//   0x00                  NULL (no payload)
+//   0x01 + 8B int64       integer-backed types (BOOL/INT/DATE/TS/DECIMAL)
+//   0x02 + 8B double      DOUBLE (-0.0 and NaN canonicalized so equal keys
+//                         serialize identically)
+//   0x03 + u32 len + data VARCHAR
+// Cells serialize from the expression's output type, so the column fast
+// path and the row-at-a-time slow path produce identical bytes.
+constexpr uint8_t kKeyTagNull = 0x00;
+constexpr uint8_t kKeyTagInt = 0x01;
+constexpr uint8_t kKeyTagDouble = 0x02;
+constexpr uint8_t kKeyTagString = 0x03;
+
+void SerializeCell(const ColumnVector& cv, size_t r, std::string* out) {
+  if (cv.IsNull(r)) {
+    out->push_back(static_cast<char>(kKeyTagNull));
+    return;
   }
-};
-struct GroupKeyHash {
-  size_t operator()(const GroupKey& k) const { return k.hash; }
-};
+  char buf[8];
+  switch (cv.type()) {
+    case TypeId::kVarchar: {
+      const std::string& s = cv.GetString(r);
+      out->push_back(static_cast<char>(kKeyTagString));
+      uint32_t len = static_cast<uint32_t>(s.size());
+      std::memcpy(buf, &len, 4);
+      out->append(buf, 4);
+      out->append(s);
+      return;
+    }
+    case TypeId::kDouble: {
+      double d = cv.GetDouble(r);
+      if (d == 0.0) d = 0.0;                                  // -0.0 -> +0.0
+      if (d != d) d = std::numeric_limits<double>::quiet_NaN();  // one NaN
+      out->push_back(static_cast<char>(kKeyTagDouble));
+      std::memcpy(buf, &d, 8);
+      out->append(buf, 8);
+      return;
+    }
+    default: {
+      int64_t v = cv.GetInt(r);
+      out->push_back(static_cast<char>(kKeyTagInt));
+      std::memcpy(buf, &v, 8);
+      out->append(buf, 8);
+      return;
+    }
+  }
+}
+
+/// Decodes a serialized group key back into the first `ncols` columns of
+/// `out` (which are typed by the grouping expressions' output types).
+void AppendSerializedKey(const uint8_t* p, size_t len, size_t ncols,
+                         RowBatch* out) {
+  const uint8_t* end = p + len;
+  for (size_t c = 0; c < ncols && p < end; ++c) {
+    ColumnVector& cv = out->columns[c];
+    uint8_t tag = *p++;
+    switch (tag) {
+      case kKeyTagNull:
+        cv.AppendNull();
+        break;
+      case kKeyTagInt: {
+        int64_t v;
+        std::memcpy(&v, p, 8);
+        p += 8;
+        cv.AppendInt(v);
+        break;
+      }
+      case kKeyTagDouble: {
+        double d;
+        std::memcpy(&d, p, 8);
+        p += 8;
+        cv.AppendDouble(d);
+        break;
+      }
+      default: {  // kKeyTagString
+        uint32_t slen;
+        std::memcpy(&slen, p, 4);
+        p += 4;
+        cv.AppendString(std::string(reinterpret_cast<const char*>(p), slen));
+        p += slen;
+        break;
+      }
+    }
+  }
+}
 }  // namespace
 
 HashAggOp::HashAggOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
@@ -781,8 +919,6 @@ bool HashAggOp::ParallelEligible() const {
 }
 
 Status HashAggOp::Materialize() {
-  using GroupMap =
-      std::unordered_map<GroupKey, std::vector<AggState>, GroupKeyHash>;
   // Fast path: when every group key and aggregate argument is a plain
   // column reference, rows are consumed straight from the typed column
   // vectors — no per-row expression evaluation, no per-row Value vectors.
@@ -819,11 +955,17 @@ Status HashAggOp::Materialize() {
       group_exprs_[0]->out_type() != TypeId::kVarchar &&
       group_exprs_[0]->out_type() != TypeId::kDouble;
   // A partial aggregation table. The serial path uses one; the parallel
-  // path gives each pool worker its own and merges them afterwards.
+  // path gives each pool worker its own and merges them afterwards. Group
+  // keys live in a FlatKeyIndex (serialized bytes in a single arena);
+  // states are addressed by the index's dense insertion-order ids. The
+  // single-int-key path keys a FlatIntMap on the raw int64 instead and is
+  // flattened into the byte index before merge/output.
   struct AggPartial {
-    GroupMap groups;
-    std::unordered_map<int64_t, std::vector<AggState>> int_groups;
-    std::unordered_map<int64_t, bool> int_group_null;  // NULL key sentinel
+    FlatKeyIndex index;
+    FlatIntMap int_index;
+    std::vector<uint8_t> int_null;  // NULL-sentinel flag per int_index id
+    std::vector<std::vector<AggState>> states;
+    std::string scratch;
   };
   AggPartial root;
 
@@ -879,53 +1021,63 @@ Status HashAggOp::Materialize() {
         // tracked separately from the value domain.
         bool is_null = kc.IsNull(r);
         int64_t k = is_null ? INT64_MIN + 1 : kc.GetInt(r);
-        auto it = P.int_groups.find(k);
-        if (it == P.int_groups.end()) {
-          it = P.int_groups.emplace(k, new_states()).first;
-          P.int_group_null[k] = is_null;
+        bool inserted = false;
+        uint32_t id = P.int_index.FindOrInsert(k, &inserted);
+        if (inserted) {
+          P.states.push_back(new_states());
+          P.int_null.push_back(is_null ? 1 : 0);
         }
-        feed(it->second, r);
+        feed(P.states[id], r);
       }
     } else {
       for (size_t r = 0; r < n; ++r) {
-        GroupKey key;
-        key.vals.reserve(group_cols.size());
-        for (int c : group_cols) {
-          Value v = in.columns[c].GetValue(r);
-          key.hash = HashCombine(key.hash, HashValue(v));
-          key.vals.push_back(std::move(v));
-        }
-        auto it = P.groups.find(key);
-        if (it == P.groups.end()) {
-          it = P.groups.emplace(std::move(key), new_states()).first;
-        }
-        feed(it->second, r);
+        P.scratch.clear();
+        for (int c : group_cols) SerializeCell(in.columns[c], r, &P.scratch);
+        uint64_t h = HashBytesFast(P.scratch.data(), P.scratch.size());
+        bool inserted = false;
+        uint32_t id = P.index.FindOrInsert(
+            reinterpret_cast<const uint8_t*>(P.scratch.data()),
+            P.scratch.size(), h, &inserted);
+        if (inserted) P.states.push_back(new_states());
+        feed(P.states[id], r);
       }
     }
   };
 
-  // Moves a partial's single-int-key groups into its generic map (the
-  // output and merge paths speak GroupKey).
-  TypeId key_type =
-      group_exprs_.empty() ? TypeId::kInt64 : group_exprs_[0]->out_type();
+  // Moves a partial's single-int-key groups into its byte-key index (the
+  // merge and output paths speak serialized keys). Keys are distinct, so
+  // the dense ids — and with them the states addressing — are preserved.
   auto flatten_int_groups = [&](AggPartial& P) {
-    for (auto& [k, states] : P.int_groups) {
-      GroupKey key;
-      Value v = P.int_group_null[k] ? Value::Null(key_type)
-                                    : *Value::Int64(k).CastTo(key_type);
-      key.hash = HashCombine(0, HashValue(v));
-      key.vals.push_back(std::move(v));
-      P.groups.emplace(std::move(key), std::move(states));
+    for (uint32_t g = 0; g < P.int_index.size(); ++g) {
+      P.scratch.clear();
+      if (P.int_null[g]) {
+        P.scratch.push_back(static_cast<char>(kKeyTagNull));
+      } else {
+        char buf[8];
+        int64_t k = P.int_index.KeyOf(g);
+        P.scratch.push_back(static_cast<char>(kKeyTagInt));
+        std::memcpy(buf, &k, 8);
+        P.scratch.append(buf, 8);
+      }
+      uint64_t h = HashBytesFast(P.scratch.data(), P.scratch.size());
+      bool inserted = false;
+      P.index.FindOrInsert(
+          reinterpret_cast<const uint8_t*>(P.scratch.data()),
+          P.scratch.size(), h, &inserted);
     }
-    P.int_groups.clear();
-    P.int_group_null.clear();
   };
 
   // The parallel path additionally requires the fast path: slow-path rows
   // go through expression evaluation, which can fail and is not guaranteed
   // re-entrant across workers.
   const bool parallel = fast && ParallelEligible();
-  std::vector<GroupMap> out_maps;
+  // Final groups land here: index g in each shard addresses both the
+  // serialized key (index) and the agg states.
+  struct Shard {
+    FlatKeyIndex index;
+    std::vector<std::vector<AggState>> states;
+  };
+  std::vector<Shard> out_shards;
   if (!parallel) {
     RowBatch in;
     for (;;) {
@@ -935,19 +1087,25 @@ Status HashAggOp::Materialize() {
         consume_fast(in, root);
         continue;
       }
+      // Slow path: evaluate the grouping expressions once per batch into
+      // typed columns, then serialize keys from those columns per row.
       const size_t n = in.num_rows();
+      std::vector<ColumnVector> gcols;
+      gcols.reserve(group_exprs_.size());
+      for (const auto& g : group_exprs_) {
+        DASHDB_ASSIGN_OR_RETURN(ColumnVector cv, g->Evaluate(in, *ctx_));
+        gcols.push_back(std::move(cv));
+      }
       for (size_t r = 0; r < n; ++r) {
-        GroupKey key;
-        key.vals.reserve(group_exprs_.size());
-        for (const auto& g : group_exprs_) {
-          DASHDB_ASSIGN_OR_RETURN(Value v, g->EvaluateRow(in, r, *ctx_));
-          key.hash = HashCombine(key.hash, HashValue(v));
-          key.vals.push_back(std::move(v));
-        }
-        auto it = root.groups.find(key);
-        if (it == root.groups.end()) {
-          it = root.groups.emplace(std::move(key), new_states()).first;
-        }
+        root.scratch.clear();
+        for (const auto& gc : gcols) SerializeCell(gc, r, &root.scratch);
+        uint64_t h = HashBytesFast(root.scratch.data(), root.scratch.size());
+        bool inserted = false;
+        uint32_t id = root.index.FindOrInsert(
+            reinterpret_cast<const uint8_t*>(root.scratch.data()),
+            root.scratch.size(), h, &inserted);
+        if (inserted) root.states.push_back(new_states());
+        std::vector<AggState>& states = root.states[id];
         for (size_t a = 0; a < aggs_.size(); ++a) {
           Value v1 = Value::Null(TypeId::kInt64);
           Value v2 = Value::Null(TypeId::kInt64);
@@ -959,12 +1117,14 @@ Status HashAggOp::Materialize() {
             DASHDB_ASSIGN_OR_RETURN(v2,
                                     aggs_[a].arg2->EvaluateRow(in, r, *ctx_));
           }
-          it->second[a].Add(v1, v2);
+          states[a].Add(v1, v2);
         }
       }
     }
-    flatten_int_groups(root);
-    out_maps.push_back(std::move(root.groups));
+    if (single_int_key) flatten_int_groups(root);
+    out_shards.emplace_back();
+    out_shards[0].index = std::move(root.index);
+    out_shards[0].states = std::move(root.states);
   } else {
     // Morsel-driven parallel aggregation (paper II.B.7): drain the child's
     // batches as morsels, fan them out over the pool building thread-local
@@ -998,51 +1158,56 @@ Status HashAggOp::Materialize() {
           consume_fast(morsels[i], *P);
         },
         ctx_->dop);
-    for (auto& P : partials) flatten_int_groups(P);
+    if (single_int_key) {
+      for (auto& P : partials) flatten_int_groups(P);
+    }
     // Hash-partitioned merge: shard m owns the keys with hash % M == m, so
-    // shards build concurrently without locks — each partial-map node is
-    // read (and its value moved) by exactly one shard.
+    // shards build concurrently without locks — each partial group is read
+    // (and its states moved) by exactly one shard.
     const size_t M = std::max<size_t>(1, static_cast<size_t>(ctx_->dop));
-    std::vector<GroupMap> shards(M);
+    std::vector<Shard> shards(M);
     ctx_->pool->ParallelFor(
         M,
         [&](size_t m) {
-          GroupMap& shard = shards[m];
+          Shard& shard = shards[m];
           for (auto& P : partials) {
-            for (auto& kv : P.groups) {
-              if (kv.first.hash % M != m) continue;
-              auto it = shard.find(kv.first);
-              if (it == shard.end()) {
-                shard.emplace(kv.first, std::move(kv.second));
+            for (uint32_t g = 0; g < P.index.size(); ++g) {
+              uint64_t h = P.index.HashOf(g);
+              if (h % M != m) continue;
+              bool inserted = false;
+              uint32_t id = shard.index.FindOrInsert(
+                  P.index.KeyData(g), P.index.KeyLen(g), h, &inserted);
+              if (inserted) {
+                shard.states.push_back(std::move(P.states[g]));
               } else {
                 for (size_t a = 0; a < aggs_.size(); ++a) {
-                  it->second[a].Merge(kv.second[a]);
+                  shard.states[id][a].Merge(P.states[g][a]);
                 }
               }
             }
           }
         },
         ctx_->dop);
-    out_maps = std::move(shards);
+    out_shards = std::move(shards);
   }
 
   // Global aggregation with no groups must yield one row even on empty input.
   InitBatchFor(output_, &result_);
+  const size_t ngroups = group_exprs_.size();
   size_t total_groups = 0;
-  for (const auto& m : out_maps) total_groups += m.size();
+  for (const auto& s : out_shards) total_groups += s.index.size();
   if (total_groups == 0 && group_exprs_.empty()) {
     std::vector<AggState> states = new_states();
     for (size_t a = 0; a < aggs_.size(); ++a) {
       result_.columns[a].AppendValue(states[a].Finish());
     }
   } else {
-    for (const auto& m : out_maps) {
-      for (const auto& [key, states] : m) {
-        for (size_t g = 0; g < key.vals.size(); ++g) {
-          result_.columns[g].AppendValue(key.vals[g]);
-        }
-        for (size_t a = 0; a < states.size(); ++a) {
-          result_.columns[key.vals.size() + a].AppendValue(states[a].Finish());
+    for (auto& s : out_shards) {
+      for (uint32_t g = 0; g < s.index.size(); ++g) {
+        AppendSerializedKey(s.index.KeyData(g), s.index.KeyLen(g), ngroups,
+                            &result_);
+        for (size_t a = 0; a < s.states[g].size(); ++a) {
+          result_.columns[ngroups + a].AppendValue(s.states[g][a].Finish());
         }
       }
     }

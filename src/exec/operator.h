@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/column_vector.h"
+#include "common/flat_hash.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "exec/agg.h"
@@ -261,8 +262,13 @@ class HashJoinOp : public Operator {
   static constexpr int kPartitionBits = 6;  // 64 cache-sized partitions
   /// Below this build cardinality the fan-out overhead beats the win.
   static constexpr size_t kParallelBuildMinRows = 4096;
+  /// One cache-sized radix partition: a flat open-addressing multimap from
+  /// the 64-bit key (combined key hash, or the raw int64 on the fast-int
+  /// path) to the build-row chain, fronted by a Bloom-style prefilter so
+  /// probe misses reject without touching the table.
   struct Partition {
-    std::unordered_multimap<uint64_t, uint32_t> table;  // hash -> build row
+    FlatJoinIndex table;
+    BloomPrefilter bloom;
   };
 
   /// Whether this build runs on the pool (needs the context's pool, a
@@ -271,9 +277,10 @@ class HashJoinOp : public Operator {
   bool ParallelBuildEligible(size_t build_rows) const;
 
   Status BuildSide();
-  bool KeysEqual(const RowBatch& probe_batch, size_t probe_row,
-                 uint32_t build_row, const std::vector<Value>& probe_key_vals)
-      const;
+  /// Typed equality of the probe row's key cells against the build row's
+  /// (hash-equal candidates only; never allocates).
+  bool KeysEqual(const std::vector<ColumnVector>& probe_key_cols,
+                 size_t probe_row, uint32_t build_row) const;
 
   OperatorPtr probe_, build_;
   std::vector<ExprPtr> probe_keys_, build_keys_;
@@ -281,17 +288,15 @@ class HashJoinOp : public Operator {
   const ExecContext* ctx_;
   bool partitioned_;
   RowBatch build_data_;
-  std::vector<std::vector<Value>> build_key_vals_;
+  /// Build-side key columns, batch-evaluated once over build_data_
+  /// (generic path; the fast-int path reads build_data_ directly).
+  std::vector<ColumnVector> build_key_cols_;
   std::vector<Partition> partitions_;
   bool built_ = false;
   /// Fast path: single integer-backed column-ref key on both sides keys
   /// the partition tables directly on the int64 value.
   bool fast_int_ = false;
   int probe_key_col_ = -1, build_key_col_ = -1;
-  struct IntPartition {
-    std::unordered_multimap<int64_t, uint32_t> table;
-  };
-  std::vector<IntPartition> int_partitions_;
 };
 
 /// Cross / non-equi nested-loop join (small inputs: DUAL, dimension
@@ -345,6 +350,32 @@ class HashAggOp : public Operator {
   RowBatch result_;
   bool done_ = false;
   bool materialized_ = false;
+};
+
+/// SELECT COUNT(*) fast path over one column table with pushed-down
+/// predicates (paper II.B.6, "counting without materialization"): the
+/// count comes from the storage layer's code-domain population counts
+/// (SwarCount over packed codes), with no match bitmap and no decode.
+class CountStarScanOp : public Operator {
+ public:
+  CountStarScanOp(std::shared_ptr<const ColumnTable> table,
+                  std::vector<ColumnPredicate> preds, ScanOptions opts,
+                  const std::string& out_name);
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
+  const ScanStats& stats() const { return stats_; }
+
+  std::string label() const override {
+    return "CountStarScan(" + table_->schema().QualifiedName() +
+           " preds=" + std::to_string(preds_.size()) + ")";
+  }
+
+ private:
+  std::shared_ptr<const ColumnTable> table_;
+  std::vector<ColumnPredicate> preds_;
+  ScanOptions opts_;
+  bool done_ = false;
+  ScanStats stats_;
 };
 
 /// One sort key.

@@ -568,6 +568,15 @@ void CollectColumnRefs(const ExprP& e, std::vector<const ast::Expr*>* out) {
   if (e->else_branch) CollectColumnRefs(e->else_branch, out);
 }
 
+/// True for a COUNT(*) call with no DISTINCT — the only aggregate shape
+/// the metadata/SWAR count fast path can answer.
+bool IsBareCountStar(const ast::Expr& e) {
+  if (e.kind != ExprKind::kFuncCall || e.distinct_arg) return false;
+  AggKind k;
+  if (!AggKindFromName(e.name, &k) || k != AggKind::kCount) return false;
+  return e.children.size() == 1 && e.children[0]->kind == ExprKind::kStar;
+}
+
 class SelectBinder {
  public:
   SelectBinder(Binder* binder) : b_(binder) {}
@@ -665,6 +674,30 @@ class SelectBinder {
           continue;
         }
         residual.push_back(conj);
+      }
+
+      // Fast COUNT(*) path: a bare COUNT(*) over one column table whose
+      // WHERE fully pushed down bypasses scan + aggregate operators — the
+      // count comes straight off the packed page codes (SwarCount), with
+      // no match bitmap and no decode.
+      if (stmt.from.size() == 1 && col_tables[0] && !pending[0] &&
+          residual.empty() && join_pool.empty() && rownum_limit < 0 &&
+          !has_outer && stmt.group_by.empty() && !stmt.having &&
+          !stmt.connect_by && !stmt.start_with && !stmt.distinct &&
+          stmt.order_by.empty() && stmt.limit < 0 && stmt.offset == 0 &&
+          stmt.items.size() == 1 && IsBareCountStar(*stmt.items[0].expr)) {
+        const std::string name = !stmt.items[0].alias.empty()
+                                     ? stmt.items[0].alias
+                                     : stmt.items[0].expr->name;
+        auto count_scan = std::make_unique<CountStarScanOp>(
+            col_tables[0], pushdown[0], b_->options().scan, name);
+        std::vector<ExprPtr> exprs;
+        exprs.push_back(
+            std::make_shared<ColumnRefExpr>(0, TypeId::kInt64, name));
+        OperatorPtr plan = std::make_unique<ProjectOp>(
+            std::move(count_scan), std::move(exprs),
+            std::vector<std::string>{name}, &b_->session()->exec_ctx());
+        return plan;
       }
 
       // Projection pruning (paper II.B.3: "only active columns of interest

@@ -324,6 +324,80 @@ void EvalIntRange(const ColumnPage& page, const IntFrequencyDict* dict,
   }
 }
 
+namespace {
+
+/// Rows of `arr[0..n)` whose code lies in the inclusive band [lo, hi].
+size_t CountBand(const BitPackedArray& arr, size_t n, uint64_t lo,
+                 uint64_t hi) {
+  size_t le_hi = SwarCount(arr, n, CmpOp::kLe, hi);
+  size_t lt_lo = lo == 0 ? 0 : SwarCount(arr, n, CmpOp::kLt, lo);
+  return le_hi - lt_lo;
+}
+
+}  // namespace
+
+size_t CountIntRange(const ColumnPage& page, const IntFrequencyDict* dict,
+                     const IntRangePred& pred) {
+  const int64_t* lo = pred.lo ? &*pred.lo : nullptr;
+  const int64_t* hi = pred.hi ? &*pred.hi : nullptr;
+  size_t count = 0;
+  switch (page.encoding) {
+    case PageEncoding::kFrequencyInt: {
+      // Cells contain neither NULLs nor exceptions, so band counts need no
+      // code-0 correction here.
+      for (const auto& cell : page.cells) {
+        CodeRange r = dict->RangeFor(cell.partition, lo, pred.lo_incl, hi,
+                                     pred.hi_incl);
+        if (r.empty()) continue;
+        const size_t cn = cell.codes.size();
+        if (r.lo == 0 && r.hi + 1 >= dict->partition_size(cell.partition)) {
+          count += cn;  // whole partition qualifies: metadata-only count
+        } else {
+          count += CountBand(cell.codes, cn, r.lo, r.hi);
+        }
+      }
+      for (size_t i = 0; i < page.exc_ints.size(); ++i) {
+        if (InIntRange(page.exc_ints[i], pred)) ++count;
+      }
+      break;
+    }
+    case PageEncoding::kDictInt: {
+      CodeRange r = dict->RangeFor(0, lo, pred.lo_incl, hi, pred.hi_incl);
+      if (!r.empty()) {
+        count += CountBand(page.ordered_codes, page.num_rows, r.lo, r.hi);
+        if (r.lo == 0) {
+          // NULLs and exceptions were stored as code 0 and got counted.
+          if (page.has_nulls) count -= page.nulls.CountSet();
+          count -= page.exc_offsets.size();
+        }
+      }
+      for (size_t i = 0; i < page.exc_ints.size(); ++i) {
+        if (InIntRange(page.exc_ints[i], pred)) ++count;
+      }
+      break;
+    }
+    case PageEncoding::kFor: {
+      auto r = ForRangeFor(page.fo, lo, pred.lo_incl, hi, pred.hi_incl);
+      if (!r) break;
+      count += CountBand(page.fo.codes, page.num_rows, r->lo, r->hi);
+      if (r->lo == 0 && page.has_nulls) {
+        count -= page.nulls.CountSet();  // NULLs were stored as code 0
+      }
+      break;
+    }
+    case PageEncoding::kRawInt: {
+      for (size_t i = 0; i < page.num_rows; ++i) {
+        if (page.has_nulls && page.nulls.Get(i)) continue;
+        if (InIntRange(page.raw_ints[i], pred)) ++count;
+      }
+      break;
+    }
+    default:
+      assert(false && "CountIntRange on non-integer page");
+  }
+  return count;
+}
+
 void EvalStringRange(const ColumnPage& page, const StringFrequencyDict* dict,
                      const StrRangePred& pred, bool use_swar,
                      bool on_compressed, BitVector* out) {

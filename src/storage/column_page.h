@@ -122,6 +122,15 @@ void EvalIntRange(const ColumnPage& page, const IntFrequencyDict* dict,
                   const IntRangePred& pred, bool use_swar, bool on_compressed,
                   BitVector* out);
 
+/// Counts the rows of an integer-domain page matching `pred` without
+/// materializing a match bitmap: code-domain bands are counted with
+/// SwarCount and code-0 aliasing (NULLs, dict exceptions) is corrected
+/// arithmetically. Supports kFrequencyInt/kDictInt/kFor/kRawInt pages;
+/// deleted rows are NOT accounted for (the caller must ensure the page has
+/// none or fall back to a bitmap scan).
+size_t CountIntRange(const ColumnPage& page, const IntFrequencyDict* dict,
+                     const IntRangePred& pred);
+
 /// Same for VARCHAR pages.
 void EvalStringRange(const ColumnPage& page, const StringFrequencyDict* dict,
                      const StrRangePred& pred, bool use_swar,

@@ -115,9 +115,14 @@ class ColumnTable : public StorageObject {
                   RowBatch* out, std::vector<uint64_t>* ids,
                   ScanStats* stats = nullptr) const;
 
-  /// Fast COUNT(*) with predicates (no materialization).
+  /// Fast COUNT(*) with predicates: zero predicates count from page-row
+  /// metadata; a single predicate on an integer-backed column counts
+  /// straight off the packed codes via SwarCount (no bitmap, no decode)
+  /// when the scan options allow SWAR-on-compressed and the page holds no
+  /// deleted rows. Everything else falls back to an empty-projection scan.
   Result<size_t> CountRows(const std::vector<ColumnPredicate>& preds,
-                           const ScanOptions& opts) const;
+                           const ScanOptions& opts,
+                           ScanStats* stats = nullptr) const;
 
   /// Compressed footprint of all pages + dictionaries (bytes).
   size_t CompressedBytes() const;

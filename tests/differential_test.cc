@@ -45,7 +45,8 @@ std::unique_ptr<MppDatabase> MakeLoadedDb(int dop) {
                    {{"ID", TypeId::kInt64, false, 0, false},
                     {"GRP", TypeId::kInt64, true, 0, false},
                     {"CAT", TypeId::kInt64, true, 0, false},
-                    {"V", TypeId::kInt64, true, 0, false}});
+                    {"V", TypeId::kInt64, true, 0, false},
+                    {"S", TypeId::kVarchar, true, 0, false}});
   fact.set_distribution_key(0);
   EXPECT_TRUE(db->CreateTable(fact).ok());
 
@@ -58,13 +59,22 @@ std::unique_ptr<MppDatabase> MakeLoadedDb(int dop) {
                      {"B", TypeId::kInt64, true, 0, false}});
   EXPECT_TRUE(db->CreateTable(dim_c, /*replicated=*/true).ok());
 
+  // High-cardinality replicated dim: one row per fact ID, so T JOIN H probes
+  // a 400-entry build table where every key is distinct.
+  TableSchema dim_h("PUBLIC", "H",
+                    {{"ID", TypeId::kInt64, false, 0, false},
+                     {"W", TypeId::kInt64, true, 0, false}});
+  EXPECT_TRUE(db->CreateTable(dim_h, /*replicated=*/true).ok());
+
   RowBatch t;
   for (int i = 0; i < 4; ++i) t.columns.emplace_back(TypeId::kInt64);
+  t.columns.emplace_back(TypeId::kVarchar);
   for (int i = 0; i < 400; ++i) {
     t.columns[0].AppendInt(i);
     t.columns[1].AppendInt(i % 7);
     t.columns[2].AppendInt(i % 5);
     t.columns[3].AppendInt(i * 31 % 101);
+    t.columns[4].AppendString("s" + std::to_string(i % 13));
   }
   EXPECT_TRUE(db->Load("PUBLIC", "T", t).ok());
 
@@ -85,6 +95,15 @@ std::unique_ptr<MppDatabase> MakeLoadedDb(int dop) {
     c.columns[1].AppendInt(k % 2);
   }
   EXPECT_TRUE(db->Load("PUBLIC", "C", c).ok());
+
+  RowBatch h;
+  h.columns.emplace_back(TypeId::kInt64);
+  h.columns.emplace_back(TypeId::kInt64);
+  for (int i = 0; i < 400; ++i) {
+    h.columns[0].AppendInt(i);
+    h.columns[1].AppendInt(i * 17 % 89);
+  }
+  EXPECT_TRUE(db->Load("PUBLIC", "H", h).ok());
   return db;
 }
 
@@ -97,6 +116,18 @@ const char* kCorpus[] = {
     "GROUP BY d.A ORDER BY d.A",
     "SELECT d.A, COUNT(*), SUM(t.V) FROM T t JOIN D d ON t.GRP = d.GRP "
     "JOIN C c ON t.CAT = c.CAT WHERE c.B = 1 GROUP BY d.A ORDER BY d.A",
+    // High-cardinality join: every probe row hits a distinct build key.
+    "SELECT COUNT(*), SUM(h.W), MIN(h.W), MAX(h.W) FROM T t "
+    "JOIN H h ON t.ID = h.ID WHERE t.V < 60",
+    // Multi-column and string group keys (arena-backed serialized keys).
+    "SELECT GRP, CAT, COUNT(*), SUM(V) FROM T GROUP BY GRP, CAT "
+    "ORDER BY GRP, CAT",
+    "SELECT S, COUNT(*), MIN(V), MAX(V) FROM T GROUP BY S ORDER BY S",
+    "SELECT S, GRP, COUNT(*) FROM T GROUP BY S, GRP ORDER BY S, GRP",
+    // Bare COUNT(*) with one sargable predicate: the CountStarScan fast
+    // path on every shard, merged by the coordinator.
+    "SELECT COUNT(*) FROM T WHERE V <= 50",
+    "SELECT COUNT(*) FROM T WHERE GRP = 4",
 };
 constexpr size_t kCorpusSize = sizeof(kCorpus) / sizeof(kCorpus[0]);
 

@@ -1,0 +1,288 @@
+// Flat hash structures (src/common/flat_hash.h) — seeded property tests
+// against the std::unordered_* oracles they replaced in the executor, plus
+// the SQL-level COUNT(*) fast path that rides the same PR.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/hash.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+namespace {
+
+// -------------------------------------------------------- FlatJoinIndex --
+
+std::vector<uint32_t> CollectRows(const FlatJoinIndex& idx, uint64_t key,
+                                  uint64_t hash) {
+  std::vector<uint32_t> rows;
+  for (int32_t cur = idx.Find(key, hash); cur != FlatJoinIndex::kNone;
+       cur = idx.Next(cur)) {
+    rows.push_back(idx.Row(cur));
+  }
+  return rows;
+}
+
+TEST(FlatJoinIndexTest, MatchesMultimapOracleWithDuplicates) {
+  std::mt19937_64 rng(42);
+  // Small key domain forces long duplicate chains.
+  constexpr size_t kRows = 20000;
+  constexpr int64_t kDomain = 997;
+  FlatJoinIndex idx;
+  std::unordered_multimap<int64_t, uint32_t> oracle;
+  for (uint32_t r = 0; r < kRows; ++r) {
+    int64_t k = static_cast<int64_t>(rng() % kDomain) - kDomain / 2;
+    idx.Insert(static_cast<uint64_t>(k), HashInt64(static_cast<uint64_t>(k)),
+               r);
+    oracle.emplace(k, r);
+  }
+  EXPECT_EQ(idx.rows(), kRows);
+  for (int64_t k = -kDomain; k <= kDomain; ++k) {
+    std::vector<uint32_t> got = CollectRows(
+        idx, static_cast<uint64_t>(k), HashInt64(static_cast<uint64_t>(k)));
+    std::vector<uint32_t> want;
+    auto [b, e] = oracle.equal_range(k);
+    for (auto it = b; it != e; ++it) want.push_back(it->second);
+    // The flat index guarantees ascending insertion (build-row) order;
+    // the multimap guarantees only the multiset.
+    std::vector<uint32_t> sorted_got = got;
+    std::sort(sorted_got.begin(), sorted_got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(sorted_got, want) << "key " << k;
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()))
+        << "chain must preserve insertion order for key " << k;
+  }
+}
+
+TEST(FlatJoinIndexTest, GrowthPreservesChainsAndReserveHolds) {
+  // Unreserved: many growth steps; reserved: none after Reserve.
+  for (bool reserve : {false, true}) {
+    std::mt19937_64 rng(7);
+    constexpr size_t kRows = 50000;
+    FlatJoinIndex idx;
+    if (reserve) idx.Reserve(kRows);
+    const size_t cap_before = idx.capacity();
+    std::unordered_multimap<uint64_t, uint32_t> oracle;
+    std::vector<uint64_t> keys;
+    for (uint32_t r = 0; r < kRows; ++r) {
+      uint64_t k = rng() % 30000;  // mix of unique and duplicate keys
+      idx.Insert(k, HashInt64(k), r);
+      oracle.emplace(k, r);
+      keys.push_back(k);
+    }
+    if (reserve) {
+      EXPECT_EQ(idx.capacity(), cap_before) << "Reserve must pre-size fully";
+    }
+    for (size_t i = 0; i < 500; ++i) {
+      uint64_t k = keys[rng() % keys.size()];
+      EXPECT_EQ(CollectRows(idx, k, HashInt64(k)).size(), oracle.count(k));
+    }
+    // Absent keys stay absent.
+    for (size_t i = 0; i < 500; ++i) {
+      uint64_t k = 30000 + rng() % 100000;
+      EXPECT_EQ(idx.Find(k, HashInt64(k)), FlatJoinIndex::kNone);
+    }
+  }
+}
+
+// -------------------------------------------------------- BloomPrefilter --
+
+TEST(BloomPrefilterTest, NoFalseNegativesAndUsefulRejection) {
+  std::mt19937_64 rng(123);
+  constexpr size_t kKeys = 10000;
+  BloomPrefilter bloom;
+  bloom.Init(kKeys);
+  std::vector<uint64_t> hashes;
+  for (size_t i = 0; i < kKeys; ++i) {
+    uint64_t h = HashInt64(rng());
+    bloom.Add(h);
+    hashes.push_back(h);
+  }
+  for (uint64_t h : hashes) {
+    EXPECT_TRUE(bloom.MayContain(h)) << "Bloom filters never false-negative";
+  }
+  size_t false_pos = 0;
+  constexpr size_t kProbes = 20000;
+  for (size_t i = 0; i < kProbes; ++i) {
+    if (bloom.MayContain(HashInt64(rng() + 0x9E3779B97F4A7C15ull))) {
+      ++false_pos;
+    }
+  }
+  // ~8 bits/key with 2 probe bits lands well under 30% in practice.
+  EXPECT_LT(false_pos, kProbes * 3 / 10)
+      << "prefilter must reject most absent keys";
+}
+
+TEST(BloomPrefilterTest, EmptyFilterIsDisabled) {
+  BloomPrefilter bloom;
+  bloom.Init(0);
+  EXPECT_TRUE(bloom.MayContain(0x12345));
+  EXPECT_EQ(bloom.ByteSize(), 0u);
+}
+
+// --------------------------------------------------------- FlatKeyIndex --
+
+TEST(FlatKeyIndexTest, MatchesMapOracleAcrossGrowth) {
+  std::mt19937_64 rng(2024);
+  FlatKeyIndex idx;
+  std::unordered_map<std::string, uint32_t> oracle;
+  std::vector<std::string> inserted;  // in first-seen order
+  for (size_t i = 0; i < 30000; ++i) {
+    // Variable-length keys with embedded NULs and duplicates.
+    size_t len = rng() % 24;
+    std::string key;
+    for (size_t j = 0; j < len; ++j) {
+      key.push_back(static_cast<char>(rng() % 7));  // tiny alphabet -> dups
+    }
+    uint64_t h = HashBytes(key.data(), key.size());
+    bool inserted_flag = false;
+    uint32_t id = idx.FindOrInsert(
+        reinterpret_cast<const uint8_t*>(key.data()), key.size(), h,
+        &inserted_flag);
+    auto [it, fresh] = oracle.emplace(key, static_cast<uint32_t>(
+                                               oracle.size()));
+    EXPECT_EQ(inserted_flag, fresh);
+    EXPECT_EQ(id, it->second) << "ids must be dense first-seen order";
+    if (fresh) inserted.push_back(key);
+  }
+  ASSERT_EQ(idx.size(), oracle.size());
+  // Dense side round-trips every key in insertion order.
+  for (uint32_t id = 0; id < idx.size(); ++id) {
+    std::string key(reinterpret_cast<const char*>(idx.KeyData(id)),
+                    idx.KeyLen(id));
+    EXPECT_EQ(key, inserted[id]);
+    EXPECT_EQ(idx.HashOf(id), HashBytes(key.data(), key.size()));
+  }
+  // Find: present and absent.
+  for (const auto& [key, id] : oracle) {
+    uint64_t h = HashBytes(key.data(), key.size());
+    EXPECT_EQ(idx.Find(reinterpret_cast<const uint8_t*>(key.data()),
+                       key.size(), h),
+              static_cast<int64_t>(id));
+  }
+  std::string absent = "definitely-not-in-the-tiny-alphabet";
+  EXPECT_EQ(idx.Find(reinterpret_cast<const uint8_t*>(absent.data()),
+                     absent.size(), HashBytes(absent.data(), absent.size())),
+            -1);
+}
+
+// ----------------------------------------------------------- FlatIntMap --
+
+TEST(FlatIntMapTest, MatchesMapOracleIncludingSentinels) {
+  std::mt19937_64 rng(99);
+  FlatIntMap idx;
+  std::unordered_map<int64_t, uint32_t> oracle;
+  // Extreme values — including the executor's NULL-group sentinel — behave
+  // like any other key.
+  std::vector<int64_t> specials = {0, -1, INT64_MIN, INT64_MAX,
+                                   INT64_MIN + 1};
+  for (size_t i = 0; i < 40000; ++i) {
+    int64_t k;
+    if (i % 100 < 5) {
+      k = specials[rng() % specials.size()];
+    } else {
+      k = static_cast<int64_t>(rng() % 20000) - 10000;
+    }
+    bool inserted = false;
+    uint32_t id = idx.FindOrInsert(k, &inserted);
+    auto [it, fresh] =
+        oracle.emplace(k, static_cast<uint32_t>(oracle.size()));
+    EXPECT_EQ(inserted, fresh);
+    EXPECT_EQ(id, it->second);
+    EXPECT_EQ(idx.KeyOf(id), k);
+  }
+  EXPECT_EQ(idx.size(), oracle.size());
+}
+
+// --------------------------------------------- COUNT(*) fast path (SQL) --
+
+class CountStarFastPathTest : public ::testing::Test {
+ protected:
+  CountStarFastPathTest()
+      : engine_(EngineConfig{}), session_(engine_.CreateSession()) {
+    TableSchema s("PUBLIC", "CNT",
+                  {{"ID", TypeId::kInt64, false, 0, false},
+                   {"V", TypeId::kInt64, true, 0, false},
+                   {"S", TypeId::kVarchar, true, 0, false}});
+    auto t = engine_.CreateColumnTable(s);
+    EXPECT_TRUE(t.ok());
+    RowBatch b;
+    b.columns.emplace_back(TypeId::kInt64);
+    b.columns.emplace_back(TypeId::kInt64);
+    b.columns.emplace_back(TypeId::kVarchar);
+    for (int64_t i = 0; i < kRows; ++i) {
+      b.columns[0].AppendInt(i);
+      if (i % 97 == 0) {
+        b.columns[1].AppendNull();
+      } else {
+        b.columns[1].AppendInt(i % 1000);
+      }
+      b.columns[2].AppendString("s" + std::to_string(i % 13));
+    }
+    EXPECT_TRUE((*t)->Load(b).ok());
+  }
+
+  QueryResult Exec(const std::string& sql) {
+    auto r = engine_.Execute(session_.get(), sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  static constexpr int64_t kRows = 10000;
+  Engine engine_;
+  std::shared_ptr<Session> session_;
+};
+
+TEST_F(CountStarFastPathTest, PlanUsesCountStarScan) {
+  QueryResult r = Exec("EXPLAIN SELECT COUNT(*) FROM CNT WHERE V <= 500");
+  EXPECT_NE(r.message.find("CountStarScan"), std::string::npos) << r.message;
+  // Grouped and multi-column aggregates keep the general plan.
+  QueryResult g = Exec("EXPLAIN SELECT V, COUNT(*) FROM CNT GROUP BY V");
+  EXPECT_EQ(g.message.find("CountStarScan"), std::string::npos) << g.message;
+}
+
+TEST_F(CountStarFastPathTest, CountsMatchOracle) {
+  // NULLs never match a predicate; i % 97 == 0 rows are NULL in V.
+  int64_t expect_le_500 = 0, expect_total = kRows;
+  for (int64_t i = 0; i < kRows; ++i) {
+    if (i % 97 != 0 && i % 1000 <= 500) ++expect_le_500;
+  }
+  QueryResult r1 = Exec("SELECT COUNT(*) FROM CNT WHERE V <= 500");
+  ASSERT_EQ(r1.rows.num_rows(), 1u);
+  EXPECT_EQ(r1.rows.columns[0].GetInt(0), expect_le_500);
+
+  QueryResult r2 = Exec("SELECT COUNT(*) AS N FROM CNT");
+  ASSERT_EQ(r2.rows.num_rows(), 1u);
+  EXPECT_EQ(r2.rows.columns[0].GetInt(0), expect_total);
+
+  // String predicate falls back to the bitmap path but stays correct.
+  int64_t expect_s1 = 0;
+  for (int64_t i = 0; i < kRows; ++i) {
+    if (i % 13 == 1) ++expect_s1;
+  }
+  QueryResult r3 = Exec("SELECT COUNT(*) FROM CNT WHERE S = 's1'");
+  ASSERT_EQ(r3.rows.num_rows(), 1u);
+  EXPECT_EQ(r3.rows.columns[0].GetInt(0), expect_s1);
+}
+
+TEST_F(CountStarFastPathTest, DeletesAndTailRowsStayCorrect) {
+  Exec("INSERT INTO CNT VALUES (20001, 42, 'tail'), (20002, 42, 'tail')");
+  Exec("DELETE FROM CNT WHERE ID < 100");
+  int64_t expect = 0;
+  for (int64_t i = 100; i < kRows; ++i) {
+    if (i % 97 != 0 && i % 1000 <= 500) ++expect;
+  }
+  expect += 2;  // the two tail rows with V = 42
+  QueryResult r = Exec("SELECT COUNT(*) FROM CNT WHERE V <= 500");
+  ASSERT_EQ(r.rows.num_rows(), 1u);
+  EXPECT_EQ(r.rows.columns[0].GetInt(0), expect);
+}
+
+}  // namespace
+}  // namespace dashdb
