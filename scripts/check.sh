@@ -8,7 +8,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
-LABELS='parallel|fault|diff|trace|hash'
+LABELS='parallel|fault|diff|trace|hash|expr'
 
 echo "== Release build + full test suite =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null

@@ -7,6 +7,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,12 @@
 #include "common/value.h"
 
 namespace dashdb {
+
+/// Dictionary codes attached to a decoded column (defined in
+/// compression/dict_codes.h; common/ cannot depend on compression/, so the
+/// carrier is opaque here). Lets mid-query predicates run on codes instead
+/// of decoded values (paper II.B.2 "operate on compressed").
+struct DictCodes;
 
 /// A typed, nullable column of values.
 class ColumnVector {
@@ -120,6 +127,53 @@ class ColumnVector {
     }
   }
 
+  /// Appends rows sel[0..k) of `src` (same type) — the selection-vector
+  /// compaction primitive. Attached dictionary codes never survive a
+  /// gather (row positions change).
+  void Gather(const ColumnVector& src, const uint32_t* sel, size_t k) {
+    assert(type_ == src.type_);
+    Reserve(size_ + k);
+    if (!src.has_nulls()) {
+      if (type_ == TypeId::kDouble) {
+        for (size_t i = 0; i < k; ++i) doubles_.push_back(src.doubles_[sel[i]]);
+      } else if (type_ == TypeId::kVarchar) {
+        for (size_t i = 0; i < k; ++i) strings_.push_back(src.strings_[sel[i]]);
+      } else {
+        for (size_t i = 0; i < k; ++i) ints_.push_back(src.ints_[sel[i]]);
+      }
+      size_ += k;
+      if (null_count_ > 0) nulls_.GrowTo(size_);
+    } else {
+      for (size_t i = 0; i < k; ++i) AppendFrom(src, sel[i]);
+    }
+  }
+
+  /// Adopt a kernel-produced payload + null bitmap. `nulls` must be empty
+  /// (no nulls) or sized to the payload length.
+  static ColumnVector FromInts(TypeId t, std::vector<int64_t> v,
+                               BitVector nulls = {}) {
+    ColumnVector c(t);
+    c.size_ = v.size();
+    c.ints_ = std::move(v);
+    c.AdoptNulls(std::move(nulls));
+    return c;
+  }
+  static ColumnVector FromDoubles(std::vector<double> v, BitVector nulls = {}) {
+    ColumnVector c(TypeId::kDouble);
+    c.size_ = v.size();
+    c.doubles_ = std::move(v);
+    c.AdoptNulls(std::move(nulls));
+    return c;
+  }
+  static ColumnVector FromStrings(std::vector<std::string> v,
+                                  BitVector nulls = {}) {
+    ColumnVector c(TypeId::kVarchar);
+    c.size_ = v.size();
+    c.strings_ = std::move(v);
+    c.AdoptNulls(std::move(nulls));
+    return c;
+  }
+
   void Clear() {
     ints_.clear();
     doubles_.clear();
@@ -127,6 +181,17 @@ class ColumnVector {
     nulls_.Resize(0);
     size_ = 0;
     null_count_ = 0;
+    dict_codes_.reset();
+  }
+
+  /// Dictionary codes aligned with this vector's rows, when the scan could
+  /// keep them (full-page dictionary decode with no exceptions). Null rows
+  /// alias code 0 and must be masked via the null bitmap.
+  const std::shared_ptr<const DictCodes>& dict_codes() const {
+    return dict_codes_;
+  }
+  void set_dict_codes(std::shared_ptr<const DictCodes> dc) {
+    dict_codes_ = std::move(dc);
   }
 
   /// Direct access to the integer payload (integer-backed types only).
@@ -145,6 +210,13 @@ class ColumnVector {
       nulls_.GrowTo(size_ + 1);
     }
     ++size_;
+    if (dict_codes_) dict_codes_.reset();  // codes no longer row-aligned
+  }
+
+  void AdoptNulls(BitVector nulls) {
+    assert(nulls.size() == 0 || nulls.size() == size_);
+    null_count_ = nulls.CountSet();
+    nulls_ = std::move(nulls);
   }
 
   TypeId type_;
@@ -152,16 +224,43 @@ class ColumnVector {
   std::vector<double> doubles_;
   std::vector<std::string> strings_;
   BitVector nulls_;
+  std::shared_ptr<const DictCodes> dict_codes_;
   size_t size_ = 0;
   size_t null_count_ = 0;
 };
 
 /// A batch of rows in columnar form.
+///
+/// A batch may carry a *selection vector*: ascending row indices into the
+/// dense columns, produced by FilterOp instead of eagerly compacting.
+/// `num_rows()` stays the DENSE row count — code that has not opted into
+/// selections keeps indexing columns directly and is handed compacted
+/// batches by `Operator::Next()`. Selection-aware consumers use
+/// `logical_rows()` / `row_at()` and defer compaction to blow-up points.
 struct RowBatch {
   std::vector<ColumnVector> columns;
+  std::shared_ptr<const std::vector<uint32_t>> selection;
 
   size_t num_rows() const { return columns.empty() ? 0 : columns[0].size(); }
   size_t num_columns() const { return columns.size(); }
+
+  bool has_selection() const { return selection != nullptr; }
+  size_t logical_rows() const {
+    return selection ? selection->size() : num_rows();
+  }
+  /// Dense row index of logical row i.
+  size_t row_at(size_t i) const { return selection ? (*selection)[i] : i; }
+
+  /// Gathers selected rows into dense columns and drops the selection.
+  void Compact() {
+    if (!selection) return;
+    for (auto& c : columns) {
+      ColumnVector dense(c.type());
+      dense.Gather(c, selection->data(), selection->size());
+      c = std::move(dense);
+    }
+    selection.reset();
+  }
 
   std::vector<Value> Row(size_t i) const {
     std::vector<Value> out;

@@ -1,0 +1,34 @@
+// DictCodes: the dictionary-code sidecar a scan attaches to a decoded
+// ColumnVector so mid-query predicates can run on codes instead of values
+// (paper II.B.2 "operate on compressed" extended past the storage scan).
+//
+// Codes are row-aligned with the carrying vector: attachment requires a
+// full-page dictionary decode with no exception rows, so row i's code is
+// codes.Get(i). NULL rows alias code 0 and must be masked via the vector's
+// null bitmap. The dictionaries are the table's single-partition
+// order-preserving dicts, so range predicates translate to code bands.
+#pragma once
+
+#include <memory>
+
+#include "common/bitutil.h"
+#include "common/column_vector.h"
+#include "compression/frequency_dict.h"
+
+namespace dashdb {
+
+struct DictCodes {
+  BitPackedArray codes;
+  // Exactly one of these is set, matching the column's SQL type family.
+  std::shared_ptr<const IntFrequencyDict> int_dict;
+  std::shared_ptr<const StringFrequencyDict> str_dict;
+};
+
+/// Codes usable for predicate evaluation over all `n` rows of `col`?
+inline const DictCodes* UsableDictCodes(const ColumnVector& col, size_t n) {
+  const DictCodes* dc = col.dict_codes().get();
+  if (!dc || dc->codes.size() < n) return nullptr;
+  return dc;
+}
+
+}  // namespace dashdb

@@ -1,22 +1,132 @@
 #include "exec/expr.h"
 
+#include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <numeric>
+
+#include "common/metrics.h"
+#include "compression/dict_codes.h"
 
 namespace dashdb {
+namespace {
 
-Result<ColumnVector> Expr::Evaluate(const RowBatch& batch,
-                                    const ExecContext& ctx) const {
-  ColumnVector out(out_type_);
-  const size_t n = batch.num_rows();
-  out.Reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    DASHDB_ASSIGN_OR_RETURN(Value v, EvaluateRow(batch, i, ctx));
-    if (!v.is_null() && v.type() != out_type_) {
-      DASHDB_ASSIGN_OR_RETURN(v, v.CastTo(out_type_));
+inline size_t RowAt(const uint32_t* sel, size_t i) { return sel ? sel[i] : i; }
+
+/// Every compare/LIKE that ran on packed codes instead of decoded values.
+void CountDictCodeFilter() {
+  static Counter* c =
+      MetricRegistry::Global().GetCounter("exec.dict_code_filters");
+  c->Add(1);
+}
+
+/// Word-wise OR of two kernel inputs' null bitmaps (both dense over k rows;
+/// a vector with nulls always has a bitmap covering all its rows).
+BitVector CombineNulls(const ColumnVector& a, const ColumnVector& b) {
+  if (!a.has_nulls()) return b.has_nulls() ? b.nulls() : BitVector{};
+  BitVector out = a.nulls();
+  if (b.has_nulls()) out.Or(b.nulls());
+  return out;
+}
+
+/// Truthiness of non-null row i, matching Value::AsBool on the boxed value.
+inline bool TruthyAt(const ColumnVector& v, size_t i) {
+  if (v.type() == TypeId::kDouble) return v.doubles()[i] != 0;
+  if (v.type() == TypeId::kVarchar) return v.GetValue(i).AsBool();
+  return v.ints()[i] != 0;
+}
+
+inline bool ApplyCmp(CmpOp op, int c) {
+  switch (op) {
+    case CmpOp::kEq: return c == 0;
+    case CmpOp::kNe: return c != 0;
+    case CmpOp::kLt: return c < 0;
+    case CmpOp::kLe: return c <= 0;
+    case CmpOp::kGt: return c > 0;
+    case CmpOp::kGe: return c >= 0;
+  }
+  return false;
+}
+
+inline CmpOp FlipCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return CmpOp::kGt;
+    case CmpOp::kLe: return CmpOp::kGe;
+    case CmpOp::kGt: return CmpOp::kLt;
+    case CmpOp::kGe: return CmpOp::kLe;
+    default: return op;
+  }
+}
+
+/// Vector-level CastTo, mirroring Value::CastTo per element. Fast paths
+/// cover the payload-copy families; everything else (varchar parses,
+/// date/timestamp unit conversions) boxes per row, which also reproduces
+/// the row path's error behavior exactly.
+Result<ColumnVector> CastVector(const ColumnVector& in, size_t k, TypeId to) {
+  const TypeId ft = in.type();
+  if (ft == to) return in;
+  BitVector nulls;
+  if (in.has_nulls()) nulls = in.nulls();
+  if (IsIntegerBacked(ft) && IsIntegerBacked(to)) {
+    // Unit-converting pairs fall through to the boxed loop below.
+    if (!((ft == TypeId::kTimestamp && to == TypeId::kDate) ||
+          (ft == TypeId::kDate && to == TypeId::kTimestamp))) {
+      std::vector<int64_t> res(in.ints().begin(), in.ints().begin() + k);
+      if (to == TypeId::kBoolean) {
+        for (auto& v : res) v = v != 0;
+      } else if (to == TypeId::kDate) {
+        for (auto& v : res) v = static_cast<int32_t>(v);
+      }
+      return ColumnVector::FromInts(to, std::move(res), std::move(nulls));
+    }
+  } else if (ft == TypeId::kDouble &&
+             (to == TypeId::kInt32 || to == TypeId::kInt64 ||
+              to == TypeId::kDecimal || to == TypeId::kBoolean)) {
+    std::vector<int64_t> res(k);
+    for (size_t i = 0; i < k; ++i) {
+      res[i] = to == TypeId::kBoolean ? in.doubles()[i] != 0
+                                      : llround(in.doubles()[i]);
+    }
+    return ColumnVector::FromInts(to, std::move(res), std::move(nulls));
+  } else if (IsIntegerBacked(ft) && to == TypeId::kDouble) {
+    std::vector<double> res(k);
+    for (size_t i = 0; i < k; ++i) {
+      res[i] = static_cast<double>(in.ints()[i]);
+    }
+    return ColumnVector::FromDoubles(std::move(res), std::move(nulls));
+  }
+  ColumnVector out(to);
+  out.Reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    DASHDB_ASSIGN_OR_RETURN(Value v, in.GetValue(i).CastTo(to));
+    out.AppendValue(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ColumnVector> EvaluateRowAtATime(const Expr& expr,
+                                        const RowBatch& batch,
+                                        const uint32_t* sel, size_t k,
+                                        const ExecContext& ctx) {
+  ColumnVector out(expr.out_type());
+  out.Reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    DASHDB_ASSIGN_OR_RETURN(Value v,
+                            expr.EvaluateRow(batch, RowAt(sel, i), ctx));
+    if (!v.is_null() && v.type() != expr.out_type()) {
+      DASHDB_ASSIGN_OR_RETURN(v, v.CastTo(expr.out_type()));
     }
     out.AppendValue(v);
   }
   return out;
+}
+
+Result<ColumnVector> Expr::EvaluateSel(const RowBatch& batch,
+                                       const uint32_t* sel, size_t k,
+                                       const ExecContext& ctx) const {
+  return EvaluateRowAtATime(*this, batch, sel, k, ctx);
 }
 
 Result<Value> ColumnRefExpr::EvaluateRow(const RowBatch& b, size_t row,
@@ -27,12 +137,42 @@ Result<Value> ColumnRefExpr::EvaluateRow(const RowBatch& b, size_t row,
   return b.columns[index_].GetValue(row);
 }
 
-Result<ColumnVector> ColumnRefExpr::Evaluate(const RowBatch& b,
-                                             const ExecContext&) const {
+Result<ColumnVector> ColumnRefExpr::EvaluateSel(const RowBatch& b,
+                                                const uint32_t* sel, size_t k,
+                                                const ExecContext&) const {
   if (index_ < 0 || static_cast<size_t>(index_) >= b.columns.size()) {
     return Status::Internal("column ref out of range");
   }
-  return b.columns[index_];
+  const ColumnVector& src = b.columns[index_];
+  if (!sel && k == src.size()) return src;  // keeps any attached dict codes
+  ColumnVector out(src.type());
+  if (!sel) {
+    out.Reserve(k);
+    for (size_t i = 0; i < k; ++i) out.AppendFrom(src, i);
+  } else {
+    out.Gather(src, sel, k);
+  }
+  return out;
+}
+
+Result<ColumnVector> LiteralExpr::EvaluateSel(const RowBatch&, const uint32_t*,
+                                              size_t k,
+                                              const ExecContext&) const {
+  if (value_.is_null()) {
+    ColumnVector out(out_type_);
+    out.Reserve(k);
+    for (size_t i = 0; i < k; ++i) out.AppendNull();
+    return out;
+  }
+  if (out_type_ == TypeId::kDouble) {
+    return ColumnVector::FromDoubles(std::vector<double>(k, value_.AsDouble()));
+  }
+  if (out_type_ == TypeId::kVarchar) {
+    return ColumnVector::FromStrings(
+        std::vector<std::string>(k, value_.AsString()));
+  }
+  return ColumnVector::FromInts(out_type_,
+                                std::vector<int64_t>(k, value_.AsInt()));
 }
 
 Value ApplyDialectStringSemantics(Value v, const ExecContext& ctx) {
@@ -54,16 +194,19 @@ Result<Value> ArithExpr::EvaluateRow(const RowBatch& b, size_t row,
     return ApplyDialectStringSemantics(
         Value::String(ls.AsString() + rs.AsString()), ctx);
   }
-  // DATE +/- integer day arithmetic.
+  // DATE +/- integer day arithmetic. Integer ops wrap (two's complement)
+  // rather than invoking signed-overflow UB, matching the kernels.
   if (l.type() == TypeId::kDate && r.type() != TypeId::kDate &&
       (op_ == ArithOp::kAdd || op_ == ArithOp::kSub)) {
-    int64_t days = op_ == ArithOp::kAdd ? l.AsInt() + r.AsInt()
-                                        : l.AsInt() - r.AsInt();
+    uint64_t a = static_cast<uint64_t>(l.AsInt());
+    uint64_t c = static_cast<uint64_t>(r.AsInt());
+    int64_t days = static_cast<int64_t>(op_ == ArithOp::kAdd ? a + c : a - c);
     return Value::Date(static_cast<int32_t>(days));
   }
   if (l.type() == TypeId::kDate && r.type() == TypeId::kDate &&
       op_ == ArithOp::kSub) {
-    return Value::Int64(l.AsInt() - r.AsInt());
+    return Value::Int64(static_cast<int64_t>(
+        static_cast<uint64_t>(l.AsInt()) - static_cast<uint64_t>(r.AsInt())));
   }
   bool use_double = l.type() == TypeId::kDouble ||
                     r.type() == TypeId::kDouble || op_ == ArithOp::kDiv;
@@ -82,17 +225,143 @@ Result<Value> ArithExpr::EvaluateRow(const RowBatch& b, size_t row,
       default: break;
     }
   }
-  int64_t a = l.AsInt(), c = r.AsInt();
+  uint64_t a = static_cast<uint64_t>(l.AsInt());
+  uint64_t c = static_cast<uint64_t>(r.AsInt());
   switch (op_) {
-    case ArithOp::kAdd: return Value::Int64(a + c);
-    case ArithOp::kSub: return Value::Int64(a - c);
-    case ArithOp::kMul: return Value::Int64(a * c);
-    case ArithOp::kMod:
-      if (c == 0) return Status::InvalidArgument("division by zero");
-      return Value::Int64(a % c);
+    case ArithOp::kAdd: return Value::Int64(static_cast<int64_t>(a + c));
+    case ArithOp::kSub: return Value::Int64(static_cast<int64_t>(a - c));
+    case ArithOp::kMul: return Value::Int64(static_cast<int64_t>(a * c));
+    case ArithOp::kMod: {
+      int64_t d = static_cast<int64_t>(c);
+      if (d == 0) return Status::InvalidArgument("division by zero");
+      if (d == -1) return Value::Int64(0);  // avoid INT64_MIN % -1 trap
+      return Value::Int64(static_cast<int64_t>(a) % d);
+    }
     default: break;
   }
   return Status::Internal("unhandled arith op");
+}
+
+Result<ColumnVector> ArithExpr::EvaluateSel(const RowBatch& b,
+                                            const uint32_t* sel, size_t k,
+                                            const ExecContext& ctx) const {
+  const TypeId lt = l_->out_type(), rt = r_->out_type();
+  if (op_ == ArithOp::kConcat) {
+    if (lt != TypeId::kVarchar || rt != TypeId::kVarchar) {
+      return EvaluateRowAtATime(*this, b, sel, k, ctx);
+    }
+    DASHDB_ASSIGN_OR_RETURN(ColumnVector lv, l_->EvaluateSel(b, sel, k, ctx));
+    DASHDB_ASSIGN_OR_RETURN(ColumnVector rv, r_->EvaluateSel(b, sel, k, ctx));
+    const bool oracle = ctx.EmptyStringIsNull();
+    ColumnVector out(TypeId::kVarchar);
+    out.Reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      if (lv.IsNull(i) || rv.IsNull(i)) {
+        out.AppendNull();
+        continue;
+      }
+      std::string s = lv.strings()[i] + rv.strings()[i];
+      if (oracle && s.empty()) {
+        out.AppendNull();
+      } else {
+        out.AppendString(std::move(s));
+      }
+    }
+    return out;
+  }
+  // Shapes whose row semantics the numeric kernels cannot mirror: varchar
+  // operands (cast-and-parse) and DATE ± DOUBLE (AsInt on a double payload).
+  if (lt == TypeId::kVarchar || rt == TypeId::kVarchar ||
+      (lt == TypeId::kDate && rt == TypeId::kDouble &&
+       (op_ == ArithOp::kAdd || op_ == ArithOp::kSub))) {
+    return EvaluateRowAtATime(*this, b, sel, k, ctx);
+  }
+  const bool date_int = lt == TypeId::kDate && rt != TypeId::kDate &&
+                        (op_ == ArithOp::kAdd || op_ == ArithOp::kSub);
+  const bool use_double = !date_int && (lt == TypeId::kDouble ||
+                                        rt == TypeId::kDouble ||
+                                        op_ == ArithOp::kDiv);
+  if (use_double ? out_type_ != TypeId::kDouble : !IsIntegerBacked(out_type_)) {
+    return EvaluateRowAtATime(*this, b, sel, k, ctx);
+  }
+  if (date_int && out_type_ != TypeId::kDate) {
+    return EvaluateRowAtATime(*this, b, sel, k, ctx);
+  }
+  DASHDB_ASSIGN_OR_RETURN(ColumnVector lv, l_->EvaluateSel(b, sel, k, ctx));
+  DASHDB_ASSIGN_OR_RETURN(ColumnVector rv, r_->EvaluateSel(b, sel, k, ctx));
+  BitVector nulls = CombineNulls(lv, rv);
+  auto is_null = [&](size_t i) { return nulls.size() > 0 && nulls.Get(i); };
+  if (use_double) {
+    const bool ld = lv.type() == TypeId::kDouble;
+    const bool rd = rv.type() == TypeId::kDouble;
+    auto la = [&](size_t i) {
+      return ld ? lv.doubles()[i] : static_cast<double>(lv.ints()[i]);
+    };
+    auto ra = [&](size_t i) {
+      return rd ? rv.doubles()[i] : static_cast<double>(rv.ints()[i]);
+    };
+    std::vector<double> res(k, 0.0);
+    switch (op_) {
+      case ArithOp::kAdd:
+        for (size_t i = 0; i < k; ++i) res[i] = la(i) + ra(i);
+        break;
+      case ArithOp::kSub:
+        for (size_t i = 0; i < k; ++i) res[i] = la(i) - ra(i);
+        break;
+      case ArithOp::kMul:
+        for (size_t i = 0; i < k; ++i) res[i] = la(i) * ra(i);
+        break;
+      case ArithOp::kDiv:
+      case ArithOp::kMod:
+        for (size_t i = 0; i < k; ++i) {
+          if (is_null(i)) continue;
+          double c = ra(i);
+          if (c == 0) return Status::InvalidArgument("division by zero");
+          res[i] = op_ == ArithOp::kDiv ? la(i) / c : std::fmod(la(i), c);
+        }
+        break;
+      default: return Status::Internal("unhandled arith op");
+    }
+    return ColumnVector::FromDoubles(std::move(res), std::move(nulls));
+  }
+  const auto& la = lv.ints();
+  const auto& ra = rv.ints();
+  std::vector<int64_t> res(k, 0);
+  switch (op_) {
+    case ArithOp::kAdd:
+      for (size_t i = 0; i < k; ++i) {
+        res[i] = static_cast<int64_t>(static_cast<uint64_t>(la[i]) +
+                                      static_cast<uint64_t>(ra[i]));
+      }
+      break;
+    case ArithOp::kSub:
+      for (size_t i = 0; i < k; ++i) {
+        res[i] = static_cast<int64_t>(static_cast<uint64_t>(la[i]) -
+                                      static_cast<uint64_t>(ra[i]));
+      }
+      break;
+    case ArithOp::kMul:
+      for (size_t i = 0; i < k; ++i) {
+        res[i] = static_cast<int64_t>(static_cast<uint64_t>(la[i]) *
+                                      static_cast<uint64_t>(ra[i]));
+      }
+      break;
+    case ArithOp::kMod:
+      for (size_t i = 0; i < k; ++i) {
+        if (is_null(i)) continue;
+        int64_t d = ra[i];
+        if (d == 0) return Status::InvalidArgument("division by zero");
+        res[i] = d == -1 ? 0 : la[i] % d;
+      }
+      break;
+    default: return Status::Internal("unhandled arith op");
+  }
+  if (out_type_ == TypeId::kDate) {
+    for (auto& v : res) v = static_cast<int32_t>(v);
+  } else if (out_type_ == TypeId::kBoolean) {
+    for (auto& v : res) v = v != 0;
+  }
+  return ColumnVector::FromInts(out_type_, std::move(res), std::move(nulls));
 }
 
 std::string ArithExpr::ToString() const {
@@ -108,17 +377,202 @@ Result<Value> CompareExpr::EvaluateRow(const RowBatch& b, size_t row,
   l = ApplyDialectStringSemantics(std::move(l), ctx);
   r = ApplyDialectStringSemantics(std::move(r), ctx);
   if (l.is_null() || r.is_null()) return Value::Null(TypeId::kBoolean);
-  int c = l.Compare(r);
-  bool res = false;
-  switch (op_) {
-    case CmpOp::kEq: res = c == 0; break;
-    case CmpOp::kNe: res = c != 0; break;
-    case CmpOp::kLt: res = c < 0; break;
-    case CmpOp::kLe: res = c <= 0; break;
-    case CmpOp::kGt: res = c > 0; break;
-    case CmpOp::kGe: res = c >= 0; break;
+  return Value::Boolean(ApplyCmp(op_, l.Compare(r)));
+}
+
+CompareExpr::DictPlan CompareExpr::PlanFor(const DictCodes& dc) const {
+  const void* key = dc.int_dict ? static_cast<const void*>(dc.int_dict.get())
+                                : static_cast<const void*>(dc.str_dict.get());
+  std::lock_guard<std::mutex> g(dict_mu_);
+  for (const auto& p : dict_plans_) {
+    if (p.dict == key) return p;
   }
-  return Value::Boolean(res);
+  DictPlan p;
+  p.dict = key;
+  // Which side is the literal decides the effective operator direction.
+  const auto* lit = dynamic_cast<const LiteralExpr*>(r_.get());
+  CmpOp eff = op_;
+  if (!lit) {
+    lit = dynamic_cast<const LiteralExpr*>(l_.get());
+    eff = FlipCmp(op_);
+  }
+  auto compile = [&](auto* dict, const auto& v) {
+    if (!dict->is_single_partition()) return;
+    p.usable = true;
+    switch (eff) {
+      case CmpOp::kEq:
+      case CmpOp::kNe: {
+        auto e = dict->Encode(v);
+        if (e) {
+          p.kind = DictPlan::Kind::kCmp;
+          p.op = eff;
+          p.code = e->code;
+        } else {
+          p.kind = eff == CmpOp::kEq ? DictPlan::Kind::kNone
+                                     : DictPlan::Kind::kAll;
+        }
+        break;
+      }
+      case CmpOp::kLt:
+      case CmpOp::kLe: {
+        CodeRange r = dict->RangeFor(0, nullptr, true, &v, eff == CmpOp::kLe);
+        if (r.empty()) {
+          p.kind = DictPlan::Kind::kNone;
+        } else {
+          p.kind = DictPlan::Kind::kCmp;
+          p.op = CmpOp::kLe;
+          p.code = r.hi;
+        }
+        break;
+      }
+      case CmpOp::kGt:
+      case CmpOp::kGe: {
+        CodeRange r = dict->RangeFor(0, &v, eff == CmpOp::kGe, nullptr, true);
+        if (r.empty()) {
+          p.kind = DictPlan::Kind::kNone;
+        } else {
+          p.kind = DictPlan::Kind::kCmp;
+          p.op = CmpOp::kGe;
+          p.code = r.lo;
+        }
+        break;
+      }
+    }
+  };
+  if (lit && !lit->value().is_null()) {
+    if (dc.int_dict && IsIntegerBacked(lit->value().type())) {
+      int64_t v = lit->value().AsInt();
+      compile(dc.int_dict.get(), v);
+    } else if (dc.str_dict && lit->value().type() == TypeId::kVarchar) {
+      p.str_has_empty = dc.str_dict->Encode(std::string()).has_value();
+      const std::string& v = lit->value().AsString();
+      compile(dc.str_dict.get(), v);
+    }
+  }
+  dict_plans_.push_back(p);
+  return p;
+}
+
+bool CompareExpr::DictMatch(const RowBatch& b, size_t n,
+                            const ExecContext& ctx,
+                            const ColumnVector** col_out,
+                            BitVector* match) const {
+  const auto* ref = dynamic_cast<const ColumnRefExpr*>(l_.get());
+  const Expr* other = r_.get();
+  if (!ref) {
+    ref = dynamic_cast<const ColumnRefExpr*>(r_.get());
+    other = l_.get();
+  }
+  if (!ref || !dynamic_cast<const LiteralExpr*>(other)) return false;
+  const auto* lit = static_cast<const LiteralExpr*>(other);
+  if (lit->value().is_null()) return false;
+  if (ctx.EmptyStringIsNull() && lit->value().type() == TypeId::kVarchar &&
+      lit->value().AsString().empty()) {
+    return false;  // Oracle: empty literal is NULL → all-NULL result
+  }
+  if (ref->index() < 0 ||
+      static_cast<size_t>(ref->index()) >= b.columns.size()) {
+    return false;
+  }
+  const ColumnVector& col = b.columns[ref->index()];
+  const DictCodes* dc = UsableDictCodes(col, n);
+  if (!dc) return false;
+  DictPlan plan = PlanFor(*dc);
+  if (!plan.usable) return false;
+  if (ctx.EmptyStringIsNull() && plan.str_has_empty) {
+    return false;  // rows holding "" must evaluate as NULL under Oracle
+  }
+  match->Resize(n);
+  switch (plan.kind) {
+    case DictPlan::Kind::kNone: break;
+    case DictPlan::Kind::kAll: match->SetAll(); break;
+    case DictPlan::Kind::kCmp:
+      SwarCompare(dc->codes, n, plan.op, plan.code, match);
+      break;
+  }
+  CountDictCodeFilter();
+  *col_out = &col;
+  return true;
+}
+
+bool CompareExpr::TryFilterSel(const RowBatch& b, const uint32_t* sel,
+                               size_t k, const ExecContext& ctx,
+                               std::vector<uint32_t>* out) const {
+  const ColumnVector* col = nullptr;
+  BitVector match;
+  if (!DictMatch(b, b.num_rows(), ctx, &col, &match)) return false;
+  for (size_t i = 0; i < k; ++i) {
+    size_t r = RowAt(sel, i);
+    if (!col->IsNull(r) && match.Get(r)) {
+      out->push_back(static_cast<uint32_t>(r));
+    }
+  }
+  return true;
+}
+
+Result<ColumnVector> CompareExpr::EvaluateSel(const RowBatch& b,
+                                              const uint32_t* sel, size_t k,
+                                              const ExecContext& ctx) const {
+  const ColumnVector* col = nullptr;
+  BitVector match;
+  if (DictMatch(b, b.num_rows(), ctx, &col, &match)) {
+    std::vector<int64_t> res(k, 0);
+    BitVector nulls;
+    if (col->has_nulls()) nulls.Resize(k);
+    for (size_t i = 0; i < k; ++i) {
+      size_t r = RowAt(sel, i);
+      if (col->IsNull(r)) {
+        nulls.Set(i);
+      } else {
+        res[i] = match.Get(r);
+      }
+    }
+    return ColumnVector::FromInts(TypeId::kBoolean, std::move(res),
+                                  std::move(nulls));
+  }
+  DASHDB_ASSIGN_OR_RETURN(ColumnVector lv, l_->EvaluateSel(b, sel, k, ctx));
+  DASHDB_ASSIGN_OR_RETURN(ColumnVector rv, r_->EvaluateSel(b, sel, k, ctx));
+  const TypeId lt = lv.type(), rt = rv.type();
+  std::vector<int64_t> res(k, 0);
+  if (lt == TypeId::kVarchar && rt == TypeId::kVarchar) {
+    const bool oracle = ctx.EmptyStringIsNull();
+    BitVector nulls(k);
+    bool any_null = false;
+    for (size_t i = 0; i < k; ++i) {
+      if (lv.IsNull(i) || rv.IsNull(i) ||
+          (oracle && (lv.strings()[i].empty() || rv.strings()[i].empty()))) {
+        nulls.Set(i);
+        any_null = true;
+        continue;
+      }
+      const std::string& a = lv.strings()[i];
+      const std::string& c = rv.strings()[i];
+      res[i] = ApplyCmp(op_, a < c ? -1 : (a == c ? 0 : 1));
+    }
+    return ColumnVector::FromInts(TypeId::kBoolean, std::move(res),
+                                  any_null ? std::move(nulls) : BitVector{});
+  }
+  if (lt == TypeId::kVarchar || rt == TypeId::kVarchar) {
+    // Cross-family display-string comparison: row fallback.
+    return EvaluateRowAtATime(*this, b, sel, k, ctx);
+  }
+  BitVector nulls = CombineNulls(lv, rv);
+  if (lt == TypeId::kDouble || rt == TypeId::kDouble) {
+    const bool ld = lt == TypeId::kDouble, rd = rt == TypeId::kDouble;
+    for (size_t i = 0; i < k; ++i) {
+      double a = ld ? lv.doubles()[i] : static_cast<double>(lv.ints()[i]);
+      double c = rd ? rv.doubles()[i] : static_cast<double>(rv.ints()[i]);
+      res[i] = ApplyCmp(op_, a < c ? -1 : (a == c ? 0 : 1));
+    }
+  } else {
+    const auto& a = lv.ints();
+    const auto& c = rv.ints();
+    for (size_t i = 0; i < k; ++i) {
+      res[i] = ApplyCmp(op_, a[i] < c[i] ? -1 : (a[i] == c[i] ? 0 : 1));
+    }
+  }
+  return ColumnVector::FromInts(TypeId::kBoolean, std::move(res),
+                                std::move(nulls));
 }
 
 std::string CompareExpr::ToString() const {
@@ -152,6 +606,74 @@ Result<Value> LogicExpr::EvaluateRow(const RowBatch& b, size_t row,
   return Value::Boolean(false);
 }
 
+Result<ColumnVector> LogicExpr::EvaluateSel(const RowBatch& b,
+                                            const uint32_t* sel, size_t k,
+                                            const ExecContext& ctx) const {
+  DASHDB_ASSIGN_OR_RETURN(ColumnVector lv, l_->EvaluateSel(b, sel, k, ctx));
+  if (op_ == LogicOp::kNot) {
+    std::vector<int64_t> res(k, 0);
+    BitVector nulls;
+    if (lv.has_nulls()) nulls = lv.nulls();
+    for (size_t i = 0; i < k; ++i) {
+      if (!lv.IsNull(i)) res[i] = !TruthyAt(lv, i);
+    }
+    return ColumnVector::FromInts(TypeId::kBoolean, std::move(res),
+                                  std::move(nulls));
+  }
+  // Short-circuit AND/OR: the right side evaluates only on the sub-selection
+  // of rows the left side leaves undecided, preserving the row path's
+  // evaluate-r-only-when-needed semantics (and its error behavior).
+  const bool is_and = op_ == LogicOp::kAnd;
+  std::vector<uint32_t> need;
+  for (size_t i = 0; i < k; ++i) {
+    bool ln = lv.IsNull(i);
+    bool lt = !ln && TruthyAt(lv, i);
+    bool decided = is_and ? (!ln && !lt) : lt;
+    if (!decided) need.push_back(static_cast<uint32_t>(RowAt(sel, i)));
+  }
+  ColumnVector rv(TypeId::kBoolean);
+  if (!need.empty()) {
+    DASHDB_ASSIGN_OR_RETURN(
+        rv, r_->EvaluateSel(b, need.data(), need.size(), ctx));
+  }
+  std::vector<int64_t> res(k, 0);
+  BitVector nulls(k);
+  bool any_null = false;
+  size_t j = 0;
+  for (size_t i = 0; i < k; ++i) {
+    bool ln = lv.IsNull(i);
+    bool lt = !ln && TruthyAt(lv, i);
+    if (is_and ? (!ln && !lt) : lt) {
+      res[i] = !is_and;
+      continue;
+    }
+    bool rn = rv.IsNull(j);
+    bool rt = !rn && TruthyAt(rv, j);
+    ++j;
+    if (is_and) {
+      if (!rn && !rt) {
+        res[i] = 0;
+      } else if (ln || rn) {
+        nulls.Set(i);
+        any_null = true;
+      } else {
+        res[i] = 1;
+      }
+    } else {
+      if (rt) {
+        res[i] = 1;
+      } else if (ln || rn) {
+        nulls.Set(i);
+        any_null = true;
+      } else {
+        res[i] = 0;
+      }
+    }
+  }
+  return ColumnVector::FromInts(TypeId::kBoolean, std::move(res),
+                                any_null ? std::move(nulls) : BitVector{});
+}
+
 std::string LogicExpr::ToString() const {
   if (op_ == LogicOp::kNot) return "NOT " + l_->ToString();
   return "(" + l_->ToString() +
@@ -165,10 +687,31 @@ Result<Value> IsNullExpr::EvaluateRow(const RowBatch& b, size_t row,
   return Value::Boolean(negate_ ? !v.is_null() : v.is_null());
 }
 
+Result<ColumnVector> IsNullExpr::EvaluateSel(const RowBatch& b,
+                                             const uint32_t* sel, size_t k,
+                                             const ExecContext& ctx) const {
+  DASHDB_ASSIGN_OR_RETURN(ColumnVector cv, child_->EvaluateSel(b, sel, k, ctx));
+  const bool empty_is_null =
+      ctx.EmptyStringIsNull() && cv.type() == TypeId::kVarchar;
+  std::vector<int64_t> res(k);
+  for (size_t i = 0; i < k; ++i) {
+    bool n = cv.IsNull(i) || (empty_is_null && cv.strings()[i].empty());
+    res[i] = negate_ ? !n : n;
+  }
+  return ColumnVector::FromInts(TypeId::kBoolean, std::move(res));
+}
+
 Result<Value> CastExpr::EvaluateRow(const RowBatch& b, size_t row,
                                     const ExecContext& ctx) const {
   DASHDB_ASSIGN_OR_RETURN(Value v, child_->EvaluateRow(b, row, ctx));
   return v.CastTo(out_type_);
+}
+
+Result<ColumnVector> CastExpr::EvaluateSel(const RowBatch& b,
+                                           const uint32_t* sel, size_t k,
+                                           const ExecContext& ctx) const {
+  DASHDB_ASSIGN_OR_RETURN(ColumnVector cv, child_->EvaluateSel(b, sel, k, ctx));
+  return CastVector(cv, k, out_type_);
 }
 
 bool LikeExpr::Match(const std::string& s, const std::string& p) {
@@ -192,6 +735,32 @@ bool LikeExpr::Match(const std::string& s, const std::string& p) {
   return pi == p.size();
 }
 
+LikeExpr::LikeExpr(ExprPtr child, std::string pattern, bool negate)
+    : Expr(TypeId::kBoolean),
+      child_(std::move(child)),
+      pattern_(std::move(pattern)),
+      negate_(negate) {
+  size_t wc = pattern_.find_first_of("%_");
+  if (wc == std::string::npos) {
+    pat_kind_ = PatKind::kExact;
+    prefix_ = pattern_;
+  } else if (wc + 1 == pattern_.size() && pattern_[wc] == '%') {
+    pat_kind_ = PatKind::kPrefix;
+    prefix_ = pattern_.substr(0, wc);
+  }
+}
+
+bool LikeExpr::MatchOne(const std::string& s) const {
+  switch (pat_kind_) {
+    case PatKind::kExact: return s == prefix_;
+    case PatKind::kPrefix:
+      return s.size() >= prefix_.size() &&
+             s.compare(0, prefix_.size(), prefix_) == 0;
+    case PatKind::kGeneral: return Match(s, pattern_);
+  }
+  return false;
+}
+
 Result<Value> LikeExpr::EvaluateRow(const RowBatch& b, size_t row,
                                     const ExecContext& ctx) const {
   DASHDB_ASSIGN_OR_RETURN(Value v, child_->EvaluateRow(b, row, ctx));
@@ -200,6 +769,126 @@ Result<Value> LikeExpr::EvaluateRow(const RowBatch& b, size_t row,
   DASHDB_ASSIGN_OR_RETURN(Value s, v.CastTo(TypeId::kVarchar));
   bool m = Match(s.AsString(), pattern_);
   return Value::Boolean(negate_ ? !m : m);
+}
+
+Result<ColumnVector> LikeExpr::EvaluateSel(const RowBatch& b,
+                                           const uint32_t* sel, size_t k,
+                                           const ExecContext& ctx) const {
+  if (child_->out_type() != TypeId::kVarchar) {
+    return EvaluateRowAtATime(*this, b, sel, k, ctx);
+  }
+  const size_t n = b.num_rows();
+  const auto* ref = dynamic_cast<const ColumnRefExpr*>(child_.get());
+  if (ref && pat_kind_ != PatKind::kGeneral && ref->index() >= 0 &&
+      static_cast<size_t>(ref->index()) < b.columns.size()) {
+    const ColumnVector& col = b.columns[ref->index()];
+    const DictCodes* dc = UsableDictCodes(col, n);
+    if (dc && dc->str_dict && dc->str_dict->is_single_partition() &&
+        !(ctx.EmptyStringIsNull() &&
+          dc->str_dict->Encode(std::string()).has_value())) {
+      // Exact patterns encode to one code; prefixes to [prefix, next-prefix)
+      // — both bands on the order-preserving single-partition dict.
+      bool all = false;
+      CodeRange r = CodeRange::Empty();
+      if (pat_kind_ == PatKind::kExact) {
+        auto e = dc->str_dict->Encode(prefix_);
+        if (e) r = CodeRange{e->code, e->code};
+      } else if (prefix_.empty()) {
+        all = true;  // LIKE '%'
+      } else {
+        std::string hi = prefix_;
+        while (!hi.empty() && static_cast<unsigned char>(hi.back()) == 0xFF) {
+          hi.pop_back();
+        }
+        if (hi.empty()) {
+          r = dc->str_dict->RangeFor(0, &prefix_, true, nullptr, true);
+        } else {
+          hi.back() = static_cast<char>(hi.back() + 1);
+          r = dc->str_dict->RangeFor(0, &prefix_, true, &hi, false);
+        }
+      }
+      BitVector m(n);
+      if (all) {
+        m.SetAll();
+      } else if (!r.empty()) {
+        SwarBetween(dc->codes, n, r.lo, r.hi, &m);
+      }
+      CountDictCodeFilter();
+      std::vector<int64_t> res(k, 0);
+      BitVector nulls;
+      if (col.has_nulls()) nulls.Resize(k);
+      for (size_t i = 0; i < k; ++i) {
+        size_t row = RowAt(sel, i);
+        if (col.IsNull(row)) {
+          nulls.Set(i);
+        } else {
+          res[i] = m.Get(row) != negate_;
+        }
+      }
+      return ColumnVector::FromInts(TypeId::kBoolean, std::move(res),
+                                    std::move(nulls));
+    }
+  }
+  DASHDB_ASSIGN_OR_RETURN(ColumnVector cv, child_->EvaluateSel(b, sel, k, ctx));
+  const bool oracle = ctx.EmptyStringIsNull();
+  std::vector<int64_t> res(k, 0);
+  BitVector nulls(k);
+  bool any_null = false;
+  for (size_t i = 0; i < k; ++i) {
+    if (cv.IsNull(i) || (oracle && cv.strings()[i].empty())) {
+      nulls.Set(i);
+      any_null = true;
+      continue;
+    }
+    res[i] = MatchOne(cv.strings()[i]) != negate_;
+  }
+  return ColumnVector::FromInts(TypeId::kBoolean, std::move(res),
+                                any_null ? std::move(nulls) : BitVector{});
+}
+
+InExpr::InExpr(ExprPtr child, std::vector<Value> list, bool negate)
+    : Expr(TypeId::kBoolean),
+      child_(std::move(child)),
+      list_(std::move(list)),
+      negate_(negate) {
+  const TypeId ct = child_->out_type();
+  vector_ok_ = true;
+  for (const Value& item : list_) {
+    if (item.is_null()) {
+      saw_null_ = true;
+      continue;
+    }
+    if (ct == TypeId::kVarchar) {
+      // Value::Compare of varchar vs anything compares display strings.
+      str_set_.push_back(item.type() == TypeId::kVarchar ? item.AsString()
+                                                         : item.ToString());
+    } else if (ct == TypeId::kDouble) {
+      if (item.type() == TypeId::kVarchar) {
+        vector_ok_ = false;
+        break;
+      }
+      double d = item.AsDouble();
+      if (!std::isnan(d)) dbl_set_.push_back(d);  // NaN never compares equal
+    } else if (IsIntegerBacked(ct)) {
+      if (!IsIntegerBacked(item.type())) {
+        // Double items promote the comparison to double (precision-lossy
+        // for big ints); only the row path mirrors that faithfully.
+        vector_ok_ = false;
+        break;
+      }
+      int_set_.push_back(item.AsInt());
+    } else {
+      vector_ok_ = false;
+      break;
+    }
+  }
+  auto finish = [](auto& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  finish(int_set_);
+  finish(dbl_set_);
+  finish(str_set_);
 }
 
 Result<Value> InExpr::EvaluateRow(const RowBatch& b, size_t row,
@@ -216,6 +905,47 @@ Result<Value> InExpr::EvaluateRow(const RowBatch& b, size_t row,
   }
   if (saw_null) return Value::Null(TypeId::kBoolean);
   return Value::Boolean(negate_);
+}
+
+Result<ColumnVector> InExpr::EvaluateSel(const RowBatch& b,
+                                         const uint32_t* sel, size_t k,
+                                         const ExecContext& ctx) const {
+  if (!vector_ok_) return EvaluateRowAtATime(*this, b, sel, k, ctx);
+  DASHDB_ASSIGN_OR_RETURN(ColumnVector cv, child_->EvaluateSel(b, sel, k, ctx));
+  const TypeId ct = cv.type();
+  std::vector<int64_t> res(k, 0);
+  BitVector nulls(k);
+  bool any_null = false;
+  for (size_t i = 0; i < k; ++i) {
+    if (cv.IsNull(i)) {
+      nulls.Set(i);
+      any_null = true;
+      continue;
+    }
+    bool hit;
+    if (ct == TypeId::kVarchar) {
+      hit = std::binary_search(str_set_.begin(), str_set_.end(),
+                               cv.strings()[i]);
+    } else if (ct == TypeId::kDouble) {
+      // A NaN probe breaks binary_search's ordering contract (every `<` is
+      // false, so any element reads as equal); NaN never matches anything.
+      const double d = cv.doubles()[i];
+      hit = !std::isnan(d) &&
+            std::binary_search(dbl_set_.begin(), dbl_set_.end(), d);
+    } else {
+      hit = std::binary_search(int_set_.begin(), int_set_.end(), cv.ints()[i]);
+    }
+    if (hit) {
+      res[i] = !negate_;
+    } else if (saw_null_) {
+      nulls.Set(i);
+      any_null = true;
+    } else {
+      res[i] = negate_;
+    }
+  }
+  return ColumnVector::FromInts(TypeId::kBoolean, std::move(res),
+                                any_null ? std::move(nulls) : BitVector{});
 }
 
 std::string InExpr::ToString() const {
@@ -245,6 +975,72 @@ Result<Value> CaseExpr::EvaluateRow(const RowBatch& b, size_t row,
   return Value::Null(out_type_);
 }
 
+Result<ColumnVector> CaseExpr::EvaluateSel(const RowBatch& b,
+                                           const uint32_t* sel, size_t k,
+                                           const ExecContext& ctx) const {
+  // Selection-driven arms: each condition runs only on rows no earlier arm
+  // claimed; each THEN only on its condition's matches — exactly the rows
+  // the row-at-a-time path would evaluate them on.
+  constexpr uint32_t kNoBranch = UINT32_MAX;
+  std::vector<uint32_t> branch_of(k, kNoBranch), slot_of(k, 0);
+  std::vector<ColumnVector> branches;
+  std::vector<uint32_t> rem_pos(k), rem_abs(k);
+  std::iota(rem_pos.begin(), rem_pos.end(), 0);
+  for (size_t i = 0; i < k; ++i) {
+    rem_abs[i] = static_cast<uint32_t>(RowAt(sel, i));
+  }
+  auto take_branch = [&](const Expr& value_expr,
+                         const std::vector<uint32_t>& abs,
+                         const std::vector<uint32_t>& pos) -> Status {
+    DASHDB_ASSIGN_OR_RETURN(
+        ColumnVector raw, value_expr.EvaluateSel(b, abs.data(), abs.size(),
+                                                 ctx));
+    DASHDB_ASSIGN_OR_RETURN(ColumnVector cast,
+                            CastVector(raw, abs.size(), out_type_));
+    uint32_t bid = static_cast<uint32_t>(branches.size());
+    branches.push_back(std::move(cast));
+    for (size_t j = 0; j < pos.size(); ++j) {
+      branch_of[pos[j]] = bid;
+      slot_of[pos[j]] = static_cast<uint32_t>(j);
+    }
+    return Status::OK();
+  };
+  for (const auto& [cond, then] : whens_) {
+    if (rem_pos.empty()) break;
+    DASHDB_ASSIGN_OR_RETURN(
+        ColumnVector cond_v,
+        cond->EvaluateSel(b, rem_abs.data(), rem_abs.size(), ctx));
+    std::vector<uint32_t> hit_pos, hit_abs, next_pos, next_abs;
+    for (size_t j = 0; j < rem_pos.size(); ++j) {
+      if (!cond_v.IsNull(j) && TruthyAt(cond_v, j)) {
+        hit_pos.push_back(rem_pos[j]);
+        hit_abs.push_back(rem_abs[j]);
+      } else {
+        next_pos.push_back(rem_pos[j]);
+        next_abs.push_back(rem_abs[j]);
+      }
+    }
+    if (!hit_pos.empty()) {
+      DASHDB_RETURN_IF_ERROR(take_branch(*then, hit_abs, hit_pos));
+    }
+    rem_pos = std::move(next_pos);
+    rem_abs = std::move(next_abs);
+  }
+  if (else_ && !rem_pos.empty()) {
+    DASHDB_RETURN_IF_ERROR(take_branch(*else_, rem_abs, rem_pos));
+  }
+  ColumnVector out(out_type_);
+  out.Reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    if (branch_of[i] == kNoBranch) {
+      out.AppendNull();
+    } else {
+      out.AppendFrom(branches[branch_of[i]], slot_of[i]);
+    }
+  }
+  return out;
+}
+
 Result<Value> FuncExpr::EvaluateRow(const RowBatch& b, size_t row,
                                     const ExecContext& ctx) const {
   std::vector<Value> args;
@@ -257,6 +1053,40 @@ Result<Value> FuncExpr::EvaluateRow(const RowBatch& b, size_t row,
   return ApplyDialectStringSemantics(std::move(out), ctx);
 }
 
+Result<ColumnVector> FuncExpr::EvaluateSel(const RowBatch& b,
+                                           const uint32_t* sel, size_t k,
+                                           const ExecContext& ctx) const {
+  std::vector<ColumnVector> argv;
+  argv.reserve(args_.size());
+  for (const auto& a : args_) {
+    DASHDB_ASSIGN_OR_RETURN(ColumnVector v, a->EvaluateSel(b, sel, k, ctx));
+    argv.push_back(std::move(v));
+  }
+  if (vec_fn_) {
+    ColumnVector out(out_type_);
+    DASHDB_ASSIGN_OR_RETURN(bool handled, vec_fn_(argv, k, ctx, &out));
+    if (handled) return out;
+  }
+  // Row loop over the already-evaluated argument vectors: the function body
+  // itself boxes, but argument subtrees stay vectorized, and zero-argument
+  // stateful functions (sequences) fire once per row in row order.
+  ColumnVector out(out_type_);
+  out.Reserve(k);
+  std::vector<Value> args(args_.size());
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < argv.size(); ++j) {
+      args[j] = ApplyDialectStringSemantics(argv[j].GetValue(i), ctx);
+    }
+    DASHDB_ASSIGN_OR_RETURN(Value v, fn_(args, ctx));
+    v = ApplyDialectStringSemantics(std::move(v), ctx);
+    if (!v.is_null() && v.type() != out_type_) {
+      DASHDB_ASSIGN_OR_RETURN(v, v.CastTo(out_type_));
+    }
+    out.AppendValue(v);
+  }
+  return out;
+}
+
 std::string FuncExpr::ToString() const {
   std::string out = name_ + "(";
   for (size_t i = 0; i < args_.size(); ++i) {
@@ -266,16 +1096,68 @@ std::string FuncExpr::ToString() const {
   return out + ")";
 }
 
+Result<std::vector<uint32_t>> EvalFilterSel(const Expr& expr,
+                                            const RowBatch& batch,
+                                            const uint32_t* sel, size_t k,
+                                            const ExecContext& ctx) {
+  if (const auto* lg = dynamic_cast<const LogicExpr*>(&expr)) {
+    if (lg->op() == LogicOp::kAnd) {
+      // TRUE AND TRUE only: the left filter narrows the right's selection.
+      DASHDB_ASSIGN_OR_RETURN(std::vector<uint32_t> s1,
+                              EvalFilterSel(*lg->left(), batch, sel, k, ctx));
+      if (s1.empty()) return s1;
+      return EvalFilterSel(*lg->right(), batch, s1.data(), s1.size(), ctx);
+    }
+    if (lg->op() == LogicOp::kOr) {
+      // TRUE rows of the left pass outright; the right side evaluates only
+      // on the left's complement (FALSE or NULL rows), then the two
+      // ascending index lists merge.
+      DASHDB_ASSIGN_OR_RETURN(std::vector<uint32_t> s1,
+                              EvalFilterSel(*lg->left(), batch, sel, k, ctx));
+      if (s1.size() == k) return s1;
+      std::vector<uint32_t> rest;
+      rest.reserve(k - s1.size());
+      size_t j = 0;
+      for (size_t i = 0; i < k; ++i) {
+        uint32_t r = static_cast<uint32_t>(RowAt(sel, i));
+        if (j < s1.size() && s1[j] == r) {
+          ++j;
+        } else {
+          rest.push_back(r);
+        }
+      }
+      DASHDB_ASSIGN_OR_RETURN(
+          std::vector<uint32_t> s2,
+          EvalFilterSel(*lg->right(), batch, rest.data(), rest.size(), ctx));
+      std::vector<uint32_t> out;
+      out.reserve(s1.size() + s2.size());
+      std::merge(s1.begin(), s1.end(), s2.begin(), s2.end(),
+                 std::back_inserter(out));
+      return out;
+    }
+  }
+  if (const auto* cmp = dynamic_cast<const CompareExpr*>(&expr)) {
+    std::vector<uint32_t> out;
+    if (cmp->TryFilterSel(batch, sel, k, ctx, &out)) return out;
+  }
+  DASHDB_ASSIGN_OR_RETURN(ColumnVector v, expr.EvaluateSel(batch, sel, k, ctx));
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < k; ++i) {
+    if (!v.IsNull(i) && TruthyAt(v, i)) {
+      out.push_back(static_cast<uint32_t>(RowAt(sel, i)));
+    }
+  }
+  return out;
+}
+
 Result<std::vector<uint32_t>> EvalFilter(const Expr& expr,
                                          const RowBatch& batch,
                                          const ExecContext& ctx) {
-  std::vector<uint32_t> out;
-  const size_t n = batch.num_rows();
-  for (size_t i = 0; i < n; ++i) {
-    DASHDB_ASSIGN_OR_RETURN(Value v, expr.EvaluateRow(batch, i, ctx));
-    if (!v.is_null() && v.AsBool()) out.push_back(static_cast<uint32_t>(i));
+  if (batch.has_selection()) {
+    return EvalFilterSel(expr, batch, batch.selection->data(),
+                         batch.selection->size(), ctx);
   }
-  return out;
+  return EvalFilterSel(expr, batch, nullptr, batch.num_rows(), ctx);
 }
 
 }  // namespace dashdb

@@ -4,11 +4,24 @@
 // storage scan where they run on compressed codes; everything else —
 // arithmetic, scalar functions, CASE, residual predicates — evaluates here
 // with full SQL NULL semantics (three-valued logic).
+//
+// Evaluation is vectorized (paper II.B.2): every node implements
+// EvaluateSel(), producing a dense ColumnVector for the rows named by a
+// selection vector. Type-specialized kernels run directly over the
+// ColumnVector primitive arrays with null bitmaps combined word-wise;
+// EvaluateRow() remains the row-at-a-time correctness oracle and the
+// fallback for shapes the kernels do not cover (cross-family comparisons,
+// varchar arithmetic, ...). Comparisons and LIKE against dictionary-coded
+// columns translate the literal to the code domain once and reuse the SWAR
+// kernels (src/simd) on the still-compressed codes.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/column_vector.h"
@@ -48,13 +61,35 @@ class Expr {
 
   TypeId out_type() const { return out_type_; }
 
-  /// Evaluates one row. The default Evaluate() loops over this.
+  /// Evaluates one row. The correctness oracle; EvaluateSel's default
+  /// implementation loops over this.
   virtual Result<Value> EvaluateRow(const RowBatch& batch, size_t row,
                                     const ExecContext& ctx) const = 0;
 
-  /// Evaluates the whole batch into a ColumnVector.
-  virtual Result<ColumnVector> Evaluate(const RowBatch& batch,
-                                        const ExecContext& ctx) const;
+  /// Evaluates rows sel[0..k) of `batch` (or rows 0..k when sel is null)
+  /// into a DENSE ColumnVector of k values, typed out_type(), in selection
+  /// order. Nodes override this with columnar kernels; the base
+  /// implementation is the row-at-a-time fallback.
+  virtual Result<ColumnVector> EvaluateSel(const RowBatch& batch,
+                                           const uint32_t* sel, size_t k,
+                                           const ExecContext& ctx) const;
+
+  /// Evaluates the whole batch, honoring batch.selection when present
+  /// (output is dense over the batch's logical rows).
+  Result<ColumnVector> Evaluate(const RowBatch& batch,
+                                const ExecContext& ctx) const {
+    if (batch.has_selection()) {
+      return EvaluateSel(batch, batch.selection->data(),
+                         batch.selection->size(), ctx);
+    }
+    return EvaluateSel(batch, nullptr, batch.num_rows(), ctx);
+  }
+
+  /// True when the node is deterministic and side-effect free — a pure node
+  /// over all-literal children folds to a literal at bind time.
+  virtual bool pure() const { return false; }
+  /// Direct children, for the bind-time folder.
+  virtual std::vector<const Expr*> children() const { return {}; }
 
   /// Display form for EXPLAIN.
   virtual std::string ToString() const = 0;
@@ -71,8 +106,9 @@ class ColumnRefExpr : public Expr {
   int index() const { return index_; }
   Result<Value> EvaluateRow(const RowBatch& b, size_t row,
                             const ExecContext&) const override;
-  Result<ColumnVector> Evaluate(const RowBatch& b,
-                                const ExecContext&) const override;
+  Result<ColumnVector> EvaluateSel(const RowBatch& b, const uint32_t* sel,
+                                   size_t k,
+                                   const ExecContext&) const override;
   std::string ToString() const override {
     return name_.empty() ? "$" + std::to_string(index_) : name_;
   }
@@ -91,6 +127,8 @@ class LiteralExpr : public Expr {
                             const ExecContext&) const override {
     return value_;
   }
+  Result<ColumnVector> EvaluateSel(const RowBatch&, const uint32_t*, size_t k,
+                                   const ExecContext&) const override;
   std::string ToString() const override { return value_.ToString(); }
 
  private:
@@ -106,6 +144,13 @@ class ArithExpr : public Expr {
       : Expr(out), op_(op), l_(std::move(l)), r_(std::move(r)) {}
   Result<Value> EvaluateRow(const RowBatch& b, size_t row,
                             const ExecContext& ctx) const override;
+  Result<ColumnVector> EvaluateSel(const RowBatch& b, const uint32_t* sel,
+                                   size_t k,
+                                   const ExecContext& ctx) const override;
+  bool pure() const override { return true; }
+  std::vector<const Expr*> children() const override {
+    return {l_.get(), r_.get()};
+  }
   std::string ToString() const override;
 
  private:
@@ -114,17 +159,54 @@ class ArithExpr : public Expr {
 };
 
 /// Comparison producing BOOLEAN (NULL when either side is NULL).
+///
+/// When one side is a column carrying dictionary codes and the other a
+/// literal, the literal is translated to the code domain once per dictionary
+/// (cached) and the comparison runs on packed codes via the SWAR kernels —
+/// order-preserving dicts turn range predicates into code bands.
 class CompareExpr : public Expr {
  public:
   CompareExpr(CmpOp op, ExprPtr l, ExprPtr r)
       : Expr(TypeId::kBoolean), op_(op), l_(std::move(l)), r_(std::move(r)) {}
   Result<Value> EvaluateRow(const RowBatch& b, size_t row,
                             const ExecContext& ctx) const override;
+  Result<ColumnVector> EvaluateSel(const RowBatch& b, const uint32_t* sel,
+                                   size_t k,
+                                   const ExecContext& ctx) const override;
+  bool pure() const override { return true; }
+  std::vector<const Expr*> children() const override {
+    return {l_.get(), r_.get()};
+  }
   std::string ToString() const override;
 
+  /// Filter-mode fast path: appends the TRUE rows among sel[0..k) to *out
+  /// (absolute indices, ascending) and returns true, or returns false when
+  /// no specialized path applies (caller falls back to EvaluateSel).
+  bool TryFilterSel(const RowBatch& b, const uint32_t* sel, size_t k,
+                    const ExecContext& ctx, std::vector<uint32_t>* out) const;
+
  private:
+  /// A literal compiled into one dictionary's code domain.
+  struct DictPlan {
+    const void* dict = nullptr;       ///< cache key: dictionary identity
+    bool usable = false;
+    bool str_has_empty = false;       ///< dict encodes "" (Oracle hazard)
+    enum class Kind : uint8_t { kNone, kAll, kCmp } kind = Kind::kNone;
+    CmpOp op = CmpOp::kEq;            ///< for kCmp
+    uint64_t code = 0;                ///< for kCmp
+  };
+  /// Returns a copy — concurrent morsel threads may grow the cache, so a
+  /// pointer into dict_plans_ could dangle on reallocation.
+  DictPlan PlanFor(const DictCodes& dc) const;
+  /// Evaluates this compare on dict codes into a match bitvector over all
+  /// n dense rows; returns false when the dict path does not apply.
+  bool DictMatch(const RowBatch& b, size_t n, const ExecContext& ctx,
+                 const ColumnVector** col_out, BitVector* match) const;
+
   CmpOp op_;
   ExprPtr l_, r_;
+  mutable std::mutex dict_mu_;
+  mutable std::vector<DictPlan> dict_plans_;
 };
 
 enum class LogicOp : uint8_t { kAnd, kOr, kNot };
@@ -134,8 +216,19 @@ class LogicExpr : public Expr {
  public:
   LogicExpr(LogicOp op, ExprPtr l, ExprPtr r = nullptr)
       : Expr(TypeId::kBoolean), op_(op), l_(std::move(l)), r_(std::move(r)) {}
+  LogicOp op() const { return op_; }
+  const Expr* left() const { return l_.get(); }
+  const Expr* right() const { return r_.get(); }
   Result<Value> EvaluateRow(const RowBatch& b, size_t row,
                             const ExecContext& ctx) const override;
+  Result<ColumnVector> EvaluateSel(const RowBatch& b, const uint32_t* sel,
+                                   size_t k,
+                                   const ExecContext& ctx) const override;
+  bool pure() const override { return true; }
+  std::vector<const Expr*> children() const override {
+    if (!r_) return {l_.get()};
+    return {l_.get(), r_.get()};
+  }
   std::string ToString() const override;
 
  private:
@@ -151,6 +244,11 @@ class IsNullExpr : public Expr {
       : Expr(TypeId::kBoolean), child_(std::move(child)), negate_(negate) {}
   Result<Value> EvaluateRow(const RowBatch& b, size_t row,
                             const ExecContext& ctx) const override;
+  Result<ColumnVector> EvaluateSel(const RowBatch& b, const uint32_t* sel,
+                                   size_t k,
+                                   const ExecContext& ctx) const override;
+  bool pure() const override { return true; }
+  std::vector<const Expr*> children() const override { return {child_.get()}; }
   std::string ToString() const override {
     return child_->ToString() + (negate_ ? " IS NOT NULL" : " IS NULL");
   }
@@ -167,6 +265,11 @@ class CastExpr : public Expr {
       : Expr(target), child_(std::move(child)) {}
   Result<Value> EvaluateRow(const RowBatch& b, size_t row,
                             const ExecContext& ctx) const override;
+  Result<ColumnVector> EvaluateSel(const RowBatch& b, const uint32_t* sel,
+                                   size_t k,
+                                   const ExecContext& ctx) const override;
+  bool pure() const override { return true; }
+  std::vector<const Expr*> children() const override { return {child_.get()}; }
   std::string ToString() const override {
     return "CAST(" + child_->ToString() + " AS " + TypeName(out_type_) + ")";
   }
@@ -175,16 +278,19 @@ class CastExpr : public Expr {
   ExprPtr child_;
 };
 
-/// LIKE with % and _ wildcards.
+/// LIKE with % and _ wildcards. The pattern is classified at construction:
+/// exact (no wildcards) and prefix ("abc%") patterns get dedicated kernels
+/// and, over dictionary-coded columns, compile to code ranges.
 class LikeExpr : public Expr {
  public:
-  LikeExpr(ExprPtr child, std::string pattern, bool negate)
-      : Expr(TypeId::kBoolean),
-        child_(std::move(child)),
-        pattern_(std::move(pattern)),
-        negate_(negate) {}
+  LikeExpr(ExprPtr child, std::string pattern, bool negate);
   Result<Value> EvaluateRow(const RowBatch& b, size_t row,
                             const ExecContext& ctx) const override;
+  Result<ColumnVector> EvaluateSel(const RowBatch& b, const uint32_t* sel,
+                                   size_t k,
+                                   const ExecContext& ctx) const override;
+  bool pure() const override { return true; }
+  std::vector<const Expr*> children() const override { return {child_.get()}; }
   std::string ToString() const override {
     return child_->ToString() + (negate_ ? " NOT LIKE '" : " LIKE '") +
            pattern_ + "'";
@@ -193,31 +299,48 @@ class LikeExpr : public Expr {
   static bool Match(const std::string& s, const std::string& pattern);
 
  private:
+  enum class PatKind : uint8_t { kGeneral, kExact, kPrefix };
+  bool MatchOne(const std::string& s) const;
+
   ExprPtr child_;
   std::string pattern_;
   bool negate_;
+  PatKind pat_kind_ = PatKind::kGeneral;
+  std::string prefix_;  ///< exact string (kExact) or prefix (kPrefix)
 };
 
-/// expr IN (v1, v2, ...) over literal lists.
+/// expr IN (v1, v2, ...) over literal lists. The list is lowered at
+/// construction into a sorted set typed to the child, so per-row membership
+/// is a binary search on primitives instead of Value comparisons.
 class InExpr : public Expr {
  public:
-  InExpr(ExprPtr child, std::vector<Value> list, bool negate)
-      : Expr(TypeId::kBoolean),
-        child_(std::move(child)),
-        list_(std::move(list)),
-        negate_(negate) {}
+  InExpr(ExprPtr child, std::vector<Value> list, bool negate);
   Result<Value> EvaluateRow(const RowBatch& b, size_t row,
                             const ExecContext& ctx) const override;
+  Result<ColumnVector> EvaluateSel(const RowBatch& b, const uint32_t* sel,
+                                   size_t k,
+                                   const ExecContext& ctx) const override;
+  bool pure() const override { return true; }
+  std::vector<const Expr*> children() const override { return {child_.get()}; }
   std::string ToString() const override;
 
  private:
   ExprPtr child_;
   std::vector<Value> list_;
   bool negate_;
+  // Typed membership sets (sorted, deduped); vector_ok_ is false when the
+  // list mixes type families in a way only Value::Compare can resolve.
+  bool vector_ok_ = false;
+  bool saw_null_ = false;
+  std::vector<int64_t> int_set_;
+  std::vector<double> dbl_set_;
+  std::vector<std::string> str_set_;
 };
 
 /// CASE WHEN ... THEN ... [ELSE ...] END (searched form; the simple form is
-/// rewritten to this by the analyzer).
+/// rewritten to this by the analyzer). Vectorized evaluation is
+/// selection-driven: each WHEN's condition runs only on rows no earlier arm
+/// claimed, each THEN only on the rows its condition matched.
 class CaseExpr : public Expr {
  public:
   CaseExpr(std::vector<std::pair<ExprPtr, ExprPtr>> whens, ExprPtr else_expr,
@@ -225,6 +348,19 @@ class CaseExpr : public Expr {
       : Expr(out), whens_(std::move(whens)), else_(std::move(else_expr)) {}
   Result<Value> EvaluateRow(const RowBatch& b, size_t row,
                             const ExecContext& ctx) const override;
+  Result<ColumnVector> EvaluateSel(const RowBatch& b, const uint32_t* sel,
+                                   size_t k,
+                                   const ExecContext& ctx) const override;
+  bool pure() const override { return true; }
+  std::vector<const Expr*> children() const override {
+    std::vector<const Expr*> out;
+    for (const auto& [c, t] : whens_) {
+      out.push_back(c.get());
+      out.push_back(t.get());
+    }
+    if (else_) out.push_back(else_.get());
+    return out;
+  }
   std::string ToString() const override { return "CASE ... END"; }
 
  private:
@@ -236,20 +372,39 @@ class CaseExpr : public Expr {
 using ScalarFnImpl =
     std::function<Result<Value>(const std::vector<Value>&, const ExecContext&)>;
 
+/// Optional vectorized implementation: evaluates the function over `rows`
+/// dense argument vectors into *out (typed to the function's return type).
+/// Returns false to decline (caller falls back to the row loop), so an impl
+/// only needs to handle the argument types it specializes.
+using VectorFnImpl = std::function<Result<bool>(
+    const std::vector<ColumnVector>& args, size_t rows, const ExecContext& ctx,
+    ColumnVector* out)>;
+
 class FuncExpr : public Expr {
  public:
   FuncExpr(std::string name, ScalarFnImpl fn, std::vector<ExprPtr> args,
-           TypeId out)
+           TypeId out, bool pure = false, VectorFnImpl vec_fn = nullptr)
       : Expr(out), name_(std::move(name)), fn_(std::move(fn)),
-        args_(std::move(args)) {}
+        args_(std::move(args)), pure_(pure), vec_fn_(std::move(vec_fn)) {}
   Result<Value> EvaluateRow(const RowBatch& b, size_t row,
                             const ExecContext& ctx) const override;
+  Result<ColumnVector> EvaluateSel(const RowBatch& b, const uint32_t* sel,
+                                   size_t k,
+                                   const ExecContext& ctx) const override;
+  bool pure() const override { return pure_ && !args_.empty(); }
+  std::vector<const Expr*> children() const override {
+    std::vector<const Expr*> out;
+    for (const auto& a : args_) out.push_back(a.get());
+    return out;
+  }
   std::string ToString() const override;
 
  private:
   std::string name_;
   ScalarFnImpl fn_;
   std::vector<ExprPtr> args_;
+  bool pure_ = false;
+  VectorFnImpl vec_fn_;
 };
 
 /// Applies Oracle VARCHAR2 semantics to a just-produced value: an empty
@@ -257,9 +412,26 @@ class FuncExpr : public Expr {
 Value ApplyDialectStringSemantics(Value v, const ExecContext& ctx);
 
 /// Evaluates `expr` as a filter over `batch`: returns row indices where the
-/// predicate is TRUE (NULL and FALSE are both rejected).
+/// predicate is TRUE (NULL and FALSE are both rejected). Honors
+/// batch.selection; indices are absolute (dense) positions.
 Result<std::vector<uint32_t>> EvalFilter(const Expr& expr,
                                          const RowBatch& batch,
                                          const ExecContext& ctx);
+
+/// Filter-mode evaluation over an explicit selection: returns the subset of
+/// sel[0..k) (or of rows 0..k when sel is null) where `expr` is TRUE.
+/// AND/OR short-circuit by narrowing the selection between sides;
+/// comparisons and LIKE over dictionary-coded columns run on packed codes.
+Result<std::vector<uint32_t>> EvalFilterSel(const Expr& expr,
+                                            const RowBatch& batch,
+                                            const uint32_t* sel, size_t k,
+                                            const ExecContext& ctx);
+
+/// Row-at-a-time reference evaluation (the EvaluateRow loop every kernel is
+/// tested against). Exposed for the property tests and A/B benchmarks.
+Result<ColumnVector> EvaluateRowAtATime(const Expr& expr,
+                                        const RowBatch& batch,
+                                        const uint32_t* sel, size_t k,
+                                        const ExecContext& ctx);
 
 }  // namespace dashdb

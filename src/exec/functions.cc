@@ -295,6 +295,7 @@ FunctionRegistry::FunctionRegistry() {
         DASHDB_ASSIGN_OR_RETURN(int64_t x, Int(a[0]));
         DASHDB_ASSIGN_OR_RETURN(int64_t y, Int(a[1]));
         if (y == 0) return Status::InvalidArgument("MOD by zero");
+        if (y == -1) return Value::Int64(0);  // INT64_MIN % -1 traps
         return Value::Int64(x % y);
       });
   reg("FLOOR", 1, 1, Dialect::kAnsi, RetDouble,
@@ -758,6 +759,96 @@ FunctionRegistry::FunctionRegistry() {
         DASHDB_ASSIGN_OR_RETURN(std::string path, Str(a[1]));
         return json::Exists(doc, path);
       });
+
+  // ---- purity + columnar kernels ----------------------------------------
+  // Pure = deterministic and context-free (beyond dialect string
+  // semantics, which the binder's fold context shares with execution):
+  // a pure call over all-literal arguments folds at bind time. Functions
+  // reading the clock/date context (SYSDATE, NOW, CURRENT_DATE, AGE) and
+  // conversion functions with format-model state stay unfoldable.
+  for (const char* n :
+       {"UPPER",    "LOWER",   "LENGTH",   "TRIM",     "LTRIM",   "RTRIM",
+        "REPLACE",  "CONCAT",  "ABS",      "MOD",      "FLOOR",   "CEIL",
+        "ROUND",    "SQRT",    "EXP",      "LN",       "SIGN",    "COALESCE",
+        "NULLIF",   "YEAR",    "MONTH",    "DAY",      "SUBSTR",  "SUBSTR2",
+        "SUBSTR4",  "SUBSTRB", "NVL",      "NVL2",     "INSTR",   "LPAD",
+        "RPAD",     "INITCAP", "HEXTORAW", "RAWTOHEX", "LEAST",   "GREATEST",
+        "DECODE",   "POW",     "HASH",     "HASH8",    "HASH4",   "BTRIM",
+        "TO_HEX",   "INT4NOT", "INT8NOT",  "STRLEFT",  "STRLFT",  "STRRIGHT",
+        "STRPOS",   "NEXT_MONTH"}) {
+    fns_[n].pure = true;
+  }
+
+  // Columnar kernels for the hottest scalar functions. Each mirrors its
+  // row implementation exactly — including Oracle empty-string-is-NULL on
+  // arguments and results — and declines (returns false) on argument
+  // types it does not specialize, falling back to the row loop.
+  auto case_map_vec = [](int (*conv)(int)) {
+    return [conv](const std::vector<ColumnVector>& args, size_t rows,
+                  const ExecContext& ctx, ColumnVector* out) -> Result<bool> {
+      const ColumnVector& in = args[0];
+      if (in.type() != TypeId::kVarchar) return false;
+      const bool oracle = ctx.EmptyStringIsNull();
+      out->Reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        if (in.IsNull(i) || (oracle && in.strings()[i].empty())) {
+          out->AppendNull();
+          continue;
+        }
+        std::string s = in.strings()[i];
+        std::transform(s.begin(), s.end(), s.begin(),
+                       [conv](unsigned char c) { return conv(c); });
+        out->AppendString(std::move(s));
+      }
+      return true;
+    };
+  };
+  fns_["UPPER"].vec_fn = case_map_vec([](int c) { return std::toupper(c); });
+  fns_["LOWER"].vec_fn = case_map_vec([](int c) { return std::tolower(c); });
+  fns_["LENGTH"].vec_fn = [](const std::vector<ColumnVector>& args,
+                             size_t rows, const ExecContext& ctx,
+                             ColumnVector* out) -> Result<bool> {
+    const ColumnVector& in = args[0];
+    if (in.type() != TypeId::kVarchar) return false;
+    const bool oracle = ctx.EmptyStringIsNull();
+    out->Reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      if (in.IsNull(i) || (oracle && in.strings()[i].empty())) {
+        out->AppendNull();
+      } else {
+        out->AppendInt(static_cast<int64_t>(in.strings()[i].size()));
+      }
+    }
+    return true;
+  };
+  fns_["ABS"].vec_fn = [](const std::vector<ColumnVector>& args, size_t rows,
+                          const ExecContext&,
+                          ColumnVector* out) -> Result<bool> {
+    const ColumnVector& in = args[0];
+    if (in.type() == TypeId::kDouble) {
+      out->Reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        if (in.IsNull(i)) {
+          out->AppendNull();
+        } else {
+          out->AppendDouble(std::fabs(in.doubles()[i]));
+        }
+      }
+      return true;
+    }
+    if (IsIntegerBacked(in.type())) {
+      out->Reserve(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        if (in.IsNull(i)) {
+          out->AppendNull();
+        } else {
+          out->AppendInt(std::llabs(in.ints()[i]));
+        }
+      }
+      return true;
+    }
+    return false;
+  };
 }
 
 }  // namespace dashdb

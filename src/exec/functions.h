@@ -31,6 +31,11 @@ struct FunctionDef {
   /// Infers the result type from argument types.
   std::function<TypeId(const std::vector<TypeId>&)> ret_type;
   ScalarFnImpl fn;
+  /// Deterministic and context-free: a call over all-literal arguments
+  /// folds to a literal at bind time.
+  bool pure = false;
+  /// Optional columnar kernel (see VectorFnImpl); null = row loop only.
+  VectorFnImpl vec_fn;
 };
 
 /// Global immutable registry built at startup.

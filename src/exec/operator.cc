@@ -109,6 +109,7 @@ struct ExecInstruments {
   Counter* operator_opens;
   Counter* morsels;
   Histogram* batch_rows;
+  Histogram* filter_selectivity;  ///< percent of examined rows passing
 };
 
 ExecInstruments& GlobalExecInstruments() {
@@ -119,6 +120,7 @@ ExecInstruments& GlobalExecInstruments() {
       reg.GetCounter("exec.operator_opens"),
       reg.GetCounter("exec.morsels"),
       reg.GetHistogram("exec.batch_rows", {16, 64, 256, 1024, 4096}),
+      reg.GetHistogram("exec.filter_selectivity", {1, 5, 10, 25, 50, 75, 90, 100}),
   };
   return in;
 }
@@ -139,16 +141,30 @@ Status Operator::Open() {
 }
 
 Result<bool> Operator::Next(RowBatch* out) {
+  return NextInternal(out, /*allow_selection=*/false);
+}
+
+Result<bool> Operator::NextSel(RowBatch* out) {
+  return NextInternal(out, /*allow_selection=*/true);
+}
+
+Result<bool> Operator::NextInternal(RowBatch* out, bool allow_selection) {
   ++metrics_.next_calls;
   const auto wall0 = std::chrono::steady_clock::now();
   const double cpu0 = ThreadCpuSeconds();
   Result<bool> r = NextImpl(out);
+  // Compaction for selection-unaware callers counts as this operator's
+  // work, so it stays inside the timed window.
+  if (r.ok() && *r && !allow_selection) out->Compact();
   metrics_.cpu_seconds += ThreadCpuSeconds() - cpu0;
   metrics_.wall_seconds +=
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
   if (r.ok() && *r) {
-    const uint64_t n = out->num_rows();
+    // Logical rows: a batch carrying a selection counts its selected rows,
+    // so EXPLAIN ANALYZE cardinalities are invariant to where compaction
+    // happens.
+    const uint64_t n = out->logical_rows();
     ++metrics_.batches_out;
     metrics_.rows_out += n;
     auto& in = GlobalExecInstruments();
@@ -171,13 +187,15 @@ std::string Operator::AnalyzeString(int indent) const {
   const double self = std::max(0.0, metrics_.wall_seconds - child_wall);
   char buf[128];
   std::snprintf(buf, sizeof(buf),
-                " [rows=%llu batches=%llu wall=%.3fms self=%.3fms]",
+                " [rows=%llu batches=%llu wall=%.3fms self=%.3fms",
                 static_cast<unsigned long long>(metrics_.rows_out),
                 static_cast<unsigned long long>(metrics_.batches_out),
                 metrics_.wall_seconds * 1e3, self * 1e3);
   std::string out(indent * 2, ' ');
   out += label();
   out += buf;
+  out += AnalyzeExtra();
+  out += "]";
   out += "\n";
   for (const Operator* c : children()) out += c->AnalyzeString(indent + 1);
   return out;
@@ -414,20 +432,48 @@ FilterOp::FilterOp(OperatorPtr child, ExprPtr pred, const ExecContext* ctx)
   output_ = child_->output();
 }
 
-Status FilterOp::OpenImpl() { return child_->Open(); }
+Status FilterOp::OpenImpl() {
+  rows_in_ = 0;
+  rows_passed_ = 0;
+  sel_batches_ = 0;
+  return child_->Open();
+}
 
 Result<bool> FilterOp::NextImpl(RowBatch* out) {
   RowBatch in;
   for (;;) {
-    DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    DASHDB_ASSIGN_OR_RETURN(bool more, child_->NextSel(&in));
     if (!more) return false;
+    const size_t examined = in.logical_rows();
     DASHDB_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
                             EvalFilter(*pred_, in, *ctx_));
+    rows_in_ += examined;
+    rows_passed_ += sel.size();
+    if (examined > 0) {
+      GlobalExecInstruments().filter_selectivity->Observe(
+          static_cast<int64_t>(100 * sel.size() / examined));
+    }
     if (sel.empty()) continue;
-    InitBatchFor(output_, out);
-    for (uint32_t r : sel) AppendRowFrom(in, r, out);
+    // No row movement: the child's columns pass through untouched and the
+    // qualifying rows ride along as a selection vector. Compaction happens
+    // at the first selection-unaware consumer (Operator::Next) or blow-up
+    // point, not here.
+    ++sel_batches_;
+    *out = std::move(in);
+    out->selection =
+        std::make_shared<const std::vector<uint32_t>>(std::move(sel));
     return true;
   }
+}
+
+std::string FilterOp::AnalyzeExtra() const {
+  if (rows_in_ == 0) return std::string();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " sel=%.1f%% sel-batches=%llu",
+                100.0 * static_cast<double>(rows_passed_) /
+                    static_cast<double>(rows_in_),
+                static_cast<unsigned long long>(sel_batches_));
+  return buf;
 }
 
 // --------------------------------------------------------------- Project --
@@ -443,8 +489,11 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
 Status ProjectOp::OpenImpl() { return child_->Open(); }
 
 Result<bool> ProjectOp::NextImpl(RowBatch* out) {
+  // Selection-aware: Evaluate() produces dense output over the selected
+  // rows, so projection doubles as the compaction point — selected rows
+  // are gathered exactly once, into the projected columns.
   RowBatch in;
-  DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  DASHDB_ASSIGN_OR_RETURN(bool more, child_->NextSel(&in));
   if (!more) return false;
   out->columns.clear();
   out->columns.reserve(exprs_.size());
@@ -640,11 +689,17 @@ Result<bool> HashJoinOp::NextImpl(RowBatch* out) {
   std::vector<uint64_t> probe_hash;
   std::vector<uint8_t> probe_null;
   for (;;) {
-    DASHDB_ASSIGN_OR_RETURN(bool more, probe_->Next(&in));
+    DASHDB_ASSIGN_OR_RETURN(bool more, probe_->NextSel(&in));
     if (!more) return false;
     InitBatchFor(output_, out);
     const size_t probe_cols = in.columns.size();
-    const size_t nrows = in.num_rows();
+    // Selection-aware: `i` walks the batch's logical (selected) rows and
+    // in.row_at(i) maps to the dense row for direct column access. Key
+    // expressions evaluate through Evaluate(), which honors the selection
+    // and produces logical-dense vectors indexed by `i`. The join output
+    // is a blow-up point, so qualifying probe rows gather here exactly
+    // once — never compacted upstream.
+    const size_t nrows = in.logical_rows();
 
     // Vectorized probe prologue: evaluate the key expressions once per
     // batch and hash every key column in one column-major pass, instead of
@@ -653,11 +708,12 @@ Result<bool> HashJoinOp::NextImpl(RowBatch* out) {
     probe_null.assign(nrows, 0);
     if (fast_int_) {
       const ColumnVector& kc = in.columns[probe_key_col_];
-      for (size_t r = 0; r < nrows; ++r) {
+      for (size_t i = 0; i < nrows; ++i) {
+        const size_t r = in.row_at(i);
         if (kc.IsNull(r)) {
-          probe_null[r] = 1;
+          probe_null[i] = 1;
         } else {
-          probe_hash[r] = HashInt64(static_cast<uint64_t>(kc.GetInt(r)));
+          probe_hash[i] = HashInt64(static_cast<uint64_t>(kc.GetInt(r)));
         }
       }
     } else {
@@ -668,9 +724,9 @@ Result<bool> HashJoinOp::NextImpl(RowBatch* out) {
         probe_key_cols.push_back(std::move(cv));
       }
       for (const auto& kc : probe_key_cols) {
-        for (size_t r = 0; r < nrows; ++r) {
-          probe_null[r] |= kc.IsNull(r) ? 1 : 0;
-          probe_hash[r] = HashCombine(probe_hash[r], HashCell(kc, r));
+        for (size_t i = 0; i < nrows; ++i) {
+          probe_null[i] |= kc.IsNull(i) ? 1 : 0;
+          probe_hash[i] = HashCombine(probe_hash[i], HashCell(kc, i));
         }
       }
     }
@@ -678,19 +734,20 @@ Result<bool> HashJoinOp::NextImpl(RowBatch* out) {
     const ColumnVector* fast_kc =
         fast_int_ ? &in.columns[probe_key_col_] : nullptr;
     constexpr size_t kPrefetchDist = 8;
-    for (size_t r = 0; r < nrows; ++r) {
+    for (size_t i = 0; i < nrows; ++i) {
       // Overlap the next rows' filter-word and slot misses with this
       // row's work; all addresses derive from the already-batched hashes.
-      if (r + kPrefetchDist < nrows && !probe_null[r + kPrefetchDist]) {
-        const uint64_t ph = probe_hash[r + kPrefetchDist];
+      if (i + kPrefetchDist < nrows && !probe_null[i + kPrefetchDist]) {
+        const uint64_t ph = probe_hash[i + kPrefetchDist];
         const Partition& pp =
             partitions_[partitioned_ ? (ph >> 32) & (nparts - 1) : 0];
         pp.bloom.Prefetch(ph);
         pp.table.Prefetch(ph);
       }
+      const size_t r = in.row_at(i);
       bool matched = false;
-      if (!probe_null[r]) {
-        const uint64_t h = probe_hash[r];
+      if (!probe_null[i]) {
+        const uint64_t h = probe_hash[i];
         const Partition& part =
             partitions_[partitioned_ ? (h >> 32) & (nparts - 1) : 0];
         // Bloom prefilter: most probe misses reject on one or two cache
@@ -701,7 +758,7 @@ Result<bool> HashJoinOp::NextImpl(RowBatch* out) {
           for (int32_t cur = part.table.Find(key, h);
                cur != FlatJoinIndex::kNone; cur = part.table.Next(cur)) {
             const uint32_t brow = part.table.Row(cur);
-            if (!fast_int_ && !KeysEqual(probe_key_cols, r, brow)) continue;
+            if (!fast_int_ && !KeysEqual(probe_key_cols, i, brow)) continue;
             matched = true;
             AppendRowFrom(in, r, out);
             for (size_t c = 0; c < build_data_.columns.size(); ++c) {
@@ -980,7 +1037,10 @@ Status HashAggOp::Materialize() {
   // evaluation and no failure modes, so it is safe to run on pool workers
   // against thread-local partials.
   auto consume_fast = [&](const RowBatch& in, AggPartial& P) {
-    const size_t n = in.num_rows();
+    // Selection-aware: logical row i maps to dense row in.row_at(i); the
+    // aggregation table is the compaction point, so filtered batches are
+    // consumed without ever materializing the selected rows.
+    const size_t n = in.logical_rows();
     auto feed = [&](std::vector<AggState>& states, size_t r) {
       for (size_t a = 0; a < aggs_.size(); ++a) {
         const AggSpec& spec = aggs_[a];
@@ -1016,7 +1076,8 @@ Status HashAggOp::Materialize() {
     };
     if (single_int_key) {
       const ColumnVector& kc = in.columns[group_cols[0]];
-      for (size_t r = 0; r < n; ++r) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t r = in.row_at(i);
         // NULL group keys collapse into one group, keyed by a sentinel
         // tracked separately from the value domain.
         bool is_null = kc.IsNull(r);
@@ -1030,7 +1091,8 @@ Status HashAggOp::Materialize() {
         feed(P.states[id], r);
       }
     } else {
-      for (size_t r = 0; r < n; ++r) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t r = in.row_at(i);
         P.scratch.clear();
         for (int c : group_cols) SerializeCell(in.columns[c], r, &P.scratch);
         uint64_t h = HashBytesFast(P.scratch.data(), P.scratch.size());
@@ -1081,24 +1143,27 @@ Status HashAggOp::Materialize() {
   if (!parallel) {
     RowBatch in;
     for (;;) {
-      DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+      DASHDB_ASSIGN_OR_RETURN(bool more, child_->NextSel(&in));
       if (!more) break;
       if (fast) {
         consume_fast(in, root);
         continue;
       }
       // Slow path: evaluate the grouping expressions once per batch into
-      // typed columns, then serialize keys from those columns per row.
-      const size_t n = in.num_rows();
+      // typed columns (logical-dense: Evaluate honors the selection, so
+      // gcols index by logical row i), then serialize keys per row. Agg
+      // arguments still evaluate row-at-a-time against the dense batch.
+      const size_t n = in.logical_rows();
       std::vector<ColumnVector> gcols;
       gcols.reserve(group_exprs_.size());
       for (const auto& g : group_exprs_) {
         DASHDB_ASSIGN_OR_RETURN(ColumnVector cv, g->Evaluate(in, *ctx_));
         gcols.push_back(std::move(cv));
       }
-      for (size_t r = 0; r < n; ++r) {
+      for (size_t i = 0; i < n; ++i) {
+        const size_t r = in.row_at(i);
         root.scratch.clear();
-        for (const auto& gc : gcols) SerializeCell(gc, r, &root.scratch);
+        for (const auto& gc : gcols) SerializeCell(gc, i, &root.scratch);
         uint64_t h = HashBytesFast(root.scratch.data(), root.scratch.size());
         bool inserted = false;
         uint32_t id = root.index.FindOrInsert(
@@ -1133,7 +1198,9 @@ Status HashAggOp::Materialize() {
     {
       RowBatch in;
       for (;;) {
-        DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+        // Selections ride along into the morsels; consume_fast reads
+        // through them.
+        DASHDB_ASSIGN_OR_RETURN(bool more, child_->NextSel(&in));
         if (!more) break;
         morsels.push_back(std::move(in));
         in = RowBatch();
@@ -1250,12 +1317,30 @@ Result<bool> SortOp::NextImpl(RowBatch* out) {
     }
     std::vector<uint32_t> order(n);
     for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    // Typed cell comparison straight off the key columns' primitive
+    // payloads — no per-comparison Value boxing. Mirrors Value::Compare:
+    // NULLs sort high, doubles via <, everything else via the int64
+    // payload (a key column has one type, so no cross-family cases).
+    auto compare_cell = [](const ColumnVector& cv, uint32_t a,
+                           uint32_t b) -> int {
+      const bool an = cv.IsNull(a), bn = cv.IsNull(b);
+      if (an || bn) return an ? (bn ? 0 : 1) : -1;
+      if (cv.type() == TypeId::kVarchar) {
+        const std::string& x = cv.GetString(a);
+        const std::string& y = cv.GetString(b);
+        return x < y ? -1 : (x == y ? 0 : 1);
+      }
+      if (cv.type() == TypeId::kDouble) {
+        const double x = cv.GetDouble(a), y = cv.GetDouble(b);
+        return x < y ? -1 : (x == y ? 0 : 1);
+      }
+      const int64_t x = cv.GetInt(a), y = cv.GetInt(b);
+      return x < y ? -1 : (x == y ? 0 : 1);
+    };
     std::stable_sort(order.begin(), order.end(),
                      [&](uint32_t a, uint32_t b) {
                        for (size_t k = 0; k < keys_.size(); ++k) {
-                         Value va = key_cols[k].GetValue(a);
-                         Value vb = key_cols[k].GetValue(b);
-                         int c = va.Compare(vb);
+                         int c = compare_cell(key_cols[k], a, b);
                          if (c != 0) return keys_[k].desc ? c > 0 : c < 0;
                        }
                        return false;
@@ -1287,16 +1372,17 @@ Result<bool> LimitOp::NextImpl(RowBatch* out) {
   if (limit_ >= 0 && emitted_ >= limit_) return false;
   RowBatch in;
   for (;;) {
-    DASHDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    DASHDB_ASSIGN_OR_RETURN(bool more, child_->NextSel(&in));
     if (!more) return false;
     InitBatchFor(output_, out);
-    for (size_t r = 0; r < in.num_rows(); ++r) {
+    const size_t lrows = in.logical_rows();
+    for (size_t i = 0; i < lrows; ++i) {
       if (skipped_ < offset_) {
         ++skipped_;
         continue;
       }
       if (limit_ >= 0 && emitted_ >= limit_) break;
-      AppendRowFrom(in, r, out);
+      AppendRowFrom(in, in.row_at(i), out);
       ++emitted_;
     }
     if (out->num_rows() > 0) return true;

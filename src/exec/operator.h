@@ -52,7 +52,13 @@ class Operator {
   virtual ~Operator() = default;
   Status Open();
   /// Replaces *out with the next batch; returns false at end of stream.
+  /// Batches are always dense: any selection vector a child produced is
+  /// compacted here, so callers that have not opted in never see one.
   Result<bool> Next(RowBatch* out);
+  /// Like Next(), but the batch may carry a selection vector (FilterOp
+  /// emits one instead of compacting). Selection-aware consumers pull
+  /// through this and defer compaction to their own blow-up points.
+  Result<bool> NextSel(RowBatch* out);
   const std::vector<OutputCol>& output() const { return output_; }
 
   /// EXPLAIN support.
@@ -80,10 +86,15 @@ class Operator {
  protected:
   virtual Status OpenImpl() = 0;
   virtual Result<bool> NextImpl(RowBatch* out) = 0;
+  /// Extra per-operator detail appended inside the AnalyzeString bracket
+  /// (e.g. FilterOp's selectivity).
+  virtual std::string AnalyzeExtra() const { return std::string(); }
 
   std::vector<OutputCol> output_;
 
  private:
+  Result<bool> NextInternal(RowBatch* out, bool allow_selection);
+
   OperatorMetrics metrics_;
 };
 
@@ -202,7 +213,10 @@ class RowIndexScanOp : public Operator {
   bool drained_ = false;
 };
 
-/// Residual predicate filter.
+/// Residual predicate filter. Emits the child's batch unchanged with a
+/// selection vector attached instead of compacting — downstream
+/// selection-aware consumers (project, join probe, aggregation, limit)
+/// evaluate through the selection and compact only at blow-up points.
 class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, ExprPtr pred, const ExecContext* ctx);
@@ -214,10 +228,16 @@ class FilterOp : public Operator {
     return {child_.get()};
   }
 
+ protected:
+  std::string AnalyzeExtra() const override;
+
  private:
   OperatorPtr child_;
   ExprPtr pred_;
   const ExecContext* ctx_;
+  uint64_t rows_in_ = 0;       ///< logical rows examined
+  uint64_t rows_passed_ = 0;   ///< rows selected
+  uint64_t sel_batches_ = 0;   ///< batches emitted carrying a selection
 };
 
 /// Expression projection.

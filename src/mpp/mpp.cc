@@ -139,10 +139,25 @@ Status MppDatabase::Load(const std::string& schema, const std::string& table,
       p.columns.emplace_back(ts.column(c).type);
     }
   }
+  // Route straight off the key column — no per-row Value boxing.
   const size_t n = rows.num_rows();
+  const int key_col = ts.distribution_key();
+  const ColumnVector* kc = key_col >= 0 ? &rows.columns[key_col] : nullptr;
   for (size_t i = 0; i < n; ++i) {
-    std::vector<Value> row = rows.Row(i);
-    int shard = RouteRow(ts, row);
+    int shard;
+    if (!kc) {
+      shard = static_cast<int>(round_robin_++ % shards_.size());
+    } else if (kc->IsNull(i)) {
+      shard = 0;
+    } else if (kc->type() == TypeId::kVarchar) {
+      shard = static_cast<int>(HashString(kc->GetString(i)) % shards_.size());
+    } else {
+      const uint64_t h = kc->type() == TypeId::kDouble
+                             ? HashInt64(static_cast<uint64_t>(
+                                   kc->GetValue(i).AsInt()))
+                             : HashInt64(static_cast<uint64_t>(kc->GetInt(i)));
+      shard = static_cast<int>(h % shards_.size());
+    }
     for (int c = 0; c < ts.num_columns(); ++c) {
       parts[shard].columns[c].AppendFrom(rows.columns[c], i);
     }

@@ -244,7 +244,41 @@ class ExprBinder {
   ExprBinder(const Scope* scope, Session* session)
       : scope_(scope), session_(session) {}
 
+  /// Binds and then constant-folds: a pure node whose children all bound
+  /// to literals is evaluated once here and replaced by the result, so the
+  /// vectorized engine never re-evaluates `V * (100 + 1) / 2`-style
+  /// subtrees per batch. Folding is bottom-up (recursive Bind calls come
+  /// back through this wrapper), so any non-pure descendant blocks it.
   Result<ExprPtr> Bind(const ExprP& e) {
+    DASHDB_ASSIGN_OR_RETURN(ExprPtr bound, BindNode(e));
+    return MaybeFold(std::move(bound));
+  }
+
+  ExprPtr MaybeFold(ExprPtr bound) {
+    if (!bound->pure()) return bound;
+    std::vector<const Expr*> kids = bound->children();
+    if (kids.empty()) return bound;
+    for (const Expr* c : kids) {
+      if (dynamic_cast<const LiteralExpr*>(c) == nullptr) return bound;
+    }
+    RowBatch empty;
+    auto v = bound->EvaluateRow(empty, 0, session_->exec_ctx());
+    // Evaluation errors (1/0, bad casts) must surface at run time, not
+    // bind time: keep the expression unfolded.
+    if (!v.ok()) return bound;
+    Value folded = std::move(*v);
+    if (folded.is_null()) {
+      folded = Value::Null(bound->out_type());
+    } else if (folded.type() != bound->out_type()) {
+      auto cast = folded.CastTo(bound->out_type());
+      if (!cast.ok()) return bound;
+      folded = std::move(*cast);
+    }
+    return std::make_shared<LiteralExpr>(std::move(folded));
+  }
+
+ private:
+  Result<ExprPtr> BindNode(const ExprP& e) {
     switch (e->kind) {
       case ExprKind::kLiteral:
         return std::static_pointer_cast<Expr>(
@@ -362,6 +396,7 @@ class ExprBinder {
     return Status::Internal("unhandled expression kind");
   }
 
+ public:
   /// Constant-folds an AST expression (literal or function of literals).
   Result<Value> FoldToValue(const ExprP& e) {
     if (e->kind == ExprKind::kLiteral) return e->literal;
@@ -483,7 +518,7 @@ class ExprBinder {
     }
     TypeId out = def->ret_type(arg_types);
     return std::static_pointer_cast<Expr>(std::make_shared<FuncExpr>(
-        e->name, def->fn, std::move(args), out));
+        e->name, def->fn, std::move(args), out, def->pure, def->vec_fn));
   }
 
   Result<ExprPtr> BindCase(const ExprP& e) {

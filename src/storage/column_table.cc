@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 
+#include "compression/dict_codes.h"
 #include "compression/stats.h"
 
 namespace dashdb {
@@ -479,18 +480,39 @@ void ColumnTable::EvalPredsOnPage(const std::vector<ColumnPredicate>& preds,
 
 void ColumnTable::DecodeProjection(const std::vector<int>& projection,
                                    size_t page_no, const BitVector& sel,
-                                   RowBatch* out) const {
+                                   bool attach_codes, RowBatch* out) const {
   for (size_t k = 0; k < projection.size(); ++k) {
     int c = projection[k];
     const ColumnData& cd = columns_[c];
     const ColumnPage& page = *cd.pages[page_no];
     TypeId t = schema_.column(c).type;
+    ColumnVector* cv = &out->columns[k];
+    const bool was_empty = cv->size() == 0;
     if (t == TypeId::kDouble) {
-      DecodeDoublePage(page, &sel, &out->columns[k]);
+      DecodeDoublePage(page, &sel, cv);
     } else if (t == TypeId::kVarchar) {
-      DecodeStringPage(page, cd.str_dict.get(), &sel, &out->columns[k]);
+      DecodeStringPage(page, cd.str_dict.get(), &sel, cv);
     } else {
-      DecodeIntPage(page, cd.int_dict.get(), &sel, &out->columns[k]);
+      DecodeIntPage(page, cd.int_dict.get(), &sel, cv);
+    }
+    // Keep the dictionary codes alongside the decoded values when they stay
+    // row-aligned: every page row selected, single-partition row-order
+    // codes, no exception rows. Appends reset the sidecar, so set it last.
+    if (attach_codes && was_empty && page.exc_offsets.empty() &&
+        page.ordered_codes.size() >= cv->size() && cv->size() == page.num_rows) {
+      if (page.encoding == PageEncoding::kDictInt && cd.int_dict &&
+          cd.int_dict->is_single_partition()) {
+        auto dc = std::make_shared<DictCodes>();
+        dc->codes = page.ordered_codes;
+        dc->int_dict = cd.int_dict;
+        cv->set_dict_codes(std::move(dc));
+      } else if (page.encoding == PageEncoding::kDictString && cd.str_dict &&
+                 cd.str_dict->is_single_partition()) {
+        auto dc = std::make_shared<DictCodes>();
+        dc->codes = page.ordered_codes;
+        dc->str_dict = cd.str_dict;
+        cv->set_dict_codes(std::move(dc));
+      }
     }
   }
 }
@@ -591,7 +613,8 @@ Status ColumnTable::ScanPage(size_t page_no,
   if (hits == 0) return Status::OK();
   if (stats) stats->rows_matched += hits;
   for (int c : projection) ChargePool(opts.pool, c, p);
-  DecodeProjection(projection, p, match, out);
+  DecodeProjection(projection, p, match,
+                   opts.operate_on_compressed && hits == n_rows, out);
   if (ids) {
     ids->reserve(ids->size() + hits);
     match.ForEachSet([&](size_t i) { ids->push_back(base + i); });

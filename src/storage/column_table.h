@@ -177,8 +177,11 @@ class ColumnTable : public StorageObject {
   bool ApplySynopsis(const std::vector<ColumnPredicate>& preds, size_t page_no,
                      BitVector* match, ScanStats* stats) const;
 
+  /// `attach_codes` keeps the dictionary-code sidecar on fully-selected
+  /// kDict* pages so downstream filters can operate on compressed.
   void DecodeProjection(const std::vector<int>& projection, size_t page_no,
-                        const BitVector& sel, RowBatch* out) const;
+                        const BitVector& sel, bool attach_codes,
+                        RowBatch* out) const;
 
   void ChargePool(BufferPool* pool, int col, size_t page_no) const;
 

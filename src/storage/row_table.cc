@@ -118,12 +118,15 @@ Status RowTable::Append(const RowBatch& data) {
       pages_.push_back(std::move(p));
     }
     Page* p = pages_.back().get();
-    std::vector<Value> row = data.Row(i);
+    // Cell-at-a-time straight from the columns: no per-row Value vector.
     for (int c = 0; c < schema_.num_columns(); ++c) {
-      WriteCell(p, p->nrows, c, row[c]);
+      WriteCell(p, p->nrows, c, data.columns[c].GetValue(i));
     }
     ++p->nrows;
-    MaintainIndexes(row_count_, row);
+    for (auto& [col, idx] : indexes_) {
+      const ColumnVector& cv = data.columns[col];
+      if (!cv.IsNull(i)) idx->Insert(cv.GetValue(i).AsInt(), row_count_);
+    }
     ++row_count_;
   }
   deleted_.GrowTo(row_count_);

@@ -128,6 +128,19 @@ const char* kCorpus[] = {
     // path on every shard, merged by the coordinator.
     "SELECT COUNT(*) FROM T WHERE V <= 50",
     "SELECT COUNT(*) FROM T WHERE GRP = 4",
+    // Expression-heavy shapes through the vectorized engine: CASE arms,
+    // LIKE prefix, mixed-type arithmetic, and residual (non-sargable)
+    // predicates that run as dictionary-code filters mid-query.
+    "SELECT ID, CASE WHEN V >= 67 THEN 'hi' WHEN V >= 34 THEN 'mid' "
+    "ELSE 'lo' END FROM T WHERE GRP = 1 ORDER BY ID LIMIT 30",
+    "SELECT S, COUNT(*) FROM T WHERE S LIKE 's1%' GROUP BY S ORDER BY S",
+    "SELECT GRP, SUM(CASE WHEN CAT = 2 THEN V ELSE 0 END), "
+    "SUM(V / 2.0 + CAT * 3) FROM T GROUP BY GRP ORDER BY GRP",
+    "SELECT ID, V * 31 - CAT FROM T WHERE GRP = 2 OR CAT = 4 "
+    "ORDER BY ID LIMIT 25",
+    "SELECT COUNT(*), SUM(V) FROM T WHERE V % 7 = 0 AND S LIKE 's%'",
+    "SELECT ID, CONCAT(S, CONCAT('x', CAT)) FROM T "
+    "WHERE S = 's3' AND V + CAT >= 40 ORDER BY ID LIMIT 15",
 };
 constexpr size_t kCorpusSize = sizeof(kCorpus) / sizeof(kCorpus[0]);
 
