@@ -1,0 +1,143 @@
+#include "workloads/star_schema.h"
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/column_table.h"
+
+namespace dashdb {
+namespace bench {
+
+namespace {
+
+/// Skewed FK draw: ~80% of picks land in the first 10% of the domain.
+size_t SkewedPick(Rng* rng, size_t n) {
+  if (n == 0) return 0;
+  size_t hot = n / 10 > 0 ? n / 10 : 1;
+  if (rng->Uniform(100) < 80) return rng->Uniform(hot);
+  return rng->Uniform(n);
+}
+
+}  // namespace
+
+Status StarSchemaWorkload::Setup(Engine* engine) {
+  Rng rng(scale_.seed);
+
+  // SALES: the fact.
+  TableSchema sales("PUBLIC", "SALES",
+                    {{"ID", TypeId::kInt64, false, 0, false},
+                     {"CUST_ID", TypeId::kInt64, true, 0, false},
+                     {"PROD_ID", TypeId::kInt64, true, 0, false},
+                     {"STORE_ID", TypeId::kInt64, true, 0, false},
+                     {"DATE_ID", TypeId::kInt64, true, 0, false},
+                     {"AMT", TypeId::kInt64, true, 0, false},
+                     {"QTY", TypeId::kInt64, true, 0, false}});
+  DASHDB_ASSIGN_OR_RETURN(auto st, engine->CreateColumnTable(sales));
+  RowBatch srows;
+  for (int c = 0; c < 7; ++c) srows.columns.emplace_back(TypeId::kInt64);
+  for (size_t i = 0; i < scale_.fact_rows; ++i) {
+    srows.columns[0].AppendInt(static_cast<int64_t>(i));
+    srows.columns[1].AppendInt(
+        static_cast<int64_t>(SkewedPick(&rng, scale_.customers)));
+    srows.columns[2].AppendInt(
+        static_cast<int64_t>(SkewedPick(&rng, scale_.products)));
+    srows.columns[3].AppendInt(
+        static_cast<int64_t>(SkewedPick(&rng, scale_.stores)));
+    srows.columns[4].AppendInt(
+        static_cast<int64_t>(SkewedPick(&rng, scale_.dates)));
+    srows.columns[5].AppendInt(static_cast<int64_t>(rng.Uniform(10000)));
+    srows.columns[6].AppendInt(static_cast<int64_t>(1 + rng.Uniform(10)));
+  }
+  DASHDB_RETURN_IF_ERROR(st->Load(srows));
+
+  // CUSTOMER: SEGMENT is the adaptive trap — 20 distinct values but 95% of
+  // rows carry segment 0, so an equality on it under-estimates ~19x.
+  TableSchema customer("PUBLIC", "CUSTOMER",
+                       {{"CUST_ID", TypeId::kInt64, false, 0, false},
+                        {"SEGMENT", TypeId::kInt64, true, 0, false},
+                        {"REGION", TypeId::kInt64, true, 0, false}});
+  DASHDB_ASSIGN_OR_RETURN(auto ct, engine->CreateColumnTable(customer));
+  RowBatch crows;
+  for (int c = 0; c < 3; ++c) crows.columns.emplace_back(TypeId::kInt64);
+  for (size_t i = 0; i < scale_.customers; ++i) {
+    crows.columns[0].AppendInt(static_cast<int64_t>(i));
+    crows.columns[1].AppendInt(
+        rng.Uniform(100) < 95 ? 0
+                              : static_cast<int64_t>(1 + rng.Uniform(19)));
+    crows.columns[2].AppendInt(static_cast<int64_t>(rng.Uniform(50)));
+  }
+  DASHDB_RETURN_IF_ERROR(ct->Load(crows));
+
+  // PRODUCT with the CATEGORY snowflake outrigger.
+  TableSchema product("PUBLIC", "PRODUCT",
+                      {{"PROD_ID", TypeId::kInt64, false, 0, false},
+                       {"CAT_ID", TypeId::kInt64, true, 0, false},
+                       {"PRICE", TypeId::kInt64, true, 0, false}});
+  DASHDB_ASSIGN_OR_RETURN(auto pt, engine->CreateColumnTable(product));
+  RowBatch prows;
+  for (int c = 0; c < 3; ++c) prows.columns.emplace_back(TypeId::kInt64);
+  for (size_t i = 0; i < scale_.products; ++i) {
+    prows.columns[0].AppendInt(static_cast<int64_t>(i));
+    prows.columns[1].AppendInt(static_cast<int64_t>(i % scale_.categories));
+    prows.columns[2].AppendInt(static_cast<int64_t>(1 + rng.Uniform(500)));
+  }
+  DASHDB_RETURN_IF_ERROR(pt->Load(prows));
+
+  TableSchema store("PUBLIC", "STORE",
+                    {{"STORE_ID", TypeId::kInt64, false, 0, false},
+                     {"REGION", TypeId::kInt64, true, 0, false}});
+  DASHDB_ASSIGN_OR_RETURN(auto tt, engine->CreateColumnTable(store));
+  RowBatch trows;
+  for (int c = 0; c < 2; ++c) trows.columns.emplace_back(TypeId::kInt64);
+  for (size_t i = 0; i < scale_.stores; ++i) {
+    trows.columns[0].AppendInt(static_cast<int64_t>(i));
+    trows.columns[1].AppendInt(static_cast<int64_t>(i % 50));
+  }
+  DASHDB_RETURN_IF_ERROR(tt->Load(trows));
+
+  TableSchema datedim("PUBLIC", "DATEDIM",
+                      {{"DATE_ID", TypeId::kInt64, false, 0, false},
+                       {"MONTH", TypeId::kInt64, true, 0, false},
+                       {"YEAR", TypeId::kInt64, true, 0, false}});
+  DASHDB_ASSIGN_OR_RETURN(auto dt, engine->CreateColumnTable(datedim));
+  RowBatch drows;
+  for (int c = 0; c < 3; ++c) drows.columns.emplace_back(TypeId::kInt64);
+  for (size_t i = 0; i < scale_.dates; ++i) {
+    drows.columns[0].AppendInt(static_cast<int64_t>(i));
+    drows.columns[1].AppendInt(static_cast<int64_t>(1 + (i / 30) % 12));
+    drows.columns[2].AppendInt(static_cast<int64_t>(2010 + i / 365));
+  }
+  DASHDB_RETURN_IF_ERROR(dt->Load(drows));
+
+  // RETURNS: a second fact keyed by SALES.ID (~30% of sales have one).
+  // Strictly increasing id stride keeps ids distinct and inside the
+  // SALES domain.
+  TableSchema returns("PUBLIC", "RETURNS",
+                      {{"ID", TypeId::kInt64, false, 0, false},
+                       {"RAMT", TypeId::kInt64, true, 0, false}});
+  DASHDB_ASSIGN_OR_RETURN(auto rt, engine->CreateColumnTable(returns));
+  RowBatch rrows;
+  for (int c = 0; c < 2; ++c) rrows.columns.emplace_back(TypeId::kInt64);
+  const size_t nreturns = scale_.fact_rows * 3 / 10;
+  for (size_t i = 0; i < nreturns; ++i) {
+    rrows.columns[0].AppendInt(static_cast<int64_t>(i * 10 / 3));
+    rrows.columns[1].AppendInt(static_cast<int64_t>(rng.Uniform(5000)));
+  }
+  DASHDB_RETURN_IF_ERROR(rt->Load(rrows));
+
+  TableSchema category("PUBLIC", "CATEGORY",
+                       {{"CAT_ID", TypeId::kInt64, false, 0, false},
+                        {"KIND", TypeId::kInt64, true, 0, false}});
+  DASHDB_ASSIGN_OR_RETURN(auto gt, engine->CreateColumnTable(category));
+  RowBatch grows;
+  for (int c = 0; c < 2; ++c) grows.columns.emplace_back(TypeId::kInt64);
+  for (size_t i = 0; i < scale_.categories; ++i) {
+    grows.columns[0].AppendInt(static_cast<int64_t>(i));
+    grows.columns[1].AppendInt(static_cast<int64_t>(i % 5));
+  }
+  return gt->Load(grows);
+}
+
+}  // namespace bench
+}  // namespace dashdb

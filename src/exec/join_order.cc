@@ -1,0 +1,156 @@
+#include "exec/join_order.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace dashdb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Joining a relation with no edge into the current set is a cross product;
+/// the penalty keeps such steps at the very end of any order that has an
+/// edge-connected alternative.
+constexpr double kCrossPenalty = 1e3;
+
+struct Step {
+  double out_rows = 0;
+  double cost = 0;
+};
+
+/// Cost and output rows of joining relation `r` into the current
+/// intermediate result (`member`/`cur_rows`). The first relation in an
+/// order is free: it is streamed through the join chain, never built into
+/// a hash table. Every later step charges the intermediate-result size plus
+/// the hash-table build of `r`.
+Step ComputeStep(const std::vector<JoinRelation>& rels,
+                 const std::vector<JoinGraphEdge>& edges,
+                 const std::vector<char>& member, bool any_member,
+                 double cur_rows, int r) {
+  if (!any_member) return {rels[r].rows, 0.0};
+  const double build = std::max(0.0, rels[r].rows);
+  double out = cur_rows * build;
+  bool connected = false;
+  for (const auto& e : edges) {
+    bool touches = (e.a == r && member[e.b]) || (e.b == r && member[e.a]);
+    if (!touches) continue;
+    connected = true;
+    double ndv = std::max(e.a_ndv, e.b_ndv);
+    // Unknown NDV on both sides: containment degrades to the FK shape,
+    // out = max of the inputs, i.e. divide by the smaller input.
+    if (ndv < 1.0) ndv = std::max(1.0, std::min(cur_rows, build));
+    out /= ndv;
+  }
+  double cost = out + build;
+  if (!connected) cost *= kCrossPenalty;
+  return {out, cost};
+}
+
+}  // namespace
+
+std::vector<int> OrderJoins(const std::vector<JoinRelation>& rels,
+                            const std::vector<JoinGraphEdge>& edges,
+                            const std::vector<int>& prefix) {
+  const int n = static_cast<int>(rels.size());
+  std::vector<char> member(n, 0);
+  bool any_member = false;
+  double cur_rows = 0;
+  std::vector<int> order;
+  order.reserve(n);
+  // Fold the fixed prefix (already-executed relations under adaptive
+  // re-planning) into the starting state, in its given order.
+  for (int p : prefix) {
+    Step s = ComputeStep(rels, edges, member, any_member, cur_rows, p);
+    cur_rows = s.out_rows;
+    member[p] = 1;
+    any_member = true;
+    order.push_back(p);
+  }
+  std::vector<int> free_rel;
+  for (int i = 0; i < n; ++i) {
+    if (!member[i]) free_rel.push_back(i);
+  }
+  const int f = static_cast<int>(free_rel.size());
+  if (f == 0) return order;
+
+  if (f <= kDpMaxRelations) {
+    // Exact search: dp over subsets of the free relations, each entry the
+    // cheapest linear order realizing that subset on top of the prefix.
+    struct Entry {
+      double cost = kInf;
+      double rows = 0;
+      std::vector<int> order;
+    };
+    std::vector<Entry> dp(size_t{1} << f);
+    for (int i = 0; i < f; ++i) {
+      Step s = ComputeStep(rels, edges, member, any_member, cur_rows,
+                           free_rel[i]);
+      Entry& e = dp[size_t{1} << i];
+      e.cost = s.cost;
+      e.rows = s.out_rows;
+      e.order = {free_rel[i]};
+    }
+    for (uint32_t mask = 1; mask + 1 < (uint32_t{1} << f); ++mask) {
+      const Entry& cur = dp[mask];
+      if (!(cur.cost < kInf)) continue;
+      std::vector<char> m = member;
+      for (int i = 0; i < f; ++i) {
+        if (mask & (uint32_t{1} << i)) m[free_rel[i]] = 1;
+      }
+      for (int i = 0; i < f; ++i) {
+        if (mask & (uint32_t{1} << i)) continue;
+        Step s = ComputeStep(rels, edges, m, true, cur.rows, free_rel[i]);
+        Entry& nxt = dp[mask | (uint32_t{1} << i)];
+        double ncost = cur.cost + s.cost;
+        if (ncost < nxt.cost) {
+          nxt.cost = ncost;
+          nxt.rows = s.out_rows;
+          nxt.order = cur.order;
+          nxt.order.push_back(free_rel[i]);
+        }
+      }
+    }
+    const Entry& full = dp[(size_t{1} << f) - 1];
+    order.insert(order.end(), full.order.begin(), full.order.end());
+    return order;
+  }
+
+  // Greedy nearest-neighbor beyond the DP cutoff. With no prefix, stream
+  // the largest relation (it is the one we least want to build).
+  std::vector<char> remaining(n, 0);
+  int left = f;
+  for (int r : free_rel) remaining[r] = 1;
+  if (!any_member) {
+    int driver = free_rel[0];
+    for (int r : free_rel) {
+      if (rels[r].rows > rels[driver].rows) driver = r;
+    }
+    order.push_back(driver);
+    member[driver] = 1;
+    any_member = true;
+    cur_rows = rels[driver].rows;
+    remaining[driver] = 0;
+    --left;
+  }
+  while (left > 0) {
+    int best = -1;
+    Step best_step{0, kInf};
+    for (int r = 0; r < n; ++r) {
+      if (!remaining[r]) continue;
+      Step s = ComputeStep(rels, edges, member, any_member, cur_rows, r);
+      if (best < 0 || s.cost < best_step.cost) {
+        best = r;
+        best_step = s;
+      }
+    }
+    order.push_back(best);
+    member[best] = 1;
+    cur_rows = best_step.out_rows;
+    remaining[best] = 0;
+    --left;
+  }
+  return order;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,45 @@
+// Join-order search for the cost-based optimizer. Relations and equi-join
+// edges form an undirected join graph; OrderJoins picks a linear (left-deep)
+// order that minimizes the sum of intermediate-result sizes plus hash-table
+// build sizes. Up to kDpMaxRelations free relations the search is exact
+// (DPsize-style dynamic programming over connected subsets); beyond that a
+// greedy nearest-neighbor heuristic keeps planning O(n^2).
+//
+// A `prefix` of already-executed relations can be passed in for runtime
+// adaptive re-planning: those relations are fixed at the front of the order
+// (with their *observed* row counts in `rels`), and only the suffix is
+// re-searched.
+#pragma once
+
+#include <vector>
+
+namespace dashdb {
+
+/// One FROM item, reduced to its estimated (or observed) output rows.
+struct JoinRelation {
+  double rows = 0;
+};
+
+/// Equi-join edge between relations a and b with per-side key NDVs
+/// (0 = unknown). Selectivity is 1 / max(ndv_a, ndv_b) by distinct-count
+/// containment.
+struct JoinGraphEdge {
+  int a = 0;
+  int b = 0;
+  double a_ndv = 0;
+  double b_ndv = 0;
+};
+
+/// Exact DP is used while the number of relations to order (excluding the
+/// prefix) is at most this; larger graphs fall back to greedy.
+constexpr int kDpMaxRelations = 10;
+
+/// Returns a permutation of [0, rels.size()) beginning with `prefix`
+/// (verbatim) such that joining relations in that order minimizes the cost
+/// model described above. Relations with no connecting edge are joined last
+/// (cross product, heavily penalized).
+std::vector<int> OrderJoins(const std::vector<JoinRelation>& rels,
+                            const std::vector<JoinGraphEdge>& edges,
+                            const std::vector<int>& prefix = {});
+
+}  // namespace dashdb

@@ -12,9 +12,12 @@
 #include <mutex>
 #include <thread>
 
+#include <cmath>
+
 #include "common/hash.h"
 #include "common/metrics.h"
 #include "common/threadpool.h"
+#include "exec/join_order.h"
 
 namespace dashdb {
 
@@ -83,6 +86,51 @@ bool CellsEqual(const ColumnVector& a, size_t i, const ColumnVector& b,
   return a.GetInt(i) == b.GetInt(j);
 }
 
+/// Applies pushed-down Bloom filters to a freshly scanned (dense) batch,
+/// compacting away rows whose key hash misses any filter. Returns the
+/// number of rows dropped. NULL keys hash to the null sentinel, which the
+/// build side never adds — correct for the INNER joins these filters are
+/// installed for.
+size_t ApplyScanBlooms(const std::vector<ScanRuntimeFilter>& filters,
+                       RowBatch* batch) {
+  const size_t n = batch->num_rows();
+  if (filters.empty() || n == 0) return 0;
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    bool ok = true;
+    for (const auto& f : filters) {
+      const ColumnVector& cv = batch->columns[f.col];
+      if (!f.bloom->MayContain(HashCell(cv, r))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) keep.push_back(static_cast<uint32_t>(r));
+  }
+  if (keep.size() == n) return 0;
+  RowBatch out;
+  out.columns.reserve(batch->columns.size());
+  for (const auto& c : batch->columns) out.columns.emplace_back(c.type());
+  for (uint32_t r : keep) {
+    for (size_t c = 0; c < batch->columns.size(); ++c) {
+      out.columns[c].AppendFrom(batch->columns[c], r);
+    }
+  }
+  const size_t dropped = n - keep.size();
+  *batch = std::move(out);
+  return dropped;
+}
+
+std::string BloomDroppedExtra(const std::vector<ScanRuntimeFilter>& filters,
+                              uint64_t dropped) {
+  if (filters.empty()) return std::string();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " blooms=%zu bloom-dropped=%llu",
+                filters.size(), static_cast<unsigned long long>(dropped));
+  return buf;
+}
+
 }  // namespace
 
 std::string Operator::PlanString(int indent) const {
@@ -108,8 +156,12 @@ struct ExecInstruments {
   Counter* batches_out;
   Counter* operator_opens;
   Counter* morsels;
+  Counter* bloom_pushdowns;      ///< runtime Bloom filters installed on scans
+  Counter* bloom_rows_dropped;   ///< scan rows rejected by pushed filters
+  Counter* adaptive_replans;     ///< mid-query join re-orderings
   Histogram* batch_rows;
   Histogram* filter_selectivity;  ///< percent of examined rows passing
+  Histogram* card_est_error;      ///< log2(actual/estimated) per operator
 };
 
 ExecInstruments& GlobalExecInstruments() {
@@ -119,8 +171,12 @@ ExecInstruments& GlobalExecInstruments() {
       reg.GetCounter("exec.batches_out"),
       reg.GetCounter("exec.operator_opens"),
       reg.GetCounter("exec.morsels"),
+      reg.GetCounter("exec.bloom_pushdowns"),
+      reg.GetCounter("exec.bloom_rows_dropped"),
+      reg.GetCounter("exec.adaptive_replans"),
       reg.GetHistogram("exec.batch_rows", {16, 64, 256, 1024, 4096}),
       reg.GetHistogram("exec.filter_selectivity", {1, 5, 10, 25, 50, 75, 90, 100}),
+      reg.GetHistogram("exec.card_est_error", {-4, -2, -1, 0, 1, 2, 4}),
   };
   return in;
 }
@@ -194,11 +250,29 @@ std::string Operator::AnalyzeString(int indent) const {
   std::string out(indent * 2, ' ');
   out += label();
   out += buf;
+  if (has_est_) {
+    char ebuf[32];
+    std::snprintf(ebuf, sizeof(ebuf), " est=%.0f", est_rows_);
+    out += ebuf;
+  }
   out += AnalyzeExtra();
   out += "]";
   out += "\n";
   for (const Operator* c : children()) out += c->AnalyzeString(indent + 1);
   return out;
+}
+
+void RecordCardinalityFeedback(const Operator* root) {
+  if (root == nullptr) return;
+  if (root->has_est_rows() && root->metrics().next_calls > 0) {
+    const double actual = static_cast<double>(root->metrics().rows_out);
+    // +1 on both sides keeps zero-row plans finite; the histogram bucket
+    // is the rounded log2 ratio (0 = on the money, ±1 = off by 2x, ...).
+    const double ratio = (actual + 1.0) / (root->est_rows() + 1.0);
+    GlobalExecInstruments().card_est_error->Observe(
+        static_cast<int64_t>(std::llround(std::log2(ratio))));
+  }
+  for (const Operator* c : root->children()) RecordCardinalityFeedback(c);
 }
 
 uint32_t Operator::AddTraceSpans(Trace* trace, uint32_t parent) const {
@@ -242,7 +316,22 @@ ColumnScanOp::ColumnScanOp(std::shared_ptr<const ColumnTable> table,
 Status ColumnScanOp::OpenImpl() {
   next_page_ = 0;
   stats_ = ScanStats{};
+  bloom_dropped_ = 0;
   return Status::OK();
+}
+
+bool ColumnScanOp::AcceptRuntimeFilter(
+    int col, std::shared_ptr<const BloomPrefilter> bloom) {
+  if (col < 0 || col >= static_cast<int>(output_.size()) || !bloom) {
+    return false;
+  }
+  runtime_filters_.push_back({col, std::move(bloom)});
+  GlobalExecInstruments().bloom_pushdowns->Add(1);
+  return true;
+}
+
+std::string ColumnScanOp::AnalyzeExtra() const {
+  return BloomDroppedExtra(runtime_filters_, bloom_dropped_);
 }
 
 Result<bool> ColumnScanOp::NextImpl(RowBatch* out) {
@@ -251,6 +340,11 @@ Result<bool> ColumnScanOp::NextImpl(RowBatch* out) {
     DASHDB_RETURN_IF_ERROR(table_->ScanPage(next_page_, preds_, projection_,
                                             opts_, out, nullptr, &stats_));
     ++next_page_;
+    if (!runtime_filters_.empty()) {
+      const size_t dropped = ApplyScanBlooms(runtime_filters_, out);
+      bloom_dropped_ += dropped;
+      GlobalExecInstruments().bloom_rows_dropped->Add(dropped);
+    }
     if (out->num_rows() > 0) return true;
   }
   return false;
@@ -277,7 +371,25 @@ Status ParallelColumnScanOp::OpenImpl() {
   next_slot_ = 0;
   results_.clear();
   stats_ = ScanStats{};
+  bloom_dropped_ = 0;
   return Status::OK();
+}
+
+bool ParallelColumnScanOp::AcceptRuntimeFilter(
+    int col, std::shared_ptr<const BloomPrefilter> bloom) {
+  // Filters must land before the morsel fan-out snapshots them; a build
+  // side always completes before the probe side's first pull, so this
+  // holds for every install path.
+  if (ran_ || col < 0 || col >= static_cast<int>(output_.size()) || !bloom) {
+    return false;
+  }
+  runtime_filters_.push_back({col, std::move(bloom)});
+  GlobalExecInstruments().bloom_pushdowns->Add(1);
+  return true;
+}
+
+std::string ParallelColumnScanOp::AnalyzeExtra() const {
+  return BloomDroppedExtra(runtime_filters_, bloom_dropped_);
 }
 
 Status ParallelColumnScanOp::RunMorsels() {
@@ -289,6 +401,7 @@ Status ParallelColumnScanOp::RunMorsels() {
   std::vector<ScanStats> unit_stats(n_units);
   Status first_error;
   std::mutex err_mu;
+  std::atomic<uint64_t> dropped_total{0};
   auto scan_unit = [&](size_t p) {
     GlobalExecInstruments().morsels->Add(1);
     RowBatch* out = &results_[p];
@@ -297,6 +410,10 @@ Status ParallelColumnScanOp::RunMorsels() {
     for (const auto& c : output_) out->columns.emplace_back(c.type);
     Status s = table_->ScanPage(p, preds_, projection_, opts_, out, nullptr,
                                 &unit_stats[p]);
+    if (s.ok() && !runtime_filters_.empty()) {
+      dropped_total.fetch_add(ApplyScanBlooms(runtime_filters_, out),
+                              std::memory_order_relaxed);
+    }
     if (!s.ok()) {
       std::lock_guard<std::mutex> lk(err_mu);
       if (first_error.ok()) first_error = s;
@@ -314,6 +431,9 @@ Status ParallelColumnScanOp::RunMorsels() {
     stats_.strides_skipped += s.strides_skipped;
     stats_.rows_matched += s.rows_matched;
   }
+  bloom_dropped_ += dropped_total.load(std::memory_order_relaxed);
+  GlobalExecInstruments().bloom_rows_dropped->Add(
+      dropped_total.load(std::memory_order_relaxed));
   ran_ = true;
   return Status::OK();
 }
@@ -527,6 +647,7 @@ Status HashJoinOp::OpenImpl() {
   build_key_cols_.clear();
   partitions_.clear();
   fast_int_ = false;
+  filter_installed_ = false;
   DASHDB_RETURN_IF_ERROR(probe_->Open());
   return build_->Open();
 }
@@ -540,6 +661,11 @@ std::string HashJoinOp::label() const {
   }
   s += ")";
   return s;
+}
+
+std::string HashJoinOp::AnalyzeExtra() const {
+  if (!filter_installed_) return std::string();
+  return " bloom-pushdown=yes";
 }
 
 bool HashJoinOp::ParallelBuildEligible(size_t build_rows) const {
@@ -667,6 +793,26 @@ Status HashJoinOp::BuildSide() {
       part.bloom.Add(hash_of[r]);
     }
   });
+
+  // Scan-side semi-join pushdown: the build is complete and the probe side
+  // has not been pulled yet, so a Bloom filter over the (single) build key
+  // column can still land on the probe-side scan before it runs. The
+  // filter hashes raw key cells (HashValue semantics), independent of the
+  // multi-key HashCombine chain the join tables use.
+  if (filter_target_ != nullptr && type_ == JoinType::kInner &&
+      build_keys_.size() == 1) {
+    const ColumnVector& bc = fast_int_ ? build_data_.columns[build_key_col_]
+                                       : build_key_cols_[0];
+    auto bloom = std::make_shared<BloomPrefilter>();
+    bloom->Init(n);
+    for (size_t r = 0; r < n; ++r) {
+      if (bc.IsNull(r)) continue;
+      bloom->Add(HashCell(bc, r));
+    }
+    filter_installed_ =
+        filter_target_->AcceptRuntimeFilter(filter_target_col_,
+                                            std::move(bloom));
+  }
   return Status::OK();
 }
 
@@ -1429,6 +1575,238 @@ Result<bool> UnionAllOp::NextImpl(RowBatch* out) {
     ++current_;
   }
   return false;
+}
+
+// ---------------------------------------------------------- Materialized --
+
+MaterializedOp::MaterializedOp(OperatorPtr child, RowBatch data)
+    : child_(std::move(child)), data_(std::move(data)) {
+  output_ = child_->output();
+}
+
+Status MaterializedOp::OpenImpl() {
+  // The child was already drained by the assembler; re-opening it would
+  // re-execute the relation. Only the emit state resets.
+  done_ = false;
+  return Status::OK();
+}
+
+Result<bool> MaterializedOp::NextImpl(RowBatch* out) {
+  if (done_ || data_.num_rows() == 0) return false;
+  *out = data_;
+  done_ = true;
+  return true;
+}
+
+// ---------------------------------------------------------- AdaptiveJoin --
+
+AdaptiveJoinOp::AdaptiveJoinOp(std::vector<OperatorPtr> sources,
+                               std::vector<AdaptiveJoinEdge> edges,
+                               std::vector<double> source_est_rows,
+                               bool adaptive, const ExecContext* ctx)
+    : sources_(std::move(sources)),
+      edges_(std::move(edges)),
+      source_est_rows_(std::move(source_est_rows)),
+      adaptive_(adaptive),
+      ctx_(ctx) {
+  for (const auto& s : sources_) {
+    for (const auto& c : s->output()) output_.push_back(c);
+  }
+}
+
+std::string AdaptiveJoinOp::label() const {
+  return "AdaptiveJoin(sources=" + std::to_string(sources_.size()) +
+         " edges=" + std::to_string(edges_.size()) +
+         (adaptive_ ? "" : " adaptive=off") + ")";
+}
+
+std::vector<const Operator*> AdaptiveJoinOp::children() const {
+  if (assembled_) return {chain_.get()};
+  std::vector<const Operator*> out;
+  for (const auto& s : sources_) out.push_back(s.get());
+  return out;
+}
+
+std::string AdaptiveJoinOp::AnalyzeExtra() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " replans=%llu blooms=%llu",
+                static_cast<unsigned long long>(replans_),
+                static_cast<unsigned long long>(blooms_));
+  return buf;
+}
+
+Status AdaptiveJoinOp::OpenImpl() {
+  // Assembly is deferred to the first Next so Open stays cheap (EXPLAIN
+  // opens nothing). A re-open after assembly re-opens the built chain;
+  // materialized relations replay their captured batches.
+  if (assembled_) return chain_->Open();
+  return Status::OK();
+}
+
+Status AdaptiveJoinOp::Assemble() {
+  const int n = static_cast<int>(sources_.size());
+  const double kReplanLogThreshold = std::log2(10.0);
+
+  // Per-item output widths and FROM-order offsets, captured before the
+  // sources are moved into the chain.
+  std::vector<int> item_width(n, 0), from_off(n, 0);
+  for (int i = 0, off = 0; i < n; ++i) {
+    item_width[i] = static_cast<int>(sources_[i]->output().size());
+    from_off[i] = off;
+    off += item_width[i];
+  }
+
+  std::vector<JoinRelation> rels(n);
+  for (int i = 0; i < n; ++i) rels[i].rows = source_est_rows_[i];
+  std::vector<JoinGraphEdge> graph;
+  graph.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    graph.push_back({e.left_item, e.right_item, e.left_ndv, e.right_ndv});
+  }
+
+  std::vector<int> order = OrderJoins(rels, graph);
+
+  // Materialize every non-driving relation in join order, observing true
+  // cardinalities as we go. A >10x mis-estimate with joins still ahead
+  // re-plans the remaining suffix using the observed counts.
+  std::vector<RowBatch> mat(n);
+  const int driver = order[0];
+  for (size_t k = 1; k < order.size(); ++k) {
+    const int r = order[k];
+    DASHDB_ASSIGN_OR_RETURN(mat[r], DrainOperator(sources_[r].get()));
+    const double observed = static_cast<double>(mat[r].num_rows());
+    const double est = std::max(0.0, rels[r].rows);
+    rels[r].rows = observed;
+    if (adaptive_ && k + 1 < order.size()) {
+      const double err = std::fabs(std::log2((observed + 1) / (est + 1)));
+      if (err > kReplanLogThreshold) {
+        std::vector<int> prefix(order.begin(), order.begin() + k + 1);
+        order = OrderJoins(rels, graph, prefix);
+        ++replans_;
+        GlobalExecInstruments().adaptive_replans->Add(1);
+      }
+    }
+  }
+
+  // Semi-join reduction: each materialized relation with an edge straight
+  // to the driving relation pushes a Bloom filter of its key column into
+  // the driving scan before that scan runs.
+  for (const auto& e : edges_) {
+    int mat_item = -1, mat_col = -1, drv_col = -1;
+    if (e.left_item == driver && e.right_item != driver) {
+      mat_item = e.right_item;
+      mat_col = e.right_col;
+      drv_col = e.left_col;
+    } else if (e.right_item == driver && e.left_item != driver) {
+      mat_item = e.left_item;
+      mat_col = e.left_col;
+      drv_col = e.right_col;
+    } else {
+      continue;
+    }
+    const RowBatch& b = mat[mat_item];
+    if (b.num_rows() == 0) continue;
+    const ColumnVector& kc = b.columns[mat_col];
+    auto bloom = std::make_shared<BloomPrefilter>();
+    bloom->Init(b.num_rows());
+    for (size_t r = 0; r < b.num_rows(); ++r) {
+      if (kc.IsNull(r)) continue;
+      bloom->Add(HashCell(kc, r));
+    }
+    if (sources_[driver]->AcceptRuntimeFilter(drv_col, std::move(bloom))) {
+      ++blooms_;
+    }
+  }
+
+  // Assemble the left-deep chain: the driver streams as the probe side;
+  // each later relation replays its captured batch into a hash-join build.
+  // chain_off[i] = column offset of item i inside the chain output.
+  std::vector<int> chain_off(n, -1);
+  std::vector<char> in_chain(n, 0);
+  OperatorPtr root = std::move(sources_[driver]);
+  chain_off[driver] = 0;
+  in_chain[driver] = 1;
+  int width = static_cast<int>(root->output().size());
+  double est_out = source_est_rows_[driver];
+  for (size_t k = 1; k < order.size(); ++k) {
+    const int r = order[k];
+    std::vector<ExprPtr> pks, bks;
+    double best_ndv = 0;
+    for (const auto& e : edges_) {
+      int chain_item = -1, chain_col = -1, new_col = -1;
+      double ndv = 0;
+      if (e.left_item == r && in_chain[e.right_item]) {
+        chain_item = e.right_item;
+        chain_col = e.right_col;
+        new_col = e.left_col;
+        ndv = std::max(e.left_ndv, e.right_ndv);
+      } else if (e.right_item == r && in_chain[e.left_item]) {
+        chain_item = e.left_item;
+        chain_col = e.left_col;
+        new_col = e.right_col;
+        ndv = std::max(e.left_ndv, e.right_ndv);
+      } else {
+        continue;
+      }
+      const auto& probe_col = output_[from_off[chain_item] + chain_col];
+      const auto& build_col = output_[from_off[r] + new_col];
+      pks.push_back(std::make_unique<ColumnRefExpr>(
+          chain_off[chain_item] + chain_col, probe_col.type, probe_col.name));
+      bks.push_back(std::make_unique<ColumnRefExpr>(new_col, build_col.type,
+                                                    build_col.name));
+      best_ndv = std::max(best_ndv, ndv);
+    }
+    const double build_rows = rels[r].rows;
+    auto build = std::make_unique<MaterializedOp>(std::move(sources_[r]),
+                                                  std::move(mat[r]));
+    const int add_width = static_cast<int>(build->output().size());
+    if (pks.empty()) {
+      // Disconnected relation: cross product (rare; the order places these
+      // last).
+      root = std::make_unique<NestedLoopJoinOp>(std::move(root),
+                                                std::move(build), nullptr,
+                                                JoinType::kCross, ctx_);
+      est_out = est_out * std::max(1.0, build_rows);
+    } else {
+      root = std::make_unique<HashJoinOp>(std::move(root), std::move(build),
+                                          std::move(pks), std::move(bks),
+                                          JoinType::kInner, ctx_);
+      est_out = est_out * std::max(0.0, build_rows) /
+                std::max(1.0, best_ndv > 0 ? best_ndv
+                                           : std::min(est_out, build_rows));
+    }
+    root->set_est_rows(est_out);
+    chain_off[r] = width;
+    in_chain[r] = 1;
+    width += add_width;
+  }
+
+  // Chain output is in join order; the operator's contract is FROM order.
+  // out_perm_[chain position] = FROM position.
+  out_perm_.assign(width, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < item_width[i]; ++c) {
+      out_perm_[chain_off[i] + c] = from_off[i] + c;
+    }
+  }
+
+  chain_ = std::move(root);
+  assembled_ = true;
+  return chain_->Open();
+}
+
+Result<bool> AdaptiveJoinOp::NextImpl(RowBatch* out) {
+  if (!assembled_) DASHDB_RETURN_IF_ERROR(Assemble());
+  RowBatch in;
+  DASHDB_ASSIGN_OR_RETURN(bool more, chain_->Next(&in));
+  if (!more) return false;
+  // Permute chain columns back to FROM order.
+  out->columns.clear();
+  out->columns.resize(in.columns.size(), ColumnVector(TypeId::kInt64));
+  for (size_t c = 0; c < in.columns.size(); ++c) {
+    out->columns[out_perm_[c]] = std::move(in.columns[c]);
+  }
+  return true;
 }
 
 }  // namespace dashdb

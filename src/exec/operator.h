@@ -83,6 +83,28 @@ class Operator {
   /// order — deterministic) under `parent`; returns this node's span id.
   uint32_t AddTraceSpans(Trace* trace, uint32_t parent) const;
 
+  /// Optimizer row estimate, rendered as `est=` in EXPLAIN ANALYZE and fed
+  /// to the `exec.card_est_error` histogram after the plan drains. Unset
+  /// means the planner had no estimate for this node.
+  void set_est_rows(double est) {
+    est_rows_ = est;
+    has_est_ = true;
+  }
+  bool has_est_rows() const { return has_est_; }
+  double est_rows() const { return est_rows_; }
+
+  /// Sideways information passing: a hash-join build (or the adaptive join
+  /// assembler, or the MPP coordinator) offers a Bloom filter over its
+  /// build keys to a probe-side scan. `col` is an output-column index of
+  /// this operator; hashes follow HashValue semantics. Returns true when
+  /// the operator will apply the filter; the base class declines.
+  virtual bool AcceptRuntimeFilter(int col,
+                                   std::shared_ptr<const BloomPrefilter> bloom) {
+    (void)col;
+    (void)bloom;
+    return false;
+  }
+
  protected:
   virtual Status OpenImpl() = 0;
   virtual Result<bool> NextImpl(RowBatch* out) = 0;
@@ -96,6 +118,8 @@ class Operator {
   Result<bool> NextInternal(RowBatch* out, bool allow_selection);
 
   OperatorMetrics metrics_;
+  double est_rows_ = 0;
+  bool has_est_ = false;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -115,6 +139,20 @@ class ScannableStorage : public StorageObject {
 /// Hash of a Value for join/aggregation keys.
 uint64_t HashValue(const Value& v);
 
+/// A Bloom filter pushed sideways into a scan (semi-join reduction): rows
+/// whose `col` cell hash misses the filter are dropped at emit time. The
+/// cell hash matches HashValue, so any filter built over join-build keys
+/// (locally or on another MPP node) composes with any scan.
+struct ScanRuntimeFilter {
+  int col = 0;  ///< scan output-column index
+  std::shared_ptr<const BloomPrefilter> bloom;
+};
+
+/// Walks a drained plan and, for every node carrying a planner estimate,
+/// records log2(actual / estimated) into the `exec.card_est_error`
+/// histogram (0 = perfect, ±1 = off by 2x, ...).
+void RecordCardinalityFeedback(const Operator* root);
+
 /// Scan over a column-organized table with pushed-down predicates.
 class ColumnScanOp : public Operator {
  public:
@@ -127,6 +165,12 @@ class ColumnScanOp : public Operator {
 
   std::string label() const override { return "ColumnScan(" + table_->schema().QualifiedName() + " preds=" + std::to_string(preds_.size()) + ")"; }
 
+  bool AcceptRuntimeFilter(
+      int col, std::shared_ptr<const BloomPrefilter> bloom) override;
+
+ protected:
+  std::string AnalyzeExtra() const override;
+
  private:
   std::shared_ptr<const ColumnTable> table_;
   std::vector<ColumnPredicate> preds_;
@@ -134,6 +178,8 @@ class ColumnScanOp : public Operator {
   ScanOptions opts_;
   size_t next_page_ = 0;
   ScanStats stats_;
+  std::vector<ScanRuntimeFilter> runtime_filters_;
+  uint64_t bloom_dropped_ = 0;
 };
 
 /// Morsel-driven parallel scan over a column-organized table (paper II.B.6:
@@ -160,6 +206,12 @@ class ParallelColumnScanOp : public Operator {
   /// Same logical operator as the serial scan; keeps spans DOP-invariant.
   std::string kind() const override { return "ColumnScan"; }
 
+  bool AcceptRuntimeFilter(
+      int col, std::shared_ptr<const BloomPrefilter> bloom) override;
+
+ protected:
+  std::string AnalyzeExtra() const override;
+
  private:
   /// Runs the whole page range across the pool, filling results_.
   Status RunMorsels();
@@ -172,6 +224,8 @@ class ParallelColumnScanOp : public Operator {
   size_t next_slot_ = 0;
   bool ran_ = false;
   ScanStats stats_;
+  std::vector<ScanRuntimeFilter> runtime_filters_;
+  uint64_t bloom_dropped_ = 0;
 };
 
 /// Full scan over the row-organized baseline table.
@@ -278,6 +332,19 @@ class HashJoinOp : public Operator {
     return {probe_.get(), build_.get()};
   }
 
+  /// Arms scan-side Bloom pushdown: when the build side completes, a
+  /// filter over the (single) build key column is offered to `target` — a
+  /// scan below the probe side — on its output column `target_col`. Only
+  /// meaningful for single-key INNER joins (NULL and unmatched probe rows
+  /// may be dropped at the scan); the binder enforces that.
+  void SetProbeFilterTarget(Operator* target, int target_col) {
+    filter_target_ = target;
+    filter_target_col_ = target_col;
+  }
+
+ protected:
+  std::string AnalyzeExtra() const override;
+
  private:
   static constexpr int kPartitionBits = 6;  // 64 cache-sized partitions
   /// Below this build cardinality the fan-out overhead beats the win.
@@ -317,6 +384,10 @@ class HashJoinOp : public Operator {
   /// the partition tables directly on the int64 value.
   bool fast_int_ = false;
   int probe_key_col_ = -1, build_key_col_ = -1;
+  /// Scan-side Bloom pushdown target (see SetProbeFilterTarget).
+  Operator* filter_target_ = nullptr;
+  int filter_target_col_ = -1;
+  bool filter_installed_ = false;
 };
 
 /// Cross / non-equi nested-loop join (small inputs: DUAL, dimension
@@ -340,6 +411,88 @@ class NestedLoopJoinOp : public Operator {
   const ExecContext* ctx_;
   RowBatch right_data_;
   bool built_ = false;
+};
+
+/// Wraps an already-drained child: emits the captured batch once per Open.
+/// The adaptive join assembler drains relations up front (to observe their
+/// true cardinalities) and then feeds them to hash-join builds through
+/// this operator, so the child is never re-executed.
+class MaterializedOp : public Operator {
+ public:
+  MaterializedOp(OperatorPtr child, RowBatch data);
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
+
+  std::string label() const override {
+    return "Materialized(" + std::to_string(data_.num_rows()) + " rows)";
+  }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ private:
+  OperatorPtr child_;
+  RowBatch data_;
+  bool done_ = false;
+};
+
+/// One single-column equi-join edge between two FROM items, in the items'
+/// local scan-output column indices, plus each side's estimated key NDV
+/// (0 = unknown).
+struct AdaptiveJoinEdge {
+  int left_item = 0;
+  int left_col = 0;
+  int right_item = 0;
+  int right_col = 0;
+  double left_ndv = 0;
+  double right_ndv = 0;
+};
+
+/// Cost-ordered multi-way inner join with runtime adaptivity (paper II.B.7
+/// extended): on first Next, picks a join order from the estimates
+/// (sql/join_order.h), then materializes the non-driving relations one at
+/// a time. After each materialization the OBSERVED cardinality replaces
+/// the estimate; if it diverges from the estimate by more than 10x while
+/// joins remain, the suffix of the order is re-planned. Materialized
+/// relations with an edge to the driving relation push a Bloom filter of
+/// their key column into the driving scan (semi-join reduction), then the
+/// chain of hash joins is assembled and streamed. Output columns are in
+/// the original FROM order regardless of the chosen join order.
+class AdaptiveJoinOp : public Operator {
+ public:
+  AdaptiveJoinOp(std::vector<OperatorPtr> sources,
+                 std::vector<AdaptiveJoinEdge> edges,
+                 std::vector<double> source_est_rows, bool adaptive,
+                 const ExecContext* ctx);
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* out) override;
+
+  std::string label() const override;
+  std::string kind() const override { return "AdaptiveJoin"; }
+  std::vector<const Operator*> children() const override;
+
+  uint64_t replans() const { return replans_; }
+
+ protected:
+  std::string AnalyzeExtra() const override;
+
+ private:
+  /// Orders, materializes (re-planning on mis-estimates), pushes Bloom
+  /// filters, and builds the hash-join chain. Runs once, on first Next.
+  Status Assemble();
+
+  std::vector<OperatorPtr> sources_;
+  std::vector<AdaptiveJoinEdge> edges_;
+  std::vector<double> source_est_rows_;
+  bool adaptive_;
+  const ExecContext* ctx_;
+
+  OperatorPtr chain_;  ///< assembled join chain (owns all sources)
+  /// chain output column -> FROM-order output column.
+  std::vector<int> out_perm_;
+  bool assembled_ = false;
+  uint64_t replans_ = 0;
+  uint64_t blooms_ = 0;
 };
 
 /// Hash GROUP BY with the aggregate library. Materializes on first Next.

@@ -32,6 +32,8 @@ struct MppInstruments {
   Counter* timeouts;
   Counter* speculative_launches;
   Counter* speculative_wins;
+  Counter* bloom_filters;  ///< cross-shard Bloom filters shipped
+  Counter* bloom_bytes;    ///< serialized bytes of those filters
 };
 
 MppInstruments& GlobalMppInstruments() {
@@ -43,8 +45,26 @@ MppInstruments& GlobalMppInstruments() {
       reg.GetCounter("mpp.timeouts"),
       reg.GetCounter("mpp.speculative_launches"),
       reg.GetCounter("mpp.speculative_wins"),
+      reg.GetCounter("mpp.bloom_filters"),
+      reg.GetCounter("mpp.bloom_bytes"),
   };
   return in;
+}
+
+/// AND-tree flattening (coordinator-side mirror of the binder's).
+void SplitAndConjuncts(const ast::ExprP& e, std::vector<ast::ExprP>* out) {
+  if (e && e->kind == ExprKind::kBinary && e->bin_op == ast::BinOp::kAnd) {
+    SplitAndConjuncts(e->children[0], out);
+    SplitAndConjuncts(e->children[1], out);
+    return;
+  }
+  if (e) out->push_back(e);
+}
+
+void CollectRefs(const ast::ExprP& e, std::vector<const ast::Expr*>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kColumnRef) out->push_back(e.get());
+  for (const auto& c : e->children) CollectRefs(c, out);
 }
 
 void FoldExecStats(const MppExecStats& s, MppExecStats* into) {
@@ -478,13 +498,18 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
     out.trace = trace;
   };
 
+  // Cross-shard Bloom semi-join pushdown (best effort; null when the query
+  // doesn't qualify). Both SELECT paths hand the filters to the shard fn.
+  std::shared_ptr<const std::vector<RuntimeScanFilter>> bloom_filters =
+      PrepareBloomPushdown(sel);
+
   if (!has_agg) {
     // Run shard-local plans without ORDER BY/LIMIT; merge; finish globally.
     auto shard_sel = std::make_shared<ast::SelectStmt>(sel);
     shard_sel->order_by.clear();
     shard_sel->limit = -1;
     shard_sel->offset = 0;
-    ShardFn fn = MakeShardSelectFn(shard_sel, analyze);
+    ShardFn fn = MakeShardSelectFn(shard_sel, analyze, bloom_filters);
     RowBatch merged;
     std::vector<OutputCol> cols;
     for (size_t s = 0; s < shards_.size(); ++s) {
@@ -655,7 +680,7 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
   };
   std::unordered_map<std::string, GroupAccum> table;
   std::vector<OutputCol> partial_cols;
-  ShardFn fn = MakeShardSelectFn(partial_p, analyze);
+  ShardFn fn = MakeShardSelectFn(partial_p, analyze, bloom_filters);
   for (size_t s = 0; s < shards_.size(); ++s) {
     double secs = 0;
     MppExecStats sstats;
@@ -815,17 +840,180 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
   return out;
 }
 
+std::shared_ptr<const std::vector<RuntimeScanFilter>>
+MppDatabase::PrepareBloomPushdown(const ast::SelectStmt& sel) {
+  if (sel.from.size() < 2 || shards_.empty()) return nullptr;
+  if (sessions_[0]->optimizer_mode() != OptimizerMode::kCost) return nullptr;
+  // Inner/cross joins of plain base tables only: a Bloom filter drops
+  // probe rows, which an outer join must instead null-extend.
+  for (const auto& ref : sel.from) {
+    if (ref.subquery || !ref.using_cols.empty()) return nullptr;
+    if (ref.join != ast::TableRef::JoinKind::kNone &&
+        ref.join != ast::TableRef::JoinKind::kInner &&
+        ref.join != ast::TableRef::JoinKind::kCross) {
+      return nullptr;
+    }
+  }
+  struct Item {
+    std::string schema_name;
+    std::string qualified;
+    std::string alias;
+    bool replicated = false;
+    std::shared_ptr<CatalogEntry> entry;
+  };
+  std::vector<Item> items;
+  for (const auto& ref : sel.from) {
+    Item it;
+    it.schema_name = ref.schema.empty() ? sessions_[0]->default_schema()
+                                        : NormalizeIdent(ref.schema);
+    auto entry = shards_[0]->catalog()->Lookup(it.schema_name,
+                                               NormalizeIdent(ref.table));
+    if (!entry.ok()) return nullptr;
+    it.entry = std::move(entry).value();
+    it.qualified = it.entry->schema.QualifiedName();
+    auto rep = replicated_.find(it.qualified);
+    if (rep == replicated_.end()) return nullptr;
+    it.replicated = rep->second;
+    it.alias = !ref.alias.empty() ? ref.alias : NormalizeIdent(ref.table);
+    items.push_back(std::move(it));
+  }
+  std::vector<ast::ExprP> conjs;
+  SplitAndConjuncts(sel.where, &conjs);
+  for (const auto& ref : sel.from) {
+    SplitAndConjuncts(ref.join_condition, &conjs);
+  }
+  // Resolves one column ref to (item, schema column); -1 on miss/ambiguity.
+  auto owner_of = [&](const ast::Expr& c, int* col) -> int {
+    if (c.kind != ExprKind::kColumnRef) return -1;
+    int found = -1, fcol = -1;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (!c.qualifier.empty() && items[i].alias != c.qualifier) continue;
+      int ci = items[i].entry->schema.FindColumn(c.name);
+      if (ci < 0) continue;
+      if (found >= 0) return -1;
+      found = static_cast<int>(i);
+      fcol = ci;
+    }
+    *col = fcol;
+    return found;
+  };
+  // Item owning every column ref of an expression; -1 mixed, -2 none.
+  auto item_of = [&](const ast::ExprP& e) -> int {
+    std::vector<const ast::Expr*> refs;
+    CollectRefs(e, &refs);
+    if (refs.empty()) return -2;
+    int item = -3;
+    for (const auto* r : refs) {
+      int col;
+      int it = owner_of(*r, &col);
+      if (it < 0) return -1;
+      if (item == -3) item = it;
+      else if (item != it) return -1;
+    }
+    return item;
+  };
+  auto result = std::make_shared<std::vector<RuntimeScanFilter>>();
+  auto& ins = GlobalMppInstruments();
+  for (const auto& conj : conjs) {
+    // fact.col = dim.col with a hash-distributed fact and replicated dim.
+    if (conj->kind != ExprKind::kBinary || conj->bin_op != ast::BinOp::kEq) {
+      continue;
+    }
+    int lc, rc;
+    int li = owner_of(*conj->children[0], &lc);
+    int ri = owner_of(*conj->children[1], &rc);
+    if (li < 0 || ri < 0 || li == ri) continue;
+    int fact = -1, dim = -1, fact_col = -1, dim_col = -1;
+    if (!items[li].replicated && items[ri].replicated) {
+      fact = li; fact_col = lc; dim = ri; dim_col = rc;
+    } else if (!items[ri].replicated && items[li].replicated) {
+      fact = ri; fact_col = rc; dim = li; dim_col = lc;
+    } else {
+      continue;
+    }
+    // Identical non-double key types: the scan-side cell hash must agree
+    // with the coordinator's value hash for equal keys.
+    TypeId ft = items[fact].entry->schema.columns()[fact_col].type;
+    TypeId dt = items[dim].entry->schema.columns()[dim_col].type;
+    if (ft != dt || ft == TypeId::kDouble) continue;
+    // Only worth shipping when the dimension is locally filtered.
+    std::vector<ast::ExprP> dim_filters;
+    for (const auto& c : conjs) {
+      if (c != conj && item_of(c) == dim) dim_filters.push_back(c);
+    }
+    if (dim_filters.empty()) continue;
+    // Evaluate the filtered dimension once on shard 0 (replicas are full
+    // copies) and collect the surviving join keys.
+    auto dsel = std::make_shared<ast::SelectStmt>();
+    ast::SelectItem si;
+    si.expr = ast::MakeColumnRef(
+        items[dim].alias, items[dim].entry->schema.columns()[dim_col].name);
+    dsel->items.push_back(std::move(si));
+    ast::TableRef tr;
+    tr.schema = items[dim].schema_name;
+    tr.table = items[dim].entry->schema.table_name();
+    tr.alias = items[dim].alias;
+    dsel->from.push_back(std::move(tr));
+    for (const auto& c : dim_filters) {
+      dsel->where = dsel->where
+                        ? ast::MakeBinary(ast::BinOp::kAnd, dsel->where, c)
+                        : c;
+    }
+    BindOptions bopts;
+    bopts.scan = shards_[0]->MakeScanOptions();
+    Binder binder(shards_[0]->catalog(), sessions_[0].get(), bopts);
+    auto root = binder.BindSelect(*dsel);
+    if (!root.ok()) continue;
+    auto keys = DrainOperator(root.value().get());
+    if (!keys.ok()) continue;
+    const ColumnVector& kv = keys.value().columns[0];
+    BloomPrefilter bloom;
+    bloom.Init(std::max<size_t>(1, kv.size()));
+    for (size_t r = 0; r < kv.size(); ++r) {
+      if (kv.IsNull(r)) continue;
+      bloom.Add(HashValue(kv.GetValue(r)));
+    }
+    // Round-trip through the wire form the shard request would carry.
+    std::string bytes = bloom.Serialize();
+    ins.bloom_filters->Add(1);
+    ins.bloom_bytes->Add(bytes.size());
+    auto wire = std::make_shared<BloomPrefilter>();
+    if (!wire->Deserialize(bytes)) continue;
+    RuntimeScanFilter f;
+    f.table = items[fact].qualified;
+    f.column = items[fact].entry->schema.columns()[fact_col].name;
+    f.bloom = std::move(wire);
+    result->push_back(std::move(f));
+  }
+  if (result->empty()) return nullptr;
+  return result;
+}
+
 MppDatabase::ShardFn MppDatabase::MakeShardSelectFn(
-    std::shared_ptr<ast::SelectStmt> stmt, bool analyze) {
-  return [this, stmt, analyze](int shard, bool speculative,
-                               ShardAttemptOut* o) -> Status {
+    std::shared_ptr<ast::SelectStmt> stmt, bool analyze,
+    std::shared_ptr<const std::vector<RuntimeScanFilter>> filters) {
+  return [this, stmt, analyze, filters](int shard, bool speculative,
+                                        ShardAttemptOut* o) -> Status {
     DASHDB_RETURN_IF_ERROR(FaultInjector::Global().Evaluate(kFaultShardStall));
     std::shared_ptr<Session> session =
         speculative ? shards_[shard]->CreateSession() : sessions_[shard];
+    if (speculative) {
+      // A fresh session must plan identically to the primary's.
+      session->set_optimizer_mode(sessions_[shard]->optimizer_mode());
+      session->set_adaptive_enabled(sessions_[shard]->adaptive_enabled());
+    }
     BindOptions bopts;
     bopts.scan = shards_[shard]->MakeScanOptions();
     Binder binder(shards_[shard]->catalog(), session.get(), bopts);
-    DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(*stmt));
+    // Coordinator Bloom filters apply at bind time only; clear right after
+    // so later statements on this session never see stale filters.
+    if (filters) {
+      for (const auto& f : *filters) session->AddRuntimeFilter(f);
+    }
+    auto bound = binder.BindSelect(*stmt);
+    session->ClearRuntimeFilters();
+    DASHDB_RETURN_IF_ERROR(bound.status());
+    OperatorPtr root = std::move(bound).value();
     DASHDB_ASSIGN_OR_RETURN(o->batch, DrainOperator(root.get()));
     o->cols = root->output();
     if (analyze) {

@@ -145,11 +145,24 @@ class MppDatabase {
 
   /// A re-executable bind+drain of one shard-local SELECT. Captures the
   /// statement by shared_ptr so abandoned stragglers stay valid; the
-  /// speculative run binds against a fresh session. With `analyze` the fn
-  /// also fills the attempt's analyzed_plan/shard_trace from the drained
-  /// plan's operator metrics.
-  ShardFn MakeShardSelectFn(std::shared_ptr<ast::SelectStmt> stmt,
-                            bool analyze = false);
+  /// speculative run binds against a fresh session (copying the primary
+  /// session's optimizer settings). With `analyze` the fn also fills the
+  /// attempt's analyzed_plan/shard_trace from the drained plan's operator
+  /// metrics. `filters` are coordinator-built Bloom semi-join filters,
+  /// installed on the binding session for the bind only.
+  ShardFn MakeShardSelectFn(
+      std::shared_ptr<ast::SelectStmt> stmt, bool analyze = false,
+      std::shared_ptr<const std::vector<RuntimeScanFilter>> filters = nullptr);
+
+  /// Cross-shard Bloom semi-join pushdown (DESIGN.md "Cost-based
+  /// optimization"): for a join of a hash-distributed fact table with a
+  /// locally-filtered replicated dimension, evaluate the dimension filter
+  /// once on shard 0 (replicas are full copies), build a Bloom filter over
+  /// the surviving join keys, and serialize it as it would ride in the
+  /// shard request. Shard-local binders semi-filter the fact scan with it.
+  /// Returns null when the query doesn't qualify; best-effort otherwise.
+  std::shared_ptr<const std::vector<RuntimeScanFilter>> PrepareBloomPushdown(
+      const ast::SelectStmt& sel);
 
   /// Runs one shard task under the failover policy: fault-point gate,
   /// retry/backoff, timeout classification, node failover, speculation.

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "exec/functions.h"
+#include "sql/cardinality.h"
 #include "sql/parser.h"
 
 namespace dashdb {
@@ -871,10 +872,216 @@ class SelectBinder {
         }
       }
 
-      // Left-deep join tree in FROM order.
-      DASHDB_ASSIGN_OR_RETURN(
-          root, BuildJoinTree(stmt, item_cols, std::move(sources), &join_pool,
-                              &residual, &scope));
+      // Cardinality estimates per FROM item (synopsis min/max + null counts,
+      // dictionary NDVs). Row tables at least know their row count;
+      // derived tables stay unknown.
+      std::vector<RelationEstimate> estimates(stmt.from.size());
+      for (size_t i = 0; i < stmt.from.size(); ++i) {
+        if (col_tables[i]) {
+          estimates[i] =
+              CardinalityEstimator::EstimateScan(*col_tables[i], pushdown[i]);
+        } else if (row_tables[i]) {
+          estimates[i].has_stats = false;
+          estimates[i].base_rows = estimates[i].rows =
+              static_cast<double>(row_tables[i]->row_count());
+        }
+        if (col_tables[i] || row_tables[i]) {
+          sources[i]->set_est_rows(estimates[i].rows);
+        }
+      }
+      // Raw scan pointers survive the moves into the join tree; bloom
+      // pushdown targets resolve through them.
+      std::vector<Operator*> source_ptrs;
+      for (const auto& s : sources) source_ptrs.push_back(s.get());
+
+      // Pre-installed session filters (cross-shard Bloom semi-joins from
+      // the MPP coordinator) attach to matching column-table scans. Only
+      // sound when no outer join can null-extend the filtered table's rows.
+      if (!has_outer && !b_->session()->runtime_filters().empty()) {
+        bool all_inner = true;
+        for (const auto& ref : stmt.from) {
+          if (ref.join != ast::TableRef::JoinKind::kNone &&
+              ref.join != ast::TableRef::JoinKind::kInner &&
+              ref.join != ast::TableRef::JoinKind::kCross) {
+            all_inner = false;
+          }
+        }
+        if (all_inner) {
+          for (const auto& rf : b_->session()->runtime_filters()) {
+            for (size_t i = 0; i < stmt.from.size(); ++i) {
+              if (!col_tables[i] ||
+                  col_tables[i]->schema().QualifiedName() != rf.table) {
+                continue;
+              }
+              for (size_t c = 0; c < item_cols[i].size(); ++c) {
+                if (item_cols[i][c].name == rf.column) {
+                  source_ptrs[i]->AcceptRuntimeFilter(static_cast<int>(c),
+                                                      rf.bloom);
+                  break;
+                }
+              }
+            }
+          }
+        }
+      }
+
+      // Cost-based join ordering (DESIGN.md "Cost-based optimization"):
+      // eligible when every FROM item is a column table, every join is
+      // inner/cross, and every ON conjunct is a plain two-table column
+      // equality. Everything else falls back to the FROM-order heuristic.
+      bool cost_path =
+          stmt.from.size() >= 3 && !has_outer &&
+          b_->session()->optimizer_mode() == OptimizerMode::kCost;
+      for (size_t i = 0; cost_path && i < stmt.from.size(); ++i) {
+        if (!col_tables[i] || pending[i]) cost_path = false;
+        const ast::TableRef& ref = stmt.from[i];
+        if ((ref.join != ast::TableRef::JoinKind::kNone &&
+             ref.join != ast::TableRef::JoinKind::kInner &&
+             ref.join != ast::TableRef::JoinKind::kCross) ||
+            !ref.using_cols.empty()) {
+          cost_path = false;
+        }
+      }
+      std::vector<AdaptiveJoinEdge> aedges;
+      std::vector<size_t> consumed_pool;  // join_pool indices turned to edges
+      if (cost_path) {
+        // Resolves a plain column ref against the pruned per-item scopes;
+        // fails on ambiguity (mimics Scope::Resolve).
+        auto resolve_col = [&](const ast::Expr& e, int* item,
+                               int* local) -> bool {
+          if (e.kind != ExprKind::kColumnRef) return false;
+          int fi = -1, fc = -1;
+          for (size_t i = 0; i < item_cols.size(); ++i) {
+            for (size_t c = 0; c < item_cols[i].size(); ++c) {
+              const ScopeItem& it = item_cols[i][c];
+              if (!e.qualifier.empty() && it.alias != e.qualifier) continue;
+              if (it.name != e.name) continue;
+              if (fi >= 0) return false;  // ambiguous
+              fi = static_cast<int>(i);
+              fc = static_cast<int>(c);
+            }
+          }
+          if (fi < 0) return false;
+          *item = fi;
+          *local = fc;
+          return true;
+        };
+        // The scan-side Bloom protocol hashes raw cells, so edge endpoints
+        // must hash identically for equal values: same string-ness, and no
+        // doubles (integer families inter-hash fine).
+        auto hash_compatible = [](TypeId a, TypeId b) {
+          if (a == TypeId::kVarchar || b == TypeId::kVarchar) return a == b;
+          return a != TypeId::kDouble && b != TypeId::kDouble;
+        };
+        auto try_edge = [&](const ExprP& conj, AdaptiveJoinEdge* out) -> bool {
+          if (conj->kind != ExprKind::kBinary || conj->bin_op != BinOp::kEq) {
+            return false;
+          }
+          int ai, ac, bi, bc;
+          if (!resolve_col(*conj->children[0], &ai, &ac) ||
+              !resolve_col(*conj->children[1], &bi, &bc) ||
+              ai == bi ||
+              !hash_compatible(item_cols[ai][ac].type,
+                               item_cols[bi][bc].type)) {
+            return false;
+          }
+          out->left_item = ai;
+          out->left_col = ac;
+          out->right_item = bi;
+          out->right_col = bc;
+          out->left_ndv = estimates[ai].KeyNdv(pruned[ai][ac]);
+          out->right_ndv = estimates[bi].KeyNdv(pruned[bi][bc]);
+          return true;
+        };
+        for (size_t i = 0; cost_path && i < stmt.from.size(); ++i) {
+          if (!stmt.from[i].join_condition) continue;
+          std::vector<ExprP> on_conjs;
+          SplitConjuncts(stmt.from[i].join_condition, &on_conjs);
+          for (const auto& c : on_conjs) {
+            AdaptiveJoinEdge e;
+            if (!try_edge(c, &e)) {
+              cost_path = false;
+              break;
+            }
+            aedges.push_back(e);
+          }
+        }
+        if (cost_path) {
+          for (size_t j = 0; j < join_pool.size(); ++j) {
+            AdaptiveJoinEdge e;
+            if (try_edge(join_pool[j], &e)) {
+              aedges.push_back(e);
+              consumed_pool.push_back(j);
+            }
+          }
+          // The join graph must be connected — a disconnected query keeps
+          // the heuristic order (cross products stay where the user put
+          // them).
+          std::vector<int> comp(stmt.from.size());
+          for (size_t i = 0; i < comp.size(); ++i) comp[i] = static_cast<int>(i);
+          std::function<int(int)> find = [&](int x) {
+            while (comp[x] != x) x = comp[x] = comp[comp[x]];
+            return x;
+          };
+          for (const auto& e : aedges) {
+            comp[find(e.left_item)] = find(e.right_item);
+          }
+          for (size_t i = 1; i < comp.size(); ++i) {
+            if (find(static_cast<int>(i)) != find(0)) cost_path = false;
+          }
+        }
+        if (!cost_path) {
+          aedges.clear();
+          consumed_pool.clear();
+        }
+      }
+
+      if (cost_path) {
+        for (size_t j = consumed_pool.size(); j-- > 0;) {
+          join_pool.erase(join_pool.begin() + consumed_pool[j]);
+        }
+        std::vector<double> est_rows_v(stmt.from.size());
+        for (size_t i = 0; i < stmt.from.size(); ++i) {
+          est_rows_v[i] = estimates[i].rows;
+        }
+        // Overall output estimate: fold relations in FROM order via
+        // distinct-count containment on the first connecting edge.
+        double folded = est_rows_v[0];
+        std::vector<char> in_set(stmt.from.size(), 0);
+        in_set[0] = 1;
+        for (size_t i = 1; i < stmt.from.size(); ++i) {
+          double l_ndv = 0, r_ndv = 0;
+          bool edge = false;
+          for (const auto& e : aedges) {
+            if ((e.left_item == static_cast<int>(i) && in_set[e.right_item]) ||
+                (e.right_item == static_cast<int>(i) && in_set[e.left_item])) {
+              l_ndv = e.left_ndv;
+              r_ndv = e.right_ndv;
+              edge = true;
+              break;
+            }
+          }
+          folded = edge ? CardinalityEstimator::JoinRows(folded, est_rows_v[i],
+                                                         l_ndv, r_ndv)
+                        : folded * std::max(1.0, est_rows_v[i]);
+          in_set[i] = 1;
+        }
+        auto aj = std::make_unique<AdaptiveJoinOp>(
+            std::move(sources), std::move(aedges), std::move(est_rows_v),
+            b_->session()->adaptive_enabled(), &b_->session()->exec_ctx());
+        aj->set_est_rows(folded);
+        join_tree_est_ = folded;
+        root = std::move(aj);
+        for (const auto& cols : item_cols) {
+          for (const auto& c : cols) scope.items.push_back(c);
+        }
+      } else {
+        // Left-deep join tree in FROM order.
+        DASHDB_ASSIGN_OR_RETURN(
+            root, BuildJoinTree(stmt, item_cols, std::move(sources),
+                                source_ptrs, estimates, pruned, &join_pool,
+                                &residual, &scope));
+      }
       // Unconsumed join-pool conjuncts become residual filters.
       for (auto& j : join_pool) residual.push_back(j);
 
@@ -889,6 +1096,12 @@ class SelectBinder {
         }
         root = std::make_unique<FilterOp>(std::move(root), all,
                                           &b_->session()->exec_ctx());
+        if (join_tree_est_ >= 0) {
+          double sel = CardinalityEstimator::ResidualConjunctSelectivity();
+          double est = join_tree_est_;
+          for (size_t k = 0; k < residual.size(); ++k) est *= sel;
+          root->set_est_rows(est);
+        }
       }
     }
 
@@ -1338,10 +1551,53 @@ class SelectBinder {
   Result<OperatorPtr> BuildJoinTree(
       const ast::SelectStmt& stmt,
       const std::vector<std::vector<ScopeItem>>& item_cols,
-      std::vector<OperatorPtr> sources, std::vector<ExprP>* join_pool,
-      std::vector<ExprP>* residual, Scope* scope) {
+      std::vector<OperatorPtr> sources,
+      const std::vector<Operator*>& source_ptrs,
+      const std::vector<RelationEstimate>& estimates,
+      const std::vector<std::vector<int>>& pruned,
+      std::vector<ExprP>* join_pool, std::vector<ExprP>* residual,
+      Scope* scope) {
+    // Resolves a raw column ref against the pruned per-item scopes of items
+    // [0, upto); -1 on miss or ambiguity. Used for NDV lookup and for the
+    // Bloom pushdown target (which must be a base scan's output column).
+    auto resolve_item_col = [&](const ast::Expr& e, size_t upto, int* item,
+                                int* local) -> bool {
+      if (e.kind != ExprKind::kColumnRef) return false;
+      int fi = -1, fc = -1;
+      for (size_t i = 0; i < upto && i < item_cols.size(); ++i) {
+        for (size_t c = 0; c < item_cols[i].size(); ++c) {
+          const ScopeItem& it = item_cols[i][c];
+          if (!e.qualifier.empty() && it.alias != e.qualifier) continue;
+          if (it.name != e.name) continue;
+          if (fi >= 0) return false;
+          fi = static_cast<int>(i);
+          fc = static_cast<int>(c);
+        }
+      }
+      if (fi < 0) return false;
+      *item = fi;
+      *local = fc;
+      return true;
+    };
+    auto key_ndv = [&](int item, int local) -> double {
+      if (item < 0 || static_cast<size_t>(item) >= estimates.size() ||
+          static_cast<size_t>(item) >= pruned.size() ||
+          static_cast<size_t>(local) >= pruned[item].size()) {
+        return 0;
+      }
+      return estimates[item].KeyNdv(pruned[item][local]);
+    };
+
     OperatorPtr root = std::move(sources[0]);
     for (const auto& c : item_cols[0]) scope->items.push_back(c);
+    double cur_rows = estimates.empty() || !estimates[0].has_stats
+                          ? -1
+                          : estimates[0].rows;
+    // True while every join so far preserves probe rows exactly (inner or
+    // cross). A LEFT join breaks it: Bloom-dropping rows at a downstream
+    // scan would then be observable through null extension ordering, so be
+    // conservative and stop installing filters past one.
+    bool chain_all_inner = true;
     for (size_t i = 1; i < sources.size(); ++i) {
       const ast::TableRef& ref = stmt.from[i];
       Scope new_scope;
@@ -1438,9 +1694,26 @@ class SelectBinder {
         JoinType nlt = ref.join == ast::TableRef::JoinKind::kCross && !cond
                            ? JoinType::kCross
                            : jt;
+        if (nlt != JoinType::kInner && nlt != JoinType::kCross) {
+          chain_all_inner = false;
+        }
+        double right_rows =
+            estimates[i].has_stats || estimates[i].rows > 0
+                ? estimates[i].rows
+                : -1;
+        if (cur_rows >= 0 && right_rows >= 0) {
+          cur_rows = cur_rows * std::max(1.0, right_rows);
+          if (cond) {
+            double sel = CardinalityEstimator::ResidualConjunctSelectivity();
+            for (size_t k = 0; k < all_conjs.size(); ++k) cur_rows *= sel;
+          }
+        } else {
+          cur_rows = -1;
+        }
         root = std::make_unique<NestedLoopJoinOp>(
             std::move(root), std::move(sources[i]), cond, nlt,
             &b_->session()->exec_ctx());
+        if (cur_rows >= 0) root->set_est_rows(cur_rows);
       } else {
         // Hash join: bind probe keys over bound scope, build keys over the
         // new item's scope.
@@ -1453,9 +1726,60 @@ class SelectBinder {
           pk.push_back(std::move(p));
           bk.push_back(std::move(q));
         }
-        root = std::make_unique<HashJoinOp>(
+        // Estimate via distinct-count containment on the first key pair,
+        // resolving NDVs through the raw (unbound) column refs.
+        int probe_item = -1, probe_local = -1;
+        double l_ndv = 0, r_ndv = 0;
+        if (resolve_item_col(*equi_left[0], i, &probe_item, &probe_local)) {
+          l_ndv = key_ndv(probe_item, probe_local);
+        }
+        {
+          int bi = -1, bc = -1;
+          // Build refs resolve only within item i's scope.
+          if (equi_right[0]->kind == ExprKind::kColumnRef) {
+            for (size_t c = 0; c < item_cols[i].size(); ++c) {
+              const ScopeItem& it = item_cols[i][c];
+              if (!equi_right[0]->qualifier.empty() &&
+                  it.alias != equi_right[0]->qualifier) {
+                continue;
+              }
+              if (it.name != equi_right[0]->name) continue;
+              if (bi >= 0) {
+                bi = -1;
+                break;
+              }
+              bi = static_cast<int>(i);
+              bc = static_cast<int>(c);
+            }
+          }
+          if (bi >= 0) r_ndv = key_ndv(bi, bc);
+        }
+        double right_rows =
+            estimates[i].has_stats || estimates[i].rows > 0
+                ? estimates[i].rows
+                : -1;
+        cur_rows = cur_rows >= 0 && right_rows >= 0
+                       ? CardinalityEstimator::JoinRows(cur_rows, right_rows,
+                                                        l_ndv, r_ndv)
+                       : -1;
+        auto hj = std::make_unique<HashJoinOp>(
             std::move(root), std::move(sources[i]), std::move(pk),
             std::move(bk), jt, &b_->session()->exec_ctx());
+        // Sideways Bloom pushdown: once the build side materializes, its key
+        // set semi-filters the probe-side base scan. Only for single-key
+        // inner joins whose probe key is a plain base-scan column, and only
+        // while the chain has no outer joins above that scan. Gated on the
+        // cost optimizer so SET OPTIMIZER HEURISTIC is a faithful baseline.
+        if (b_->session()->optimizer_mode() == OptimizerMode::kCost &&
+            jt == JoinType::kInner && chain_all_inner &&
+            equi_left.size() == 1 && probe_item >= 0 &&
+            static_cast<size_t>(probe_item) < source_ptrs.size() &&
+            source_ptrs[probe_item] != nullptr) {
+          hj->SetProbeFilterTarget(source_ptrs[probe_item], probe_local);
+        }
+        if (jt != JoinType::kInner) chain_all_inner = false;
+        root = std::move(hj);
+        if (cur_rows >= 0) root->set_est_rows(cur_rows);
         // Inner-join ON residuals become filters over the combined scope.
         if (!on_residual.empty()) {
           ExprBinder eb(&combined, b_->session());
@@ -1465,12 +1789,18 @@ class SelectBinder {
             cond = cond ? std::make_shared<LogicExpr>(LogicOp::kAnd, cond, bc)
                         : bc;
           }
+          if (cur_rows >= 0) {
+            double sel = CardinalityEstimator::ResidualConjunctSelectivity();
+            for (size_t k = 0; k < on_residual.size(); ++k) cur_rows *= sel;
+          }
           root = std::make_unique<FilterOp>(std::move(root), cond,
                                             &b_->session()->exec_ctx());
+          if (cur_rows >= 0) root->set_est_rows(cur_rows);
         }
       }
       *scope = std::move(combined);
     }
+    join_tree_est_ = cur_rows;
     return root;
   }
 
@@ -1683,6 +2013,7 @@ class SelectBinder {
   Binder* b_;
   size_t hidden_order_cols_ = 0;
   size_t used_hidden_ = 0;
+  double join_tree_est_ = -1;  ///< output estimate of the join tree, -1 unknown
 };
 
 }  // namespace

@@ -1,0 +1,150 @@
+#include "sql/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/metrics.h"
+
+namespace dashdb {
+
+namespace {
+
+constexpr double kMinSelectivity = 1e-7;
+
+double Clamp01(double s) {
+  return std::max(kMinSelectivity, std::min(1.0, s));
+}
+
+/// NDV with fallbacks: dictionary count, else the integer domain width,
+/// else the non-null row count (every row distinct).
+double NdvOf(const ColumnStatsView& cs) {
+  if (cs.distinct > 0) return static_cast<double>(cs.distinct);
+  if (cs.has_int_range) {
+    double width =
+        static_cast<double>(cs.int_max) - static_cast<double>(cs.int_min) + 1;
+    double non_null =
+        static_cast<double>(cs.rows) - static_cast<double>(cs.null_count);
+    return std::max(1.0, std::min(width, std::max(1.0, non_null)));
+  }
+  return std::max(
+      1.0, static_cast<double>(cs.rows) - static_cast<double>(cs.null_count));
+}
+
+}  // namespace
+
+double RelationEstimate::KeyNdv(int table_col) const {
+  if (!has_stats || table_col < 0 ||
+      table_col >= static_cast<int>(cols.size())) {
+    return 0;
+  }
+  return std::min(NdvOf(cols[table_col]), std::max(1.0, rows));
+}
+
+double CardinalityEstimator::PredicateSelectivity(const ColumnStatsView& cs,
+                                                 const ColumnPredicate& p) {
+  const double rows = static_cast<double>(cs.rows);
+  if (rows <= 0) return 1.0;  // empty table: rows estimate is already 0
+  const double non_null_frac =
+      std::max(0.0, (rows - static_cast<double>(cs.null_count)) / rows);
+  const double ndv = NdvOf(cs);
+
+  // Integer-domain range against the synopsis [min, max] under uniformity.
+  if (p.int_range.lo || p.int_range.hi) {
+    const bool eq = p.int_range.lo && p.int_range.hi &&
+                    *p.int_range.lo == *p.int_range.hi &&
+                    p.int_range.lo_incl && p.int_range.hi_incl;
+    if (eq) {
+      if (cs.has_int_range && (*p.int_range.lo < cs.int_min ||
+                               *p.int_range.lo > cs.int_max)) {
+        return kMinSelectivity;
+      }
+      return Clamp01(non_null_frac / ndv);
+    }
+    if (!cs.has_int_range) return Clamp01(non_null_frac / 3.0);
+    double dom_lo = static_cast<double>(cs.int_min);
+    double dom_hi = static_cast<double>(cs.int_max);
+    double lo = p.int_range.lo
+                    ? static_cast<double>(*p.int_range.lo) +
+                          (p.int_range.lo_incl ? 0.0 : 1.0)
+                    : dom_lo;
+    double hi = p.int_range.hi
+                    ? static_cast<double>(*p.int_range.hi) -
+                          (p.int_range.hi_incl ? 0.0 : 1.0)
+                    : dom_hi;
+    lo = std::max(lo, dom_lo);
+    hi = std::min(hi, dom_hi);
+    if (hi < lo) return kMinSelectivity;
+    const double width = dom_hi - dom_lo + 1;
+    return Clamp01(non_null_frac * ((hi - lo + 1) / width));
+  }
+
+  // VARCHAR: equality via NDV; open ranges have no usable interpolation
+  // over strings, so they take the residual default shape.
+  if (p.str_range.lo || p.str_range.hi) {
+    const bool eq = p.str_range.lo && p.str_range.hi &&
+                    *p.str_range.lo == *p.str_range.hi &&
+                    p.str_range.lo_incl && p.str_range.hi_incl;
+    if (eq) {
+      if (cs.has_str_range &&
+          (*p.str_range.lo < cs.str_min || *p.str_range.lo > cs.str_max)) {
+        return kMinSelectivity;
+      }
+      return Clamp01(non_null_frac / ndv);
+    }
+    // Prefix ranges (LIKE 'a%') and inequalities: assume a third survives.
+    double s = non_null_frac / 3.0;
+    if (cs.has_str_range && p.str_range.lo && p.str_range.hi) {
+      if (*p.str_range.hi < cs.str_min || *p.str_range.lo > cs.str_max) {
+        return kMinSelectivity;
+      }
+    }
+    return Clamp01(s);
+  }
+
+  // DOUBLE ranges: no synopsis today; equality is rare and sharp.
+  if (p.dlo || p.dhi) {
+    const bool eq = p.dlo && p.dhi && *p.dlo == *p.dhi;
+    return Clamp01(non_null_frac * (eq ? 1.0 / ndv : 1.0 / 3.0));
+  }
+  return 1.0;
+}
+
+RelationEstimate CardinalityEstimator::EstimateScan(
+    const ColumnTable& table, const std::vector<ColumnPredicate>& preds) {
+  RelationEstimate est;
+  est.has_stats = true;
+  est.base_rows = static_cast<double>(table.live_row_count());
+  est.cols.reserve(table.schema().num_columns());
+  for (int c = 0; c < table.schema().num_columns(); ++c) {
+    est.cols.push_back(table.ColumnStats(c));
+  }
+  double sel = 1.0;
+  for (const auto& p : preds) {
+    if (p.column < 0 || p.column >= static_cast<int>(est.cols.size())) {
+      continue;
+    }
+    sel *= PredicateSelectivity(est.cols[p.column], p);
+  }
+  est.rows = est.base_rows * sel;
+  return est;
+}
+
+double CardinalityEstimator::JoinRows(double left_rows, double right_rows,
+                                      double left_ndv, double right_ndv) {
+  left_rows = std::max(0.0, left_rows);
+  right_rows = std::max(0.0, right_rows);
+  const double ndv = std::max(left_ndv, right_ndv);
+  if (ndv >= 1.0) return left_rows * right_rows / ndv;
+  return std::max(left_rows, right_rows);
+}
+
+double CardinalityEstimator::ResidualConjunctSelectivity() {
+  Histogram* h = MetricRegistry::Global().GetHistogram(
+      "exec.filter_selectivity", {1, 5, 10, 25, 50, 75, 90, 100});
+  if (h == nullptr || h->count() == 0) return 1.0 / 3.0;
+  double mean_pct =
+      static_cast<double>(h->sum()) / static_cast<double>(h->count());
+  return std::max(0.05, std::min(0.95, mean_pct / 100.0));
+}
+
+}  // namespace dashdb

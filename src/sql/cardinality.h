@@ -1,0 +1,56 @@
+// Cardinality estimation for the cost-based optimizer (DESIGN.md
+// "Cost-based optimization"). Base-table and post-filter row estimates come
+// from statistics the storage layer already maintains — per-stride synopsis
+// min/max + null counts, frequency-dictionary distinct counts — combined
+// under the textbook uniformity + independence assumptions. Join output is
+// estimated with distinct-count containment: |R ⋈ S| = |R|·|S| /
+// max(ndv(R.k), ndv(S.k)). Residual (non-sargable) conjuncts fall back to
+// the observed mean of the PR-5 `exec.filter_selectivity` histogram, so the
+// default selectivity tracks the workload instead of a fixed magic number.
+#pragma once
+
+#include <vector>
+
+#include "storage/column_table.h"
+
+namespace dashdb {
+
+/// Cardinality estimate for one FROM item backed by a column table.
+struct RelationEstimate {
+  bool has_stats = false;
+  double base_rows = 0;  ///< live rows before any predicate
+  double rows = 0;       ///< after pushed-down predicates
+  /// Per table column (full schema order), valid when has_stats.
+  std::vector<ColumnStatsView> cols;
+
+  /// Estimated distinct count of `table_col` after the predicates: the
+  /// statistics NDV capped by the surviving row estimate.
+  double KeyNdv(int table_col) const;
+};
+
+class CardinalityEstimator {
+ public:
+  /// Base + post-filter estimate for a column table under pushed-down
+  /// storage predicates.
+  static RelationEstimate EstimateScan(
+      const ColumnTable& table, const std::vector<ColumnPredicate>& preds);
+
+  /// Selectivity of one storage predicate against one column's statistics
+  /// (range overlap over the synopsis domain; equality = 1/NDV; always
+  /// scaled by the column's non-null fraction).
+  static double PredicateSelectivity(const ColumnStatsView& cs,
+                                     const ColumnPredicate& p);
+
+  /// Distinct-count containment join estimate. NDV of 0 means unknown on
+  /// that side; with both unknown the estimate degrades to max(l, r) (the
+  /// FK-join shape).
+  static double JoinRows(double left_rows, double right_rows,
+                         double left_ndv, double right_ndv);
+
+  /// Selectivity charged per residual (non-sargable) conjunct: the running
+  /// mean of the `exec.filter_selectivity` histogram, clamped to
+  /// [0.05, 0.95]; 1/3 before any observation exists.
+  static double ResidualConjunctSelectivity();
+};
+
+}  // namespace dashdb

@@ -255,6 +255,7 @@ Result<QueryResult> Engine::ExecSelect(Session* session,
     // (differential tests) can check it against the plain query without
     // parsing the report.
     DASHDB_ASSIGN_OR_RETURN(RowBatch result, DrainOperator(root.get()));
+    RecordCardinalityFeedback(root.get());
     r.affected_rows = static_cast<int64_t>(result.num_rows());
     r.message = "EXPLAIN ANALYZE (dop=" + std::to_string(dop) +
                 ", rows=" + std::to_string(result.num_rows()) + ")\n" +
@@ -271,6 +272,7 @@ Result<QueryResult> Engine::ExecSelect(Session* session,
   }
   r.columns = root->output();
   DASHDB_ASSIGN_OR_RETURN(r.rows, DrainOperator(root.get()));
+  RecordCardinalityFeedback(root.get());
   r.affected_rows = static_cast<int64_t>(r.rows.num_rows());
   return r;
 }
@@ -598,6 +600,31 @@ Result<QueryResult> Engine::ExecSet(Session* session,
     }
     session->set_max_parallelism(dop);
     r.message = "DOP " + std::to_string(EffectiveDop(*session));
+    return r;
+  }
+  if (name == "OPTIMIZER" || name == "JOIN_ORDER") {
+    std::string v = NormalizeIdent(st.set_value);
+    if (v == "COST") {
+      session->set_optimizer_mode(OptimizerMode::kCost);
+    } else if (v == "HEURISTIC" || v == "SYNTACTIC") {
+      session->set_optimizer_mode(OptimizerMode::kHeuristic);
+    } else {
+      return Status::InvalidArgument("OPTIMIZER must be COST or HEURISTIC");
+    }
+    r.message = "OPTIMIZER " + v;
+    return r;
+  }
+  if (name == "ADAPTIVE") {
+    std::string v = NormalizeIdent(st.set_value);
+    if (v == "ON" || v == "TRUE" || v == "1") {
+      session->set_adaptive_enabled(true);
+    } else if (v == "OFF" || v == "FALSE" || v == "0") {
+      session->set_adaptive_enabled(false);
+    } else {
+      return Status::InvalidArgument("ADAPTIVE must be ON or OFF");
+    }
+    r.message = std::string("ADAPTIVE ") +
+                (session->adaptive_enabled() ? "ON" : "OFF");
     return r;
   }
   // Unknown session variables are accepted and ignored (compatibility).

@@ -7,8 +7,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/dialect.h"
+#include "common/flat_hash.h"
 #include "common/trace.h"
 #include "exec/expr.h"
 
@@ -19,6 +21,20 @@ struct SequenceState {
   int64_t next = 1;
   int64_t current = 0;
   bool has_current = false;
+};
+
+/// Join-order planning mode (SET OPTIMIZER COST|HEURISTIC).
+enum class OptimizerMode : uint8_t { kCost = 0, kHeuristic };
+
+/// A Bloom semi-join filter pre-installed on this session, keyed by
+/// qualified table name + column name. The binder attaches it to the
+/// matching table scan at plan time. This is the landing spot for filters
+/// shipped across MPP shards (the coordinator builds one from a dimension
+/// table and serializes it into the shard request).
+struct RuntimeScanFilter {
+  std::string table;   ///< qualified name, upper case
+  std::string column;  ///< column name, upper case
+  std::shared_ptr<const BloomPrefilter> bloom;
 };
 
 class Session {
@@ -80,10 +96,37 @@ class Session {
     return sequences_.count(name) > 0;
   }
 
+  /// Cost-based vs. FROM-order join planning (SET OPTIMIZER).
+  OptimizerMode optimizer_mode() const { return optimizer_mode_; }
+  void set_optimizer_mode(OptimizerMode m) { optimizer_mode_ = m; }
+
+  /// Mid-query re-planning on cardinality mis-estimates (SET ADAPTIVE).
+  bool adaptive_enabled() const { return adaptive_enabled_; }
+  void set_adaptive_enabled(bool on) { adaptive_enabled_ = on; }
+
+  /// Pre-installed scan filters (cross-shard Bloom pushdown). Replaces any
+  /// existing filter on the same table+column.
+  void AddRuntimeFilter(RuntimeScanFilter f) {
+    for (auto& existing : runtime_filters_) {
+      if (existing.table == f.table && existing.column == f.column) {
+        existing.bloom = std::move(f.bloom);
+        return;
+      }
+    }
+    runtime_filters_.push_back(std::move(f));
+  }
+  const std::vector<RuntimeScanFilter>& runtime_filters() const {
+    return runtime_filters_;
+  }
+  void ClearRuntimeFilters() { runtime_filters_.clear(); }
+
  private:
   Dialect dialect_ = Dialect::kAnsi;
   std::string default_schema_ = "PUBLIC";
   int max_parallelism_ = 0;  ///< 0 = ANY
+  OptimizerMode optimizer_mode_ = OptimizerMode::kCost;
+  bool adaptive_enabled_ = true;
+  std::vector<RuntimeScanFilter> runtime_filters_;
   std::shared_ptr<const Trace> last_trace_;
   ExecContext exec_ctx_;
   std::map<std::string, SequenceState> sequences_;

@@ -762,4 +762,27 @@ PageEncoding ColumnTable::column_encoding(int col) const {
   return columns_[col].encoding;
 }
 
+ColumnStatsView ColumnTable::ColumnStats(int col) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ColumnStatsView out;
+  out.rows = row_count_ - deleted_count_;
+  const ColumnData& cd = columns_[col];
+  if (cd.int_dict) out.distinct = cd.int_dict->total_values();
+  if (cd.str_dict) out.distinct = cd.str_dict->total_values();
+  if (schema_.column(col).type == TypeId::kVarchar) {
+    out.has_str_range = cd.str_synopsis.GlobalRange(&out.str_min, &out.str_max);
+    out.null_count = cd.str_synopsis.TotalNulls();
+  } else {
+    out.has_int_range = cd.int_synopsis.GlobalRange(&out.int_min, &out.int_max);
+    out.null_count = cd.int_synopsis.TotalNulls();
+  }
+  // The tail region has no synopsis strides yet; fold in its null count so
+  // non-null fractions stay honest on trickle-insert-heavy tables.
+  const ColumnVector& tail_col = tail_.columns[col];
+  for (size_t i = 0; i < tail_col.size(); ++i) {
+    if (tail_col.IsNull(i)) ++out.null_count;
+  }
+  return out;
+}
+
 }  // namespace dashdb

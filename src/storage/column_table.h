@@ -65,6 +65,21 @@ struct ScanStats {
   size_t rows_matched = 0;
 };
 
+/// Optimizer-facing statistics for one column, derived from data the
+/// storage layer already maintains: the per-stride synopsis (min/max +
+/// null counts) and the frequency dictionary (distinct-value count).
+/// Everything is an estimate — the tail region is covered only by its
+/// row/null counts, not by range or distinct information.
+struct ColumnStatsView {
+  size_t rows = 0;        ///< live rows in the table
+  size_t null_count = 0;  ///< NULLs (synopsis strides + tail)
+  size_t distinct = 0;    ///< dictionary NDV; 0 = unknown
+  bool has_int_range = false;
+  int64_t int_min = 0, int_max = 0;
+  bool has_str_range = false;
+  std::string str_min, str_max;
+};
+
 /// Column-organized table.
 class ColumnTable : public StorageObject {
  public:
@@ -135,6 +150,9 @@ class ColumnTable : public StorageObject {
 
   /// Encoding chosen for a column (after Load).
   PageEncoding column_encoding(int col) const;
+
+  /// Statistics snapshot for one column (cardinality estimation input).
+  ColumnStatsView ColumnStats(int col) const;
 
   /// Attaches the storage I/O model: buffer-pool misses on this table's
   /// pages charge modeled read time into *sink (see storage/io_model.h).

@@ -8,7 +8,10 @@ void IntSynopsis::AddStride(const int64_t* values, size_t n,
                             const BitVector* nulls, size_t null_offset) {
   StrideSummary s;
   for (size_t i = 0; i < n; ++i) {
-    if (nulls && nulls->Get(null_offset + i)) continue;
+    if (nulls && nulls->Get(null_offset + i)) {
+      ++s.null_count;
+      continue;
+    }
     if (!s.has_non_null) {
       s.min = s.max = values[i];
       s.has_non_null = true;
@@ -62,11 +65,36 @@ size_t IntSynopsis::CompressedByteSize() const {
   return emin.ByteSize() + emax.ByteSize() + (strides_.size() + 7) / 8;
 }
 
+bool IntSynopsis::GlobalRange(int64_t* lo, int64_t* hi) const {
+  bool any = false;
+  for (const auto& s : strides_) {
+    if (!s.has_non_null) continue;
+    if (!any) {
+      *lo = s.min;
+      *hi = s.max;
+      any = true;
+    } else {
+      *lo = std::min(*lo, s.min);
+      *hi = std::max(*hi, s.max);
+    }
+  }
+  return any;
+}
+
+size_t IntSynopsis::TotalNulls() const {
+  size_t n = 0;
+  for (const auto& s : strides_) n += s.null_count;
+  return n;
+}
+
 void StringSynopsis::AddStride(const std::string* values, size_t n,
                                const BitVector* nulls, size_t null_offset) {
   Entry e;
   for (size_t i = 0; i < n; ++i) {
-    if (nulls && nulls->Get(null_offset + i)) continue;
+    if (nulls && nulls->Get(null_offset + i)) {
+      ++e.null_count;
+      continue;
+    }
     if (!e.has_non_null) {
       e.min = e.max = values[i];
       e.has_non_null = true;
@@ -104,6 +132,28 @@ size_t StringSynopsis::SkipStrides(const std::string* lo, bool lo_incl,
     }
   }
   return skipped;
+}
+
+bool StringSynopsis::GlobalRange(std::string* lo, std::string* hi) const {
+  bool any = false;
+  for (const auto& s : strides_) {
+    if (!s.has_non_null) continue;
+    if (!any) {
+      *lo = s.min;
+      *hi = s.max;
+      any = true;
+    } else {
+      if (s.min < *lo) *lo = s.min;
+      if (s.max > *hi) *hi = s.max;
+    }
+  }
+  return any;
+}
+
+size_t StringSynopsis::TotalNulls() const {
+  size_t n = 0;
+  for (const auto& s : strides_) n += s.null_count;
+  return n;
 }
 
 }  // namespace dashdb

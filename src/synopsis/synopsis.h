@@ -19,11 +19,15 @@ namespace dashdb {
 /// every column for (approximately) 1K tuples").
 inline constexpr size_t kStrideRows = 1024;
 
-/// Min/max summary of one stride of one integer-backed column.
+/// Min/max summary of one stride of one integer-backed column. The null
+/// count rides along so the optimizer's cardinality estimator can derive
+/// non-null fractions without a second pass (older serialized summaries
+/// merge in with null_count 0 — estimates degrade, skipping is unaffected).
 struct StrideSummary {
   int64_t min = 0;
   int64_t max = 0;
   bool has_non_null = false;
+  uint32_t null_count = 0;
 };
 
 /// Synopsis over one integer-backed column.
@@ -54,6 +58,13 @@ class IntSynopsis {
   /// compares against user data size.
   size_t CompressedByteSize() const;
 
+  /// Column-wide [min, max] over every stride; false when every stride is
+  /// all-NULL (or the synopsis is empty). Optimizer statistics input.
+  bool GlobalRange(int64_t* lo, int64_t* hi) const;
+
+  /// Total NULLs recorded across all strides.
+  size_t TotalNulls() const;
+
  private:
   std::vector<StrideSummary> strides_;
 };
@@ -73,10 +84,17 @@ class StringSynopsis {
                      const std::string* hi, bool hi_incl,
                      BitVector* mask) const;
 
+  /// Column-wide [min, max] strings; false when every stride is all-NULL.
+  bool GlobalRange(std::string* lo, std::string* hi) const;
+
+  /// Total NULLs recorded across all strides.
+  size_t TotalNulls() const;
+
  private:
   struct Entry {
     std::string min, max;
     bool has_non_null = false;
+    uint32_t null_count = 0;
   };
   std::vector<Entry> strides_;
 };

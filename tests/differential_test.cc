@@ -66,6 +66,12 @@ std::unique_ptr<MppDatabase> MakeLoadedDb(int dop) {
                      {"W", TypeId::kInt64, true, 0, false}});
   EXPECT_TRUE(db->CreateTable(dim_h, /*replicated=*/true).ok());
 
+  // Snowflake outrigger off D (reachable from the fact only through D).
+  TableSchema dim_e("PUBLIC", "E",
+                    {{"A", TypeId::kInt64, false, 0, false},
+                     {"Z", TypeId::kInt64, true, 0, false}});
+  EXPECT_TRUE(db->CreateTable(dim_e, /*replicated=*/true).ok());
+
   RowBatch t;
   for (int i = 0; i < 4; ++i) t.columns.emplace_back(TypeId::kInt64);
   t.columns.emplace_back(TypeId::kVarchar);
@@ -104,6 +110,15 @@ std::unique_ptr<MppDatabase> MakeLoadedDb(int dop) {
     h.columns[1].AppendInt(i * 17 % 89);
   }
   EXPECT_TRUE(db->Load("PUBLIC", "H", h).ok());
+
+  RowBatch e;
+  e.columns.emplace_back(TypeId::kInt64);
+  e.columns.emplace_back(TypeId::kInt64);
+  for (int a = 0; a < 4; ++a) {
+    e.columns[0].AppendInt(a);
+    e.columns[1].AppendInt(a % 2);
+  }
+  EXPECT_TRUE(db->Load("PUBLIC", "E", e).ok());
   return db;
 }
 
@@ -141,6 +156,22 @@ const char* kCorpus[] = {
     "SELECT COUNT(*), SUM(V) FROM T WHERE V % 7 = 0 AND S LIKE 's%'",
     "SELECT ID, CONCAT(S, CONCAT('x', CAT)) FROM T "
     "WHERE S = 's3' AND V + CAT >= 40 ORDER BY ID LIMIT 15",
+    // Multi-join shapes for the cost-based optimizer (comma syntax takes
+    // the >= 3-way cost path on every shard; the heuristic/cost
+    // differential below must agree with these byte-for-byte).
+    // 4-way star with a selective dimension filter.
+    "SELECT COUNT(*), SUM(t.V), SUM(h.W) FROM T t, D d, C c, H h "
+    "WHERE t.GRP = d.GRP AND t.CAT = c.CAT AND t.ID = h.ID AND c.B = 1",
+    // Snowflake: the E outrigger is reachable only through D.
+    "SELECT e.Z, COUNT(*), SUM(t.V) FROM T t, D d, E e "
+    "WHERE t.GRP = d.GRP AND d.A = e.A AND e.Z = 1 GROUP BY e.Z ORDER BY e.Z",
+    // Cyclic join graph: the d-c edge closes a cycle over the fact.
+    "SELECT COUNT(*), SUM(t.V) FROM T t, D d, C c "
+    "WHERE t.GRP = d.GRP AND t.CAT = c.CAT AND d.A = c.B",
+    // Cross-shard Bloom semi-join: distributed fact against a filtered
+    // replicated dim ships a serialized filter in every shard request.
+    "SELECT COUNT(*), SUM(t.V) FROM T t, H h "
+    "WHERE t.ID = h.ID AND h.W <= 40",
 };
 constexpr size_t kCorpusSize = sizeof(kCorpus) / sizeof(kCorpus[0]);
 
@@ -202,6 +233,38 @@ TEST_F(DifferentialTest, Dop4WithShardKillMatchesSerialBaseline) {
       FaultInjector::Global().ResetForTest();
     }
   }
+}
+
+TEST_F(DifferentialTest, HeuristicVersusCostOptimizerByteIdentical) {
+  // Join order and Bloom pushdown are performance levers, never semantic
+  // ones: the whole corpus must agree between the FROM-order heuristic and
+  // the cost-based optimizer, at both degrees of parallelism.
+  for (int dop : {1, 4}) {
+    auto db = MakeLoadedDb(dop);
+    ASSERT_TRUE(db->Execute("SET OPTIMIZER HEURISTIC").ok());
+    std::vector<std::string> heur = RunCorpus(db.get());
+    ASSERT_TRUE(db->Execute("SET OPTIMIZER COST").ok());
+    std::vector<std::string> cost = RunCorpus(db.get());
+    ASSERT_EQ(heur.size(), cost.size());
+    for (size_t i = 0; i < heur.size(); ++i) {
+      EXPECT_EQ(cost[i], heur[i])
+          << "optimizer modes diverged (dop=" << dop << ") on corpus query "
+          << i << ": " << kCorpus[i];
+    }
+  }
+}
+
+TEST_F(DifferentialTest, CrossShardBloomPushdownShipsFilters) {
+  auto db = MakeLoadedDb(4);
+  Counter* filters = MetricRegistry::Global().GetCounter("mpp.bloom_filters");
+  Counter* bytes = MetricRegistry::Global().GetCounter("mpp.bloom_bytes");
+  uint64_t f0 = filters->value(), b0 = bytes->value();
+  auto r = db->Execute(
+      "SELECT COUNT(*), SUM(t.V) FROM T t, H h "
+      "WHERE t.ID = h.ID AND h.W <= 40");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(filters->value(), f0);
+  EXPECT_GT(bytes->value(), b0);
 }
 
 TEST_F(DifferentialTest, ExplainAnalyzeCardinalitiesMatchPlainRun) {
