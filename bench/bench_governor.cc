@@ -1,0 +1,223 @@
+// Admission control under a mixed interactive/batch load (paper II.B:
+// "analytics data warehouse... supports concurrent users"): a pool of
+// expensive full-width scans competes with short interactive aggregates
+// on one engine. Without admission every expensive query runs at once and
+// the morsel pool thrashes; with per-class slots the expensive tier is
+// bounded, so short queries keep their latency. Reports completed /
+// queued / shed counts per mode and the small-query p50/p99.
+//
+// Writes BENCH_governor.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+namespace {
+
+constexpr int64_t kBigRows = 1500000;
+constexpr int64_t kSmallRows = 5000;
+constexpr int kExpensiveThreads = 8;
+constexpr int kCheapThreads = 4;
+constexpr double kRunSeconds = 2.5;
+
+// Full-width scan: the root estimate is ~|BIG|, so admission classes it
+// expensive. The short query aggregates to one row and classes cheap.
+const char* kExpensiveSql = "SELECT ID, GRP, V FROM BIG WHERE V >= 0";
+const char* kCheapSql = "SELECT COUNT(*), SUM(V) FROM SMALL WHERE V > 50";
+
+void LoadRows(Engine* engine, const std::string& name, int64_t n) {
+  TableSchema schema("PUBLIC", name,
+                     {{"ID", TypeId::kInt64, false, 0, false},
+                      {"GRP", TypeId::kInt64, true, 0, false},
+                      {"V", TypeId::kInt64, true, 0, false}});
+  auto t = engine->CreateColumnTable(schema);
+  if (!t.ok()) {
+    std::fprintf(stderr, "load %s: %s\n", name.c_str(),
+                 t.status().ToString().c_str());
+    std::exit(1);
+  }
+  RowBatch rows;
+  for (int c = 0; c < 3; ++c) rows.columns.emplace_back(TypeId::kInt64);
+  for (int64_t i = 0; i < n; ++i) {
+    rows.columns[0].AppendInt(i);
+    rows.columns[1].AppendInt(i % 97);
+    rows.columns[2].AppendInt(i * 31 % 101);
+  }
+  Status st = t.value()->Append(rows);
+  if (!st.ok()) std::exit(1);
+}
+
+struct ModeResult {
+  std::string name;
+  bool admission = false;
+  uint64_t cheap_completed = 0;
+  uint64_t expensive_completed = 0;
+  uint64_t expensive_shed = 0;
+  uint64_t queued = 0;
+  double cheap_p50_ms = 0;
+  double cheap_p99_ms = 0;
+};
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// Runs the mixed load for kRunSeconds and collects per-class stats.
+ModeResult RunMode(Engine& engine, const std::string& name, bool admission) {
+  ModeResult out;
+  out.name = name;
+  out.admission = admission;
+  auto& reg = MetricRegistry::Global();
+  const uint64_t shed0 = reg.GetCounter("exec.admission_shed")->value();
+  const uint64_t queued0 = reg.GetCounter("exec.admission_queued")->value();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> cheap_done{0}, expensive_done{0}, shed{0};
+  std::vector<std::vector<double>> cheap_ms(kCheapThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kExpensiveThreads; ++t) {
+    threads.emplace_back([&, admission] {
+      auto session = engine.CreateSession();
+      engine.Execute(session.get(),
+                     admission ? "SET ADMISSION ON" : "SET ADMISSION OFF");
+      engine.Execute(session.get(), "SET DOP = 8");
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = engine.Execute(session.get(), kExpensiveSql);
+        if (r.ok()) {
+          expensive_done.fetch_add(1);
+        } else if (r.status().IsResourceExhausted()) {
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kCheapThreads; ++t) {
+    threads.emplace_back([&, t, admission] {
+      auto session = engine.CreateSession();
+      engine.Execute(session.get(),
+                     admission ? "SET ADMISSION ON" : "SET ADMISSION OFF");
+      engine.Execute(session.get(), "SET DOP = 1");
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto r = engine.Execute(session.get(), kCheapSql);
+        auto t1 = std::chrono::steady_clock::now();
+        if (r.ok()) {
+          cheap_done.fetch_add(1);
+          cheap_ms[t].push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(kRunSeconds));
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  std::vector<double> all;
+  for (auto& v : cheap_ms) all.insert(all.end(), v.begin(), v.end());
+  out.cheap_completed = cheap_done.load();
+  out.expensive_completed = expensive_done.load();
+  out.expensive_shed = shed.load();
+  out.queued = reg.GetCounter("exec.admission_queued")->value() - queued0;
+  (void)shed0;
+  out.cheap_p50_ms = Percentile(all, 0.50);
+  out.cheap_p99_ms = Percentile(all, 0.99);
+  return out;
+}
+
+}  // namespace
+}  // namespace dashdb
+
+int main() {
+  using namespace dashdb;
+  EngineConfig cfg = bench::DashDbConfig();
+  cfg.query_parallelism = 8;
+  // Admission policy for the governed mode: the expensive tier is capped
+  // well below the thread count, the cheap tier is effectively unlimited,
+  // and expensive statements that cannot start soon are shed.
+  cfg.admission.cheap_slots = 64;
+  cfg.admission.expensive_slots = 1;
+  cfg.admission.max_queued = 64;
+  cfg.admission.queue_timeout_seconds = 0.25;
+  Engine engine(cfg);
+  LoadRows(&engine, "BIG", kBigRows);
+  LoadRows(&engine, "SMALL", kSmallRows);
+
+  bench::PrintHeader("Query governor: admission control under mixed load");
+  bench::PrintNote(std::to_string(kExpensiveThreads) +
+                   " expensive full scans vs " +
+                   std::to_string(kCheapThreads) + " interactive aggregates, " +
+                   std::to_string(kRunSeconds) + "s per mode");
+
+  // Warm both query shapes once so neither mode pays first-touch costs.
+  {
+    auto s = engine.CreateSession();
+    engine.Execute(s.get(), "SET ADMISSION OFF");
+    engine.Execute(s.get(), kExpensiveSql);
+    engine.Execute(s.get(), kCheapSql);
+  }
+
+  ModeResult base = RunMode(engine, "no_admission", false);
+  ModeResult gov = RunMode(engine, "admission", true);
+
+  for (const ModeResult* m : {&base, &gov}) {
+    bench::PrintHeader(m->name);
+    bench::PrintRow("cheap queries completed",
+                    static_cast<double>(m->cheap_completed), "");
+    bench::PrintRow("cheap p50", m->cheap_p50_ms, "ms");
+    bench::PrintRow("cheap p99", m->cheap_p99_ms, "ms");
+    bench::PrintRow("expensive completed",
+                    static_cast<double>(m->expensive_completed), "");
+    bench::PrintRow("expensive shed",
+                    static_cast<double>(m->expensive_shed), "");
+    bench::PrintRow("admission waits (queued)",
+                    static_cast<double>(m->queued), "");
+  }
+  double improvement =
+      gov.cheap_p99_ms > 0 ? base.cheap_p99_ms / gov.cheap_p99_ms : 0;
+  bench::PrintHeader("summary");
+  bench::PrintRow("small-query p99 improvement", improvement, "x");
+
+  FILE* json = std::fopen("BENCH_governor.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write BENCH_governor.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"big_rows\": %lld,\n  \"small_rows\": %lld,\n"
+               "  \"expensive_threads\": %d,\n  \"cheap_threads\": %d,\n"
+               "  \"run_seconds\": %.2f,\n  \"modes\": [\n",
+               static_cast<long long>(kBigRows),
+               static_cast<long long>(kSmallRows), kExpensiveThreads,
+               kCheapThreads, kRunSeconds);
+  const ModeResult* modes[] = {&base, &gov};
+  for (int i = 0; i < 2; ++i) {
+    const ModeResult& m = *modes[i];
+    std::fprintf(
+        json,
+        "    {\"name\": \"%s\", \"admission\": %s,"
+        " \"cheap_completed\": %llu, \"cheap_p50_ms\": %.4f,"
+        " \"cheap_p99_ms\": %.4f, \"expensive_completed\": %llu,"
+        " \"expensive_shed\": %llu, \"queued\": %llu}%s\n",
+        m.name.c_str(), m.admission ? "true" : "false",
+        static_cast<unsigned long long>(m.cheap_completed), m.cheap_p50_ms,
+        m.cheap_p99_ms, static_cast<unsigned long long>(m.expensive_completed),
+        static_cast<unsigned long long>(m.expensive_shed),
+        static_cast<unsigned long long>(m.queued), i == 0 ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"small_query_p99_improvement\": %.4f\n}\n",
+               improvement);
+  std::fclose(json);
+  std::printf("\nwrote BENCH_governor.json\n");
+  return 0;
+}

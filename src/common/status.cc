@@ -18,6 +18,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kSemanticError: return "SemanticError";
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

@@ -29,6 +29,7 @@ enum class StatusCode {
   kSemanticError,    ///< SQL parsed but is semantically invalid.
   kUnavailable,      ///< A node/container/shard is currently down.
   kTimeout,          ///< An attempt exceeded its time budget.
+  kCancelled,        ///< The statement was cancelled by its owner.
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -92,6 +93,9 @@ class Status {
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -106,6 +110,10 @@ class Status {
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsTimeout() const { return code() == StatusCode::kTimeout; }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// Same code, message prefixed with `context` — lets layers annotate
   /// (which shard, which statement) without laundering retryability

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "common/query_context.h"
+
 namespace dashdb {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -44,6 +46,7 @@ namespace {
 /// have valid state to look at.
 struct ParallelForState {
   std::function<void(size_t)> fn;
+  QueryContext* qctx = nullptr;
   size_t n = 0;
   size_t chunk = 1;
   std::atomic<size_t> next{0};
@@ -60,6 +63,14 @@ struct ParallelForState {
     for (;;) {
       size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) break;
+      // Governor probe only after a successful claim: begin < n proves the
+      // caller is still inside ParallelFor (it drains until the range runs
+      // dry before waiting), so qctx is alive. A helper that starts after
+      // the caller returned claims begin >= n and never touches qctx.
+      if (qctx != nullptr && !qctx->CheckAlive().ok()) {
+        next.store(n, std::memory_order_relaxed);  // abandon remaining chunks
+        break;
+      }
       size_t end = std::min(n, begin + chunk);
       try {
         for (size_t i = begin; i < end; ++i) fn(i);
@@ -82,7 +93,7 @@ struct ParallelForState {
 }  // namespace
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                             int max_workers) {
+                             int max_workers, QueryContext* qctx) {
   if (n == 0) return;
   int workers = max_workers > 0 ? std::min(max_workers, num_threads() + 1)
                                 : num_threads() + 1;
@@ -91,11 +102,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     // sub-item work): run inline to avoid scheduling overhead. Callers with
     // coarse units (partitions, merge shards) rely on n == workers fanning
     // out, so the threshold must not exceed n == workers.
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      if (qctx != nullptr && !qctx->CheckAlive().ok()) return;
+      fn(i);
+    }
     return;
   }
   auto st = std::make_shared<ParallelForState>();
   st->fn = fn;
+  st->qctx = qctx;
   st->n = n;
   // Coarse-grained calls (n comparable to workers — radix partitions,
   // merge shards) get chunk 1 so every unit can land on its own thread;

@@ -13,6 +13,8 @@
 
 namespace dashdb {
 
+class QueryContext;
+
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -50,8 +52,16 @@ class ThreadPool {
   /// (caller included); 0 means caller + all pool workers. The first
   /// exception thrown by `fn` on any thread is rethrown here after every
   /// in-flight chunk has settled; remaining chunks are abandoned.
+  ///
+  /// `qctx`, when set, makes the loop governable: every thread probes
+  /// QueryContext::CheckAlive() before claiming its next chunk (and the
+  /// degenerate inline path probes per item), so a cancel/timeout stops
+  /// the loop within one chunk of work per cooperating thread. The loop
+  /// returns normally with the tail abandoned — callers observe the
+  /// cancellation through their own governor check, which keeps the
+  /// exception path reserved for real faults.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                   int max_workers = 0);
+                   int max_workers = 0, QueryContext* qctx = nullptr);
 
  private:
   void WorkerLoop();

@@ -1,0 +1,89 @@
+#include "exec/admission.h"
+
+#include "common/metrics.h"
+
+namespace dashdb {
+namespace {
+
+struct AdmissionInstruments {
+  Counter* admitted;
+  Counter* queued;
+  Counter* shed;
+};
+
+AdmissionInstruments& GlobalAdmissionInstruments() {
+  auto& reg = MetricRegistry::Global();
+  static AdmissionInstruments in{
+      reg.GetCounter("exec.admission_admitted"),
+      reg.GetCounter("exec.admission_queued"),
+      reg.GetCounter("exec.admission_shed"),
+  };
+  return in;
+}
+
+}  // namespace
+
+AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& o) noexcept {
+  if (this != &o) {
+    if (ctrl_ != nullptr) ctrl_->Release(cls_);
+    ctrl_ = o.ctrl_;
+    cls_ = o.cls_;
+    o.ctrl_ = nullptr;
+  }
+  return *this;
+}
+
+AdmissionTicket::~AdmissionTicket() {
+  if (ctrl_ != nullptr) ctrl_->Release(cls_);
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(QueryClass cls) {
+  auto& in = GlobalAdmissionInstruments();
+  std::unique_lock<std::mutex> lk(mu_);
+  int& running =
+      cls == QueryClass::kCheap ? running_cheap_ : running_expensive_;
+  const int slots =
+      cls == QueryClass::kCheap ? cfg_.cheap_slots : cfg_.expensive_slots;
+  if (running < slots) {
+    ++running;
+    in.admitted->Add(1);
+    return AdmissionTicket(this, cls);
+  }
+  if (queued_ >= cfg_.max_queued) {
+    in.shed->Add(1);
+    return Status::ResourceExhausted("admission queue full");
+  }
+  ++queued_;
+  in.queued->Add(1);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(cfg_.queue_timeout_seconds));
+  const bool got = slot_cv_.wait_until(lk, deadline, [&] {
+    const int s =
+        cls == QueryClass::kCheap ? cfg_.cheap_slots : cfg_.expensive_slots;
+    return running < s;
+  });
+  --queued_;
+  if (!got) {
+    in.shed->Add(1);
+    return Status::ResourceExhausted("admission queue timeout");
+  }
+  ++running;
+  in.admitted->Add(1);
+  return AdmissionTicket(this, cls);
+}
+
+void AdmissionController::Release(QueryClass cls) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cls == QueryClass::kCheap) {
+      --running_cheap_;
+    } else {
+      --running_expensive_;
+    }
+  }
+  slot_cv_.notify_all();
+}
+
+}  // namespace dashdb

@@ -1,0 +1,110 @@
+// Admission control / workload management (paper: dashDB Local ships with
+// workload management pre-configured so many tenants can pile onto one
+// engine without a runaway mix starving interactive queries).
+//
+// Queries are classified into two classes by the optimizer's root
+// cardinality estimate — cheap (small/interactive) vs. expensive
+// (large/analytical) — and each class has its own pool of concurrency
+// slots. A query that finds no free slot waits on a bounded queue; waiting
+// past the queue timeout (or arriving to a full queue) is shed with
+// kResourceExhausted so overload degrades into fast, explicit rejections
+// instead of unbounded latency. Slots are released when the statement
+// finishes (AdmissionTicket is RAII).
+//
+// Defaults are generous (slots >= any test's concurrency), so existing
+// serial callers admit immediately and behavior without SET ADMISSION
+// tuning is unchanged.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace dashdb {
+
+struct AdmissionConfig {
+  int cheap_slots = 64;       ///< concurrent cheap queries
+  int expensive_slots = 16;   ///< concurrent expensive queries
+  int max_queued = 256;       ///< waiters across both classes; 0 = no queue
+  double queue_timeout_seconds = 10.0;
+  /// Root-estimate boundary between the classes: plans expected to produce
+  /// at least this many rows (or with no estimate at all once they join
+  /// multiple relations) are expensive.
+  double expensive_est_rows = 100000.0;
+};
+
+enum class QueryClass : uint8_t { kCheap = 0, kExpensive };
+
+class AdmissionController;
+
+/// RAII admission slot: releases on destruction. Default-constructed
+/// tickets (admission bypassed/disabled) release nothing.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionController* ctrl, QueryClass cls)
+      : ctrl_(ctrl), cls_(cls) {}
+  AdmissionTicket(AdmissionTicket&& o) noexcept
+      : ctrl_(o.ctrl_), cls_(o.cls_) {
+    o.ctrl_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& o) noexcept;
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  ~AdmissionTicket();
+
+ private:
+  AdmissionController* ctrl_ = nullptr;
+  QueryClass cls_ = QueryClass::kCheap;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Blocks until a slot for `cls` frees up, the queue timeout passes, or
+  /// the queue is full — the latter two shed the query with
+  /// kResourceExhausted. Feeds the exec.admission_* counters.
+  Result<AdmissionTicket> Admit(QueryClass cls);
+
+  /// Classifies by the optimizer's root estimate (negative = no estimate,
+  /// treated as cheap — scans and point lookups bind without estimates in
+  /// some paths and must not queue behind analytics).
+  QueryClass Classify(double est_rows) const {
+    return est_rows >= cfg_.expensive_est_rows ? QueryClass::kExpensive
+                                               : QueryClass::kCheap;
+  }
+
+  const AdmissionConfig& config() const { return cfg_; }
+  /// Reconfigure between statements (bench/tests); not safe while queries
+  /// hold tickets.
+  void Configure(const AdmissionConfig& cfg) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cfg_ = cfg;
+  }
+
+  int running(QueryClass cls) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return cls == QueryClass::kCheap ? running_cheap_ : running_expensive_;
+  }
+  int queued() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queued_;
+  }
+
+ private:
+  friend class AdmissionTicket;
+  void Release(QueryClass cls);
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_cv_;
+  AdmissionConfig cfg_;
+  int running_cheap_ = 0;
+  int running_expensive_ = 0;
+  int queued_ = 0;
+};
+
+}  // namespace dashdb

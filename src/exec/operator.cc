@@ -183,9 +183,22 @@ ExecInstruments& GlobalExecInstruments() {
 
 }  // namespace
 
+Operator::~Operator() {
+  if (qctx_ != nullptr && mem_reserved_ > 0) qctx_->Release(mem_reserved_);
+}
+
+Status Operator::ChargeMemory(int64_t bytes, const char* what) {
+  if (bytes <= 0) return Status::OK();
+  if (qctx_ != nullptr) DASHDB_RETURN_IF_ERROR(qctx_->Charge(bytes, what));
+  mem_reserved_ += bytes;
+  mem_peak_bytes_ = std::max(mem_peak_bytes_, mem_reserved_);
+  return Status::OK();
+}
+
 Status Operator::Open() {
   ++metrics_.open_calls;
   GlobalExecInstruments().operator_opens->Add(1);
+  if (qctx_ != nullptr) DASHDB_RETURN_IF_ERROR(qctx_->CheckAlive());
   const auto wall0 = std::chrono::steady_clock::now();
   const double cpu0 = ThreadCpuSeconds();
   Status s = OpenImpl();
@@ -206,6 +219,7 @@ Result<bool> Operator::NextSel(RowBatch* out) {
 
 Result<bool> Operator::NextInternal(RowBatch* out, bool allow_selection) {
   ++metrics_.next_calls;
+  if (qctx_ != nullptr) DASHDB_RETURN_IF_ERROR(qctx_->CheckAlive());
   const auto wall0 = std::chrono::steady_clock::now();
   const double cpu0 = ThreadCpuSeconds();
   Result<bool> r = NextImpl(out);
@@ -255,6 +269,12 @@ std::string Operator::AnalyzeString(int indent) const {
     std::snprintf(ebuf, sizeof(ebuf), " est=%.0f", est_rows_);
     out += ebuf;
   }
+  if (mem_peak_bytes_ > 0) {
+    char mbuf[32];
+    std::snprintf(mbuf, sizeof(mbuf), " mem=%lld",
+                  static_cast<long long>(mem_peak_bytes_));
+    out += mbuf;
+  }
   out += AnalyzeExtra();
   out += "]";
   out += "\n";
@@ -296,6 +316,30 @@ Result<RowBatch> DrainOperator(Operator* op) {
     for (size_t i = 0; i < batch.num_rows(); ++i) AppendRowFrom(batch, i, &all);
   }
   return all;
+}
+
+void AttachQueryContext(Operator* root, QueryContext* qctx) {
+  if (root == nullptr) return;
+  root->set_query_ctx(qctx);
+  // children() is the EXPLAIN view (const), but attachment happens once on
+  // the freshly bound tree the walker's caller owns mutably.
+  for (const Operator* c : root->children()) {
+    AttachQueryContext(const_cast<Operator*>(c), qctx);
+  }
+}
+
+int64_t BatchMemoryBytes(const RowBatch& b) {
+  int64_t bytes = 0;
+  for (const auto& col : b.columns) {
+    if (col.type() == TypeId::kVarchar) {
+      for (const auto& s : col.strings()) {
+        bytes += static_cast<int64_t>(s.size()) + 2;
+      }
+    } else {
+      bytes += static_cast<int64_t>(col.size()) * 8;
+    }
+  }
+  return bytes;
 }
 
 // ------------------------------------------------------------ ColumnScan --
@@ -403,6 +447,15 @@ Status ParallelColumnScanOp::RunMorsels() {
   std::mutex err_mu;
   std::atomic<uint64_t> dropped_total{0};
   auto scan_unit = [&](size_t p) {
+    // Governor probe at morsel granularity: a cancel/timeout stops every
+    // worker before its next page, and the first failing status surfaces
+    // through first_error just like a storage fault.
+    Status alive = CheckQueryAlive();
+    if (!alive.ok()) {
+      std::lock_guard<std::mutex> lk(err_mu);
+      if (first_error.ok()) first_error = alive;
+      return;
+    }
     GlobalExecInstruments().morsels->Add(1);
     RowBatch* out = &results_[p];
     out->columns.clear();
@@ -420,9 +473,12 @@ Status ParallelColumnScanOp::RunMorsels() {
     }
   };
   if (opts_.exec_pool != nullptr && opts_.dop > 1) {
-    opts_.exec_pool->ParallelFor(n_units, scan_unit, opts_.dop);
+    opts_.exec_pool->ParallelFor(n_units, scan_unit, opts_.dop, query_ctx());
   } else {
-    for (size_t p = 0; p < n_units; ++p) scan_unit(p);
+    for (size_t p = 0; p < n_units; ++p) {
+      scan_unit(p);
+      if (!first_error.ok()) break;
+    }
   }
   DASHDB_RETURN_IF_ERROR(first_error);
   for (const auto& s : unit_stats) {
@@ -705,6 +761,12 @@ Status HashJoinOp::BuildSide() {
   built_ = true;
   if (n == 0) return Status::OK();
 
+  // Budget the materialized build side: the drained batch plus the flat
+  // table slots and Bloom bits about to be built over it (~20 bytes/row).
+  DASHDB_RETURN_IF_ERROR(ChargeMemory(
+      BatchMemoryBytes(build_data_) + static_cast<int64_t>(n) * 20,
+      "hash join build"));
+
   // Generic path: evaluate every build key column once over the drained
   // batch. The per-row std::vector<Value> materialization the old table
   // layout needed is gone — equality checks read the columns directly.
@@ -720,7 +782,7 @@ Status HashJoinOp::BuildSide() {
   const bool parallel = ParallelBuildEligible(n);
   auto run = [&](size_t count, const std::function<void(size_t)>& f) {
     if (parallel) {
-      ctx_->pool->ParallelFor(count, f, ctx_->dop);
+      ctx_->pool->ParallelFor(count, f, ctx_->dop, query_ctx());
     } else {
       for (size_t i = 0; i < count; ++i) f(i);
     }
@@ -761,6 +823,10 @@ Status HashJoinOp::BuildSide() {
     });
   }
 
+  // A governed ParallelFor abandons its tail on cancel/timeout, so phase 1
+  // may have left rows unassigned — re-probe before trusting its output.
+  DASHDB_RETURN_IF_ERROR(CheckQueryAlive());
+
   // Phase 2 — counting sort of row ids by partition (serial, O(n)).
   std::vector<uint32_t> offsets(nparts + 1, 0);
   for (size_t r = 0; r < n; ++r) {
@@ -793,6 +859,7 @@ Status HashJoinOp::BuildSide() {
       part.bloom.Add(hash_of[r]);
     }
   });
+  DASHDB_RETURN_IF_ERROR(CheckQueryAlive());
 
   // Scan-side semi-join pushdown: the build is complete and the probe side
   // has not been pulled yet, so a Bloom filter over the (single) build key
@@ -948,6 +1015,8 @@ Status NestedLoopJoinOp::OpenImpl() {
 Result<bool> NestedLoopJoinOp::NextImpl(RowBatch* out) {
   if (!built_) {
     DASHDB_ASSIGN_OR_RETURN(right_data_, DrainOperator(right_.get()));
+    DASHDB_RETURN_IF_ERROR(
+        ChargeMemory(BatchMemoryBytes(right_data_), "nested-loop inner"));
     built_ = true;
   }
   RowBatch in;
@@ -1348,6 +1417,11 @@ Status HashAggOp::Materialize() {
         // through them.
         DASHDB_ASSIGN_OR_RETURN(bool more, child_->NextSel(&in));
         if (!more) break;
+        // The collected morsels are the aggregation's dominant footprint;
+        // charge them as they arrive so a budget breach aborts mid-collect
+        // instead of after the whole input is pinned.
+        DASHDB_RETURN_IF_ERROR(
+            ChargeMemory(BatchMemoryBytes(in), "group-by materialize"));
         morsels.push_back(std::move(in));
         in = RowBatch();
       }
@@ -1370,7 +1444,9 @@ Status HashAggOp::Materialize() {
           }
           consume_fast(morsels[i], *P);
         },
-        ctx_->dop);
+        ctx_->dop, query_ctx());
+    // Partials are incomplete if the governed fan-out stopped early.
+    DASHDB_RETURN_IF_ERROR(CheckQueryAlive());
     if (single_int_key) {
       for (auto& P : partials) flatten_int_groups(P);
     }
@@ -1400,7 +1476,8 @@ Status HashAggOp::Materialize() {
             }
           }
         },
-        ctx_->dop);
+        ctx_->dop, query_ctx());
+    DASHDB_RETURN_IF_ERROR(CheckQueryAlive());
     out_shards = std::move(shards);
   }
 
@@ -1425,6 +1502,8 @@ Status HashAggOp::Materialize() {
       }
     }
   }
+  DASHDB_RETURN_IF_ERROR(
+      ChargeMemory(BatchMemoryBytes(result_), "group-by result"));
   materialized_ = true;
   return Status::OK();
 }
@@ -1454,6 +1533,9 @@ Status SortOp::OpenImpl() {
 Result<bool> SortOp::NextImpl(RowBatch* out) {
   if (!materialized_) {
     DASHDB_ASSIGN_OR_RETURN(RowBatch all, DrainOperator(child_.get()));
+    // The sort holds both the drained input and the reordered copy.
+    DASHDB_RETURN_IF_ERROR(
+        ChargeMemory(2 * BatchMemoryBytes(all), "sort materialize"));
     const size_t n = all.num_rows();
     // Evaluate sort keys once.
     std::vector<ColumnVector> key_cols;
@@ -1674,6 +1756,8 @@ Status AdaptiveJoinOp::Assemble() {
   for (size_t k = 1; k < order.size(); ++k) {
     const int r = order[k];
     DASHDB_ASSIGN_OR_RETURN(mat[r], DrainOperator(sources_[r].get()));
+    DASHDB_RETURN_IF_ERROR(
+        ChargeMemory(BatchMemoryBytes(mat[r]), "adaptive join materialize"));
     const double observed = static_cast<double>(mat[r].num_rows());
     const double est = std::max(0.0, rels[r].rows);
     rels[r].rows = observed;
@@ -1791,6 +1875,10 @@ Status AdaptiveJoinOp::Assemble() {
   }
 
   chain_ = std::move(root);
+  // The chain was built at runtime, after AttachQueryContext walked the
+  // bound tree — re-attach so its hash builds stay governable. (The moved
+  // sources keep their attachment; this covers the new join nodes.)
+  AttachQueryContext(chain_.get(), query_ctx());
   assembled_ = true;
   return chain_->Open();
 }

@@ -10,6 +10,7 @@
 
 #include "common/column_vector.h"
 #include "common/flat_hash.h"
+#include "common/query_context.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "exec/agg.h"
@@ -49,7 +50,7 @@ struct OperatorMetrics {
 /// node in a plan is measured without any per-operator effort.
 class Operator {
  public:
-  virtual ~Operator() = default;
+  virtual ~Operator();
   Status Open();
   /// Replaces *out with the next batch; returns false at end of stream.
   /// Batches are always dense: any selection vector a child produced is
@@ -93,6 +94,17 @@ class Operator {
   bool has_est_rows() const { return has_est_; }
   double est_rows() const { return est_rows_; }
 
+  /// Governor plumbing: the wrappers probe `qctx` before OpenImpl/NextImpl,
+  /// so any plan node stops within one batch of a cancel/timeout. Set by
+  /// AttachQueryContext on the whole tree after binding; the context must
+  /// outlive the plan (reservations are released on destruction).
+  void set_query_ctx(QueryContext* qctx) { qctx_ = qctx; }
+  QueryContext* query_ctx() const { return qctx_; }
+
+  /// Peak bytes this operator reserved against the query budget, rendered
+  /// as `mem=` in EXPLAIN ANALYZE.
+  int64_t mem_peak_bytes() const { return mem_peak_bytes_; }
+
   /// Sideways information passing: a hash-join build (or the adaptive join
   /// assembler, or the MPP coordinator) offers a Bloom filter over its
   /// build keys to a probe-side scan. `col` is an output-column index of
@@ -112,6 +124,20 @@ class Operator {
   /// (e.g. FilterOp's selectivity).
   virtual std::string AnalyzeExtra() const { return std::string(); }
 
+  /// Reserves `bytes` for this operator's materialized state against the
+  /// attached query budget (no-op without one). kResourceExhausted aborts
+  /// the query; the reservation is returned when the operator is destroyed.
+  /// Call only from the operator's own execution thread — accounting here
+  /// is per-operator and unsynchronized (the QueryContext totals are
+  /// atomic).
+  Status ChargeMemory(int64_t bytes, const char* what);
+
+  /// The governor probe available to operator internals that loop without
+  /// pulling a child (morsel workers, build loops).
+  Status CheckQueryAlive() {
+    return qctx_ != nullptr ? qctx_->CheckAlive() : Status::OK();
+  }
+
   std::vector<OutputCol> output_;
 
  private:
@@ -120,6 +146,9 @@ class Operator {
   OperatorMetrics metrics_;
   double est_rows_ = 0;
   bool has_est_ = false;
+  QueryContext* qctx_ = nullptr;
+  int64_t mem_reserved_ = 0;    ///< outstanding bytes, released on destroy
+  int64_t mem_peak_bytes_ = 0;  ///< high-water mark of mem_reserved_
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -632,5 +661,15 @@ class UnionAllOp : public Operator {
 /// Drains an operator into a single batch (used by the SQL engine, MPP
 /// gather, and tests).
 Result<RowBatch> DrainOperator(Operator* op);
+
+/// Attaches `qctx` to every node of a bound plan (pre-order). Operators
+/// that build sub-plans at runtime (AdaptiveJoinOp) re-attach through
+/// their ExecContext's query_ctx.
+void AttachQueryContext(Operator* root, QueryContext* qctx);
+
+/// Estimated in-memory footprint of a batch, matching the fluid transfer
+/// accounting: 8 bytes per fixed-width cell, string size + 2 per varchar
+/// cell. Used by operators to size their budget reservations.
+int64_t BatchMemoryBytes(const RowBatch& b);
 
 }  // namespace dashdb

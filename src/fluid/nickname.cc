@@ -23,8 +23,17 @@ class RemoteScanOp : public Operator {
   Status OpenImpl() override {
     batches_.clear();
     next_ = 0;
-    return store_->Scan(preds_, projection_,
-                        [&](RowBatch& b) { batches_.push_back(b); });
+    // The transfer materializes at Open: charge it against the query's
+    // budget per batch and let the governor stop it between batches.
+    Status st = store_->Scan(
+        preds_, projection_,
+        [&](RowBatch& b) { batches_.push_back(b); }, query_ctx());
+    if (!st.ok()) return st;
+    for (const RowBatch& b : batches_) {
+      DASHDB_RETURN_IF_ERROR(
+          ChargeMemory(BatchMemoryBytes(b), "remote scan transfer"));
+    }
+    return Status::OK();
   }
 
   Result<bool> NextImpl(RowBatch* out) override {

@@ -89,7 +89,8 @@ bool MatchPred(const ColumnPredicate& p, TypeId t, const Value& v) {
 
 Status RemoteStore::Scan(const std::vector<ColumnPredicate>& preds,
                          const std::vector<int>& projection,
-                         const std::function<void(RowBatch&)>& emit) {
+                         const std::function<void(RowBatch&)>& emit,
+                         QueryContext* qctx) {
   // Registry mirroring: fold this call's TransferStats delta into the
   // process-wide fluid.* counters when the scan returns, whatever the
   // store subtype counted during its attempts.
@@ -111,14 +112,27 @@ Status RemoteStore::Scan(const std::vector<ColumnPredicate>& preds,
   } fold{this, before};
   Status last;
   for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    // Governed scans stop before (re-)hitting the remote: a cancelled or
+    // timed-out query must not keep transferring, retrying, or backing off.
+    if (qctx != nullptr) DASHDB_RETURN_IF_ERROR(qctx->CheckAlive());
     // Stage batches so a failed attempt never leaks partial output: the
     // downstream operator sees each row exactly once, whichever attempt
     // finally succeeds.
     std::vector<RowBatch> staged;
     Status st = FaultInjector::Global().Evaluate(kFaultRemoteScan);
     if (st.ok()) {
-      st = ScanOnce(preds, projection,
-                    [&](RowBatch& b) { staged.push_back(std::move(b)); });
+      Status alive;
+      st = ScanOnce(preds, projection, [&](RowBatch& b) {
+        // Batch boundaries are the transfer's morsel boundaries; once the
+        // governor trips, drop further batches so the attempt winds down
+        // without shipping the remainder.
+        if (!alive.ok()) return;
+        if (qctx != nullptr) alive = qctx->CheckAlive();
+        if (alive.ok()) staged.push_back(std::move(b));
+      });
+      // A governed abort is not a remote failure: surface it without
+      // counting failed_requests/retries or entering the backoff loop.
+      if (!alive.ok()) return alive;
     }
     if (st.ok()) {
       for (auto& b : staged) emit(b);
@@ -211,7 +225,10 @@ Status SimHadoopStore::ScanOnce(const std::vector<ColumnPredicate>& preds,
     }
     if (out.num_rows() >= 4096) {
       emit(out);
-      for (auto& c : out.columns) c.Clear();
+      // emit may move the batch out (Scan's staging does); rebuild rather
+      // than Clear() so the next batch never appends into moved-from state.
+      out.columns.clear();
+      for (int c : projection) out.columns.emplace_back(schema_.column(c).type);
     }
   }
   if (out.num_rows() > 0) emit(out);

@@ -22,6 +22,7 @@
 
 #include "catalog/schema.h"
 #include "common/column_vector.h"
+#include "common/query_context.h"
 #include "common/status.h"
 #include "storage/column_table.h"  // ColumnPredicate
 #include "storage/row_table.h"
@@ -65,10 +66,15 @@ class RemoteStore {
   /// forwarded to `emit` after the attempt succeeds end-to-end, so a
   /// retried attempt can never duplicate rows downstream (exactly-once
   /// emission); transient failures — including the `fluid.remote_scan`
-  /// fault point — back off and re-attempt per retry_policy().
+  /// fault point — back off and re-attempt per retry_policy(). When the
+  /// issuing query's governor `qctx` is supplied, it is probed before
+  /// every attempt and every staged batch, so a CANCEL or deadline stops
+  /// the transfer (and its retry/backoff loop) instead of shipping the
+  /// rest of the remote object.
   Status Scan(const std::vector<ColumnPredicate>& preds,
               const std::vector<int>& projection,
-              const std::function<void(RowBatch&)>& emit);
+              const std::function<void(RowBatch&)>& emit,
+              QueryContext* qctx = nullptr);
 
   RetryPolicy& retry_policy() { return retry_; }
 

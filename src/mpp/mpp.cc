@@ -190,26 +190,18 @@ Status MppDatabase::Load(const std::string& schema, const std::string& table,
   return Status::OK();
 }
 
-MppDatabase::~MppDatabase() { DrainAbandoned(); }
-
-void MppDatabase::DrainAbandoned() {
-  std::vector<std::future<AttemptResult>> take;
-  {
-    std::lock_guard<std::mutex> lk(abandoned_mu_);
-    take.swap(abandoned_);
-  }
-  for (auto& f : take) {
-    if (f.valid()) f.wait();
-  }
-}
-
 Status MppDatabase::AttemptWithSpeculation(int shard, const ShardFn& fn,
                                            MppExecStats* stats,
                                            ShardAttemptOut* out) {
-  ShardFn fn_copy = fn;  // the primary may outlive this call (abandoned)
-  auto primary = std::async(std::launch::async, [fn_copy, shard] {
+  // The primary runs under its own child of the query root: a winning
+  // speculative attempt cancels the loser through this context and it
+  // stops at its next morsel boundary, so every attempt is joined before
+  // this call returns (no abandoned futures, sessions are always idle for
+  // the next statement).
+  QueryContext primary_ctx(query_ctx_.get());
+  auto primary = std::async(std::launch::async, [&fn, &primary_ctx, shard] {
     AttemptResult r;
-    r.status = fn_copy(shard, /*speculative=*/false, &r.out);
+    r.status = fn(shard, /*speculative=*/false, &primary_ctx, &r.out);
     return r;
   });
   auto window =
@@ -223,17 +215,18 @@ Status MppDatabase::AttemptWithSpeculation(int shard, const ShardFn& fn,
   ++stats->speculative_launches;
   GlobalMppInstruments().speculative_launches->Add(1);
   ShardAttemptOut spec;
-  Status spec_st = fn(shard, /*speculative=*/true, &spec);
+  QueryContext spec_ctx(query_ctx_.get());
+  Status spec_st = fn(shard, /*speculative=*/true, &spec_ctx, &spec);
   if (spec_st.ok()) {
-    // First result wins; the straggling primary finishes in the background
-    // and is joined before its session is reused (DrainAbandoned).
+    // First result wins; actively cancel the straggling primary and join
+    // it (its result — typically kCancelled — is discarded).
     if (primary.wait_for(std::chrono::seconds(0)) !=
         std::future_status::ready) {
       ++stats->speculative_wins;
       GlobalMppInstruments().speculative_wins->Add(1);
-      std::lock_guard<std::mutex> lk(abandoned_mu_);
-      abandoned_.push_back(std::move(primary));
+      primary_ctx.Cancel();
     }
+    primary.wait();
     *out = std::move(spec);
     return Status::OK();
   }
@@ -261,7 +254,7 @@ Result<MppDatabase::ShardAttemptOut> MppDatabase::RunShardResilient(
       if (idempotent && pol.straggler_after_seconds >= 0) {
         st = AttemptWithSpeculation(shard, fn, stats, &out);
       } else {
-        st = fn(shard, /*speculative=*/false, &out);
+        st = fn(shard, /*speculative=*/false, query_ctx_.get(), &out);
       }
     }
     double elapsed = sw.ElapsedSeconds();
@@ -280,7 +273,12 @@ Result<MppDatabase::ShardAttemptOut> MppDatabase::RunShardResilient(
     }
     last = st.WithContext("shard " + std::to_string(shard) + " (node " +
                           std::to_string(topo_.OwnerOf(shard)) + ")");
-    bool retryable = st.IsTransient() && (gate_failure || idempotent);
+    // A governed abort (CANCEL or statement timeout on the query root)
+    // must surface to the coordinator, never be retried — even though
+    // kTimeout is transient for shard-budget timeouts.
+    bool governed = query_ctx_ != nullptr && query_ctx_->cancelled();
+    bool retryable =
+        st.IsTransient() && (gate_failure || idempotent) && !governed;
     if (!retryable || attempt == pol.max_attempts_per_shard) return last;
     ++stats->shard_retries;
     GlobalMppInstruments().shard_retries->Add(1);
@@ -314,8 +312,9 @@ Result<MppDatabase::ShardAttemptOut> MppDatabase::RunShardResilient(
 Result<MppQueryResult> MppDatabase::Broadcast(const std::string& sql) {
   MppQueryResult out;
   out.shard_seconds.resize(shards_.size(), 0);
-  ShardFn fn = [this, sql](int shard, bool /*speculative*/,
+  ShardFn fn = [this, sql](int shard, bool /*speculative*/, QueryContext* qctx,
                            ShardAttemptOut* o) -> Status {
+    if (qctx != nullptr) DASHDB_RETURN_IF_ERROR(qctx->CheckAlive());
     DASHDB_RETURN_IF_ERROR(FaultInjector::Global().Evaluate(kFaultShardStall));
     DASHDB_ASSIGN_OR_RETURN(
         o->qr, shards_[shard]->Execute(sessions_[shard].get(), sql));
@@ -398,6 +397,23 @@ struct FinalItem {
   int group_idx = 0;     // kGroup: which group column
   int partial_idx = 0;   // kAggDirect: merged partial column
   int sum_idx = 0, count_idx = 0;  // kAvg
+};
+
+/// Coordinator-side memory accounting: merged shard results are charged to
+/// the query root's budget (the coordinator materializes every shard's
+/// output) and released in one piece when merging finishes.
+struct MergeCharge {
+  QueryContext* qc = nullptr;
+  int64_t bytes = 0;
+  Status Add(int64_t b, const char* what) {
+    if (qc == nullptr || b <= 0) return Status::OK();
+    DASHDB_RETURN_IF_ERROR(qc->Charge(b, what));
+    bytes += b;
+    return Status::OK();
+  }
+  ~MergeCharge() {
+    if (qc != nullptr && bytes > 0) qc->Release(bytes);
+  }
 };
 
 bool IsSimpleAgg(const ast::ExprP& e) {
@@ -512,7 +528,13 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
     ShardFn fn = MakeShardSelectFn(shard_sel, analyze, bloom_filters);
     RowBatch merged;
     std::vector<OutputCol> cols;
+    MergeCharge mem{query_ctx_.get()};
     for (size_t s = 0; s < shards_.size(); ++s) {
+      // Shards run serially: probe the governor between them so CANCEL and
+      // deadlines abort the coordinator without dispatching further shards.
+      if (query_ctx_ != nullptr) {
+        DASHDB_RETURN_IF_ERROR(query_ctx_->CheckAlive());
+      }
       double secs = 0;
       MppExecStats sstats;
       DASHDB_ASSIGN_OR_RETURN(
@@ -525,6 +547,8 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
         for (const auto& c : cols) merged.columns.emplace_back(c.type);
       }
       const RowBatch& batch = r.batch;
+      DASHDB_RETURN_IF_ERROR(
+          mem.Add(BatchMemoryBytes(batch), "MPP result assembly"));
       for (size_t i = 0; i < batch.num_rows(); ++i) {
         for (size_t c = 0; c < batch.columns.size(); ++c) {
           merged.columns[c].AppendFrom(batch.columns[c], i);
@@ -681,7 +705,11 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
   std::unordered_map<std::string, GroupAccum> table;
   std::vector<OutputCol> partial_cols;
   ShardFn fn = MakeShardSelectFn(partial_p, analyze, bloom_filters);
+  MergeCharge mem{query_ctx_.get()};
   for (size_t s = 0; s < shards_.size(); ++s) {
+    if (query_ctx_ != nullptr) {
+      DASHDB_RETURN_IF_ERROR(query_ctx_->CheckAlive());
+    }
     double secs = 0;
     MppExecStats sstats;
     DASHDB_ASSIGN_OR_RETURN(
@@ -691,6 +719,8 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
     out.shard_seconds[s] = secs;
     record_shard(s, sstats, r, secs);
     const RowBatch& batch = r.batch;
+    DASHDB_RETURN_IF_ERROR(
+        mem.Add(BatchMemoryBytes(batch), "MPP partial-aggregate merge"));
     if (partial_cols.empty()) partial_cols = r.cols;
     for (size_t i = 0; i < batch.num_rows(); ++i) {
       std::string key;
@@ -964,6 +994,9 @@ MppDatabase::PrepareBloomPushdown(const ast::SelectStmt& sel) {
     Binder binder(shards_[0]->catalog(), sessions_[0].get(), bopts);
     auto root = binder.BindSelect(*dsel);
     if (!root.ok()) continue;
+    // Coordinator-side dimension scan is governed too (best effort: a
+    // cancelled scan just skips the filter; the shard checks still abort).
+    AttachQueryContext(root.value().get(), query_ctx_.get());
     auto keys = DrainOperator(root.value().get());
     if (!keys.ok()) continue;
     const ColumnVector& kv = keys.value().columns[0];
@@ -993,7 +1026,9 @@ MppDatabase::ShardFn MppDatabase::MakeShardSelectFn(
     std::shared_ptr<ast::SelectStmt> stmt, bool analyze,
     std::shared_ptr<const std::vector<RuntimeScanFilter>> filters) {
   return [this, stmt, analyze, filters](int shard, bool speculative,
+                                        QueryContext* qctx,
                                         ShardAttemptOut* o) -> Status {
+    if (qctx != nullptr) DASHDB_RETURN_IF_ERROR(qctx->CheckAlive());
     DASHDB_RETURN_IF_ERROR(FaultInjector::Global().Evaluate(kFaultShardStall));
     std::shared_ptr<Session> session =
         speculative ? shards_[shard]->CreateSession() : sessions_[shard];
@@ -1014,6 +1049,10 @@ MppDatabase::ShardFn MppDatabase::MakeShardSelectFn(
     session->ClearRuntimeFilters();
     DASHDB_RETURN_IF_ERROR(bound.status());
     OperatorPtr root = std::move(bound).value();
+    // The shard-local plan probes the attempt's governor at every operator
+    // Open/Next and morsel boundary; its memory charges roll up to the
+    // query root's budget.
+    AttachQueryContext(root.get(), qctx);
     DASHDB_ASSIGN_OR_RETURN(o->batch, DrainOperator(root.get()));
     o->cols = root->output();
     if (analyze) {
@@ -1027,9 +1066,19 @@ MppDatabase::ShardFn MppDatabase::MakeShardSelectFn(
 }
 
 Result<MppQueryResult> MppDatabase::Execute(const std::string& sql) {
-  // Any straggler abandoned by a previous query must be idle before its
-  // session is reused.
-  DrainAbandoned();
+  return Execute(sql, nullptr);
+}
+
+Result<MppQueryResult> MppDatabase::Execute(
+    const std::string& sql, std::shared_ptr<QueryContext> qctx) {
+  query_ctx_ = qctx != nullptr ? std::move(qctx)
+                               : std::make_shared<QueryContext>();
+  // Clear on every exit so a finished statement's governor never gates the
+  // next one (the coordinator executes one statement at a time).
+  struct Scope {
+    MppDatabase* db;
+    ~Scope() { db->query_ctx_.reset(); }
+  } scope{this};
   DASHDB_ASSIGN_OR_RETURN(ast::StatementP stmt, ParseStatement(sql));
   switch (stmt->kind) {
     case ast::StmtKind::kSelect:

@@ -12,10 +12,10 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/threadpool.h"
 #include "common/trace.h"
 #include "mpp/topology.h"
@@ -103,6 +103,14 @@ class MppDatabase {
   /// DDL/UPDATE/DELETE: broadcast. INSERT: routed by distribution key.
   Result<MppQueryResult> Execute(const std::string& sql);
 
+  /// Governed execution: the statement runs under `qctx` (null makes a
+  /// fresh ungoverned context). Cancel()/deadline/budget on the root stop
+  /// shard-local plans at the next morsel boundary, abort the coordinator
+  /// between shards, and bound the merged-result memory; every shard
+  /// attempt runs under a child of this root.
+  Result<MppQueryResult> Execute(const std::string& sql,
+                                 std::shared_ptr<QueryContext> qctx);
+
   /// Per-shard live row count of a table (balance checks).
   Result<std::vector<size_t>> ShardRowCounts(const std::string& schema,
                                              const std::string& table);
@@ -116,8 +124,6 @@ class MppDatabase {
 
   /// Resilience knobs; adjust before Execute (not thread-safe mid-query).
   FailoverPolicy& failover_policy() { return fail_policy_; }
-
-  ~MppDatabase();
 
  private:
   /// One shard attempt's payload: SELECT paths fill batch/cols, the
@@ -137,14 +143,17 @@ class MppDatabase {
     ShardAttemptOut out;
   };
   /// A re-executable shard task. MUST be safe to run twice concurrently
-  /// when `speculative` differs (fresh session on the speculative run) and
-  /// must capture its statement by shared_ptr/value: an abandoned straggler
-  /// outlives the Execute call that launched it.
-  using ShardFn =
-      std::function<Status(int shard, bool speculative, ShardAttemptOut* out)>;
+  /// when `speculative` differs (fresh session on the speculative run).
+  /// `qctx` is the attempt's governor (a child of the query root, or the
+  /// root itself for non-speculative attempts; may be null for ungoverned
+  /// callers): the fn attaches it to the shard-local plan so cancellation,
+  /// deadlines, and budgets reach every morsel it runs.
+  using ShardFn = std::function<Status(int shard, bool speculative,
+                                       QueryContext* qctx,
+                                       ShardAttemptOut* out)>;
 
   /// A re-executable bind+drain of one shard-local SELECT. Captures the
-  /// statement by shared_ptr so abandoned stragglers stay valid; the
+  /// statement by shared_ptr so re-executions stay valid; the
   /// speculative run binds against a fresh session (copying the primary
   /// session's optimizer settings). With `analyze` the fn also fills the
   /// attempt's analyzed_plan/shard_trace from the drained plan's operator
@@ -172,11 +181,13 @@ class MppDatabase {
                                             const ShardFn& fn,
                                             MppExecStats* stats,
                                             double* seconds);
+  /// First-result-wins speculation: the primary attempt runs async under
+  /// its own child QueryContext; if the speculative re-execution finishes
+  /// first, the loser is actively cancelled through that context and
+  /// joined before returning (it stops at its next morsel boundary), so no
+  /// attempt ever outlives the Execute call that launched it.
   Status AttemptWithSpeculation(int shard, const ShardFn& fn,
                                 MppExecStats* stats, ShardAttemptOut* out);
-  /// Joins stragglers abandoned by first-result-wins (their sessions must
-  /// be idle before the next query reuses them).
-  void DrainAbandoned();
 
   Result<MppQueryResult> ExecSelect(const ast::SelectStmt& sel,
                                     bool analyze = false);
@@ -186,8 +197,9 @@ class MppDatabase {
   int RouteRow(const TableSchema& schema, const std::vector<Value>& row);
 
   FailoverPolicy fail_policy_;
-  std::mutex abandoned_mu_;
-  std::vector<std::future<AttemptResult>> abandoned_;
+  /// The in-flight statement's root governor (the coordinator executes one
+  /// statement at a time; set/cleared by the governed Execute overload).
+  std::shared_ptr<QueryContext> query_ctx_;
   ClusterTopology topo_;
   std::vector<std::unique_ptr<Engine>> shards_;
   std::vector<std::shared_ptr<Session>> sessions_;

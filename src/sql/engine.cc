@@ -10,7 +10,8 @@ namespace dashdb {
 
 Engine::Engine(EngineConfig config)
     : config_(config),
-      pool_(config.buffer_pool_bytes, config.buffer_policy) {
+      pool_(config.buffer_pool_bytes, config.buffer_policy),
+      admission_(config.admission) {
   int qp = config.query_parallelism;
   if (qp == 0) {
     qp = static_cast<int>(std::thread::hardware_concurrency());
@@ -228,6 +229,32 @@ Result<QueryResult> Engine::ExecuteStmt(Session* session,
   return Status::Internal("unhandled statement kind");
 }
 
+namespace {
+
+/// Un-publishes the session's current-query pointer on scope exit, so a
+/// late CANCEL from another thread never touches a finished statement.
+struct CurrentQueryScope {
+  Session* session;
+  ~CurrentQueryScope() { session->PublishCurrentQuery(nullptr); }
+};
+
+}  // namespace
+
+std::shared_ptr<QueryContext> Engine::MakeQueryContext(Session* session) {
+  // Tests may pre-arm the context (CancelAfterChecks) before the statement
+  // runs; otherwise a fresh governor picks up the session's SET knobs.
+  std::shared_ptr<QueryContext> qc = session->TakeInjectedQueryContext();
+  if (!qc) qc = std::make_shared<QueryContext>();
+  if (session->statement_timeout_seconds() > 0) {
+    qc->SetTimeout(session->statement_timeout_seconds());
+  }
+  if (session->mem_budget_bytes() > 0) {
+    qc->SetMemBudget(session->mem_budget_bytes());
+  }
+  session->PublishCurrentQuery(qc);
+  return qc;
+}
+
 Result<QueryResult> Engine::ExecSelect(Session* session,
                                        const ast::SelectStmt& sel,
                                        bool explain_only, bool analyze) {
@@ -237,16 +264,41 @@ Result<QueryResult> Engine::ExecSelect(Session* session,
   const int dop = EffectiveDop(*session);
   session->exec_ctx().pool = dop > 1 ? exec_pool_.get() : nullptr;
   session->exec_ctx().dop = dop;
+  // The governor outlives the plan (operators return their memory
+  // reservations to it on destruction), so it is declared first and the
+  // shared_ptr keeps it valid for a concurrent CancelCurrentQuery().
+  std::shared_ptr<QueryContext> qc = MakeQueryContext(session);
+  CurrentQueryScope unpublish{session};
   BindOptions bopts;
   bopts.scan = MakeScanOptions();
   bopts.scan.exec_pool = dop > 1 ? exec_pool_.get() : nullptr;
   bopts.scan.dop = dop;
   Binder binder(&catalog_, session, bopts);
   DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(sel));
+  AttachQueryContext(root.get(), qc.get());
   QueryResult r;
   if (explain_only && !analyze) {
     r.message = root->PlanString();
     return r;
+  }
+  // Admission happens after bind — classification needs the optimizer's
+  // root estimate — and before any operator runs. The RAII ticket spans
+  // the drain, so slots free exactly when the statement stops consuming
+  // CPU/memory.
+  AdmissionTicket ticket;
+  if (session->admission_enabled()) {
+    // The binder stamps estimates on scans and joins but not on the
+    // project/sort/limit wrappers above them, so classification walks down
+    // through estimate-less unary operators to the topmost estimate.
+    const Operator* est_op = root.get();
+    while (est_op != nullptr && !est_op->has_est_rows() &&
+           est_op->children().size() == 1) {
+      est_op = est_op->children()[0];
+    }
+    const double est = est_op != nullptr && est_op->has_est_rows()
+                           ? est_op->est_rows()
+                           : -1.0;
+    DASHDB_ASSIGN_OR_RETURN(ticket, admission_.Admit(admission_.Classify(est)));
   }
   if (explain_only) {
     // EXPLAIN ANALYZE: run the query, discard its rows, and report the plan
@@ -316,12 +368,17 @@ Result<QueryResult> Engine::ExecInsert(Session* session,
     const int dop = EffectiveDop(*session);
     session->exec_ctx().pool = dop > 1 ? exec_pool_.get() : nullptr;
     session->exec_ctx().dop = dop;
+    // INSERT ... SELECT runs a full query pipeline, so it is governed like
+    // one (cancellable, deadline-checked, budget-charged).
+    std::shared_ptr<QueryContext> qc = MakeQueryContext(session);
+    CurrentQueryScope unpublish{session};
     BindOptions bopts;
     bopts.scan = MakeScanOptions();
     bopts.scan.exec_pool = dop > 1 ? exec_pool_.get() : nullptr;
     bopts.scan.dop = dop;
     Binder binder(&catalog_, session, bopts);
     DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(*st.select));
+    AttachQueryContext(root.get(), qc.get());
     if (static_cast<int>(root->output().size()) !=
         static_cast<int>(targets.size())) {
       return Status::SemanticError("INSERT column count mismatch");
@@ -625,6 +682,55 @@ Result<QueryResult> Engine::ExecSet(Session* session,
     }
     r.message = std::string("ADAPTIVE ") +
                 (session->adaptive_enabled() ? "ON" : "OFF");
+    return r;
+  }
+  if (name == "STATEMENT_TIMEOUT" || name == "QUERY_TIMEOUT") {
+    // Seconds (fractional allowed); 0 / NONE / DEFAULT disarms.
+    std::string v = NormalizeIdent(st.set_value);
+    double seconds = 0;
+    if (v != "NONE" && v != "DEFAULT") {
+      try {
+        seconds = std::stod(v);
+      } catch (...) {
+        return Status::InvalidArgument("invalid timeout " + st.set_value);
+      }
+      if (seconds < 0) {
+        return Status::InvalidArgument("timeout must be >= 0");
+      }
+    }
+    session->set_statement_timeout_seconds(seconds);
+    r.message = "STATEMENT_TIMEOUT " + std::to_string(seconds);
+    return r;
+  }
+  if (name == "MEM_BUDGET" || name == "QUERY_MEM_LIMIT") {
+    // Bytes; 0 / NONE / DEFAULT means unlimited.
+    std::string v = NormalizeIdent(st.set_value);
+    int64_t bytes = 0;
+    if (v != "NONE" && v != "DEFAULT") {
+      try {
+        bytes = std::stoll(v);
+      } catch (...) {
+        return Status::InvalidArgument("invalid budget " + st.set_value);
+      }
+      if (bytes < 0) {
+        return Status::InvalidArgument("budget must be >= 0");
+      }
+    }
+    session->set_mem_budget_bytes(bytes);
+    r.message = "MEM_BUDGET " + std::to_string(bytes);
+    return r;
+  }
+  if (name == "ADMISSION") {
+    std::string v = NormalizeIdent(st.set_value);
+    if (v == "ON" || v == "TRUE" || v == "1") {
+      session->set_admission_enabled(true);
+    } else if (v == "OFF" || v == "FALSE" || v == "0") {
+      session->set_admission_enabled(false);
+    } else {
+      return Status::InvalidArgument("ADMISSION must be ON or OFF");
+    }
+    r.message = std::string("ADMISSION ") +
+                (session->admission_enabled() ? "ON" : "OFF");
     return r;
   }
   // Unknown session variables are accepted and ignored (compatibility).

@@ -13,6 +13,8 @@
 
 #include "bufferpool/bufferpool.h"
 #include "catalog/catalog.h"
+#include "common/query_context.h"
+#include "exec/admission.h"
 #include "exec/operator.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -57,6 +59,10 @@ struct EngineConfig {
   /// from std::thread::hardware_concurrency at engine startup. Sessions can
   /// lower the effective degree with SET DOP.
   int query_parallelism = 1;
+  /// Admission-control slots/queue for concurrent SELECTs (defaults are
+  /// generous: serial callers admit immediately). Sessions opt out with
+  /// SET ADMISSION OFF.
+  AdmissionConfig admission;
 };
 
 class ThreadPool;
@@ -104,6 +110,11 @@ class Engine {
   ScanOptions MakeScanOptions();
   uint64_t NextTableId() { return next_table_id_.fetch_add(1); }
 
+  /// Engine-owned workload manager gating SELECT admission (part of the
+  /// Session -> engine-owned-shared-state refactor: sessions hold per-query
+  /// knobs, the engine owns the shared slots/queue).
+  AdmissionController& admission() { return admission_; }
+
   /// Modeled storage I/O accumulated since the last call (seconds). Benches
   /// add this to measured CPU time per statement.
   double TakeIoSeconds() {
@@ -122,6 +133,10 @@ class Engine {
                                       const ast::Statement& st);
   Result<QueryResult> ExecSet(Session* session, const ast::Statement& st);
 
+  /// Builds the per-statement governor from the session's SET knobs (or the
+  /// test-injected context) and publishes it as the session's current query.
+  std::shared_ptr<QueryContext> MakeQueryContext(Session* session);
+
   /// Collects (row id, full row) pairs matching a WHERE for DML.
   struct MatchedRows {
     std::vector<uint64_t> ids;
@@ -137,6 +152,7 @@ class Engine {
   int query_parallelism_ = 1;
   std::unique_ptr<ThreadPool> exec_pool_;
   std::atomic<uint64_t> next_table_id_{1};
+  AdmissionController admission_;
   IoSink io_nanos_{0};
   std::map<std::string, Procedure> procedures_;
   std::mutex proc_mu_;

@@ -6,11 +6,13 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/dialect.h"
 #include "common/flat_hash.h"
+#include "common/query_context.h"
 #include "common/trace.h"
 #include "exec/expr.h"
 
@@ -104,6 +106,57 @@ class Session {
   bool adaptive_enabled() const { return adaptive_enabled_; }
   void set_adaptive_enabled(bool on) { adaptive_enabled_ = on; }
 
+  // --- query governance (DESIGN.md "Query governance") -------------------
+
+  /// SET STATEMENT_TIMEOUT <seconds>: deadline armed on every subsequent
+  /// statement's QueryContext. 0 = none.
+  double statement_timeout_seconds() const { return statement_timeout_s_; }
+  void set_statement_timeout_seconds(double s) {
+    statement_timeout_s_ = s > 0 ? s : 0;
+  }
+
+  /// SET MEM_BUDGET <bytes>: per-statement memory reservation cap charged
+  /// by materializing operators. 0 = unlimited.
+  int64_t mem_budget_bytes() const { return mem_budget_bytes_; }
+  void set_mem_budget_bytes(int64_t b) { mem_budget_bytes_ = b > 0 ? b : 0; }
+
+  /// SET ADMISSION ON|OFF: whether this session's SELECTs pass through the
+  /// engine's admission controller (ON by default; OFF bypasses queueing).
+  bool admission_enabled() const { return admission_enabled_; }
+  void set_admission_enabled(bool on) { admission_enabled_ = on; }
+
+  /// The governor of the statement currently executing on this session
+  /// (null between statements). Published by the engine under a mutex so a
+  /// concurrent CANCEL from another thread targets the right statement.
+  void PublishCurrentQuery(std::shared_ptr<QueryContext> qc) {
+    std::lock_guard<std::mutex> lk(query_mu_);
+    current_query_ = std::move(qc);
+  }
+
+  /// Cancels the in-flight statement, if any. Returns whether one was
+  /// running. Safe from any thread (the CANCEL path of a serving layer).
+  bool CancelCurrentQuery() {
+    std::lock_guard<std::mutex> lk(query_mu_);
+    if (!current_query_) return false;
+    current_query_->Cancel();
+    return true;
+  }
+
+  std::shared_ptr<QueryContext> current_query() const {
+    std::lock_guard<std::mutex> lk(query_mu_);
+    return current_query_;
+  }
+
+  /// Test hook: the next statement executes under this pre-armed context
+  /// (one-shot). Lets deterministic tests arm CancelAfterChecks before the
+  /// engine creates the per-statement governor.
+  void InjectNextQueryContext(std::shared_ptr<QueryContext> qc) {
+    pending_query_ = std::move(qc);
+  }
+  std::shared_ptr<QueryContext> TakeInjectedQueryContext() {
+    return std::move(pending_query_);
+  }
+
   /// Pre-installed scan filters (cross-shard Bloom pushdown). Replaces any
   /// existing filter on the same table+column.
   void AddRuntimeFilter(RuntimeScanFilter f) {
@@ -126,6 +179,12 @@ class Session {
   int max_parallelism_ = 0;  ///< 0 = ANY
   OptimizerMode optimizer_mode_ = OptimizerMode::kCost;
   bool adaptive_enabled_ = true;
+  double statement_timeout_s_ = 0;
+  int64_t mem_budget_bytes_ = 0;
+  bool admission_enabled_ = true;
+  mutable std::mutex query_mu_;
+  std::shared_ptr<QueryContext> current_query_;
+  std::shared_ptr<QueryContext> pending_query_;
   std::vector<RuntimeScanFilter> runtime_filters_;
   std::shared_ptr<const Trace> last_trace_;
   ExecContext exec_ctx_;
