@@ -1,0 +1,280 @@
+// Concurrent serving layer under a client storm (paper Test 2 territory:
+// "concurrent users" against one warehouse): 256 wire clients — a ~90/10
+// mix of short interactive aggregates and expensive full-width scans —
+// hammer one TCP server multiplexing sessions over a small worker pool.
+// Run once with admission control off (every expensive scan runs at once,
+// interactive latency collapses) and once with per-class slots on. Reports
+// interactive p50/p99, aggregate QPS, expensive completed/shed, and the
+// plan-cache hit rate the storm produced.
+//
+// Writes BENCH_serving.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+namespace {
+
+constexpr int kClients = 256;        // 1 in 10 runs the expensive scan
+constexpr int64_t kBigRows = 150000;  // above the expensive-class threshold
+constexpr int64_t kSmallRows = 5000;
+constexpr double kRunSeconds = 2.0;
+
+const char* kExpensiveSql = "SELECT ID, GRP, V FROM BIG WHERE V >= 0";
+// Rotating literals so the cheap tier exercises cache misses AND hits.
+const char* kCheapSql[4] = {
+    "SELECT COUNT(*), SUM(V) FROM SMALL WHERE V > 50",
+    "SELECT COUNT(*), SUM(V) FROM SMALL WHERE V > 60",
+    "SELECT GRP, COUNT(*) FROM SMALL WHERE V > 70 GROUP BY GRP ORDER BY GRP",
+    "SELECT MIN(V), MAX(V) FROM SMALL WHERE GRP = 7",
+};
+
+void LoadRows(Engine* engine, const std::string& name, int64_t n) {
+  TableSchema schema("PUBLIC", name,
+                     {{"ID", TypeId::kInt64, false, 0, false},
+                      {"GRP", TypeId::kInt64, true, 0, false},
+                      {"V", TypeId::kInt64, true, 0, false}});
+  auto t = engine->CreateColumnTable(schema);
+  if (!t.ok()) {
+    std::fprintf(stderr, "load %s: %s\n", name.c_str(),
+                 t.status().ToString().c_str());
+    std::exit(1);
+  }
+  RowBatch rows;
+  for (int c = 0; c < 3; ++c) rows.columns.emplace_back(TypeId::kInt64);
+  for (int64_t i = 0; i < n; ++i) {
+    rows.columns[0].AppendInt(i);
+    rows.columns[1].AppendInt(i % 97);
+    rows.columns[2].AppendInt(i * 31 % 101);
+  }
+  Status st = t.value()->Append(rows);
+  if (!st.ok()) std::exit(1);
+}
+
+struct ModeResult {
+  std::string name;
+  bool admission = false;
+  uint64_t cheap_completed = 0;
+  uint64_t expensive_completed = 0;
+  uint64_t expensive_shed = 0;
+  uint64_t errors = 0;
+  double cheap_p50_ms = 0;
+  double cheap_p99_ms = 0;
+  double qps = 0;
+};
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// One storm: all kClients connected up front, then kRunSeconds of load.
+ModeResult RunMode(int port, const std::string& name, bool admission) {
+  ModeResult out;
+  out.name = name;
+  out.admission = admission;
+
+  // Connection storm first: every client handshakes before the clock
+  // starts, so the mode measures serving, not connect latency.
+  std::vector<std::unique_ptr<WireClient>> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    auto cl = std::make_unique<WireClient>();
+    Status st = cl->Connect(port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "client %d connect: %s\n", c,
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    auto r = cl->Query(admission ? "SET ADMISSION ON" : "SET ADMISSION OFF");
+    if (!r.ok()) std::exit(1);
+    clients.push_back(std::move(cl));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> cheap_done{0}, expensive_done{0}, shed{0}, errors{0};
+  std::vector<std::vector<double>> cheap_ms(kClients);
+  std::vector<std::thread> threads;
+  auto bench_start = std::chrono::steady_clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      WireClient& cl = *clients[c];
+      const bool expensive = (c % 10 == 0);
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (expensive) {
+          auto r = cl.Query(kExpensiveSql);
+          if (r.ok()) {
+            expensive_done.fetch_add(1);
+          } else if (r.status().IsResourceExhausted()) {
+            shed.fetch_add(1);
+          } else {
+            errors.fetch_add(1);
+            return;  // connection-level failure: stop this client
+          }
+        } else {
+          auto t0 = std::chrono::steady_clock::now();
+          auto r = cl.Query(kCheapSql[(c + i) % 4]);
+          auto t1 = std::chrono::steady_clock::now();
+          if (r.ok()) {
+            cheap_done.fetch_add(1);
+            cheap_ms[c].push_back(
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+          } else if (!r.status().IsResourceExhausted()) {
+            errors.fetch_add(1);
+            return;
+          }
+        }
+        ++i;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(kRunSeconds));
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - bench_start)
+                       .count();
+  for (auto& cl : clients) cl->Close();
+
+  std::vector<double> all;
+  for (auto& v : cheap_ms) all.insert(all.end(), v.begin(), v.end());
+  out.cheap_completed = cheap_done.load();
+  out.expensive_completed = expensive_done.load();
+  out.expensive_shed = shed.load();
+  out.errors = errors.load();
+  out.cheap_p50_ms = Percentile(all, 0.50);
+  out.cheap_p99_ms = Percentile(all, 0.99);
+  out.qps = static_cast<double>(out.cheap_completed +
+                                out.expensive_completed) /
+            elapsed;
+  return out;
+}
+
+}  // namespace
+}  // namespace dashdb
+
+int main() {
+  using namespace dashdb;
+  EngineConfig cfg = bench::DashDbConfig();
+  cfg.query_parallelism = 4;
+  cfg.admission.cheap_slots = 64;
+  cfg.admission.expensive_slots = 2;
+  cfg.admission.max_queued = 64;
+  cfg.admission.queue_timeout_seconds = 0.25;
+  Engine engine(cfg);
+  LoadRows(&engine, "BIG", kBigRows);
+  LoadRows(&engine, "SMALL", kSmallRows);
+
+  EngineBackend backend(&engine);
+  ServerConfig scfg;
+  // Enough workers that the thread pool is NOT the governor — otherwise the
+  // admission A/B just measures worker-pool queueing.
+  scfg.worker_threads = 48;
+  Server server(&backend, scfg);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintHeader("Concurrent serving: " + std::to_string(kClients) +
+                     " wire clients, admission A/B");
+  bench::PrintNote("90% interactive aggregates / 10% expensive scans, " +
+                   std::to_string(kRunSeconds) + "s per mode, " +
+                   std::to_string(scfg.worker_threads) + " workers");
+
+  // Warm both shapes once so neither mode pays first-touch costs.
+  {
+    WireClient warm;
+    if (!warm.Connect(server.port()).ok()) return 1;
+    warm.Query("SET ADMISSION OFF");
+    warm.Query(kExpensiveSql);
+    for (const char* q : kCheapSql) warm.Query(q);
+  }
+
+  const uint64_t pc_hits0 = engine.plan_cache().hits();
+  const uint64_t pc_misses0 = engine.plan_cache().misses();
+
+  ModeResult base = RunMode(server.port(), "no_admission", false);
+  ModeResult gov = RunMode(server.port(), "admission", true);
+
+  const uint64_t pc_hits = engine.plan_cache().hits() - pc_hits0;
+  const uint64_t pc_misses = engine.plan_cache().misses() - pc_misses0;
+  const double hit_rate =
+      pc_hits + pc_misses
+          ? static_cast<double>(pc_hits) /
+                static_cast<double>(pc_hits + pc_misses)
+          : 0;
+
+  for (const ModeResult* m : {&base, &gov}) {
+    bench::PrintHeader(m->name);
+    bench::PrintRow("interactive completed",
+                    static_cast<double>(m->cheap_completed), "");
+    bench::PrintRow("interactive p50", m->cheap_p50_ms, "ms");
+    bench::PrintRow("interactive p99", m->cheap_p99_ms, "ms");
+    bench::PrintRow("expensive completed",
+                    static_cast<double>(m->expensive_completed), "");
+    bench::PrintRow("expensive shed",
+                    static_cast<double>(m->expensive_shed), "");
+    bench::PrintRow("connection errors",
+                    static_cast<double>(m->errors), "");
+    bench::PrintRow("total QPS", m->qps, "q/s");
+  }
+  double improvement =
+      gov.cheap_p99_ms > 0 ? base.cheap_p99_ms / gov.cheap_p99_ms : 0;
+  bench::PrintHeader("summary");
+  bench::PrintRow("interactive p99 improvement", improvement, "x");
+  bench::PrintRow("plan cache hit rate", hit_rate * 100.0, "%");
+
+  FILE* json = std::fopen("BENCH_serving.json", "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot write BENCH_serving.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"clients\": %d,\n  \"big_rows\": %lld,\n"
+               "  \"small_rows\": %lld,\n  \"run_seconds\": %.2f,\n"
+               "  \"worker_threads\": %d,\n  \"modes\": [\n",
+               kClients, static_cast<long long>(kBigRows),
+               static_cast<long long>(kSmallRows), kRunSeconds,
+               scfg.worker_threads);
+  bool first = true;
+  for (const ModeResult* m : {&base, &gov}) {
+    std::fprintf(
+        json,
+        "%s    {\"name\": \"%s\", \"admission\": %s,\n"
+        "     \"interactive_completed\": %llu, \"interactive_p50_ms\": %.3f,\n"
+        "     \"interactive_p99_ms\": %.3f, \"expensive_completed\": %llu,\n"
+        "     \"expensive_shed\": %llu, \"errors\": %llu, \"qps\": %.1f}",
+        first ? "" : ",\n", m->name.c_str(), m->admission ? "true" : "false",
+        static_cast<unsigned long long>(m->cheap_completed), m->cheap_p50_ms,
+        m->cheap_p99_ms, static_cast<unsigned long long>(m->expensive_completed),
+        static_cast<unsigned long long>(m->expensive_shed),
+        static_cast<unsigned long long>(m->errors), m->qps);
+    first = false;
+  }
+  std::fprintf(json,
+               "\n  ],\n  \"interactive_p99_improvement\": %.2f,\n"
+               "  \"plan_cache\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"hit_rate\": %.4f}\n}\n",
+               improvement, static_cast<unsigned long long>(pc_hits),
+               static_cast<unsigned long long>(pc_misses), hit_rate);
+  std::fclose(json);
+  server.Stop();
+  std::printf("\nwrote BENCH_serving.json\n");
+  return 0;
+}

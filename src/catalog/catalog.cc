@@ -15,6 +15,7 @@ Status Catalog::CreateSchema(const std::string& name) {
   std::string n = NormalizeIdent(name);
   if (schemas_.count(n)) return Status::AlreadyExists("schema " + name);
   schemas_[n] = true;
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -33,6 +34,7 @@ Status Catalog::DropSchema(const std::string& name) {
     }
   }
   schemas_.erase(it);
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -52,6 +54,7 @@ Status Catalog::CreateEntry(CatalogEntry entry) {
     return Status::AlreadyExists("table " + entry.schema.QualifiedName());
   }
   entries_[key] = std::make_shared<CatalogEntry>(std::move(entry));
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -62,6 +65,7 @@ Status Catalog::DropEntry(const std::string& schema, const std::string& table) {
     return Status::NotFound("table " + schema + "." + table);
   }
   entries_.erase(it);
+  version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 

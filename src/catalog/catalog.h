@@ -4,6 +4,7 @@
 // implementation.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,13 @@ class Catalog {
  public:
   Catalog();
 
+  /// Monotonic DDL version: bumped by every successful CreateSchema /
+  /// DropSchema / CreateEntry / DropEntry. The engine's plan cache stamps
+  /// entries with the version they were compiled against and treats a
+  /// mismatch as invalidation, so DROP/CREATE anywhere in the catalog
+  /// retires every cached plan without a registration protocol.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
   /// Creates a schema; AlreadyExists if present.
   Status CreateSchema(const std::string& name);
   Status DropSchema(const std::string& name);
@@ -72,6 +80,7 @@ class Catalog {
   static std::string Key(const std::string& schema, const std::string& table);
 
   mutable std::mutex mu_;
+  std::atomic<uint64_t> version_{1};
   std::map<std::string, bool> schemas_;
   std::map<std::string, std::shared_ptr<CatalogEntry>> entries_;
 };

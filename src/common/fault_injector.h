@@ -88,6 +88,11 @@ class FaultInjector {
   /// Process-wide instance used by the built-in fault points.
   static FaultInjector& Global();
 
+  /// Number of points currently armed (scoped-arm bookkeeping for tests).
+  int armed_count() const {
+    return armed_points_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Point {
     FaultSpec spec;
@@ -100,6 +105,40 @@ class FaultInjector {
   std::map<std::string, Point> points_;
   std::vector<FaultFireEvent> log_;
   std::atomic<int> armed_points_{0};
+};
+
+/// RAII fault arming for tests: arms `point` with `spec` on construction
+/// (optionally re-seeding the injector first) and disarms it on scope exit,
+/// even when an ASSERT bails out of the test body early. This replaces the
+/// bare Arm(...) + trailing ResetForTest() pattern, which leaves the point
+/// armed — and firing into every OTHER session of the process — whenever
+/// the code between the two throws or returns. Nested scopes on distinct
+/// points compose; the last scope out does not clear foreign points.
+class ScopedFault {
+ public:
+  ScopedFault(std::string point, FaultSpec spec,
+              FaultInjector* injector = &FaultInjector::Global())
+      : injector_(injector), point_(std::move(point)) {
+    injector_->Arm(point_, std::move(spec));
+  }
+  /// Re-seeds the injector (logging-friendly deterministic schedules), then
+  /// arms. The seed persists past the scope; only the point is disarmed.
+  ScopedFault(uint64_t seed, std::string point, FaultSpec spec,
+              FaultInjector* injector = &FaultInjector::Global())
+      : injector_(injector), point_(std::move(point)) {
+    injector_->Reset(seed);
+    injector_->Arm(point_, std::move(spec));
+  }
+  ~ScopedFault() { injector_->Disarm(point_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& point() const { return point_; }
+
+ private:
+  FaultInjector* injector_;
+  std::string point_;
 };
 
 }  // namespace dashdb

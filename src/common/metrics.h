@@ -125,4 +125,40 @@ class MetricRegistry {
 /// dumps this into BENCH_observability.json).
 std::string SystemMetricsJson();
 
+/// Test-scoped metric observation without global resets. ResetForTest()
+/// zeroes the process-wide registry, which silently corrupts any OTHER
+/// session still executing in the same process — exactly the situation the
+/// serving layer creates. A MetricDeltaScope instead snapshots the registry
+/// at construction and reports per-name deltas on demand, so concurrent
+/// test fixtures (and a server running in the background of one) can each
+/// measure their own traffic. Counters from foreign sessions still leak
+/// into a scope's delta if they overlap in time; scopes make assertions
+/// *relative*, which is the property concurrent tests need.
+class MetricDeltaScope {
+ public:
+  explicit MetricDeltaScope(MetricRegistry* reg = &MetricRegistry::Global())
+      : reg_(reg), begin_(reg->Snapshot()) {}
+
+  /// Delta of one metric since construction (0 when never registered).
+  int64_t Delta(const std::string& name) const {
+    MetricSnapshot now = reg_->Snapshot();
+    auto it = now.find(name);
+    if (it == now.end()) return 0;
+    auto b = begin_.find(name);
+    return it->second - (b == begin_.end() ? 0 : b->second);
+  }
+
+  /// All non-zero deltas since construction.
+  MetricSnapshot Deltas() const {
+    return SnapshotDelta(begin_, reg_->Snapshot());
+  }
+
+  /// Re-anchors the scope at the current values.
+  void Reset() { begin_ = reg_->Snapshot(); }
+
+ private:
+  MetricRegistry* reg_;
+  MetricSnapshot begin_;
+};
+
 }  // namespace dashdb

@@ -1,6 +1,9 @@
 #include "exec/admission.h"
 
+#include <algorithm>
+
 #include "common/metrics.h"
+#include "common/query_context.h"
 
 namespace dashdb {
 namespace {
@@ -37,7 +40,8 @@ AdmissionTicket::~AdmissionTicket() {
   if (ctrl_ != nullptr) ctrl_->Release(cls_);
 }
 
-Result<AdmissionTicket> AdmissionController::Admit(QueryClass cls) {
+Result<AdmissionTicket> AdmissionController::Admit(QueryClass cls,
+                                                   QueryContext* qctx) {
   auto& in = GlobalAdmissionInstruments();
   std::unique_lock<std::mutex> lk(mu_);
   int& running =
@@ -59,11 +63,26 @@ Result<AdmissionTicket> AdmissionController::Admit(QueryClass cls) {
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(cfg_.queue_timeout_seconds));
-  const bool got = slot_cv_.wait_until(lk, deadline, [&] {
-    const int s =
-        cls == QueryClass::kCheap ? cfg_.cheap_slots : cfg_.expensive_slots;
-    return running < s;
-  });
+  // Wait in bounded slices so a cancelled governor (dropped connection,
+  // CANCEL frame) releases its queue spot promptly instead of occupying it
+  // until the queue timeout.
+  bool got = false;
+  for (;;) {
+    const auto slice = std::min(
+        deadline, std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(qctx != nullptr ? 10 : 1000));
+    got = slot_cv_.wait_until(lk, slice, [&] {
+      const int s =
+          cls == QueryClass::kCheap ? cfg_.cheap_slots : cfg_.expensive_slots;
+      return running < s;
+    });
+    if (got) break;
+    if (qctx != nullptr && qctx->cancelled()) {
+      --queued_;
+      return Status::Cancelled("query cancelled while queued for admission");
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+  }
   --queued_;
   if (!got) {
     in.shed->Add(1);

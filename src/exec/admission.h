@@ -25,6 +25,8 @@
 
 namespace dashdb {
 
+class QueryContext;
+
 struct AdmissionConfig {
   int cheap_slots = 64;       ///< concurrent cheap queries
   int expensive_slots = 16;   ///< concurrent expensive queries
@@ -68,7 +70,14 @@ class AdmissionController {
   /// Blocks until a slot for `cls` frees up, the queue timeout passes, or
   /// the queue is full — the latter two shed the query with
   /// kResourceExhausted. Feeds the exec.admission_* counters.
-  Result<AdmissionTicket> Admit(QueryClass cls);
+  ///
+  /// `qctx`, when set, makes the queue wait cancellable: a query whose
+  /// governor is cancelled while QUEUED (a dropped client connection, an
+  /// explicit CANCEL frame) leaves the queue with kCancelled instead of
+  /// holding its waiter until the queue timeout. The wait polls the flag at
+  /// 10ms granularity, so a disconnect frees the admission path promptly
+  /// without threading a wakeup through every QueryContext.
+  Result<AdmissionTicket> Admit(QueryClass cls, QueryContext* qctx = nullptr);
 
   /// Classifies by the optimizer's root estimate (negative = no estimate,
   /// treated as cheap — scans and point lookups bind without estimates in

@@ -1,0 +1,209 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dashdb {
+
+Status WireClient::Connect(int port, const std::string& dialect) {
+  if (fd_ >= 0) return Status::InvalidArgument("client already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::IOError("connect: " + std::string(strerror(errno)));
+  }
+  wire::Writer w;
+  w.U8(wire::kHello);
+  w.U8(wire::kProtocolVersion);
+  w.Str(dialect);
+  DASHDB_RETURN_IF_ERROR(SendPayload(w.payload()));
+  DASHDB_ASSIGN_OR_RETURN(std::string reply, ReadFrame());
+  wire::Reader r(reply);
+  DASHDB_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+  if (type == wire::kError) {
+    DASHDB_ASSIGN_OR_RETURN(uint8_t code, r.U8());
+    DASHDB_ASSIGN_OR_RETURN(std::string msg, r.Str());
+    Close();
+    return Status(static_cast<StatusCode>(code), std::move(msg));
+  }
+  if (type != wire::kHelloOk) {
+    Close();
+    return Status::ParseError("wire: expected HELLO_OK");
+  }
+  return Status::OK();
+}
+
+Status WireClient::SendPayload(const std::string& payload) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  const std::string frame = wire::Frame(payload);
+  std::lock_guard<std::mutex> lk(write_mu_);
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError("send: " + std::string(strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> WireClient::ReadFrame() {
+  char buf[65536];
+  for (;;) {
+    std::string payload;
+    DASHDB_ASSIGN_OR_RETURN(bool got, frames_.Next(&payload));
+    if (got) return payload;
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      frames_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(n == 0 ? "connection closed by server"
+                                  : "recv: " + std::string(strerror(errno)));
+  }
+}
+
+Result<QueryResult> WireClient::ReadResult() {
+  QueryResult out;
+  bool have_header = false;
+  for (;;) {
+    DASHDB_ASSIGN_OR_RETURN(std::string payload, ReadFrame());
+    wire::Reader r(payload);
+    DASHDB_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+    switch (type) {
+      case wire::kCancelAck:
+        continue;  // out-of-band ack interleaved into the result stream
+      case wire::kError: {
+        DASHDB_ASSIGN_OR_RETURN(uint8_t code, r.U8());
+        DASHDB_ASSIGN_OR_RETURN(std::string msg, r.Str());
+        return Status(static_cast<StatusCode>(code), std::move(msg));
+      }
+      case wire::kResultHeader: {
+        DASHDB_ASSIGN_OR_RETURN(uint32_t ncols, r.U32());
+        for (uint32_t i = 0; i < ncols; ++i) {
+          OutputCol col;
+          DASHDB_ASSIGN_OR_RETURN(col.name, r.Str());
+          DASHDB_ASSIGN_OR_RETURN(uint8_t t, r.U8());
+          col.type = static_cast<TypeId>(t);
+          out.columns.push_back(std::move(col));
+          out.rows.columns.emplace_back(out.columns.back().type);
+        }
+        have_header = true;
+        continue;
+      }
+      case wire::kResultBatch: {
+        if (!have_header) {
+          return Status::ParseError("wire: RESULT_BATCH before header");
+        }
+        DASHDB_ASSIGN_OR_RETURN(uint32_t nrows, r.U32());
+        DASHDB_ASSIGN_OR_RETURN(uint32_t ncols, r.U32());
+        if (ncols != out.columns.size()) {
+          return Status::ParseError("wire: batch column count mismatch");
+        }
+        for (uint32_t i = 0; i < nrows; ++i) {
+          for (uint32_t c = 0; c < ncols; ++c) {
+            DASHDB_ASSIGN_OR_RETURN(Value v, r.Val());
+            out.rows.columns[c].AppendValue(v);
+          }
+        }
+        continue;
+      }
+      case wire::kResultDone: {
+        DASHDB_ASSIGN_OR_RETURN(out.affected_rows, r.I64());
+        DASHDB_ASSIGN_OR_RETURN(out.message, r.Str());
+        return out;
+      }
+      default:
+        return Status::ParseError("wire: unexpected frame type " +
+                                  std::to_string(type) + " in result stream");
+    }
+  }
+}
+
+Result<QueryResult> WireClient::Query(const std::string& sql) {
+  wire::Writer w;
+  w.U8(wire::kQuery);
+  w.Str(sql);
+  DASHDB_RETURN_IF_ERROR(SendPayload(w.payload()));
+  return ReadResult();
+}
+
+Result<int> WireClient::Prepare(const std::string& name,
+                                const std::string& sql) {
+  wire::Writer w;
+  w.U8(wire::kPrepare);
+  w.Str(name);
+  w.Str(sql);
+  DASHDB_RETURN_IF_ERROR(SendPayload(w.payload()));
+  for (;;) {
+    DASHDB_ASSIGN_OR_RETURN(std::string payload, ReadFrame());
+    wire::Reader r(payload);
+    DASHDB_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+    if (type == wire::kCancelAck) continue;
+    if (type == wire::kError) {
+      DASHDB_ASSIGN_OR_RETURN(uint8_t code, r.U8());
+      DASHDB_ASSIGN_OR_RETURN(std::string msg, r.Str());
+      return Status(static_cast<StatusCode>(code), std::move(msg));
+    }
+    if (type != wire::kPrepareOk) {
+      return Status::ParseError("wire: expected PREPARE_OK");
+    }
+    DASHDB_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+    return static_cast<int>(count);
+  }
+}
+
+Result<QueryResult> WireClient::ExecutePrepared(
+    const std::string& name, const std::vector<Value>& params) {
+  wire::Writer w;
+  w.U8(wire::kExecute);
+  w.Str(name);
+  w.U32(static_cast<uint32_t>(params.size()));
+  for (const auto& p : params) w.Val(p);
+  DASHDB_RETURN_IF_ERROR(SendPayload(w.payload()));
+  return ReadResult();
+}
+
+Status WireClient::SendCancel() {
+  wire::Writer w;
+  w.U8(wire::kCancel);
+  return SendPayload(w.payload());
+}
+
+void WireClient::Close() {
+  if (fd_ < 0) return;
+  wire::Writer w;
+  w.U8(wire::kBye);
+  (void)SendPayload(w.payload());  // best effort
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void WireClient::Abort() {
+  if (fd_ < 0) return;
+  // shutdown (not close) so a concurrent Query blocked in recv() on
+  // another thread wakes with EOF instead of racing a reused fd; the fd
+  // itself is reclaimed by the eventual Close()/destructor.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace dashdb

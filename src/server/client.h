@@ -1,0 +1,70 @@
+// Blocking wire-protocol client (test driver + bench harness + quickstart
+// example). One WireClient = one connection = one server-side session.
+//
+// Query/Prepare/ExecutePrepared are synchronous and must be called from
+// one thread at a time; SendCancel is safe from any thread while a query
+// is in flight (writes are serialized on the connection's write mutex, and
+// the reader skips the interleaved CANCEL_ACK).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/wire.h"
+#include "sql/engine.h"  // QueryResult
+
+namespace dashdb {
+
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient() { Close(); }
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connects to 127.0.0.1:port and performs the HELLO handshake under the
+  /// given dialect name ("ANSI", "ORACLE", "NETEZZA", "POSTGRES", "DB2").
+  Status Connect(int port, const std::string& dialect = "ANSI");
+
+  /// Executes one statement; returns its full result (or the server's
+  /// typed error Status).
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// PREPARE name FROM sql; returns the statement's parameter count.
+  Result<int> Prepare(const std::string& name, const std::string& sql);
+
+  /// EXECUTE name with positional parameter values.
+  Result<QueryResult> ExecutePrepared(const std::string& name,
+                                      const std::vector<Value>& params);
+
+  /// Fire-and-forget CANCEL of whatever statement this connection is
+  /// running; thread-safe against a concurrent Query on another thread.
+  Status SendCancel();
+
+  /// Sends BYE and closes the socket. Idempotent.
+  void Close();
+
+  /// Closes the socket WITHOUT the BYE goodbye — simulates a client that
+  /// vanished mid-query (the server must cancel the statement and free its
+  /// admission slot). Idempotent.
+  void Abort();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Status SendPayload(const std::string& payload);
+  /// Blocking read of the next complete frame payload.
+  Result<std::string> ReadFrame();
+  /// Reads RESULT_HEADER / RESULT_BATCH* / RESULT_DONE (tolerating
+  /// interleaved CANCEL_ACKs), or maps an ERROR frame to its Status.
+  Result<QueryResult> ReadResult();
+
+  int fd_ = -1;
+  std::mutex write_mu_;
+  wire::FrameReader frames_{wire::kDefaultMaxFrame};
+};
+
+}  // namespace dashdb

@@ -1,0 +1,519 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/threadpool.h"
+
+namespace dashdb {
+
+namespace {
+
+struct ServerInstruments {
+  Counter* accepted;
+  Gauge* active;
+  Counter* frames_in;
+  Counter* queries;
+  Counter* cancels;
+  Counter* protocol_errors;
+};
+
+ServerInstruments& Instruments() {
+  static ServerInstruments in{
+      MetricRegistry::Global().GetCounter("server.connections_accepted"),
+      MetricRegistry::Global().GetGauge("server.connections_active"),
+      MetricRegistry::Global().GetCounter("server.frames_in"),
+      MetricRegistry::Global().GetCounter("server.queries"),
+      MetricRegistry::Global().GetCounter("server.cancels"),
+      MetricRegistry::Global().GetCounter("server.protocol_errors"),
+  };
+  return in;
+}
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string UpperCopy(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+/// One client connection. Owned jointly by the I/O thread (registry) and
+/// whichever worker is executing its current statement; the socket closes
+/// when the last owner drops the shared_ptr.
+struct Server::Conn {
+  int fd = -1;
+  std::unique_ptr<BackendSession> session;
+  wire::FrameReader frames;
+
+  /// Worker-side state. HELLO must precede everything else; the flag is
+  /// only touched from the (serialized) statement stream.
+  bool handshaken = false;
+
+  /// Set by the I/O thread when the connection leaves the registry;
+  /// workers drop pending work and suppress writes once it flips.
+  std::atomic<bool> closed{false};
+  /// Set by a worker (protocol error, BYE, failed write) to ask the I/O
+  /// thread for teardown.
+  std::atomic<bool> close_requested{false};
+
+  std::mutex write_mu;  ///< serializes whole frames onto the socket
+
+  /// FIFO of complete frames awaiting execution. `busy` means a worker is
+  /// draining; the I/O thread only submits a new drain task when it flips
+  /// busy false->true, so one statement runs at a time per connection.
+  std::mutex work_mu;
+  std::deque<std::string> pending;
+  bool busy = false;
+
+  ~Conn() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Server::Server(SqlBackend* backend, ServerConfig config)
+    : backend_(backend), config_(config) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load()) return Status::OK();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("bind: " + std::string(strerror(errno)));
+  }
+  if (::listen(listen_fd_, config_.listen_backlog) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("listen: " + std::string(strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+  if (::pipe(wake_fds_) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("pipe: " + std::string(strerror(errno)));
+  }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+  workers_ = std::make_unique<ThreadPool>(std::max(1, config_.worker_threads));
+  running_.store(true);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) {
+    // Never started (or already stopped): nothing to join.
+    if (workers_) workers_.reset();
+    return;
+  }
+  Wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  // Drains any queued drain-tasks; their Conns see closed=true and bail.
+  workers_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void Server::Wake() {
+  if (wake_fds_[1] >= 0) {
+    char b = 1;
+    ssize_t ignored = ::write(wake_fds_[1], &b, 1);
+    (void)ignored;
+  }
+}
+
+void Server::IoLoop() {
+  std::map<int, std::shared_ptr<Conn>> conns;
+  auto teardown = [&](const std::shared_ptr<Conn>& c) {
+    // Disconnect acts as CANCEL: the in-flight statement aborts at its
+    // next governor check (freeing its admission slot), a queued admission
+    // wait returns kCancelled. The fd stays open (workers may still try to
+    // write; those writes fail harmlessly) until the last ref drops.
+    c->closed.store(true, std::memory_order_release);
+    c->session->Cancel();
+    ::shutdown(c->fd, SHUT_RDWR);
+    conns.erase(c->fd);
+    Instruments().active->Set(static_cast<int64_t>(conns.size()));
+  };
+
+  std::vector<pollfd> pfds;
+  while (running_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const auto& [fd, c] : conns) pfds.push_back({fd, POLLIN, 0});
+    if (::poll(pfds.data(), pfds.size(), /*timeout_ms=*/250) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfds[1].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (pfds[0].revents & POLLIN) {
+      for (;;) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        // Blocking socket: reads use MSG_DONTWAIT (poll decides when),
+        // writes block with a timeout so a stalled client cannot wedge a
+        // worker forever.
+        timeval tv{30, 0};
+        setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto c = std::make_shared<Conn>();
+        c->fd = fd;
+        c->session = backend_->CreateSession();
+        c->frames = wire::FrameReader(config_.max_frame_bytes);
+        conns[fd] = std::move(c);
+        Instruments().accepted->Add(1);
+        Instruments().active->Set(static_cast<int64_t>(conns.size()));
+      }
+    }
+    // Snapshot: HandleReadable can request closes, and teardown mutates
+    // the registry.
+    std::vector<std::shared_ptr<Conn>> ready;
+    for (size_t i = 2; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      auto it = conns.find(pfds[i].fd);
+      if (it != conns.end()) ready.push_back(it->second);
+    }
+    for (const auto& c : ready) HandleReadable(c);
+    std::vector<std::shared_ptr<Conn>> doomed;
+    for (const auto& [fd, c] : conns) {
+      if (c->close_requested.load(std::memory_order_acquire)) {
+        doomed.push_back(c);
+      }
+    }
+    for (const auto& c : doomed) teardown(c);
+  }
+  for (auto& [fd, c] : conns) {
+    c->closed.store(true, std::memory_order_release);
+    c->session->Cancel();
+    ::shutdown(c->fd, SHUT_RDWR);
+  }
+  conns.clear();
+  Instruments().active->Set(0);
+}
+
+void Server::HandleReadable(const std::shared_ptr<Conn>& c) {
+  char buf[65536];
+  for (;;) {
+    ssize_t n = ::recv(c->fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      c->frames.Feed(buf, static_cast<size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      c->close_requested.store(true, std::memory_order_release);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    c->close_requested.store(true, std::memory_order_release);
+    return;
+  }
+  for (;;) {
+    std::string payload;
+    Result<bool> got = c->frames.Next(&payload);
+    if (!got.ok()) {  // framing violation (oversized / zero length)
+      Instruments().protocol_errors->Add(1);
+      SendStatusError(c.get(), got.status());
+      c->close_requested.store(true, std::memory_order_release);
+      return;
+    }
+    if (!*got) return;
+    DispatchFrame(c, std::move(payload));
+  }
+}
+
+void Server::DispatchFrame(const std::shared_ptr<Conn>& c,
+                           std::string payload) {
+  Instruments().frames_in->Add(1);
+  const uint8_t type = static_cast<uint8_t>(payload[0]);
+  if (type == wire::kCancel) {
+    // Out-of-band: handled here on the I/O thread, never queued behind the
+    // statement it is trying to stop.
+    Instruments().cancels->Add(1);
+    const bool was_running = c->session->Cancel();
+    wire::Writer w;
+    w.U8(wire::kCancelAck);
+    w.U8(was_running ? 1 : 0);
+    SendPayload(c.get(), w.payload());
+    return;
+  }
+  bool submit = false;
+  {
+    std::lock_guard<std::mutex> lk(c->work_mu);
+    c->pending.push_back(std::move(payload));
+    if (!c->busy) {
+      c->busy = true;
+      submit = true;
+    }
+  }
+  if (submit) {
+    std::shared_ptr<Conn> ref = c;
+    workers_->Submit([this, ref] { ProcessLoop(ref); });
+  }
+}
+
+void Server::ProcessLoop(std::shared_ptr<Conn> c) {
+  for (;;) {
+    std::string payload;
+    {
+      std::lock_guard<std::mutex> lk(c->work_mu);
+      if (c->pending.empty() ||
+          c->closed.load(std::memory_order_acquire)) {
+        c->pending.clear();
+        c->busy = false;
+        return;
+      }
+      payload = std::move(c->pending.front());
+      c->pending.pop_front();
+    }
+    HandleMessage(c.get(), payload);
+  }
+}
+
+void Server::HandleMessage(Conn* c, const std::string& payload) {
+  const uint8_t type = static_cast<uint8_t>(payload[0]);
+  wire::Reader r(payload.data() + 1, payload.size() - 1);
+
+  auto protocol_error = [&](const Status& s) {
+    Instruments().protocol_errors->Add(1);
+    SendStatusError(c, s);
+    RequestClose(c);
+  };
+
+  if (!c->handshaken && type != wire::kHello) {
+    protocol_error(Status::InvalidArgument("wire: expected HELLO"));
+    return;
+  }
+  switch (type) {
+    case wire::kHello: {
+      auto ver = r.U8();
+      auto dialect_name = r.Str();
+      if (!ver.ok() || !dialect_name.ok() || !r.AtEnd()) {
+        protocol_error(Status::ParseError("wire: malformed HELLO"));
+        return;
+      }
+      if (*ver != wire::kProtocolVersion) {
+        protocol_error(Status::InvalidArgument(
+            "wire: unsupported protocol version " + std::to_string(*ver)));
+        return;
+      }
+      Dialect d;
+      const std::string upper = UpperCopy(*dialect_name);
+      if (!DialectFromName(upper, &d)) {
+        protocol_error(
+            Status::InvalidArgument("wire: unknown dialect " + *dialect_name));
+        return;
+      }
+      Status set = c->session->SetDialect(d);
+      if (!set.ok()) {
+        protocol_error(set);
+        return;
+      }
+      c->handshaken = true;
+      wire::Writer w;
+      w.U8(wire::kHelloOk);
+      w.U8(wire::kProtocolVersion);
+      w.Str("dashdb-serve");
+      w.Str(DialectName(d));
+      SendPayload(c, w.payload());
+      return;
+    }
+    case wire::kQuery: {
+      auto sql = r.Str();
+      if (!sql.ok() || !r.AtEnd()) {
+        protocol_error(Status::ParseError("wire: malformed QUERY"));
+        return;
+      }
+      Instruments().queries->Add(1);
+      Result<QueryResult> res = c->session->Execute(*sql);
+      if (!res.ok()) {
+        SendStatusError(c, res.status());  // typed error; connection lives on
+        return;
+      }
+      SendResult(c, *res);
+      return;
+    }
+    case wire::kPrepare: {
+      auto name = r.Str();
+      auto sql = name.ok() ? r.Str() : Result<std::string>(name.status());
+      if (!name.ok() || !sql.ok() || !r.AtEnd()) {
+        protocol_error(Status::ParseError("wire: malformed PREPARE"));
+        return;
+      }
+      Result<int> count = c->session->Prepare(*name, *sql);
+      if (!count.ok()) {
+        SendStatusError(c, count.status());
+        return;
+      }
+      wire::Writer w;
+      w.U8(wire::kPrepareOk);
+      w.U32(static_cast<uint32_t>(*count));
+      SendPayload(c, w.payload());
+      return;
+    }
+    case wire::kExecute: {
+      auto name = r.Str();
+      auto nparams = name.ok() ? r.U32() : Result<uint32_t>(name.status());
+      std::vector<Value> params;
+      bool malformed = !name.ok() || !nparams.ok();
+      if (!malformed) {
+        if (*nparams > 4096) {
+          protocol_error(
+              Status::InvalidArgument("wire: EXECUTE parameter count " +
+                                      std::to_string(*nparams)));
+          return;
+        }
+        params.reserve(*nparams);
+        for (uint32_t i = 0; i < *nparams; ++i) {
+          auto v = r.Val();
+          if (!v.ok()) {
+            malformed = true;
+            break;
+          }
+          params.push_back(std::move(*v));
+        }
+      }
+      if (malformed || !r.AtEnd()) {
+        protocol_error(Status::ParseError("wire: malformed EXECUTE"));
+        return;
+      }
+      Instruments().queries->Add(1);
+      Result<QueryResult> res =
+          c->session->ExecutePrepared(*name, std::move(params));
+      if (!res.ok()) {
+        SendStatusError(c, res.status());
+        return;
+      }
+      SendResult(c, *res);
+      return;
+    }
+    case wire::kBye:
+      RequestClose(c);
+      return;
+    default:
+      protocol_error(Status::InvalidArgument(
+          "wire: unexpected message type " + std::to_string(type)));
+      return;
+  }
+}
+
+void Server::SendPayload(Conn* c, const std::string& payload) {
+  if (c->closed.load(std::memory_order_acquire)) return;
+  const std::string frame = wire::Frame(payload);
+  std::lock_guard<std::mutex> lk(c->write_mu);
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::send(c->fd, frame.data() + off, frame.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // Peer gone or send timeout: ask the I/O thread for teardown.
+    c->close_requested.store(true, std::memory_order_release);
+    Wake();
+    return;
+  }
+}
+
+void Server::SendStatusError(Conn* c, const Status& s) {
+  wire::Writer w;
+  w.U8(wire::kError);
+  w.U8(static_cast<uint8_t>(s.code()));
+  w.Str(s.message());
+  SendPayload(c, w.payload());
+}
+
+void Server::SendResult(Conn* c, const QueryResult& r) {
+  {
+    wire::Writer w;
+    w.U8(wire::kResultHeader);
+    w.U32(static_cast<uint32_t>(r.columns.size()));
+    for (const auto& col : r.columns) {
+      w.Str(col.name);
+      w.U8(static_cast<uint8_t>(col.type));
+    }
+    SendPayload(c, w.payload());
+  }
+  const size_t total = r.rows.logical_rows();
+  const size_t ncols = r.rows.num_columns();
+  for (size_t begin = 0; begin < total;
+       begin += config_.max_batch_rows) {
+    const size_t end = std::min(total, begin + config_.max_batch_rows);
+    wire::Writer w;
+    w.U8(wire::kResultBatch);
+    w.U32(static_cast<uint32_t>(end - begin));
+    w.U32(static_cast<uint32_t>(ncols));
+    for (size_t i = begin; i < end; ++i) {
+      const size_t row = r.rows.row_at(i);
+      for (size_t col = 0; col < ncols; ++col) {
+        w.Val(r.rows.columns[col].GetValue(row));
+      }
+    }
+    SendPayload(c, w.payload());
+  }
+  wire::Writer w;
+  w.U8(wire::kResultDone);
+  w.I64(r.affected_rows);
+  w.Str(r.message);
+  SendPayload(c, w.payload());
+}
+
+void Server::RequestClose(Conn* c) {
+  c->close_requested.store(true, std::memory_order_release);
+  Wake();
+}
+
+}  // namespace dashdb

@@ -1,0 +1,92 @@
+// Multi-session TCP server (DESIGN.md "Serving layer").
+//
+// One I/O thread owns accept + poll + frame reassembly for every
+// connection; complete frames are handed to a worker pool that executes
+// each connection's statements FIFO (one in flight per connection, many
+// connections in flight across the pool). CANCEL frames are handled
+// directly on the I/O thread — that is what makes them out-of-band: a
+// connection whose worker is grinding through a SELECT still gets its
+// CANCEL delivered, which trips the statement's QueryContext (or aborts
+// its queued admission wait).
+//
+// A disconnect behaves exactly like a CANCEL followed by teardown: the
+// I/O thread cancels the backend session, so the in-flight statement stops
+// at its next governor check and its admission slot frees; the connection
+// object itself is refcounted and dies when the last worker drops it.
+//
+// Exposes server.* metrics: connections_{accepted,active}, frames_in,
+// queries, cancels, protocol_errors (plus the plan cache's
+// server.plan_cache_* counters fed by the engine).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "common/status.h"
+#include "server/backend.h"
+#include "server/wire.h"
+
+namespace dashdb {
+
+class ThreadPool;
+
+struct ServerConfig {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back with
+  /// Server::port() — the test/bench default).
+  uint16_t port = 0;
+  /// Statement-execution workers (concurrent statements across sessions).
+  int worker_threads = 4;
+  /// Frame payload cap enforced on ingest.
+  size_t max_frame_bytes = wire::kDefaultMaxFrame;
+  /// Result rows per RESULT_BATCH frame.
+  size_t max_batch_rows = 1024;
+  int listen_backlog = 128;
+};
+
+class Server {
+ public:
+  explicit Server(SqlBackend* backend, ServerConfig config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the I/O thread + worker pool.
+  Status Start();
+
+  /// Stops accepting, cancels every in-flight statement, joins the I/O
+  /// thread and workers, and closes every connection. Idempotent.
+  void Stop();
+
+  /// Bound port (valid after Start; the ephemeral port when config.port=0).
+  int port() const { return port_; }
+
+ private:
+  struct Conn;
+
+  void IoLoop();
+  void HandleReadable(const std::shared_ptr<Conn>& c);
+  void DispatchFrame(const std::shared_ptr<Conn>& c, std::string payload);
+  void ProcessLoop(std::shared_ptr<Conn> c);
+  void HandleMessage(Conn* c, const std::string& payload);
+  void SendPayload(Conn* c, const std::string& payload);
+  void SendStatusError(Conn* c, const Status& s);
+  void SendResult(Conn* c, const QueryResult& r);
+  void RequestClose(Conn* c);
+  void Wake();
+
+  SqlBackend* backend_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe to interrupt poll()
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread io_thread_;
+  std::unique_ptr<ThreadPool> workers_;
+  // Connection registry lives in IoLoop (single-threaded owner); workers
+  // only ever touch Conns through the shared_ptr handed to them.
+};
+
+}  // namespace dashdb

@@ -1,0 +1,173 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace dashdb {
+namespace wire {
+
+void Writer::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void Writer::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void Writer::Str(const std::string& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+void Writer::Val(const Value& v) {
+  U8(static_cast<uint8_t>(v.type()));
+  U8(v.is_null() ? 1 : 0);
+  if (v.is_null()) return;
+  switch (v.type()) {
+    case TypeId::kDouble: {
+      double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      U64(bits);
+      return;
+    }
+    case TypeId::kVarchar:
+      Str(v.AsString());
+      return;
+    default:
+      I64(v.AsInt());
+      return;
+  }
+}
+
+std::string Frame(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 4);
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((n >> (8 * i)) & 0xff));
+  }
+  out.append(payload);
+  return out;
+}
+
+Result<uint8_t> Reader::U8() {
+  if (pos_ + 1 > n_) return Status::ParseError("wire: truncated u8");
+  return p_[pos_++];
+}
+
+Result<uint32_t> Reader::U32() {
+  if (pos_ + 4 > n_) return Status::ParseError("wire: truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Reader::U64() {
+  if (pos_ + 8 > n_) return Status::ParseError("wire: truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> Reader::I64() {
+  DASHDB_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<std::string> Reader::Str() {
+  DASHDB_ASSIGN_OR_RETURN(uint32_t len, U32());
+  if (pos_ + len > n_ || len > n_) {
+    return Status::ParseError("wire: truncated string");
+  }
+  std::string s(reinterpret_cast<const char*>(p_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Result<Value> Reader::Val() {
+  DASHDB_ASSIGN_OR_RETURN(uint8_t type_byte, U8());
+  if (type_byte > static_cast<uint8_t>(TypeId::kDecimal)) {
+    return Status::ParseError("wire: unknown value type " +
+                              std::to_string(type_byte));
+  }
+  const TypeId type = static_cast<TypeId>(type_byte);
+  DASHDB_ASSIGN_OR_RETURN(uint8_t null_flag, U8());
+  if (null_flag > 1) return Status::ParseError("wire: bad null flag");
+  if (null_flag == 1) return Value::Null(type);
+  switch (type) {
+    case TypeId::kDouble: {
+      DASHDB_ASSIGN_OR_RETURN(uint64_t bits, U64());
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Double(d);
+    }
+    case TypeId::kVarchar: {
+      DASHDB_ASSIGN_OR_RETURN(std::string s, Str());
+      return Value::String(std::move(s));
+    }
+    case TypeId::kBoolean: {
+      DASHDB_ASSIGN_OR_RETURN(int64_t i, I64());
+      return Value::Boolean(i != 0);
+    }
+    case TypeId::kInt32: {
+      DASHDB_ASSIGN_OR_RETURN(int64_t i, I64());
+      return Value::Int32(static_cast<int32_t>(i));
+    }
+    case TypeId::kInt64: {
+      DASHDB_ASSIGN_OR_RETURN(int64_t i, I64());
+      return Value::Int64(i);
+    }
+    case TypeId::kDate: {
+      DASHDB_ASSIGN_OR_RETURN(int64_t i, I64());
+      return Value::Date(static_cast<int32_t>(i));
+    }
+    case TypeId::kTimestamp: {
+      DASHDB_ASSIGN_OR_RETURN(int64_t i, I64());
+      return Value::Timestamp(i);
+    }
+    case TypeId::kDecimal: {
+      DASHDB_ASSIGN_OR_RETURN(int64_t i, I64());
+      return Value::Decimal(i);
+    }
+  }
+  return Status::ParseError("wire: unreachable value type");
+}
+
+Result<bool> FrameReader::Next(std::string* payload) {
+  // Reclaim the consumed prefix once it dominates the buffer.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2 && pos_ > 4096) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  const size_t avail = buf_.size() - pos_;
+  if (avail < 4) return false;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(
+               static_cast<uint8_t>(buf_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+  }
+  if (len == 0) return Status::ParseError("wire: zero-length frame");
+  if (len > max_frame_) {
+    return Status::ParseError("wire: frame of " + std::to_string(len) +
+                              " bytes exceeds cap of " +
+                              std::to_string(max_frame_));
+  }
+  if (avail < 4 + static_cast<size_t>(len)) return false;
+  payload->assign(buf_, pos_ + 4, len);
+  pos_ += 4 + static_cast<size_t>(len);
+  return true;
+}
+
+}  // namespace wire
+}  // namespace dashdb

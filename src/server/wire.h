@@ -1,0 +1,128 @@
+// Wire protocol for the serving layer (DESIGN.md "Serving layer").
+//
+// Framing: every message is a 4-byte little-endian payload length followed
+// by the payload; payload byte 0 is the message type. The length covers the
+// payload only (so the minimum frame is 5 bytes on the wire) and is bounded
+// by the peer's configured maximum — an oversized or zero length is a
+// protocol error that closes the connection, never an allocation.
+//
+// Client -> server: HELLO (protocol version + dialect name), QUERY (sql),
+// PREPARE (name, sql), EXECUTE (name, params), CANCEL (out-of-band: aborts
+// the statement currently running on this connection), BYE.
+// Server -> client: HELLO_OK, RESULT_HEADER (column names/types),
+// RESULT_BATCH (row chunk), RESULT_DONE (affected rows + message), ERROR
+// (Status code + text), PREPARE_OK (param count), CANCEL_ACK.
+//
+// All multi-byte integers are little-endian. Strings are u32 length +
+// bytes. Values are (type id, null flag, payload) with doubles shipped as
+// IEEE-754 bit patterns. Decoding is bounds-checked everywhere: a
+// truncated or garbage payload yields a Status, never a read past the
+// buffer (the hostile-input tests in tests/wire_protocol_test.cc fuzz
+// exactly this surface).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dashdb {
+namespace wire {
+
+/// Protocol revision carried in HELLO; bumped on incompatible change.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Default cap on one frame's payload (16 MB) — both sides enforce it.
+inline constexpr size_t kDefaultMaxFrame = size_t{16} << 20;
+
+enum MsgType : uint8_t {
+  // client -> server
+  kHello = 0x01,
+  kQuery = 0x02,
+  kPrepare = 0x03,
+  kExecute = 0x04,
+  kCancel = 0x05,
+  kBye = 0x06,
+  // server -> client
+  kHelloOk = 0x81,
+  kResultHeader = 0x82,
+  kResultBatch = 0x83,
+  kResultDone = 0x84,
+  kError = 0x85,
+  kPrepareOk = 0x86,
+  kCancelAck = 0x87,
+};
+
+/// Append-only payload builder. The first byte written should be the
+/// message type; Frame() then adds the length prefix.
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Str(const std::string& s);
+  void Val(const Value& v);
+
+  const std::string& payload() const { return buf_; }
+  std::string TakePayload() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Length-prefixes a payload into one on-the-wire frame.
+std::string Frame(const std::string& payload);
+
+/// Bounds-checked payload decoder. Every accessor returns a Status on
+/// overrun instead of reading past the buffer.
+class Reader {
+ public:
+  Reader(const void* data, size_t size)
+      : p_(static_cast<const uint8_t*>(data)), n_(size) {}
+  explicit Reader(const std::string& payload)
+      : Reader(payload.data(), payload.size()) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<std::string> Str();
+  Result<Value> Val();
+
+  size_t remaining() const { return n_ - pos_; }
+  bool AtEnd() const { return pos_ == n_; }
+
+ private:
+  const uint8_t* p_;
+  size_t n_;
+  size_t pos_ = 0;
+};
+
+/// Incremental frame assembler fed by recv() chunks. Enforces the frame
+/// cap before buffering a payload, so a hostile 4 GB length never
+/// allocates.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame = kDefaultMaxFrame)
+      : max_frame_(max_frame) {}
+
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// Extracts the next complete frame's payload. Returns true with the
+  /// payload, false when more bytes are needed, or a Status on a framing
+  /// violation (zero-length or oversized frame) — after which the
+  /// connection must be torn down.
+  Result<bool> Next(std::string* payload);
+
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_frame_;
+  std::string buf_;
+  size_t pos_ = 0;  ///< consumed prefix of buf_
+};
+
+}  // namespace wire
+}  // namespace dashdb

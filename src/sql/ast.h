@@ -37,6 +37,7 @@ enum class ExprKind : uint8_t {
   kBetween,
   kSequenceRef,    ///< seq.NEXTVAL / seq.CURRVAL / NEXT VALUE FOR seq
   kOverlaps,       ///< (s1, e1) OVERLAPS (s2, e2)
+  kParam,          ///< '?' positional parameter (PREPARE/EXECUTE)
 };
 
 enum class BinOp : uint8_t {
@@ -59,6 +60,9 @@ struct Expr {
   bool oracle_outer = false;
   TypeId cast_type = TypeId::kVarchar; // kCast
   std::string like_pattern;            // kLike
+  /// kParam: 0-based position of this '?' in statement text order. The
+  /// binder substitutes the session's EXECUTE-time parameter vector.
+  int param_index = -1;
   std::vector<ExprP> children;         // operands / args / IN list / CASE parts
   /// CASE: children = [operand?] + pairs (when, then); else_branch separate.
   ExprP else_branch;

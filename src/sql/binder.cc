@@ -26,6 +26,8 @@ std::string AstToString(const ExprP& e) {
       return e->qualifier.empty() ? e->name : e->qualifier + "." + e->name;
     case ExprKind::kStar:
       return e->qualifier.empty() ? "*" : e->qualifier + ".*";
+    case ExprKind::kParam:
+      return "?" + std::to_string(e->param_index + 1);
     case ExprKind::kBinary: {
       static const char* ops[] = {"+", "-", "*", "/", "%",  "||", "=",
                                   "<>", "<", "<=", ">", ">=", "AND", "OR"};
@@ -284,6 +286,14 @@ class ExprBinder {
       case ExprKind::kLiteral:
         return std::static_pointer_cast<Expr>(
             std::make_shared<LiteralExpr>(e->literal));
+      case ExprKind::kParam: {
+        // '?' binds to the session's EXECUTE-time parameter vector. The
+        // cached AST is shared and immutable; substitution happens here, at
+        // bind time, so every EXECUTE re-binds against fresh values.
+        DASHDB_ASSIGN_OR_RETURN(Value v, session_->BindParam(e->param_index));
+        return std::static_pointer_cast<Expr>(
+            std::make_shared<LiteralExpr>(std::move(v)));
+      }
       case ExprKind::kColumnRef:
         return BindColumnRef(e);
       case ExprKind::kStar:

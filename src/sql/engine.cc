@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <thread>
 
 #include "common/threadpool.h"
@@ -22,6 +23,17 @@ Engine::Engine(EngineConfig config)
     // only needs dop-1 workers to reach the configured degree.
     exec_pool_ = std::make_unique<ThreadPool>(query_parallelism_ - 1);
   }
+  // CALL RUNSTATS(): statistics refresh. Plans cached before the refresh
+  // recompile on next use (their stats stamp no longer matches).
+  RegisterProcedure("RUNSTATS",
+                    [](const std::vector<Value>&, Session*,
+                       Engine* engine) -> Result<QueryResult> {
+                      engine->RefreshStatistics();
+                      QueryResult r;
+                      r.message = "RUNSTATS: statistics refreshed (epoch " +
+                                  std::to_string(engine->stats_version()) + ")";
+                      return r;
+                    });
 }
 
 Engine::~Engine() = default;
@@ -79,8 +91,50 @@ Result<std::shared_ptr<CatalogEntry>> Engine::GetTable(
 }
 
 Result<QueryResult> Engine::Execute(Session* session, const std::string& sql) {
-  DASHDB_ASSIGN_OR_RETURN(ast::StatementP stmt, ParseStatement(sql));
+  DASHDB_ASSIGN_OR_RETURN(ast::StatementP stmt, ParseCached(session, sql));
   return ExecuteStmt(session, stmt);
+}
+
+namespace {
+
+/// Cheap pre-parse gate: only statements that can begin a read query touch
+/// the plan cache, so DDL/DML/SET traffic neither pollutes the cache nor
+/// inflates its miss counter.
+bool LooksLikeReadQuery(const std::string& sql) {
+  size_t i = sql.find_first_not_of(" \t\r\n(");
+  if (i == std::string::npos) return false;
+  std::string word;
+  while (i < sql.size() &&
+         std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    word.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(sql[i]))));
+    ++i;
+  }
+  return word == "SELECT" || word == "WITH" || word == "EXPLAIN" ||
+         word == "VALUES";
+}
+
+}  // namespace
+
+Result<ast::StatementP> Engine::ParseCached(Session* session,
+                                            const std::string& sql) {
+  // Only read-only statements are cached: their ASTs are immutable and
+  // binding is per-execution, so one parse serves every session. DDL/DML
+  // parse fresh (cheap, and their side effects bump the versions that
+  // invalidate cached reads anyway).
+  if (!LooksLikeReadQuery(sql)) return ParseStatement(sql);
+  const uint64_t cat_ver = catalog_.version();
+  const uint64_t stats_ver = stats_version();
+  if (ast::StatementP cached =
+          plan_cache_.Lookup(sql, session->dialect(), cat_ver, stats_ver)) {
+    return cached;
+  }
+  DASHDB_ASSIGN_OR_RETURN(ast::StatementP stmt, ParseStatement(sql));
+  if (stmt->kind == ast::StmtKind::kSelect ||
+      stmt->kind == ast::StmtKind::kExplain) {
+    plan_cache_.Insert(sql, session->dialect(), cat_ver, stats_ver, stmt);
+  }
+  return stmt;
 }
 
 Result<QueryResult> Engine::ExecuteScript(Session* session,
@@ -98,6 +152,93 @@ Result<QueryResult> Engine::ExecuteScript(Session* session,
     last = std::move(r).value();
   }
   return last;
+}
+
+namespace {
+
+// --- '?' parameter counting (PREPARE reports how many values EXECUTE
+// --- must supply). Walks the full AST; param_index is assigned in text
+// --- order by the parser, so the count is max index + 1.
+
+void MaxParamIndex(const ast::ExprP& e, int* max_index);
+
+void MaxParamIndex(const ast::SelectP& sel, int* max_index) {
+  if (!sel) return;
+  for (const auto& cte : sel->ctes) MaxParamIndex(cte.query, max_index);
+  for (const auto& item : sel->items) MaxParamIndex(item.expr, max_index);
+  for (const auto& tr : sel->from) {
+    MaxParamIndex(tr.subquery, max_index);
+    MaxParamIndex(tr.join_condition, max_index);
+  }
+  MaxParamIndex(sel->where, max_index);
+  for (const auto& g : sel->group_by) MaxParamIndex(g, max_index);
+  MaxParamIndex(sel->having, max_index);
+  for (const auto& o : sel->order_by) MaxParamIndex(o.expr, max_index);
+  MaxParamIndex(sel->start_with, max_index);
+  MaxParamIndex(sel->connect_by, max_index);
+  for (const auto& row : sel->values_rows) {
+    for (const auto& v : row) MaxParamIndex(v, max_index);
+  }
+}
+
+void MaxParamIndex(const ast::ExprP& e, int* max_index) {
+  if (!e) return;
+  if (e->kind == ast::ExprKind::kParam) {
+    *max_index = std::max(*max_index, e->param_index);
+  }
+  for (const auto& c : e->children) MaxParamIndex(c, max_index);
+  MaxParamIndex(e->else_branch, max_index);
+}
+
+int CountParams(const ast::Statement& st) {
+  int max_index = -1;
+  MaxParamIndex(st.select, &max_index);
+  for (const auto& row : st.insert_rows) {
+    for (const auto& v : row) MaxParamIndex(v, &max_index);
+  }
+  for (const auto& [name, expr] : st.set_clauses) {
+    MaxParamIndex(expr, &max_index);
+  }
+  MaxParamIndex(st.where, &max_index);
+  for (const auto& a : st.call_args) MaxParamIndex(a, &max_index);
+  return max_index + 1;
+}
+
+}  // namespace
+
+Result<int> Engine::Prepare(Session* session, const std::string& name,
+                            const std::string& sql) {
+  DASHDB_ASSIGN_OR_RETURN(ast::StatementP stmt, ParseCached(session, sql));
+  PreparedStatement ps;
+  ps.stmt = std::move(stmt);
+  ps.dialect = session->dialect();
+  ps.sql = sql;
+  ps.param_count = CountParams(*ps.stmt);
+  const int count = ps.param_count;
+  session->AddPrepared(name, std::move(ps));
+  return count;
+}
+
+Result<QueryResult> Engine::ExecutePrepared(Session* session,
+                                            const std::string& name,
+                                            std::vector<Value> params) {
+  DASHDB_ASSIGN_OR_RETURN(PreparedStatement ps, session->GetPrepared(name));
+  if (static_cast<int>(params.size()) != ps.param_count) {
+    return Status::SemanticError(
+        "prepared statement " + name + " takes " +
+        std::to_string(ps.param_count) + " parameter(s), " +
+        std::to_string(params.size()) + " supplied");
+  }
+  // Compile under the dialect recorded at PREPARE time (paper II.C.2 —
+  // objects remember their dialect), restoring the session's own dialect
+  // and parameter state on every exit path.
+  const Dialect saved = session->dialect();
+  session->set_dialect(ps.dialect);
+  session->set_bind_params(std::move(params));
+  auto r = ExecuteStmt(session, ps.stmt);
+  session->clear_bind_params();
+  session->set_dialect(saved);
+  return r;
 }
 
 Result<QueryResult> Engine::ExecuteStmt(Session* session,
@@ -298,7 +439,8 @@ Result<QueryResult> Engine::ExecSelect(Session* session,
     const double est = est_op != nullptr && est_op->has_est_rows()
                            ? est_op->est_rows()
                            : -1.0;
-    DASHDB_ASSIGN_OR_RETURN(ticket, admission_.Admit(admission_.Classify(est)));
+    DASHDB_ASSIGN_OR_RETURN(
+        ticket, admission_.Admit(admission_.Classify(est), qc.get()));
   }
   if (explain_only) {
     // EXPLAIN ANALYZE: run the query, discard its rows, and report the plan

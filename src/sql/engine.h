@@ -18,6 +18,7 @@
 #include "exec/operator.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
+#include "sql/plan_cache.h"
 #include "sql/session.h"
 #include "storage/column_table.h"
 #include "storage/io_model.h"
@@ -89,11 +90,27 @@ class Engine {
 
   std::shared_ptr<Session> CreateSession();
 
-  /// Parses and executes one statement.
+  /// Parses and executes one statement. Single-statement SELECT/EXPLAIN
+  /// texts go through the shared plan cache (parse once per normalized
+  /// text + dialect; see src/sql/plan_cache.h).
   Result<QueryResult> Execute(Session* session, const std::string& sql);
 
   /// Executes a ';'-separated script; returns the last statement's result.
   Result<QueryResult> ExecuteScript(Session* session, const std::string& sql);
+
+  // --- prepared statements (serving layer PREPARE/EXECUTE) ---------------
+
+  /// Compiles `sql` (which may contain '?' positional parameters) under the
+  /// session's current dialect and registers it on the session as `name`.
+  /// Returns the number of parameters the statement takes.
+  Result<int> Prepare(Session* session, const std::string& name,
+                      const std::string& sql);
+
+  /// Executes a statement previously registered by Prepare, binding the
+  /// given values to its '?' markers (in text order) and compiling under
+  /// the dialect recorded at PREPARE time.
+  Result<QueryResult> ExecutePrepared(Session* session, const std::string& name,
+                                      std::vector<Value> params);
 
   /// Stored procedures (CALL name(args)): the integration point used by the
   /// Spark layer's SQL interface.
@@ -114,6 +131,20 @@ class Engine {
   /// Session -> engine-owned-shared-state refactor: sessions hold per-query
   /// knobs, the engine owns the shared slots/queue).
   AdmissionController& admission() { return admission_; }
+
+  /// Shared plan cache (engine-owned, like the admission controller: one
+  /// instance serving every session/connection).
+  PlanCache& plan_cache() { return plan_cache_; }
+
+  /// Statistics epoch. Plan-cache entries are stamped with it; RUNSTATS /
+  /// RefreshStatistics bumps it so every cached plan recompiles against the
+  /// fresh statistics on next use.
+  uint64_t stats_version() const {
+    return stats_version_.load(std::memory_order_acquire);
+  }
+  void RefreshStatistics() {
+    stats_version_.fetch_add(1, std::memory_order_release);
+  }
 
   /// Modeled storage I/O accumulated since the last call (seconds). Benches
   /// add this to measured CPU time per statement.
@@ -137,6 +168,10 @@ class Engine {
   /// test-injected context) and publishes it as the session's current query.
   std::shared_ptr<QueryContext> MakeQueryContext(Session* session);
 
+  /// Parses one statement through the plan cache when cacheable (single
+  /// SELECT/EXPLAIN); otherwise parses directly.
+  Result<ast::StatementP> ParseCached(Session* session, const std::string& sql);
+
   /// Collects (row id, full row) pairs matching a WHERE for DML.
   struct MatchedRows {
     std::vector<uint64_t> ids;
@@ -153,6 +188,8 @@ class Engine {
   std::unique_ptr<ThreadPool> exec_pool_;
   std::atomic<uint64_t> next_table_id_{1};
   AdmissionController admission_;
+  PlanCache plan_cache_;
+  std::atomic<uint64_t> stats_version_{1};
   IoSink io_nanos_{0};
   std::map<std::string, Procedure> procedures_;
   std::mutex proc_mu_;

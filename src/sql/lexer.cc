@@ -128,7 +128,7 @@ Result<std::vector<Token>> Lex(const std::string& sql) {
       t.text = sql.substr(i, 2);
       if (t.text == "!=") t.text = "<>";
       i += 2;
-    } else if (std::string("+-*/%(),.;=<>").find(c) != std::string::npos) {
+    } else if (std::string("+-*/%(),.;=<>?").find(c) != std::string::npos) {
       t.text = std::string(1, c);
       ++i;
     } else {

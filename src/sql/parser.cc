@@ -840,6 +840,13 @@ class Parser {
       e->kind = ExprKind::kStar;
       return e;
     }
+    if (Is("?")) {
+      Advance();
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kParam;
+      e->param_index = next_param_index_++;
+      return e;
+    }
     if (Cur().kind != TokKind::kIdent) return Err("expected expression");
 
     // Keyword-led forms.
@@ -982,6 +989,8 @@ class Parser {
  private:
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  /// '?' markers numbered in statement text order (PREPARE/EXECUTE).
+  int next_param_index_ = 0;
   std::string source_;
 };
 

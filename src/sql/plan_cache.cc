@@ -1,0 +1,174 @@
+#include "sql/plan_cache.h"
+
+#include <cctype>
+
+#include "common/metrics.h"
+
+namespace dashdb {
+namespace {
+
+struct PlanCacheInstruments {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Gauge* entries;
+};
+
+PlanCacheInstruments& Instruments() {
+  static PlanCacheInstruments in{
+      MetricRegistry::Global().GetCounter("server.plan_cache_hits"),
+      MetricRegistry::Global().GetCounter("server.plan_cache_misses"),
+      MetricRegistry::Global().GetCounter("server.plan_cache_evictions"),
+      MetricRegistry::Global().GetGauge("server.plan_cache_entries"),
+  };
+  return in;
+}
+
+}  // namespace
+
+std::string NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  size_t i = 0;
+  const size_t n = sql.size();
+  bool pending_space = false;
+  auto emit = [&](char c) {
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    out.push_back(c);
+  };
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      ++i;
+      continue;
+    }
+    // Comments collapse to a separator, like whitespace.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      pending_space = true;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      size_t end = sql.find("*/", i + 2);
+      i = (end == std::string::npos) ? n : end + 2;
+      pending_space = true;
+      continue;
+    }
+    // String literals and quoted identifiers keep their exact text
+    // (including case and embedded whitespace) — they are semantic.
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      emit(c);
+      ++i;
+      while (i < n) {
+        out.push_back(sql[i]);
+        if (sql[i] == quote) {
+          // '' inside a string is an escaped quote, not the end.
+          if (quote == '\'' && i + 1 < n && sql[i + 1] == '\'') {
+            out.push_back(sql[++i]);
+            ++i;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    emit(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    ++i;
+  }
+  return out;
+}
+
+std::string PlanCache::Key(const std::string& sql, Dialect dialect) {
+  return std::to_string(static_cast<int>(dialect)) + "|" + NormalizeSql(sql);
+}
+
+ast::StatementP PlanCache::Lookup(const std::string& sql, Dialect dialect,
+                                  uint64_t catalog_version,
+                                  uint64_t stats_version) {
+  const std::string key = Key(sql, dialect);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    Instruments().misses->Add(1);
+    return nullptr;
+  }
+  if (it->second.catalog_version != catalog_version ||
+      it->second.stats_version != stats_version) {
+    // Compiled against a world that no longer exists: retire it.
+    EvictLocked(key);
+    ++misses_;
+    Instruments().misses->Add(1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++hits_;
+  Instruments().hits->Add(1);
+  return it->second.stmt;
+}
+
+void PlanCache::Insert(const std::string& sql, Dialect dialect,
+                       uint64_t catalog_version, uint64_t stats_version,
+                       ast::StatementP stmt) {
+  if (capacity_ == 0 || !stmt) return;
+  const std::string key = Key(sql, dialect);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.stmt = std::move(stmt);
+    it->second.catalog_version = catalog_version;
+    it->second.stats_version = stats_version;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  while (entries_.size() >= capacity_ && !lru_.empty()) {
+    Instruments().evictions->Add(1);
+    EvictLocked(lru_.back());
+  }
+  lru_.push_front(key);
+  Entry e;
+  e.stmt = std::move(stmt);
+  e.catalog_version = catalog_version;
+  e.stats_version = stats_version;
+  e.lru_pos = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  Instruments().entries->Set(static_cast<int64_t>(entries_.size()));
+}
+
+void PlanCache::EvictLocked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  Instruments().entries->Set(static_cast<int64_t>(entries_.size()));
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+  lru_.clear();
+  Instruments().entries->Set(0);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,84 @@
+// Shared plan cache for the serving layer (DESIGN.md "Serving layer").
+//
+// Keyed by (normalized SQL text, dialect): normalization collapses
+// whitespace/comments and upper-cases everything outside quoted strings and
+// quoted identifiers, so formatting differences share one compiled entry
+// while literal differences — which change semantics — key separate
+// entries (parameterize with '?' + PREPARE/EXECUTE to share a plan across
+// values). The dialect is part of the key because binding is
+// dialect-sensitive (function resolution, paper II.C.2), so the same text
+// compiled under ORACLE and NZPLSQL must never share an entry.
+//
+// Entries carry the catalog DDL version and the engine statistics version
+// they were compiled against. A lookup that finds a stale entry (either
+// version moved) treats it as a miss and evicts — DROP/CREATE TABLE and
+// RUNSTATS retire every affected plan without a registration protocol.
+// Capacity is bounded with LRU eviction.
+//
+// Thread-safe: one mutex, hit path does one map find + list splice. The
+// cached payload is a shared_ptr to the *immutable* parsed statement, so
+// many sessions bind the same AST concurrently without copies.
+//
+// Feeds server.plan_cache_{hits,misses,evictions} and the
+// server.plan_cache_entries gauge.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/dialect.h"
+#include "sql/ast.h"
+
+namespace dashdb {
+
+/// Whitespace/comment-collapsed, case-normalized (outside quotes) SQL text.
+/// Exposed for tests and for PREPARE, which keys on the same form.
+std::string NormalizeSql(const std::string& sql);
+
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Returns the cached statement for (sql, dialect) when present AND
+  /// compiled against the given catalog/stats versions; null otherwise.
+  /// Stale entries are evicted on the way out. Counts one hit or miss.
+  ast::StatementP Lookup(const std::string& sql, Dialect dialect,
+                         uint64_t catalog_version, uint64_t stats_version);
+
+  /// Inserts (or replaces) the entry for (sql, dialect), stamped with the
+  /// versions it was compiled against. Evicts LRU past capacity.
+  void Insert(const std::string& sql, Dialect dialect,
+              uint64_t catalog_version, uint64_t stats_version,
+              ast::StatementP stmt);
+
+  /// Drops every entry (engine shutdown / tests).
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Entry {
+    ast::StatementP stmt;
+    uint64_t catalog_version = 0;
+    uint64_t stats_version = 0;
+    std::list<std::string>::iterator lru_pos;  ///< position in lru_
+  };
+
+  static std::string Key(const std::string& sql, Dialect dialect);
+  void EvictLocked(const std::string& key);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< front = most recently used
+};
+
+}  // namespace dashdb

@@ -15,8 +15,20 @@
 #include "common/query_context.h"
 #include "common/trace.h"
 #include "exec/expr.h"
+#include "sql/ast.h"
 
 namespace dashdb {
+
+/// A statement compiled by PREPARE: the shared parsed AST plus the dialect
+/// it was compiled under (paper II.C.2 — objects remember their dialect).
+/// EXECUTE re-binds the AST with the call's parameter vector; the AST
+/// itself is immutable and may be shared with the engine's plan cache.
+struct PreparedStatement {
+  ast::StatementP stmt;
+  Dialect dialect = Dialect::kAnsi;
+  std::string sql;
+  int param_count = 0;
+};
 
 /// One sequence's state (Oracle seq.NEXTVAL/CURRVAL, DB2 NEXT VALUE FOR).
 struct SequenceState {
@@ -157,6 +169,42 @@ class Session {
     return std::move(pending_query_);
   }
 
+  // --- prepared statements (serving layer PREPARE/EXECUTE) ---------------
+
+  /// Registers (or replaces) a named prepared statement.
+  void AddPrepared(const std::string& name, PreparedStatement ps) {
+    prepared_[name] = std::move(ps);
+  }
+
+  Result<PreparedStatement> GetPrepared(const std::string& name) const {
+    auto it = prepared_.find(name);
+    if (it == prepared_.end()) {
+      return Status::NotFound("prepared statement " + name);
+    }
+    return it->second;
+  }
+
+  bool RemovePrepared(const std::string& name) {
+    return prepared_.erase(name) > 0;
+  }
+
+  /// Parameter vector for the statement currently binding ('?' markers).
+  /// Set by the engine around ExecutePrepared; one statement binds at a
+  /// time per session, so this is plain session state, not shared state.
+  void set_bind_params(std::vector<Value> params) {
+    bind_params_ = std::move(params);
+  }
+  void clear_bind_params() { bind_params_.clear(); }
+
+  Result<Value> BindParam(int index) const {
+    if (index < 0 || static_cast<size_t>(index) >= bind_params_.size()) {
+      return Status::SemanticError(
+          "parameter ?" + std::to_string(index + 1) + " not bound (" +
+          std::to_string(bind_params_.size()) + " supplied)");
+    }
+    return bind_params_[static_cast<size_t>(index)];
+  }
+
   /// Pre-installed scan filters (cross-shard Bloom pushdown). Replaces any
   /// existing filter on the same table+column.
   void AddRuntimeFilter(RuntimeScanFilter f) {
@@ -189,6 +237,8 @@ class Session {
   std::shared_ptr<const Trace> last_trace_;
   ExecContext exec_ctx_;
   std::map<std::string, SequenceState> sequences_;
+  std::map<std::string, PreparedStatement> prepared_;
+  std::vector<Value> bind_params_;
 };
 
 }  // namespace dashdb

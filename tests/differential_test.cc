@@ -12,6 +12,7 @@
 
 #include "common/fault_injector.h"
 #include "common/metrics.h"
+#include "corpus_util.h"
 #include "mpp/mpp.h"
 
 namespace dashdb {
@@ -19,161 +20,10 @@ namespace {
 
 constexpr const char* kShardExec = "mpp.shard_exec";
 
-/// Canonical string form of a result (columns + every row, in order).
-std::string ResultKey(const QueryResult& r) {
-  std::ostringstream os;
-  for (const auto& c : r.columns) os << c.name << '|';
-  os << '\n';
-  for (size_t i = 0; i < r.rows.num_rows(); ++i) {
-    for (size_t c = 0; c < r.rows.columns.size(); ++c) {
-      os << r.rows.columns[c].GetValue(i).ToString() << '|';
-    }
-    os << '\n';
-  }
-  return os.str();
-}
-
-/// 4-node cluster, 2 shards/node; every shard engine runs at `dop`.
-/// Fact table T hash-distributes on ID; dims D and C are replicated so
-/// joins stay shard-local (collocated star join).
-std::unique_ptr<MppDatabase> MakeLoadedDb(int dop) {
-  EngineConfig cfg;
-  cfg.query_parallelism = dop;
-  auto db = std::make_unique<MppDatabase>(4, 2, 8, size_t{8} << 30, cfg);
-
-  TableSchema fact("PUBLIC", "T",
-                   {{"ID", TypeId::kInt64, false, 0, false},
-                    {"GRP", TypeId::kInt64, true, 0, false},
-                    {"CAT", TypeId::kInt64, true, 0, false},
-                    {"V", TypeId::kInt64, true, 0, false},
-                    {"S", TypeId::kVarchar, true, 0, false}});
-  fact.set_distribution_key(0);
-  EXPECT_TRUE(db->CreateTable(fact).ok());
-
-  TableSchema dim_d("PUBLIC", "D",
-                    {{"GRP", TypeId::kInt64, false, 0, false},
-                     {"A", TypeId::kInt64, true, 0, false}});
-  EXPECT_TRUE(db->CreateTable(dim_d, /*replicated=*/true).ok());
-  TableSchema dim_c("PUBLIC", "C",
-                    {{"CAT", TypeId::kInt64, false, 0, false},
-                     {"B", TypeId::kInt64, true, 0, false}});
-  EXPECT_TRUE(db->CreateTable(dim_c, /*replicated=*/true).ok());
-
-  // High-cardinality replicated dim: one row per fact ID, so T JOIN H probes
-  // a 400-entry build table where every key is distinct.
-  TableSchema dim_h("PUBLIC", "H",
-                    {{"ID", TypeId::kInt64, false, 0, false},
-                     {"W", TypeId::kInt64, true, 0, false}});
-  EXPECT_TRUE(db->CreateTable(dim_h, /*replicated=*/true).ok());
-
-  // Snowflake outrigger off D (reachable from the fact only through D).
-  TableSchema dim_e("PUBLIC", "E",
-                    {{"A", TypeId::kInt64, false, 0, false},
-                     {"Z", TypeId::kInt64, true, 0, false}});
-  EXPECT_TRUE(db->CreateTable(dim_e, /*replicated=*/true).ok());
-
-  RowBatch t;
-  for (int i = 0; i < 4; ++i) t.columns.emplace_back(TypeId::kInt64);
-  t.columns.emplace_back(TypeId::kVarchar);
-  for (int i = 0; i < 400; ++i) {
-    t.columns[0].AppendInt(i);
-    t.columns[1].AppendInt(i % 7);
-    t.columns[2].AppendInt(i % 5);
-    t.columns[3].AppendInt(i * 31 % 101);
-    t.columns[4].AppendString("s" + std::to_string(i % 13));
-  }
-  EXPECT_TRUE(db->Load("PUBLIC", "T", t).ok());
-
-  RowBatch d;
-  d.columns.emplace_back(TypeId::kInt64);
-  d.columns.emplace_back(TypeId::kInt64);
-  for (int g = 0; g < 7; ++g) {
-    d.columns[0].AppendInt(g);
-    d.columns[1].AppendInt(g / 2);
-  }
-  EXPECT_TRUE(db->Load("PUBLIC", "D", d).ok());
-
-  RowBatch c;
-  c.columns.emplace_back(TypeId::kInt64);
-  c.columns.emplace_back(TypeId::kInt64);
-  for (int k = 0; k < 5; ++k) {
-    c.columns[0].AppendInt(k);
-    c.columns[1].AppendInt(k % 2);
-  }
-  EXPECT_TRUE(db->Load("PUBLIC", "C", c).ok());
-
-  RowBatch h;
-  h.columns.emplace_back(TypeId::kInt64);
-  h.columns.emplace_back(TypeId::kInt64);
-  for (int i = 0; i < 400; ++i) {
-    h.columns[0].AppendInt(i);
-    h.columns[1].AppendInt(i * 17 % 89);
-  }
-  EXPECT_TRUE(db->Load("PUBLIC", "H", h).ok());
-
-  RowBatch e;
-  e.columns.emplace_back(TypeId::kInt64);
-  e.columns.emplace_back(TypeId::kInt64);
-  for (int a = 0; a < 4; ++a) {
-    e.columns[0].AppendInt(a);
-    e.columns[1].AppendInt(a % 2);
-  }
-  EXPECT_TRUE(db->Load("PUBLIC", "E", e).ok());
-  return db;
-}
-
-const char* kCorpus[] = {
-    "SELECT COUNT(*), SUM(V), MIN(V), MAX(V) FROM T",
-    "SELECT GRP, COUNT(*), SUM(V) FROM T GROUP BY GRP ORDER BY GRP",
-    "SELECT COUNT(*) FROM T WHERE V >= 50",
-    "SELECT ID, V FROM T WHERE GRP = 3 ORDER BY ID LIMIT 20",
-    "SELECT d.A, COUNT(*), SUM(t.V) FROM T t JOIN D d ON t.GRP = d.GRP "
-    "GROUP BY d.A ORDER BY d.A",
-    "SELECT d.A, COUNT(*), SUM(t.V) FROM T t JOIN D d ON t.GRP = d.GRP "
-    "JOIN C c ON t.CAT = c.CAT WHERE c.B = 1 GROUP BY d.A ORDER BY d.A",
-    // High-cardinality join: every probe row hits a distinct build key.
-    "SELECT COUNT(*), SUM(h.W), MIN(h.W), MAX(h.W) FROM T t "
-    "JOIN H h ON t.ID = h.ID WHERE t.V < 60",
-    // Multi-column and string group keys (arena-backed serialized keys).
-    "SELECT GRP, CAT, COUNT(*), SUM(V) FROM T GROUP BY GRP, CAT "
-    "ORDER BY GRP, CAT",
-    "SELECT S, COUNT(*), MIN(V), MAX(V) FROM T GROUP BY S ORDER BY S",
-    "SELECT S, GRP, COUNT(*) FROM T GROUP BY S, GRP ORDER BY S, GRP",
-    // Bare COUNT(*) with one sargable predicate: the CountStarScan fast
-    // path on every shard, merged by the coordinator.
-    "SELECT COUNT(*) FROM T WHERE V <= 50",
-    "SELECT COUNT(*) FROM T WHERE GRP = 4",
-    // Expression-heavy shapes through the vectorized engine: CASE arms,
-    // LIKE prefix, mixed-type arithmetic, and residual (non-sargable)
-    // predicates that run as dictionary-code filters mid-query.
-    "SELECT ID, CASE WHEN V >= 67 THEN 'hi' WHEN V >= 34 THEN 'mid' "
-    "ELSE 'lo' END FROM T WHERE GRP = 1 ORDER BY ID LIMIT 30",
-    "SELECT S, COUNT(*) FROM T WHERE S LIKE 's1%' GROUP BY S ORDER BY S",
-    "SELECT GRP, SUM(CASE WHEN CAT = 2 THEN V ELSE 0 END), "
-    "SUM(V / 2.0 + CAT * 3) FROM T GROUP BY GRP ORDER BY GRP",
-    "SELECT ID, V * 31 - CAT FROM T WHERE GRP = 2 OR CAT = 4 "
-    "ORDER BY ID LIMIT 25",
-    "SELECT COUNT(*), SUM(V) FROM T WHERE V % 7 = 0 AND S LIKE 's%'",
-    "SELECT ID, CONCAT(S, CONCAT('x', CAT)) FROM T "
-    "WHERE S = 's3' AND V + CAT >= 40 ORDER BY ID LIMIT 15",
-    // Multi-join shapes for the cost-based optimizer (comma syntax takes
-    // the >= 3-way cost path on every shard; the heuristic/cost
-    // differential below must agree with these byte-for-byte).
-    // 4-way star with a selective dimension filter.
-    "SELECT COUNT(*), SUM(t.V), SUM(h.W) FROM T t, D d, C c, H h "
-    "WHERE t.GRP = d.GRP AND t.CAT = c.CAT AND t.ID = h.ID AND c.B = 1",
-    // Snowflake: the E outrigger is reachable only through D.
-    "SELECT e.Z, COUNT(*), SUM(t.V) FROM T t, D d, E e "
-    "WHERE t.GRP = d.GRP AND d.A = e.A AND e.Z = 1 GROUP BY e.Z ORDER BY e.Z",
-    // Cyclic join graph: the d-c edge closes a cycle over the fact.
-    "SELECT COUNT(*), SUM(t.V) FROM T t, D d, C c "
-    "WHERE t.GRP = d.GRP AND t.CAT = c.CAT AND d.A = c.B",
-    // Cross-shard Bloom semi-join: distributed fact against a filtered
-    // replicated dim ships a serialized filter in every shard request.
-    "SELECT COUNT(*), SUM(t.V) FROM T t, H h "
-    "WHERE t.ID = h.ID AND h.W <= 40",
-};
-constexpr size_t kCorpusSize = sizeof(kCorpus) / sizeof(kCorpus[0]);
+using corpus::kCorpus;
+using corpus::kCorpusSize;
+using corpus::MakeLoadedDb;
+using corpus::ResultKey;
 
 class DifferentialTest : public ::testing::Test {
  protected:
@@ -217,20 +67,19 @@ TEST_F(DifferentialTest, Dop4WithShardKillMatchesSerialBaseline) {
   for (size_t qi = 0; qi < kCorpusSize; ++qi) {
     for (int k = 0; k < num_shards; k += 3) {  // sample shards 0, 3, 6
       auto db = MakeLoadedDb(4);
-      FaultInjector::Global().Reset(7000 + k);
       FaultSpec kill;
       kill.code = StatusCode::kUnavailable;
       kill.message = "node lost";
       kill.skip_hits = static_cast<uint64_t>(k);
       kill.max_fires = 1;
-      FaultInjector::Global().Arm(kShardExec, kill);
+      // Test-scoped arming: disarms at end of iteration even on failure.
+      ScopedFault fault(7000 + k, kShardExec, kill);
       auto r = db->Execute(kCorpus[qi]);
       ASSERT_TRUE(r.ok()) << kCorpus[qi] << ": " << r.status().ToString();
       EXPECT_EQ(ResultKey(r->result), base[qi])
           << "query " << qi << " diverged after node kill at shard " << k;
       EXPECT_GE(r->exec.shard_retries, 1u);
       EXPECT_EQ(r->exec.failovers, 1u);
-      FaultInjector::Global().ResetForTest();
     }
   }
 }

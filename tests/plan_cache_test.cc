@@ -1,0 +1,256 @@
+// Plan-cache battery: normalization, hit/miss accounting across literals
+// and dialects, invalidation on DDL and statistics refresh, cross-session
+// reuse, LRU eviction, and a concurrent PREPARE/EXECUTE storm that must
+// stay deterministic while every thread fights over the same cache.
+// Labeled `serve` and swept under ASan/TSan by scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "sql/engine.h"
+#include "sql/plan_cache.h"
+
+namespace dashdb {
+namespace {
+
+TEST(NormalizeSqlTest, CollapsesWhitespaceAndUppercases) {
+  EXPECT_EQ(NormalizeSql("select  *\n\tfrom   t"), "SELECT * FROM T");
+  EXPECT_EQ(NormalizeSql("  SELECT 1  "), "SELECT 1");
+  EXPECT_EQ(NormalizeSql("select a -- trailing comment\nfrom t"),
+            NormalizeSql("SELECT A FROM T"));
+  EXPECT_EQ(NormalizeSql("select /* block\ncomment */ a from t"),
+            NormalizeSql("select a from t"));
+}
+
+TEST(NormalizeSqlTest, PreservesQuotedTextExactly) {
+  // String literals keep their case and inner whitespace; everything
+  // around them normalizes.
+  EXPECT_EQ(NormalizeSql("select 'MiXeD  CaSe' from t"),
+            "SELECT 'MiXeD  CaSe' FROM T");
+  EXPECT_NE(NormalizeSql("SELECT 'a' FROM T"), NormalizeSql("SELECT 'A' FROM T"));
+  // Doubled-quote escape stays inside the literal.
+  EXPECT_EQ(NormalizeSql("select 'it''s  odd' from t"),
+            "SELECT 'it''s  odd' FROM T");
+  // Quoted identifiers are case-sensitive too.
+  EXPECT_EQ(NormalizeSql("select \"mIxEd\"  from t"),
+            "SELECT \"mIxEd\" FROM T");
+  // A comment-looking sequence inside a literal is not a comment.
+  EXPECT_EQ(NormalizeSql("select '--not a comment' from t"),
+            "SELECT '--not a comment' FROM T");
+}
+
+TEST(NormalizeSqlTest, EquivalentSpellingsCollide) {
+  const char* same[] = {
+      "SELECT COUNT(*) FROM ITEMS WHERE V > 10",
+      "select count(*) from items where v > 10",
+      "  select\n count(*)   from items\twhere v > 10  ",
+      "select count(*) from items where v > 10 -- tail",
+  };
+  for (const char* s : same) {
+    EXPECT_EQ(NormalizeSql(s), NormalizeSql(same[0])) << s;
+  }
+  // Different literals must NOT collide: the cached plan embeds them.
+  EXPECT_NE(NormalizeSql("SELECT * FROM T WHERE V > 10"),
+            NormalizeSql("SELECT * FROM T WHERE V > 11"));
+}
+
+TEST(PlanCacheUnitTest, LruEvictsOldestAndVersionsInvalidate) {
+  PlanCache cache(2);
+  auto s1 = std::make_shared<ast::Statement>();
+  auto s2 = std::make_shared<ast::Statement>();
+  auto s3 = std::make_shared<ast::Statement>();
+  cache.Insert("SELECT 1", Dialect::kAnsi, 1, 1, s1);
+  cache.Insert("SELECT 2", Dialect::kAnsi, 1, 1, s2);
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch 1 so 2 is the LRU victim.
+  EXPECT_EQ(cache.Lookup("SELECT 1", Dialect::kAnsi, 1, 1), s1);
+  cache.Insert("SELECT 3", Dialect::kAnsi, 1, 1, s3);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup("SELECT 2", Dialect::kAnsi, 1, 1), nullptr);
+  EXPECT_EQ(cache.Lookup("SELECT 1", Dialect::kAnsi, 1, 1), s1);
+  EXPECT_EQ(cache.Lookup("SELECT 3", Dialect::kAnsi, 1, 1), s3);
+
+  // Normalized spellings share an entry; dialects do not.
+  EXPECT_EQ(cache.Lookup("select  1", Dialect::kAnsi, 1, 1), s1);
+  EXPECT_EQ(cache.Lookup("SELECT 1", Dialect::kOracle, 1, 1), nullptr);
+
+  // A version bump makes the entry stale: evicted on sight.
+  EXPECT_EQ(cache.Lookup("SELECT 1", Dialect::kAnsi, 2, 1), nullptr);
+  EXPECT_EQ(cache.Lookup("SELECT 3", Dialect::kAnsi, 1, 2), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+class PlanCacheEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>(EngineConfig{});
+    session_ = engine_->CreateSession();
+    Exec("CREATE TABLE ITEMS (ID BIGINT, V BIGINT)");
+    Exec("INSERT INTO ITEMS VALUES (1, 10), (2, 20), (3, 30), (4, 40)");
+  }
+
+  QueryResult Exec(const std::string& sql, Session* s = nullptr) {
+    auto r = engine_->Execute(s ? s : session_.get(), sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  std::unique_ptr<Engine> engine_;
+  std::shared_ptr<Session> session_;
+};
+
+TEST_F(PlanCacheEngineTest, RepeatQueriesHitAndLiteralsMiss) {
+  MetricDeltaScope metrics;
+  const std::string q = "SELECT COUNT(*) FROM ITEMS WHERE V > 15";
+  EXPECT_EQ(Exec(q).rows.columns[0].GetValue(0).AsInt(), 3);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_misses"), 1);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_hits"), 0);
+
+  // Same normalized text (case/whitespace variants) → hits.
+  EXPECT_EQ(Exec("select count(*) from items where v > 15")
+                .rows.columns[0].GetValue(0).AsInt(), 3);
+  EXPECT_EQ(Exec("SELECT  COUNT(*)  FROM ITEMS  WHERE V > 15")
+                .rows.columns[0].GetValue(0).AsInt(), 3);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_hits"), 2);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_misses"), 1);
+
+  // Different literal → different plan → miss.
+  EXPECT_EQ(Exec("SELECT COUNT(*) FROM ITEMS WHERE V > 25")
+                .rows.columns[0].GetValue(0).AsInt(), 2);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_misses"), 2);
+
+  // DML and DDL never consult the read-plan cache.
+  Exec("INSERT INTO ITEMS VALUES (5, 50)");
+  EXPECT_EQ(metrics.Delta("server.plan_cache_misses"), 2);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_hits"), 2);
+}
+
+TEST_F(PlanCacheEngineTest, DialectsAreKeyedSeparately) {
+  auto oracle = engine_->CreateSession();
+  Exec("SET SQL_DIALECT = ORACLE", oracle.get());
+  MetricDeltaScope metrics;
+  const std::string q = "SELECT COUNT(*) FROM ITEMS WHERE V > 15";
+  Exec(q);                // ANSI miss
+  Exec(q, oracle.get());  // ORACLE miss — same text, different key
+  EXPECT_EQ(metrics.Delta("server.plan_cache_misses"), 2);
+  Exec(q);                // ANSI hit
+  Exec(q, oracle.get());  // ORACLE hit
+  EXPECT_EQ(metrics.Delta("server.plan_cache_hits"), 2);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_misses"), 2);
+}
+
+TEST_F(PlanCacheEngineTest, DdlInvalidatesCachedPlans) {
+  MetricDeltaScope metrics;
+  const std::string q = "SELECT COUNT(*) FROM ITEMS";
+  Exec(q);
+  Exec(q);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_hits"), 1);
+  // Any catalog change (even an unrelated table) bumps the catalog version
+  // and strands every cached plan.
+  Exec("CREATE TABLE OTHER (X BIGINT)");
+  Exec(q);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_misses"), 2);
+  Exec(q);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_hits"), 2);
+  Exec("DROP TABLE OTHER");
+  Exec(q);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_misses"), 3);
+}
+
+TEST_F(PlanCacheEngineTest, StatsRefreshInvalidatesCachedPlans) {
+  MetricDeltaScope metrics;
+  const std::string q = "SELECT COUNT(*) FROM ITEMS WHERE V > 15";
+  Exec(q);
+  Exec(q);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_hits"), 1);
+  uint64_t before = engine_->stats_version();
+  auto r = Exec("CALL RUNSTATS()");
+  EXPECT_NE(r.message.find("statistics refreshed"), std::string::npos);
+  EXPECT_GT(engine_->stats_version(), before);
+  Exec(q);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_misses"), 2);
+  Exec(q);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_hits"), 2);
+}
+
+TEST_F(PlanCacheEngineTest, CachedPlansAreSharedAcrossSessions) {
+  MetricDeltaScope metrics;
+  const std::string q = "SELECT COUNT(*) FROM ITEMS WHERE V >= 20";
+  Exec(q);  // session 1 primes the engine-wide cache
+  auto other = engine_->CreateSession();
+  EXPECT_EQ(Exec(q, other.get()).rows.columns[0].GetValue(0).AsInt(), 3);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_hits"), 1);
+  EXPECT_EQ(metrics.Delta("server.plan_cache_misses"), 1);
+}
+
+TEST_F(PlanCacheEngineTest, ConcurrentPrepareExecuteStormIsDeterministic) {
+  Exec("INSERT INTO ITEMS VALUES (5, 50), (6, 60), (7, 70), (8, 80)");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  std::vector<std::thread> threads;
+  std::vector<std::string> errors(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto session = engine_->CreateSession();
+      // Everyone uses the same statement name — names are session-scoped,
+      // so there must be no cross-talk.
+      auto np = engine_->Prepare(session.get(), "q",
+                                 "SELECT COUNT(*) FROM ITEMS WHERE V > ?");
+      if (!np.ok() || *np != 1) {
+        errors[t] = "prepare failed";
+        return;
+      }
+      for (int i = 0; i < kIters; ++i) {
+        int64_t cutoff = (t * kIters + i) % 90;
+        auto r = engine_->ExecutePrepared(session.get(), "q",
+                                          {Value::Int64(cutoff)});
+        if (!r.ok()) {
+          errors[t] = r.status().ToString();
+          return;
+        }
+        int64_t got = r->rows.columns[0].GetValue(0).AsInt();
+        int64_t want = 0;
+        for (int64_t v : {10, 20, 30, 40, 50, 60, 70, 80}) {
+          if (v > cutoff) ++want;
+        }
+        if (got != want) {
+          errors[t] = "cutoff " + std::to_string(cutoff) + ": got " +
+                      std::to_string(got) + " want " + std::to_string(want);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(errors[t].empty()) << "thread " << t << ": " << errors[t];
+  }
+  // The shared cache stayed coherent: the storm's statement text is cached
+  // engine-wide, so a fresh session re-preparing it parses from the cache
+  // and still answers correctly.
+  auto fresh = engine_->CreateSession();
+  auto np = engine_->Prepare(fresh.get(), "q2",
+                             "SELECT COUNT(*) FROM ITEMS WHERE V > ?");
+  ASSERT_TRUE(np.ok());
+  auto r = engine_->ExecutePrepared(fresh.get(), "q2", {Value::Int64(45)});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.columns[0].GetValue(0).AsInt(), 4);
+}
+
+TEST_F(PlanCacheEngineTest, DirectCacheCountersMatchMetrics) {
+  PlanCache& cache = engine_->plan_cache();
+  uint64_t h0 = cache.hits(), m0 = cache.misses();
+  const std::string q = "SELECT ID FROM ITEMS ORDER BY ID";
+  Exec(q);
+  Exec(q);
+  Exec(q);
+  EXPECT_EQ(cache.misses() - m0, 1u);
+  EXPECT_EQ(cache.hits() - h0, 2u);
+}
+
+}  // namespace
+}  // namespace dashdb

@@ -1,0 +1,318 @@
+// Concurrent multi-session serving: N sessions x M statements against ONE
+// engine must behave exactly like each session's statement stream run
+// serially — concurrency is a throughput lever, never a semantic one.
+// Covers the in-process session API and the wire server, metric/admission
+// counter consistency (via MetricDeltaScope — no global resets, so the
+// assertions stay valid with other sessions in flight), and concurrent
+// DDL. Labeled `serve`; runs under the ASan/TSan sweeps in
+// scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+namespace {
+
+constexpr int kSessions = 8;
+constexpr int kRounds = 10;
+
+/// Canonical per-statement outcome: columns, rows, affected count, message
+/// — everything a client can observe.
+std::string StatementKey(const QueryResult& r) {
+  std::ostringstream os;
+  for (const auto& c : r.columns) os << c.name << '|';
+  os << '\n';
+  for (size_t i = 0; i < r.rows.num_rows(); ++i) {
+    for (size_t c = 0; c < r.rows.columns.size(); ++c) {
+      os << r.rows.columns[c].GetValue(i).ToString() << '|';
+    }
+    os << '\n';
+  }
+  os << "affected=" << r.affected_rows << " msg=" << r.message;
+  return os.str();
+}
+
+/// Shared read-only table; sessions never mutate it concurrently (column
+/// scans are thread-compatible, not thread-safe vs mutation).
+void SeedItems(Engine* engine) {
+  TableSchema schema("PUBLIC", "ITEMS",
+                     {{"ID", TypeId::kInt64, false, 0, false},
+                      {"GRP", TypeId::kInt64, true, 0, false},
+                      {"V", TypeId::kInt64, true, 0, false},
+                      {"S", TypeId::kVarchar, true, 0, false}});
+  auto t = engine->CreateColumnTable(schema);
+  ASSERT_TRUE(t.ok());
+  RowBatch rows;
+  for (int c = 0; c < 3; ++c) rows.columns.emplace_back(TypeId::kInt64);
+  rows.columns.emplace_back(TypeId::kVarchar);
+  for (int i = 0; i < 500; ++i) {
+    rows.columns[0].AppendInt(i);
+    rows.columns[1].AppendInt(i % 7);
+    rows.columns[2].AppendInt(i * 31 % 101);
+    rows.columns[3].AppendString("s" + std::to_string(i % 11));
+  }
+  ASSERT_TRUE(t.value()->Append(rows).ok());
+}
+
+std::unique_ptr<Engine> MakeEngine(int dop = 2) {
+  EngineConfig cfg;
+  cfg.query_parallelism = dop;
+  auto engine = std::make_unique<Engine>(cfg);
+  SeedItems(engine.get());
+  return engine;
+}
+
+/// Session `sid`'s deterministic statement stream: private-table DML
+/// interleaved with shared-table reads. Private tables are per-session, so
+/// concurrent streams never mutate the same storage.
+std::vector<std::string> SessionScript(int sid) {
+  std::vector<std::string> out;
+  const std::string pt = "P" + std::to_string(sid);
+  out.push_back("CREATE TABLE " + pt + " (K BIGINT, V BIGINT)");
+  for (int j = 0; j < kRounds; ++j) {
+    out.push_back("INSERT INTO " + pt + " VALUES (" + std::to_string(j) +
+                  ", " + std::to_string((sid + 1) * (j + 3)) + ")");
+    out.push_back("SELECT COUNT(*), SUM(V), MIN(V), MAX(V) FROM " + pt);
+    out.push_back("SELECT GRP, COUNT(*), SUM(V) FROM ITEMS WHERE V > " +
+                  std::to_string((j * 7 + sid) % 60) +
+                  " GROUP BY GRP ORDER BY GRP");
+    if (j % 3 == 2) {
+      out.push_back("UPDATE " + pt + " SET V = V + 1 WHERE K = " +
+                    std::to_string(j - 1));
+      out.push_back("SELECT K, V FROM " + pt + " ORDER BY K");
+    }
+  }
+  out.push_back("DROP TABLE " + pt);
+  return out;
+}
+
+/// Ground truth: every session's stream, run serially on an identically
+/// seeded engine. (Out-param so ASSERT can bail.)
+void SerialBaseline(std::vector<std::vector<std::string>>* keys) {
+  auto engine = MakeEngine();
+  keys->assign(kSessions, {});
+  for (int sid = 0; sid < kSessions; ++sid) {
+    auto session = engine->CreateSession();
+    for (const auto& sql : SessionScript(sid)) {
+      auto r = engine->Execute(session.get(), sql);
+      ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+      (*keys)[sid].push_back(StatementKey(*r));
+    }
+  }
+}
+
+TEST(ServingTest, InProcessConcurrentSessionsMatchSerial) {
+  std::vector<std::vector<std::string>> expected;
+  SerialBaseline(&expected);
+
+  auto engine = MakeEngine();
+  std::vector<std::vector<std::string>> got(kSessions);
+  std::vector<std::string> errors(kSessions);
+  std::vector<std::thread> threads;
+  for (int sid = 0; sid < kSessions; ++sid) {
+    threads.emplace_back([&, sid] {
+      auto session = engine->CreateSession();
+      for (const auto& sql : SessionScript(sid)) {
+        auto r = engine->Execute(session.get(), sql);
+        if (!r.ok()) {
+          errors[sid] = sql + ": " + r.status().ToString();
+          return;
+        }
+        got[sid].push_back(StatementKey(*r));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int sid = 0; sid < kSessions; ++sid) {
+    ASSERT_TRUE(errors[sid].empty()) << "session " << sid << ": "
+                                     << errors[sid];
+    ASSERT_EQ(got[sid].size(), expected[sid].size()) << "session " << sid;
+    for (size_t i = 0; i < got[sid].size(); ++i) {
+      EXPECT_EQ(got[sid][i], expected[sid][i])
+          << "session " << sid << " statement " << i << " diverged";
+    }
+  }
+}
+
+TEST(ServingTest, WireSessionsMatchSerialAndCountersConsistent) {
+  std::vector<std::vector<std::string>> expected;
+  SerialBaseline(&expected);
+
+  auto engine = MakeEngine();
+  EngineBackend backend(engine.get());
+  ServerConfig cfg;
+  cfg.worker_threads = 4;
+  Server server(&backend, cfg);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Snapshot-delta, not reset: a reset would corrupt any other session's
+  // counters; deltas make the assertions composable.
+  MetricDeltaScope metrics;
+
+  std::vector<std::vector<std::string>> got(kSessions);
+  std::vector<std::string> errors(kSessions);
+  std::vector<std::thread> threads;
+  for (int sid = 0; sid < kSessions; ++sid) {
+    threads.emplace_back([&, sid] {
+      WireClient client;
+      Status st = client.Connect(server.port());
+      if (!st.ok()) {
+        errors[sid] = "connect: " + st.ToString();
+        return;
+      }
+      for (const auto& sql : SessionScript(sid)) {
+        auto r = client.Query(sql);
+        if (!r.ok()) {
+          errors[sid] = sql + ": " + r.status().ToString();
+          return;
+        }
+        got[sid].push_back(StatementKey(*r));
+      }
+      client.Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int sid = 0; sid < kSessions; ++sid) {
+    ASSERT_TRUE(errors[sid].empty()) << "session " << sid << ": "
+                                     << errors[sid];
+    ASSERT_EQ(got[sid].size(), expected[sid].size()) << "session " << sid;
+    for (size_t i = 0; i < got[sid].size(); ++i) {
+      EXPECT_EQ(got[sid][i], expected[sid][i])
+          << "session " << sid << " wire statement " << i << " diverged";
+    }
+  }
+
+  // Counter consistency across the storm.
+  int64_t stmts_per_session = 0;
+  int64_t selects_per_session = 0;
+  for (const auto& sql : SessionScript(0)) {
+    ++stmts_per_session;
+    if (sql.rfind("SELECT", 0) == 0) ++selects_per_session;
+  }
+  EXPECT_EQ(metrics.Delta("server.connections_accepted"), kSessions);
+  EXPECT_EQ(metrics.Delta("server.queries"),
+            kSessions * stmts_per_session);
+  // Every SELECT admits exactly once (slots are generous: nothing shed).
+  EXPECT_EQ(metrics.Delta("exec.admission_admitted"),
+            kSessions * selects_per_session);
+  EXPECT_EQ(metrics.Delta("exec.admission_shed"), 0);
+  EXPECT_EQ(engine->admission().queued(), 0);
+  EXPECT_EQ(engine->admission().running(QueryClass::kCheap), 0);
+  EXPECT_EQ(engine->admission().running(QueryClass::kExpensive), 0);
+
+  server.Stop();
+}
+
+TEST(ServingTest, TinyAdmissionPoolsStayConsistentUnderStorm) {
+  EngineConfig cfg;
+  cfg.query_parallelism = 1;
+  cfg.admission.cheap_slots = 1;
+  cfg.admission.expensive_slots = 1;
+  cfg.admission.max_queued = 2;
+  cfg.admission.queue_timeout_seconds = 0.05;
+  Engine engine(cfg);
+  SeedItems(&engine);
+
+  MetricDeltaScope metrics;
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 20;
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> ok_count{0}, shed_count{0};
+  std::atomic<int> bad_errors{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto session = engine.CreateSession();
+      for (int i = 0; i < kPerThread; ++i) {
+        auto r = engine.Execute(session.get(),
+                                "SELECT GRP, COUNT(*) FROM ITEMS "
+                                "GROUP BY GRP ORDER BY GRP");
+        if (r.ok()) {
+          ++ok_count;
+        } else if (r.status().IsResourceExhausted()) {
+          ++shed_count;  // queue full or queue timeout: the only legal error
+        } else {
+          ++bad_errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bad_errors.load(), 0);
+  EXPECT_EQ(ok_count.load() + shed_count.load(), kThreads * kPerThread);
+  // Ledger closes: every attempt was either admitted or shed, and nothing
+  // is left running or queued.
+  EXPECT_EQ(metrics.Delta("exec.admission_admitted"), ok_count.load());
+  EXPECT_EQ(metrics.Delta("exec.admission_shed"), shed_count.load());
+  EXPECT_EQ(engine.admission().queued(), 0);
+  EXPECT_EQ(engine.admission().running(QueryClass::kCheap), 0);
+  EXPECT_EQ(engine.admission().running(QueryClass::kExpensive), 0);
+  // The engine still serves after the storm.
+  auto session = engine.CreateSession();
+  auto r = engine.Execute(session.get(), "SELECT COUNT(*) FROM ITEMS");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.columns[0].GetValue(0).AsInt(), 500);
+}
+
+TEST(ServingTest, ConcurrentDdlAndQueriesDoNotInterfere) {
+  auto engine = MakeEngine();
+  EngineBackend backend(engine.get());
+  Server server(&backend);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> ddl_errors{0}, query_errors{0};
+  // Churners: create/fill/drop private tables in a loop (each churn bumps
+  // the catalog version, invalidating cached plans mid-storm).
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      WireClient c;
+      if (!c.Connect(server.port()).ok()) {
+        ++ddl_errors;
+        return;
+      }
+      const std::string name = "CHURN" + std::to_string(t);
+      for (int i = 0; i < 15; ++i) {
+        bool ok = c.Query("CREATE TABLE " + name + " (X BIGINT)").ok() &&
+                  c.Query("INSERT INTO " + name + " VALUES (1), (2)").ok() &&
+                  c.Query("DROP TABLE " + name).ok();
+        if (!ok) ++ddl_errors;
+      }
+    });
+  }
+  // Readers: shared-table aggregates must stay correct throughout.
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      WireClient c;
+      if (!c.Connect(server.port()).ok()) {
+        ++query_errors;
+        return;
+      }
+      while (!stop.load()) {
+        auto r = c.Query("SELECT COUNT(*), SUM(V) FROM ITEMS");
+        if (!r.ok() || r->rows.columns[0].GetValue(0).AsInt() != 500) {
+          ++query_errors;
+        }
+      }
+    });
+  }
+  threads[0].join();
+  threads[1].join();
+  stop.store(true);
+  for (size_t i = 2; i < threads.size(); ++i) threads[i].join();
+  EXPECT_EQ(ddl_errors.load(), 0);
+  EXPECT_EQ(query_errors.load(), 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace dashdb

@@ -1,0 +1,458 @@
+// Wire-protocol conformance and hostile-input battery: the server must
+// speak the framed protocol exactly (handshake, typed errors, prepared
+// statements, out-of-band CANCEL) and must survive everything a broken or
+// malicious client can throw at it — truncated frames, oversized lengths,
+// garbage handshakes, mid-query disconnects, seeded frame fuzz — without
+// crashing, leaking admission slots, or wedging other sessions. Runs under
+// the ASan/TSan sweeps (label `serve`), so "survive" means sanitizer-clean.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sql/engine.h"
+
+namespace dashdb {
+namespace {
+
+/// Raw TCP connection that speaks bytes, not frames — for sending exactly
+/// the malformed input a WireClient never would.
+class RawConn {
+ public:
+  ~RawConn() { Close(); }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    timeval tv{2, 0};
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    int one = 1;
+    setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+
+  bool Send(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads until the server closes the connection (or the 2s receive
+  /// timeout); returns everything received.
+  std::string DrainUntilClose() {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Loads an ID/GRP/V table big enough that a self-join takes real time —
+/// the raw material for cancellation and disconnect tests.
+void SeedBig(Engine* engine, const std::string& name, int64_t n) {
+  TableSchema schema("PUBLIC", name,
+                     {{"ID", TypeId::kInt64, false, 0, false},
+                      {"GRP", TypeId::kInt64, true, 0, false},
+                      {"V", TypeId::kInt64, true, 0, false}});
+  auto t = engine->CreateColumnTable(schema);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  RowBatch rows;
+  for (int c = 0; c < 3; ++c) rows.columns.emplace_back(TypeId::kInt64);
+  for (int64_t i = 0; i < n; ++i) {
+    rows.columns[0].AppendInt(i);
+    rows.columns[1].AppendInt(i % 97);
+    rows.columns[2].AppendInt(i * 31 % 101);
+  }
+  ASSERT_TRUE(t.value()->Append(rows).ok());
+}
+
+constexpr const char* kSlowJoin =
+    "SELECT COUNT(*) FROM BIG A, BIG B WHERE A.ID = B.ID";
+
+std::string U32Le(uint32_t v) {
+  std::string s(4, '\0');
+  s[0] = static_cast<char>(v & 0xff);
+  s[1] = static_cast<char>((v >> 8) & 0xff);
+  s[2] = static_cast<char>((v >> 16) & 0xff);
+  s[3] = static_cast<char>((v >> 24) & 0xff);
+  return s;
+}
+
+class WireProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineConfig cfg;
+    cfg.query_parallelism = 2;
+    engine_ = std::make_unique<Engine>(cfg);
+    auto session = engine_->CreateSession();
+    ASSERT_TRUE(
+        engine_->Execute(session.get(), "CREATE TABLE ITEMS (ID BIGINT, V BIGINT)")
+            .ok());
+    for (int i = 0; i < 40; i += 8) {
+      std::string sql = "INSERT INTO ITEMS VALUES";
+      for (int j = i; j < i + 8; ++j) {
+        sql += (j == i ? " (" : ", (") + std::to_string(j) + ", " +
+               std::to_string(j * 31 % 101) + ")";
+      }
+      ASSERT_TRUE(engine_->Execute(session.get(), sql).ok());
+    }
+    backend_ = std::make_unique<EngineBackend>(engine_.get());
+    server_ = std::make_unique<Server>(backend_.get());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  /// The ultimate liveness check after every hostile interaction: a fresh,
+  /// well-behaved client still gets correct answers.
+  void ExpectServerStillServes() {
+    WireClient c;
+    ASSERT_TRUE(c.Connect(server_->port()).ok());
+    auto r = c.Query("SELECT COUNT(*) FROM ITEMS");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->rows.columns[0].GetValue(0).AsInt(), 40);
+  }
+
+  std::unique_ptr<Engine> engine_;
+  std::unique_ptr<EngineBackend> backend_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(WireProtocolTest, HandshakeNegotiatesDialect) {
+  WireClient ansi;
+  EXPECT_TRUE(ansi.Connect(server_->port(), "ANSI").ok());
+  WireClient oracle;
+  EXPECT_TRUE(oracle.Connect(server_->port(), "ORACLE").ok());
+  // Oracle dialect is actually in force on the session: empty string is
+  // NULL under Oracle semantics, a plain literal elsewhere.
+  auto r = oracle.Query("SELECT COUNT(*) FROM ITEMS WHERE '' IS NULL");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.columns[0].GetValue(0).AsInt(), 40);
+  auto r2 = ansi.Query("SELECT COUNT(*) FROM ITEMS WHERE '' IS NULL");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(r2->rows.columns[0].GetValue(0).AsInt(), 0);
+}
+
+TEST_F(WireProtocolTest, BadDialectAndBadVersionAreTypedErrors) {
+  WireClient c;
+  Status st = c.Connect(server_->port(), "KLINGON");
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(c.connected());
+
+  // Wrong protocol version, hand-rolled (WireClient always sends the right
+  // one): HELLO with version 99.
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  wire::Writer w;
+  w.U8(wire::kHello);
+  w.U8(99);
+  w.Str("ANSI");
+  ASSERT_TRUE(raw.Send(wire::Frame(w.payload())));
+  std::string reply = raw.DrainUntilClose();
+  // 4-byte length, then payload starting with the ERROR tag.
+  ASSERT_GE(reply.size(), size_t{5});
+  EXPECT_EQ(static_cast<uint8_t>(reply[4]), wire::kError);
+  ExpectServerStillServes();
+}
+
+TEST_F(WireProtocolTest, SqlErrorsAreTypedAndConnectionSurvives) {
+  WireClient c;
+  ASSERT_TRUE(c.Connect(server_->port()).ok());
+  auto parse = c.Query("SELEC COUNT(*) FROM ITEMS");
+  ASSERT_FALSE(parse.ok());
+  EXPECT_EQ(parse.status().code(), StatusCode::kParseError)
+      << parse.status().ToString();
+  auto missing = c.Query("SELECT COUNT(*) FROM NO_SUCH_TABLE");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound)
+      << missing.status().ToString();
+  // Same connection, unharmed.
+  auto r = c.Query("SELECT COUNT(*) FROM ITEMS");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.columns[0].GetValue(0).AsInt(), 40);
+}
+
+TEST_F(WireProtocolTest, PrepareExecuteRoundTrip) {
+  WireClient c;
+  ASSERT_TRUE(c.Connect(server_->port()).ok());
+  auto nparams = c.Prepare("byv", "SELECT COUNT(*) FROM ITEMS WHERE V > ?");
+  ASSERT_TRUE(nparams.ok()) << nparams.status().ToString();
+  EXPECT_EQ(*nparams, 1);
+
+  auto all = c.ExecutePrepared("byv", {Value::Int64(-1)});
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->rows.columns[0].GetValue(0).AsInt(), 40);
+  auto none = c.ExecutePrepared("byv", {Value::Int64(1000)});
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->rows.columns[0].GetValue(0).AsInt(), 0);
+
+  // Arity violations and unknown names are typed errors, not hangs.
+  auto zero = c.ExecutePrepared("byv", {});
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kSemanticError);
+  auto two = c.ExecutePrepared("byv", {Value::Int64(1), Value::Int64(2)});
+  ASSERT_FALSE(two.ok());
+  EXPECT_EQ(two.status().code(), StatusCode::kSemanticError);
+  auto unknown = c.ExecutePrepared("nope", {});
+  EXPECT_FALSE(unknown.ok());
+
+  // The statement survives its own errors.
+  auto again = c.ExecutePrepared("byv", {Value::Int64(50)});
+  ASSERT_TRUE(again.ok());
+}
+
+TEST_F(WireProtocolTest, DoubleCancelWithNoQueryIsHarmless) {
+  WireClient c;
+  ASSERT_TRUE(c.Connect(server_->port()).ok());
+  ASSERT_TRUE(c.SendCancel().ok());
+  ASSERT_TRUE(c.SendCancel().ok());
+  auto r = c.Query("SELECT COUNT(*) FROM ITEMS");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.columns[0].GetValue(0).AsInt(), 40);
+}
+
+TEST_F(WireProtocolTest, CancelAbortsInFlightQuery) {
+  SeedBig(engine_.get(), "BIG", 1000000);
+  WireClient c;
+  ASSERT_TRUE(c.Connect(server_->port()).ok());
+  std::atomic<bool> done{false};
+  // CANCEL races the query start, so fire repeatedly until the query ends;
+  // redundant CANCELs double as an idempotence check.
+  std::thread canceller([&] {
+    while (!done.load()) {
+      (void)c.SendCancel();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  auto r = c.Query(kSlowJoin);
+  done.store(true);
+  canceller.join();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+      << r.status().ToString();
+  // Connection and server both survive the abort.
+  auto ok = c.Query("SELECT COUNT(*) FROM BIG");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->rows.columns[0].GetValue(0).AsInt(), 1000000);
+}
+
+TEST(WireProtocolAdmissionTest, MidQueryDisconnectFreesAdmissionSlot) {
+  // One expensive slot in the whole engine: if the vanished client's slot
+  // leaked, the follow-up query could never run.
+  EngineConfig cfg;
+  cfg.query_parallelism = 1;
+  cfg.admission.cheap_slots = 1;
+  cfg.admission.expensive_slots = 1;
+  cfg.admission.expensive_est_rows = 0;  // every SELECT is expensive
+  cfg.admission.max_queued = 4;
+  cfg.admission.queue_timeout_seconds = 20.0;
+  Engine engine(cfg);
+  SeedBig(&engine, "BIG", 1000000);
+  EngineBackend backend(&engine);
+  Server server(&backend);
+  ASSERT_TRUE(server.Start().ok());
+
+  WireClient victim;
+  ASSERT_TRUE(victim.Connect(server.port()).ok());
+  std::atomic<bool> victim_done{false};
+  std::thread runner([&] {
+    // Blocks in recv until the abort tears the connection down under it.
+    auto r = victim.Query(kSlowJoin);
+    EXPECT_FALSE(r.ok());
+    victim_done.store(true);
+  });
+  // Wait until the victim actually holds the expensive slot.
+  for (int i = 0; i < 2000 && engine.admission().running(QueryClass::kExpensive) == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(engine.admission().running(QueryClass::kExpensive), 1);
+
+  victim.Abort();  // vanish mid-query, no BYE
+
+  // The slot must come back: a second client's query — carrying a plan
+  // estimate, so itself expensive-class under the 0-row threshold — can
+  // only run once the vanished client's ticket is released.
+  WireClient next;
+  ASSERT_TRUE(next.Connect(server.port()).ok());
+  auto r = next.Query("SELECT COUNT(*), SUM(V) FROM BIG WHERE V >= 0");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.columns[0].GetValue(0).AsInt(), 1000000);
+
+  runner.join();
+  EXPECT_TRUE(victim_done.load());
+  // The client sees EOF the instant the socket dies, but the server-side
+  // statement drains asynchronously — wait for the ticket to come home.
+  for (int i = 0; i < 2000 && engine.admission().running(QueryClass::kExpensive) != 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(engine.admission().running(QueryClass::kExpensive), 0);
+  EXPECT_EQ(engine.admission().queued(), 0);
+  server.Stop();
+}
+
+TEST_F(WireProtocolTest, TruncatedFrameThenDisconnectIsHarmless) {
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  // Claim 100 bytes, deliver 10, vanish.
+  ASSERT_TRUE(raw.Send(U32Le(100) + std::string(10, 'x')));
+  raw.Close();
+  ExpectServerStillServes();
+}
+
+TEST_F(WireProtocolTest, OversizedFrameLengthIsRejected) {
+  MetricDeltaScope metrics;
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  ASSERT_TRUE(raw.Send(U32Le(0x7fffffffu)));
+  std::string reply = raw.DrainUntilClose();  // error frame, then close
+  ASSERT_GE(reply.size(), size_t{5});
+  EXPECT_EQ(static_cast<uint8_t>(reply[4]), wire::kError);
+  EXPECT_GE(metrics.Delta("server.protocol_errors"), 1);
+  ExpectServerStillServes();
+}
+
+TEST_F(WireProtocolTest, ZeroLengthFrameIsRejected) {
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  ASSERT_TRUE(raw.Send(U32Le(0)));
+  std::string reply = raw.DrainUntilClose();
+  ASSERT_GE(reply.size(), size_t{5});
+  EXPECT_EQ(static_cast<uint8_t>(reply[4]), wire::kError);
+  ExpectServerStillServes();
+}
+
+TEST_F(WireProtocolTest, GarbageHandshakeIsRejected) {
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  ASSERT_TRUE(raw.Send(wire::Frame("\x37 utter garbage, not a hello")));
+  std::string reply = raw.DrainUntilClose();
+  ASSERT_GE(reply.size(), size_t{5});
+  EXPECT_EQ(static_cast<uint8_t>(reply[4]), wire::kError);
+  ExpectServerStillServes();
+}
+
+TEST_F(WireProtocolTest, QueryBeforeHelloIsRejected) {
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  wire::Writer w;
+  w.U8(wire::kQuery);
+  w.Str("SELECT COUNT(*) FROM ITEMS");
+  ASSERT_TRUE(raw.Send(wire::Frame(w.payload())));
+  std::string reply = raw.DrainUntilClose();
+  ASSERT_GE(reply.size(), size_t{5});
+  EXPECT_EQ(static_cast<uint8_t>(reply[4]), wire::kError);
+  ExpectServerStillServes();
+}
+
+TEST_F(WireProtocolTest, TruncatedHelloPayloadIsRejected) {
+  RawConn raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  // HELLO whose declared string length runs past the frame end.
+  wire::Writer w;
+  w.U8(wire::kHello);
+  w.U8(wire::kProtocolVersion);
+  w.U32(1000);  // string length with no bytes behind it
+  ASSERT_TRUE(raw.Send(wire::Frame(w.payload())));
+  std::string reply = raw.DrainUntilClose();
+  ASSERT_GE(reply.size(), size_t{5});
+  EXPECT_EQ(static_cast<uint8_t>(reply[4]), wire::kError);
+  ExpectServerStillServes();
+}
+
+TEST_F(WireProtocolTest, SeededFrameFuzzNeverCrashesServer) {
+  // Deterministic fuzz: 200 connections each hurl a few random "frames" —
+  // random lengths (occasionally huge or zero), random payload bytes,
+  // sometimes truncated mid-frame, sometimes after a valid HELLO. The only
+  // acceptable outcomes are a typed error or a dropped connection; the
+  // server must stay up and sanitizer-clean throughout.
+  std::mt19937 rng(0xda5bdb01u);
+  for (int iter = 0; iter < 200; ++iter) {
+    RawConn raw;
+    ASSERT_TRUE(raw.Connect(server_->port())) << "iteration " << iter;
+    if (iter % 3 == 0) {
+      // Valid handshake first, so fuzz also exercises post-HELLO dispatch.
+      wire::Writer hello;
+      hello.U8(wire::kHello);
+      hello.U8(wire::kProtocolVersion);
+      hello.Str("ANSI");
+      raw.Send(wire::Frame(hello.payload()));
+    }
+    int nframes = 1 + static_cast<int>(rng() % 3);
+    for (int f = 0; f < nframes; ++f) {
+      uint32_t r = rng();
+      uint32_t len;
+      if (r % 7 == 0) {
+        len = 0;
+      } else if (r % 7 == 1) {
+        len = 0x10000000u + (rng() % 0x1000u);  // far past max_frame
+      } else {
+        len = 1 + (rng() % 64);
+      }
+      std::string payload;
+      uint32_t body = std::min<uint32_t>(len, 64);
+      if (r % 5 == 0 && body > 0) body = rng() % body;  // truncate
+      for (uint32_t i = 0; i < body; ++i) {
+        payload.push_back(static_cast<char>(rng() & 0xff));
+      }
+      if (!raw.Send(U32Le(len) + payload)) break;  // server already hung up
+    }
+    // Alternate between reading the server's reaction and slamming the
+    // connection shut immediately.
+    if (iter % 2 == 0) raw.DrainUntilClose();
+    raw.Close();
+  }
+  ExpectServerStillServes();
+}
+
+TEST_F(WireProtocolTest, ByeClosesCleanlyAndServerStaysUp) {
+  MetricDeltaScope metrics;
+  for (int i = 0; i < 5; ++i) {
+    WireClient c;
+    ASSERT_TRUE(c.Connect(server_->port()).ok());
+    ASSERT_TRUE(c.Query("SELECT COUNT(*) FROM ITEMS").ok());
+    c.Close();
+  }
+  ExpectServerStillServes();
+  EXPECT_EQ(metrics.Delta("server.connections_accepted"), 6);  // 5 + liveness
+}
+
+}  // namespace
+}  // namespace dashdb
