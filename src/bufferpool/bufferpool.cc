@@ -69,7 +69,8 @@ void BufferPool::RemoveFrameLocked(
   frames_.erase(it);
 }
 
-bool BufferPool::Access(const PageId& id, size_t bytes) {
+bool BufferPool::Access(const PageId& id, size_t bytes,
+                        bool sequential_scan) {
   if (!FaultInjector::Global().Evaluate(kFaultPageDrop).ok()) {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = frames_.find(id);
@@ -116,8 +117,17 @@ bool BufferPool::Access(const PageId& id, size_t bytes) {
   f.weight = 0.25;
   f.ref = true;
   if (policy_ == ReplacementPolicy::kLru) {
-    lru_.push_front(id);
-    f.lru_pos = lru_.begin();
+    // Scan resistance: sequential-scan misses take probationary cold-end
+    // admission (the LRU analogue of the kRandomWeight 0.25 weight), so a
+    // full table scan churns at the eviction end and never flushes the hot
+    // set. The page is promoted normally on its next hit.
+    if (sequential_scan) {
+      lru_.push_back(id);
+      f.lru_pos = std::prev(lru_.end());
+    } else {
+      lru_.push_front(id);
+      f.lru_pos = lru_.begin();
+    }
   } else {
     resident_pos_[id] = resident_.size();
     resident_.push_back(id);

@@ -77,7 +77,16 @@ class BufferPool {
   /// fits. Thread-safe. When the `bufferpool.page_drop` fault point fires,
   /// a resident frame is discarded first, so the access degrades to a miss
   /// and the page is re-read — the recovery path a lost frame takes.
-  bool Access(const PageId& id, size_t bytes);
+  ///
+  /// `sequential_scan` tags accesses from table scans. Under kLru it
+  /// routes the page through cold-end (probationary) admission: a scan
+  /// miss inserts at the eviction end instead of the front, so a one-pass
+  /// scan of a big table victimizes only its own pages and the hot working
+  /// set survives; a scan HIT still promotes (a re-touched page has earned
+  /// residency — exactly how a repeatedly-scanned small table climbs out
+  /// of probation). kClock/kRandomWeight already admit probationally, so
+  /// the tag is a no-op there.
+  bool Access(const PageId& id, size_t bytes, bool sequential_scan = false);
 
   /// Drops a table's pages (DROP/TRUNCATE paths).
   void EvictTable(uint64_t table_id);

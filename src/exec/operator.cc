@@ -18,6 +18,7 @@
 #include "common/metrics.h"
 #include "common/threadpool.h"
 #include "exec/join_order.h"
+#include "exec/shared_scan.h"
 
 namespace dashdb {
 
@@ -446,7 +447,24 @@ Status ParallelColumnScanOp::RunMorsels() {
   Status first_error;
   std::mutex err_mu;
   std::atomic<uint64_t> dropped_total{0};
-  auto scan_unit = [&](size_t p) {
+  // Cooperative shared scan: attach to the engine's circular page clock
+  // for this (table, column-set) and start at its current position. Unit i
+  // maps to page (start + i) % n_units, so concurrent scans of the same
+  // table cluster on the same (buffer-resident) pages while the per-page
+  // result slots keep emission in exact page order regardless.
+  SharedScanTicket share_ticket;
+  size_t start = 0;
+  if (opts_.shared_scan && opts_.share != nullptr) {
+    std::vector<int> pred_cols;
+    for (const auto& p : preds_) pred_cols.push_back(p.column);
+    share_ticket = opts_.share->Attach(
+        table_->table_id(), ScanColumnSetSignature(projection_, pred_cols),
+        n_units);
+    start = share_ticket.start();
+  }
+  auto scan_unit = [&](size_t unit) {
+    const size_t p = (start + unit) % n_units;
+    if (share_ticket.valid()) share_ticket.NotePage(p);
     // Governor probe at morsel granularity: a cancel/timeout stops every
     // worker before its next page, and the first failing status surfaces
     // through first_error just like a storage fault.

@@ -1,0 +1,124 @@
+#include "exec/shared_scan.h"
+
+#include "common/metrics.h"
+
+namespace dashdb {
+
+namespace {
+
+struct ShareInstruments {
+  Counter* attaches;
+  Counter* misses;
+  Counter* pages_shared;
+};
+
+ShareInstruments& GlobalShareInstruments() {
+  auto& reg = MetricRegistry::Global();
+  static ShareInstruments in{
+      reg.GetCounter("exec.shared_scan_attaches"),
+      reg.GetCounter("exec.shared_scan_misses"),
+      reg.GetCounter("exec.shared_scan_pages_shared"),
+  };
+  return in;
+}
+
+}  // namespace
+
+struct SharedScanTicket::Group {
+  std::atomic<size_t> clock{0};  ///< last page position published
+  std::atomic<int> active{0};    ///< consumers currently attached
+  size_t num_pages = 0;          ///< page units at last attach
+};
+
+SharedScanTicket& SharedScanTicket::operator=(SharedScanTicket&& o) noexcept {
+  if (this != &o) {
+    if (mgr_ != nullptr) mgr_->Detach(this);
+    mgr_ = o.mgr_;
+    group_ = std::move(o.group_);
+    start_ = o.start_;
+    joined_inflight_ = o.joined_inflight_;
+    o.mgr_ = nullptr;
+    o.group_.reset();
+  }
+  return *this;
+}
+
+SharedScanTicket::~SharedScanTicket() {
+  if (mgr_ != nullptr) mgr_->Detach(this);
+}
+
+void SharedScanTicket::NotePage(size_t page) {
+  if (!group_) return;
+  group_->clock.store(page, std::memory_order_relaxed);
+  if (group_->active.load(std::memory_order_relaxed) > 1) {
+    mgr_->CountSharedPage();
+    GlobalShareInstruments().pages_shared->Add(1);
+  }
+}
+
+SharedScanTicket ScanShareManager::Attach(uint64_t table_id, uint64_t colset,
+                                          size_t num_pages) {
+  SharedScanTicket t;
+  if (num_pages == 0) return t;
+  Key key{table_id, colset};
+  std::shared_ptr<SharedScanTicket::Group> group;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Groups persist across quiet periods so a follow-up scan resumes at
+    // the buffer-resident region; bound the map so dropped tables don't
+    // accumulate forever (idle groups are tiny, so the bound is generous).
+    if (groups_.size() > 4096) {
+      for (auto it = groups_.begin(); it != groups_.end();) {
+        it = it->second->active.load(std::memory_order_relaxed) == 0
+                 ? groups_.erase(it)
+                 : std::next(it);
+      }
+    }
+    auto [it, inserted] = groups_.try_emplace(key);
+    if (inserted) it->second = std::make_shared<SharedScanTicket::Group>();
+    group = it->second;
+    if (group->num_pages != num_pages) {
+      // Table grew or shrank since the clock was last published: restart
+      // the clock inside the new page range.
+      group->num_pages = num_pages;
+      group->clock.store(0, std::memory_order_relaxed);
+    }
+    t.joined_inflight_ =
+        group->active.fetch_add(1, std::memory_order_acq_rel) > 0;
+  }
+  t.mgr_ = this;
+  t.group_ = std::move(group);
+  t.start_ = t.group_->clock.load(std::memory_order_relaxed) % num_pages;
+  active_.fetch_add(1, std::memory_order_relaxed);
+  if (t.joined_inflight_) {
+    attaches_.fetch_add(1, std::memory_order_relaxed);
+    GlobalShareInstruments().attaches->Add(1);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    GlobalShareInstruments().misses->Add(1);
+  }
+  return t;
+}
+
+void ScanShareManager::Detach(SharedScanTicket* t) {
+  if (t->group_) {
+    t->group_->active.fetch_sub(1, std::memory_order_acq_rel);
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  t->mgr_ = nullptr;
+  t->group_.reset();
+}
+
+uint64_t ScanColumnSetSignature(const std::vector<int>& projection,
+                                const std::vector<int>& predicate_cols) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  };
+  for (int c : projection) mix(static_cast<uint64_t>(c) + 1);
+  mix(0xFFFFFFFFull);  // separator: projection vs predicate columns
+  for (int c : predicate_cols) mix(static_cast<uint64_t>(c) + 1);
+  return h;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,124 @@
+// Cooperative shared scans (DESIGN.md "Shared work under concurrency").
+//
+// The paper's scan-friendly buffer caching (II.B.5) taken to its logical
+// end: when many queries scan the same table concurrently, the pages each
+// one touches are the same pages — so instead of every query marching from
+// page 0 (guaranteeing that by the time query B wants page 0, query A's
+// scan has pushed it out), concurrent scans of one (table, column-set)
+// share a circular page clock. A late arrival attaches at the clock's
+// current position — the page the in-flight scan just decoded, hottest in
+// the buffer pool — and wraps around, covering every page exactly once
+// before detaching. Predicates and Bloom filters stay per-consumer, and
+// each consumer still materializes per-page result slots in page order, so
+// results are byte-identical to a solo scan.
+//
+// The clock also persists between scans: the next query over a quiet table
+// starts where the previous scan ended, which is exactly the region still
+// resident. Groups are engine-owned and shared by every session.
+//
+// Thread model: Attach/Detach take one mutex; the per-page clock publish is
+// a relaxed atomic store on the scan hot path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dashdb {
+
+class ScanShareManager;
+
+/// One consumer's membership in a shared-scan group, RAII-detached.
+/// Invalid (default) tickets are inert: start() == 0 and NotePage is a
+/// no-op, so serial code paths need no branches.
+class SharedScanTicket {
+ public:
+  SharedScanTicket() = default;
+  SharedScanTicket(SharedScanTicket&& o) noexcept { *this = std::move(o); }
+  SharedScanTicket& operator=(SharedScanTicket&& o) noexcept;
+  SharedScanTicket(const SharedScanTicket&) = delete;
+  SharedScanTicket& operator=(const SharedScanTicket&) = delete;
+  ~SharedScanTicket();
+
+  bool valid() const { return group_ != nullptr; }
+  /// First page this consumer scans; it proceeds circularly from here.
+  size_t start() const { return start_; }
+  /// True when the group already had an in-flight consumer at attach time.
+  bool joined_inflight() const { return joined_inflight_; }
+
+  /// Publishes `page` as the group's clock position (called per morsel,
+  /// from any worker thread). Counts a shared page when another consumer
+  /// is attached at that moment.
+  void NotePage(size_t page);
+
+ private:
+  friend class ScanShareManager;
+  struct Group;
+  ScanShareManager* mgr_ = nullptr;
+  std::shared_ptr<Group> group_;
+  size_t start_ = 0;
+  bool joined_inflight_ = false;
+};
+
+/// Engine-owned registry of in-flight circular scans, keyed by
+/// (table id, column-set signature).
+class ScanShareManager {
+ public:
+  /// Joins (or starts) the shared scan over `num_pages` page units of
+  /// table `table_id` with column-set signature `colset`. The returned
+  /// ticket's start() is the group clock's current position.
+  SharedScanTicket Attach(uint64_t table_id, uint64_t colset,
+                          size_t num_pages);
+
+  /// Cumulative counters (mirrored into exec.shared_scan_* metrics).
+  uint64_t attaches() const { return attaches_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t pages_shared() const {
+    return pages_shared_.load(std::memory_order_relaxed);
+  }
+  /// Consumers currently attached across all groups (tests).
+  int64_t active_consumers() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class SharedScanTicket;
+  struct Key {
+    uint64_t table_id = 0;
+    uint64_t colset = 0;
+    bool operator==(const Key& o) const {
+      return table_id == o.table_id && colset == o.colset;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.table_id * 0x9E3779B97F4A7C15ull;
+      h ^= k.colset + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  void Detach(SharedScanTicket* t);
+  void CountSharedPage() {
+    pages_shared_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<SharedScanTicket::Group>, KeyHash>
+      groups_;
+  std::atomic<uint64_t> attaches_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> pages_shared_{0};
+  std::atomic<int64_t> active_{0};
+};
+
+/// Signature of a scan's column set (projection + predicate columns), the
+/// second half of a shared-scan group key.
+uint64_t ScanColumnSetSignature(const std::vector<int>& projection,
+                                const std::vector<int>& predicate_cols);
+
+}  // namespace dashdb

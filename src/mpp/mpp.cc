@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <thread>
 #include <unordered_map>
 
@@ -34,6 +35,10 @@ struct MppInstruments {
   Counter* speculative_wins;
   Counter* bloom_filters;  ///< cross-shard Bloom filters shipped
   Counter* bloom_bytes;    ///< serialized bytes of those filters
+  Counter* exchange_chunks;            ///< shard->coordinator chunks shipped
+  Counter* exchange_bytes;             ///< in-memory bytes those chunks decode to
+  Counter* exchange_compressed_bytes;  ///< wire bytes actually shipped
+  Counter* exchange_stalls;            ///< producer waits on a full window
 };
 
 MppInstruments& GlobalMppInstruments() {
@@ -47,6 +52,10 @@ MppInstruments& GlobalMppInstruments() {
       reg.GetCounter("mpp.speculative_wins"),
       reg.GetCounter("mpp.bloom_filters"),
       reg.GetCounter("mpp.bloom_bytes"),
+      reg.GetCounter("mpp.exchange_chunks"),
+      reg.GetCounter("mpp.exchange_bytes"),
+      reg.GetCounter("mpp.exchange_compressed_bytes"),
+      reg.GetCounter("mpp.exchange_stalls"),
   };
   return in;
 }
@@ -90,6 +99,262 @@ std::string Indent(const std::string& text, int spaces) {
 }
 }  // namespace
 
+// --- flow-controlled exchange ----------------------------------------------
+
+void ExchangeChannel::Push(ExchangeChunk chunk) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (queue_.size() >= window_ && !cancelled_) {
+    ++stalls_;
+    can_push_.wait(lk, [&] { return queue_.size() < window_ || cancelled_; });
+  }
+  if (cancelled_) return;  // consumer aborted: drop
+  queue_.push_back(std::move(chunk));
+  high_water_ = std::max(high_water_, queue_.size());
+  can_pop_.notify_one();
+}
+
+void ExchangeChannel::Close(Status status) {
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_ = true;
+  status_ = std::move(status);
+  can_pop_.notify_all();
+}
+
+void ExchangeChannel::CancelConsumer() {
+  std::lock_guard<std::mutex> lk(mu_);
+  cancelled_ = true;
+  queue_.clear();
+  can_push_.notify_all();
+}
+
+bool ExchangeChannel::Pop(ExchangeChunk* chunk, Status* status) {
+  std::unique_lock<std::mutex> lk(mu_);
+  can_pop_.wait(lk, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) {
+    *status = status_;
+    return false;
+  }
+  *chunk = std::move(queue_.front());
+  queue_.pop_front();
+  can_push_.notify_one();
+  return true;
+}
+
+uint64_t ExchangeChannel::stalls() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stalls_;
+}
+
+size_t ExchangeChannel::high_water() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return high_water_;
+}
+
+namespace {
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+bool GetU8(const std::string& in, size_t* pos, uint8_t* v) {
+  if (*pos + 1 > in.size()) return false;
+  *v = static_cast<uint8_t>(in[*pos]);
+  *pos += 1;
+  return true;
+}
+
+bool GetU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+size_t DictCodeWidth(size_t dict_size) {
+  if (dict_size <= 0xFF) return 1;
+  if (dict_size <= 0xFFFF) return 2;
+  return 4;
+}
+
+}  // namespace
+
+std::string EncodeExchangeBatch(const RowBatch& rows, size_t begin,
+                                size_t end) {
+  std::string out;
+  const uint32_t ncols = static_cast<uint32_t>(rows.columns.size());
+  const uint32_t nrows = static_cast<uint32_t>(end - begin);
+  PutU32(&out, ncols);
+  PutU32(&out, nrows);
+  for (const ColumnVector& col : rows.columns) {
+    PutU8(&out, static_cast<uint8_t>(col.type()));
+    bool any_null = false;
+    for (size_t i = begin; i < end && !any_null; ++i) any_null = col.IsNull(i);
+    PutU8(&out, any_null ? 1 : 0);
+    if (any_null) {
+      for (size_t i = begin; i < end; ++i) PutU8(&out, col.IsNull(i) ? 1 : 0);
+    }
+    if (col.type() == TypeId::kDouble) {
+      for (size_t i = begin; i < end; ++i) {
+        const double d = col.IsNull(i) ? 0.0 : col.GetDouble(i);
+        char b[8];
+        std::memcpy(b, &d, 8);
+        out.append(b, 8);
+      }
+    } else if (col.type() == TypeId::kVarchar) {
+      // Dictionary coding: each distinct string ships once, rows ship as
+      // minimal-width codes. Repetitive columns (dimension attributes,
+      // status fields) collapse to near-nothing on the wire.
+      std::unordered_map<std::string, uint32_t> dict;
+      std::vector<const std::string*> entries;
+      std::vector<uint32_t> codes;
+      codes.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        if (col.IsNull(i)) {
+          codes.push_back(0);  // masked by the null byte on decode
+          continue;
+        }
+        const std::string& s = col.GetString(i);
+        auto [it, inserted] =
+            dict.emplace(s, static_cast<uint32_t>(entries.size()));
+        if (inserted) entries.push_back(&it->first);
+        codes.push_back(it->second);
+      }
+      PutU32(&out, static_cast<uint32_t>(entries.size()));
+      for (const std::string* s : entries) {
+        PutU32(&out, static_cast<uint32_t>(s->size()));
+        out.append(*s);
+      }
+      const size_t width = DictCodeWidth(entries.size());
+      PutU8(&out, static_cast<uint8_t>(width));
+      for (uint32_t c : codes) {
+        char b[4];
+        std::memcpy(b, &c, 4);
+        out.append(b, width);
+      }
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        const int64_t v = col.IsNull(i) ? 0 : col.GetInt(i);
+        PutU64(&out, static_cast<uint64_t>(v));
+      }
+    }
+  }
+  return out;
+}
+
+Status DecodeExchangeBatch(const std::string& payload, RowBatch* into) {
+  size_t pos = 0;
+  uint32_t ncols = 0, nrows = 0;
+  if (!GetU32(payload, &pos, &ncols) || !GetU32(payload, &pos, &nrows)) {
+    return Status::Internal("exchange chunk: truncated header");
+  }
+  if (ncols != into->columns.size()) {
+    return Status::Internal("exchange chunk: column count mismatch");
+  }
+  for (uint32_t c = 0; c < ncols; ++c) {
+    ColumnVector& col = into->columns[c];
+    uint8_t type_byte = 0, any_null = 0;
+    if (!GetU8(payload, &pos, &type_byte) ||
+        !GetU8(payload, &pos, &any_null)) {
+      return Status::Internal("exchange chunk: truncated column header");
+    }
+    if (static_cast<TypeId>(type_byte) != col.type()) {
+      return Status::Internal("exchange chunk: column type mismatch");
+    }
+    std::vector<uint8_t> nulls;
+    if (any_null) {
+      nulls.resize(nrows);
+      for (uint32_t i = 0; i < nrows; ++i) {
+        if (!GetU8(payload, &pos, &nulls[i])) {
+          return Status::Internal("exchange chunk: truncated null bytes");
+        }
+      }
+    }
+    if (col.type() == TypeId::kDouble) {
+      for (uint32_t i = 0; i < nrows; ++i) {
+        if (pos + 8 > payload.size()) {
+          return Status::Internal("exchange chunk: truncated doubles");
+        }
+        double d;
+        std::memcpy(&d, payload.data() + pos, 8);
+        pos += 8;
+        if (any_null && nulls[i]) {
+          col.AppendNull();
+        } else {
+          col.AppendDouble(d);
+        }
+      }
+    } else if (col.type() == TypeId::kVarchar) {
+      uint32_t ndict = 0;
+      if (!GetU32(payload, &pos, &ndict)) {
+        return Status::Internal("exchange chunk: truncated dictionary");
+      }
+      std::vector<std::string> dict(ndict);
+      for (uint32_t d = 0; d < ndict; ++d) {
+        uint32_t len = 0;
+        if (!GetU32(payload, &pos, &len) || pos + len > payload.size()) {
+          return Status::Internal("exchange chunk: truncated dict entry");
+        }
+        dict[d].assign(payload, pos, len);
+        pos += len;
+      }
+      uint8_t width = 0;
+      if (!GetU8(payload, &pos, &width) ||
+          (width != 1 && width != 2 && width != 4)) {
+        return Status::Internal("exchange chunk: bad code width");
+      }
+      for (uint32_t i = 0; i < nrows; ++i) {
+        if (pos + width > payload.size()) {
+          return Status::Internal("exchange chunk: truncated codes");
+        }
+        uint32_t code = 0;
+        std::memcpy(&code, payload.data() + pos, width);
+        pos += width;
+        if (any_null && nulls[i]) {
+          col.AppendNull();
+          continue;
+        }
+        if (code >= ndict) {
+          return Status::Internal("exchange chunk: code out of range");
+        }
+        col.AppendString(dict[code]);
+      }
+    } else {
+      for (uint32_t i = 0; i < nrows; ++i) {
+        uint64_t v = 0;
+        if (!GetU64(payload, &pos, &v)) {
+          return Status::Internal("exchange chunk: truncated ints");
+        }
+        if (any_null && nulls[i]) {
+          col.AppendNull();
+        } else {
+          col.AppendInt(static_cast<int64_t>(v));
+        }
+      }
+    }
+  }
+  if (pos != payload.size()) {
+    return Status::Internal("exchange chunk: trailing bytes");
+  }
+  return Status::OK();
+}
+
 MppDatabase::MppDatabase(int nodes, int shards_per_node, int cores_per_node,
                          size_t ram_per_node, EngineConfig shard_config)
     : topo_(nodes, shards_per_node, cores_per_node, ram_per_node) {
@@ -111,6 +376,7 @@ Status MppDatabase::CreateTable(const TableSchema& schema, bool replicated) {
   }
   replicated_[NormalizeIdent(schema.schema_name()) + "." +
               NormalizeIdent(schema.table_name())] = replicated;
+  data_version_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -130,6 +396,7 @@ int MppDatabase::RouteRow(const TableSchema& schema,
 
 Status MppDatabase::Load(const std::string& schema, const std::string& table,
                          const RowBatch& rows) {
+  data_version_.fetch_add(1, std::memory_order_release);
   std::string key = NormalizeIdent(schema) + "." + NormalizeIdent(table);
   auto rep = replicated_.find(key);
   bool replicate = rep != replicated_.end() && rep->second;
@@ -1036,9 +1303,11 @@ MppDatabase::ShardFn MppDatabase::MakeShardSelectFn(
       // A fresh session must plan identically to the primary's.
       session->set_optimizer_mode(sessions_[shard]->optimizer_mode());
       session->set_adaptive_enabled(sessions_[shard]->adaptive_enabled());
+      session->set_shared_scan_enabled(sessions_[shard]->shared_scan_enabled());
     }
     BindOptions bopts;
     bopts.scan = shards_[shard]->MakeScanOptions();
+    bopts.scan.shared_scan = session->shared_scan_enabled();
     Binder binder(shards_[shard]->catalog(), session.get(), bopts);
     // Coordinator Bloom filters apply at bind time only; clear right after
     // so later statements on this session never see stale filters.
@@ -1053,8 +1322,66 @@ MppDatabase::ShardFn MppDatabase::MakeShardSelectFn(
     // Open/Next and morsel boundary; its memory charges roll up to the
     // query root's budget.
     AttachQueryContext(root.get(), qctx);
-    DASHDB_ASSIGN_OR_RETURN(o->batch, DrainOperator(root.get()));
+    // Shard results travel through the flow-controlled exchange: a producer
+    // thread drains the plan into size-bounded dictionary-coded chunks and
+    // blocks whenever the credit window fills (backpressure); this thread
+    // decodes chunks into the attempt payload as they arrive. The fn stays
+    // synchronous overall, so retry/speculation semantics are unchanged.
+    constexpr size_t kChunkTargetBytes = 64 << 10;
+    constexpr size_t kCreditWindow = 4;
+    ExchangeChannel channel(kCreditWindow);
+    std::thread producer([&] {
+      Status st = root->Open();
+      RowBatch batch;
+      while (st.ok()) {
+        Result<bool> more = root->Next(&batch);
+        if (!more.ok()) {
+          st = more.status();
+          break;
+        }
+        if (!more.value()) break;
+        batch.Compact();
+        const size_t n = batch.num_rows();
+        if (n == 0) continue;
+        const int64_t total = BatchMemoryBytes(batch);
+        size_t per_chunk = n;
+        if (static_cast<size_t>(total) > kChunkTargetBytes) {
+          per_chunk = std::max<size_t>(
+              1, n * kChunkTargetBytes / static_cast<size_t>(total));
+        }
+        for (size_t begin = 0; begin < n; begin += per_chunk) {
+          const size_t end = std::min(n, begin + per_chunk);
+          ExchangeChunk chunk;
+          chunk.payload = EncodeExchangeBatch(batch, begin, end);
+          chunk.rows = end - begin;
+          chunk.raw_bytes =
+              static_cast<size_t>(total) * (end - begin) / n;
+          channel.Push(std::move(chunk));
+        }
+      }
+      channel.Close(std::move(st));
+    });
     o->cols = root->output();
+    o->batch = RowBatch{};  // retries reuse the attempt payload
+    for (const OutputCol& c : o->cols) o->batch.columns.emplace_back(c.type);
+    MppInstruments& ins = GlobalMppInstruments();
+    Status decode_err;
+    Status produce_st;
+    ExchangeChunk chunk;
+    while (channel.Pop(&chunk, &produce_st)) {
+      if (decode_err.ok()) {
+        decode_err = DecodeExchangeBatch(chunk.payload, &o->batch);
+        if (!decode_err.ok()) channel.CancelConsumer();
+        ins.exchange_chunks->Add(1);
+        ins.exchange_bytes->Add(static_cast<int64_t>(chunk.raw_bytes));
+        ins.exchange_compressed_bytes->Add(
+            static_cast<int64_t>(chunk.payload.size()));
+      }
+    }
+    ins.exchange_stalls->Add(static_cast<int64_t>(channel.stalls()));
+    producer.join();
+    DASHDB_RETURN_IF_ERROR(decode_err);
+    DASHDB_RETURN_IF_ERROR(produce_st);
     if (analyze) {
       o->analyzed_plan = root->AnalyzeString();
       auto t = std::make_shared<Trace>();
@@ -1069,6 +1396,18 @@ Result<MppQueryResult> MppDatabase::Execute(const std::string& sql) {
   return Execute(sql, nullptr);
 }
 
+ResultCache::Versions MppDatabase::CoordinatorVersions() {
+  ResultCache::Versions v;
+  if (!shards_.empty()) {
+    Engine& s0 = *shards_.front();
+    v.catalog = s0.catalog()->version();
+    v.stats = s0.stats_version();
+    v.data = s0.data_version();
+  }
+  v.data += data_version_.load(std::memory_order_acquire);
+  return v;
+}
+
 Result<MppQueryResult> MppDatabase::Execute(
     const std::string& sql, std::shared_ptr<QueryContext> qctx) {
   query_ctx_ = qctx != nullptr ? std::move(qctx)
@@ -1081,8 +1420,35 @@ Result<MppQueryResult> MppDatabase::Execute(
   } scope{this};
   DASHDB_ASSIGN_OR_RETURN(ast::StatementP stmt, ParseStatement(sql));
   switch (stmt->kind) {
-    case ast::StmtKind::kSelect:
+    case ast::StmtKind::kSelect: {
+      if (result_cache_enabled_ && stmt->select &&
+          IsResultCacheableSelect(*stmt->select)) {
+        // Versions captured before the lookup: a write racing this query
+        // can only skip the insert below, never produce a stale hit.
+        const ResultCache::Versions v = CoordinatorVersions();
+        if (std::shared_ptr<const QueryResult> cached = result_cache_.Lookup(
+                sql, Dialect::kAnsi, "PUBLIC", v)) {
+          MppQueryResult out;
+          out.result = *cached;
+          out.shard_seconds.assign(shards_.size(), 0.0);
+          return out;
+        }
+        Result<MppQueryResult> r = ExecSelect(*stmt->select);
+        if (r.ok() && CoordinatorVersions() == v) {
+          const int64_t bytes = BatchMemoryBytes(r->result.rows);
+          // The retained copy charges this statement's budget; a query that
+          // cannot afford it completes normally and just skips caching.
+          if (query_ctx_->Charge(bytes, "result cache insert").ok()) {
+            result_cache_.Insert(sql, Dialect::kAnsi, "PUBLIC", v,
+                                 std::make_shared<QueryResult>(r->result),
+                                 static_cast<size_t>(bytes));
+            query_ctx_->Release(bytes);
+          }
+        }
+        return r;
+      }
       return ExecSelect(*stmt->select);
+    }
     case ast::StmtKind::kExplain:
       // EXPLAIN ANALYZE runs the query through the coordinator and reports
       // per-shard plans + failover counters; plain EXPLAIN broadcasts so
@@ -1092,8 +1458,31 @@ Result<MppQueryResult> MppDatabase::Execute(
       }
       return Broadcast(sql);
     case ast::StmtKind::kInsert:
+      data_version_.fetch_add(1, std::memory_order_release);
       return RoutedInsert(*stmt, sql);
+    case ast::StmtKind::kSet: {
+      // RESULT_CACHE is a coordinator knob (the cache lives here, not on
+      // the shards); record it, then broadcast like any SET so shard
+      // sessions stay in sync for knobs they do own (SHARED_SCAN, DOP...).
+      const std::string name = NormalizeIdent(stmt->set_name);
+      if (name == "RESULT_CACHE") {
+        const std::string v = NormalizeIdent(stmt->set_value);
+        if (v == "ON" || v == "TRUE" || v == "1") {
+          result_cache_enabled_ = true;
+        } else if (v == "OFF" || v == "FALSE" || v == "0") {
+          result_cache_enabled_ = false;
+        } else {
+          return Status::InvalidArgument("RESULT_CACHE must be ON or OFF");
+        }
+      }
+      return Broadcast(sql);
+    }
     default:
+      // Conservative: any other statement may write (DDL, UPDATE, DELETE,
+      // TRUNCATE, CALL RUNSTATS...). Broadcast DML reaches shard 0, whose
+      // versions already stamp cache entries, but bumping the coordinator
+      // counter too keeps invalidation independent of routing details.
+      data_version_.fetch_add(1, std::memory_order_release);
       return Broadcast(sql);
   }
 }

@@ -9,9 +9,12 @@
 // modeled as the topology makespan over measured per-shard times.
 #pragma once
 
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,6 +59,72 @@ struct MppExecStats {
   uint64_t speculative_launches = 0; ///< straggler re-executions started
   uint64_t speculative_wins = 0;     ///< ... that beat the primary
 };
+
+// --- flow-controlled shard -> coordinator exchange -------------------------
+//
+// Shard SELECT results no longer materialize in one piece on the producer
+// side: the shard plan drains into size-bounded, column-encoded chunks that
+// travel through a credit-window channel. The producer blocks (a "stall")
+// whenever the full window is in flight, so a slow coordinator backpressures
+// the shard instead of letting it buffer an unbounded result. VARCHAR
+// columns ride dictionary-coded (distinct strings once + minimal-width
+// codes), which is where the wire wins over raw row shipping.
+
+/// One wire unit of the exchange.
+struct ExchangeChunk {
+  std::string payload;   ///< column-encoded rows (EncodeExchangeBatch)
+  size_t raw_bytes = 0;  ///< in-memory bytes this chunk decodes back to
+  size_t rows = 0;
+};
+
+/// Bounded SPSC channel with credit-based backpressure. Push blocks while
+/// `window` chunks are in flight; Close publishes the producer's terminal
+/// status; Pop drains remaining chunks after Close before reporting it.
+class ExchangeChannel {
+ public:
+  explicit ExchangeChannel(size_t window = 4)
+      : window_(window == 0 ? 1 : window) {}
+
+  /// Blocks until a credit frees up (counted as one stall), then enqueues.
+  /// Chunks pushed after CancelConsumer are dropped without blocking.
+  void Push(ExchangeChunk chunk);
+
+  /// Producer-side terminal: no more chunks; `status` is the produce result.
+  void Close(Status status);
+
+  /// Consumer-side abort: unblocks and discards the producer's remaining
+  /// pushes (decode error / cancelled query).
+  void CancelConsumer();
+
+  /// Returns true with the next chunk, or false when closed and drained
+  /// (then *status receives the producer's terminal status).
+  bool Pop(ExchangeChunk* chunk, Status* status);
+
+  uint64_t stalls() const;
+  size_t high_water() const;  ///< max chunks ever simultaneously in flight
+
+ private:
+  const size_t window_;
+  mutable std::mutex mu_;
+  std::condition_variable can_push_, can_pop_;
+  std::deque<ExchangeChunk> queue_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+  Status status_;
+  uint64_t stalls_ = 0;
+  size_t high_water_ = 0;
+};
+
+/// Encodes rows [begin, end) of a compacted batch into the exchange wire
+/// format: per column a type byte, optional null bytes, then 8-byte values
+/// (integer-backed types and DOUBLE) or a string dictionary plus 1/2/4-byte
+/// codes sized to the dictionary (VARCHAR).
+std::string EncodeExchangeBatch(const RowBatch& rows, size_t begin,
+                                size_t end);
+
+/// Appends a chunk's rows onto `into` (columns must already exist with the
+/// producing plan's output types).
+Status DecodeExchangeBatch(const std::string& payload, RowBatch* into);
 
 /// A distributed query's result plus per-shard timing.
 struct MppQueryResult {
@@ -191,6 +260,11 @@ class MppDatabase {
 
   Result<MppQueryResult> ExecSelect(const ast::SelectStmt& sel,
                                     bool analyze = false);
+  /// Version stamps for the coordinator result cache: shard 0's catalog /
+  /// stats / data versions (broadcast DDL, RUNSTATS, and broadcast DML all
+  /// reach shard 0) plus the coordinator's own data counter (covers routed
+  /// INSERTs and Loads that may skip shard 0 entirely).
+  ResultCache::Versions CoordinatorVersions();
   Result<MppQueryResult> Broadcast(const std::string& sql);
   Result<MppQueryResult> RoutedInsert(const ast::Statement& st,
                                       const std::string& sql);
@@ -205,6 +279,12 @@ class MppDatabase {
   std::vector<std::shared_ptr<Session>> sessions_;
   std::map<std::string, bool> replicated_;  ///< qualified name -> replicated
   size_t round_robin_ = 0;
+  /// Coordinator-level result cache (SET RESULT_CACHE ON): whole merged
+  /// MppQueryResults keyed on statement text, stamped with
+  /// CoordinatorVersions() so any write anywhere in the cluster invalidates.
+  ResultCache result_cache_;
+  std::atomic<uint64_t> data_version_{1};
+  bool result_cache_enabled_ = false;
 };
 
 }  // namespace dashdb

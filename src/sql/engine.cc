@@ -54,6 +54,9 @@ ScanOptions Engine::MakeScanOptions() {
   o.use_swar = config_.use_swar;
   o.operate_on_compressed = config_.operate_on_compressed;
   o.pool = config_.charge_buffer_pool ? &pool_ : nullptr;
+  // Scans attach to the engine-wide share registry only when the session
+  // also arms opts.shared_scan (SET SHARED_SCAN ON).
+  o.share = &scan_share_;
   return o;
 }
 
@@ -90,8 +93,85 @@ Result<std::shared_ptr<CatalogEntry>> Engine::GetTable(
   return catalog_.Lookup(schema, table);
 }
 
+namespace {
+
+/// Whether a bound-and-executed result for this expression is stable across
+/// repeated executions against unchanged data. Parameters bind per-EXECUTE,
+/// sequences advance per-row, and the clock-reading functions (SYSDATE,
+/// CURRENT_DATE, NOW, AGE with implicit now) read session context — none of
+/// those may be served from the result cache.
+bool IsCacheableExpr(const ast::ExprP& e) {
+  if (!e) return true;
+  if (e->kind == ast::ExprKind::kParam ||
+      e->kind == ast::ExprKind::kSequenceRef) {
+    return false;
+  }
+  // Niladic clock functions parse as either calls or bare column refs
+  // (CURRENT_DATE / SYSDATE without parentheses; the binder resolves them
+  // to functions only when no column shadows them). Reject the bare-ref
+  // spelling conservatively — a real column with that name just loses
+  // caching, never correctness.
+  if (e->kind == ast::ExprKind::kFuncCall ||
+      (e->kind == ast::ExprKind::kColumnRef && e->qualifier.empty())) {
+    const std::string f = NormalizeIdent(e->name);
+    if (f == "CURRENT_DATE" || f == "SYSDATE" || f == "NOW" || f == "AGE") {
+      return false;
+    }
+  }
+  for (const auto& c : e->children) {
+    if (!IsCacheableExpr(c)) return false;
+  }
+  return IsCacheableExpr(e->else_branch);
+}
+
+}  // namespace
+
+bool IsResultCacheableSelect(const ast::SelectStmt& sel) {
+  for (const auto& cte : sel.ctes) {
+    if (cte.query && !IsResultCacheableSelect(*cte.query)) return false;
+  }
+  for (const auto& item : sel.items) {
+    if (!IsCacheableExpr(item.expr)) return false;
+  }
+  for (const auto& tr : sel.from) {
+    if (tr.subquery && !IsResultCacheableSelect(*tr.subquery)) return false;
+    if (!IsCacheableExpr(tr.join_condition)) return false;
+  }
+  if (!IsCacheableExpr(sel.where)) return false;
+  for (const auto& g : sel.group_by) {
+    if (!IsCacheableExpr(g)) return false;
+  }
+  if (!IsCacheableExpr(sel.having)) return false;
+  for (const auto& o : sel.order_by) {
+    if (!IsCacheableExpr(o.expr)) return false;
+  }
+  if (!IsCacheableExpr(sel.start_with)) return false;
+  if (!IsCacheableExpr(sel.connect_by)) return false;
+  for (const auto& row : sel.values_rows) {
+    for (const auto& v : row) {
+      if (!IsCacheableExpr(v)) return false;
+    }
+  }
+  return true;
+}
+
 Result<QueryResult> Engine::Execute(Session* session, const std::string& sql) {
   DASHDB_ASSIGN_OR_RETURN(ast::StatementP stmt, ParseCached(session, sql));
+  // Result cache: plain SELECTs only (EXPLAIN reports plans, not data;
+  // scripts and prepared statements bypass Execute). Versions are captured
+  // BEFORE the lookup/execution so a write racing this statement can only
+  // cause a skipped insert, never a stale hit.
+  if (session->result_cache_enabled() &&
+      stmt->kind == ast::StmtKind::kSelect && stmt->select &&
+      IsResultCacheableSelect(*stmt->select)) {
+    const ResultCache::Versions v = CurrentVersions();
+    if (std::shared_ptr<const QueryResult> cached = result_cache_.Lookup(
+            sql, session->dialect(), session->default_schema(), v)) {
+      return *cached;
+    }
+    ResultCacheIntent intent{&sql, v};
+    return ExecuteStmt(session, stmt, &intent);
+  }
   return ExecuteStmt(session, stmt);
 }
 
@@ -242,10 +322,12 @@ Result<QueryResult> Engine::ExecutePrepared(Session* session,
 }
 
 Result<QueryResult> Engine::ExecuteStmt(Session* session,
-                                        const ast::StatementP& stmt) {
+                                        const ast::StatementP& stmt,
+                                        const ResultCacheIntent* cache) {
   switch (stmt->kind) {
     case ast::StmtKind::kSelect:
-      return ExecSelect(session, *stmt->select, /*explain_only=*/false);
+      return ExecSelect(session, *stmt->select, /*explain_only=*/false,
+                        /*analyze=*/false, cache);
     case ast::StmtKind::kExplain:
       return ExecSelect(session, *stmt->select, /*explain_only=*/true,
                         stmt->explain_analyze);
@@ -294,6 +376,7 @@ Result<QueryResult> Engine::ExecuteStmt(Session* session,
       } else {
         return Status::SemanticError("TRUNCATE target is not a base table");
       }
+      BumpDataVersion();
       QueryResult r;
       r.message = "TRUNCATED";
       return r;
@@ -398,7 +481,8 @@ std::shared_ptr<QueryContext> Engine::MakeQueryContext(Session* session) {
 
 Result<QueryResult> Engine::ExecSelect(Session* session,
                                        const ast::SelectStmt& sel,
-                                       bool explain_only, bool analyze) {
+                                       bool explain_only, bool analyze,
+                                       const ResultCacheIntent* cache) {
   // Arm intra-query parallelism for this statement: the execution context
   // drives the parallel join build / aggregation, the scan options drive
   // the morsel scan. Both stay null/1 on serial engines.
@@ -414,6 +498,7 @@ Result<QueryResult> Engine::ExecSelect(Session* session,
   bopts.scan = MakeScanOptions();
   bopts.scan.exec_pool = dop > 1 ? exec_pool_.get() : nullptr;
   bopts.scan.dop = dop;
+  bopts.scan.shared_scan = session->shared_scan_enabled();
   Binder binder(&catalog_, session, bopts);
   DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(sel));
   AttachQueryContext(root.get(), qc.get());
@@ -468,6 +553,21 @@ Result<QueryResult> Engine::ExecSelect(Session* session,
   DASHDB_ASSIGN_OR_RETURN(r.rows, DrainOperator(root.get()));
   RecordCardinalityFeedback(root.get());
   r.affected_rows = static_cast<int64_t>(r.rows.num_rows());
+  if (cache != nullptr && CurrentVersions() == cache->versions) {
+    // The copy the cache retains is charged against this statement's memory
+    // budget: a governed query that cannot afford the copy runs to
+    // completion but skips caching (kResourceExhausted here never fails the
+    // query). The version re-check above means a write that landed during
+    // execution skips the insert instead of caching a torn read.
+    const int64_t bytes = BatchMemoryBytes(r.rows);
+    if (qc->Charge(bytes, "result cache insert").ok()) {
+      result_cache_.Insert(*cache->sql, session->dialect(),
+                           session->default_schema(), cache->versions,
+                           std::make_shared<QueryResult>(r),
+                           static_cast<size_t>(bytes));
+      qc->Release(bytes);
+    }
+  }
   return r;
 }
 
@@ -518,6 +618,7 @@ Result<QueryResult> Engine::ExecInsert(Session* session,
     bopts.scan = MakeScanOptions();
     bopts.scan.exec_pool = dop > 1 ? exec_pool_.get() : nullptr;
     bopts.scan.dop = dop;
+    bopts.scan.shared_scan = session->shared_scan_enabled();
     Binder binder(&catalog_, session, bopts);
     DASHDB_ASSIGN_OR_RETURN(OperatorPtr root, binder.BindSelect(*st.select));
     AttachQueryContext(root.get(), qc.get());
@@ -578,6 +679,7 @@ Result<QueryResult> Engine::ExecInsert(Session* session,
   } else {
     return Status::SemanticError("INSERT target is not a base table");
   }
+  BumpDataVersion();
   QueryResult r;
   r.affected_rows = static_cast<int64_t>(n);
   r.message = "INSERTED " + std::to_string(n);
@@ -694,6 +796,7 @@ Result<QueryResult> Engine::ExecUpdate(Session* session,
       DASHDB_RETURN_IF_ERROR(row->UpdateRow(matched.ids[i], updated.Row(i)));
     }
   }
+  BumpDataVersion();
   QueryResult r;
   r.affected_rows = static_cast<int64_t>(n);
   r.message = "UPDATED " + std::to_string(n);
@@ -715,6 +818,7 @@ Result<QueryResult> Engine::ExecDelete(Session* session,
   } else {
     DASHDB_RETURN_IF_ERROR(row->DeleteRows(matched.ids));
   }
+  BumpDataVersion();
   QueryResult r;
   r.affected_rows = static_cast<int64_t>(matched.ids.size());
   r.message = "DELETED " + std::to_string(matched.ids.size());
@@ -824,6 +928,32 @@ Result<QueryResult> Engine::ExecSet(Session* session,
     }
     r.message = std::string("ADAPTIVE ") +
                 (session->adaptive_enabled() ? "ON" : "OFF");
+    return r;
+  }
+  if (name == "SHARED_SCAN") {
+    std::string v = NormalizeIdent(st.set_value);
+    if (v == "ON" || v == "TRUE" || v == "1") {
+      session->set_shared_scan_enabled(true);
+    } else if (v == "OFF" || v == "FALSE" || v == "0") {
+      session->set_shared_scan_enabled(false);
+    } else {
+      return Status::InvalidArgument("SHARED_SCAN must be ON or OFF");
+    }
+    r.message = std::string("SHARED_SCAN ") +
+                (session->shared_scan_enabled() ? "ON" : "OFF");
+    return r;
+  }
+  if (name == "RESULT_CACHE") {
+    std::string v = NormalizeIdent(st.set_value);
+    if (v == "ON" || v == "TRUE" || v == "1") {
+      session->set_result_cache_enabled(true);
+    } else if (v == "OFF" || v == "FALSE" || v == "0") {
+      session->set_result_cache_enabled(false);
+    } else {
+      return Status::InvalidArgument("RESULT_CACHE must be ON or OFF");
+    }
+    r.message = std::string("RESULT_CACHE ") +
+                (session->result_cache_enabled() ? "ON" : "OFF");
     return r;
   }
   if (name == "STATEMENT_TIMEOUT" || name == "QUERY_TIMEOUT") {

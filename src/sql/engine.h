@@ -16,9 +16,11 @@
 #include "common/query_context.h"
 #include "exec/admission.h"
 #include "exec/operator.h"
+#include "exec/shared_scan.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 #include "sql/plan_cache.h"
+#include "sql/result_cache.h"
 #include "sql/session.h"
 #include "storage/column_table.h"
 #include "storage/io_model.h"
@@ -35,6 +37,12 @@ struct QueryResult {
 
   bool has_rows() const { return !columns.empty(); }
 };
+
+/// Whether a SELECT's result may be served from the versioned result cache:
+/// no '?' parameters, no sequence references, no clock-reading functions
+/// (SYSDATE / CURRENT_DATE / NOW / AGE). Shared by the engine and the MPP
+/// coordinator cache.
+bool IsResultCacheableSelect(const ast::SelectStmt& sel);
 
 /// Engine-wide configuration (set once; the autoconfigurator in src/deploy
 /// produces these from detected hardware).
@@ -136,6 +144,31 @@ class Engine {
   /// instance serving every session/connection).
   PlanCache& plan_cache() { return plan_cache_; }
 
+  /// Versioned result cache serving repeated read-only statements for
+  /// sessions that SET RESULT_CACHE ON (engine-owned, like the plan cache).
+  ResultCache& result_cache() { return result_cache_; }
+
+  /// Cooperative shared-scan registry: concurrent scans of the same
+  /// (table, column set) attach to one circular in-flight pass (SET
+  /// SHARED_SCAN ON). Engine-owned so every session/shard worker shares it.
+  ScanShareManager& scan_share() { return scan_share_; }
+
+  /// Data version: bumped by every INSERT/UPDATE/DELETE/TRUNCATE so
+  /// result-cache entries stamped under the old version go stale. DDL is
+  /// covered by catalog_.version(), stats by stats_version().
+  uint64_t data_version() const {
+    return data_version_.load(std::memory_order_acquire);
+  }
+  void BumpDataVersion() {
+    data_version_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// The three version stamps a result-cache entry is produced under.
+  ResultCache::Versions CurrentVersions() const {
+    return ResultCache::Versions{catalog_.version(), stats_version(),
+                                 data_version()};
+  }
+
   /// Statistics epoch. Plan-cache entries are stamped with it; RUNSTATS /
   /// RefreshStatistics bumps it so every cached plan recompiles against the
   /// fresh statistics on next use.
@@ -153,10 +186,21 @@ class Engine {
   }
 
  private:
+  /// Caching intent threaded from Execute down to ExecSelect: the original
+  /// statement text plus the version stamps captured BEFORE execution. The
+  /// insert re-checks the stamps so a write that overlaps the execution
+  /// simply skips caching (never caches a torn read).
+  struct ResultCacheIntent {
+    const std::string* sql;
+    ResultCache::Versions versions;
+  };
+
   Result<QueryResult> ExecuteStmt(Session* session,
-                                  const ast::StatementP& stmt);
+                                  const ast::StatementP& stmt,
+                                  const ResultCacheIntent* cache = nullptr);
   Result<QueryResult> ExecSelect(Session* session, const ast::SelectStmt& sel,
-                                 bool explain_only, bool analyze = false);
+                                 bool explain_only, bool analyze = false,
+                                 const ResultCacheIntent* cache = nullptr);
   Result<QueryResult> ExecInsert(Session* session, const ast::Statement& st);
   Result<QueryResult> ExecUpdate(Session* session, const ast::Statement& st);
   Result<QueryResult> ExecDelete(Session* session, const ast::Statement& st);
@@ -189,7 +233,10 @@ class Engine {
   std::atomic<uint64_t> next_table_id_{1};
   AdmissionController admission_;
   PlanCache plan_cache_;
+  ResultCache result_cache_;
+  ScanShareManager scan_share_;
   std::atomic<uint64_t> stats_version_{1};
+  std::atomic<uint64_t> data_version_{1};
   IoSink io_nanos_{0};
   std::map<std::string, Procedure> procedures_;
   std::mutex proc_mu_;

@@ -1,0 +1,141 @@
+#include "sql/result_cache.h"
+
+#include "common/metrics.h"
+#include "sql/plan_cache.h"  // NormalizeSql
+
+namespace dashdb {
+namespace {
+
+struct ResultCacheInstruments {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+  Gauge* bytes;
+  Gauge* entries;
+};
+
+ResultCacheInstruments& Instruments() {
+  static ResultCacheInstruments in{
+      MetricRegistry::Global().GetCounter("server.result_cache_hits"),
+      MetricRegistry::Global().GetCounter("server.result_cache_misses"),
+      MetricRegistry::Global().GetCounter("server.result_cache_evictions"),
+      MetricRegistry::Global().GetGauge("server.result_cache_bytes"),
+      MetricRegistry::Global().GetGauge("server.result_cache_entries"),
+  };
+  return in;
+}
+
+}  // namespace
+
+std::string ResultCache::Key(const std::string& sql, Dialect dialect,
+                             const std::string& schema) {
+  return std::to_string(static_cast<int>(dialect)) + "|" + schema + "|" +
+         NormalizeSql(sql);
+}
+
+std::shared_ptr<const QueryResult> ResultCache::Lookup(
+    const std::string& sql, Dialect dialect, const std::string& schema,
+    const Versions& v) {
+  const std::string key = Key(sql, dialect, schema);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    Instruments().misses->Add(1);
+    return nullptr;
+  }
+  if (!(it->second.versions == v)) {
+    // Produced against a world that no longer exists (DDL/DML/RUNSTATS
+    // moved a version): retire on sight, never serve stale bytes.
+    EvictLocked(key);
+    ++misses_;
+    Instruments().misses->Add(1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  ++hits_;
+  Instruments().hits->Add(1);
+  return it->second.result;
+}
+
+void ResultCache::Insert(const std::string& sql, Dialect dialect,
+                         const std::string& schema, const Versions& v,
+                         std::shared_ptr<const QueryResult> result,
+                         size_t bytes) {
+  if (capacity_bytes_ == 0 || !result || bytes > capacity_bytes_) return;
+  const std::string key = Key(sql, dialect, schema);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    it->second.result = std::move(result);
+    it->second.versions = v;
+    it->second.bytes = bytes;
+    bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    Instruments().bytes->Set(static_cast<int64_t>(bytes_));
+    return;
+  }
+  while (bytes_ + bytes > capacity_bytes_ && !lru_.empty()) {
+    ++evictions_;
+    Instruments().evictions->Add(1);
+    const std::string victim = lru_.back();
+    EvictLocked(victim);
+  }
+  lru_.push_front(key);
+  Entry e;
+  e.result = std::move(result);
+  e.versions = v;
+  e.bytes = bytes;
+  e.lru_pos = lru_.begin();
+  bytes_ += bytes;
+  entries_.emplace(key, std::move(e));
+  Instruments().bytes->Set(static_cast<int64_t>(bytes_));
+  Instruments().entries->Set(static_cast<int64_t>(entries_.size()));
+}
+
+void ResultCache::EvictLocked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  Instruments().bytes->Set(static_cast<int64_t>(bytes_));
+  Instruments().entries->Set(static_cast<int64_t>(entries_.size()));
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  Instruments().bytes->Set(0);
+  Instruments().entries->Set(0);
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
+uint64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return evictions_;
+}
+
+}  // namespace dashdb

@@ -1,0 +1,105 @@
+// Versioned result cache for the serving layer (DESIGN.md "Shared work
+// under concurrency").
+//
+// Concurrent analytics traffic repeats itself: dashboards and report
+// fan-out re-issue byte-identical SELECTs against data that changes far
+// less often than it is read. The engine caches whole QueryResults, keyed
+// exactly like the plan cache — dialect-prefixed NormalizeSql — plus the
+// session's default schema (the same text resolves different tables under
+// different schemas, so unlike the parse-only plan cache the *result* key
+// must include it).
+//
+// Entries are stamped with the catalog DDL version, the statistics epoch,
+// and the engine's data version (bumped by every INSERT/UPDATE/DELETE/
+// TRUNCATE/LOAD). A lookup that finds any stamp moved treats the entry as
+// stale and evicts — DDL, DML, and RUNSTATS all invalidate by version
+// bump, with no registration protocol. The cache never serves a result
+// that predates a write.
+//
+// Capacity is bounded in BYTES with LRU eviction; the payload is a
+// shared_ptr to an immutable QueryResult, so a hit is one map find + list
+// splice + shared_ptr copy, and the serving layer streams RESULT_BATCH
+// frames straight out of the cached batch.
+//
+// Feeds server.result_cache_{hits,misses,evictions} counters and the
+// server.result_cache_bytes / _entries gauges.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/dialect.h"
+
+namespace dashdb {
+
+struct QueryResult;
+
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity_bytes = size_t{64} << 20)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Version stamps one entry was produced under; a lookup under any newer
+  /// stamp evicts the entry on sight.
+  struct Versions {
+    uint64_t catalog = 0;
+    uint64_t stats = 0;
+    uint64_t data = 0;
+    bool operator==(const Versions& o) const {
+      return catalog == o.catalog && stats == o.stats && data == o.data;
+    }
+  };
+
+  /// Returns the cached result for (sql, dialect, schema) when present AND
+  /// produced under exactly `v`; null otherwise. Stale entries are evicted
+  /// on the way out. Counts one hit or miss.
+  std::shared_ptr<const QueryResult> Lookup(const std::string& sql,
+                                            Dialect dialect,
+                                            const std::string& schema,
+                                            const Versions& v);
+
+  /// Inserts (or replaces) the entry, stamped with the versions the result
+  /// was produced under. `bytes` is the result's memory footprint (the
+  /// caller computes it once for budget charging). Oversized results
+  /// (> capacity) are rejected; otherwise LRU entries evict until it fits.
+  void Insert(const std::string& sql, Dialect dialect,
+              const std::string& schema, const Versions& v,
+              std::shared_ptr<const QueryResult> result, size_t bytes);
+
+  /// Drops every entry (tests / engine shutdown).
+  void Clear();
+
+  size_t size() const;
+  size_t bytes() const;
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const QueryResult> result;
+    Versions versions;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  static std::string Key(const std::string& sql, Dialect dialect,
+                         const std::string& schema);
+  void EvictLocked(const std::string& key);
+
+  mutable std::mutex mu_;
+  const size_t capacity_bytes_;
+  size_t bytes_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  ///< front = most recently used
+};
+
+}  // namespace dashdb

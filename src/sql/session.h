@@ -118,6 +118,18 @@ class Session {
   bool adaptive_enabled() const { return adaptive_enabled_; }
   void set_adaptive_enabled(bool on) { adaptive_enabled_ = on; }
 
+  /// SET SHARED_SCAN ON|OFF: attach this session's table scans to in-flight
+  /// circular scans of the same (table, column set) so concurrent queries
+  /// share one pass over the pages (OFF by default).
+  bool shared_scan_enabled() const { return shared_scan_enabled_; }
+  void set_shared_scan_enabled(bool on) { shared_scan_enabled_ = on; }
+
+  /// SET RESULT_CACHE ON|OFF: serve repeated read-only statements from the
+  /// engine's versioned result cache (OFF by default; writes invalidate by
+  /// version bump, so a hit is never stale).
+  bool result_cache_enabled() const { return result_cache_enabled_; }
+  void set_result_cache_enabled(bool on) { result_cache_enabled_ = on; }
+
   // --- query governance (DESIGN.md "Query governance") -------------------
 
   /// SET STATEMENT_TIMEOUT <seconds>: deadline armed on every subsequent
@@ -227,6 +239,8 @@ class Session {
   int max_parallelism_ = 0;  ///< 0 = ANY
   OptimizerMode optimizer_mode_ = OptimizerMode::kCost;
   bool adaptive_enabled_ = true;
+  bool shared_scan_enabled_ = false;
+  bool result_cache_enabled_ = false;
   double statement_timeout_s_ = 0;
   int64_t mem_budget_bytes_ = 0;
   bool admission_enabled_ = true;

@@ -390,10 +390,13 @@ void ColumnTable::ChargePool(BufferPool* pool, int col, size_t page_no) const {
   PageId id{table_id_, static_cast<uint32_t>(col),
             static_cast<uint32_t>(page_no)};
   size_t bytes = columns_[col].pages[page_no]->ByteSize();
-  if (pool) pool->Access(id, bytes);
+  // ChargePool is reached only from sequential scan paths (page scans,
+  // COUNT fast path); random point access (GetCell) decodes without
+  // charging. Tag the access so LRU pools admit it scan-resistantly.
+  if (pool) pool->Access(id, bytes, /*sequential_scan=*/true);
   if (io_sink_ && io_model_.enabled) {
     // Modeled storage read on a cache miss (hits are free).
-    bool hit = io_pool_ && io_pool_->Access(id, bytes);
+    bool hit = io_pool_ && io_pool_->Access(id, bytes, /*sequential_scan=*/true);
     if (!hit) {
       io_sink_->fetch_add(io_model_.CostNanos(bytes, /*seeks=*/1));
     }

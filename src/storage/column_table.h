@@ -41,6 +41,7 @@ struct ColumnPredicate {
 };
 
 class ThreadPool;
+class ScanShareManager;
 
 /// Feature switches for a scan — the paper's architectural levers, each
 /// independently toggleable for the ablation bench and the Test-4
@@ -55,6 +56,13 @@ struct ScanOptions {
   /// both are independently settable for the ablation bench.
   ThreadPool* exec_pool = nullptr;
   int dop = 1;
+  /// Cooperative shared scans (src/exec/shared_scan.h): when `shared_scan`
+  /// is on and `share` points at the engine's manager, concurrent scans of
+  /// the same (table, column-set) follow one circular page clock. The
+  /// manager pointer is always armed by the engine; the bool is the
+  /// session's SET SHARED_SCAN knob.
+  ScanShareManager* share = nullptr;
+  bool shared_scan = false;
 };
 
 /// Per-scan observability counters.
