@@ -1,0 +1,92 @@
+#include "common/sort_key.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dashdb {
+
+namespace {
+
+inline void AppendBigEndian(uint64_t u, std::string* out) {
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(u & 0xFF);
+    u >>= 8;
+  }
+  out->append(buf, 8);
+}
+
+inline uint64_t DoubleBits(double d) {
+  // Canonicalize so comparator-equal doubles encode identically: -0.0 and
+  // +0.0 must collide, and every NaN payload maps to one quiet NaN (which
+  // then sorts above +inf and below NULL).
+  if (d == 0.0) d = 0.0;
+  if (std::isnan(d)) d = std::numeric_limits<double>::quiet_NaN();
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d), "IEEE double expected");
+  std::memcpy(&bits, &d, sizeof(bits));
+  // Negative doubles: complement everything (reverses their order).
+  // Non-negative: set the sign bit so they sort above all negatives.
+  return (bits >> 63) ? ~bits : (bits | 0x8000000000000000ULL);
+}
+
+}  // namespace
+
+void AppendNormalizedCell(const ColumnVector& cv, size_t row, bool desc,
+                          std::string* out) {
+  const size_t start = out->size();
+  if (cv.IsNull(row)) {
+    out->push_back('\x01');
+  } else {
+    out->push_back('\x00');
+    switch (cv.type()) {
+      case TypeId::kDouble:
+        AppendBigEndian(DoubleBits(cv.GetDouble(row)), out);
+        break;
+      case TypeId::kVarchar: {
+        const std::string& s = cv.GetString(row);
+        for (char ch : s) {
+          if (ch == '\0') {
+            out->push_back('\x00');
+            out->push_back('\xFF');
+          } else {
+            out->push_back(ch);
+          }
+        }
+        out->push_back('\x00');
+        out->push_back('\x00');
+        break;
+      }
+      default:  // all integer-backed types share the int64 payload
+        AppendBigEndian(static_cast<uint64_t>(cv.GetInt(row)) ^
+                            0x8000000000000000ULL,
+                        out);
+        break;
+    }
+  }
+  if (desc) {
+    for (size_t i = start; i < out->size(); ++i) {
+      (*out)[i] = static_cast<char>(~static_cast<unsigned char>((*out)[i]));
+    }
+  }
+}
+
+void NormalizedKeyColumn::Build(
+    const std::vector<const ColumnVector*>& key_cols,
+    const std::vector<bool>& desc, size_t begin, size_t end) {
+  bytes_.clear();
+  offsets_.clear();
+  const size_t n = end - begin;
+  offsets_.reserve(n + 1);
+  // Fixed-width keys dominate; reserve as if every part were int/double.
+  bytes_.reserve(n * (key_cols.size() * 9 + 1));
+  offsets_.push_back(0);
+  for (size_t r = begin; r < end; ++r) {
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      AppendNormalizedCell(*key_cols[k], r, desc[k], &bytes_);
+    }
+    offsets_.push_back(bytes_.size());
+  }
+}
+
+}  // namespace dashdb

@@ -160,6 +160,7 @@ struct ExecInstruments {
   Counter* bloom_pushdowns;      ///< runtime Bloom filters installed on scans
   Counter* bloom_rows_dropped;   ///< scan rows rejected by pushed filters
   Counter* adaptive_replans;     ///< mid-query join re-orderings
+  Counter* limit_early_stops;    ///< LimitOp stops with limit satisfied
   Histogram* batch_rows;
   Histogram* filter_selectivity;  ///< percent of examined rows passing
   Histogram* card_est_error;      ///< log2(actual/estimated) per operator
@@ -175,6 +176,7 @@ ExecInstruments& GlobalExecInstruments() {
       reg.GetCounter("exec.bloom_pushdowns"),
       reg.GetCounter("exec.bloom_rows_dropped"),
       reg.GetCounter("exec.adaptive_replans"),
+      reg.GetCounter("exec.limit_early_stops"),
       reg.GetHistogram("exec.batch_rows", {16, 64, 256, 1024, 4096}),
       reg.GetHistogram("exec.filter_selectivity", {1, 5, 10, 25, 50, 75, 90, 100}),
       reg.GetHistogram("exec.card_est_error", {-4, -2, -1, 0, 1, 2, 4}),
@@ -499,6 +501,11 @@ Status ParallelColumnScanOp::RunMorsels() {
     }
   }
   DASHDB_RETURN_IF_ERROR(first_error);
+  // A governed ParallelFor abandons its tail when a cancel/timeout lands on
+  // its own chunk-claim probe — without recording an error. Re-probe before
+  // reporting the morsel set complete, or a cancelled scan would surface as
+  // a clean (but truncated) end-of-stream.
+  DASHDB_RETURN_IF_ERROR(CheckQueryAlive());
   for (const auto& s : unit_stats) {
     stats_.pages_visited += s.pages_visited;
     stats_.pages_skipped += s.pages_skipped;
@@ -1534,72 +1541,7 @@ Result<bool> HashAggOp::NextImpl(RowBatch* out) {
   return out->num_rows() > 0 || !out->columns.empty();
 }
 
-// ------------------------------------------------------------------ Sort --
-
-SortOp::SortOp(OperatorPtr child, std::vector<SortKey> keys,
-               const ExecContext* ctx)
-    : child_(std::move(child)), keys_(std::move(keys)), ctx_(ctx) {
-  output_ = child_->output();
-}
-
-Status SortOp::OpenImpl() {
-  done_ = false;
-  materialized_ = false;
-  return child_->Open();
-}
-
-Result<bool> SortOp::NextImpl(RowBatch* out) {
-  if (!materialized_) {
-    DASHDB_ASSIGN_OR_RETURN(RowBatch all, DrainOperator(child_.get()));
-    // The sort holds both the drained input and the reordered copy.
-    DASHDB_RETURN_IF_ERROR(
-        ChargeMemory(2 * BatchMemoryBytes(all), "sort materialize"));
-    const size_t n = all.num_rows();
-    // Evaluate sort keys once.
-    std::vector<ColumnVector> key_cols;
-    for (const auto& k : keys_) {
-      DASHDB_ASSIGN_OR_RETURN(ColumnVector cv, k.expr->Evaluate(all, *ctx_));
-      key_cols.push_back(std::move(cv));
-    }
-    std::vector<uint32_t> order(n);
-    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
-    // Typed cell comparison straight off the key columns' primitive
-    // payloads — no per-comparison Value boxing. Mirrors Value::Compare:
-    // NULLs sort high, doubles via <, everything else via the int64
-    // payload (a key column has one type, so no cross-family cases).
-    auto compare_cell = [](const ColumnVector& cv, uint32_t a,
-                           uint32_t b) -> int {
-      const bool an = cv.IsNull(a), bn = cv.IsNull(b);
-      if (an || bn) return an ? (bn ? 0 : 1) : -1;
-      if (cv.type() == TypeId::kVarchar) {
-        const std::string& x = cv.GetString(a);
-        const std::string& y = cv.GetString(b);
-        return x < y ? -1 : (x == y ? 0 : 1);
-      }
-      if (cv.type() == TypeId::kDouble) {
-        const double x = cv.GetDouble(a), y = cv.GetDouble(b);
-        return x < y ? -1 : (x == y ? 0 : 1);
-      }
-      const int64_t x = cv.GetInt(a), y = cv.GetInt(b);
-      return x < y ? -1 : (x == y ? 0 : 1);
-    };
-    std::stable_sort(order.begin(), order.end(),
-                     [&](uint32_t a, uint32_t b) {
-                       for (size_t k = 0; k < keys_.size(); ++k) {
-                         int c = compare_cell(key_cols[k], a, b);
-                         if (c != 0) return keys_[k].desc ? c > 0 : c < 0;
-                       }
-                       return false;
-                     });
-    InitBatchFor(output_, &result_);
-    for (uint32_t r : order) AppendRowFrom(all, r, &result_);
-    materialized_ = true;
-  }
-  if (done_) return false;
-  *out = std::move(result_);
-  done_ = true;
-  return out->num_rows() > 0;
-}
+// SortOp / TopNOp live in exec/sort.cc (parallel sort subsystem).
 
 // ----------------------------------------------------------------- Limit --
 
@@ -1611,15 +1553,21 @@ LimitOp::LimitOp(OperatorPtr child, int64_t limit, int64_t offset)
 Status LimitOp::OpenImpl() {
   skipped_ = 0;
   emitted_ = 0;
+  child_pulls_ = 0;
+  done_ = limit_ == 0;  // LIMIT 0 never pulls the child at all
   return child_->Open();
 }
 
 Result<bool> LimitOp::NextImpl(RowBatch* out) {
-  if (limit_ >= 0 && emitted_ >= limit_) return false;
+  if (done_) return false;
   RowBatch in;
   for (;;) {
+    ++child_pulls_;
     DASHDB_ASSIGN_OR_RETURN(bool more, child_->NextSel(&in));
-    if (!more) return false;
+    if (!more) {
+      done_ = true;
+      return false;
+    }
     InitBatchFor(output_, out);
     const size_t lrows = in.logical_rows();
     for (size_t i = 0; i < lrows; ++i) {
@@ -1631,9 +1579,19 @@ Result<bool> LimitOp::NextImpl(RowBatch* out) {
       AppendRowFrom(in, in.row_at(i), out);
       ++emitted_;
     }
+    // Latch completion the moment the limit is met: no later NextImpl may
+    // touch the child again (verified by child_pulls() in tests).
+    if (limit_ >= 0 && emitted_ >= limit_) {
+      done_ = true;
+      GlobalExecInstruments().limit_early_stops->Add(1);
+    }
     if (out->num_rows() > 0) return true;
-    if (limit_ >= 0 && emitted_ >= limit_) return false;
+    if (done_) return false;
   }
+}
+
+std::string LimitOp::AnalyzeExtra() const {
+  return " pulls=" + std::to_string(child_pulls_);
 }
 
 // ---------------------------------------------------------------- Values --

@@ -580,34 +580,11 @@ class CountStarScanOp : public Operator {
   ScanStats stats_;
 };
 
-/// One sort key.
-struct SortKey {
-  ExprPtr expr;
-  bool desc = false;
-};
-
-/// Full sort (materializing).
-class SortOp : public Operator {
- public:
-  SortOp(OperatorPtr child, std::vector<SortKey> keys, const ExecContext* ctx);
-  Status OpenImpl() override;
-  Result<bool> NextImpl(RowBatch* out) override;
-
-  std::string label() const override { return "Sort(keys=" + std::to_string(keys_.size()) + ")"; }
-  std::vector<const Operator*> children() const override {
-    return {child_.get()};
-  }
-
- private:
-  OperatorPtr child_;
-  std::vector<SortKey> keys_;
-  const ExecContext* ctx_;
-  RowBatch result_;
-  bool done_ = false;
-  bool materialized_ = false;
-};
+// SortKey / SortOp / TopNOp live in exec/sort.h (parallel sort subsystem).
 
 /// LIMIT n OFFSET m (also implements FETCH FIRST and Oracle ROWNUM caps).
+/// Once the limit is satisfied the child is never pulled again (done_
+/// latches), which `child_pulls()` makes verifiable.
 class LimitOp : public Operator {
  public:
   LimitOp(OperatorPtr child, int64_t limit, int64_t offset);
@@ -619,10 +596,18 @@ class LimitOp : public Operator {
     return {child_.get()};
   }
 
+  /// Number of child NextSel calls made so far (early-termination probe).
+  uint64_t child_pulls() const { return child_pulls_; }
+
+ protected:
+  std::string AnalyzeExtra() const override;
+
  private:
   OperatorPtr child_;
   int64_t limit_, offset_;
   int64_t skipped_ = 0, emitted_ = 0;
+  uint64_t child_pulls_ = 0;
+  bool done_ = false;  ///< latched when the limit is satisfied
 };
 
 /// Emits a constant batch (VALUES clause, DUAL, INSERT source).

@@ -10,6 +10,7 @@
 #include "common/hash.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/sort_key.h"
 #include "common/stopwatch.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -39,6 +40,7 @@ struct MppInstruments {
   Counter* exchange_bytes;             ///< in-memory bytes those chunks decode to
   Counter* exchange_compressed_bytes;  ///< wire bytes actually shipped
   Counter* exchange_stalls;            ///< producer waits on a full window
+  Counter* merge_streams;  ///< pre-sorted shard streams k-way merged
 };
 
 MppInstruments& GlobalMppInstruments() {
@@ -56,6 +58,7 @@ MppInstruments& GlobalMppInstruments() {
       reg.GetCounter("mpp.exchange_bytes"),
       reg.GetCounter("mpp.exchange_compressed_bytes"),
       reg.GetCounter("mpp.exchange_stalls"),
+      reg.GetCounter("mpp.merge_streams"),
   };
   return in;
 }
@@ -68,6 +71,45 @@ void SplitAndConjuncts(const ast::ExprP& e, std::vector<ast::ExprP>* out) {
     return;
   }
   if (e) out->push_back(e);
+}
+
+/// Resolves one ORDER BY key to a select-list index: ordinals, output
+/// names/aliases, bare column refs, and — the pushdown enabler — any
+/// expression textually identical to a select item (e.g. ORDER BY V + C
+/// when V + C is selected). Returns -1 when the key is none of these.
+int ResolveOrderKeyIdx(const ast::OrderItem& oi, const ast::SelectStmt& sel) {
+  const size_t n = sel.items.size();
+  if (oi.ordinal > 0) {
+    return oi.ordinal <= static_cast<int>(n) ? oi.ordinal - 1 : -1;
+  }
+  for (size_t c = 0; c < n; ++c) {
+    const ast::SelectItem& item = sel.items[c];
+    std::string name;
+    if (!item.alias.empty()) {
+      name = NormalizeIdent(item.alias);
+    } else if (item.expr && (item.expr->kind == ExprKind::kColumnRef ||
+                             item.expr->kind == ExprKind::kFuncCall)) {
+      name = item.expr->name;
+    } else {
+      name = "EXPR_" + std::to_string(c + 1);
+    }
+    if (!oi.output_name.empty() && NormalizeIdent(oi.output_name) == name) {
+      return static_cast<int>(c);
+    }
+    if (oi.expr && oi.expr->kind == ExprKind::kColumnRef &&
+        oi.expr->name == name) {
+      return static_cast<int>(c);
+    }
+  }
+  if (oi.expr) {
+    const std::string want = AstToString(oi.expr);
+    for (size_t c = 0; c < n; ++c) {
+      if (sel.items[c].expr && AstToString(sel.items[c].expr) == want) {
+        return static_cast<int>(c);
+      }
+    }
+  }
+  return -1;
 }
 
 void CollectRefs(const ast::ExprP& e, std::vector<const ast::Expr*>* out) {
@@ -787,13 +829,45 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
       PrepareBloomPushdown(sel);
 
   if (!has_agg) {
-    // Run shard-local plans without ORDER BY/LIMIT; merge; finish globally.
+    bool has_star = false;
+    for (const auto& item : sel.items) {
+      if (item.expr && item.expr->kind == ExprKind::kStar) has_star = true;
+    }
+    // Pre-execution ORDER BY resolution against the select list. When every
+    // key resolves (star expansion hides the output indices, so star
+    // queries keep the legacy gather+re-sort), the ORDER BY — plus a LIMIT
+    // inflated by the offset — ships into the shard-local plans, and the
+    // coordinator k-way merges the pre-sorted shard streams instead of
+    // re-sorting the whole union.
+    std::vector<std::pair<int, bool>> ord_keys;  // select-item idx, desc
+    bool push_sort = false;
+    if (!sel.order_by.empty() && !has_star) {
+      for (const auto& oi : sel.order_by) {
+        int idx = ResolveOrderKeyIdx(oi, sel);
+        if (idx < 0) {
+          return Status::Unimplemented(
+              "MPP ORDER BY supports output columns, ordinals, and "
+              "select-list expressions");
+        }
+        ord_keys.emplace_back(idx, oi.desc);
+      }
+      push_sort = true;
+    }
     auto shard_sel = std::make_shared<ast::SelectStmt>(sel);
-    shard_sel->order_by.clear();
-    shard_sel->limit = -1;
     shard_sel->offset = 0;
+    if (!push_sort) shard_sel->order_by.clear();
+    // A shard truncated to its first limit+offset rows still contains every
+    // row a global prefix of limit+offset can draw from it, so LIMIT pushes
+    // down whenever the shard stream order is the one the prefix is taken
+    // in — sorted (push_sort) or plain concatenation order.
+    if ((push_sort || sel.order_by.empty()) && sel.limit >= 0) {
+      shard_sel->limit = sel.limit + sel.offset;
+    } else {
+      shard_sel->limit = -1;
+    }
     ShardFn fn = MakeShardSelectFn(shard_sel, analyze, bloom_filters);
-    RowBatch merged;
+    RowBatch merged;                      // legacy concatenation
+    std::vector<RowBatch> shard_batches;  // push_sort: one stream per shard
     std::vector<OutputCol> cols;
     MergeCharge mem{query_ctx_.get()};
     for (size_t s = 0; s < shards_.size(); ++s) {
@@ -813,20 +887,85 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
         cols = r.cols;
         for (const auto& c : cols) merged.columns.emplace_back(c.type);
       }
-      const RowBatch& batch = r.batch;
       DASHDB_RETURN_IF_ERROR(
-          mem.Add(BatchMemoryBytes(batch), "MPP result assembly"));
+          mem.Add(BatchMemoryBytes(r.batch), "MPP result assembly"));
+      record_shard(s, sstats, r, secs);
+      if (push_sort) {
+        shard_batches.push_back(std::move(r.batch));
+        continue;
+      }
+      const RowBatch& batch = r.batch;
       for (size_t i = 0; i < batch.num_rows(); ++i) {
         for (size_t c = 0; c < batch.columns.size(); ++c) {
           merged.columns[c].AppendFrom(batch.columns[c], i);
         }
       }
-      record_shard(s, sstats, r, secs);
     }
-    // Coordinator-side ORDER BY / LIMIT.
     out.result.columns = cols;
+    if (push_sort) {
+      // Streaming k-way merge over the pre-sorted shard streams. Shard
+      // sorts are stable, and key ties break on the shard index, so the
+      // output is byte-identical to concatenating the unsorted streams in
+      // shard order and stable-sorting globally.
+      const size_t S = shard_batches.size();
+      std::vector<bool> desc;
+      for (const auto& [idx, d] : ord_keys) desc.push_back(d);
+      std::vector<NormalizedKeyColumn> keys(S);
+      int64_t key_bytes = 0;
+      for (size_t s = 0; s < S; ++s) {
+        std::vector<const ColumnVector*> kc;
+        for (const auto& [idx, d] : ord_keys) {
+          kc.push_back(&shard_batches[s].columns[idx]);
+        }
+        keys[s].Build(kc, desc, 0, shard_batches[s].num_rows());
+        key_bytes += static_cast<int64_t>(keys[s].byte_size());
+      }
+      DASHDB_RETURN_IF_ERROR(mem.Add(key_bytes, "MPP merge keys"));
+      GlobalMppInstruments().merge_streams->Add(static_cast<int64_t>(S));
+      std::vector<size_t> pos(S, 0);
+      auto alive = [&](size_t s) {
+        return pos[s] < shard_batches[s].num_rows();
+      };
+      auto wins = [&](size_t a, size_t b) {
+        int c = keys[a].Compare(pos[a], keys[b], pos[b]);
+        return c != 0 ? c < 0 : a < b;
+      };
+      TournamentTree tree;
+      tree.Init(S, wins, alive);
+      RowBatch sorted;
+      for (const auto& c : cols) sorted.columns.emplace_back(c.type);
+      const int64_t want =
+          sel.limit < 0 ? -1 : sel.limit + static_cast<int64_t>(sel.offset);
+      int64_t popped = 0;
+      size_t since_probe = 0;
+      for (;;) {
+        if (want >= 0 && popped >= want) break;  // prefix satisfied: stop
+        const int w = tree.winner();
+        if (w < 0) break;
+        if (popped >= static_cast<int64_t>(sel.offset)) {
+          for (size_t c = 0; c < cols.size(); ++c) {
+            sorted.columns[c].AppendFrom(shard_batches[w].columns[c],
+                                         pos[w]);
+          }
+        }
+        ++pos[w];
+        ++popped;
+        tree.Replay(static_cast<size_t>(w), wins, alive);
+        if (query_ctx_ != nullptr && ++since_probe >= 2048) {
+          since_probe = 0;
+          DASHDB_RETURN_IF_ERROR(query_ctx_->CheckAlive());
+        }
+      }
+      out.result.rows = std::move(sorted);
+      out.result.affected_rows =
+          static_cast<int64_t>(out.result.rows.num_rows());
+      finish_analyze();
+      return out;
+    }
     out.result.rows = std::move(merged);
     if (!sel.order_by.empty()) {
+      // Star-expansion fallback: gather everything, resolve against the
+      // shard output columns, re-sort globally (the pre-PR path).
       std::vector<uint32_t> order(out.result.rows.num_rows());
       for (size_t i = 0; i < order.size(); ++i) order[i] = i;
       std::vector<std::pair<int, bool>> keys;  // col idx, desc
@@ -843,7 +982,8 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
         }
         if (idx < 0) {
           return Status::Unimplemented(
-              "MPP ORDER BY supports output columns/ordinals");
+              "MPP ORDER BY supports output columns, ordinals, and "
+              "select-list expressions");
         }
         keys.emplace_back(idx, oi.desc);
       }
@@ -1094,19 +1234,14 @@ Result<MppQueryResult> MppDatabase::ExecSelect(const ast::SelectStmt& sel,
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::vector<std::pair<int, bool>> keys;
     for (const auto& oi : sel.order_by) {
-      int idx = -1;
-      if (oi.ordinal > 0) {
-        idx = oi.ordinal - 1;
-      } else if (oi.expr && oi.expr->kind == ExprKind::kColumnRef) {
-        for (size_t c = 0; c < final_cols.size(); ++c) {
-          if (NormalizeIdent(final_cols[c].name) == oi.expr->name) {
-            idx = static_cast<int>(c);
-          }
-        }
-      }
+      // final_cols run parallel to sel.items, so select-list resolution
+      // (names, ordinals, and whole select-list expressions — e.g.
+      // ORDER BY COUNT(*)) indexes the merged result directly.
+      int idx = ResolveOrderKeyIdx(oi, sel);
       if (idx < 0) {
         return Status::Unimplemented(
-            "MPP ORDER BY supports output columns/ordinals");
+            "MPP ORDER BY supports output columns, ordinals, and "
+            "select-list expressions");
       }
       keys.emplace_back(idx, oi.desc);
     }
@@ -1304,6 +1439,8 @@ MppDatabase::ShardFn MppDatabase::MakeShardSelectFn(
       session->set_optimizer_mode(sessions_[shard]->optimizer_mode());
       session->set_adaptive_enabled(sessions_[shard]->adaptive_enabled());
       session->set_shared_scan_enabled(sessions_[shard]->shared_scan_enabled());
+      session->set_serial_sort(sessions_[shard]->serial_sort());
+      session->set_topn_enabled(sessions_[shard]->topn_enabled());
     }
     BindOptions bopts;
     bopts.scan = shards_[shard]->MakeScanOptions();

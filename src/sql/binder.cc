@@ -6,6 +6,7 @@
 #include <set>
 
 #include "exec/functions.h"
+#include "exec/sort.h"
 #include "sql/cardinality.h"
 #include "sql/parser.h"
 
@@ -1218,6 +1219,14 @@ class SelectBinder {
     }
 
     // ---- ORDER BY ----
+    // Effective row cap (LIMIT merged with an Oracle ROWNUM cap), known
+    // before planning the sort so ORDER BY + LIMIT can fuse into TopNOp.
+    int64_t eff_limit = stmt.limit;
+    if (rownum_limit >= 0) {
+      eff_limit = eff_limit < 0 ? rownum_limit
+                                : std::min(eff_limit, rownum_limit);
+    }
+    bool topn_fused = false;
     if (!stmt.order_by.empty()) {
       std::vector<SortKey> keys;
       for (const auto& oi : stmt.order_by) {
@@ -1266,8 +1275,22 @@ class SelectBinder {
         }
         keys.push_back(std::move(k));
       }
-      root = std::make_unique<SortOp>(std::move(root), std::move(keys),
-                                      &b_->session()->exec_ctx());
+      // Fuse into a bounded-heap TopN when a small prefix is requested:
+      // only limit+offset rows are ever retained, instead of sorting the
+      // whole input. The heap applies offset+limit itself, so the LimitOp
+      // below is skipped. Huge prefixes keep the full sort (heap updates
+      // would dominate).
+      if (eff_limit >= 0 && b_->session()->topn_enabled() &&
+          eff_limit + stmt.offset <= kTopNMaxCapacity) {
+        root = std::make_unique<TopNOp>(std::move(root), std::move(keys),
+                                        eff_limit, stmt.offset,
+                                        &b_->session()->exec_ctx());
+        topn_fused = true;
+      } else {
+        root = std::make_unique<SortOp>(std::move(root), std::move(keys),
+                                        &b_->session()->exec_ctx(),
+                                        b_->session()->serial_sort());
+      }
     }
     if (hidden_order_cols_ > 0) {
       // Strip the hidden ORDER BY columns.
@@ -1286,13 +1309,10 @@ class SelectBinder {
       hidden_order_cols_ = 0;
     }
 
-    // ---- LIMIT / OFFSET / ROWNUM ----
-    int64_t limit = stmt.limit;
-    if (rownum_limit >= 0) {
-      limit = limit < 0 ? rownum_limit : std::min(limit, rownum_limit);
-    }
-    if (limit >= 0 || stmt.offset > 0) {
-      root = std::make_unique<LimitOp>(std::move(root), limit, stmt.offset);
+    // ---- LIMIT / OFFSET / ROWNUM ---- (already applied when TopN fused)
+    if (!topn_fused && (eff_limit >= 0 || stmt.offset > 0)) {
+      root = std::make_unique<LimitOp>(std::move(root), eff_limit,
+                                       stmt.offset);
     }
     return root;
   }

@@ -130,6 +130,17 @@ class Session {
   bool result_cache_enabled() const { return result_cache_enabled_; }
   void set_result_cache_enabled(bool on) { result_cache_enabled_ = on; }
 
+  /// SET SORT SERIAL|PARALLEL: force the single-threaded stable_sort
+  /// oracle instead of the normalized-key run sort + merge (PARALLEL by
+  /// default; SERIAL is the byte-identity baseline and bench A arm).
+  bool serial_sort() const { return serial_sort_; }
+  void set_serial_sort(bool on) { serial_sort_ = on; }
+
+  /// SET TOPN ON|OFF: allow the binder to fuse ORDER BY + LIMIT/OFFSET
+  /// into the bounded-heap TopNOp (ON by default).
+  bool topn_enabled() const { return topn_enabled_; }
+  void set_topn_enabled(bool on) { topn_enabled_ = on; }
+
   // --- query governance (DESIGN.md "Query governance") -------------------
 
   /// SET STATEMENT_TIMEOUT <seconds>: deadline armed on every subsequent
@@ -241,6 +252,8 @@ class Session {
   bool adaptive_enabled_ = true;
   bool shared_scan_enabled_ = false;
   bool result_cache_enabled_ = false;
+  bool serial_sort_ = false;
+  bool topn_enabled_ = true;
   double statement_timeout_s_ = 0;
   int64_t mem_budget_bytes_ = 0;
   bool admission_enabled_ = true;

@@ -166,6 +166,16 @@ inline constexpr const char* kCorpus[] = {
     // replicated dim ships a serialized filter in every shard request.
     "SELECT COUNT(*), SUM(t.V) FROM T t, H h "
     "WHERE t.ID = h.ID AND h.W <= 40",
+    // ORDER BY/LIMIT/OFFSET shapes for the pushed-down parallel sort: the
+    // coordinator must merge pre-sorted shard streams byte-identically to
+    // a global re-sort, at DOP 1/4 and under node-kill replay.
+    "SELECT ID, V, S FROM T ORDER BY V DESC, ID LIMIT 31",
+    "SELECT ID, V FROM T ORDER BY V, ID LIMIT 40 OFFSET 25",
+    "SELECT S, V, ID FROM T ORDER BY S, V DESC, ID",
+    "SELECT ID, V + CAT FROM T WHERE V >= 10 ORDER BY V + CAT, ID LIMIT 12",
+    // Non-unique sort key: ties resolved by the stable shard-order
+    // tie-break, which must equal concatenation + stable global sort.
+    "SELECT GRP, ID FROM T ORDER BY GRP LIMIT 50",
 };
 inline constexpr size_t kCorpusSize = sizeof(kCorpus) / sizeof(kCorpus[0]);
 

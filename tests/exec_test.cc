@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "exec/functions.h"
 #include "exec/operator.h"
+#include "exec/sort.h"
 
 namespace dashdb {
 namespace {

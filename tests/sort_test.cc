@@ -1,0 +1,723 @@
+// Parallel sort & Top-N subsystem (ctest -L sort). Covers the normalized
+// memcmp-able key encoding against the Value::Compare oracle (NULLs,
+// -0.0/NaN canonicalization, empty and embedded-NUL strings, DESC
+// complements), byte-identity of the morsel run-sort + k-way merge against
+// the serial stable_sort oracle, bounded-heap Top-N equivalence, LIMIT
+// early termination, cancellation storms through a governed sort, and the
+// MPP ORDER BY/LIMIT pushdown with the coordinator stream merge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/query_context.h"
+#include "common/rng.h"
+#include "common/sort_key.h"
+#include "common/threadpool.h"
+#include "exec/operator.h"
+#include "exec/sort.h"
+#include "mpp/mpp.h"
+#include "sql/engine.h"
+#include "corpus_util.h"
+
+namespace dashdb {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  return MetricRegistry::Global().GetCounter(name)->value();
+}
+
+int Sgn(int c) { return c < 0 ? -1 : (c > 0 ? 1 : 0); }
+
+/// Encodes one cell through the public normalized-key entry point.
+std::string Enc(const ColumnVector& cv, size_t row, bool desc = false) {
+  std::string out;
+  AppendNormalizedCell(cv, row, desc, &out);
+  return out;
+}
+
+int CompareEnc(const std::string& a, const std::string& b) {
+  int c = std::memcmp(a.data(), b.data(), std::min(a.size(), b.size()));
+  if (c != 0) return Sgn(c);
+  return a.size() < b.size() ? -1 : (a.size() == b.size() ? 0 : 1);
+}
+
+/// Canonical string form of a drained batch (row order significant).
+std::string BatchKey(const RowBatch& b) {
+  std::ostringstream os;
+  for (size_t i = 0; i < b.num_rows(); ++i) {
+    for (size_t c = 0; c < b.columns.size(); ++c) {
+      os << b.columns[c].GetValue(i).ToString() << '|';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+/// Canonical string form of a single-node result.
+std::string RowsKey(const QueryResult& r) {
+  std::ostringstream os;
+  for (const auto& c : r.columns) os << c.name << '|';
+  os << '\n';
+  for (size_t i = 0; i < r.rows.num_rows(); ++i) {
+    for (size_t c = 0; c < r.rows.columns.size(); ++c) {
+      os << r.rows.columns[c].GetValue(i).ToString() << '|';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+// ------------------------------------------------- key encoding property --
+
+TEST(SortKeyTest, Int64EncodingMatchesValueCompare) {
+  ColumnVector cv(TypeId::kInt64);
+  cv.AppendInt(std::numeric_limits<int64_t>::min());
+  cv.AppendInt(std::numeric_limits<int64_t>::min() + 1);
+  cv.AppendInt(-1);
+  cv.AppendInt(0);
+  cv.AppendInt(1);
+  cv.AppendInt(std::numeric_limits<int64_t>::max());
+  cv.AppendNull();
+  Rng rng(11);
+  for (int i = 0; i < 120; ++i) {
+    if (rng.Bernoulli(0.1)) {
+      cv.AppendNull();
+    } else {
+      cv.AppendInt(static_cast<int64_t>(rng.Next()));
+    }
+  }
+  for (size_t i = 0; i < cv.size(); ++i) {
+    for (size_t j = 0; j < cv.size(); ++j) {
+      const int want = cv.GetValue(i).Compare(cv.GetValue(j));
+      EXPECT_EQ(Sgn(CompareEnc(Enc(cv, i), Enc(cv, j))), Sgn(want))
+          << "rows " << i << "," << j;
+    }
+  }
+}
+
+TEST(SortKeyTest, DoubleEncodingMatchesValueCompare) {
+  ColumnVector cv(TypeId::kDouble);
+  cv.AppendDouble(-std::numeric_limits<double>::infinity());
+  cv.AppendDouble(-1e308);
+  cv.AppendDouble(-1.5);
+  cv.AppendDouble(-std::numeric_limits<double>::denorm_min());
+  cv.AppendDouble(-0.0);
+  cv.AppendDouble(0.0);
+  cv.AppendDouble(std::numeric_limits<double>::denorm_min());
+  cv.AppendDouble(1.5);
+  cv.AppendDouble(1e308);
+  cv.AppendDouble(std::numeric_limits<double>::infinity());
+  cv.AppendNull();
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    cv.AppendDouble((rng.NextDouble() - 0.5) * std::pow(10.0, rng.Range(-20, 20)));
+  }
+  for (size_t i = 0; i < cv.size(); ++i) {
+    for (size_t j = 0; j < cv.size(); ++j) {
+      const int want = cv.GetValue(i).Compare(cv.GetValue(j));
+      EXPECT_EQ(Sgn(CompareEnc(Enc(cv, i), Enc(cv, j))), Sgn(want))
+          << "rows " << i << "," << j;
+    }
+  }
+}
+
+TEST(SortKeyTest, DoubleCanonicalization) {
+  // -0.0 and +0.0 encode identically (Value::Compare calls them equal, so
+  // byte-equality is required for the memcmp comparator to agree).
+  ColumnVector cv(TypeId::kDouble);
+  cv.AppendDouble(0.0);
+  cv.AppendDouble(-0.0);
+  EXPECT_EQ(Enc(cv, 0), Enc(cv, 1));
+
+  // All NaN payloads collapse to one canonical encoding that sorts above
+  // +inf and below NULL. (Value::Compare is not a total order on NaN, so
+  // the encoding defines the order; it only has to be self-consistent.)
+  ColumnVector nans(TypeId::kDouble);
+  nans.AppendDouble(std::numeric_limits<double>::quiet_NaN());
+  nans.AppendDouble(-std::numeric_limits<double>::quiet_NaN());
+  nans.AppendDouble(std::nan("0x5412"));
+  nans.AppendDouble(std::numeric_limits<double>::infinity());
+  nans.AppendNull();
+  EXPECT_EQ(Enc(nans, 0), Enc(nans, 1));
+  EXPECT_EQ(Enc(nans, 0), Enc(nans, 2));
+  EXPECT_GT(CompareEnc(Enc(nans, 0), Enc(nans, 3)), 0);  // NaN > +inf
+  EXPECT_LT(CompareEnc(Enc(nans, 0), Enc(nans, 4)), 0);  // NaN < NULL
+}
+
+TEST(SortKeyTest, VarcharEncodingMatchesValueCompare) {
+  ColumnVector cv(TypeId::kVarchar);
+  cv.AppendString("");
+  cv.AppendString("a");
+  cv.AppendString("ab");
+  cv.AppendString("b");
+  cv.AppendString(std::string("\0", 1));
+  cv.AppendString(std::string("a\0", 2));
+  cv.AppendString(std::string("a\0b", 3));
+  cv.AppendString(std::string("a\0\0", 3));
+  cv.AppendString("s1");
+  cv.AppendString("s10");
+  cv.AppendString("s2");
+  cv.AppendNull();
+  Rng rng(13);
+  const char alphabet[] = {'\0', 'a', 'b', 0x7f};
+  for (int i = 0; i < 80; ++i) {
+    std::string s;
+    const int len = static_cast<int>(rng.Uniform(6));
+    for (int k = 0; k < len; ++k) s.push_back(alphabet[rng.Uniform(4)]);
+    cv.AppendString(std::move(s));
+  }
+  for (size_t i = 0; i < cv.size(); ++i) {
+    for (size_t j = 0; j < cv.size(); ++j) {
+      const int want = cv.GetValue(i).Compare(cv.GetValue(j));
+      EXPECT_EQ(Sgn(CompareEnc(Enc(cv, i), Enc(cv, j))), Sgn(want))
+          << "rows " << i << "," << j;
+    }
+  }
+}
+
+TEST(SortKeyTest, DescComplementReversesOrderAndNullsGoFirst) {
+  ColumnVector cv(TypeId::kInt64);
+  cv.AppendInt(-5);
+  cv.AppendInt(0);
+  cv.AppendInt(7);
+  cv.AppendNull();
+  Rng rng(14);
+  for (int i = 0; i < 60; ++i) cv.AppendInt(rng.Range(-1000, 1000));
+  for (size_t i = 0; i < cv.size(); ++i) {
+    for (size_t j = 0; j < cv.size(); ++j) {
+      const int asc = CompareEnc(Enc(cv, i), Enc(cv, j));
+      const int desc = CompareEnc(Enc(cv, i, true), Enc(cv, j, true));
+      EXPECT_EQ(Sgn(desc), -Sgn(asc)) << "rows " << i << "," << j;
+    }
+  }
+  // NULL sorts high ascending, therefore first descending — matching the
+  // serial comparator, which flips the whole three-way result under DESC.
+  EXPECT_GT(CompareEnc(Enc(cv, 3), Enc(cv, 2)), 0);
+  EXPECT_LT(CompareEnc(Enc(cv, 3, true), Enc(cv, 2, true)), 0);
+}
+
+TEST(SortKeyTest, CompositeKeysKeepColumnBoundaries) {
+  // Embedded NULs and prefixes must not leak across key-column boundaries:
+  // ("a", "b") vs ("a\0b", "") would collide under naive concatenation.
+  ColumnVector c1(TypeId::kVarchar), c2(TypeId::kVarchar);
+  auto add = [&](const std::string& a, const std::string& b) {
+    c1.AppendString(a);
+    c2.AppendString(b);
+  };
+  add("a", "b");
+  add(std::string("a\0b", 3), "");
+  add("a", "");
+  add("", "a");
+  add("", "");
+  add(std::string("a\0", 2), "b");
+  std::vector<const ColumnVector*> cols{&c1, &c2};
+  std::vector<bool> desc{false, false};
+  NormalizedKeyColumn keys;
+  keys.Build(cols, desc, 0, c1.size());
+  for (size_t i = 0; i < c1.size(); ++i) {
+    for (size_t j = 0; j < c1.size(); ++j) {
+      int want = c1.GetValue(i).Compare(c1.GetValue(j));
+      if (want == 0) want = c2.GetValue(i).Compare(c2.GetValue(j));
+      EXPECT_EQ(Sgn(keys.Compare(i, keys, j)), Sgn(want))
+          << "rows " << i << "," << j;
+    }
+  }
+}
+
+TEST(SortKeyTest, MixedKeyColumnMatchesSerialComparator) {
+  // Random three-key rows (int DESC, varchar ASC, double ASC) with NULLs:
+  // the composite encoding must agree with the lexicographic typed
+  // comparator the serial oracle uses.
+  ColumnVector ki(TypeId::kInt64), ks(TypeId::kVarchar), kd(TypeId::kDouble);
+  Rng rng(15);
+  const size_t n = 250;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.1)) ki.AppendNull(); else ki.AppendInt(rng.Range(0, 9));
+    if (rng.Bernoulli(0.1)) ks.AppendNull();
+    else ks.AppendString("s" + std::to_string(rng.Uniform(4)));
+    if (rng.Bernoulli(0.1)) kd.AppendNull();
+    else kd.AppendDouble(static_cast<double>(rng.Range(-3, 3)) / 2.0);
+  }
+  std::vector<const ColumnVector*> cols{&ki, &ks, &kd};
+  std::vector<bool> desc{true, false, false};
+  NormalizedKeyColumn keys;
+  keys.Build(cols, desc, 0, n);
+  for (size_t i = 0; i < n; i += 3) {
+    for (size_t j = 0; j < n; j += 3) {
+      int want = 0;
+      for (size_t k = 0; k < cols.size() && want == 0; ++k) {
+        want = cols[k]->GetValue(i).Compare(cols[k]->GetValue(j));
+        if (desc[k]) want = -want;
+      }
+      EXPECT_EQ(Sgn(keys.Compare(i, keys, j)), Sgn(want))
+          << "rows " << i << "," << j;
+    }
+  }
+}
+
+// ------------------------------------------------------- operator level --
+
+ExprPtr Col(int i, TypeId t) { return std::make_shared<ColumnRefExpr>(i, t); }
+
+/// Ties-heavy mixed batch: K (int64, few distinct), D (double), STR
+/// (varchar, small alphabet), PAY (int64 row id — makes every row unique
+/// so byte-identity checks detect any stability violation).
+RowBatch MakeMixedBatch(size_t n, uint64_t seed) {
+  RowBatch b;
+  b.columns.emplace_back(TypeId::kInt64);
+  b.columns.emplace_back(TypeId::kDouble);
+  b.columns.emplace_back(TypeId::kVarchar);
+  b.columns.emplace_back(TypeId::kInt64);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.05)) b.columns[0].AppendNull();
+    else b.columns[0].AppendInt(rng.Range(0, 49));
+    if (rng.Bernoulli(0.05)) b.columns[1].AppendNull();
+    else b.columns[1].AppendDouble(static_cast<double>(rng.Range(-40, 40)) / 4.0);
+    if (rng.Bernoulli(0.05)) b.columns[2].AppendNull();
+    else b.columns[2].AppendString("k" + std::to_string(rng.Uniform(7)));
+    b.columns[3].AppendInt(static_cast<int64_t>(i));
+  }
+  return b;
+}
+
+std::vector<OutputCol> MixedCols() {
+  return {{"K", TypeId::kInt64},
+          {"D", TypeId::kDouble},
+          {"STR", TypeId::kVarchar},
+          {"PAY", TypeId::kInt64}};
+}
+
+std::vector<SortKey> MixedKeys(int variant) {
+  std::vector<SortKey> keys;
+  switch (variant) {
+    case 0:
+      keys.push_back({Col(0, TypeId::kInt64), false});
+      break;
+    case 1:
+      keys.push_back({Col(0, TypeId::kInt64), true});
+      keys.push_back({Col(2, TypeId::kVarchar), false});
+      break;
+    default:
+      keys.push_back({Col(2, TypeId::kVarchar), true});
+      keys.push_back({Col(1, TypeId::kDouble), false});
+      keys.push_back({Col(0, TypeId::kInt64), false});
+      break;
+  }
+  return keys;
+}
+
+TEST(SortOpTest, ParallelSortMatchesSerialStableOracle) {
+  ThreadPool pool(4);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{1000}, size_t{20000}}) {
+    RowBatch data = MakeMixedBatch(n, 21 + n);
+    for (int variant = 0; variant < 3; ++variant) {
+      ExecContext serial_ctx;
+      auto serial = std::make_unique<SortOp>(
+          std::make_unique<ValuesOp>(data, MixedCols()), MixedKeys(variant),
+          &serial_ctx, /*serial=*/true);
+      auto want = DrainOperator(serial.get());
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+      ExecContext par_ctx;
+      par_ctx.pool = &pool;
+      par_ctx.dop = 4;
+      const uint64_t runs_before = CounterValue("exec.sort_runs");
+      auto par = std::make_unique<SortOp>(
+          std::make_unique<ValuesOp>(data, MixedCols()), MixedKeys(variant),
+          &par_ctx);
+      auto got = DrainOperator(par.get());
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(BatchKey(*got), BatchKey(*want))
+          << "n=" << n << " variant=" << variant;
+      if (n >= 20000) {
+        // Large inputs must take the multi-run path, not degrade to one run.
+        EXPECT_GT(CounterValue("exec.sort_runs"), runs_before + 1);
+      }
+    }
+  }
+}
+
+TEST(TopNOpTest, MatchesSortPlusLimitOracle) {
+  ThreadPool pool(4);
+  for (size_t n : {size_t{100}, size_t{20000}}) {
+    RowBatch data = MakeMixedBatch(n, 31 + n);
+    for (int variant = 0; variant < 3; ++variant) {
+      for (int64_t limit : {int64_t{0}, int64_t{1}, int64_t{17}, int64_t{1000}}) {
+        for (int64_t offset : {int64_t{0}, int64_t{3}, int64_t{50}}) {
+          ExecContext serial_ctx;
+          auto sort = std::make_unique<SortOp>(
+              std::make_unique<ValuesOp>(data, MixedCols()),
+              MixedKeys(variant), &serial_ctx, /*serial=*/true);
+          auto lim = std::make_unique<LimitOp>(std::move(sort), limit, offset);
+          auto want = DrainOperator(lim.get());
+          ASSERT_TRUE(want.ok()) << want.status().ToString();
+
+          ExecContext par_ctx;
+          par_ctx.pool = &pool;
+          par_ctx.dop = 4;
+          auto topn = std::make_unique<TopNOp>(
+              std::make_unique<ValuesOp>(data, MixedCols()),
+              MixedKeys(variant), limit, offset, &par_ctx);
+          auto got = DrainOperator(topn.get());
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          EXPECT_EQ(BatchKey(*got), BatchKey(*want))
+              << "n=" << n << " variant=" << variant << " limit=" << limit
+              << " offset=" << offset;
+        }
+      }
+    }
+  }
+}
+
+/// Emits `batches` batches of `rows` sequential rows and counts pulls, so
+/// tests can observe whether a consumer stopped early.
+class ChunkedOp : public Operator {
+ public:
+  ChunkedOp(int batches, int rows)
+      : batches_(batches), rows_(rows) {
+    output_.push_back({"ID", TypeId::kInt64});
+    output_.push_back({"V", TypeId::kInt64});
+  }
+  std::string label() const override { return "Chunked()"; }
+  int pulls() const { return pulls_; }
+
+ protected:
+  Status OpenImpl() override {
+    next_ = 0;
+    pulls_ = 0;
+    return Status::OK();
+  }
+  Result<bool> NextImpl(RowBatch* out) override {
+    ++pulls_;
+    if (next_ >= batches_) return false;
+    out->columns.clear();
+    out->selection.reset();
+    out->columns.emplace_back(TypeId::kInt64);
+    out->columns.emplace_back(TypeId::kInt64);
+    for (int i = 0; i < rows_; ++i) {
+      const int64_t id = static_cast<int64_t>(next_) * rows_ + i;
+      out->columns[0].AppendInt(id);
+      out->columns[1].AppendInt(id * 31 % 101);
+    }
+    ++next_;
+    return true;
+  }
+
+ private:
+  int batches_;
+  int rows_;
+  int next_ = 0;
+  int pulls_ = 0;
+};
+
+TEST(LimitOpTest, StopsPullingChildOnceSatisfied) {
+  ExecContext ctx;
+  auto chunked = std::make_unique<ChunkedOp>(100, 10);
+  ChunkedOp* child = chunked.get();
+  const uint64_t stops_before = CounterValue("exec.limit_early_stops");
+  auto lim = std::make_unique<LimitOp>(std::move(chunked), 25, 0);
+  auto r = DrainOperator(lim.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 25u);
+  // 25 rows span 3 of the 100 child batches; the limit must not drain the
+  // other 97.
+  EXPECT_EQ(child->pulls(), 3);
+  EXPECT_EQ(lim->child_pulls(), 3u);
+  EXPECT_GT(CounterValue("exec.limit_early_stops"), stops_before);
+}
+
+TEST(LimitOpTest, LimitZeroNeverPullsChild) {
+  ExecContext ctx;
+  auto chunked = std::make_unique<ChunkedOp>(10, 10);
+  ChunkedOp* child = chunked.get();
+  auto lim = std::make_unique<LimitOp>(std::move(chunked), 0, 0);
+  auto r = DrainOperator(lim.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 0u);
+  EXPECT_EQ(child->pulls(), 0);
+}
+
+TEST(LimitOpTest, OffsetCrossesBatches) {
+  ExecContext ctx;
+  auto lim = std::make_unique<LimitOp>(std::make_unique<ChunkedOp>(10, 10),
+                                       5, 17);
+  auto r = DrainOperator(lim.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(r->columns[0].GetInt(i), static_cast<int64_t>(17 + i));
+  }
+}
+
+TEST(TopNOpTest, LimitZeroNeverPullsChild) {
+  ExecContext ctx;
+  auto chunked = std::make_unique<ChunkedOp>(10, 10);
+  ChunkedOp* child = chunked.get();
+  std::vector<SortKey> keys;
+  keys.push_back({Col(1, TypeId::kInt64), false});
+  auto topn = std::make_unique<TopNOp>(std::move(chunked), std::move(keys),
+                                       0, 0, &ctx);
+  auto r = DrainOperator(topn.get());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 0u);
+  EXPECT_EQ(child->pulls(), 0);
+}
+
+// --------------------------------------------------------- engine level --
+
+EngineConfig ParallelConfig() {
+  EngineConfig cfg;
+  cfg.query_parallelism = 8;
+  return cfg;
+}
+
+/// Loads an ID/GRP/V/S column table with `n` rows (ties on GRP/V/S).
+void LoadRows(Engine* engine, const std::string& name, int64_t n) {
+  TableSchema schema("PUBLIC", name,
+                     {{"ID", TypeId::kInt64, false, 0, false},
+                      {"GRP", TypeId::kInt64, true, 0, false},
+                      {"V", TypeId::kInt64, true, 0, false},
+                      {"S", TypeId::kVarchar, true, 0, false}});
+  auto t = engine->CreateColumnTable(schema);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  RowBatch rows;
+  for (int c = 0; c < 3; ++c) rows.columns.emplace_back(TypeId::kInt64);
+  rows.columns.emplace_back(TypeId::kVarchar);
+  for (int64_t i = 0; i < n; ++i) {
+    rows.columns[0].AppendInt(i);
+    rows.columns[1].AppendInt(i % 97);
+    rows.columns[2].AppendInt(i * 31 % 101);
+    rows.columns[3].AppendString("s" + std::to_string(i % 13));
+  }
+  ASSERT_TRUE(t.value()->Append(rows).ok());
+}
+
+void Set(Engine& e, Session* s, const std::string& stmt) {
+  auto r = e.Execute(s, stmt);
+  ASSERT_TRUE(r.ok()) << stmt << ": " << r.status().ToString();
+}
+
+TEST(SortEngineTest, AllStrategiesByteIdentical) {
+  Engine engine(ParallelConfig());
+  auto session = engine.CreateSession();
+  LoadRows(&engine, "S", 20000);
+  const std::string queries[] = {
+      "SELECT ID, V FROM S ORDER BY V DESC, ID",
+      "SELECT S, GRP, ID FROM S ORDER BY S, GRP DESC, ID",
+      "SELECT ID, GRP, V FROM S ORDER BY GRP, V DESC LIMIT 37 OFFSET 11",
+      "SELECT ID FROM S ORDER BY V, ID LIMIT 100",
+      "SELECT ID, V FROM S WHERE GRP < 40 ORDER BY V LIMIT 60",
+  };
+  for (const std::string& sql : queries) {
+    // Baseline: the serial stable_sort oracle with Top-N fusion disabled.
+    Set(engine, session.get(), "SET SORT SERIAL");
+    Set(engine, session.get(), "SET TOPN OFF");
+    Set(engine, session.get(), "SET DOP = 1");
+    auto baseline = engine.Execute(session.get(), sql);
+    ASSERT_TRUE(baseline.ok()) << sql << ": " << baseline.status().ToString();
+    const std::string want = RowsKey(*baseline);
+    for (const char* sort_mode : {"SET SORT PARALLEL"}) {
+      for (const char* topn_mode : {"SET TOPN OFF", "SET TOPN ON"}) {
+        for (int dop : {1, 4}) {
+          Set(engine, session.get(), sort_mode);
+          Set(engine, session.get(), topn_mode);
+          Set(engine, session.get(), "SET DOP = " + std::to_string(dop));
+          auto r = engine.Execute(session.get(), sql);
+          ASSERT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+          EXPECT_EQ(RowsKey(*r), want)
+              << sql << " under " << topn_mode << " dop=" << dop;
+        }
+      }
+    }
+  }
+  // Restore defaults for any follow-on statements on this session.
+  Set(engine, session.get(), "SET SORT PARALLEL");
+  Set(engine, session.get(), "SET TOPN ON");
+}
+
+TEST(SortEngineTest, ExplainShowsStrategyAndMetricsAccumulate) {
+  Engine engine(ParallelConfig());
+  auto session = engine.CreateSession();
+  LoadRows(&engine, "S", 20000);
+  Set(engine, session.get(), "SET DOP = 4");
+
+  // ORDER BY + LIMIT fuses into the bounded-heap Top-N.
+  const uint64_t fused_before = CounterValue("exec.topn_fused");
+  auto topn = engine.Execute(
+      session.get(), "EXPLAIN ANALYZE SELECT ID FROM S ORDER BY V, ID LIMIT 5");
+  ASSERT_TRUE(topn.ok()) << topn.status().ToString();
+  EXPECT_NE(topn->message.find("TopN("), std::string::npos) << topn->message;
+  EXPECT_NE(topn->message.find("strategy=topn"), std::string::npos)
+      << topn->message;
+  EXPECT_GT(CounterValue("exec.topn_fused"), fused_before);
+
+  // Full sort reports the run/merge strategy and row counters.
+  const uint64_t rows_before = CounterValue("exec.sort_rows");
+  auto full = engine.Execute(
+      session.get(), "EXPLAIN ANALYZE SELECT ID, V FROM S ORDER BY V, ID");
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_NE(full->message.find("strategy=full"), std::string::npos)
+      << full->message;
+  EXPECT_NE(full->message.find("runs="), std::string::npos) << full->message;
+  EXPECT_GE(CounterValue("exec.sort_rows"), rows_before + 20000);
+
+  // SET SORT SERIAL pins the oracle path and says so in the plan.
+  Set(engine, session.get(), "SET SORT SERIAL");
+  auto serial = engine.Execute(
+      session.get(), "EXPLAIN ANALYZE SELECT ID, V FROM S ORDER BY V, ID");
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  EXPECT_NE(serial->message.find("strategy=serial"), std::string::npos)
+      << serial->message;
+  Set(engine, session.get(), "SET SORT PARALLEL");
+
+  // With fusion disabled the standalone LimitOp reports its child pulls.
+  Set(engine, session.get(), "SET TOPN OFF");
+  auto lim = engine.Execute(
+      session.get(), "EXPLAIN ANALYZE SELECT ID FROM S ORDER BY V, ID LIMIT 5");
+  ASSERT_TRUE(lim.ok()) << lim.status().ToString();
+  EXPECT_NE(lim->message.find("pulls="), std::string::npos) << lim->message;
+  Set(engine, session.get(), "SET TOPN ON");
+}
+
+TEST(SortEngineTest, CancellationStormMidSortAndMerge) {
+  Engine engine(ParallelConfig());
+  auto session = engine.CreateSession();
+  LoadRows(&engine, "S", 20000);
+  const std::string queries[] = {
+      "SELECT ID, V FROM S ORDER BY V, ID",
+      "SELECT ID FROM S ORDER BY V DESC, ID LIMIT 50",
+  };
+  for (const std::string& sql : queries) {
+    for (int dop : {1, 4}) {
+      Set(engine, session.get(), "SET DOP = " + std::to_string(dop));
+      auto baseline = engine.Execute(session.get(), sql);
+      ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+      const std::string want = RowsKey(*baseline);
+      // Count the governor checks of one governed run, then sweep the trip
+      // point across them so every abort site fires deterministically.
+      auto probe = std::make_shared<QueryContext>();
+      session->InjectNextQueryContext(probe);
+      auto counted = engine.Execute(session.get(), sql);
+      ASSERT_TRUE(counted.ok()) << counted.status().ToString();
+      const uint64_t total = probe->checks();
+      ASSERT_GT(total, 0u) << sql;
+      const uint64_t stride = std::max<uint64_t>(1, total / 40);
+      uint64_t cancelled_runs = 0;
+      for (uint64_t n = 1; n <= total; n += stride) {
+        auto qc = std::make_shared<QueryContext>();
+        qc->CancelAfterChecks(n);
+        session->InjectNextQueryContext(qc);
+        auto r = engine.Execute(session.get(), sql);
+        if (r.ok()) {
+          EXPECT_EQ(RowsKey(*r), want) << sql << " n=" << n;
+        } else {
+          EXPECT_TRUE(r.status().IsCancelled())
+              << sql << " n=" << n << ": " << r.status().ToString();
+          ++cancelled_runs;
+        }
+      }
+      EXPECT_GT(cancelled_runs, 0u) << sql << " dop=" << dop;
+      // Engine healthy after the storm: rerun is byte-identical.
+      auto after = engine.Execute(session.get(), sql);
+      ASSERT_TRUE(after.ok()) << after.status().ToString();
+      EXPECT_EQ(RowsKey(*after), want);
+    }
+  }
+}
+
+// ------------------------------------------------------------ MPP level --
+
+TEST(SortMppTest, OrderByPushdownMergesPresortedShardStreams) {
+  auto db = corpus::MakeLoadedDb(1);
+  const uint64_t streams_before = CounterValue("mpp.merge_streams");
+  auto r = db->Execute("SELECT ID, V FROM T ORDER BY V, ID LIMIT 31");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // 4 nodes x 2 shards: the coordinator merged 8 pre-sorted streams
+  // instead of re-sorting the gathered rows.
+  EXPECT_EQ(CounterValue("mpp.merge_streams"), streams_before + 8);
+  ASSERT_EQ(r->result.rows.num_rows(), 31u);
+  // Oracle: the generator formula V = ID * 31 % 101 over ID in [0, 400).
+  std::vector<std::pair<int64_t, int64_t>> oracle;
+  for (int64_t id = 0; id < 400; ++id) oracle.emplace_back(id * 31 % 101, id);
+  std::sort(oracle.begin(), oracle.end());
+  for (size_t i = 0; i < 31; ++i) {
+    EXPECT_EQ(r->result.rows.columns[0].GetInt(i), oracle[i].second) << i;
+    EXPECT_EQ(r->result.rows.columns[1].GetInt(i), oracle[i].first) << i;
+  }
+
+  // The shard-local plans in EXPLAIN ANALYZE show the pushed-down Top-N.
+  auto analyzed =
+      db->Execute("EXPLAIN ANALYZE SELECT ID, V FROM T ORDER BY V, ID LIMIT 31");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  EXPECT_NE(analyzed->result.message.find("TopN("), std::string::npos)
+      << analyzed->result.message;
+  EXPECT_NE(analyzed->result.message.find("strategy=topn"), std::string::npos)
+      << analyzed->result.message;
+  EXPECT_EQ(corpus::ResultKey(analyzed->result), corpus::ResultKey(r->result));
+}
+
+TEST(SortMppTest, OrderByOffsetBeyondShardRows) {
+  auto db = corpus::MakeLoadedDb(1);
+  auto tail = db->Execute("SELECT ID FROM T ORDER BY ID LIMIT 10 OFFSET 395");
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  ASSERT_EQ(tail->result.rows.num_rows(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(tail->result.rows.columns[0].GetInt(i),
+              static_cast<int64_t>(395 + i));
+  }
+  auto past = db->Execute("SELECT ID FROM T ORDER BY ID LIMIT 10 OFFSET 1000");
+  ASSERT_TRUE(past.ok()) << past.status().ToString();
+  EXPECT_EQ(past->result.rows.num_rows(), 0u);
+}
+
+TEST(SortMppTest, OrderBySelectListExpressionIsPushedDown) {
+  auto db = corpus::MakeLoadedDb(1);
+  // Pre-PR this shape was rejected ("MPP ORDER BY supports output columns
+  // / ordinals"); now any select-list expression is a valid sort key.
+  auto r = db->Execute(
+      "SELECT ID, V + CAT FROM T WHERE V >= 10 ORDER BY V + CAT DESC, ID "
+      "LIMIT 12");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->result.rows.num_rows(), 12u);
+  for (size_t i = 1; i < 12; ++i) {
+    EXPECT_GE(r->result.rows.columns[1].GetInt(i - 1),
+              r->result.rows.columns[1].GetInt(i));
+  }
+}
+
+TEST(SortMppTest, OrderByForeignExpressionReportsTypedError) {
+  auto db = corpus::MakeLoadedDb(1);
+  auto r = db->Execute("SELECT ID, V FROM T ORDER BY V * GRP");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("select-list expressions"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(SortMppTest, SortKnobsBroadcastToShards) {
+  auto db = corpus::MakeLoadedDb(1);
+  auto want = db->Execute("SELECT ID, V, S FROM T ORDER BY V DESC, ID LIMIT 31");
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  // Shard-local serial sorts + no Top-N fusion must still merge to the
+  // byte-identical answer (the oracle arms of the bench).
+  ASSERT_TRUE(db->Execute("SET SORT SERIAL").ok());
+  ASSERT_TRUE(db->Execute("SET TOPN OFF").ok());
+  auto got = db->Execute("SELECT ID, V, S FROM T ORDER BY V DESC, ID LIMIT 31");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(corpus::ResultKey(got->result), corpus::ResultKey(want->result));
+  ASSERT_TRUE(db->Execute("SET SORT PARALLEL").ok());
+  ASSERT_TRUE(db->Execute("SET TOPN ON").ok());
+}
+
+}  // namespace
+}  // namespace dashdb
